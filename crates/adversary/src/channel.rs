@@ -1,0 +1,108 @@
+//! The Dolev-Yao channel between verifier and prover.
+//!
+//! `Adv_ext` "can drop, insert and delay messages" (§3.2). The channel
+//! records every message that transits it — the adversary's tape — and
+//! lets scenarios deliver them in any order, any number of times, at any
+//! time.
+
+use proverguard_attest::message::AttestRequest;
+
+/// A recorded in-flight request with the verifier-side send time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedRequest {
+    /// The message bytes as observed on the wire (re-parsed on delivery).
+    pub bytes: Vec<u8>,
+    /// Verifier clock when the message was sent, in ms.
+    pub sent_at_ms: u64,
+}
+
+impl RecordedRequest {
+    /// Re-materializes the request (what the prover will parse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded bytes no longer parse — impossible for
+    /// bytes produced by [`Channel::send`].
+    #[must_use]
+    pub fn request(&self) -> AttestRequest {
+        AttestRequest::from_bytes(&self.bytes).expect("recorded bytes parse")
+    }
+}
+
+/// The adversary-controlled channel.
+#[derive(Debug, Clone, Default)]
+pub struct Channel {
+    tape: Vec<RecordedRequest>,
+}
+
+impl Channel {
+    /// An empty channel.
+    #[must_use]
+    pub fn new() -> Self {
+        Channel::default()
+    }
+
+    /// The verifier sends `request`; the adversary records it and decides
+    /// later what to do. Returns the tape index.
+    pub fn send(&mut self, request: &AttestRequest, sent_at_ms: u64) -> usize {
+        self.tape.push(RecordedRequest {
+            bytes: request.to_bytes(),
+            sent_at_ms,
+        });
+        self.tape.len() - 1
+    }
+
+    /// The recorded tape.
+    #[must_use]
+    pub fn tape(&self) -> &[RecordedRequest] {
+        &self.tape
+    }
+
+    /// Fetches tape entry `index`.
+    #[must_use]
+    pub fn recorded(&self, index: usize) -> Option<&RecordedRequest> {
+        self.tape.get(index)
+    }
+
+    /// Number of messages observed.
+    #[must_use]
+    pub fn observed(&self) -> usize {
+        self.tape.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proverguard_attest::message::FreshnessField;
+
+    fn request(counter: u64) -> AttestRequest {
+        AttestRequest {
+            freshness: FreshnessField::Counter(counter),
+            challenge: [1; 16],
+            auth: vec![0xaa; 8],
+        }
+    }
+
+    #[test]
+    fn tape_records_in_order() {
+        let mut ch = Channel::new();
+        let i0 = ch.send(&request(1), 100);
+        let i1 = ch.send(&request(2), 200);
+        assert_eq!((i0, i1), (0, 1));
+        assert_eq!(ch.observed(), 2);
+        assert_eq!(ch.recorded(0).unwrap().sent_at_ms, 100);
+        assert_eq!(ch.recorded(1).unwrap().request(), request(2));
+        assert!(ch.recorded(2).is_none());
+    }
+
+    #[test]
+    fn replay_rematerializes_identical_request() {
+        let mut ch = Channel::new();
+        let original = request(7);
+        ch.send(&original, 0);
+        // Deliver twice — byte-identical both times.
+        assert_eq!(ch.recorded(0).unwrap().request(), original);
+        assert_eq!(ch.recorded(0).unwrap().request(), original);
+    }
+}

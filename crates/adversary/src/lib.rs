@@ -1,0 +1,49 @@
+//! Adversaries against the prover (§3.2), and the experiment scenarios
+//! that reproduce the paper's security analysis.
+//!
+//! - [`world`] — a verifier + prover pair with a shared notion of wall
+//!   time, the substrate every scenario runs on.
+//! - [`channel`] — a Dolev-Yao network: the adversary observes, drops,
+//!   delays, reorders, replays and injects messages.
+//! - [`ext`] — the external adversary `Adv_ext`: verifier impersonation
+//!   (forgery), replay, reorder and delay attacks. Running all attacks
+//!   against all freshness policies regenerates **Table 2**.
+//! - [`roam`] — the roaming adversary `Adv_roam`: eavesdrop (Phase I),
+//!   compromise-and-leave (Phase II: counter rollback, clock reset, key
+//!   extraction, IDT hijack, timer kill), replay (Phase III) — §5's
+//!   attacks, which succeed against the open device and fail against the
+//!   EA-MAC profiles of §6.
+//! - [`dos`] — denial-of-service economics: cycles, milliseconds and
+//!   battery energy an attacker drains per bogus request (§3.1), and the
+//!   "ECDSA-authentication-as-DoS" paradox (§4.1).
+//!
+//! # Example
+//!
+//! ```
+//! use proverguard_adversary::ext::{run_attack, ExtAttack};
+//! use proverguard_adversary::world::World;
+//! use proverguard_attest::prover::ProverConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut world = World::new(ProverConfig::recommended())?;
+//! let outcome = run_attack(&mut world, ExtAttack::Replay)?;
+//! assert!(outcome.detected, "counter policy must detect replay");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod dos;
+pub mod ext;
+pub mod report;
+pub mod roam;
+pub mod workload;
+pub mod world;
+
+pub use ext::{ExtAttack, MitigationMatrix};
+pub use report::SuiteReport;
+pub use roam::{RoamAttack, RoamOutcome};
+pub use world::World;

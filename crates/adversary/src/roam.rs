@@ -1,0 +1,419 @@
+//! The roaming adversary `Adv_roam` (§3.2, §5).
+//!
+//! `Adv_roam` operates in three phases:
+//!
+//! 1. **Phase I** — eavesdrop on genuine `Vrf`→`Prv` attestation requests.
+//! 2. **Phase II** — compromise the prover, change local state (roll the
+//!    counter back, reset the clock, hijack the IDT, kill the timer,
+//!    extract `K_Attest`), then erase all traces and leave.
+//! 3. **Phase III** — after waiting an arbitrary time, replay the recorded
+//!    request (or forge a new one with the stolen key).
+//!
+//! Phase II malware runs as ordinary software — program counter inside the
+//! application ([`map::APP_CODE`]) — so each tampering primitive goes
+//! through the device bus and is either permitted (the `Open` baseline:
+//! the attack of §5 succeeds, undetectably for counters) or denied by the
+//! EA-MAC rules of §6.
+
+use proverguard_attest::auth::RequestSigner;
+use proverguard_attest::clock::{ms_to_ticks, ClockKind};
+use proverguard_attest::error::AttestError;
+use proverguard_attest::freshness::FreshnessKind;
+use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_mcu::device::{timer_regs, DEFAULT_TIMER_PRESCALER_LOG2, DEFAULT_TIMER_WIDTH};
+use proverguard_mcu::map;
+use proverguard_mcu::Mcu;
+
+use crate::channel::Channel;
+use crate::world::World;
+
+/// The `Adv_roam` attack variants of §5 / Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoamAttack {
+    /// §5 "Adv_roam and Counters": roll `counter_R` back from `i` to
+    /// `i-1`, leave, replay `attreq(i)`.
+    CounterRollback,
+    /// §5 "Adv_roam and Timestamps": set the prover clock back by δ,
+    /// leave, wait δ, replay `attreq(t_i)`.
+    ClockReset,
+    /// Figure 1b surface: redirect the timer-wrap IDT entry so
+    /// `Code_Clock` never runs and the SW-clock silently stops.
+    IdtHijack,
+    /// Figure 1b surface: disable the timer via its control register.
+    TimerKill,
+    /// Phase II information gathering: read `K_Attest` and use it to
+    /// forge fresh authenticated requests.
+    KeyExtraction,
+}
+
+impl std::fmt::Display for RoamAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoamAttack::CounterRollback => write!(f, "counter rollback"),
+            RoamAttack::ClockReset => write!(f, "clock reset"),
+            RoamAttack::IdtHijack => write!(f, "IDT hijack"),
+            RoamAttack::TimerKill => write!(f, "timer kill"),
+            RoamAttack::KeyExtraction => write!(f, "key extraction"),
+        }
+    }
+}
+
+/// One Phase II tampering action and whether the device allowed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamperAttempt {
+    /// What was attempted.
+    pub action: String,
+    /// `true` iff the bus access succeeded (no EA-MPU rule stopped it).
+    pub succeeded: bool,
+}
+
+/// Result of a full three-phase run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoamOutcome {
+    /// Phase II tampering attempts, in order.
+    pub tampering: Vec<TamperAttempt>,
+    /// Phase III: did the prover accept the malicious request (= DoS
+    /// succeeded)?
+    pub replay_accepted: bool,
+    /// How far the prover's clock lags the true (verifier) time after the
+    /// attack, in ms — §5's observation that a clock reset "leaves some
+    /// evidence", unlike the trace-free counter rollback.
+    pub clock_lag_ms: Option<u64>,
+}
+
+impl RoamOutcome {
+    /// `true` iff every Phase II tamper attempt was blocked.
+    #[must_use]
+    pub fn fully_blocked(&self) -> bool {
+        self.tampering.iter().all(|t| !t.succeeded)
+    }
+}
+
+// ---- Phase II tampering primitives (all executed as APP_CODE) ------------
+
+fn tamper_write(mcu: &mut Mcu, action: &str, addr: u32, data: &[u8]) -> TamperAttempt {
+    TamperAttempt {
+        action: action.to_string(),
+        succeeded: mcu.bus_write(addr, data, map::APP_CODE).is_ok(),
+    }
+}
+
+/// Rolls the protected `counter_R` word back to `value`.
+pub fn rollback_counter(mcu: &mut Mcu, value: u64) -> TamperAttempt {
+    tamper_write(
+        mcu,
+        "rollback counter_R",
+        map::COUNTER_R.start,
+        &value.to_le_bytes(),
+    )
+}
+
+/// Resets the prover clock to read `target_ms`.
+pub fn reset_clock(mcu: &mut Mcu, clock: ClockKind, target_ms: u64) -> TamperAttempt {
+    match clock {
+        ClockKind::None => TamperAttempt {
+            action: "reset clock (none installed)".to_string(),
+            succeeded: false,
+        },
+        ClockKind::Hw64 | ClockKind::Hw32Div => {
+            let prescaler = mcu.rtc().map_or(0, |r| r.prescaler_log2());
+            let ticks = ms_to_ticks(target_ms, prescaler);
+            tamper_write(
+                mcu,
+                "reset hardware RTC",
+                map::MMIO_RTC.start,
+                &ticks.to_le_bytes(),
+            )
+        }
+        ClockKind::Software => {
+            let msb = ms_to_ticks(target_ms, DEFAULT_TIMER_PRESCALER_LOG2) >> DEFAULT_TIMER_WIDTH;
+            tamper_write(
+                mcu,
+                "rewrite Clock_MSB",
+                map::CLOCK_MSB.start,
+                &msb.to_le_bytes(),
+            )
+        }
+    }
+}
+
+/// Redirects the timer-wrap vector at malware.
+pub fn hijack_idt(mcu: &mut Mcu) -> TamperAttempt {
+    tamper_write(
+        mcu,
+        "hijack IDT vector 0",
+        map::IDT.start,
+        &map::APP_CODE.to_le_bytes(),
+    )
+}
+
+/// Disables the `Clock_LSB` timer (and with it the SW-clock).
+pub fn kill_timer(mcu: &mut Mcu) -> TamperAttempt {
+    tamper_write(
+        mcu,
+        "disable timer via control register",
+        map::MMIO_TIMER.start + timer_regs::CONTROL,
+        &[0u8],
+    )
+}
+
+/// Attempts to read `K_Attest` as application code.
+pub fn extract_key(mcu: &mut Mcu) -> (TamperAttempt, Option<[u8; 16]>) {
+    match mcu.read_attest_key(map::APP_CODE) {
+        Ok(key) => (
+            TamperAttempt {
+                action: "read K_Attest".to_string(),
+                succeeded: true,
+            },
+            Some(key),
+        ),
+        Err(_) => (
+            TamperAttempt {
+                action: "read K_Attest".to_string(),
+                succeeded: false,
+            },
+            None,
+        ),
+    }
+}
+
+// ---- The three-phase scenario ---------------------------------------------
+
+/// Runs the full three-phase `Adv_roam` scenario for `attack`, with a
+/// Phase III wait of `wait_ms`.
+///
+/// # Errors
+///
+/// [`AttestError`] on unexpected device faults (tampering denials are
+/// recorded in the outcome, not raised).
+pub fn run_roam_attack(
+    world: &mut World,
+    attack: RoamAttack,
+    wait_ms: u64,
+) -> Result<RoamOutcome, AttestError> {
+    // Let real time accumulate so Phase II can set the clock *back*.
+    world.advance_ms(wait_ms + 1000)?;
+
+    // ---- Phase I: eavesdrop on a genuine request.
+    //
+    // For the counter/clock-rollback attacks the request is delivered (the
+    // paper's §5 narrative: the prover processes attreq(i), then Phase II
+    // rolls the state back). For the clock-*freeze* attacks (IDT hijack,
+    // timer kill) the adversary instead exercises its Dolev-Yao power to
+    // DROP the message: delivering it would let the genuine attestation's
+    // ~754 ms of compute push the clock past the acceptance window before
+    // the freeze, spoiling the replay. Freezing at the recorded timestamp
+    // is strictly better for the adversary.
+    let deliver_genuine = !matches!(attack, RoamAttack::IdtHijack | RoamAttack::TimerKill);
+    let mut channel = Channel::new();
+    let genuine = world.verifier.make_request()?;
+    channel.send(&genuine, world.verifier.now_ms());
+    if deliver_genuine {
+        world
+            .prover
+            .handle_request(&genuine)
+            .expect("genuine request must be accepted");
+    }
+
+    // ---- Phase II: compromise, tamper, erase traces, leave.
+    // The malware controls the CPU, so any timer wraps still pending from
+    // the genuine attestation's ~754 ms of compute are serviced before it
+    // tampers — otherwise they would be applied *after* a Clock_MSB reset
+    // and silently skew the attack by the attestation's duration.
+    world.prover.advance_time_ms(0)?;
+    let recorded = channel.recorded(0).expect("recorded").request();
+    let clock_kind = world.prover.config().clock;
+    let mut tampering = Vec::new();
+    match attack {
+        RoamAttack::CounterRollback => {
+            if let FreshnessField::Counter(i) = recorded.freshness {
+                tampering.push(rollback_counter(world.prover.mcu_mut(), i - 1));
+            }
+        }
+        RoamAttack::ClockReset => {
+            if let FreshnessField::Timestamp(t) = recorded.freshness {
+                // Roll the last-accepted word back below t…
+                tampering.push(rollback_counter(world.prover.mcu_mut(), t - 1));
+                // …and set the clock to t - δ so that after waiting δ the
+                // prover believes it is t again.
+                tampering.push(reset_clock(
+                    world.prover.mcu_mut(),
+                    clock_kind,
+                    t.saturating_sub(wait_ms),
+                ));
+            }
+        }
+        RoamAttack::IdtHijack => {
+            // The dropped request was never processed, so counter_R needs
+            // no rollback — freezing the clock suffices.
+            tampering.push(hijack_idt(world.prover.mcu_mut()));
+        }
+        RoamAttack::TimerKill => {
+            tampering.push(kill_timer(world.prover.mcu_mut()));
+        }
+        RoamAttack::KeyExtraction => {
+            let (attempt, _) = extract_key(world.prover.mcu_mut());
+            tampering.push(attempt);
+        }
+    }
+
+    // ---- Phase III: wait, then strike.
+    world.advance_ms(wait_ms)?;
+    let malicious = match attack {
+        RoamAttack::KeyExtraction => forge_with_stolen_key(world, &recorded)?,
+        _ => recorded,
+    };
+    let replay_accepted = world.prover.handle_request(&malicious).is_ok();
+
+    // Residual evidence: does the prover's clock lag true time?
+    let clock_lag_ms = world
+        .prover
+        .now_ms()?
+        .map(|prover_now| world.verifier.now_ms().saturating_sub(prover_now));
+
+    Ok(RoamOutcome {
+        tampering,
+        replay_accepted,
+        clock_lag_ms,
+    })
+}
+
+/// Phase III for key extraction: forge a *fresh* authenticated request
+/// with whatever key Phase II obtained (garbage if the read was blocked).
+fn forge_with_stolen_key(
+    world: &mut World,
+    recorded: &AttestRequest,
+) -> Result<AttestRequest, AttestError> {
+    let (_, stolen) = extract_key(world.prover.mcu_mut());
+    let key = stolen.unwrap_or([0u8; 16]);
+    let freshness = match (world.prover.config().freshness, recorded.freshness) {
+        (FreshnessKind::Counter, FreshnessField::Counter(i)) => FreshnessField::Counter(i + 1),
+        (FreshnessKind::Timestamp, _) => FreshnessField::Timestamp(world.verifier.now_ms()),
+        (FreshnessKind::NonceHistory, _) => FreshnessField::Nonce([0xee; 16]),
+        _ => FreshnessField::None,
+    };
+    let mut forged = AttestRequest {
+        freshness,
+        challenge: [0xee; 16],
+        auth: Vec::new(),
+    };
+    let signer = RequestSigner::new(world.prover.config().auth, &key)?;
+    forged.auth = signer.sign(&forged.signed_bytes());
+    Ok(forged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proverguard_attest::profile::Protection;
+    use proverguard_attest::prover::ProverConfig;
+
+    fn world(config: ProverConfig) -> World {
+        World::new(config).unwrap()
+    }
+
+    fn open(mut config: ProverConfig) -> ProverConfig {
+        config.protection = Protection::Open;
+        config
+    }
+
+    #[test]
+    fn counter_rollback_succeeds_on_open_device() {
+        let mut w = world(open(ProverConfig::recommended()));
+        let o = run_roam_attack(&mut w, RoamAttack::CounterRollback, 5000).unwrap();
+        assert!(o.tampering[0].succeeded);
+        assert!(o.replay_accepted, "§5: the replay is accepted as fresh");
+        // And no clock evidence exists — the attack is undetectable.
+        assert_eq!(o.clock_lag_ms, None);
+    }
+
+    #[test]
+    fn counter_rollback_blocked_by_eamac() {
+        let mut w = world(ProverConfig::recommended());
+        let o = run_roam_attack(&mut w, RoamAttack::CounterRollback, 5000).unwrap();
+        assert!(o.fully_blocked());
+        assert!(!o.replay_accepted);
+    }
+
+    #[test]
+    fn clock_reset_succeeds_on_open_device_but_leaves_evidence() {
+        let mut w = world(open(ProverConfig::timestamp_hw64()));
+        let o = run_roam_attack(&mut w, RoamAttack::ClockReset, 5000).unwrap();
+        assert!(o.tampering.iter().all(|t| t.succeeded), "{:?}", o.tampering);
+        assert!(o.replay_accepted);
+        // §5: "the prover's clock remains behind" — by about δ.
+        let lag = o.clock_lag_ms.unwrap();
+        assert!(lag >= 4000, "expected ~5000 ms lag, got {lag}");
+    }
+
+    #[test]
+    fn clock_reset_blocked_by_eamac() {
+        let mut w = world(ProverConfig::timestamp_hw64());
+        let o = run_roam_attack(&mut w, RoamAttack::ClockReset, 5000).unwrap();
+        assert!(o.fully_blocked());
+        assert!(!o.replay_accepted);
+        assert_eq!(o.clock_lag_ms, Some(0));
+    }
+
+    #[test]
+    fn sw_clock_reset_blocked_by_eamac() {
+        let mut w = world(ProverConfig::timestamp_sw_clock());
+        let o = run_roam_attack(&mut w, RoamAttack::ClockReset, 5000).unwrap();
+        assert!(o.fully_blocked());
+        assert!(!o.replay_accepted);
+    }
+
+    #[test]
+    fn idt_hijack_stops_sw_clock_on_open_device() {
+        let mut w = world(open(ProverConfig::timestamp_sw_clock()));
+        let o = run_roam_attack(&mut w, RoamAttack::IdtHijack, 5000).unwrap();
+        assert!(o.tampering.iter().all(|t| t.succeeded));
+        assert!(
+            o.replay_accepted,
+            "frozen clock accepts the stale timestamp"
+        );
+        assert!(o.clock_lag_ms.unwrap() >= 4000);
+    }
+
+    #[test]
+    fn idt_hijack_blocked_by_eamac() {
+        let mut w = world(ProverConfig::timestamp_sw_clock());
+        let o = run_roam_attack(&mut w, RoamAttack::IdtHijack, 5000).unwrap();
+        assert!(o.fully_blocked());
+        assert!(!o.replay_accepted);
+        // The SW-clock kept running.
+        assert!(o.clock_lag_ms.unwrap() < 100);
+    }
+
+    #[test]
+    fn timer_kill_blocked_by_eamac() {
+        let mut w = world(ProverConfig::timestamp_sw_clock());
+        let o = run_roam_attack(&mut w, RoamAttack::TimerKill, 3000).unwrap();
+        assert!(o.fully_blocked());
+        assert!(!o.replay_accepted);
+    }
+
+    #[test]
+    fn timer_kill_succeeds_on_open_device() {
+        let mut w = world(open(ProverConfig::timestamp_sw_clock()));
+        let o = run_roam_attack(&mut w, RoamAttack::TimerKill, 3000).unwrap();
+        assert!(o.tampering.iter().all(|t| t.succeeded));
+        assert!(o.replay_accepted);
+    }
+
+    #[test]
+    fn key_extraction_lets_adversary_forge_on_open_device() {
+        let mut w = world(open(ProverConfig::recommended()));
+        let o = run_roam_attack(&mut w, RoamAttack::KeyExtraction, 1000).unwrap();
+        assert!(o.tampering[0].succeeded, "key readable on open device");
+        assert!(o.replay_accepted, "forged request with stolen key accepted");
+    }
+
+    #[test]
+    fn key_extraction_blocked_by_eamac() {
+        let mut w = world(ProverConfig::recommended());
+        let o = run_roam_attack(&mut w, RoamAttack::KeyExtraction, 1000).unwrap();
+        assert!(!o.tampering[0].succeeded);
+        assert!(!o.replay_accepted, "garbage-key forgery rejected");
+    }
+}

@@ -1,0 +1,270 @@
+//! Primary-task interference (§3.1).
+//!
+//! "Gratuitous (malicious) invocation of attestation can be detrimental to
+//! the execution of prover's main (even critical) functions" — and current
+//! low-end attestation runs uninterruptible, so every accepted bogus
+//! request blocks the control/sensing/actuation task for the full memory
+//! MAC. This module quantifies that: a periodic hard-real-time task (think
+//! a 10 Hz control loop) shares the CPU with attestation handling, and we
+//! count missed deadlines under a forgery flood for each defence level.
+//!
+//! The model: requests arrive evenly spaced; each occupies the CPU
+//! *non-preemptively* for its handling cost (the §3.1 assumption); a task
+//! period whose idle time falls below the task's execution budget misses
+//! its deadline.
+
+use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_attest::prover::ProverConfig;
+use proverguard_mcu::cycles::cycles_to_ms;
+
+use crate::world::World;
+use proverguard_attest::error::AttestError;
+
+/// A periodic hard-real-time task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicTask {
+    /// Period (= deadline) in milliseconds.
+    pub period_ms: f64,
+    /// Worst-case execution time needed each period, in milliseconds.
+    pub wcet_ms: f64,
+}
+
+impl PeriodicTask {
+    /// A 10 Hz control loop needing 10 ms per iteration.
+    #[must_use]
+    pub fn control_loop_10hz() -> Self {
+        PeriodicTask {
+            period_ms: 100.0,
+            wcet_ms: 10.0,
+        }
+    }
+}
+
+/// Result of an interference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferenceReport {
+    /// Configuration label.
+    pub label: String,
+    /// Task periods simulated.
+    pub periods: u64,
+    /// Periods whose deadline was missed.
+    pub missed: u64,
+    /// Mean attestation-handling milliseconds per forgery.
+    pub ms_per_forgery: f64,
+}
+
+impl InterferenceReport {
+    /// Missed-deadline ratio in `[0, 1]`.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.periods == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.periods as f64
+        }
+    }
+}
+
+/// Simulates `duration_s` seconds of a forgery flood at `rate_per_s`
+/// against `config`, with `task` running on the same CPU.
+///
+/// # Errors
+///
+/// [`AttestError`] if provisioning fails.
+///
+/// # Panics
+///
+/// Panics if `rate_per_s` is zero (use no flood = no interference).
+pub fn interference_under_flood(
+    config: ProverConfig,
+    label: &str,
+    task: PeriodicTask,
+    rate_per_s: u64,
+    duration_s: u64,
+) -> Result<InterferenceReport, AttestError> {
+    assert!(rate_per_s > 0, "flood rate must be positive");
+    let mut world = World::new(config)?;
+    world.advance_ms(1000)?;
+
+    // Measure the per-forgery handling cost once (it is constant per
+    // configuration), then lay out the busy intervals analytically.
+    let bogus = AttestRequest {
+        freshness: match world.prover.config().freshness {
+            proverguard_attest::freshness::FreshnessKind::Counter => FreshnessField::Counter(1),
+            proverguard_attest::freshness::FreshnessKind::Timestamp => {
+                FreshnessField::Timestamp(world.verifier.now_ms())
+            }
+            proverguard_attest::freshness::FreshnessKind::NonceHistory => {
+                FreshnessField::Nonce([0xbb; 16])
+            }
+            proverguard_attest::freshness::FreshnessKind::None => FreshnessField::None,
+        },
+        challenge: [0xbb; 16],
+        auth: vec![0u8; 8],
+    };
+    let _ = world.prover.handle_request(&bogus);
+    let cost_ms = cycles_to_ms(world.prover.last_cost().total());
+
+    let horizon_ms = (duration_s * 1000) as f64;
+    let spacing_ms = 1000.0 / rate_per_s as f64;
+
+    // Non-preemptive FIFO service of the arrival stream.
+    let mut busy: Vec<(f64, f64)> = Vec::new(); // (start, end)
+    let mut server_free_at = 0.0f64;
+    let mut t = 0.0f64;
+    while t < horizon_ms {
+        let start = t.max(server_free_at);
+        let end = start + cost_ms;
+        busy.push((start, end));
+        server_free_at = end;
+        t += spacing_ms;
+    }
+
+    // Count deadline misses per task period.
+    let periods = (horizon_ms / task.period_ms) as u64;
+    let mut missed = 0;
+    let mut busy_idx = 0;
+    for k in 0..periods {
+        let window_start = k as f64 * task.period_ms;
+        let window_end = window_start + task.period_ms;
+        // Advance past intervals that ended before this window.
+        while busy_idx < busy.len() && busy[busy_idx].1 <= window_start {
+            busy_idx += 1;
+        }
+        let mut occupied = 0.0;
+        let mut i = busy_idx;
+        while i < busy.len() && busy[i].0 < window_end {
+            let overlap = busy[i].1.min(window_end) - busy[i].0.max(window_start);
+            if overlap > 0.0 {
+                occupied += overlap;
+            }
+            i += 1;
+        }
+        if task.period_ms - occupied < task.wcet_ms {
+            missed += 1;
+        }
+    }
+
+    Ok(InterferenceReport {
+        label: label.to_string(),
+        periods,
+        missed,
+        ms_per_forgery: cost_ms,
+    })
+}
+
+/// The standard §3.1 comparison: unprotected vs Speck-gated vs ECDSA-gated
+/// provers under the same flood.
+///
+/// # Errors
+///
+/// [`AttestError`] if any provisioning fails.
+pub fn standard_interference(
+    task: PeriodicTask,
+    rate_per_s: u64,
+    duration_s: u64,
+) -> Result<Vec<InterferenceReport>, AttestError> {
+    use proverguard_attest::auth::AuthMethod;
+
+    let mut out = Vec::new();
+    out.push(interference_under_flood(
+        ProverConfig::unprotected(),
+        "unprotected",
+        task,
+        rate_per_s,
+        duration_s,
+    )?);
+    out.push(interference_under_flood(
+        ProverConfig::recommended(),
+        "Speck-gated",
+        task,
+        rate_per_s,
+        duration_s,
+    )?);
+    let ecdsa = ProverConfig {
+        auth: AuthMethod::Ecdsa,
+        ..ProverConfig::recommended()
+    };
+    out.push(interference_under_flood(
+        ecdsa,
+        "ECDSA-gated",
+        task,
+        rate_per_s,
+        duration_s,
+    )?);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_prover_misses_everything_under_modest_flood() {
+        // 2 forgeries/s x 754 ms each = CPU saturated.
+        let r = interference_under_flood(
+            ProverConfig::unprotected(),
+            "open",
+            PeriodicTask::control_loop_10hz(),
+            2,
+            10,
+        )
+        .unwrap();
+        assert!(r.miss_ratio() > 0.9, "miss ratio {}", r.miss_ratio());
+    }
+
+    #[test]
+    fn gated_prover_misses_nothing() {
+        let r = interference_under_flood(
+            ProverConfig::recommended(),
+            "speck",
+            PeriodicTask::control_loop_10hz(),
+            100, // even a heavy flood
+            10,
+        )
+        .unwrap();
+        assert_eq!(r.missed, 0, "{r:?}");
+    }
+
+    #[test]
+    fn ecdsa_gate_still_hurts_at_scale() {
+        use proverguard_attest::auth::AuthMethod;
+        let ecdsa = ProverConfig {
+            auth: AuthMethod::Ecdsa,
+            ..ProverConfig::recommended()
+        };
+        // 5/s x 170.9 ms = 85% utilisation from forgeries alone.
+        let r = interference_under_flood(ecdsa, "ecdsa", PeriodicTask::control_loop_10hz(), 5, 10)
+            .unwrap();
+        assert!(r.miss_ratio() > 0.3, "miss ratio {}", r.miss_ratio());
+    }
+
+    #[test]
+    fn ordering_matches_the_paper() {
+        let reports = standard_interference(PeriodicTask::control_loop_10hz(), 5, 10).unwrap();
+        let ratio = |label: &str| {
+            reports
+                .iter()
+                .find(|r| r.label.contains(label))
+                .expect("present")
+                .miss_ratio()
+        };
+        assert!(ratio("unprotected") >= ratio("ECDSA-gated"));
+        assert!(ratio("ECDSA-gated") > ratio("Speck-gated"));
+        assert_eq!(ratio("Speck-gated"), 0.0);
+    }
+
+    #[test]
+    fn zero_flood_duration_yields_empty_report() {
+        let r = interference_under_flood(
+            ProverConfig::recommended(),
+            "x",
+            PeriodicTask::control_loop_10hz(),
+            1,
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.periods, 0);
+        assert_eq!(r.miss_ratio(), 0.0);
+    }
+}

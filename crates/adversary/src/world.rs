@@ -1,0 +1,97 @@
+//! The experiment substrate: a provisioned prover and its verifier with a
+//! shared wall clock.
+
+use proverguard_attest::error::AttestError;
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::verifier::Verifier;
+
+/// Default shared key for scenario worlds.
+pub const DEFAULT_KEY: [u8; 16] = [0x42; 16];
+
+/// Default application image provisioned into flash.
+pub const DEFAULT_IMAGE: &[u8] = b"proverguard demo application image v1";
+
+/// A verifier + prover pair whose clocks advance together (the paper
+/// assumes synchronized clocks; deliberate desynchronization is what the
+/// delay/roam scenarios then introduce).
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The prover under attack.
+    pub prover: Prover,
+    /// The genuine verifier.
+    pub verifier: Verifier,
+}
+
+impl World {
+    /// Provisions a world for `config` with the default key and image.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError`] if provisioning fails.
+    pub fn new(config: ProverConfig) -> Result<Self, AttestError> {
+        Self::with_key(config, &DEFAULT_KEY)
+    }
+
+    /// Provisions a world with an explicit shared key.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError`] if provisioning fails.
+    pub fn with_key(config: ProverConfig, key: &[u8; 16]) -> Result<Self, AttestError> {
+        let prover = Prover::provision(config.clone(), key, DEFAULT_IMAGE)?;
+        let verifier = Verifier::new(&config, key)?;
+        Ok(World { prover, verifier })
+    }
+
+    /// Advances both parties' clocks by `ms` (the prover idles).
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the prover's interrupt service faults.
+    pub fn advance_ms(&mut self, ms: u64) -> Result<(), AttestError> {
+        self.prover.advance_time_ms(ms)?;
+        self.verifier.advance_time_ms(ms);
+        Ok(())
+    }
+
+    /// Delivers a request to the prover, keeping wall time consistent: the
+    /// milliseconds the prover spends computing (up to ~754 ms for an
+    /// accepted request) also elapse on the verifier's clock.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Prover::handle_request`] returns — rejections included.
+    pub fn deliver(
+        &mut self,
+        request: &proverguard_attest::message::AttestRequest,
+    ) -> Result<proverguard_attest::message::AttestResponse, AttestError> {
+        let result = self.prover.handle_request(request);
+        let compute_ms = self.prover.last_cost().total_ms().round() as u64;
+        self.verifier.advance_time_ms(compute_ms);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_a_genuine_exchange() {
+        let mut w = World::new(ProverConfig::recommended()).unwrap();
+        let req = w.verifier.make_request().unwrap();
+        let resp = w.prover.handle_request(&req).unwrap();
+        assert!(w
+            .verifier
+            .check_response(&req, &resp, w.prover.expected_memory()));
+    }
+
+    #[test]
+    fn clocks_advance_in_lockstep() {
+        let mut w = World::new(ProverConfig::timestamp_hw64()).unwrap();
+        w.advance_ms(5000).unwrap();
+        let prover_ms = w.prover.now_ms().unwrap().unwrap();
+        assert_eq!(w.verifier.now_ms(), 5000);
+        assert!(prover_ms.abs_diff(5000) <= 1, "prover at {prover_ms}");
+    }
+}

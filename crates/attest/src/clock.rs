@@ -1,0 +1,254 @@
+//! Prover clocks: the dedicated hardware RTC (Figure 1a) and the software
+//! clock built from `Clock_LSB` + `Code_Clock` + `Clock_MSB` (Figure 1b).
+//!
+//! Both are read **through the bus** as `Code_Attest`, so reads respect
+//! EA-MPU rules, and the SW-clock's wrap-around interrupts are served by
+//! `Code_Clock` executing at its own program counter — which is how the
+//! `Clock_MSB` write-protection rule can allow the handler and deny
+//! malware.
+
+use proverguard_mcu::cycles::CLOCK_HZ;
+use proverguard_mcu::device::{timer_regs, Mcu, DEFAULT_TIMER_PRESCALER_LOG2, DEFAULT_TIMER_WIDTH};
+use proverguard_mcu::map;
+use proverguard_mcu::timer::TIMER_WRAP_VECTOR;
+
+use crate::error::AttestError;
+
+/// The entry point of `Code_Clock` — what the IDT must point at for the
+/// SW-clock to function.
+pub const CLOCK_HANDLER_ADDR: u32 = map::CLOCK_CODE.start;
+
+/// Which clock the prover uses for timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClockKind {
+    /// No clock (counter- or nonce-based deployments).
+    #[default]
+    None,
+    /// Dedicated 64-bit hardware register (Figure 1a).
+    Hw64,
+    /// Dedicated 32-bit register behind a ÷2²⁰ prescaler (§6.3).
+    Hw32Div,
+    /// Software clock (Figure 1b).
+    Software,
+}
+
+/// Prover-side clock access.
+#[derive(Debug, Clone)]
+pub enum ProverClock {
+    /// No clock installed.
+    None,
+    /// Read the dedicated RTC via MMIO.
+    Hw,
+    /// Combine `Clock_MSB` (RAM) with `Clock_LSB` (timer MMIO).
+    Sw(SwClock),
+}
+
+impl ProverClock {
+    /// Builds the accessor for `kind`.
+    #[must_use]
+    pub fn new(kind: ClockKind) -> Self {
+        match kind {
+            ClockKind::None => ProverClock::None,
+            ClockKind::Hw64 | ClockKind::Hw32Div => ProverClock::Hw,
+            ClockKind::Software => ProverClock::Sw(SwClock::new()),
+        }
+    }
+
+    /// Reads the current time in milliseconds as `Code_Attest`, or `None`
+    /// if no clock is installed.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the EA-MPU denies a read.
+    pub fn now_ms(&self, mcu: &mut Mcu) -> Result<Option<u64>, AttestError> {
+        match self {
+            ProverClock::None => Ok(None),
+            ProverClock::Hw => {
+                let prescaler = mcu.rtc().map_or(0, |r| r.prescaler_log2());
+                let ticks = mcu.read_rtc(map::ATTEST_PC)?;
+                Ok(Some(ticks_to_ms(ticks, prescaler)))
+            }
+            ProverClock::Sw(sw) => sw.now_ms(mcu).map(Some),
+        }
+    }
+
+    /// Services pending timer interrupts (SW-clock only; a no-op
+    /// otherwise). Call after advancing device time.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if `Code_Clock` is denied its own state —
+    /// a sign of a misconfigured rule set.
+    pub fn service_interrupts(&mut self, mcu: &mut Mcu) -> Result<ServiceReport, AttestError> {
+        match self {
+            ProverClock::Sw(sw) => sw.service_interrupts(mcu),
+            _ => Ok(ServiceReport::default()),
+        }
+    }
+}
+
+/// What happened during interrupt service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceReport {
+    /// Wrap interrupts served by the genuine `Code_Clock` handler.
+    pub served_by_code_clock: u32,
+    /// Wrap interrupts delivered to a *different* handler (IDT hijacked):
+    /// the SW-clock silently lost this much time.
+    pub diverted: u32,
+}
+
+/// The Figure 1b software clock.
+///
+/// `Clock_LSB` is the device timer; on wrap-around ① the interrupt engine
+/// delivers vector 0 to whatever the IDT names ②; the genuine handler,
+/// `Code_Clock`, increments `Clock_MSB` in protected RAM ③ so that
+/// `Clock_MSB ‖ Clock_LSB` forms a real-time clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwClock;
+
+impl SwClock {
+    /// Creates the accessor.
+    #[must_use]
+    pub fn new() -> Self {
+        SwClock
+    }
+
+    /// Drains pending interrupts, running `Code_Clock` for every delivery
+    /// that the IDT still routes to it.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the genuine handler is denied its own
+    /// `Clock_MSB` word.
+    pub fn service_interrupts(&mut self, mcu: &mut Mcu) -> Result<ServiceReport, AttestError> {
+        let mut report = ServiceReport::default();
+        while let Some((vector, handler)) = mcu.take_interrupt() {
+            if vector != TIMER_WRAP_VECTOR {
+                continue;
+            }
+            if handler == CLOCK_HANDLER_ADDR {
+                // Code_Clock executes: Clock_MSB += 1, at its own PC.
+                let mut buf = [0u8; 8];
+                mcu.bus_read(map::CLOCK_MSB.start, &mut buf, map::CLOCK_PC)?;
+                let msb = u64::from_le_bytes(buf).wrapping_add(1);
+                mcu.bus_write(map::CLOCK_MSB.start, &msb.to_le_bytes(), map::CLOCK_PC)?;
+                // A handful of cycles for the handler itself.
+                mcu.advance_active(20);
+                report.served_by_code_clock += 1;
+            } else {
+                // The IDT routes elsewhere: the wrap is lost to the clock.
+                report.diverted += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Reads `Clock_MSB ‖ Clock_LSB` as `Code_Attest` and converts to
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the EA-MPU denies a read.
+    pub fn now_ms(&self, mcu: &mut Mcu) -> Result<u64, AttestError> {
+        let mut buf = [0u8; 8];
+        mcu.bus_read(map::CLOCK_MSB.start, &mut buf, map::ATTEST_PC)?;
+        let msb = u64::from_le_bytes(buf);
+        let mut lsb_buf = [0u8; 8];
+        mcu.bus_read(
+            map::MMIO_TIMER.start + timer_regs::VALUE,
+            &mut lsb_buf,
+            map::ATTEST_PC,
+        )?;
+        let lsb = u64::from_le_bytes(lsb_buf);
+        let ticks = (msb << DEFAULT_TIMER_WIDTH) | lsb;
+        Ok(ticks_to_ms(ticks, DEFAULT_TIMER_PRESCALER_LOG2))
+    }
+}
+
+/// Converts prescaled ticks to milliseconds at 24 MHz.
+#[must_use]
+pub fn ticks_to_ms(ticks: u64, prescaler_log2: u32) -> u64 {
+    // ticks * 2^prescaler cycles, at 24e6 cycles/s -> ms.
+    (ticks.saturating_mul(1u64 << prescaler_log2)).saturating_mul(1000) / CLOCK_HZ
+}
+
+/// Converts milliseconds to prescaled ticks at 24 MHz.
+#[must_use]
+pub fn ms_to_ticks(ms: u64, prescaler_log2: u32) -> u64 {
+    ms.saturating_mul(CLOCK_HZ) / 1000 / (1u64 << prescaler_log2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proverguard_mcu::rtc::HwRtc;
+
+    #[test]
+    fn hw64_clock_reads_time() {
+        let mut mcu = Mcu::new();
+        mcu.install_rtc(HwRtc::wide64());
+        mcu.advance_idle(CLOCK_HZ); // 1 second
+        let clock = ProverClock::new(ClockKind::Hw64);
+        assert_eq!(clock.now_ms(&mut mcu).unwrap(), Some(1000));
+    }
+
+    #[test]
+    fn hw32_div_clock_has_42ms_resolution() {
+        let mut mcu = Mcu::new();
+        mcu.install_rtc(HwRtc::divided32());
+        mcu.advance_idle(CLOCK_HZ); // 1 second = ~22.9 ticks of 43.7 ms
+        let clock = ProverClock::new(ClockKind::Hw32Div);
+        let ms = clock.now_ms(&mut mcu).unwrap().unwrap();
+        assert!((900..=1000).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn none_clock_returns_none() {
+        let mut mcu = Mcu::new();
+        let clock = ProverClock::new(ClockKind::None);
+        assert_eq!(clock.now_ms(&mut mcu).unwrap(), None);
+    }
+
+    #[test]
+    fn sw_clock_tracks_time_when_serviced() {
+        let mut mcu = Mcu::new();
+        mcu.install_idt_entry(TIMER_WRAP_VECTOR, CLOCK_HANDLER_ADDR)
+            .unwrap();
+        let mut clock = ProverClock::new(ClockKind::Software);
+        // 3 seconds = ~68 wraps of the default 16-bit/÷16 timer.
+        mcu.advance_idle(3 * CLOCK_HZ);
+        let report = clock.service_interrupts(&mut mcu).unwrap();
+        assert!(report.served_by_code_clock > 60, "{report:?}");
+        assert_eq!(report.diverted, 0);
+        let ms = clock.now_ms(&mut mcu).unwrap().unwrap();
+        assert!((2950..=3050).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn sw_clock_stops_when_idt_hijacked() {
+        let mut mcu = Mcu::new();
+        // Malware pointed the vector at itself.
+        mcu.install_idt_entry(TIMER_WRAP_VECTOR, map::APP_CODE)
+            .unwrap();
+        let mut clock = ProverClock::new(ClockKind::Software);
+        mcu.advance_idle(2 * CLOCK_HZ);
+        let report = clock.service_interrupts(&mut mcu).unwrap();
+        assert_eq!(report.served_by_code_clock, 0);
+        assert!(report.diverted > 0);
+        // The clock shows only the LSB fraction — it lost the wraps.
+        let ms = clock.now_ms(&mut mcu).unwrap().unwrap();
+        assert!(
+            ms < 50,
+            "clock should have lost almost all time, got {ms} ms"
+        );
+    }
+
+    #[test]
+    fn ticks_ms_conversions_roundtrip() {
+        for ms in [0u64, 1, 42, 1000, 86_400_000] {
+            let ticks = ms_to_ticks(ms, 4);
+            let back = ticks_to_ms(ticks, 4);
+            assert!(back.abs_diff(ms) <= 1, "ms {ms} -> {back}");
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Secure clock synchronization — the paper's §7 future-work item 2.
+//!
+//! The timestamp defence of §4.2 assumes "synchronized clocks among both
+//! parties", and the paper defers the synchronization mechanism to future
+//! work. This module supplies one that inherits the prover-protection
+//! discipline of the rest of the system:
+//!
+//! - sync messages are **authenticated** with the shared key (a bogus
+//!   sync is rejected after one cheap MAC check — never a DoS vector);
+//! - they carry their own **monotonic counter**, persisted in the
+//!   EA-MAC-protected [`map::TRUST_STATE`] word, so replayed or reordered
+//!   syncs are dropped;
+//! - the correction is applied as a **bounded offset**: a single sync may
+//!   move the prover's notion of time forward by at most
+//!   [`SyncParams::max_forward_step_ms`] and backward by at most
+//!   [`SyncParams::max_backward_step_ms`]. A delayed genuine sync (which
+//!   carries stale time) therefore cannot wind the prover back by more
+//!   than the small backward bound — `Adv_ext`'s delay capability buys it
+//!   almost nothing.
+//!
+//! The hardware clock itself stays read-only; `Code_Attest` maintains the
+//! signed offset in protected RAM and adds it when reading time.
+
+use proverguard_mcu::device::Mcu;
+use proverguard_mcu::map;
+
+use crate::error::{AttestError, RejectReason};
+
+/// Default bound on a single forward correction (ms).
+pub const DEFAULT_MAX_FORWARD_STEP_MS: u64 = 60_000;
+
+/// Default bound on a single backward correction (ms) — kept small so a
+/// delayed sync cannot meaningfully rewind the prover.
+pub const DEFAULT_MAX_BACKWARD_STEP_MS: u64 = 1_000;
+
+/// Correction bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncParams {
+    /// Maximum forward adjustment per sync, in ms.
+    pub max_forward_step_ms: u64,
+    /// Maximum backward adjustment per sync, in ms.
+    pub max_backward_step_ms: u64,
+}
+
+impl Default for SyncParams {
+    fn default() -> Self {
+        SyncParams {
+            max_forward_step_ms: DEFAULT_MAX_FORWARD_STEP_MS,
+            max_backward_step_ms: DEFAULT_MAX_BACKWARD_STEP_MS,
+        }
+    }
+}
+
+/// An authenticated clock-synchronization message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncRequest {
+    /// Monotonic sync counter (independent of the attestation counter).
+    pub counter: u64,
+    /// The verifier's time in milliseconds.
+    pub verifier_time_ms: u64,
+    /// Authenticator over [`SyncRequest::signed_bytes`].
+    pub auth: Vec<u8>,
+}
+
+impl SyncRequest {
+    /// The bytes the authenticator covers.
+    #[must_use]
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(18);
+        out.extend_from_slice(b"SY"); // domain separation from attreq
+        out.extend_from_slice(&self.counter.to_be_bytes());
+        out.extend_from_slice(&self.verifier_time_ms.to_be_bytes());
+        out
+    }
+}
+
+/// What a successful sync did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// The raw offset the verifier's time implied, in ms (positive =
+    /// prover was behind).
+    pub measured_skew_ms: i64,
+    /// The correction actually applied after clamping, in ms.
+    pub applied_ms: i64,
+    /// The prover's synced time after correction, in ms.
+    pub synced_now_ms: u64,
+}
+
+// ---- protected state accessors (all as Code_Attest) -----------------------
+
+const OFFSET_ADDR: u32 = map::TRUST_STATE.start;
+const SYNC_COUNTER_ADDR: u32 = map::TRUST_STATE.start + 8;
+
+/// Reads the signed clock offset from protected RAM.
+///
+/// # Errors
+///
+/// [`AttestError::Device`] if the EA-MPU denies the read.
+pub fn read_offset_ms(mcu: &mut Mcu) -> Result<i64, AttestError> {
+    let mut buf = [0u8; 8];
+    mcu.bus_read(OFFSET_ADDR, &mut buf, map::ATTEST_PC)?;
+    Ok(i64::from_le_bytes(buf))
+}
+
+/// Writes the signed clock offset (as `Code_Attest`).
+///
+/// # Errors
+///
+/// [`AttestError::Device`] if the EA-MPU denies the write.
+pub fn write_offset_ms(mcu: &mut Mcu, offset: i64) -> Result<(), AttestError> {
+    mcu.bus_write(OFFSET_ADDR, &offset.to_le_bytes(), map::ATTEST_PC)?;
+    Ok(())
+}
+
+fn read_sync_counter(mcu: &mut Mcu) -> Result<u64, AttestError> {
+    let mut buf = [0u8; 8];
+    mcu.bus_read(SYNC_COUNTER_ADDR, &mut buf, map::ATTEST_PC)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_sync_counter(mcu: &mut Mcu, value: u64) -> Result<(), AttestError> {
+    mcu.bus_write(SYNC_COUNTER_ADDR, &value.to_le_bytes(), map::ATTEST_PC)?;
+    Ok(())
+}
+
+/// Applies a *pre-authenticated* sync request: checks the counter, clamps
+/// the correction, updates the protected offset.
+///
+/// Authentication is the caller's job ([`crate::prover::Prover`] runs it
+/// through the same [`RequestChecker`](crate::auth::RequestChecker) as
+/// attestation requests).
+///
+/// # Errors
+///
+/// - [`AttestError::Rejected`]`(StaleCounter)` for replayed/reordered
+///   syncs.
+/// - [`AttestError::Device`] on EA-MPU faults.
+pub fn apply_sync(
+    mcu: &mut Mcu,
+    params: &SyncParams,
+    request: &SyncRequest,
+    raw_now_ms: u64,
+) -> Result<SyncOutcome, AttestError> {
+    let last = read_sync_counter(mcu)?;
+    if request.counter <= last {
+        return Err(AttestError::Rejected(RejectReason::StaleCounter));
+    }
+
+    let offset = read_offset_ms(mcu)?;
+    let synced_now = apply_offset(raw_now_ms, offset);
+    let measured_skew = request.verifier_time_ms as i64 - synced_now as i64;
+    let applied = measured_skew.clamp(
+        -(params.max_backward_step_ms as i64),
+        params.max_forward_step_ms as i64,
+    );
+
+    write_offset_ms(mcu, offset + applied)?;
+    write_sync_counter(mcu, request.counter)?;
+    Ok(SyncOutcome {
+        measured_skew_ms: measured_skew,
+        applied_ms: applied,
+        synced_now_ms: apply_offset(raw_now_ms, offset + applied),
+    })
+}
+
+/// Adds a signed offset to a raw clock reading, saturating at zero.
+#[must_use]
+pub fn apply_offset(raw_ms: u64, offset_ms: i64) -> u64 {
+    if offset_ms >= 0 {
+        raw_ms.saturating_add(offset_ms as u64)
+    } else {
+        raw_ms.saturating_sub(offset_ms.unsigned_abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(counter: u64, time: u64) -> SyncRequest {
+        SyncRequest {
+            counter,
+            verifier_time_ms: time,
+            auth: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn forward_correction_applied() {
+        let mut mcu = Mcu::new();
+        let params = SyncParams::default();
+        // Prover reads 1000, verifier says 1500.
+        let out = apply_sync(&mut mcu, &params, &request(1, 1500), 1000).unwrap();
+        assert_eq!(out.measured_skew_ms, 500);
+        assert_eq!(out.applied_ms, 500);
+        assert_eq!(out.synced_now_ms, 1500);
+        assert_eq!(read_offset_ms(&mut mcu).unwrap(), 500);
+    }
+
+    #[test]
+    fn backward_correction_clamped() {
+        let mut mcu = Mcu::new();
+        let params = SyncParams::default();
+        // Prover is 10 s ahead; only 1 s of rewind is allowed per sync.
+        let out = apply_sync(&mut mcu, &params, &request(1, 10_000), 20_000).unwrap();
+        assert_eq!(out.measured_skew_ms, -10_000);
+        assert_eq!(out.applied_ms, -1_000);
+        assert_eq!(out.synced_now_ms, 19_000);
+    }
+
+    #[test]
+    fn forward_correction_clamped() {
+        let mut mcu = Mcu::new();
+        let params = SyncParams {
+            max_forward_step_ms: 100,
+            max_backward_step_ms: 100,
+        };
+        let out = apply_sync(&mut mcu, &params, &request(1, 5_000), 0).unwrap();
+        assert_eq!(out.applied_ms, 100);
+    }
+
+    #[test]
+    fn replayed_sync_rejected() {
+        let mut mcu = Mcu::new();
+        let params = SyncParams::default();
+        apply_sync(&mut mcu, &params, &request(5, 1000), 900).unwrap();
+        let err = apply_sync(&mut mcu, &params, &request(5, 1000), 1100).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::StaleCounter));
+        // Reordered (older) sync also rejected.
+        let err = apply_sync(&mut mcu, &params, &request(3, 900), 1100).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::StaleCounter));
+    }
+
+    #[test]
+    fn delayed_sync_cannot_rewind_meaningfully() {
+        let mut mcu = Mcu::new();
+        let params = SyncParams::default();
+        // Adv_ext held a genuine sync (sent at t=1000) for 60 s; prover's
+        // clock legitimately reads 61 000 when it arrives.
+        let out = apply_sync(&mut mcu, &params, &request(1, 1000), 61_000).unwrap();
+        assert_eq!(out.applied_ms, -(DEFAULT_MAX_BACKWARD_STEP_MS as i64));
+        assert_eq!(out.synced_now_ms, 60_000);
+    }
+
+    #[test]
+    fn corrections_accumulate() {
+        let mut mcu = Mcu::new();
+        let params = SyncParams::default();
+        apply_sync(&mut mcu, &params, &request(1, 2_000), 1_000).unwrap();
+        // Raw clock advanced to 3_000; offset 1_000 makes synced 4_000.
+        let out = apply_sync(&mut mcu, &params, &request(2, 4_500), 3_000).unwrap();
+        assert_eq!(out.measured_skew_ms, 500);
+        assert_eq!(read_offset_ms(&mut mcu).unwrap(), 1_500);
+    }
+
+    #[test]
+    fn apply_offset_saturates() {
+        assert_eq!(apply_offset(100, -200), 0);
+        assert_eq!(apply_offset(u64::MAX, 10), u64::MAX);
+        assert_eq!(apply_offset(100, 50), 150);
+        assert_eq!(apply_offset(100, -50), 50);
+    }
+
+    #[test]
+    fn signed_bytes_are_domain_separated() {
+        let sync = request(1, 2);
+        assert_eq!(&sync.signed_bytes()[..2], b"SY");
+        assert_eq!(sync.signed_bytes().len(), 18);
+    }
+}

@@ -1,0 +1,153 @@
+//! Attestation-layer errors and rejection reasons.
+
+use std::error::Error;
+use std::fmt;
+
+use proverguard_crypto::CryptoError;
+use proverguard_mcu::McuError;
+
+/// Why the prover rejected an attestation request *before* doing the
+/// expensive work — the whole point of the paper's defences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The request's MAC or signature did not verify.
+    BadAuth,
+    /// The nonce was already seen (nonce-history policy).
+    NonceReused,
+    /// The counter was not strictly greater than `counter_R`.
+    StaleCounter,
+    /// The timestamp was not newer than the last accepted one.
+    TimestampNotMonotonic,
+    /// The timestamp is too far from the prover's clock (delayed or
+    /// clock-skewed request).
+    TimestampOutOfWindow,
+    /// The request carried a freshness field of the wrong kind for the
+    /// prover's policy.
+    FreshnessKindMismatch,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::BadAuth => write!(f, "request authentication failed"),
+            RejectReason::NonceReused => write!(f, "nonce already seen"),
+            RejectReason::StaleCounter => write!(f, "counter not strictly increasing"),
+            RejectReason::TimestampNotMonotonic => {
+                write!(f, "timestamp not newer than last accepted")
+            }
+            RejectReason::TimestampOutOfWindow => {
+                write!(f, "timestamp outside the acceptance window")
+            }
+            RejectReason::FreshnessKindMismatch => {
+                write!(f, "freshness field kind does not match the policy")
+            }
+        }
+    }
+}
+
+/// Errors surfaced by the attestation layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttestError {
+    /// The prover rejected the request (the defences worked).
+    Rejected(RejectReason),
+    /// A cryptographic operation failed.
+    Crypto(CryptoError),
+    /// The device raised a fault (MPU violation, bus fault, …).
+    Device(McuError),
+    /// The configuration requires a clock the device does not have.
+    MissingClock,
+    /// A message failed to parse.
+    MalformedMessage {
+        /// Explanation.
+        reason: String,
+    },
+    /// Configuration is internally inconsistent (e.g. timestamp freshness
+    /// without any clock).
+    BadConfig {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttestError::Rejected(reason) => write!(f, "request rejected: {reason}"),
+            AttestError::Crypto(e) => write!(f, "crypto error: {e}"),
+            AttestError::Device(e) => write!(f, "device error: {e}"),
+            AttestError::MissingClock => write!(f, "prover has no clock installed"),
+            AttestError::MalformedMessage { reason } => {
+                write!(f, "malformed message: {reason}")
+            }
+            AttestError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for AttestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttestError::Crypto(e) => Some(e),
+            AttestError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for AttestError {
+    fn from(e: CryptoError) -> Self {
+        AttestError::Crypto(e)
+    }
+}
+
+impl From<McuError> for AttestError {
+    fn from(e: McuError) -> Self {
+        AttestError::Device(e)
+    }
+}
+
+impl AttestError {
+    /// `true` iff this error is a rejection (detection), not a failure.
+    #[must_use]
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, AttestError::Rejected(_))
+    }
+
+    /// The rejection reason, if this is a rejection.
+    #[must_use]
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        match self {
+            AttestError::Rejected(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AttestError::Rejected(RejectReason::BadAuth);
+        assert_eq!(
+            e.to_string(),
+            "request rejected: request authentication failed"
+        );
+        assert!(e.is_rejection());
+        assert_eq!(e.reject_reason(), Some(RejectReason::BadAuth));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let e: AttestError = CryptoError::BadMac.into();
+        assert!(matches!(e, AttestError::Crypto(CryptoError::BadMac)));
+        assert!(e.source().is_some());
+        assert!(!e.is_rejection());
+
+        let e: AttestError = McuError::MpuLocked.into();
+        assert!(matches!(e, AttestError::Device(McuError::MpuLocked)));
+    }
+}

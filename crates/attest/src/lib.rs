@@ -1,0 +1,61 @@
+//! Prover-side DoS-protected remote attestation.
+//!
+//! This crate is the reproduction's **core library**: the attestation
+//! protocol of the DAC'16 paper *"Remote Attestation for Low-End Embedded
+//! Devices: the Prover's Perspective"*, with every prover-protection
+//! mechanism the paper proposes:
+//!
+//! - **Request authentication** (§4.1): the verifier authenticates each
+//!   `attreq` with a symmetric MAC ([`auth::AuthMethod::Mac`]) — or, to
+//!   demonstrate the paper's "authentication-as-DoS paradox", with an
+//!   ECDSA signature ([`auth::AuthMethod::Ecdsa`]).
+//! - **Freshness** (§4.2): nonce history, monotonic counter, or timestamp
+//!   ([`freshness`]), with the trade-offs of Table 2.
+//! - **`Adv_roam` hardening** (§5–6): `K_Attest`, `counter_R`, the clock
+//!   and the IDT protected by execution-aware MPU rules installed by
+//!   secure boot ([`profile`]), for both the dedicated-hardware-clock
+//!   prototype (Figure 1a) and the SW-clock prototype (Figure 1b,
+//!   [`clock::SwClock`]).
+//!
+//! The [`prover::Prover`] runs on the simulated MCU from
+//! [`proverguard_mcu`]; every access it makes to key, counter, clock and
+//! RAM goes through the EA-MPU as `Code_Attest` / `Code_Clock`, so the
+//! adversary crate can attack exactly the surfaces the paper analyses.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use proverguard_attest::prover::{Prover, ProverConfig};
+//! use proverguard_attest::verifier::Verifier;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ProverConfig::recommended();
+//! let key = [0x42u8; 16];
+//! let mut prover = Prover::provision(config.clone(), &key, b"app v1")?;
+//! let mut verifier = Verifier::new(&config, &key)?;
+//!
+//! let request = verifier.make_request()?;
+//! let response = prover.handle_request(&request)?;
+//! assert!(verifier.check_response(&request, &response, prover.expected_memory()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod clock;
+pub mod clocksync;
+pub mod error;
+pub mod freshness;
+pub mod message;
+pub mod profile;
+pub mod prover;
+pub mod services;
+pub mod verifier;
+
+pub use error::{AttestError, RejectReason};
+pub use message::{AttestRequest, AttestResponse, FreshnessField};
+pub use prover::{Prover, ProverConfig};
+pub use verifier::Verifier;

@@ -1,0 +1,266 @@
+//! Protocol messages and their wire encoding.
+//!
+//! An `attreq` carries a freshness field (nonce, counter or timestamp — or
+//! nothing, for the unprotected strawman), a 16-byte challenge, and an
+//! authenticator computed over the serialized header. The paper assumes
+//! requests fit in one primitive block (§4.1); our header is 26 bytes,
+//! within a single 64-byte HMAC block.
+
+use crate::error::AttestError;
+
+/// Size of the challenge the verifier includes in each request.
+pub const CHALLENGE_SIZE: usize = 16;
+
+/// Size of a nonce in the nonce-history policy.
+pub const NONCE_SIZE: usize = 16;
+
+/// Protocol version byte.
+pub const VERSION: u8 = 1;
+
+/// The freshness field of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FreshnessField {
+    /// No freshness information (vulnerable strawman).
+    None,
+    /// A unique random nonce.
+    Nonce([u8; NONCE_SIZE]),
+    /// A monotonically increasing counter.
+    Counter(u64),
+    /// A verifier timestamp in milliseconds.
+    Timestamp(u64),
+}
+
+impl FreshnessField {
+    fn kind_byte(&self) -> u8 {
+        match self {
+            FreshnessField::None => 0,
+            FreshnessField::Nonce(_) => 1,
+            FreshnessField::Counter(_) => 2,
+            FreshnessField::Timestamp(_) => 3,
+        }
+    }
+}
+
+/// An attestation request (`attreq`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestRequest {
+    /// Freshness field.
+    pub freshness: FreshnessField,
+    /// Verifier challenge, bound into the response MAC.
+    pub challenge: [u8; CHALLENGE_SIZE],
+    /// Authenticator over the serialized header (MAC tag or ECDSA
+    /// signature bytes); empty when the configuration does not
+    /// authenticate requests.
+    pub auth: Vec<u8>,
+}
+
+impl AttestRequest {
+    /// The bytes the authenticator covers: everything except `auth`.
+    #[must_use]
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + 16 + CHALLENGE_SIZE);
+        out.push(VERSION);
+        out.push(self.freshness.kind_byte());
+        match self.freshness {
+            FreshnessField::None => {}
+            FreshnessField::Nonce(n) => out.extend_from_slice(&n),
+            FreshnessField::Counter(c) => out.extend_from_slice(&c.to_be_bytes()),
+            FreshnessField::Timestamp(t) => out.extend_from_slice(&t.to_be_bytes()),
+        }
+        out.extend_from_slice(&self.challenge);
+        out
+    }
+
+    /// Serializes the full request (header ‖ auth-length ‖ auth).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.signed_bytes();
+        out.extend_from_slice(&(self.auth.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.auth);
+        out
+    }
+
+    /// Parses a request serialized by [`AttestRequest::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::MalformedMessage`] on truncation or unknown fields.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, AttestError> {
+        let malformed = |reason: &str| AttestError::MalformedMessage {
+            reason: reason.to_string(),
+        };
+        let mut idx = 0usize;
+        let take = |idx: &mut usize, n: usize| -> Result<&[u8], AttestError> {
+            let end = idx
+                .checked_add(n)
+                .ok_or_else(|| malformed("length overflow"))?;
+            if end > bytes.len() {
+                return Err(malformed("truncated message"));
+            }
+            let slice = &bytes[*idx..end];
+            *idx = end;
+            Ok(slice)
+        };
+
+        let version = take(&mut idx, 1)?[0];
+        if version != VERSION {
+            return Err(malformed("unsupported version"));
+        }
+        let kind = take(&mut idx, 1)?[0];
+        let freshness = match kind {
+            0 => FreshnessField::None,
+            1 => {
+                let mut n = [0u8; NONCE_SIZE];
+                n.copy_from_slice(take(&mut idx, NONCE_SIZE)?);
+                FreshnessField::Nonce(n)
+            }
+            2 => FreshnessField::Counter(u64::from_be_bytes(
+                take(&mut idx, 8)?.try_into().expect("slice is 8 bytes"),
+            )),
+            3 => FreshnessField::Timestamp(u64::from_be_bytes(
+                take(&mut idx, 8)?.try_into().expect("slice is 8 bytes"),
+            )),
+            _ => return Err(malformed("unknown freshness kind")),
+        };
+        let mut challenge = [0u8; CHALLENGE_SIZE];
+        challenge.copy_from_slice(take(&mut idx, CHALLENGE_SIZE)?);
+        let auth_len =
+            u16::from_be_bytes(take(&mut idx, 2)?.try_into().expect("slice is 2 bytes")) as usize;
+        let auth = take(&mut idx, auth_len)?.to_vec();
+        if idx != bytes.len() {
+            return Err(malformed("trailing bytes"));
+        }
+        Ok(AttestRequest {
+            freshness,
+            challenge,
+            auth,
+        })
+    }
+}
+
+/// An attestation response: the MAC over the prover's memory, bound to the
+/// request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttestResponse {
+    /// `MAC(K_Attest, request_header ‖ memory)`.
+    pub report: Vec<u8>,
+}
+
+impl AttestResponse {
+    /// Serializes the response.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.report.len());
+        out.extend_from_slice(&(self.report.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.report);
+        out
+    }
+
+    /// Parses a response serialized by [`AttestResponse::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::MalformedMessage`] on truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, AttestError> {
+        if bytes.len() < 2 {
+            return Err(AttestError::MalformedMessage {
+                reason: "truncated".to_string(),
+            });
+        }
+        let len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        if bytes.len() != 2 + len {
+            return Err(AttestError::MalformedMessage {
+                reason: "length mismatch".to_string(),
+            });
+        }
+        Ok(AttestResponse {
+            report: bytes[2..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(freshness: FreshnessField) -> AttestRequest {
+        AttestRequest {
+            freshness,
+            challenge: [7; CHALLENGE_SIZE],
+            auth: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_freshness_kinds() {
+        for f in [
+            FreshnessField::None,
+            FreshnessField::Nonce([9; NONCE_SIZE]),
+            FreshnessField::Counter(u64::MAX),
+            FreshnessField::Timestamp(123_456),
+        ] {
+            let req = sample(f);
+            let parsed = AttestRequest::from_bytes(&req.to_bytes()).unwrap();
+            assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn signed_bytes_exclude_auth() {
+        let mut req = sample(FreshnessField::Counter(5));
+        let signed = req.signed_bytes();
+        req.auth = vec![9, 9, 9, 9];
+        assert_eq!(
+            req.signed_bytes(),
+            signed,
+            "auth must not affect signed bytes"
+        );
+    }
+
+    #[test]
+    fn header_fits_one_hmac_block() {
+        let req = sample(FreshnessField::Nonce([0; NONCE_SIZE]));
+        assert!(
+            req.signed_bytes().len() <= 64,
+            "header must fit one 64-byte block"
+        );
+    }
+
+    #[test]
+    fn truncated_request_rejected() {
+        let bytes = sample(FreshnessField::Counter(1)).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                AttestRequest::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample(FreshnessField::None).to_bytes();
+        bytes.push(0);
+        assert!(AttestRequest::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_and_version_rejected() {
+        let mut bytes = sample(FreshnessField::None).to_bytes();
+        bytes[1] = 7; // freshness kind
+        assert!(AttestRequest::from_bytes(&bytes).is_err());
+        let mut bytes = sample(FreshnessField::None).to_bytes();
+        bytes[0] = 99; // version
+        assert!(AttestRequest::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = AttestResponse {
+            report: vec![0xab; 20],
+        };
+        assert_eq!(AttestResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
+        assert!(AttestResponse::from_bytes(&resp.to_bytes()[..5]).is_err());
+        assert!(AttestResponse::from_bytes(&[]).is_err());
+    }
+}

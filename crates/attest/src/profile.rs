@@ -1,0 +1,165 @@
+//! Protection profiles: the EA-MPU rule sets of §6.2 / Figure 1.
+//!
+//! [`rules_for`] produces the rules secure boot installs for a given
+//! protection level and clock choice. The `Open` profile installs nothing
+//! — it is the paper's strawman whose key, counter and clock `Adv_roam`
+//! can manipulate at will.
+
+use proverguard_mcu::map;
+use proverguard_mcu::mpu::{Permissions, Rule};
+
+use crate::clock::ClockKind;
+
+/// How hard the prover's critical state is protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Protection {
+    /// No EA-MPU rules, MPU unlocked: the vulnerable baseline.
+    Open,
+    /// Execution-aware memory access control per §6.2, locked by secure
+    /// boot.
+    #[default]
+    EaMac,
+}
+
+/// The rules secure boot installs for `protection` + `clock`.
+///
+/// With [`Protection::EaMac`]:
+///
+/// 1. `MPU-lockdown` — the configuration registers become read-only for
+///    everyone (Figure 1a: "EA-MPU set up at system start by a secure boot
+///    mechanism").
+/// 2. `K_Attest` — readable only by `Code_Attest`, writable by no one.
+/// 3. `counter_R` — read/write only by `Code_Attest`.
+/// 4. Clock rules:
+///    - hardware clocks: the RTC MMIO window is readable by everyone and
+///      writable by no one;
+///    - SW-clock: `Clock_MSB` owned by `Code_Clock` (with read access for
+///      `Code_Attest`), the IDT write-locked, and the timer control
+///      register write-locked ("disabling the timer interrupt must also
+///      be prevented").
+#[must_use]
+pub fn rules_for(protection: Protection, clock: ClockKind) -> Vec<Rule> {
+    match protection {
+        Protection::Open => Vec::new(),
+        Protection::EaMac => {
+            let mut rules = vec![
+                Rule::new(
+                    "MPU-lockdown",
+                    map::MMIO_MPU_CONFIG,
+                    map::ALL_CODE,
+                    Permissions::READ_ONLY,
+                ),
+                Rule::new(
+                    "K_Attest",
+                    map::ATTEST_KEY,
+                    map::ATTEST_CODE,
+                    Permissions::READ_ONLY,
+                ),
+                Rule::new(
+                    "counter_R",
+                    map::COUNTER_R,
+                    map::ATTEST_CODE,
+                    Permissions::READ_WRITE,
+                ),
+                // Extension state for the §7 services (clock-sync offset
+                // and per-service counters) — same ownership as counter_R.
+                Rule::new(
+                    "trust-state",
+                    map::TRUST_STATE,
+                    map::ATTEST_CODE,
+                    Permissions::READ_WRITE,
+                ),
+            ];
+            match clock {
+                ClockKind::None => {}
+                ClockKind::Hw64 | ClockKind::Hw32Div => {
+                    rules.push(Rule::new(
+                        "RTC",
+                        map::MMIO_RTC,
+                        map::ALL_CODE,
+                        Permissions::READ_ONLY,
+                    ));
+                }
+                ClockKind::Software => {
+                    rules.push(Rule::new(
+                        "Clock_MSB",
+                        map::CLOCK_MSB,
+                        map::CLOCK_CODE,
+                        Permissions::READ_WRITE,
+                    ));
+                    rules.push(Rule::new(
+                        "Clock_MSB-read",
+                        map::CLOCK_MSB,
+                        map::ATTEST_CODE,
+                        Permissions::READ_ONLY,
+                    ));
+                    rules.push(Rule::new(
+                        "IDT",
+                        map::IDT,
+                        map::ALL_CODE,
+                        Permissions::READ_ONLY,
+                    ));
+                    rules.push(Rule::new(
+                        "Timer-control",
+                        map::MMIO_TIMER,
+                        map::ALL_CODE,
+                        Permissions::READ_ONLY,
+                    ));
+                }
+            }
+            rules
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_profile_installs_nothing() {
+        assert!(rules_for(Protection::Open, ClockKind::Software).is_empty());
+    }
+
+    #[test]
+    fn eamac_base_has_four_rules() {
+        let rules = rules_for(Protection::EaMac, ClockKind::None);
+        assert_eq!(rules.len(), 4);
+        let names: Vec<&str> = rules.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"MPU-lockdown"));
+        assert!(names.contains(&"K_Attest"));
+        assert!(names.contains(&"counter_R"));
+        assert!(names.contains(&"trust-state"));
+    }
+
+    #[test]
+    fn hardware_clock_adds_one_rule() {
+        for kind in [ClockKind::Hw64, ClockKind::Hw32Div] {
+            let rules = rules_for(Protection::EaMac, kind);
+            assert_eq!(rules.len(), 5, "{kind:?}");
+            assert!(rules.iter().any(|r| r.name == "RTC"));
+        }
+    }
+
+    #[test]
+    fn sw_clock_adds_four_rules() {
+        let rules = rules_for(Protection::EaMac, ClockKind::Software);
+        assert_eq!(rules.len(), 8);
+        for name in ["Clock_MSB", "Clock_MSB-read", "IDT", "Timer-control"] {
+            assert!(rules.iter().any(|r| r.name == name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn rule_count_fits_default_mpu() {
+        use proverguard_mcu::device::DEFAULT_MPU_CAPACITY;
+        for clock in [
+            ClockKind::None,
+            ClockKind::Hw64,
+            ClockKind::Hw32Div,
+            ClockKind::Software,
+        ] {
+            assert!(rules_for(Protection::EaMac, clock).len() <= DEFAULT_MPU_CAPACITY);
+        }
+    }
+}

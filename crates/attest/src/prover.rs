@@ -1,0 +1,558 @@
+//! The prover: `Code_Attest` running on the simulated device.
+//!
+//! [`Prover::handle_request`] implements the full §4/§5 pipeline in the
+//! order that makes the defences effective: **authenticate first, check
+//! freshness second, and only then** pay the ~754 ms whole-memory MAC. A
+//! rejected request costs the prover at most one primitive-block check
+//! (0.017–0.43 ms, or 170.9 ms for the ruled-out ECDSA variant), which is
+//! the entire DoS-mitigation argument in measurable form.
+
+use proverguard_crypto::mac::{MacAlgorithm, MacKey};
+use proverguard_mcu::boot::{image_digest, SecureBoot};
+use proverguard_mcu::device::Mcu;
+use proverguard_mcu::map;
+use proverguard_mcu::rtc::HwRtc;
+use proverguard_mcu::timer::TIMER_WRAP_VECTOR;
+use proverguard_mcu::CLOCK_HZ;
+
+use crate::auth::{AuthMethod, RequestChecker, RequestSigner};
+use crate::clock::{ClockKind, ProverClock, CLOCK_HANDLER_ADDR};
+use crate::clocksync::{self, SyncOutcome, SyncParams, SyncRequest};
+use crate::error::{AttestError, RejectReason};
+use crate::freshness::{FreshnessKind, FreshnessPolicy};
+use crate::message::{AttestRequest, AttestResponse};
+use crate::profile::{rules_for, Protection};
+use crate::services::{self, CommandReceipt, CommandRequest};
+
+/// Static configuration of a prover deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProverConfig {
+    /// How requests are authenticated (§4.1).
+    pub auth: AuthMethod,
+    /// Which freshness mechanism is used (§4.2).
+    pub freshness: FreshnessKind,
+    /// Which clock the device has (§6.2).
+    pub clock: ClockKind,
+    /// Whether EA-MAC rules protect the critical state (§5/§6).
+    pub protection: Protection,
+    /// The MAC used for the attestation *response* over memory.
+    pub response_mac: MacAlgorithm,
+}
+
+impl ProverConfig {
+    /// The paper's recommended lightweight deployment: Speck-authenticated
+    /// requests, a monotonic counter, EA-MAC protection (replay + reorder
+    /// mitigation at 0.017 ms per bogus request).
+    #[must_use]
+    pub fn recommended() -> Self {
+        ProverConfig {
+            auth: AuthMethod::Mac(MacAlgorithm::Speck64Cbc),
+            freshness: FreshnessKind::Counter,
+            clock: ClockKind::None,
+            protection: Protection::EaMac,
+            response_mac: MacAlgorithm::HmacSha1,
+        }
+    }
+
+    /// The fully protected timestamp deployment on the Figure 1a 64-bit
+    /// hardware clock (also mitigates delay attacks).
+    #[must_use]
+    pub fn timestamp_hw64() -> Self {
+        ProverConfig {
+            auth: AuthMethod::Mac(MacAlgorithm::Speck64Cbc),
+            freshness: FreshnessKind::Timestamp,
+            clock: ClockKind::Hw64,
+            protection: Protection::EaMac,
+            response_mac: MacAlgorithm::HmacSha1,
+        }
+    }
+
+    /// The Figure 1b deployment: timestamps on the SW-clock.
+    #[must_use]
+    pub fn timestamp_sw_clock() -> Self {
+        ProverConfig {
+            clock: ClockKind::Software,
+            ..Self::timestamp_hw64()
+        }
+    }
+
+    /// The vulnerable strawman of §3.1: no authentication, no freshness,
+    /// no protection. Every bogus request costs the full memory MAC.
+    #[must_use]
+    pub fn unprotected() -> Self {
+        ProverConfig {
+            auth: AuthMethod::None,
+            freshness: FreshnessKind::None,
+            clock: ClockKind::None,
+            protection: Protection::Open,
+            response_mac: MacAlgorithm::HmacSha1,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::BadConfig`] if timestamps are configured without a
+    /// clock.
+    pub fn validate(&self) -> Result<(), AttestError> {
+        if self.freshness == FreshnessKind::Timestamp && self.clock == ClockKind::None {
+            return Err(AttestError::BadConfig {
+                reason: "timestamp freshness requires a clock".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Cycle cost of the last handled request, by pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostBreakdown {
+    /// Request-authentication cycles.
+    pub auth_cycles: u64,
+    /// Freshness-check cycles (bus accesses + comparison).
+    pub freshness_cycles: u64,
+    /// Whole-memory response MAC cycles (0 when the request was rejected).
+    pub response_cycles: u64,
+}
+
+impl CostBreakdown {
+    /// Total cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.auth_cycles + self.freshness_cycles + self.response_cycles
+    }
+
+    /// Total milliseconds on the 24 MHz device.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.total() as f64 / CLOCK_HZ as f64 * 1e3
+    }
+}
+
+/// Cumulative prover statistics (for DoS experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProverStats {
+    /// Requests received.
+    pub requests_seen: u64,
+    /// Requests that passed all checks and were answered.
+    pub accepted: u64,
+    /// Requests dropped by authentication.
+    pub rejected_auth: u64,
+    /// Requests dropped by the freshness policy.
+    pub rejected_freshness: u64,
+    /// Total attestation-related cycles spent.
+    pub attestation_cycles: u64,
+}
+
+/// Nominal cycles for the freshness bookkeeping itself (a few bus words).
+const FRESHNESS_OVERHEAD_CYCLES: u64 = 64;
+
+/// The prover device plus its trust anchor.
+#[derive(Debug, Clone)]
+pub struct Prover {
+    mcu: Mcu,
+    config: ProverConfig,
+    checker: RequestChecker,
+    policy: FreshnessPolicy,
+    clock: ProverClock,
+    response_key: MacKey,
+    sync_params: SyncParams,
+    stats: ProverStats,
+    last_cost: CostBreakdown,
+}
+
+impl Prover {
+    /// Manufactures, provisions and boots a prover device.
+    ///
+    /// Provisioning burns `key` (`K_Attest`) into ROM and programs
+    /// `app_image` into flash. With [`Protection::EaMac`] the device then
+    /// secure-boots: the image hash is verified, the
+    /// [`profile`](crate::profile) rules are installed, and the EA-MPU is
+    /// locked. With [`Protection::Open`] the device boots straight into
+    /// the application with no protections — the vulnerable baseline.
+    ///
+    /// # Errors
+    ///
+    /// - [`AttestError::BadConfig`] for inconsistent configurations.
+    /// - [`AttestError::Device`] if provisioning or boot fails.
+    /// - [`AttestError::Crypto`] if `key` does not fit the configured
+    ///   algorithms.
+    pub fn provision(
+        config: ProverConfig,
+        key: &[u8; 16],
+        app_image: &[u8],
+    ) -> Result<Self, AttestError> {
+        config.validate()?;
+        let mut mcu = Mcu::new();
+        mcu.provision_attest_key(key)?;
+        mcu.program_flash(app_image)?;
+
+        match config.clock {
+            ClockKind::None => {}
+            ClockKind::Hw64 => mcu.install_rtc(HwRtc::wide64()),
+            ClockKind::Hw32Div => mcu.install_rtc(HwRtc::divided32()),
+            ClockKind::Software => {
+                mcu.install_idt_entry(TIMER_WRAP_VECTOR, CLOCK_HANDLER_ADDR)?;
+            }
+        }
+
+        if config.protection == Protection::EaMac {
+            // §6.2: runtime attacks on the trust anchors are addressed by
+            // limiting code entry points.
+            mcu.install_entry_point(map::ATTEST_CODE, map::ATTEST_CODE.start);
+            mcu.install_entry_point(map::CLOCK_CODE, CLOCK_HANDLER_ADDR);
+            let reference = image_digest(mcu.physical_memory().flash());
+            let rules = rules_for(config.protection, config.clock);
+            SecureBoot::new(reference).run(&mut mcu, &rules)?;
+        }
+
+        // Code_Attest reads K_Attest through the bus — with EA-MAC this
+        // only works because the rule names ATTEST_CODE.
+        let device_key = mcu.read_attest_key(map::ATTEST_PC)?;
+        let response_key = MacKey::new(config.response_mac, &device_key)?;
+        let checker = RequestSigner::new(config.auth, key)?.checker()?;
+        let policy = FreshnessPolicy::new(config.freshness);
+        let clock = ProverClock::new(config.clock);
+
+        Ok(Prover {
+            mcu,
+            config,
+            checker,
+            policy,
+            clock,
+            response_key,
+            sync_params: SyncParams::default(),
+            stats: ProverStats::default(),
+            last_cost: CostBreakdown::default(),
+        })
+    }
+
+    /// The deployment configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProverConfig {
+        &self.config
+    }
+
+    /// The underlying device (read access).
+    #[must_use]
+    pub fn mcu(&self) -> &Mcu {
+        &self.mcu
+    }
+
+    /// Mutable device access — **this is the adversary's surface**: code
+    /// running on a compromised prover manipulates the device through the
+    /// same bus (as `map::APP_CODE`) that the EA-MPU polices.
+    pub fn mcu_mut(&mut self) -> &mut Mcu {
+        &mut self.mcu
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ProverStats {
+        &self.stats
+    }
+
+    /// Cycle breakdown of the most recent request.
+    #[must_use]
+    pub fn last_cost(&self) -> &CostBreakdown {
+        &self.last_cost
+    }
+
+    /// The prover-side freshness policy (inspectable for experiments).
+    #[must_use]
+    pub fn policy(&self) -> &FreshnessPolicy {
+        &self.policy
+    }
+
+    /// Lets wall-clock time pass on the device (idle), servicing SW-clock
+    /// interrupts as hardware would.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if interrupt service hits an MPU fault.
+    pub fn advance_time_ms(&mut self, ms: u64) -> Result<(), AttestError> {
+        self.mcu.advance_idle(ms.saturating_mul(CLOCK_HZ) / 1000);
+        self.clock.service_interrupts(&mut self.mcu)?;
+        Ok(())
+    }
+
+    /// Reads the prover's current clock (if any) in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the EA-MPU denies the read.
+    pub fn now_ms(&mut self) -> Result<Option<u64>, AttestError> {
+        self.clock.now_ms(&mut self.mcu)
+    }
+
+    /// The raw clock plus the clock-sync offset maintained by
+    /// `Code_Attest` — the time freshness checks actually use.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the EA-MPU denies a read.
+    pub fn synced_now_ms(&mut self) -> Result<Option<u64>, AttestError> {
+        let Some(raw) = self.clock.now_ms(&mut self.mcu)? else {
+            return Ok(None);
+        };
+        let offset = clocksync::read_offset_ms(&mut self.mcu)?;
+        Ok(Some(clocksync::apply_offset(raw, offset)))
+    }
+
+    /// Overrides the clock-sync correction bounds.
+    pub fn set_sync_params(&mut self, params: SyncParams) {
+        self.sync_params = params;
+    }
+
+    /// Handles a clock-synchronization message (§7 future-work item 2):
+    /// authenticate, check the sync counter, apply a bounded correction.
+    ///
+    /// # Errors
+    ///
+    /// - [`AttestError::Rejected`] on bad authentication or a stale sync
+    ///   counter.
+    /// - [`AttestError::MissingClock`] if the device has no clock.
+    pub fn handle_sync(&mut self, request: &SyncRequest) -> Result<SyncOutcome, AttestError> {
+        let cycles = self.checker.check_cycles(self.mcu.cost_table());
+        self.mcu.advance_active(cycles);
+        if !self.checker.check(&request.signed_bytes(), &request.auth) {
+            return Err(AttestError::Rejected(RejectReason::BadAuth));
+        }
+        self.clock.service_interrupts(&mut self.mcu)?;
+        let raw = self
+            .clock
+            .now_ms(&mut self.mcu)?
+            .ok_or(AttestError::MissingClock)?;
+        clocksync::apply_sync(&mut self.mcu, &self.sync_params, request, raw)
+    }
+
+    /// Handles a gated command (§7 future-work item 3): the same
+    /// authenticate-then-freshness gate, generalized beyond attestation.
+    ///
+    /// # Errors
+    ///
+    /// - [`AttestError::Rejected`] on bad authentication or a stale
+    ///   command counter — rejection costs one block check, never the
+    ///   command's (possibly large) execution cost.
+    /// - [`AttestError::Device`] on device faults.
+    pub fn handle_command(
+        &mut self,
+        request: &CommandRequest,
+    ) -> Result<CommandReceipt, AttestError> {
+        let cycles = self.checker.check_cycles(self.mcu.cost_table());
+        self.mcu.advance_active(cycles);
+        if !self.checker.check(&request.signed_bytes(), &request.auth) {
+            return Err(AttestError::Rejected(RejectReason::BadAuth));
+        }
+        services::execute_command(&mut self.mcu, &self.response_key, request)
+    }
+
+    /// Handles one attestation request end to end.
+    ///
+    /// # Errors
+    ///
+    /// - [`AttestError::Rejected`] when a defence fires (authentication or
+    ///   freshness) — the request cost only the check, not the memory MAC.
+    /// - [`AttestError::Device`] / [`AttestError::Crypto`] on internal
+    ///   faults.
+    pub fn handle_request(
+        &mut self,
+        request: &AttestRequest,
+    ) -> Result<AttestResponse, AttestError> {
+        self.stats.requests_seen += 1;
+        let mut cost = CostBreakdown::default();
+        let message = request.signed_bytes();
+
+        // Stage 1: authenticate the request (§4.1). The check itself costs
+        // cycles whether it passes or not — with ECDSA, enough to be a DoS
+        // by itself.
+        cost.auth_cycles = self.checker.check_cycles(self.mcu.cost_table());
+        self.mcu.advance_active(cost.auth_cycles);
+        if !self.checker.check(&message, &request.auth) {
+            self.stats.rejected_auth += 1;
+            self.finish(cost);
+            return Err(AttestError::Rejected(RejectReason::BadAuth));
+        }
+
+        // Stage 2: freshness (§4.2). Service any outstanding clock
+        // interrupts first so the SW-clock is up to date, then read the
+        // synced time (raw clock + the clock-sync offset, which is zero
+        // unless the §7 synchronization service has run).
+        self.clock.service_interrupts(&mut self.mcu)?;
+        let now = self.synced_now_ms()?;
+        cost.freshness_cycles = FRESHNESS_OVERHEAD_CYCLES;
+        self.mcu.advance_active(cost.freshness_cycles);
+        if let Err(e) = self
+            .policy
+            .check_and_update(&request.freshness, &mut self.mcu, now)
+        {
+            if e.is_rejection() {
+                self.stats.rejected_freshness += 1;
+            }
+            self.finish(cost);
+            return Err(e);
+        }
+
+        // Stage 3: the expensive part — MAC over the whole writable
+        // memory, bound to the request (§3.1's 754 ms).
+        let ram = self.mcu.ram_snapshot(map::ATTEST_PC)?;
+        cost.response_cycles = self
+            .mcu
+            .cost_table()
+            .mac_cost(self.config.response_mac, ram.len() + message.len());
+        self.mcu.advance_active(cost.response_cycles);
+        let mut macced = message;
+        macced.extend_from_slice(&ram);
+        let report = self.response_key.compute(&macced);
+
+        self.stats.accepted += 1;
+        self.finish(cost);
+        Ok(AttestResponse { report })
+    }
+
+    fn finish(&mut self, cost: CostBreakdown) {
+        self.stats.attestation_cycles += cost.total();
+        self.last_cost = cost;
+    }
+
+    /// The memory image a verifier should expect (test oracle: the
+    /// device's actual RAM, via the hardware view). In a real deployment
+    /// the verifier derives this from the provisioned software.
+    #[must_use]
+    pub fn expected_memory(&self) -> &[u8] {
+        self.mcu.physical_memory().ram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::Verifier;
+
+    const KEY: [u8; 16] = [0x42; 16];
+
+    fn pair(config: ProverConfig) -> (Prover, Verifier) {
+        let prover = Prover::provision(config.clone(), &KEY, b"app v1").unwrap();
+        let verifier = Verifier::new(&config, &KEY).unwrap();
+        (prover, verifier)
+    }
+
+    #[test]
+    fn end_to_end_recommended_config() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended());
+        for _ in 0..3 {
+            let req = verifier.make_request().unwrap();
+            let resp = prover.handle_request(&req).unwrap();
+            assert!(verifier.check_response(&req, &resp, prover.expected_memory()));
+        }
+        assert_eq!(prover.stats().accepted, 3);
+    }
+
+    #[test]
+    fn forged_request_rejected_cheaply() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended());
+        let mut req = verifier.make_request().unwrap();
+        req.auth = vec![0; req.auth.len()];
+        let err = prover.handle_request(&req).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::BadAuth));
+        // The rejection cost only the auth check, not the memory MAC.
+        assert_eq!(prover.last_cost().response_cycles, 0);
+        assert!(prover.last_cost().total_ms() < 1.0);
+    }
+
+    #[test]
+    fn accepted_request_costs_hundreds_of_ms() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended());
+        let req = verifier.make_request().unwrap();
+        prover.handle_request(&req).unwrap();
+        // §3.1: ~754 ms for the 512 KB memory MAC.
+        let ms = prover.last_cost().total_ms();
+        assert!((700.0..900.0).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn replayed_request_rejected_by_counter() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended());
+        let req = verifier.make_request().unwrap();
+        prover.handle_request(&req).unwrap();
+        let err = prover.handle_request(&req).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::StaleCounter));
+        assert_eq!(prover.stats().rejected_freshness, 1);
+    }
+
+    #[test]
+    fn timestamp_config_works_with_hw_clock() {
+        let (mut prover, mut verifier) = pair(ProverConfig::timestamp_hw64());
+        // Let both clocks advance together.
+        prover.advance_time_ms(1000).unwrap();
+        verifier.advance_time_ms(1000);
+        let req = verifier.make_request().unwrap();
+        prover.handle_request(&req).unwrap();
+        // A replay a second later is out of the window AND non-monotonic.
+        prover.advance_time_ms(1000).unwrap();
+        verifier.advance_time_ms(1000);
+        let err = prover.handle_request(&req).unwrap_err();
+        assert!(err.is_rejection());
+    }
+
+    #[test]
+    fn timestamp_config_works_with_sw_clock() {
+        let (mut prover, mut verifier) = pair(ProverConfig::timestamp_sw_clock());
+        prover.advance_time_ms(2000).unwrap();
+        verifier.advance_time_ms(2000);
+        let req = verifier.make_request().unwrap();
+        prover.handle_request(&req).unwrap();
+        assert_eq!(prover.stats().accepted, 1);
+    }
+
+    #[test]
+    fn timestamp_without_clock_is_bad_config() {
+        let mut config = ProverConfig::recommended();
+        config.freshness = FreshnessKind::Timestamp;
+        config.clock = ClockKind::None;
+        assert!(matches!(
+            Prover::provision(config, &KEY, b"app"),
+            Err(AttestError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn unprotected_prover_answers_anything() {
+        let (mut prover, _) = pair(ProverConfig::unprotected());
+        // A completely bogus request — no auth, no freshness.
+        let bogus = AttestRequest {
+            freshness: crate::message::FreshnessField::None,
+            challenge: [0; 16],
+            auth: Vec::new(),
+        };
+        // The prover does the full expensive attestation. DoS achieved.
+        prover.handle_request(&bogus).unwrap();
+        assert_eq!(prover.stats().accepted, 1);
+        assert!(prover.last_cost().total_ms() > 700.0);
+    }
+
+    #[test]
+    fn protected_key_unreadable_by_app_code() {
+        let (mut prover, _) = pair(ProverConfig::recommended());
+        assert!(prover.mcu_mut().read_attest_key(map::APP_CODE).is_err());
+        // But Code_Attest read it fine during provisioning (we got here).
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended());
+        let good = verifier.make_request().unwrap();
+        prover.handle_request(&good).unwrap();
+        let mut forged = verifier.make_request().unwrap();
+        forged.auth = vec![0; forged.auth.len()];
+        let _ = prover.handle_request(&forged);
+        let _ = prover.handle_request(&good); // replay
+        let s = prover.stats();
+        assert_eq!(s.requests_seen, 3);
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.rejected_auth, 1);
+        assert_eq!(s.rejected_freshness, 1);
+        assert!(s.attestation_cycles > 0);
+    }
+}

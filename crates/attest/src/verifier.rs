@@ -1,0 +1,258 @@
+//! The verifier (`Vrf`): issues authenticated, fresh attestation requests
+//! and validates responses.
+//!
+//! The verifier is assumed to be a powerful machine; its costs are not
+//! modelled. Its clock is a plain millisecond counter that experiment
+//! scenarios advance in lockstep with (or deliberately apart from) the
+//! prover's — clock synchronization itself is the paper's future work
+//! item 2.
+
+use proverguard_crypto::drbg::HmacDrbg;
+use proverguard_crypto::mac::MacKey;
+
+use crate::auth::{AuthMethod, RequestSigner};
+use crate::error::AttestError;
+use crate::freshness::FreshnessKind;
+use crate::message::{AttestRequest, AttestResponse, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE};
+use crate::prover::ProverConfig;
+
+/// The verifier's state.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    signer: RequestSigner,
+    response_key: MacKey,
+    freshness: FreshnessKind,
+    next_counter: u64,
+    next_sync_counter: u64,
+    next_command_counter: u64,
+    clock_ms: u64,
+    drbg: HmacDrbg,
+}
+
+impl Verifier {
+    /// Builds the verifier peer for a prover `config`, sharing `key`
+    /// (`K_Attest`).
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Crypto`] if `key` does not fit the configured
+    /// algorithms.
+    pub fn new(config: &ProverConfig, key: &[u8; 16]) -> Result<Self, AttestError> {
+        Ok(Verifier {
+            signer: RequestSigner::new(config.auth, key)?,
+            response_key: MacKey::new(config.response_mac, key)?,
+            freshness: config.freshness,
+            next_counter: 1,
+            next_sync_counter: 1,
+            next_command_counter: 1,
+            clock_ms: 0,
+            drbg: HmacDrbg::new(key, b"proverguard-verifier-nonces"),
+        })
+    }
+
+    /// The authentication method in use.
+    #[must_use]
+    pub fn auth_method(&self) -> AuthMethod {
+        match &self.signer {
+            RequestSigner::None => AuthMethod::None,
+            RequestSigner::Mac(k) => AuthMethod::Mac(k.algorithm()),
+            RequestSigner::Ecdsa(_) => AuthMethod::Ecdsa,
+        }
+    }
+
+    /// Current verifier clock in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Advances the verifier clock.
+    pub fn advance_time_ms(&mut self, ms: u64) {
+        self.clock_ms = self.clock_ms.saturating_add(ms);
+    }
+
+    /// Sets the verifier clock (scenario control).
+    pub fn set_time_ms(&mut self, ms: u64) {
+        self.clock_ms = ms;
+    }
+
+    /// Creates the next authenticated attestation request.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` reserves room for
+    /// signature failures.
+    pub fn make_request(&mut self) -> Result<AttestRequest, AttestError> {
+        let freshness = match self.freshness {
+            FreshnessKind::None => FreshnessField::None,
+            FreshnessKind::NonceHistory => {
+                let mut nonce = [0u8; NONCE_SIZE];
+                self.drbg.fill(&mut nonce);
+                FreshnessField::Nonce(nonce)
+            }
+            FreshnessKind::Counter => {
+                let c = self.next_counter;
+                self.next_counter += 1;
+                FreshnessField::Counter(c)
+            }
+            FreshnessKind::Timestamp => FreshnessField::Timestamp(self.clock_ms),
+        };
+        let mut challenge = [0u8; CHALLENGE_SIZE];
+        self.drbg.fill(&mut challenge);
+        let mut request = AttestRequest {
+            freshness,
+            challenge,
+            auth: Vec::new(),
+        };
+        request.auth = self.signer.sign(&request.signed_bytes());
+        Ok(request)
+    }
+
+    /// Creates the next authenticated clock-synchronization message
+    /// (§7 future-work item 2) carrying the verifier's current time.
+    pub fn make_sync_request(&mut self) -> crate::clocksync::SyncRequest {
+        let counter = self.next_sync_counter;
+        self.next_sync_counter += 1;
+        let mut request = crate::clocksync::SyncRequest {
+            counter,
+            verifier_time_ms: self.clock_ms,
+            auth: Vec::new(),
+        };
+        request.auth = self.signer.sign(&request.signed_bytes());
+        request
+    }
+
+    /// Creates the next authenticated gated command (§7 item 3).
+    pub fn make_command(
+        &mut self,
+        command: crate::services::Command,
+    ) -> crate::services::CommandRequest {
+        let counter = self.next_command_counter;
+        self.next_command_counter += 1;
+        let mut request = crate::services::CommandRequest {
+            counter,
+            command,
+            auth: Vec::new(),
+        };
+        request.auth = self.signer.sign(&request.signed_bytes());
+        request
+    }
+
+    /// Validates a command receipt against the expected post-state digest.
+    #[must_use]
+    pub fn check_command_receipt(
+        &self,
+        receipt: &crate::services::CommandReceipt,
+        command: &crate::services::Command,
+        expected_digest: &[u8; 20],
+    ) -> bool {
+        receipt.verify(&self.response_key, command, expected_digest)
+    }
+
+    /// Validates a response against the expected memory image.
+    #[must_use]
+    pub fn check_response(
+        &self,
+        request: &AttestRequest,
+        response: &AttestResponse,
+        expected_memory: &[u8],
+    ) -> bool {
+        let mut macced = request.signed_bytes();
+        macced.extend_from_slice(expected_memory);
+        self.response_key.verify(&macced, &response.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proverguard_crypto::mac::MacAlgorithm;
+
+    const KEY: [u8; 16] = [9; 16];
+
+    fn verifier(freshness: FreshnessKind) -> Verifier {
+        let config = ProverConfig {
+            auth: AuthMethod::Mac(MacAlgorithm::HmacSha1),
+            freshness,
+            ..ProverConfig::recommended()
+        };
+        Verifier::new(&config, &KEY).unwrap()
+    }
+
+    #[test]
+    fn counters_increase_monotonically() {
+        let mut v = verifier(FreshnessKind::Counter);
+        let c = |req: AttestRequest| match req.freshness {
+            FreshnessField::Counter(c) => c,
+            _ => panic!("expected counter"),
+        };
+        let c1 = c(v.make_request().unwrap());
+        let c2 = c(v.make_request().unwrap());
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn nonces_are_unique() {
+        let mut v = verifier(FreshnessKind::NonceHistory);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            match v.make_request().unwrap().freshness {
+                FreshnessField::Nonce(n) => assert!(seen.insert(n), "duplicate nonce"),
+                _ => panic!("expected nonce"),
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_track_the_clock() {
+        let mut v = verifier(FreshnessKind::Timestamp);
+        v.set_time_ms(1234);
+        match v.make_request().unwrap().freshness {
+            FreshnessField::Timestamp(t) => assert_eq!(t, 1234),
+            _ => panic!("expected timestamp"),
+        }
+        v.advance_time_ms(766);
+        assert_eq!(v.now_ms(), 2000);
+    }
+
+    #[test]
+    fn requests_are_authenticated() {
+        let mut v = verifier(FreshnessKind::Counter);
+        let req = v.make_request().unwrap();
+        assert!(!req.auth.is_empty());
+        // The signer covers the header: flipping a challenge byte breaks it.
+        let signer = RequestSigner::new(v.auth_method(), &KEY).unwrap();
+        let checker = signer.checker().unwrap();
+        assert!(checker.check(&req.signed_bytes(), &req.auth));
+        let mut tampered = req.clone();
+        tampered.challenge[0] ^= 1;
+        assert!(!checker.check(&tampered.signed_bytes(), &req.auth));
+    }
+
+    #[test]
+    fn challenges_differ_between_requests() {
+        let mut v = verifier(FreshnessKind::None);
+        let a = v.make_request().unwrap();
+        let b = v.make_request().unwrap();
+        assert_ne!(a.challenge, b.challenge);
+    }
+
+    #[test]
+    fn check_response_detects_memory_tampering() {
+        let mut v = verifier(FreshnessKind::Counter);
+        let req = v.make_request().unwrap();
+        let memory = vec![0u8; 1024];
+        // Fabricate the response the prover would produce.
+        let mut macced = req.signed_bytes();
+        macced.extend_from_slice(&memory);
+        let good = AttestResponse {
+            report: MacKey::new(MacAlgorithm::HmacSha1, &KEY)
+                .unwrap()
+                .compute(&macced),
+        };
+        assert!(v.check_response(&req, &good, &memory));
+        let mut tampered = memory.clone();
+        tampered[512] = 0xff;
+        assert!(!v.check_response(&req, &good, &tampered));
+    }
+}

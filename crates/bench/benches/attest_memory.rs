@@ -1,0 +1,57 @@
+//! Benchmarks the §3.1 whole-memory attestation MAC: HMAC throughput over
+//! memory images from 4 KiB to the full 512 KiB RAM, plus the end-to-end
+//! `handle_request` path on the simulated device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::verifier::Verifier;
+use proverguard_crypto::hmac::HmacSha1;
+
+fn bench_memory_mac(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let mut group = c.benchmark_group("section3_1/memory_mac");
+    for kib in [4usize, 64, 256, 512] {
+        let memory = vec![0x5au8; kib * 1024];
+        group.throughput(Throughput::Bytes(memory.len() as u64));
+        group.bench_with_input(BenchmarkId::new("hmac_sha1", kib), &memory, |b, memory| {
+            b.iter(|| black_box(HmacSha1::mac(&key, memory)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_handle_request(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let mut group = c.benchmark_group("section3_1/handle_request");
+    group.sample_size(10);
+
+    // Accepted requests pay the full memory MAC.
+    group.bench_function("accepted_full_attestation", |b| {
+        let config = ProverConfig::recommended();
+        let mut prover = Prover::provision(config.clone(), &key, b"app").expect("provision");
+        let mut verifier = Verifier::new(&config, &key).expect("verifier");
+        b.iter(|| {
+            let req = verifier.make_request().expect("request");
+            black_box(prover.handle_request(&req).expect("accepted"));
+        });
+    });
+
+    // Rejected forgeries stop after the cheap auth check.
+    group.bench_function("rejected_forgery", |b| {
+        let config = ProverConfig::recommended();
+        let mut prover = Prover::provision(config.clone(), &key, b"app").expect("provision");
+        let mut verifier = Verifier::new(&config, &key).expect("verifier");
+        let mut forged = verifier.make_request().expect("request");
+        forged.auth = vec![0; forged.auth.len()];
+        b.iter(|| {
+            black_box(prover.handle_request(&forged).is_err());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory_mac, bench_handle_request);
+criterion_main!(benches);

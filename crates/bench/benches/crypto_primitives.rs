@@ -1,0 +1,92 @@
+//! Criterion benchmarks for Table 1: every primitive the paper measures,
+//! implemented from scratch in `proverguard-crypto` and measured on the
+//! host. The expected *shape* (not absolute values): Speck ≪ AES < HMAC
+//! per block, and ECDSA three to four orders of magnitude above the
+//! symmetric primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use proverguard_crypto::aes::Aes128;
+use proverguard_crypto::ecdsa::SigningKey;
+use proverguard_crypto::hmac::HmacSha1;
+use proverguard_crypto::sha1::Sha1;
+use proverguard_crypto::speck::Speck64_128;
+use proverguard_crypto::BlockCipher;
+
+fn bench_hash_and_hmac(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let mut group = c.benchmark_group("table1/hmac");
+    for blocks in [1usize, 4, 16, 64] {
+        let data = vec![0xa5u8; 64 * blocks];
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("hmac_sha1", blocks), &data, |b, data| {
+            b.iter(|| black_box(HmacSha1::mac(&key, data)));
+        });
+    }
+    group.bench_function("sha1_single_block", |b| {
+        let data = [0u8; 64];
+        b.iter(|| black_box(Sha1::digest(&data)));
+    });
+    group.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let mut group = c.benchmark_group("table1/aes128");
+    group.bench_function("key_expansion", |b| {
+        b.iter(|| black_box(Aes128::from_key(&key)));
+    });
+    let aes = Aes128::from_key(&key);
+    group.bench_function("encrypt_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| aes.encrypt_block(black_box(&mut block)));
+    });
+    group.bench_function("decrypt_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| aes.decrypt_block(black_box(&mut block)));
+    });
+    group.finish();
+}
+
+fn bench_speck(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let mut group = c.benchmark_group("table1/speck64_128");
+    group.bench_function("key_expansion", |b| {
+        b.iter(|| black_box(Speck64_128::from_key(&key)));
+    });
+    let speck = Speck64_128::from_key(&key);
+    group.bench_function("encrypt_block", |b| {
+        let mut block = [0u8; 8];
+        b.iter(|| speck.encrypt_block(black_box(&mut block)));
+    });
+    group.bench_function("decrypt_block", |b| {
+        let mut block = [0u8; 8];
+        b.iter(|| speck.decrypt_block(black_box(&mut block)));
+    });
+    group.finish();
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let signing = SigningKey::from_seed(b"bench");
+    let verifying = signing.verifying_key();
+    let signature = signing.sign(b"attestation request");
+    let mut group = c.benchmark_group("table1/ecdsa_secp160r1");
+    group.sample_size(10);
+    group.bench_function("sign", |b| {
+        b.iter(|| black_box(signing.sign(b"attestation request")));
+    });
+    group.bench_function("verify", |b| {
+        b.iter(|| black_box(verifying.verify(b"attestation request", &signature).is_ok()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash_and_hmac,
+    bench_aes,
+    bench_speck,
+    bench_ecdsa
+);
+criterion_main!(benches);

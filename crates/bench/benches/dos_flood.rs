@@ -1,0 +1,44 @@
+//! Benchmarks the §3.1 DoS flood end to end: host cost of delivering a
+//! batch of forgeries to provers at each defence level. (The *device*
+//! cost — the number that matters for the paper's argument — is printed
+//! by `cargo run -p proverguard-bench --bin dos_depletion`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use proverguard_adversary::dos::flood_with_forgeries;
+use proverguard_attest::auth::AuthMethod;
+use proverguard_attest::prover::ProverConfig;
+use proverguard_crypto::mac::MacAlgorithm;
+
+fn bench_floods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dos/flood_of_10_forgeries");
+    group.sample_size(10);
+
+    group.bench_function("unprotected", |b| {
+        b.iter(|| {
+            black_box(flood_with_forgeries(ProverConfig::unprotected(), "open", 10).expect("flood"))
+        });
+    });
+
+    group.bench_function("speck_auth", |b| {
+        b.iter(|| {
+            black_box(
+                flood_with_forgeries(ProverConfig::recommended(), "speck", 10).expect("flood"),
+            )
+        });
+    });
+
+    group.bench_function("hmac_auth", |b| {
+        let config = ProverConfig {
+            auth: AuthMethod::Mac(MacAlgorithm::HmacSha1),
+            ..ProverConfig::recommended()
+        };
+        b.iter(|| black_box(flood_with_forgeries(config.clone(), "hmac", 10).expect("flood")));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_floods);
+criterion_main!(benches);

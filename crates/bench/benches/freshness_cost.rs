@@ -1,0 +1,74 @@
+//! Benchmarks §4.2 freshness policies: the O(n) nonce-history check the
+//! paper rules out versus the O(1) counter/timestamp checks, as the
+//! history grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proverguard_attest::freshness::{FreshnessKind, FreshnessPolicy};
+use proverguard_attest::message::FreshnessField;
+use proverguard_mcu::Mcu;
+
+fn bench_nonce_history_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section4_2/nonce_history");
+    for history in [100usize, 1_000, 10_000, 100_000] {
+        // Pre-populate the history.
+        let mut policy = FreshnessPolicy::new(FreshnessKind::NonceHistory);
+        let mut mcu = Mcu::new();
+        for i in 0..history {
+            let mut nonce = [0u8; 16];
+            nonce[..8].copy_from_slice(&(i as u64).to_be_bytes());
+            policy
+                .check_and_update(&FreshnessField::Nonce(nonce), &mut mcu, None)
+                .expect("fresh");
+        }
+        // The probe nonce is absent: worst-case full scan.
+        let probe = FreshnessField::Nonce([0xff; 16]);
+        group.bench_with_input(
+            BenchmarkId::new("replay_scan", history),
+            &history,
+            |b, _| {
+                b.iter_batched(
+                    || policy.clone(),
+                    |mut p| black_box(p.check_and_update(&probe, &mut mcu, None).is_ok()),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_constant_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section4_2/constant_state");
+    group.bench_function("counter_check", |b| {
+        let mut policy = FreshnessPolicy::new(FreshnessKind::Counter);
+        let mut mcu = Mcu::new();
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            black_box(
+                policy
+                    .check_and_update(&FreshnessField::Counter(counter), &mut mcu, None)
+                    .is_ok(),
+            )
+        });
+    });
+    group.bench_function("timestamp_check", |b| {
+        let mut policy = FreshnessPolicy::new(FreshnessKind::Timestamp);
+        let mut mcu = Mcu::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            black_box(
+                policy
+                    .check_and_update(&FreshnessField::Timestamp(t), &mut mcu, Some(t))
+                    .is_ok(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nonce_history_growth, bench_constant_policies);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Benchmarks the simulated EA-MPU itself: per-access check cost as the
+//! rule count grows (the runtime analogue of Table 3's per-rule hardware
+//! cost), plus bus and ISA-interpreter throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proverguard_mcu::isa::{assemble_at, Cpu};
+use proverguard_mcu::map::{self, AddrRange};
+use proverguard_mcu::mpu::{AccessKind, EaMpu, Permissions, Rule};
+use proverguard_mcu::Mcu;
+
+fn bench_mpu_check_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpu/check_vs_rules");
+    for rules in [0usize, 2, 4, 8, 16] {
+        let mut mpu = EaMpu::new(rules.max(1));
+        for i in 0..rules {
+            let base = 0x1000 + (i as u32) * 0x100;
+            mpu.add_rule(Rule::new(
+                "r",
+                AddrRange::new(base, base + 0x10),
+                map::ATTEST_CODE,
+                Permissions::READ_WRITE,
+            ))
+            .expect("capacity");
+        }
+        group.bench_with_input(BenchmarkId::new("uncovered_read", rules), &rules, |b, _| {
+            b.iter(|| {
+                black_box(
+                    mpu.check(map::APP_CODE, 0x8000_0000, AccessKind::Read)
+                        .is_ok(),
+                )
+            });
+        });
+        if rules > 0 {
+            group.bench_with_input(BenchmarkId::new("covered_read", rules), &rules, |b, _| {
+                b.iter(|| black_box(mpu.check(map::ATTEST_PC, 0x1000, AccessKind::Read).is_ok()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_span_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpu/span_check");
+    let mut mpu = EaMpu::new(8);
+    mpu.add_rule(Rule::new(
+        "counter_R",
+        map::COUNTER_R,
+        map::ATTEST_CODE,
+        Permissions::READ_WRITE,
+    ))
+    .expect("capacity");
+    // The whole-RAM span the attestation MAC performs.
+    group.bench_function("whole_ram_512KiB", |b| {
+        b.iter(|| {
+            black_box(
+                mpu.check_span(
+                    map::ATTEST_PC,
+                    map::RAM.start,
+                    map::RAM.len(),
+                    AccessKind::Read,
+                )
+                .is_ok(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_bus_and_isa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcu/throughput");
+
+    group.bench_function("bus_write_64B", |b| {
+        let mut mcu = Mcu::new();
+        let data = [0xa5u8; 64];
+        b.iter(|| mcu.bus_write(map::APP_RAM.start, black_box(&data), map::APP_CODE));
+    });
+
+    group.bench_function("isa_100_instruction_loop", |b| {
+        let mut mcu = Mcu::new();
+        let program = assemble_at(
+            "ldi r1, 0
+             ldi r2, 100
+             loop: addi r1, r1, 1
+             bne r1, r2, loop
+             halt",
+            map::FLASH.start,
+        )
+        .expect("assembles");
+        mcu.program_flash(&program).expect("flash");
+        b.iter(|| {
+            let mut cpu = Cpu::new(map::FLASH.start);
+            black_box(cpu.run(&mut mcu, 1000));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mpu_check_scaling,
+    bench_span_check,
+    bench_bus_and_isa
+);
+criterion_main!(benches);

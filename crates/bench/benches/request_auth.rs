@@ -1,0 +1,58 @@
+//! Benchmarks §4.1 request authentication: the prover-side check for each
+//! authenticator, on the host. The ablation behind the paper's choice of
+//! symmetric MACs — and its rejection of ECDSA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use proverguard_attest::auth::{AuthMethod, RequestSigner};
+use proverguard_crypto::mac::MacAlgorithm;
+
+fn bench_request_check(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let message = b"attreq|v1|counter=00000042|challenge=0123456789abcdef";
+
+    let mut group = c.benchmark_group("section4_1/request_check");
+    for (label, method) in [
+        ("speck64_cbc", AuthMethod::Mac(MacAlgorithm::Speck64Cbc)),
+        ("aes128_cbc", AuthMethod::Mac(MacAlgorithm::Aes128Cbc)),
+        ("hmac_sha1", AuthMethod::Mac(MacAlgorithm::HmacSha1)),
+    ] {
+        let signer = RequestSigner::new(method, &key).expect("signer");
+        let checker = signer.checker().expect("checker");
+        let auth = signer.sign(message);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(checker.check(message, &auth)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("section4_1/request_check_ecdsa");
+    group.sample_size(10);
+    let signer = RequestSigner::new(AuthMethod::Ecdsa, &key).expect("signer");
+    let checker = signer.checker().expect("checker");
+    let auth = signer.sign(message);
+    group.bench_function("ecdsa_secp160r1", |b| {
+        b.iter(|| black_box(checker.check(message, &auth)));
+    });
+    group.finish();
+}
+
+fn bench_request_sign(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let message = b"attreq|v1|counter=00000042|challenge=0123456789abcdef";
+    let mut group = c.benchmark_group("section4_1/request_sign");
+    for (label, method) in [
+        ("speck64_cbc", AuthMethod::Mac(MacAlgorithm::Speck64Cbc)),
+        ("hmac_sha1", AuthMethod::Mac(MacAlgorithm::HmacSha1)),
+    ] {
+        let signer = RequestSigner::new(method, &key).expect("signer");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(signer.sign(message)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_request_check, bench_request_sign);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmarks the Figure 1b SW-clock runtime overhead (the cost Table 3
+//! does not capture): servicing wrap-around interrupts and reading the
+//! combined `Clock_MSB ‖ Clock_LSB` value, versus the dedicated hardware
+//! clock's single MMIO read.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use proverguard_attest::clock::{ClockKind, ProverClock, CLOCK_HANDLER_ADDR};
+use proverguard_mcu::rtc::HwRtc;
+use proverguard_mcu::timer::TIMER_WRAP_VECTOR;
+use proverguard_mcu::{Mcu, CLOCK_HZ};
+
+fn bench_clock_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1b/clock_read");
+
+    group.bench_function("hw64_mmio_read", |b| {
+        let mut mcu = Mcu::new();
+        mcu.install_rtc(HwRtc::wide64());
+        mcu.advance_idle(CLOCK_HZ);
+        let clock = ProverClock::new(ClockKind::Hw64);
+        b.iter(|| black_box(clock.now_ms(&mut mcu).expect("read")));
+    });
+
+    group.bench_function("sw_clock_combined_read", |b| {
+        let mut mcu = Mcu::new();
+        mcu.install_idt_entry(TIMER_WRAP_VECTOR, CLOCK_HANDLER_ADDR)
+            .expect("idt");
+        let mut clock = ProverClock::new(ClockKind::Software);
+        mcu.advance_idle(CLOCK_HZ);
+        clock.service_interrupts(&mut mcu).expect("service");
+        b.iter(|| black_box(clock.now_ms(&mut mcu).expect("read")));
+    });
+
+    group.finish();
+}
+
+fn bench_interrupt_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1b/interrupt_service");
+    // One second of device time = ~23 wraps with the default timer.
+    for seconds in [1u64, 10, 60] {
+        group.bench_with_input(
+            BenchmarkId::new("pending_wraps", seconds),
+            &seconds,
+            |b, &seconds| {
+                b.iter_batched(
+                    || {
+                        let mut mcu = Mcu::new();
+                        mcu.install_idt_entry(TIMER_WRAP_VECTOR, CLOCK_HANDLER_ADDR)
+                            .expect("idt");
+                        mcu.advance_idle(seconds * CLOCK_HZ);
+                        (mcu, ProverClock::new(ClockKind::Software))
+                    },
+                    |(mut mcu, mut clock)| {
+                        black_box(clock.service_interrupts(&mut mcu).expect("service"))
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock_reads, bench_interrupt_service);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Runs the complete security evaluation in one shot and checks every
+//! paper claim programmatically — the summary the other binaries print in
+//! detail.
+
+use proverguard_adversary::SuiteReport;
+
+fn main() {
+    let report = SuiteReport::run_all(10).expect("suite runs");
+    print!("{report}");
+    if !report.claims_hold() {
+        eprintln!("REPRODUCTION FAILURE: at least one paper claim did not hold");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Regenerates the **§6.3 clock wrap-around arithmetic**: a 64-bit
+//! register at 24 MHz wraps after ~24,372.6 years; a raw 32-bit register
+//! after ~3 minutes; dividing by 2²⁰ stretches that to ~6 years at ~42 ms
+//! resolution. Also demonstrates, by simulation, what a wrap does to a
+//! timestamp-checking prover.
+
+use proverguard_bench::render_table;
+use proverguard_hw::components::{Component, HardwareClock};
+use proverguard_mcu::rtc::HwRtc;
+use proverguard_mcu::CLOCK_HZ;
+
+fn main() {
+    println!("§6.3 — clock register sizing at 24 MHz\n");
+
+    let designs = [
+        ("64-bit, /1", HardwareClock::custom(64, 0)),
+        ("32-bit, /1", HardwareClock::custom(32, 0)),
+        ("32-bit, /2^20", HardwareClock::divided32()),
+        ("24-bit, /2^20", HardwareClock::custom(24, 20)),
+        ("16-bit, /2^20", HardwareClock::custom(16, 20)),
+    ];
+    let rows: Vec<Vec<String>> = designs
+        .iter()
+        .map(|(label, clock)| {
+            let wrap_s = clock.wraparound_seconds(24e6);
+            let res_ms = clock.resolution_seconds(24e6) * 1e3;
+            vec![
+                (*label).to_string(),
+                human_duration(wrap_s),
+                format!("{res_ms:.4}"),
+                format!("{}", clock.cost()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["design", "wraps after", "resolution ms", "hardware cost"],
+            &rows,
+            &[14, 16, 14, 24],
+        )
+    );
+
+    println!("paper: 64-bit wraps after 24,372.6 years; raw 32-bit after ~3 minutes;");
+    println!("32-bit / 2^20 after ~6 years at 42 ms resolution.\n");
+
+    // Simulated wrap demonstration with a deliberately narrow clock.
+    println!("simulation — a 24-bit/1 clock wrapping mid-deployment:");
+    let mut rtc = HwRtc::custom(24, 0);
+    let wrap_cycles = 1u64 << 24; // ~0.7 s at 24 MHz
+    rtc.advance(wrap_cycles - 1000);
+    let before = rtc.read();
+    rtc.advance(2000);
+    let after = rtc.read();
+    println!("  ticks before wrap: {before}, after: {after} -> time appears to jump backwards");
+    println!(
+        "  ({:.2} s of real time elapsed; the prover would now reject every genuine",
+        (wrap_cycles + 1000) as f64 / CLOCK_HZ as f64
+    );
+    println!("  timestamped request as far-future: a self-inflicted DoS. Hence §6.3's");
+    println!("  sizing rule: never wrap within the device lifetime.");
+}
+
+fn human_duration(seconds: f64) -> String {
+    const YEAR: f64 = 365.25 * 86_400.0;
+    if seconds >= YEAR {
+        format!("{:.1} years", seconds / YEAR)
+    } else if seconds >= 86_400.0 {
+        format!("{:.1} days", seconds / 86_400.0)
+    } else if seconds >= 3600.0 {
+        format!("{:.1} hours", seconds / 3600.0)
+    } else if seconds >= 60.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else {
+        format!("{seconds:.1} s")
+    }
+}

@@ -1,0 +1,85 @@
+//! Regenerates the **§3.1/§4.1 DoS economics experiment**: what a flood of
+//! bogus attestation requests costs the prover under each defence level —
+//! cycles, milliseconds, battery energy, and how many forgeries it takes
+//! to kill the battery — including the ECDSA paradox configuration.
+
+use proverguard_adversary::dos::{requests_to_deplete, standard_comparison};
+use proverguard_bench::render_table;
+use proverguard_mcu::energy::Battery;
+
+fn main() {
+    println!("§3.1/§4.1 — DoS economics: flood of forged attestation requests\n");
+
+    let n = 20;
+    let reports = standard_comparison(n).expect("floods run");
+
+    let battery = Battery::default();
+    let battery_cycles = battery.cycles_remaining();
+
+    let mut rows = Vec::new();
+    for report in &reports {
+        let cycles_per_request = report
+            .cycles_burned
+            .checked_div(report.requests)
+            .unwrap_or(0);
+        let to_deplete = requests_to_deplete(battery_cycles, cycles_per_request);
+        rows.push(vec![
+            report.label.clone(),
+            format!("{}/{}", report.answered, report.requests),
+            format!("{:.3}", report.ms_per_request()),
+            format!("{:.2e}", report.energy_joules),
+            human_count(to_deplete),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "configuration",
+                "answered",
+                "ms/forgery",
+                "J burned",
+                "forgeries to kill battery"
+            ],
+            &rows,
+            &[30, 10, 12, 12, 26],
+        )
+    );
+
+    println!("reading the table:");
+    println!("  - the unprotected prover answers every forgery at ~754 ms each;");
+    println!("    a coin-cell battery dies after a few hundred thousand forgeries");
+    println!("    (hours of continuous flooding at line rate).");
+    println!("  - symmetric authentication caps the damage at one block check");
+    println!("    (0.017-0.43 ms): the battery outlives any realistic flood.");
+    println!("  - ECDSA 'protection' still burns 170.9 ms per forgery - the §4.1");
+    println!("    paradox: the defence is itself a DoS vector.\n");
+
+    // Time stolen from the primary task (sensing/actuation) per §3.1.
+    println!("time stolen from the prover's primary task:");
+    for report in &reports {
+        let stolen_ms_per_s = stolen_per_second(report.ms_per_request(), 10.0);
+        println!(
+            "  {:<32} at 10 forgeries/s: {:.1} ms of compute stolen per second ({:.1}%)",
+            report.label,
+            stolen_ms_per_s,
+            stolen_ms_per_s / 10.0
+        );
+    }
+}
+
+/// Milliseconds of prover compute consumed per wall-clock second at
+/// `rate` forgeries per second.
+fn stolen_per_second(ms_per_forgery: f64, rate: f64) -> f64 {
+    (ms_per_forgery * rate).min(1000.0)
+}
+
+fn human_count(n: u64) -> String {
+    match n {
+        u64::MAX => "unbounded".to_string(),
+        n if n >= 1_000_000_000 => format!("{:.1}G", n as f64 / 1e9),
+        n if n >= 1_000_000 => format!("{:.1}M", n as f64 / 1e6),
+        n if n >= 1_000 => format!("{:.1}k", n as f64 / 1e3),
+        n => n.to_string(),
+    }
+}

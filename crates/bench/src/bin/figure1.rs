@@ -1,0 +1,171 @@
+//! Regenerates **Figure 1**: functional walk-through of the two prototype
+//! configurations — (a) the base version with a dedicated hardware clock,
+//! and (b) the advanced version with the SW-clock — including a genuine
+//! ISA-level malware program that is faulted by the EA-MPU.
+
+use proverguard_attest::clock::CLOCK_HANDLER_ADDR;
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::verifier::Verifier;
+use proverguard_mcu::isa::{assemble_at, Cpu};
+use proverguard_mcu::map;
+
+fn main() {
+    figure_1a();
+    println!();
+    figure_1b();
+    println!();
+    isa_malware_demo();
+}
+
+fn figure_1a() {
+    println!("Figure 1a — base version: K_Attest and counter_R accessible only by");
+    println!("Code_Attest; EA-MPU set up by secure boot; dedicated 64-bit clock.\n");
+
+    let config = ProverConfig::timestamp_hw64();
+    let key = [0x42u8; 16];
+    let mut prover = Prover::provision(config.clone(), &key, b"app v1").expect("provision");
+    let mut verifier = Verifier::new(&config, &key).expect("verifier");
+
+    println!(
+        "  secure boot: image verified, {} EA-MPU rules installed, MPU locked: {}",
+        prover.mcu().mpu().rules().len(),
+        prover.mcu().mpu().is_locked()
+    );
+    for rule in prover.mcu().mpu().rules() {
+        println!(
+            "    rule {:<16} data {}  code {}",
+            rule.name, rule.data_range, rule.code_range
+        );
+    }
+
+    // EA-MAC in action.
+    let app_read = prover.mcu_mut().read_attest_key(map::APP_CODE);
+    println!(
+        "  app code reads K_Attest      -> {}",
+        verdict(app_read.is_err())
+    );
+    let attest_read = prover.mcu_mut().read_attest_key(map::ATTEST_PC);
+    println!(
+        "  Code_Attest reads K_Attest   -> {}",
+        verdict(attest_read.is_ok())
+    );
+    let rogue_write =
+        prover
+            .mcu_mut()
+            .bus_write(map::COUNTER_R.start, &0u64.to_le_bytes(), map::APP_CODE);
+    println!(
+        "  app code writes counter_R    -> {}",
+        verdict(rogue_write.is_err())
+    );
+
+    // The clock ticks and a timestamped exchange works.
+    prover.advance_time_ms(2500).expect("advance");
+    verifier.advance_time_ms(2500);
+    println!(
+        "  after 2500 ms: prover clock reads {} ms",
+        prover.now_ms().expect("clock").expect("installed")
+    );
+    let request = verifier.make_request().expect("request");
+    let ok = prover.handle_request(&request).is_ok();
+    println!("  timestamped attestation exchange -> {}", verdict(ok));
+}
+
+fn figure_1b() {
+    println!("Figure 1b — advanced version: Clock_LSB wraps (1), the interrupt engine");
+    println!("invokes Code_Clock (2), which maintains Clock_MSB (3).\n");
+
+    let config = ProverConfig::timestamp_sw_clock();
+    let key = [0x42u8; 16];
+    let mut prover = Prover::provision(config, &key, b"app v1").expect("provision");
+
+    // (1)+(2)+(3): time passes, wraps are served, the combined clock tracks.
+    prover.advance_time_ms(3000).expect("advance");
+    let ms = prover.now_ms().expect("clock").expect("installed");
+    println!("  after 3000 ms idle: SW-clock reads {ms} ms (wrap ≈ 43.7 ms each)");
+
+    // The IDT is locked.
+    let hijack =
+        prover
+            .mcu_mut()
+            .bus_write(map::IDT.start, &map::APP_CODE.to_le_bytes(), map::APP_CODE);
+    println!(
+        "  app code rewrites IDT vector 0        -> {}",
+        verdict(hijack.is_err())
+    );
+    // Timer control is locked.
+    let kill = prover
+        .mcu_mut()
+        .bus_write(map::MMIO_TIMER.start + 4, &[0u8], map::APP_CODE);
+    println!(
+        "  app code disables the timer           -> {}",
+        verdict(kill.is_err())
+    );
+    // Clock_MSB is owned by Code_Clock.
+    let smash =
+        prover
+            .mcu_mut()
+            .bus_write(map::CLOCK_MSB.start, &0u64.to_le_bytes(), map::APP_CODE);
+    println!(
+        "  app code rewrites Clock_MSB           -> {}",
+        verdict(smash.is_err())
+    );
+    println!(
+        "  IDT vector 0 still points at Code_Clock ({:#010x})",
+        CLOCK_HANDLER_ADDR
+    );
+    // And the clock still works afterwards.
+    prover.advance_time_ms(1000).expect("advance");
+    let after = prover.now_ms().expect("clock").expect("installed");
+    println!("  after 1000 more ms: SW-clock reads {after} ms (still running)");
+}
+
+fn isa_malware_demo() {
+    println!("ISA-level demo — malware literally executes and is faulted mid-loop:\n");
+    let config = ProverConfig::recommended();
+    let key = [0x42u8; 16];
+    let mut prover = Prover::provision(config, &key, b"placeholder").expect("provision");
+
+    // A key-exfiltration loop: copy K_Attest byte by byte into app RAM.
+    let program = format!(
+        "        ldi r1, {:#x}      ; K_Attest base
+                lui r2, {:#x}
+                ldi r3, {:#x}
+                or  r2, r2, r3      ; exfiltration buffer in app RAM
+                ldi r4, 0
+                ldi r5, 16
+        loop:   ldb r6, [r1]        ; <- EA-MPU faults here
+                stb r6, [r2]
+                addi r1, r1, 1
+                addi r2, r2, 1
+                addi r4, r4, 1
+                bne r4, r5, loop
+                halt",
+        map::ATTEST_KEY.start,
+        map::APP_RAM.start >> 16,
+        map::APP_RAM.start & 0xffff,
+    );
+    let image = assemble_at(&program, map::FLASH.start).expect("assembles");
+    // Note: flashing new code would break secure boot on the next reset;
+    // Adv_roam installs it *after* boot, which is exactly its model.
+    prover.mcu_mut().program_flash(&image).expect("flash");
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let outcome = cpu.run(prover.mcu_mut(), 1000);
+    println!(
+        "  program: 16-byte key-exfiltration loop at {:#010x}",
+        map::FLASH.start
+    );
+    println!(
+        "  executed {} instructions before: {:?}",
+        outcome.steps, outcome.fault
+    );
+    println!("  bytes exfiltrated: r4 = {}", cpu.reg(4));
+    println!("  -> {}", verdict(outcome.faulted() && cpu.reg(4) == 0));
+}
+
+fn verdict(protected: bool) -> &'static str {
+    if protected {
+        "OK (as designed)"
+    } else {
+        "UNEXPECTED"
+    }
+}

@@ -1,0 +1,132 @@
+//! Regenerates **Table 1**: performance of cryptographic primitives on the
+//! (simulated) Intel Siskiyou Peak at 24 MHz, alongside host measurements
+//! of this repository's own from-scratch implementations.
+//!
+//! The "model ms @ 24 MHz" column is the calibrated cycle model (the
+//! paper's numbers); the "host ns/op" column is measured from our Rust
+//! primitives and is expected to reproduce the *shape* — Speck ≪ AES <
+//! HMAC ≪ ECDSA — not the absolute values.
+
+use proverguard_bench::{fmt_ms, render_table, time_ns};
+use proverguard_crypto::aes::Aes128;
+use proverguard_crypto::ecdsa::SigningKey;
+use proverguard_crypto::hmac::HmacSha1;
+use proverguard_crypto::speck::Speck64_128;
+use proverguard_crypto::BlockCipher;
+use proverguard_mcu::cycles::{cycles_to_ms, CostTable};
+
+fn main() {
+    let cost = CostTable::siskiyou_peak();
+    let key = [0x42u8; 16];
+    let aes = Aes128::from_key(&key);
+    let speck = Speck64_128::from_key(&key);
+    let signing = SigningKey::from_seed(&key);
+    let verifying = signing.verifying_key();
+    let signature = signing.sign(b"attestation request");
+
+    let mut aes_block = [0u8; 16];
+    let mut speck_block = [0u8; 8];
+
+    let rows = vec![
+        row("SHA1-HMAC fixed", cycles_to_ms(cost.hmac_fixed), {
+            // Fixed part = keying overhead: hash an empty message.
+            time_ns(512, || {
+                std::hint::black_box(HmacSha1::mac(&key, b""));
+            })
+        }),
+        row(
+            "SHA1-HMAC per 64B block",
+            cycles_to_ms(cost.hmac_per_block),
+            {
+                // Marginal block cost: (t(64B) - t(0B)) measured jointly below;
+                // here we report t for one extra block via a 4096B message / 64.
+                let big = vec![0u8; 4096];
+                time_ns(64, || {
+                    std::hint::black_box(HmacSha1::mac(&key, &big));
+                }) / 64.0
+            },
+        ),
+        row(
+            "AES-128 key expansion",
+            cycles_to_ms(cost.aes_key_expansion),
+            {
+                time_ns(512, || {
+                    std::hint::black_box(Aes128::from_key(&key));
+                })
+            },
+        ),
+        row(
+            "AES-128 enc per block",
+            cycles_to_ms(cost.aes_enc_per_block),
+            { time_ns(512, || aes.encrypt_block(&mut aes_block)) },
+        ),
+        row(
+            "AES-128 dec per block",
+            cycles_to_ms(cost.aes_dec_per_block),
+            { time_ns(512, || aes.decrypt_block(&mut aes_block)) },
+        ),
+        row(
+            "Speck 64/128 key expansion",
+            cycles_to_ms(cost.speck_key_expansion),
+            {
+                time_ns(512, || {
+                    std::hint::black_box(Speck64_128::from_key(&key));
+                })
+            },
+        ),
+        row(
+            "Speck 64/128 enc per block",
+            cycles_to_ms(cost.speck_enc_per_block),
+            { time_ns(512, || speck.encrypt_block(&mut speck_block)) },
+        ),
+        row(
+            "Speck 64/128 dec per block",
+            cycles_to_ms(cost.speck_dec_per_block),
+            { time_ns(512, || speck.decrypt_block(&mut speck_block)) },
+        ),
+        row("ECDSA secp160r1 sign", cycles_to_ms(cost.ecdsa_sign), {
+            time_ns(4, || {
+                std::hint::black_box(signing.sign(b"attestation request"));
+            })
+        }),
+        row("ECDSA secp160r1 verify", cycles_to_ms(cost.ecdsa_verify), {
+            time_ns(4, || {
+                std::hint::black_box(verifying.verify(b"attestation request", &signature).is_ok());
+            })
+        }),
+    ];
+
+    println!("Table 1 — cryptographic primitive performance");
+    println!("(model: calibrated Siskiyou Peak @ 24 MHz; host: this crate's own code)\n");
+    println!(
+        "{}",
+        render_table(
+            &["primitive", "model ms @24MHz", "host ns/op"],
+            &rows,
+            &[28, 16, 14],
+        )
+    );
+
+    // Shape check: the orderings the paper's argument depends on.
+    let host = |label: &str| {
+        rows.iter()
+            .find(|r| r[0].contains(label))
+            .and_then(|r| r[2].parse::<f64>().ok())
+            .expect("row exists")
+    };
+    let speck_enc = host("Speck 64/128 enc");
+    let aes_enc = host("AES-128 enc");
+    let ecdsa_verify = host("ECDSA secp160r1 verify");
+    println!(
+        "shape check (host): speck_enc < aes_enc: {}",
+        speck_enc < aes_enc
+    );
+    println!(
+        "shape check (host): ecdsa_verify / speck_enc = {:.0}x (paper: ~10000x)",
+        ecdsa_verify / speck_enc
+    );
+}
+
+fn row(name: &str, model_ms: f64, host_ns: f64) -> Vec<String> {
+    vec![name.to_string(), fmt_ms(model_ms), format!("{host_ns:.0}")]
+}

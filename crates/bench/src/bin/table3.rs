@@ -1,0 +1,151 @@
+//! Regenerates **Table 3** (hardware cost per component) and the **§6.3
+//! overhead** arithmetic, plus two ablations the paper does not report:
+//! the structural-estimator cross-check and an EA-MPU rule-count sweep.
+
+use proverguard_bench::render_table;
+use proverguard_hw::components::{
+    AttestKey, Component, EaMpu, HardwareClock, ReplayCounter, SiskiyouPeak, SoftwareClock,
+};
+use proverguard_hw::design::{ClockKind, Design};
+use proverguard_hw::structural;
+
+fn main() {
+    // ---- Table 3 ------------------------------------------------------------
+    println!("Table 3 — hardware cost per component (#r = configurable EA-MPU rules)\n");
+    let mpu1 = EaMpu::new(1);
+    let per_rule = EaMpu::rule_cost();
+    let base = EaMpu::new(0).cost();
+    let rows: Vec<Vec<String>> = vec![
+        component_row(&SiskiyouPeak),
+        vec![
+            mpu1.name().to_string(),
+            "1/rule".to_string(),
+            format!("{} + {}*#r", base.registers, per_rule.registers),
+            format!("{} + {}*#r", base.luts, per_rule.luts),
+        ],
+        component_row(&AttestKey),
+        component_row(&ReplayCounter),
+        component_row(&HardwareClock::wide64()),
+        component_row(&HardwareClock::divided32()),
+        component_row(&SoftwareClock),
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["component", "EA-MPU rules", "registers", "look-up tables"],
+            &rows,
+            &[22, 12, 16, 16],
+        )
+    );
+
+    // ---- §6.3 overheads -------------------------------------------------------
+    println!("§6.3 — overhead over the base-line system\n");
+    let baseline = Design::baseline().synthesize();
+    println!(
+        "base-line: {} (paper: 6038 registers / 15142 LUTs), {} EA-MPU rules\n",
+        baseline.total(),
+        baseline.mpu_rules()
+    );
+
+    let variants = [
+        (
+            "64 bit clock",
+            Design::with_clock(ClockKind::Wide64),
+            "2.98% / 1.62%",
+        ),
+        (
+            "32 bit clock (/2^20)",
+            Design::with_clock(ClockKind::Divided32),
+            "2.45% / 1.41%",
+        ),
+        (
+            "SW-clock (3 rules)",
+            Design::full(ClockKind::Software),
+            "5.76% / 3.61%",
+        ),
+    ];
+    let mut overhead_rows = Vec::new();
+    for (label, design, paper) in variants {
+        let report = design.synthesize();
+        let delta = report.delta_vs(&baseline);
+        let (reg_pct, lut_pct) = report.overhead_vs(&baseline);
+        overhead_rows.push(vec![
+            label.to_string(),
+            format!("+{}", delta.registers),
+            format!("+{}", delta.luts),
+            format!("{reg_pct:.2}% / {lut_pct:.2}%"),
+            paper.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["variant", "Δ registers", "Δ LUTs", "measured", "paper"],
+            &overhead_rows,
+            &[22, 12, 10, 16, 16],
+        )
+    );
+
+    // ---- Ablation 1: structural estimator cross-check -------------------------
+    println!("ablation — structural estimator vs calibrated constants\n");
+    let mut structural_rows = Vec::new();
+    for rules in [1u32, 2, 4, 8] {
+        let est = structural::ea_mpu_estimate(rules);
+        let cal = EaMpu::new(u64::from(rules)).cost();
+        structural_rows.push(vec![
+            format!("EA-MPU, #r = {rules}"),
+            format!("{}/{}", est.registers, est.luts),
+            format!("{}/{}", cal.registers, cal.luts),
+            format!(
+                "{:+.1}%",
+                100.0 * (est.registers as f64 - cal.registers as f64) / cal.registers as f64
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "design",
+                "structural reg/LUT",
+                "calibrated reg/LUT",
+                "reg err"
+            ],
+            &structural_rows,
+            &[16, 20, 20, 10],
+        )
+    );
+
+    // ---- Ablation 2: where does protection stop being cheap? ------------------
+    println!("ablation — EA-MPU rule-count sweep (cost vs base-line)\n");
+    let base_total = baseline.total();
+    let mut sweep_rows = Vec::new();
+    for rules in [2u64, 4, 8, 16, 32] {
+        let total = SiskiyouPeak.cost() + EaMpu::new(rules).cost();
+        let reg_pct = 100.0 * total.registers as f64 / base_total.registers as f64 - 100.0;
+        sweep_rows.push(vec![
+            rules.to_string(),
+            total.registers.to_string(),
+            total.luts.to_string(),
+            format!("{reg_pct:+.2}%"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["#r", "registers", "LUTs", "reg vs base"],
+            &sweep_rows,
+            &[4, 10, 10, 12],
+        )
+    );
+}
+
+fn component_row<C: Component>(c: &C) -> Vec<String> {
+    let cost = c.cost();
+    vec![
+        c.name().to_string(),
+        c.mpu_rules_required().to_string(),
+        cost.registers.to_string(),
+        cost.luts.to_string(),
+    ]
+}

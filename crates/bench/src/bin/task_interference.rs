@@ -1,0 +1,47 @@
+//! Regenerates the **§3.1 primary-task interference experiment**: how many
+//! deadlines a 10 Hz control loop misses while the prover fields a forgery
+//! flood, per defence level and flood rate.
+
+use proverguard_adversary::workload::{standard_interference, PeriodicTask};
+use proverguard_bench::render_table;
+
+fn main() {
+    println!("§3.1 — attestation DoS vs the prover's primary task");
+    println!("(10 Hz control loop, 10 ms budget per period, non-preemptive attestation)\n");
+
+    let task = PeriodicTask::control_loop_10hz();
+    let mut rows = Vec::new();
+    for rate in [1u64, 2, 5, 10, 50] {
+        let reports = standard_interference(task, rate, 20).expect("runs");
+        for report in reports {
+            rows.push(vec![
+                format!("{rate}/s"),
+                report.label.clone(),
+                format!("{:.3}", report.ms_per_forgery),
+                format!("{}/{}", report.missed, report.periods),
+                format!("{:.1}%", report.miss_ratio() * 100.0),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "flood",
+                "prover",
+                "ms/forgery",
+                "deadlines missed",
+                "miss rate"
+            ],
+            &rows,
+            &[6, 14, 12, 18, 10],
+        )
+    );
+
+    println!("reading the table:");
+    println!("  - the unprotected prover's control loop collapses at ~1-2 forgeries/s");
+    println!("    (each one blocks the CPU for ~754 ms, §3.1's uninterruptible MAC);");
+    println!("  - the ECDSA-gated prover survives light floods but saturates around");
+    println!("    5/s (170.9 ms per check) — the §4.1 paradox from the task's view;");
+    println!("  - the Speck-gated prover never misses a deadline at any rate shown.");
+}

@@ -1,0 +1,99 @@
+//! Shared helpers for the benchmark harness and table generators.
+//!
+//! Each binary in `src/bin/` regenerates one artefact of the paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment index); the Criterion
+//! benches in `benches/` measure our from-scratch primitives on the host
+//! to validate the *shape* of Table 1 independently of the calibrated
+//! cycle model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Quick host-side timing: median nanoseconds per iteration of `f` over
+/// `iters` runs (Criterion is the rigorous path; this keeps the table
+/// binaries fast and dependency-free).
+pub fn time_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    assert!(iters > 0, "need at least one iteration");
+    // Warm up.
+    f();
+    let mut samples: Vec<f64> = (0..iters.min(32))
+        .map(|_| {
+            let inner = (iters / 32).max(1);
+            let start = Instant::now();
+            for _ in 0..inner {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(inner)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+/// Renders a simple fixed-width table with a header row.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>], widths: &[usize]) -> String {
+    assert_eq!(headers.len(), widths.len(), "headers and widths must align");
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], out: &mut String| {
+        for (cell, width) in cells.iter().zip(widths.iter()) {
+            out.push_str(&format!("{cell:>width$}  "));
+        }
+        out.push('\n');
+    };
+    fmt_row(
+        &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &mut out);
+    }
+    out
+}
+
+/// Formats a milliseconds value the way the paper's tables do.
+#[must_use]
+pub fn fmt_ms(ms: f64) -> String {
+    format!("{ms:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ns_returns_positive() {
+        let ns = time_ns(64, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["a", "b"],
+            &[vec!["1".to_string(), "2".to_string()]],
+            &[5, 8],
+        );
+        assert!(t.contains("a"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn fmt_ms_three_decimals() {
+        assert_eq!(fmt_ms(754.0321), "754.032");
+        assert_eq!(fmt_ms(0.017), "0.017");
+    }
+
+    #[test]
+    #[should_panic(expected = "headers and widths")]
+    fn render_table_checks_widths() {
+        let _ = render_table(&["a"], &[], &[1, 2]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Constant-time helpers.
+//!
+//! MAC verification on the prover must not leak how many tag bytes matched:
+//! a byte-by-byte early-exit comparison would let an external adversary
+//! forge an authenticated attestation request one byte at a time.
+
+/// Compares two byte slices in constant time with respect to their contents.
+///
+/// Returns `true` iff the slices have equal length and equal contents. The
+/// running time depends only on the lengths, never on where the first
+/// difference occurs.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_crypto::ct::ct_eq;
+///
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tag-longer"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Selects `a` if `choice` is `true`, else `b`, without a data-dependent branch.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_crypto::ct::ct_select_u32;
+///
+/// assert_eq!(ct_select_u32(true, 1, 2), 1);
+/// assert_eq!(ct_select_u32(false, 1, 2), 2);
+/// ```
+#[must_use]
+pub fn ct_select_u32(choice: bool, a: u32, b: u32) -> u32 {
+    let mask = (choice as u32).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices_compare_equal() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[0xde, 0xad], &[0xde, 0xad]));
+    }
+
+    #[test]
+    fn different_lengths_compare_unequal() {
+        assert!(!ct_eq(&[1], &[1, 2]));
+        assert!(!ct_eq(&[1, 2], &[]));
+    }
+
+    #[test]
+    fn difference_anywhere_is_detected() {
+        let base = [7u8; 32];
+        for i in 0..32 {
+            let mut other = base;
+            other[i] ^= 0x80;
+            assert!(!ct_eq(&base, &other), "difference at byte {i} missed");
+        }
+    }
+
+    #[test]
+    fn select_picks_correct_branch() {
+        assert_eq!(ct_select_u32(true, 0xffff_ffff, 0), 0xffff_ffff);
+        assert_eq!(ct_select_u32(false, 0xffff_ffff, 0), 0);
+    }
+}

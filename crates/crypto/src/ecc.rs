@@ -1,0 +1,315 @@
+//! The secp160r1 elliptic curve (SEC 2).
+//!
+//! This is the exact curve the paper benchmarks ("ECC (secp160r1)",
+//! Table 1) and then *rules out* for request authentication: verifying an
+//! ECDSA signature costs ~170 ms on the 24 MHz prover, so using public-key
+//! authentication to prevent DoS would itself be a DoS vector (§4.1).
+//!
+//! Points use affine coordinates with a fast binary-GCD field inversion;
+//! performance is intentionally unremarkable, matching a straightforward
+//! MCU implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use proverguard_crypto::ecc::{Curve, Point};
+//! use proverguard_crypto::bignum::U384;
+//!
+//! let curve = Curve::secp160r1();
+//! let g = curve.generator();
+//! let two_g = curve.add(&g, &g);
+//! assert_eq!(two_g, curve.scalar_mul(&U384::from_u64(2), &g));
+//! ```
+
+use crate::bignum::U384;
+use crate::error::CryptoError;
+
+/// A point on the curve: the identity or an affine `(x, y)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Point {
+    /// The point at infinity (group identity).
+    Infinity,
+    /// An affine point.
+    Affine {
+        /// x coordinate, reduced mod p.
+        x: U384,
+        /// y coordinate, reduced mod p.
+        y: U384,
+    },
+}
+
+impl Point {
+    /// `true` iff this is the point at infinity.
+    #[must_use]
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Point::Infinity)
+    }
+}
+
+/// Short-Weierstrass curve `y² = x³ + ax + b` over `GF(p)` with a generator
+/// of prime order `n`.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    p: U384,
+    a: U384,
+    b: U384,
+    gx: U384,
+    gy: U384,
+    n: U384,
+}
+
+impl Curve {
+    /// The secp160r1 parameters from SEC 2 v2.0.
+    #[must_use]
+    pub fn secp160r1() -> Self {
+        Curve {
+            p: U384::from_be_hex("ffffffffffffffffffffffffffffffff7fffffff"),
+            a: U384::from_be_hex("ffffffffffffffffffffffffffffffff7ffffffc"),
+            b: U384::from_be_hex("1c97befc54bd7a8b65acf89f81d4d4adc565fa45"),
+            gx: U384::from_be_hex("4a96b5688ef573284664698968c38bb913cbfc82"),
+            gy: U384::from_be_hex("23a628553168947d59dcc912042351377ac5fb32"),
+            n: U384::from_be_hex("0100000000000000000001f4c8f927aed3ca752257"),
+        }
+    }
+
+    /// The field prime `p`.
+    #[must_use]
+    pub fn p(&self) -> &U384 {
+        &self.p
+    }
+
+    /// The group order `n`.
+    #[must_use]
+    pub fn order(&self) -> &U384 {
+        &self.n
+    }
+
+    /// The generator point `G`.
+    #[must_use]
+    pub fn generator(&self) -> Point {
+        Point::Affine {
+            x: self.gx,
+            y: self.gy,
+        }
+    }
+
+    /// Checks the curve equation for `point`.
+    #[must_use]
+    pub fn is_on_curve(&self, point: &Point) -> bool {
+        match point {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                if x >= &self.p || y >= &self.p {
+                    return false;
+                }
+                let y2 = y.mul_mod(y, &self.p);
+                let x2 = x.mul_mod(x, &self.p);
+                let x3 = x2.mul_mod(x, &self.p);
+                let rhs = x3
+                    .add_mod(&self.a.mul_mod(x, &self.p), &self.p)
+                    .add_mod(&self.b, &self.p);
+                y2 == rhs
+            }
+        }
+    }
+
+    /// Validates an externally supplied point (coordinates in range and on
+    /// the curve).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::PointNotOnCurve`] if validation fails.
+    pub fn validate_point(&self, point: &Point) -> Result<(), CryptoError> {
+        if self.is_on_curve(point) {
+            Ok(())
+        } else {
+            Err(CryptoError::PointNotOnCurve)
+        }
+    }
+
+    /// Negates a point.
+    #[must_use]
+    pub fn negate(&self, point: &Point) -> Point {
+        match point {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => Point::Affine {
+                x: *x,
+                y: U384::ZERO.sub_mod(y, &self.p),
+            },
+        }
+    }
+
+    /// Adds two points.
+    #[must_use]
+    pub fn add(&self, lhs: &Point, rhs: &Point) -> Point {
+        match (lhs, rhs) {
+            (Point::Infinity, q) => *q,
+            (p, Point::Infinity) => *p,
+            (Point::Affine { x: x1, y: y1 }, Point::Affine { x: x2, y: y2 }) => {
+                if x1 == x2 {
+                    if y1 == y2 {
+                        return self.double(lhs);
+                    }
+                    // x1 == x2, y1 == -y2 (the only other on-curve option).
+                    return Point::Infinity;
+                }
+                let num = y2.sub_mod(y1, &self.p);
+                let den = x2.sub_mod(x1, &self.p);
+                let lambda = num.mul_mod(
+                    &den.inv_mod(&self.p).expect("x1 != x2 implies invertible"),
+                    &self.p,
+                );
+                self.chord_point(&lambda, x1, y1, x2)
+            }
+        }
+    }
+
+    /// Doubles a point.
+    #[must_use]
+    pub fn double(&self, point: &Point) -> Point {
+        match point {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => {
+                if y.is_zero() {
+                    return Point::Infinity;
+                }
+                // lambda = (3x^2 + a) / 2y
+                let x2 = x.mul_mod(x, &self.p);
+                let three_x2 = x2.add_mod(&x2, &self.p).add_mod(&x2, &self.p);
+                let num = three_x2.add_mod(&self.a, &self.p);
+                let two_y = y.add_mod(y, &self.p);
+                let lambda = num.mul_mod(
+                    &two_y.inv_mod(&self.p).expect("y != 0 implies invertible"),
+                    &self.p,
+                );
+                self.chord_point(&lambda, x, y, x)
+            }
+        }
+    }
+
+    /// Given the chord/tangent slope, computes the third intersection point
+    /// reflected over the x axis: `x3 = λ² - x1 - x2`, `y3 = λ(x1 - x3) - y1`.
+    fn chord_point(&self, lambda: &U384, x1: &U384, y1: &U384, x2: &U384) -> Point {
+        let x3 = lambda
+            .mul_mod(lambda, &self.p)
+            .sub_mod(x1, &self.p)
+            .sub_mod(x2, &self.p);
+        let y3 = lambda
+            .mul_mod(&x1.sub_mod(&x3, &self.p), &self.p)
+            .sub_mod(y1, &self.p);
+        Point::Affine { x: x3, y: y3 }
+    }
+
+    /// Computes `k · point` by left-to-right double-and-add.
+    ///
+    /// The scalar is used as given (not reduced); callers doing group
+    /// arithmetic should reduce mod [`Curve::order`] first.
+    #[must_use]
+    pub fn scalar_mul(&self, k: &U384, point: &Point) -> Point {
+        let mut acc = Point::Infinity;
+        for i in (0..k.bits()).rev() {
+            acc = self.double(&acc);
+            if k.bit(i) {
+                acc = self.add(&acc, point);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Curve {
+        Curve::secp160r1()
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        let c = curve();
+        assert!(c.is_on_curve(&c.generator()));
+    }
+
+    #[test]
+    fn infinity_is_identity() {
+        let c = curve();
+        let g = c.generator();
+        assert_eq!(c.add(&g, &Point::Infinity), g);
+        assert_eq!(c.add(&Point::Infinity, &g), g);
+        assert!(c.add(&Point::Infinity, &Point::Infinity).is_infinity());
+    }
+
+    #[test]
+    fn point_plus_negation_is_infinity() {
+        let c = curve();
+        let g = c.generator();
+        let neg = c.negate(&g);
+        assert!(c.is_on_curve(&neg));
+        assert!(c.add(&g, &neg).is_infinity());
+    }
+
+    #[test]
+    fn double_matches_add_self() {
+        let c = curve();
+        let g = c.generator();
+        assert_eq!(c.double(&g), c.add(&g, &g));
+        let two_g = c.double(&g);
+        assert!(c.is_on_curve(&two_g));
+    }
+
+    #[test]
+    fn scalar_mul_small_values() {
+        let c = curve();
+        let g = c.generator();
+        assert!(c.scalar_mul(&U384::ZERO, &g).is_infinity());
+        assert_eq!(c.scalar_mul(&U384::ONE, &g), g);
+        let mut acc = Point::Infinity;
+        for k in 1..=8u64 {
+            acc = c.add(&acc, &g);
+            assert_eq!(c.scalar_mul(&U384::from_u64(k), &g), acc, "k = {k}");
+            assert!(c.is_on_curve(&acc));
+        }
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        let c = curve();
+        let ng = c.scalar_mul(c.order(), &c.generator());
+        assert!(ng.is_infinity());
+    }
+
+    #[test]
+    fn order_minus_one_is_negated_generator() {
+        let c = curve();
+        let n_minus_1 = c.order().wrapping_sub(&U384::ONE);
+        let p = c.scalar_mul(&n_minus_1, &c.generator());
+        assert_eq!(p, c.negate(&c.generator()));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let c = curve();
+        let g = c.generator();
+        // (a + b)G == aG + bG for a couple of medium scalars.
+        let a = U384::from_u64(0x0123_4567_89ab_cdef);
+        let b = U384::from_u64(0xfeed_face_cafe_f00d);
+        let lhs = c.scalar_mul(&a.wrapping_add(&b), &g);
+        let rhs = c.add(&c.scalar_mul(&a, &g), &c.scalar_mul(&b, &g));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn off_curve_point_rejected() {
+        let c = curve();
+        let bogus = Point::Affine {
+            x: U384::from_u64(1),
+            y: U384::from_u64(1),
+        };
+        assert!(matches!(
+            c.validate_point(&bogus),
+            Err(CryptoError::PointNotOnCurve)
+        ));
+        assert!(c.validate_point(&c.generator()).is_ok());
+    }
+}

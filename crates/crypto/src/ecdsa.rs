@@ -1,0 +1,356 @@
+//! ECDSA over secp160r1.
+//!
+//! The paper's Table 1 reports 183.464 ms per signature and 170.907 ms per
+//! verification on the 24 MHz Siskiyou Peak — the numbers that justify
+//! ruling public-key request authentication out (§4.1: "a supposed way of
+//! preventing DoS attacks can itself result in DoS").
+//!
+//! Nonces are derived deterministically from the private key and message
+//! digest with [`HmacDrbg`] (an RFC 6979-style construction), so signing is
+//! reproducible and never needs an entropy source inside the simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use proverguard_crypto::ecdsa::SigningKey;
+//!
+//! # fn main() -> Result<(), proverguard_crypto::CryptoError> {
+//! let key = SigningKey::from_seed(b"verifier identity seed");
+//! let signature = key.sign(b"attestation request 42");
+//! key.verifying_key().verify(b"attestation request 42", &signature)?;
+//! assert!(key.verifying_key().verify(b"tampered", &signature).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bignum::U384;
+use crate::drbg::HmacDrbg;
+use crate::ecc::{Curve, Point};
+use crate::error::CryptoError;
+use crate::sha1::Sha1;
+
+/// Serialized signature component width in bytes (the 161-bit order needs 21).
+pub const COMPONENT_SIZE: usize = 21;
+
+/// An ECDSA signature `(r, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    r: U384,
+    s: U384,
+}
+
+impl Signature {
+    /// The `r` component.
+    #[must_use]
+    pub fn r(&self) -> &U384 {
+        &self.r
+    }
+
+    /// The `s` component.
+    #[must_use]
+    pub fn s(&self) -> &U384 {
+        &self.s
+    }
+
+    /// Serializes as `r ‖ s`, 21 bytes each, big-endian.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; COMPONENT_SIZE * 2] {
+        let mut out = [0u8; COMPONENT_SIZE * 2];
+        out[..COMPONENT_SIZE].copy_from_slice(&self.r.to_be_bytes_sized(COMPONENT_SIZE));
+        out[COMPONENT_SIZE..].copy_from_slice(&self.s.to_be_bytes_sized(COMPONENT_SIZE));
+        out
+    }
+
+    /// Parses a signature serialized by [`Signature::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MalformedSignature`] if the slice length is
+    /// wrong (range checks happen during verification).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != COMPONENT_SIZE * 2 {
+            return Err(CryptoError::MalformedSignature);
+        }
+        Ok(Signature {
+            r: U384::from_be_bytes(&bytes[..COMPONENT_SIZE]),
+            s: U384::from_be_bytes(&bytes[COMPONENT_SIZE..]),
+        })
+    }
+}
+
+/// A secp160r1 private key plus its precomputed public point.
+#[derive(Clone)]
+pub struct SigningKey {
+    curve: Curve,
+    d: U384,
+    public: Point,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SigningKey")
+            .field("d", &"<redacted>")
+            .finish()
+    }
+}
+
+impl SigningKey {
+    /// Derives a key pair deterministically from `seed`.
+    ///
+    /// The scalar is produced by an HMAC-DRBG personalized for key
+    /// generation and reduced into `[1, n-1]`.
+    #[must_use]
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let curve = Curve::secp160r1();
+        let mut drbg = HmacDrbg::new(seed, b"proverguard-ecdsa-keygen");
+        let d = loop {
+            let candidate = U384::from_be_bytes(&drbg.generate(COMPONENT_SIZE)).rem(curve.order());
+            if !candidate.is_zero() {
+                break candidate;
+            }
+        };
+        let public = curve.scalar_mul(&d, &curve.generator());
+        SigningKey { curve, d, public }
+    }
+
+    /// Constructs a key from an explicit scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::ScalarOutOfRange`] unless `0 < d < n`.
+    pub fn from_scalar(d: U384) -> Result<Self, CryptoError> {
+        let curve = Curve::secp160r1();
+        if d.is_zero() || &d >= curve.order() {
+            return Err(CryptoError::ScalarOutOfRange);
+        }
+        let public = curve.scalar_mul(&d, &curve.generator());
+        Ok(SigningKey { curve, d, public })
+    }
+
+    /// The corresponding public (verification) key.
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey {
+            curve: self.curve.clone(),
+            public: self.public,
+        }
+    }
+
+    /// Signs `message` (hashed internally with SHA-1).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the deterministic nonce stream somehow yields
+    /// thousands of consecutive invalid nonces, which is cryptographically
+    /// impossible for a correct implementation.
+    #[must_use]
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let e = message_scalar(message, self.curve.order());
+
+        // RFC 6979-flavoured deterministic nonce: seed the DRBG with the
+        // private scalar and the message digest.
+        let mut seed = self.d.to_be_bytes_sized(COMPONENT_SIZE);
+        seed.extend_from_slice(&Sha1::digest(message));
+        let mut drbg = HmacDrbg::new(&seed, b"proverguard-ecdsa-nonce");
+
+        for _ in 0..10_000 {
+            let k = U384::from_be_bytes(&drbg.generate(COMPONENT_SIZE)).rem(self.curve.order());
+            if k.is_zero() {
+                continue;
+            }
+            let Point::Affine { x, .. } = self.curve.scalar_mul(&k, &self.curve.generator()) else {
+                continue;
+            };
+            let r = x.rem(self.curve.order());
+            if r.is_zero() {
+                continue;
+            }
+            let k_inv = k.inv_mod(self.curve.order()).expect("k in [1, n-1]");
+            let rd = r.mul_mod(&self.d, self.curve.order());
+            let s = k_inv.mul_mod(&e.add_mod(&rd, self.curve.order()), self.curve.order());
+            if s.is_zero() {
+                continue;
+            }
+            return Signature { r, s };
+        }
+        unreachable!("deterministic nonce stream exhausted");
+    }
+}
+
+/// A secp160r1 public key.
+#[derive(Debug, Clone)]
+pub struct VerifyingKey {
+    curve: Curve,
+    public: Point,
+}
+
+impl VerifyingKey {
+    /// Constructs a verifying key from an explicit point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::PointNotOnCurve`] if the point fails
+    /// validation (or is the identity).
+    pub fn from_point(public: Point) -> Result<Self, CryptoError> {
+        let curve = Curve::secp160r1();
+        if public.is_infinity() {
+            return Err(CryptoError::PointNotOnCurve);
+        }
+        curve.validate_point(&public)?;
+        Ok(VerifyingKey { curve, public })
+    }
+
+    /// The public point.
+    #[must_use]
+    pub fn point(&self) -> &Point {
+        &self.public
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CryptoError::MalformedSignature`] if `r` or `s` is outside
+    ///   `[1, n-1]`.
+    /// - [`CryptoError::BadSignature`] if the signature does not verify.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        let n = self.curve.order();
+        let in_range = |v: &U384| !v.is_zero() && v < n;
+        if !in_range(&signature.r) || !in_range(&signature.s) {
+            return Err(CryptoError::MalformedSignature);
+        }
+        let e = message_scalar(message, n);
+        let w = signature
+            .s
+            .inv_mod(n)
+            .ok_or(CryptoError::MalformedSignature)?;
+        let u1 = e.mul_mod(&w, n);
+        let u2 = signature.r.mul_mod(&w, n);
+        let point = self.curve.add(
+            &self.curve.scalar_mul(&u1, &self.curve.generator()),
+            &self.curve.scalar_mul(&u2, &self.public),
+        );
+        let Point::Affine { x, .. } = point else {
+            return Err(CryptoError::BadSignature);
+        };
+        if x.rem(n) == signature.r {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+}
+
+/// Converts a message into the ECDSA scalar `e`: SHA-1 digest interpreted
+/// big-endian. 160 digest bits < 161 order bits, so no truncation is needed
+/// for secp160r1; the final `rem` guards the (impossible in practice) case
+/// `e >= n`.
+fn message_scalar(message: &[u8], n: &U384) -> U384 {
+    U384::from_be_bytes(&Sha1::digest(message)).rem(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = SigningKey::from_seed(b"seed");
+        let sig = key.sign(b"hello prover");
+        key.verifying_key().verify(b"hello prover", &sig).unwrap();
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let key = SigningKey::from_seed(b"seed");
+        assert_eq!(key.sign(b"msg"), key.sign(b"msg"));
+        assert_ne!(key.sign(b"msg"), key.sign(b"msg2"));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let key = SigningKey::from_seed(b"seed");
+        let sig = key.sign(b"original");
+        assert_eq!(
+            key.verifying_key().verify(b"tampered", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let key_a = SigningKey::from_seed(b"a");
+        let key_b = SigningKey::from_seed(b"b");
+        let sig = key_a.sign(b"msg");
+        assert!(key_b.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn zero_components_rejected() {
+        let key = SigningKey::from_seed(b"seed");
+        let good = key.sign(b"msg");
+        let zero_r = Signature {
+            r: U384::ZERO,
+            s: *good.s(),
+        };
+        let zero_s = Signature {
+            r: *good.r(),
+            s: U384::ZERO,
+        };
+        assert_eq!(
+            key.verifying_key().verify(b"msg", &zero_r),
+            Err(CryptoError::MalformedSignature)
+        );
+        assert_eq!(
+            key.verifying_key().verify(b"msg", &zero_s),
+            Err(CryptoError::MalformedSignature)
+        );
+    }
+
+    #[test]
+    fn out_of_range_components_rejected() {
+        let key = SigningKey::from_seed(b"seed");
+        let good = key.sign(b"msg");
+        let n = *Curve::secp160r1().order();
+        let big = Signature { r: n, s: *good.s() };
+        assert_eq!(
+            key.verifying_key().verify(b"msg", &big),
+            Err(CryptoError::MalformedSignature)
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let key = SigningKey::from_seed(b"seed");
+        let sig = key.sign(b"msg");
+        let bytes = sig.to_bytes();
+        assert_eq!(Signature::from_bytes(&bytes).unwrap(), sig);
+        assert!(Signature::from_bytes(&bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn from_scalar_validates_range() {
+        assert!(matches!(
+            SigningKey::from_scalar(U384::ZERO),
+            Err(CryptoError::ScalarOutOfRange)
+        ));
+        let n = *Curve::secp160r1().order();
+        assert!(matches!(
+            SigningKey::from_scalar(n),
+            Err(CryptoError::ScalarOutOfRange)
+        ));
+        let key = SigningKey::from_scalar(U384::from_u64(12345)).unwrap();
+        let sig = key.sign(b"m");
+        key.verifying_key().verify(b"m", &sig).unwrap();
+    }
+
+    #[test]
+    fn public_point_validates() {
+        let key = SigningKey::from_seed(b"seed");
+        let vk = key.verifying_key();
+        let rebuilt = VerifyingKey::from_point(*vk.point()).unwrap();
+        let sig = key.sign(b"m");
+        rebuilt.verify(b"m", &sig).unwrap();
+        assert!(VerifyingKey::from_point(Point::Infinity).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by the fallible operations in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_crypto::aes::Aes128;
+/// use proverguard_crypto::CryptoError;
+///
+/// let err = Aes128::new(&[0u8; 7]).unwrap_err();
+/// assert!(matches!(err, CryptoError::KeyLength { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A key of the wrong length was supplied.
+    KeyLength {
+        /// Length the algorithm expects, in bytes.
+        expected: usize,
+        /// Length that was provided, in bytes.
+        actual: usize,
+    },
+    /// Input is not a whole number of cipher blocks.
+    BlockAlignment {
+        /// Cipher block size in bytes.
+        block_size: usize,
+        /// Offending input length in bytes.
+        actual: usize,
+    },
+    /// An initialization vector of the wrong length was supplied.
+    IvLength {
+        /// Length the mode expects, in bytes.
+        expected: usize,
+        /// Length that was provided, in bytes.
+        actual: usize,
+    },
+    /// A scalar or coordinate was out of range for the curve.
+    ScalarOutOfRange,
+    /// A point failed the curve-equation check.
+    PointNotOnCurve,
+    /// A signature failed structural validation (r or s out of `[1, n-1]`).
+    MalformedSignature,
+    /// Signature verification completed but the signature does not match.
+    BadSignature,
+    /// A MAC comparison failed.
+    BadMac,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::KeyLength { expected, actual } => {
+                write!(f, "key must be {expected} bytes, got {actual}")
+            }
+            CryptoError::BlockAlignment { block_size, actual } => {
+                write!(
+                    f,
+                    "input length {actual} is not a multiple of the {block_size}-byte block size"
+                )
+            }
+            CryptoError::IvLength { expected, actual } => {
+                write!(f, "iv must be {expected} bytes, got {actual}")
+            }
+            CryptoError::ScalarOutOfRange => write!(f, "scalar out of range for the curve"),
+            CryptoError::PointNotOnCurve => write!(f, "point is not on the curve"),
+            CryptoError::MalformedSignature => write!(f, "signature components out of range"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::BadMac => write!(f, "mac verification failed"),
+        }
+    }
+}
+
+impl Error for CryptoError {}

@@ -1,0 +1,283 @@
+//! SHA-1 (FIPS 180-4).
+//!
+//! SHA-1 is the hash underlying the paper's HMAC measurements (Table 1) and
+//! the attestation MAC computed over the prover's writable memory. The
+//! implementation is a straightforward streaming Merkle–Damgård construction
+//! over the 512-bit (64-byte) compression function — the same 64-byte block
+//! granularity the paper uses when it computes
+//! `(512 KB / 64 B) · t_block + t_fix` for a whole-memory MAC.
+//!
+//! # Example
+//!
+//! ```
+//! use proverguard_crypto::sha1::Sha1;
+//!
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(
+//!     proverguard_crypto::sha1::to_hex(&digest),
+//!     "a9993e364706816aba3e25717850c26c9cd0d89d"
+//! );
+//! ```
+
+/// Digest size in bytes.
+pub const DIGEST_SIZE: usize = 20;
+
+/// Compression-function block size in bytes.
+pub const BLOCK_SIZE: usize = 64;
+
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xefcd_ab89,
+    0x98ba_dcfe,
+    0x1032_5476,
+    0xc3d2_e1f0,
+];
+
+/// Streaming SHA-1 hasher.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_crypto::sha1::Sha1;
+///
+/// let mut h = Sha1::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), Sha1::digest(b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; BLOCK_SIZE],
+    buffered: usize,
+    total_len: u64,
+    /// Number of 64-byte compression-function invocations so far. Exposed so
+    /// the MCU cycle model can charge a per-block cost exactly as the paper's
+    /// Table 1 does.
+    blocks_processed: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha1 {
+            state: H0,
+            buffer: [0; BLOCK_SIZE],
+            buffered: 0,
+            total_len: 0,
+            blocks_processed: 0,
+        }
+    }
+
+    /// One-shot convenience: hashes `data` and returns the digest.
+    #[must_use]
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_SIZE] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (BLOCK_SIZE - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == BLOCK_SIZE {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= BLOCK_SIZE {
+            let (block, rest) = data.split_at(BLOCK_SIZE);
+            let mut b = [0u8; BLOCK_SIZE];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Pads, compresses the final block(s) and returns the digest.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; DIGEST_SIZE] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zeros until 8 bytes remain in the block.
+        let mut pad = [0u8; BLOCK_SIZE * 2];
+        pad[0] = 0x80;
+        let pad_len = if self.buffered < 56 {
+            56 - self.buffered
+        } else {
+            BLOCK_SIZE + 56 - self.buffered
+        };
+        // `update` must not re-count padding bytes into total_len; splice manually.
+        let mut tail = [0u8; BLOCK_SIZE * 2];
+        tail[..pad_len].copy_from_slice(&pad[..pad_len]);
+        tail[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        let tail_len = pad_len + 8;
+
+        let mut offset = 0;
+        while offset < tail_len {
+            let take = (BLOCK_SIZE - self.buffered).min(tail_len - offset);
+            self.buffer[self.buffered..self.buffered + take]
+                .copy_from_slice(&tail[offset..offset + take]);
+            self.buffered += take;
+            offset += take;
+            if self.buffered == BLOCK_SIZE {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        debug_assert_eq!(self.buffered, 0);
+
+        let mut out = [0u8; DIGEST_SIZE];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Number of 64-byte blocks compressed so far (before finalization padding).
+    #[must_use]
+    pub fn blocks_processed(&self) -> u64 {
+        self.blocks_processed
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_SIZE]) {
+        self.blocks_processed += 1;
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// Renders a digest (or any byte slice) as lowercase hex.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(proverguard_crypto::sha1::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_digest(data: &[u8]) -> String {
+        to_hex(&Sha1::digest(data))
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            hex_digest(b"abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(hex_digest(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        assert_eq!(
+            hex_digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex_digest(&data),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let expected = Sha1::digest(&data);
+        for split in 0..data.len() {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expected, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn block_counter_counts_compressions() {
+        let mut h = Sha1::new();
+        h.update(&[0u8; 64 * 3]);
+        assert_eq!(h.blocks_processed(), 3);
+        h.update(&[0u8; 10]);
+        assert_eq!(h.blocks_processed(), 3);
+    }
+
+    #[test]
+    fn exact_block_boundary_padding() {
+        // 55, 56, 63, 64, 65 bytes exercise every padding branch.
+        for len in [55usize, 56, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0xa5u8; len];
+            let d1 = Sha1::digest(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Calibrated per-component costs (the rows of Table 3).
+//!
+//! Each component reports its direct FPGA resource cost and the number of
+//! EA-MPU protection rules that must be *configured* to protect it. The
+//! rule costs themselves are owned by the [`EaMpu`] component: the paper's
+//! Table 3 prices the EA-MPU as `278 + 116·#r` registers and
+//! `417 + 182·#r` LUTs, where `#r` is the number of configurable rules.
+
+use crate::resources::Resources;
+
+/// Per-rule register cost of the TrustLite-style EA-MPU.
+pub const MPU_RULE_REGISTERS: u64 = 116;
+/// Per-rule LUT cost of the TrustLite-style EA-MPU.
+pub const MPU_RULE_LUTS: u64 = 182;
+/// Fixed register cost of the EA-MPU with zero rules.
+pub const MPU_BASE_REGISTERS: u64 = 278;
+/// Fixed LUT cost of the EA-MPU with zero rules.
+pub const MPU_BASE_LUTS: u64 = 417;
+
+/// A hardware component with a resource cost and an EA-MPU rule demand.
+///
+/// Implementors correspond to the columns of the paper's Table 3.
+pub trait Component {
+    /// Human-readable name (matches Table 3 headers where applicable).
+    fn name(&self) -> &str;
+
+    /// Direct FPGA resource cost of the component itself.
+    fn cost(&self) -> Resources;
+
+    /// Number of EA-MPU rules that must be provisioned to protect this
+    /// component (Table 3 row "EA-MPU rules").
+    fn mpu_rules_required(&self) -> u64 {
+        0
+    }
+}
+
+/// The Intel Siskiyou Peak softcore (the prover CPU).
+///
+/// Calibrated cost from Table 3: 5528 registers, 14361 LUTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiskiyouPeak;
+
+impl Component for SiskiyouPeak {
+    fn name(&self) -> &str {
+        "Siskiyou Peak"
+    }
+
+    fn cost(&self) -> Resources {
+        Resources::new(5528, 14361)
+    }
+}
+
+/// The execution-aware memory protection unit with `rules` configurable
+/// rules (TrustLite).
+///
+/// # Example
+///
+/// ```
+/// use proverguard_hw::components::{Component, EaMpu};
+/// use proverguard_hw::Resources;
+///
+/// // Table 3: 278 + 116·#r registers, 417 + 182·#r LUTs.
+/// assert_eq!(EaMpu::new(2).cost(), Resources::new(278 + 116 * 2, 417 + 182 * 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EaMpu {
+    rules: u64,
+}
+
+impl EaMpu {
+    /// An EA-MPU with `rules` configurable protection rules.
+    #[must_use]
+    pub fn new(rules: u64) -> Self {
+        EaMpu { rules }
+    }
+
+    /// Number of configurable rules.
+    #[must_use]
+    pub fn rules(&self) -> u64 {
+        self.rules
+    }
+
+    /// Cost of one additional rule (used by the §6.3 overhead arithmetic).
+    #[must_use]
+    pub fn rule_cost() -> Resources {
+        Resources::new(MPU_RULE_REGISTERS, MPU_RULE_LUTS)
+    }
+}
+
+impl Component for EaMpu {
+    fn name(&self) -> &str {
+        "EA-MPU (TrustLite)"
+    }
+
+    fn cost(&self) -> Resources {
+        Resources::new(
+            MPU_BASE_REGISTERS + MPU_RULE_REGISTERS * self.rules,
+            MPU_BASE_LUTS + MPU_RULE_LUTS * self.rules,
+        )
+    }
+}
+
+/// The attestation key storage (`K_Attest`).
+///
+/// Table 3: zero direct hardware cost (the key lives in existing
+/// ROM/flash), but one EA-MPU rule to restrict read access to
+/// `Code_Attest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AttestKey;
+
+impl Component for AttestKey {
+    fn name(&self) -> &str {
+        "Attest-Key"
+    }
+
+    fn cost(&self) -> Resources {
+        Resources::ZERO
+    }
+
+    fn mpu_rules_required(&self) -> u64 {
+        1
+    }
+}
+
+/// The replay counter (`counter_R`).
+///
+/// Table 3: zero direct cost (a word of existing non-volatile memory) plus
+/// one EA-MPU rule making it writable only by `Code_Attest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayCounter;
+
+impl Component for ReplayCounter {
+    fn name(&self) -> &str {
+        "Counter"
+    }
+
+    fn cost(&self) -> Resources {
+        Resources::ZERO
+    }
+
+    fn mpu_rules_required(&self) -> u64 {
+        1
+    }
+}
+
+/// A dedicated hardware real-time clock register of `width` bits,
+/// optionally behind a clock divider.
+///
+/// Table 3 prices a `w`-bit clock at `w` registers and `w` LUTs (the
+/// counter flip-flops plus its increment logic); the paper treats the
+/// divider as free prescaler reuse, and we follow it. Protecting the
+/// clock costs one EA-MPU rule (§6.3 counts one additional rule for the
+/// hardware-clock variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareClock {
+    width: u32,
+    divider_log2: u32,
+}
+
+impl HardwareClock {
+    /// A 64-bit clock incremented every CPU cycle (Figure 1a, first variant).
+    #[must_use]
+    pub fn wide64() -> Self {
+        HardwareClock {
+            width: 64,
+            divider_log2: 0,
+        }
+    }
+
+    /// A 32-bit clock behind a divide-by-2²⁰ prescaler (§6.3 second variant).
+    #[must_use]
+    pub fn divided32() -> Self {
+        HardwareClock {
+            width: 32,
+            divider_log2: 20,
+        }
+    }
+
+    /// An arbitrary clock for ablation sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 128.
+    #[must_use]
+    pub fn custom(width: u32, divider_log2: u32) -> Self {
+        assert!(width > 0 && width <= 128, "clock width out of range");
+        HardwareClock {
+            width,
+            divider_log2,
+        }
+    }
+
+    /// Counter width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// log₂ of the divider (0 = increment every cycle).
+    #[must_use]
+    pub fn divider_log2(&self) -> u32 {
+        self.divider_log2
+    }
+
+    /// Seconds until the counter wraps around at `cpu_hz`.
+    ///
+    /// §6.3: a 64-bit register at 24 MHz wraps after 24 372.6 years; a
+    /// 32-bit register after ~3 minutes; 32-bit ÷ 2²⁰ after ~6 years.
+    #[must_use]
+    pub fn wraparound_seconds(&self, cpu_hz: f64) -> f64 {
+        let ticks = 2f64.powi(self.width as i32);
+        let tick_hz = cpu_hz / 2f64.powi(self.divider_log2 as i32);
+        ticks / tick_hz
+    }
+
+    /// Clock resolution in seconds at `cpu_hz` (one tick period).
+    #[must_use]
+    pub fn resolution_seconds(&self, cpu_hz: f64) -> f64 {
+        2f64.powi(self.divider_log2 as i32) / cpu_hz
+    }
+}
+
+impl Component for HardwareClock {
+    fn name(&self) -> &str {
+        match (self.width, self.divider_log2) {
+            (64, 0) => "64 bit clock",
+            (32, 20) => "32 bit clock",
+            _ => "custom clock",
+        }
+    }
+
+    fn cost(&self) -> Resources {
+        Resources::new(self.width as u64, self.width as u64)
+    }
+
+    fn mpu_rules_required(&self) -> u64 {
+        1
+    }
+}
+
+/// The software clock of Figure 1b: a short hardware counter
+/// (`Clock_LSB`, already present on common MCUs, hence zero direct cost)
+/// whose wrap-around interrupt is served by `Code_Clock`, which maintains
+/// `Clock_MSB` in protected RAM.
+///
+/// Table 3 / §6.3: no direct hardware, but EA-MPU rules to (1) lock the
+/// IDT and (2) protect `Clock_MSB` — and in the §6.3 overhead accounting
+/// a third rule for the counter-style protection of the LSB tick source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SoftwareClock;
+
+impl SoftwareClock {
+    /// Rules attributable to the SW-clock proper (IDT + `Clock_MSB`), the
+    /// value in Table 3's "SW-clock" column.
+    pub const TABLE3_RULES: u64 = 2;
+}
+
+impl Component for SoftwareClock {
+    fn name(&self) -> &str {
+        "SW-clock"
+    }
+
+    fn cost(&self) -> Resources {
+        Resources::ZERO
+    }
+
+    fn mpu_rules_required(&self) -> u64 {
+        Self::TABLE3_RULES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_siskiyou_row() {
+        assert_eq!(SiskiyouPeak.cost(), Resources::new(5528, 14361));
+        assert_eq!(SiskiyouPeak.mpu_rules_required(), 0);
+    }
+
+    #[test]
+    fn table3_mpu_formula() {
+        for r in 0..10 {
+            let mpu = EaMpu::new(r);
+            assert_eq!(mpu.cost(), Resources::new(278 + 116 * r, 417 + 182 * r));
+        }
+    }
+
+    #[test]
+    fn table3_key_and_counter_rows() {
+        assert_eq!(AttestKey.cost(), Resources::ZERO);
+        assert_eq!(AttestKey.mpu_rules_required(), 1);
+        assert_eq!(ReplayCounter.cost(), Resources::ZERO);
+        assert_eq!(ReplayCounter.mpu_rules_required(), 1);
+    }
+
+    #[test]
+    fn table3_clock_rows() {
+        assert_eq!(HardwareClock::wide64().cost(), Resources::new(64, 64));
+        assert_eq!(HardwareClock::divided32().cost(), Resources::new(32, 32));
+        assert_eq!(SoftwareClock.cost(), Resources::ZERO);
+        assert_eq!(SoftwareClock.mpu_rules_required(), 2);
+    }
+
+    #[test]
+    fn wraparound_64bit_matches_paper() {
+        // §6.3: "a 64 bit register incremented every clock cycle wraps
+        // around after 24,372.6 years on a 24 Mhz CPU".
+        let years = HardwareClock::wide64().wraparound_seconds(24e6) / (365.25 * 86_400.0);
+        assert!((years - 24_372.6).abs() < 30.0, "got {years} years");
+    }
+
+    #[test]
+    fn wraparound_32bit_matches_paper() {
+        // §6.3: "given a 32 bit register, the wrap-around time is about
+        // 3 minutes at 24 Mhz".
+        let raw32 = HardwareClock::custom(32, 0).wraparound_seconds(24e6);
+        assert!(
+            (raw32 / 60.0 - 3.0).abs() < 0.1,
+            "got {} minutes",
+            raw32 / 60.0
+        );
+
+        // "By dividing the clock by 2^20 ... wrap-around can be increased
+        // to 6 years while keeping clock resolution at 42 ms."
+        let divided = HardwareClock::divided32();
+        let years = divided.wraparound_seconds(24e6) / (365.25 * 86_400.0);
+        assert!((years - 5.95).abs() < 0.2, "got {years} years");
+        let res_ms = divided.resolution_seconds(24e6) * 1e3;
+        assert!((res_ms - 43.7).abs() < 2.0, "got {res_ms} ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "clock width out of range")]
+    fn zero_width_clock_rejected() {
+        let _ = HardwareClock::custom(0, 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Whole-device design composition (the §6.3 overhead experiment).
+//!
+//! A [`Design`] is the Siskiyou Peak core plus an EA-MPU sized for the
+//! protection rules the selected features demand, plus the feature
+//! components themselves. [`Design::synthesize`] turns it into a
+//! [`SynthesisReport`].
+//!
+//! [`SynthesisReport`]: crate::report::SynthesisReport
+
+use crate::components::{
+    AttestKey, Component, EaMpu, HardwareClock, ReplayCounter, SiskiyouPeak, SoftwareClock,
+};
+use crate::report::{ComponentCost, SynthesisReport};
+use crate::resources::Resources;
+
+/// Which real-time clock (if any) the design includes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClockKind {
+    /// No clock: the design can mitigate replay/reorder (counter) but not
+    /// delay attacks.
+    #[default]
+    None,
+    /// Dedicated 64-bit hardware register incremented every cycle (Fig. 1a).
+    Wide64,
+    /// 32-bit hardware register behind a ÷2²⁰ prescaler (§6.3).
+    Divided32,
+    /// Software clock: `Clock_LSB` wrap-around interrupt + `Code_Clock`
+    /// maintained `Clock_MSB` (Fig. 1b).
+    Software,
+}
+
+impl std::fmt::Display for ClockKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClockKind::None => write!(f, "no clock"),
+            ClockKind::Wide64 => write!(f, "64 bit clock"),
+            ClockKind::Divided32 => write!(f, "32 bit clock"),
+            ClockKind::Software => write!(f, "SW-clock"),
+        }
+    }
+}
+
+/// A composable prover hardware design.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_hw::design::{ClockKind, Design};
+///
+/// let sw = Design::full(ClockKind::Software);
+/// let report = sw.synthesize();
+/// let (reg_pct, lut_pct) = report.overhead_vs(&Design::baseline().synthesize());
+/// // §6.3: "5.76% and 3.61% of the overall cost".
+/// assert!((reg_pct - 5.76).abs() < 0.01);
+/// assert!((lut_pct - 3.61).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Design {
+    name: String,
+    clock: ClockKind,
+    replay_counter: bool,
+}
+
+impl Design {
+    /// The paper's base-line: attestation support without `Adv_ext` /
+    /// `Adv_roam` protection. Two EA-MPU rules — one locking down the
+    /// EA-MPU itself, one protecting `K_Attest`.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Design {
+            name: "base-line (attestation only)".to_string(),
+            clock: ClockKind::None,
+            replay_counter: false,
+        }
+    }
+
+    /// Base-line plus replay counter (mitigates replay and reorder but not
+    /// delay).
+    #[must_use]
+    pub fn with_counter() -> Self {
+        Design {
+            name: "counter (replay/reorder protection)".to_string(),
+            clock: ClockKind::None,
+            replay_counter: true,
+        }
+    }
+
+    /// Base-line plus the selected clock implementation (full `Adv_roam`
+    /// mitigation for the clock path; §6.3 accounts clock variants without
+    /// the counter rule, and we follow its arithmetic exactly).
+    #[must_use]
+    pub fn with_clock(clock: ClockKind) -> Self {
+        Design {
+            name: format!("{clock} variant"),
+            clock,
+            replay_counter: false,
+        }
+    }
+
+    /// The full protection stack: counter plus clock.
+    #[must_use]
+    pub fn full(clock: ClockKind) -> Self {
+        Design {
+            name: format!("full protection ({clock} + counter)"),
+            clock,
+            replay_counter: true,
+        }
+    }
+
+    /// Human-readable design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock variant of this design.
+    #[must_use]
+    pub fn clock(&self) -> ClockKind {
+        self.clock
+    }
+
+    /// Produces the synthesis report: per-component costs, EA-MPU sizing
+    /// and totals.
+    #[must_use]
+    pub fn synthesize(&self) -> SynthesisReport {
+        // Feature components (everything except core + MPU).
+        let mut features: Vec<(String, Resources, u64)> = Vec::new();
+        let key = AttestKey;
+        features.push((key.name().to_string(), key.cost(), key.mpu_rules_required()));
+        if self.replay_counter {
+            let c = ReplayCounter;
+            features.push((c.name().to_string(), c.cost(), c.mpu_rules_required()));
+        }
+        match self.clock {
+            ClockKind::None => {}
+            ClockKind::Wide64 => {
+                let c = HardwareClock::wide64();
+                features.push((c.name().to_string(), c.cost(), c.mpu_rules_required()));
+            }
+            ClockKind::Divided32 => {
+                let c = HardwareClock::divided32();
+                features.push((c.name().to_string(), c.cost(), c.mpu_rules_required()));
+            }
+            ClockKind::Software => {
+                let c = SoftwareClock;
+                features.push((c.name().to_string(), c.cost(), c.mpu_rules_required()));
+            }
+        }
+
+        // One rule always locks down the EA-MPU configuration itself.
+        let lockdown_rules = 1;
+        let total_rules: u64 = lockdown_rules + features.iter().map(|(_, _, r)| r).sum::<u64>();
+
+        let core = SiskiyouPeak;
+        let mpu = EaMpu::new(total_rules);
+
+        let mut costs = vec![
+            ComponentCost::new(core.name(), core.cost(), 0),
+            ComponentCost::new(mpu.name(), mpu.cost(), total_rules),
+        ];
+        for (name, cost, rules) in features {
+            costs.push(ComponentCost::new(&name, cost, rules));
+        }
+        SynthesisReport::new(&self.name, costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_section_6_3() {
+        // "The total cost of the base-line system is 5528+278+(116·2)=6038
+        // registers and 14361+417+(182·2)=15142 LUTs".
+        let report = Design::baseline().synthesize();
+        assert_eq!(report.total(), Resources::new(6038, 15142));
+        assert_eq!(report.mpu_rules(), 2);
+    }
+
+    #[test]
+    fn clock_64_overhead_matches_section_6_3() {
+        let base = Design::baseline().synthesize();
+        let v64 = Design::with_clock(ClockKind::Wide64).synthesize();
+        let delta = v64.delta_vs(&base);
+        // "116+64=180 registers and 182+64=246 LUTs".
+        assert_eq!(delta, Resources::new(180, 246));
+        let (r, l) = v64.overhead_vs(&base);
+        assert!((r - 2.98).abs() < 0.01, "{r}");
+        assert!((l - 1.62).abs() < 0.01, "{l}");
+    }
+
+    #[test]
+    fn clock_32_overhead_matches_section_6_3() {
+        let base = Design::baseline().synthesize();
+        let v32 = Design::with_clock(ClockKind::Divided32).synthesize();
+        assert_eq!(v32.delta_vs(&base), Resources::new(148, 214));
+        let (r, l) = v32.overhead_vs(&base);
+        assert!((r - 2.45).abs() < 0.01, "{r}");
+        assert!((l - 1.41).abs() < 0.01, "{l}");
+    }
+
+    #[test]
+    fn sw_clock_overhead_matches_section_6_3() {
+        let base = Design::baseline().synthesize();
+        // §6.3 prices the SW-clock variant at three new EA-MPU rules
+        // (IDT lockdown, Clock_MSB, and the tick source / counter rule);
+        // `full` with the counter reproduces that accounting.
+        let sw = Design::full(ClockKind::Software).synthesize();
+        assert_eq!(sw.delta_vs(&base), Resources::new(348, 546));
+        let (r, l) = sw.overhead_vs(&base);
+        assert!((r - 5.76).abs() < 0.01, "{r}");
+        assert!((l - 3.61).abs() < 0.01, "{l}");
+    }
+
+    #[test]
+    fn counter_only_costs_one_rule() {
+        let base = Design::baseline().synthesize();
+        let counter = Design::with_counter().synthesize();
+        assert_eq!(counter.delta_vs(&base), Resources::new(116, 182));
+        assert_eq!(counter.mpu_rules(), 3);
+    }
+
+    #[test]
+    fn rule_counts_per_design() {
+        assert_eq!(Design::baseline().synthesize().mpu_rules(), 2);
+        assert_eq!(
+            Design::with_clock(ClockKind::Wide64)
+                .synthesize()
+                .mpu_rules(),
+            3
+        );
+        assert_eq!(
+            Design::with_clock(ClockKind::Software)
+                .synthesize()
+                .mpu_rules(),
+            4
+        );
+        assert_eq!(
+            Design::full(ClockKind::Software).synthesize().mpu_rules(),
+            5
+        );
+    }
+}

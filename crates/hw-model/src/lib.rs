@@ -1,0 +1,49 @@
+//! FPGA resource-cost model for the paper's hardware evaluation.
+//!
+//! The paper evaluates its prover-protection mechanisms by the number of
+//! FPGA **registers** (flip-flops) and **look-up tables** each component
+//! adds to a TrustLite-style system built around the Intel Siskiyou Peak
+//! softcore (Table 3), and reports the relative overhead of three clock
+//! designs (§6.3). We do not have an FPGA synthesis toolchain, so this
+//! crate substitutes two complementary models (see `DESIGN.md` §3):
+//!
+//! - [`components`] — *calibrated* per-component costs taken from the
+//!   paper's published numbers (Siskiyou Peak core, the EA-MPU base +
+//!   per-rule formula, and the clock variants). These regenerate Table 3
+//!   and the §6.3 overhead percentages exactly.
+//! - [`structural`] — a *structural* estimator that builds the same
+//!   components out of flip-flops, LUT-equivalents, adders and
+//!   comparators. It exists to sanity-check the calibrated constants
+//!   (tests assert the structural estimates land within a tolerance band)
+//!   and to support ablations the paper doesn't report, e.g. sweeping the
+//!   EA-MPU rule count or clock width.
+//!
+//! [`design`] composes components into whole devices and produces
+//! [`report::SynthesisReport`]s with totals and overhead-vs-baseline
+//! percentages.
+//!
+//! # Example
+//!
+//! ```
+//! use proverguard_hw::design::Design;
+//!
+//! let baseline = Design::baseline();
+//! let report = baseline.synthesize();
+//! // The paper's §6.3 base-line: 6038 registers and 15142 LUTs.
+//! assert_eq!(report.total().registers, 6038);
+//! assert_eq!(report.total().luts, 15142);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod design;
+pub mod report;
+pub mod resources;
+pub mod structural;
+
+pub use components::Component;
+pub use design::{ClockKind, Design};
+pub use report::SynthesisReport;
+pub use resources::Resources;

@@ -1,0 +1,198 @@
+//! Synthesis reports: per-component cost breakdowns and overhead
+//! comparisons, renderable as the paper's Table 3.
+
+use crate::resources::Resources;
+use std::fmt;
+
+/// One line item of a synthesis report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentCost {
+    name: String,
+    cost: Resources,
+    mpu_rules: u64,
+}
+
+impl ComponentCost {
+    /// Creates a line item.
+    #[must_use]
+    pub fn new(name: &str, cost: Resources, mpu_rules: u64) -> Self {
+        ComponentCost {
+            name: name.to_string(),
+            cost,
+            mpu_rules,
+        }
+    }
+
+    /// Component name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Direct resource cost.
+    #[must_use]
+    pub fn cost(&self) -> Resources {
+        self.cost
+    }
+
+    /// EA-MPU rules attributed to this component.
+    #[must_use]
+    pub fn mpu_rules(&self) -> u64 {
+        self.mpu_rules
+    }
+}
+
+/// The result of synthesizing a [`Design`](crate::design::Design).
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    design_name: String,
+    components: Vec<ComponentCost>,
+}
+
+impl SynthesisReport {
+    /// Builds a report from its line items.
+    #[must_use]
+    pub fn new(design_name: &str, components: Vec<ComponentCost>) -> Self {
+        SynthesisReport {
+            design_name: design_name.to_string(),
+            components,
+        }
+    }
+
+    /// Design name.
+    #[must_use]
+    pub fn design_name(&self) -> &str {
+        &self.design_name
+    }
+
+    /// Line items.
+    #[must_use]
+    pub fn components(&self) -> &[ComponentCost] {
+        &self.components
+    }
+
+    /// Total resources across all components.
+    #[must_use]
+    pub fn total(&self) -> Resources {
+        self.components.iter().map(ComponentCost::cost).sum()
+    }
+
+    /// Total EA-MPU rules provisioned (reported on the EA-MPU line item).
+    #[must_use]
+    pub fn mpu_rules(&self) -> u64 {
+        self.components
+            .iter()
+            .find(|c| c.name().starts_with("EA-MPU"))
+            .map_or(0, ComponentCost::mpu_rules)
+    }
+
+    /// Absolute resource delta of `self` over `baseline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is smaller than `baseline` (a protection variant
+    /// can only add hardware).
+    #[must_use]
+    pub fn delta_vs(&self, baseline: &SynthesisReport) -> Resources {
+        let a = self.total();
+        let b = baseline.total();
+        assert!(
+            a.registers >= b.registers && a.luts >= b.luts,
+            "variant must not be smaller than the baseline"
+        );
+        Resources::new(a.registers - b.registers, a.luts - b.luts)
+    }
+
+    /// Relative overhead of `self` over `baseline` in percent,
+    /// `(register_pct, lut_pct)` — the numbers §6.3 reports.
+    #[must_use]
+    pub fn overhead_vs(&self, baseline: &SynthesisReport) -> (f64, f64) {
+        self.delta_vs(baseline).percent_of(&baseline.total())
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "design: {}", self.design_name)?;
+        writeln!(
+            f,
+            "{:<28} {:>10} {:>10} {:>10}",
+            "component", "registers", "LUTs", "MPU rules"
+        )?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "{:<28} {:>10} {:>10} {:>10}",
+                c.name(),
+                c.cost().registers,
+                c.cost().luts,
+                c.mpu_rules()
+            )?;
+        }
+        let total = self.total();
+        writeln!(
+            f,
+            "{:<28} {:>10} {:>10} {:>10}",
+            "TOTAL",
+            total.registers,
+            total.luts,
+            self.mpu_rules()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SynthesisReport {
+        SynthesisReport::new(
+            "sample",
+            vec![
+                ComponentCost::new("core", Resources::new(100, 200), 0),
+                ComponentCost::new("EA-MPU (TrustLite)", Resources::new(50, 60), 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        assert_eq!(sample().total(), Resources::new(150, 260));
+        assert_eq!(sample().mpu_rules(), 2);
+    }
+
+    #[test]
+    fn delta_and_overhead() {
+        let base = sample();
+        let variant = SynthesisReport::new(
+            "variant",
+            vec![
+                ComponentCost::new("core", Resources::new(100, 200), 0),
+                ComponentCost::new("EA-MPU (TrustLite)", Resources::new(65, 86), 3),
+            ],
+        );
+        assert_eq!(variant.delta_vs(&base), Resources::new(15, 26));
+        let (r, l) = variant.overhead_vs(&base);
+        assert!((r - 10.0).abs() < 1e-9);
+        assert!((l - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "variant must not be smaller")]
+    fn shrinking_variant_panics() {
+        let base = sample();
+        let smaller = SynthesisReport::new(
+            "smaller",
+            vec![ComponentCost::new("core", Resources::new(10, 10), 0)],
+        );
+        let _ = smaller.delta_vs(&base);
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let text = sample().to_string();
+        assert!(text.contains("core"));
+        assert!(text.contains("EA-MPU"));
+        assert!(text.contains("TOTAL"));
+    }
+}

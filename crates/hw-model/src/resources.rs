@@ -1,0 +1,134 @@
+//! The resource vector used throughout the hardware model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// FPGA resource usage: registers (flip-flops) and look-up tables.
+///
+/// These are the two columns of the paper's Table 3.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_hw::Resources;
+///
+/// let rule = Resources::new(116, 182);
+/// let three_rules = rule * 3;
+/// assert_eq!(three_rules, Resources::new(348, 546));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Resources {
+    /// Flip-flop / register count.
+    pub registers: u64,
+    /// Look-up table count.
+    pub luts: u64,
+}
+
+impl Resources {
+    /// Zero resources.
+    pub const ZERO: Resources = Resources {
+        registers: 0,
+        luts: 0,
+    };
+
+    /// Creates a resource vector.
+    #[must_use]
+    pub fn new(registers: u64, luts: u64) -> Self {
+        Resources { registers, luts }
+    }
+
+    /// Relative size of `self` with respect to `baseline`, in percent,
+    /// returned as `(register_pct, lut_pct)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either baseline component is zero.
+    #[must_use]
+    pub fn percent_of(&self, baseline: &Resources) -> (f64, f64) {
+        assert!(
+            baseline.registers > 0 && baseline.luts > 0,
+            "baseline must be non-zero"
+        );
+        (
+            100.0 * self.registers as f64 / baseline.registers as f64,
+            100.0 * self.luts as f64 / baseline.luts as f64,
+        )
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            registers: self.registers + rhs.registers,
+            luts: self.luts + rhs.luts,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+
+    fn mul(self, rhs: u64) -> Resources {
+        Resources {
+            registers: self.registers * rhs,
+            luts: self.luts * rhs,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} registers / {} LUTs", self.registers, self.luts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(100, 200);
+        let b = Resources::new(16, 82);
+        assert_eq!(a + b, Resources::new(116, 282));
+        assert_eq!(a * 3, Resources::new(300, 600));
+        let total: Resources = [a, b, Resources::ZERO].into_iter().sum();
+        assert_eq!(total, Resources::new(116, 282));
+    }
+
+    #[test]
+    fn percent_of_baseline() {
+        let overhead = Resources::new(180, 246);
+        let baseline = Resources::new(6038, 15142);
+        let (r, l) = overhead.percent_of(&baseline);
+        // The paper's §6.3: "2.98% and 1.62%".
+        assert!((r - 2.98).abs() < 0.01, "register pct {r}");
+        assert!((l - 1.62).abs() < 0.01, "lut pct {l}");
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must be non-zero")]
+    fn percent_of_zero_baseline_panics() {
+        let _ = Resources::new(1, 1).percent_of(&Resources::ZERO);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Resources::new(64, 64).to_string(), "64 registers / 64 LUTs");
+    }
+}

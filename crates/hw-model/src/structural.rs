@@ -1,0 +1,154 @@
+//! Structural resource estimator.
+//!
+//! Where [`crate::components`] carries the paper's *calibrated* numbers,
+//! this module derives component costs from first principles: a circuit is
+//! a bag of flip-flops and 4-input LUT equivalents, and standard digital
+//! blocks (registers, counters, comparators, range checks) have well-known
+//! footprints. The estimates are intentionally coarse — their job is to
+//! show that the calibrated constants are *plausible* (tests assert
+//! agreement within a tolerance band) and to extrapolate costs for
+//! configurations the paper never synthesized (ablation sweeps).
+
+use crate::resources::Resources;
+
+/// A `width`-bit register with load enable: one FF per bit plus one LUT per
+/// bit of input-select logic.
+#[must_use]
+pub fn register(width: u32) -> Resources {
+    Resources::new(width as u64, width as u64)
+}
+
+/// A `width`-bit synchronous up-counter: one FF and one LUT (the
+/// increment/carry logic) per bit — exactly the paper's `w`/`w` clock cost.
+#[must_use]
+pub fn counter(width: u32) -> Resources {
+    Resources::new(width as u64, width as u64)
+}
+
+/// A `width`-bit equality/magnitude comparator: ~one LUT per two bits for
+/// the compare tree plus a small merge cone.
+#[must_use]
+pub fn comparator(width: u32) -> Resources {
+    Resources::new(0, (width as u64).div_ceil(2) + 2)
+}
+
+/// An address range check `lo <= addr < hi`: two comparators.
+#[must_use]
+pub fn range_check(addr_width: u32) -> Resources {
+    comparator(addr_width) + comparator(addr_width)
+}
+
+/// One EA-MPU rule, built structurally.
+///
+/// A TrustLite-style rule stores a *data* address range (two 32-bit bounds),
+/// a *code* address range that is allowed to touch it (two 24-bit bounds —
+/// code sits in a smaller ROM/flash window), and a small permissions/valid
+/// word; matching logic is a data range check, a PC range check, and a
+/// permission decode cone.
+#[must_use]
+pub fn mpu_rule(data_addr_width: u32, code_addr_width: u32) -> Resources {
+    let storage = register(data_addr_width) // data lo
+        + register(data_addr_width)         // data hi
+        + register(code_addr_width)         // code lo
+        + register(code_addr_width)         // code hi
+        + register(4); // perms (r/w/x) + valid
+    let matching =
+        range_check(data_addr_width) + range_check(code_addr_width) + Resources::new(0, 8); // decode/merge cone
+    storage + matching
+}
+
+/// The EA-MPU common fabric: bus snoop and pipeline registers, fault
+/// address/status capture, the configuration shadow interface, and the
+/// rule-priority mux. Register breakdown: data-address snoop (32) +
+/// PC snoop (24) + control state (8) + fault address (32) + status (32) +
+/// config address/data shadow (64) + bus pipeline stage (64) = 256 FFs,
+/// plus ~120 LUTs of bus decode.
+#[must_use]
+pub fn mpu_fabric(data_addr_width: u32, code_addr_width: u32, rules: u32) -> Resources {
+    let snoop = register(data_addr_width) + register(code_addr_width) + register(8);
+    let capture = register(32) + register(32);
+    let config_if = register(64) + Resources::new(0, 56);
+    let pipeline = register(64);
+    let priority_mux = Resources::new(0, 4 * rules as u64 + 16);
+    snoop + capture + config_if + pipeline + priority_mux
+}
+
+/// Structural estimate of a full EA-MPU with `rules` rules.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_hw::structural::ea_mpu_estimate;
+///
+/// let est = ea_mpu_estimate(2);
+/// // Paper (calibrated): 510 registers / 781 LUTs for #r = 2.
+/// let err = (est.registers as f64 - 510.0).abs() / 510.0;
+/// assert!(err < 0.25);
+/// ```
+#[must_use]
+pub fn ea_mpu_estimate(rules: u32) -> Resources {
+    mpu_fabric(32, 24, rules) + mpu_rule(32, 24) * rules as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{Component, EaMpu};
+
+    #[test]
+    fn structural_rule_near_calibrated_rule() {
+        let est = mpu_rule(32, 24);
+        // Calibrated: 116 registers / 182 LUTs per rule.
+        let reg_err = (est.registers as f64 - 116.0).abs() / 116.0;
+        let lut_err = (est.luts as f64 - 182.0).abs() / 182.0;
+        assert!(
+            reg_err < 0.25,
+            "register estimate {} too far from 116",
+            est.registers
+        );
+        assert!(lut_err < 0.45, "lut estimate {} too far from 182", est.luts);
+    }
+
+    #[test]
+    fn structural_mpu_tracks_calibrated_across_rule_counts() {
+        for rules in 1..=8u32 {
+            let est = ea_mpu_estimate(rules);
+            let cal = EaMpu::new(rules as u64).cost();
+            let reg_err =
+                (est.registers as f64 - cal.registers as f64).abs() / cal.registers as f64;
+            assert!(
+                reg_err < 0.30,
+                "rules={rules}: structural {} vs calibrated {}",
+                est.registers,
+                cal.registers
+            );
+        }
+    }
+
+    #[test]
+    fn structural_cost_is_linear_in_rules() {
+        let delta1 = {
+            let a = ea_mpu_estimate(3);
+            let b = ea_mpu_estimate(2);
+            a.registers - b.registers
+        };
+        let delta2 = {
+            let a = ea_mpu_estimate(8);
+            let b = ea_mpu_estimate(7);
+            a.registers - b.registers
+        };
+        assert_eq!(delta1, delta2, "per-rule register cost must be constant");
+    }
+
+    #[test]
+    fn counter_matches_paper_clock_costs() {
+        assert_eq!(counter(64), Resources::new(64, 64));
+        assert_eq!(counter(32), Resources::new(32, 32));
+    }
+
+    #[test]
+    fn comparator_scales_with_width() {
+        assert!(comparator(32).luts > comparator(16).luts);
+        assert_eq!(comparator(32).registers, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Secure boot (§6.2 "Secure Boot").
+//!
+//! The protection of the critical components is realized by EA-MPU rules —
+//! but if the adversary controls system software it could change those
+//! rules before they are locked. Secure boot closes the loop: immutable
+//! ROM code (1) verifies that the correct software is loaded (hash of the
+//! flash image against a reference burned in ROM), (2) installs the memory
+//! protection rules, and (3) locks the EA-MPU configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use proverguard_mcu::boot::{image_digest, SecureBoot};
+//! use proverguard_mcu::device::Mcu;
+//!
+//! # fn main() -> Result<(), proverguard_mcu::McuError> {
+//! let mut mcu = Mcu::new();
+//! mcu.program_flash(b"application v1")?;
+//! let reference = image_digest(mcu.physical_memory().flash());
+//! SecureBoot::new(reference).run(&mut mcu, &[])?;
+//! assert!(mcu.mpu().is_locked());
+//! # Ok(())
+//! # }
+//! ```
+
+use proverguard_crypto::ct::ct_eq;
+use proverguard_crypto::sha1::{Sha1, DIGEST_SIZE};
+
+use crate::device::Mcu;
+use crate::error::McuError;
+use crate::mpu::Rule;
+
+/// Computes the reference digest of a flash image (whole-flash SHA-1).
+#[must_use]
+pub fn image_digest(flash: &[u8]) -> [u8; DIGEST_SIZE] {
+    Sha1::digest(flash)
+}
+
+/// The ROM boot loader.
+#[derive(Debug, Clone)]
+pub struct SecureBoot {
+    reference_digest: [u8; DIGEST_SIZE],
+}
+
+impl SecureBoot {
+    /// A boot loader trusting images matching `reference_digest`.
+    #[must_use]
+    pub fn new(reference_digest: [u8; DIGEST_SIZE]) -> Self {
+        SecureBoot { reference_digest }
+    }
+
+    /// The reference digest burned into ROM.
+    #[must_use]
+    pub fn reference_digest(&self) -> &[u8; DIGEST_SIZE] {
+        &self.reference_digest
+    }
+
+    /// Boots the device: verifies the flash image, installs `rules`, and
+    /// locks the EA-MPU.
+    ///
+    /// # Errors
+    ///
+    /// - [`McuError::BootImageRejected`] if the flash hash mismatches; no
+    ///   rules are installed and the MPU is left unlocked (the device
+    ///   refuses to come up).
+    /// - [`McuError::MpuFull`] if `rules` exceed the MPU capacity.
+    pub fn run(&self, mcu: &mut Mcu, rules: &[Rule]) -> Result<(), McuError> {
+        let digest = image_digest(mcu.physical_memory().flash());
+        if !ct_eq(&digest, &self.reference_digest) {
+            return Err(McuError::BootImageRejected {
+                reason: "flash image digest mismatch".to_string(),
+            });
+        }
+        for rule in rules {
+            mcu.mpu_mut().add_rule(*rule)?;
+        }
+        mcu.mpu_mut().lock();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map;
+    use crate::mpu::Permissions;
+
+    fn booted_mcu(rules: &[Rule]) -> Result<Mcu, McuError> {
+        let mut mcu = Mcu::new();
+        mcu.program_flash(b"good image").unwrap();
+        let reference = image_digest(mcu.physical_memory().flash());
+        SecureBoot::new(reference).run(&mut mcu, rules)?;
+        Ok(mcu)
+    }
+
+    #[test]
+    fn good_image_boots_and_locks() {
+        let mcu = booted_mcu(&[]).unwrap();
+        assert!(mcu.mpu().is_locked());
+    }
+
+    #[test]
+    fn tampered_image_refused() {
+        let mut mcu = Mcu::new();
+        mcu.program_flash(b"good image").unwrap();
+        let reference = image_digest(mcu.physical_memory().flash());
+        // Malware lands in flash before boot.
+        mcu.program_flash(b"evil image").unwrap();
+        let err = SecureBoot::new(reference).run(&mut mcu, &[]);
+        assert!(matches!(err, Err(McuError::BootImageRejected { .. })));
+        assert!(!mcu.mpu().is_locked());
+    }
+
+    #[test]
+    fn rules_installed_before_lock() {
+        let rule = Rule::new(
+            "K_Attest",
+            map::ATTEST_KEY,
+            map::ATTEST_CODE,
+            Permissions::READ_ONLY,
+        );
+        let mcu = booted_mcu(&[rule]).unwrap();
+        assert_eq!(mcu.mpu().rules().len(), 1);
+        assert!(mcu.mpu().is_locked());
+    }
+
+    #[test]
+    fn too_many_rules_rejected() {
+        let rule = Rule::new(
+            "r",
+            map::ATTEST_KEY,
+            map::ATTEST_CODE,
+            Permissions::READ_ONLY,
+        );
+        let rules = vec![rule; crate::device::DEFAULT_MPU_CAPACITY + 1];
+        assert!(matches!(booted_mcu(&rules), Err(McuError::MpuFull { .. })));
+    }
+
+    #[test]
+    fn digest_is_whole_flash() {
+        // Two images differing only in a far byte produce different digests.
+        let mut mcu = Mcu::new();
+        let mut image = vec![0u8; 1024];
+        mcu.program_flash(&image).unwrap();
+        let d1 = image_digest(mcu.physical_memory().flash());
+        image[1000] = 1;
+        mcu.program_flash(&image).unwrap();
+        let d2 = image_digest(mcu.physical_memory().flash());
+        assert_ne!(d1, d2);
+    }
+}

@@ -1,0 +1,695 @@
+//! The composed prover device.
+//!
+//! [`Mcu`] ties together physical memory, the EA-MPU, the interrupt
+//! controller, the `Clock_LSB` timer, an optional dedicated RTC, the cycle
+//! clock and the battery. Every *software* access goes through
+//! [`Mcu::bus_read`] / [`Mcu::bus_write`] carrying the program counter of
+//! the code performing it, so EA-MAC semantics hold uniformly for RAM,
+//! flash, ROM and MMIO registers.
+
+use crate::cycles::{CostTable, CycleClock};
+use crate::energy::Battery;
+use crate::error::McuError;
+use crate::irq::{self, IrqController};
+use crate::map;
+use crate::memory::PhysicalMemory;
+use crate::mpu::{AccessKind, EaMpu};
+use crate::rtc::HwRtc;
+use crate::timer::{TimerLsb, TIMER_WRAP_VECTOR};
+
+/// Default EA-MPU rule capacity (generous; Table 3 sweeps `#r`).
+pub const DEFAULT_MPU_CAPACITY: usize = 8;
+
+/// Default `Clock_LSB` width in bits.
+pub const DEFAULT_TIMER_WIDTH: u32 = 16;
+
+/// Default `Clock_LSB` prescaler (log₂): one tick per 16 cycles, so the
+/// 16-bit counter wraps every 2²⁰ cycles ≈ 43.7 ms at 24 MHz.
+pub const DEFAULT_TIMER_PRESCALER_LOG2: u32 = 4;
+
+/// MMIO register offsets inside [`map::MMIO_TIMER`].
+pub mod timer_regs {
+    /// Counter value (read-only; writes always fault).
+    pub const VALUE: u32 = 0x0;
+    /// Control register (bit 0 = timer enable, bit 1 = global IRQ enable,
+    /// bit 2 = wrap-vector enable).
+    pub const CONTROL: u32 = 0x4;
+}
+
+/// The simulated prover device.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_mcu::device::Mcu;
+/// use proverguard_mcu::map;
+///
+/// # fn main() -> Result<(), proverguard_mcu::McuError> {
+/// let mut mcu = Mcu::new();
+/// mcu.provision_attest_key(&[0x42; 16])?;
+/// // Before protections are installed, even app code can read the key -
+/// // this is the unprotected strawman the paper's defences fix.
+/// let key = mcu.read_attest_key(map::APP_CODE)?;
+/// assert_eq!(key, [0x42; 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mcu {
+    memory: PhysicalMemory,
+    mpu: EaMpu,
+    irq: IrqController,
+    timer: TimerLsb,
+    rtc: Option<HwRtc>,
+    clock: CycleClock,
+    battery: Battery,
+    cost: CostTable,
+    fault_log: Vec<McuError>,
+    /// Protected code regions with their single legal entry point (§6.2:
+    /// "limiting code entry points").
+    entry_points: Vec<(map::AddrRange, u32)>,
+}
+
+impl Default for Mcu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mcu {
+    /// A device with the default map, an 8-slot unlocked EA-MPU, the
+    /// default `Clock_LSB` timer, no dedicated RTC, and a fresh battery.
+    #[must_use]
+    pub fn new() -> Self {
+        Mcu {
+            memory: PhysicalMemory::new(),
+            mpu: EaMpu::new(DEFAULT_MPU_CAPACITY),
+            irq: IrqController::new(),
+            timer: TimerLsb::new(DEFAULT_TIMER_WIDTH, DEFAULT_TIMER_PRESCALER_LOG2),
+            rtc: None,
+            clock: CycleClock::new(),
+            battery: Battery::default(),
+            cost: CostTable::siskiyou_peak(),
+            fault_log: Vec::new(),
+            entry_points: Vec::new(),
+        }
+    }
+
+    /// Installs a dedicated hardware RTC (Figure 1a designs).
+    pub fn install_rtc(&mut self, rtc: HwRtc) {
+        self.rtc = Some(rtc);
+    }
+
+    // ---- time & energy -----------------------------------------------------
+
+    /// The cycle clock.
+    #[must_use]
+    pub fn clock(&self) -> &CycleClock {
+        &self.clock
+    }
+
+    /// The battery.
+    #[must_use]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// The Table 1 cost calibration.
+    #[must_use]
+    pub fn cost_table(&self) -> &CostTable {
+        &self.cost
+    }
+
+    /// Advances time by `cycles` of *active* computation: drains the
+    /// battery, ticks `Clock_LSB` (raising wrap interrupts) and the RTC.
+    pub fn advance_active(&mut self, cycles: u64) {
+        self.battery.drain_cycles(cycles);
+        self.advance_time_only(cycles);
+    }
+
+    /// Advances time by `cycles` of idle sleep: clocks tick, battery drain
+    /// is treated as negligible (low-power sleep states).
+    pub fn advance_idle(&mut self, cycles: u64) {
+        self.advance_time_only(cycles);
+    }
+
+    fn advance_time_only(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
+        let wraps = self.timer.advance(cycles);
+        for _ in 0..wraps {
+            // Vector errors are impossible for the constant vector.
+            let _ = self.irq.raise(TIMER_WRAP_VECTOR);
+        }
+        if let Some(rtc) = &mut self.rtc {
+            rtc.advance(cycles);
+        }
+    }
+
+    // ---- bus ---------------------------------------------------------------
+
+    /// MPU-checked read at `addr` by code executing at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] (logged) or [`McuError::BusFault`].
+    pub fn bus_read(&mut self, addr: u32, buf: &mut [u8], pc: u32) -> Result<(), McuError> {
+        if let Err(e) = self
+            .mpu
+            .check_span(pc, addr, buf.len() as u32, AccessKind::Read)
+        {
+            self.fault_log.push(e.clone());
+            return Err(e);
+        }
+        if map::MMIO.contains(addr) {
+            return self.mmio_read(addr, buf);
+        }
+        self.memory.read(addr, buf)
+    }
+
+    /// MPU-checked write at `addr` by code executing at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] (logged), [`McuError::BusFault`], or
+    /// [`McuError::RomWrite`].
+    pub fn bus_write(&mut self, addr: u32, data: &[u8], pc: u32) -> Result<(), McuError> {
+        if let Err(e) = self
+            .mpu
+            .check_span(pc, addr, data.len() as u32, AccessKind::Write)
+        {
+            self.fault_log.push(e.clone());
+            return Err(e);
+        }
+        if map::MMIO.contains(addr) {
+            return self.mmio_write(addr, data);
+        }
+        self.memory.write(addr, data)
+    }
+
+    /// MPU-checked instruction fetch (used by the ISA interpreter).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mcu::bus_read`].
+    pub fn bus_fetch(&mut self, addr: u32, buf: &mut [u8], pc: u32) -> Result<(), McuError> {
+        if let Err(e) = self
+            .mpu
+            .check_span(pc, addr, buf.len() as u32, AccessKind::Execute)
+        {
+            self.fault_log.push(e.clone());
+            return Err(e);
+        }
+        self.memory.read(addr, buf)
+    }
+
+    fn mmio_read(&mut self, addr: u32, buf: &mut [u8]) -> Result<(), McuError> {
+        if map::MMIO_TIMER.contains(addr) {
+            let off = addr - map::MMIO_TIMER.start;
+            let value: u64 = match off {
+                timer_regs::VALUE => self.timer.value(),
+                timer_regs::CONTROL => {
+                    (self.timer.is_enabled() as u64)
+                        | ((self.irq.is_globally_enabled() as u64) << 1)
+                        | ((self.irq.is_vector_enabled(TIMER_WRAP_VECTOR) as u64) << 2)
+                }
+                _ => 0,
+            };
+            let bytes = value.to_le_bytes();
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = bytes.get(i).copied().unwrap_or(0);
+            }
+            return Ok(());
+        }
+        if map::MMIO_RTC.contains(addr) {
+            let value = self.rtc.as_ref().map_or(0, HwRtc::read);
+            let bytes = value.to_le_bytes();
+            let off = (addr - map::MMIO_RTC.start) as usize;
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = bytes.get(off + i).copied().unwrap_or(0);
+            }
+            return Ok(());
+        }
+        if map::MMIO_MPU_CONFIG.contains(addr) {
+            // Reading the config space exposes lock state and rule count.
+            let value = (self.mpu.is_locked() as u64) | ((self.mpu.rules().len() as u64) << 1);
+            let bytes = value.to_le_bytes();
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = bytes.get(i).copied().unwrap_or(0);
+            }
+            return Ok(());
+        }
+        Err(McuError::BusFault { addr })
+    }
+
+    fn mmio_write(&mut self, addr: u32, data: &[u8]) -> Result<(), McuError> {
+        if map::MMIO_TIMER.contains(addr) {
+            let off = addr - map::MMIO_TIMER.start;
+            match off {
+                timer_regs::VALUE => {
+                    // The counter is hardware-driven and never writable.
+                    return Err(McuError::MpuViolation {
+                        pc: 0,
+                        addr,
+                        kind: AccessKind::Write,
+                    });
+                }
+                timer_regs::CONTROL => {
+                    let v = data.first().copied().unwrap_or(0);
+                    self.timer.set_enabled(v & 0b001 != 0);
+                    self.irq.set_global_enable(v & 0b010 != 0);
+                    self.irq
+                        .set_vector_enabled(TIMER_WRAP_VECTOR, v & 0b100 != 0)?;
+                    return Ok(());
+                }
+                _ => return Ok(()),
+            }
+        }
+        if map::MMIO_RTC.contains(addr) {
+            // A writable RTC register: the clock-reset attack surface.
+            // Protected configurations install an MPU rule so this line is
+            // never reached from untrusted code.
+            if let Some(rtc) = &mut self.rtc {
+                let mut bytes = rtc.read().to_le_bytes();
+                let off = (addr - map::MMIO_RTC.start) as usize;
+                for (i, b) in data.iter().enumerate() {
+                    if off + i < 8 {
+                        bytes[off + i] = *b;
+                    }
+                }
+                rtc.set_raw(u64::from_le_bytes(bytes));
+            }
+            return Ok(());
+        }
+        if map::MMIO_MPU_CONFIG.contains(addr) {
+            // Runtime MPU reconfiguration through MMIO is modelled by the
+            // richer `reconfigure_mpu` API; raw writes land here only to be
+            // rejected once locked.
+            if self.mpu.is_locked() {
+                return Err(McuError::MpuLocked);
+            }
+            return Ok(());
+        }
+        Err(McuError::BusFault { addr })
+    }
+
+    // ---- MPU ---------------------------------------------------------------
+
+    /// The EA-MPU (read-only view).
+    #[must_use]
+    pub fn mpu(&self) -> &EaMpu {
+        &self.mpu
+    }
+
+    /// Attempts to reconfigure the EA-MPU as code executing at `pc`.
+    ///
+    /// Models a write to the memory-mapped configuration registers: the
+    /// access must pass the MPU itself (the lockdown rule covers
+    /// [`map::MMIO_MPU_CONFIG`]) and the MPU must not be locked.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`], [`McuError::MpuLocked`], or whatever
+    /// `f` returns.
+    pub fn reconfigure_mpu<F>(&mut self, pc: u32, f: F) -> Result<(), McuError>
+    where
+        F: FnOnce(&mut EaMpu) -> Result<(), McuError>,
+    {
+        if let Err(e) = self
+            .mpu
+            .check(pc, map::MMIO_MPU_CONFIG.start, AccessKind::Write)
+        {
+            self.fault_log.push(e.clone());
+            return Err(e);
+        }
+        if self.mpu.is_locked() {
+            self.fault_log.push(McuError::MpuLocked);
+            return Err(McuError::MpuLocked);
+        }
+        f(&mut self.mpu)
+    }
+
+    /// Boot-time rule installation (bypasses the config-space check —
+    /// used only by [`crate::boot`] before lockdown).
+    pub(crate) fn mpu_mut(&mut self) -> &mut EaMpu {
+        &mut self.mpu
+    }
+
+    // ---- interrupts ----------------------------------------------------------
+
+    /// The interrupt controller (read-only view).
+    #[must_use]
+    pub fn irq(&self) -> &IrqController {
+        &self.irq
+    }
+
+    /// Pops the next pending interrupt, returning `(vector, handler)` with
+    /// the handler address hardware-read from the IDT. Returns `None` when
+    /// nothing is deliverable.
+    pub fn take_interrupt(&mut self) -> Option<(u8, u32)> {
+        let vector = self.irq.next_pending()?;
+        // Acknowledge: hardware auto-clears on dispatch in this design.
+        let _ = self.irq.acknowledge(vector);
+        let handler = irq::handler_address(&self.memory, vector).ok()?;
+        Some((vector, handler))
+    }
+
+    /// Boot-time IDT population (plain memory write; at runtime the IDT
+    /// write-protection rule applies to bus writes instead).
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BadIrqVector`] for vectors ≥ 32.
+    pub fn install_idt_entry(&mut self, vector: u8, handler: u32) -> Result<(), McuError> {
+        irq::install_handler(&mut self.memory, vector, handler)
+    }
+
+    // ---- provisioning (factory / Adv_roam physical-equivalents) -------------
+
+    /// Burns `K_Attest` into ROM (factory step).
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if the key does not fit the ROM cell.
+    pub fn provision_attest_key(&mut self, key: &[u8; 16]) -> Result<(), McuError> {
+        self.memory.burn_rom(map::ATTEST_KEY.start, key)
+    }
+
+    /// Reads `K_Attest` as code executing at `pc` (MPU-checked).
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] when `pc` is not inside a code range a
+    /// rule grants read access to.
+    pub fn read_attest_key(&mut self, pc: u32) -> Result<[u8; 16], McuError> {
+        let mut key = [0u8; 16];
+        self.bus_read(map::ATTEST_KEY.start, &mut key, pc)?;
+        Ok(key)
+    }
+
+    /// Programs the application image into flash (provisioning, firmware
+    /// update, or `Adv_roam` malware installation).
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if the image exceeds flash.
+    pub fn program_flash(&mut self, image: &[u8]) -> Result<(), McuError> {
+        self.memory.program_flash(map::FLASH.start, image)
+    }
+
+    /// Direct access to physical memory (hardware's view; used by secure
+    /// boot for hashing and by test oracles).
+    #[must_use]
+    pub fn physical_memory(&self) -> &PhysicalMemory {
+        &self.memory
+    }
+
+    /// MPU-checked snapshot of the whole RAM (what `Code_Attest` MACs).
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] if `pc` may not read some protected RAM
+    /// word.
+    pub fn ram_snapshot(&mut self, pc: u32) -> Result<Vec<u8>, McuError> {
+        self.mpu
+            .check_span(pc, map::RAM.start, map::RAM.len(), AccessKind::Read)
+            .inspect_err(|e| self.fault_log.push(e.clone()))?;
+        Ok(self.memory.ram().to_vec())
+    }
+
+    // ---- RTC ------------------------------------------------------------------
+
+    /// Reads the dedicated RTC (if installed) as `pc`, through the bus.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] if an MPU rule denies the MMIO read.
+    pub fn read_rtc(&mut self, pc: u32) -> Result<u64, McuError> {
+        let mut buf = [0u8; 8];
+        self.bus_read(map::MMIO_RTC.start, &mut buf, pc)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// The RTC hardware state (test oracle).
+    #[must_use]
+    pub fn rtc(&self) -> Option<&HwRtc> {
+        self.rtc.as_ref()
+    }
+
+    // ---- code entry points ------------------------------------------------
+
+    /// Declares `region` a protected code region whose only legal entry
+    /// from outside is `entry` (boot-time setup; §6.2's mitigation for
+    /// runtime attacks on `Code_Attest`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not inside `region`.
+    pub fn install_entry_point(&mut self, region: map::AddrRange, entry: u32) {
+        assert!(
+            region.contains(entry),
+            "entry point must lie inside the region"
+        );
+        self.entry_points.push((region, entry));
+    }
+
+    /// Checks a control transfer from `from_pc` to `to_pc`: entering a
+    /// protected region from outside it must land exactly on its entry
+    /// point. Transfers within a region, out of it, or between unprotected
+    /// addresses are unrestricted.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::EntryPointViolation`] (logged) on an illegal entry.
+    pub fn check_control_transfer(&mut self, from_pc: u32, to_pc: u32) -> Result<(), McuError> {
+        for (region, entry) in &self.entry_points {
+            if region.contains(to_pc) && !region.contains(from_pc) && to_pc != *entry {
+                let e = McuError::EntryPointViolation {
+                    from: from_pc,
+                    to: to_pc,
+                };
+                self.fault_log.push(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- fault log -------------------------------------------------------------
+
+    /// Denied accesses observed so far (evidence for attack reports).
+    #[must_use]
+    pub fn fault_log(&self) -> &[McuError] {
+        &self.fault_log
+    }
+
+    /// Clears the fault log.
+    pub fn clear_fault_log(&mut self) {
+        self.fault_log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpu::{Permissions, Rule};
+
+    #[test]
+    fn unprotected_device_is_open() {
+        let mut mcu = Mcu::new();
+        mcu.provision_attest_key(&[7; 16]).unwrap();
+        assert_eq!(mcu.read_attest_key(map::APP_CODE).unwrap(), [7; 16]);
+        mcu.bus_write(map::COUNTER_R.start, &9u64.to_le_bytes(), map::APP_CODE)
+            .unwrap();
+    }
+
+    fn protect_key(mcu: &mut Mcu) {
+        mcu.reconfigure_mpu(map::BOOT_PC, |mpu| {
+            mpu.add_rule(Rule::new(
+                "K_Attest",
+                map::ATTEST_KEY,
+                map::ATTEST_CODE,
+                Permissions::READ_ONLY,
+            ))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn key_rule_blocks_app_reads() {
+        let mut mcu = Mcu::new();
+        mcu.provision_attest_key(&[7; 16]).unwrap();
+        protect_key(&mut mcu);
+        assert!(mcu.read_attest_key(map::APP_CODE).is_err());
+        assert_eq!(mcu.read_attest_key(map::ATTEST_PC).unwrap(), [7; 16]);
+        assert_eq!(mcu.fault_log().len(), 1);
+    }
+
+    #[test]
+    fn lockdown_blocks_reconfiguration_via_api() {
+        let mut mcu = Mcu::new();
+        protect_key(&mut mcu);
+        mcu.mpu_mut().lock();
+        let result =
+            mcu.reconfigure_mpu(map::APP_CODE, |mpu| mpu.remove_rule("K_Attest").map(|_| ()));
+        assert!(matches!(result, Err(McuError::MpuLocked)));
+    }
+
+    #[test]
+    fn config_space_rule_blocks_even_before_lock() {
+        let mut mcu = Mcu::new();
+        // Lockdown rule: nobody may write the config space.
+        mcu.reconfigure_mpu(map::BOOT_PC, |mpu| {
+            mpu.add_rule(Rule::new(
+                "MPU-lockdown",
+                map::MMIO_MPU_CONFIG,
+                map::AddrRange::new(0, 0), // empty code range: no one
+                Permissions::READ_WRITE,
+            ))
+        })
+        .unwrap();
+        let denied = mcu.reconfigure_mpu(map::APP_CODE, |mpu| {
+            mpu.remove_rule("MPU-lockdown").map(|_| ())
+        });
+        assert!(matches!(denied, Err(McuError::MpuViolation { .. })));
+    }
+
+    #[test]
+    fn timer_wrap_raises_interrupt() {
+        let mut mcu = Mcu::new();
+        mcu.install_idt_entry(TIMER_WRAP_VECTOR, map::CLOCK_CODE.start)
+            .unwrap();
+        // Default timer wraps every 2^(16+4) cycles.
+        mcu.advance_idle(1 << 20);
+        let (vector, handler) = mcu.take_interrupt().expect("wrap interrupt");
+        assert_eq!(vector, TIMER_WRAP_VECTOR);
+        assert_eq!(handler, map::CLOCK_CODE.start);
+        assert!(mcu.take_interrupt().is_none());
+    }
+
+    #[test]
+    fn timer_control_mmio_roundtrip() {
+        let mut mcu = Mcu::new();
+        let ctrl = map::MMIO_TIMER.start + timer_regs::CONTROL;
+        // Disable everything.
+        mcu.bus_write(ctrl, &[0], map::APP_CODE).unwrap();
+        mcu.advance_idle(1 << 22);
+        assert!(mcu.take_interrupt().is_none());
+        let mut buf = [0u8; 1];
+        mcu.bus_read(ctrl, &mut buf, map::APP_CODE).unwrap();
+        assert_eq!(buf[0] & 0b111, 0);
+        // Re-enable.
+        mcu.bus_write(ctrl, &[0b111], map::APP_CODE).unwrap();
+        mcu.advance_idle(1 << 21);
+        assert!(mcu.take_interrupt().is_some());
+    }
+
+    #[test]
+    fn timer_value_register_is_hardware_read_only() {
+        let mut mcu = Mcu::new();
+        let value_reg = map::MMIO_TIMER.start + timer_regs::VALUE;
+        assert!(mcu.bus_write(value_reg, &[1], map::APP_CODE).is_err());
+    }
+
+    #[test]
+    fn rtc_mmio_read_and_rogue_write() {
+        let mut mcu = Mcu::new();
+        mcu.install_rtc(HwRtc::wide64());
+        mcu.advance_idle(1000);
+        assert_eq!(mcu.read_rtc(map::APP_CODE).unwrap(), 1000);
+        // Unprotected: the clock-reset attack works.
+        mcu.bus_write(map::MMIO_RTC.start, &5u64.to_le_bytes(), map::APP_CODE)
+            .unwrap();
+        assert_eq!(mcu.read_rtc(map::APP_CODE).unwrap(), 5);
+    }
+
+    #[test]
+    fn rtc_rule_blocks_rogue_write() {
+        let mut mcu = Mcu::new();
+        mcu.install_rtc(HwRtc::wide64());
+        mcu.reconfigure_mpu(map::BOOT_PC, |mpu| {
+            mpu.add_rule(Rule::new(
+                "RTC",
+                map::MMIO_RTC,
+                map::ALL_CODE,
+                Permissions::READ_ONLY,
+            ))
+        })
+        .unwrap();
+        mcu.advance_idle(1000);
+        assert_eq!(mcu.read_rtc(map::APP_CODE).unwrap(), 1000);
+        assert!(mcu
+            .bus_write(map::MMIO_RTC.start, &5u64.to_le_bytes(), map::APP_CODE)
+            .is_err());
+        assert_eq!(mcu.read_rtc(map::APP_CODE).unwrap(), 1000);
+    }
+
+    #[test]
+    fn active_cycles_drain_battery_idle_does_not() {
+        let mut mcu = Mcu::new();
+        let full = mcu.battery().remaining_joules();
+        mcu.advance_idle(1_000_000);
+        assert_eq!(mcu.battery().remaining_joules(), full);
+        mcu.advance_active(1_000_000);
+        assert!(mcu.battery().remaining_joules() < full);
+    }
+
+    #[test]
+    fn ram_snapshot_is_mpu_checked() {
+        let mut mcu = Mcu::new();
+        // Seal a RAM word against everyone except Code_Clock.
+        mcu.reconfigure_mpu(map::BOOT_PC, |mpu| {
+            mpu.add_rule(Rule::new(
+                "Clock_MSB",
+                map::CLOCK_MSB,
+                map::CLOCK_CODE,
+                Permissions::READ_WRITE,
+            ))
+        })
+        .unwrap();
+        assert!(mcu.ram_snapshot(map::APP_CODE).is_err());
+        assert!(mcu.ram_snapshot(map::CLOCK_PC).is_ok());
+    }
+
+    #[test]
+    fn entry_point_enforcement() {
+        let mut mcu = Mcu::new();
+        mcu.install_entry_point(map::ATTEST_CODE, map::ATTEST_CODE.start);
+        // Entering at the entry point is fine.
+        assert!(mcu
+            .check_control_transfer(map::APP_CODE, map::ATTEST_CODE.start)
+            .is_ok());
+        // Entering anywhere else is a violation.
+        let denied = mcu.check_control_transfer(map::APP_CODE, map::ATTEST_CODE.start + 0x40);
+        assert!(matches!(denied, Err(McuError::EntryPointViolation { .. })));
+        assert_eq!(mcu.fault_log().len(), 1);
+        // Transfers wholly inside the region are unrestricted.
+        assert!(mcu
+            .check_control_transfer(map::ATTEST_CODE.start, map::ATTEST_CODE.start + 0x40)
+            .is_ok());
+        // Leaving the region is unrestricted.
+        assert!(mcu
+            .check_control_transfer(map::ATTEST_CODE.start + 0x40, map::APP_CODE)
+            .is_ok());
+        // Unprotected targets are unrestricted.
+        assert!(mcu
+            .check_control_transfer(map::APP_CODE, map::APP_CODE + 4)
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "entry point must lie inside")]
+    fn entry_point_outside_region_rejected() {
+        let mut mcu = Mcu::new();
+        mcu.install_entry_point(map::ATTEST_CODE, map::APP_CODE);
+    }
+
+    #[test]
+    fn snapshot_sees_bus_writes() {
+        let mut mcu = Mcu::new();
+        mcu.bus_write(map::APP_RAM.start, b"hello", map::APP_CODE)
+            .unwrap();
+        let snap = mcu.ram_snapshot(map::APP_CODE).unwrap();
+        let off = (map::APP_RAM.start - map::RAM.start) as usize;
+        assert_eq!(&snap[off..off + 5], b"hello");
+    }
+}

@@ -1,0 +1,148 @@
+//! Linear energy model for the battery-depletion DoS experiments.
+//!
+//! §3.1 argues that maliciously invoked attestation "results in a waste of
+//! energy (by depleting batteries)". We model the prover as drawing a
+//! fixed charge per active CPU cycle — DoS damage is then linear in the
+//! cycles an adversary can force the prover to burn, which is all the
+//! paper's argument needs.
+//!
+//! Default constants approximate a Siskiyou-class 32-bit MCU at 24 MHz
+//! running from a CR2450 coin cell: ~10 mA active at 3 V → ~1.25 nJ per
+//! cycle; a 620 mAh cell stores ~6.7 kJ.
+
+use crate::cycles::CLOCK_HZ;
+
+/// Energy per active cycle in nanojoules (≈ 3 V × 10 mA / 24 MHz).
+pub const DEFAULT_NJ_PER_CYCLE: f64 = 1.25;
+
+/// Usable energy of a CR2450 coin cell in joules (620 mAh × 3 V).
+pub const DEFAULT_BATTERY_JOULES: f64 = 6_696.0;
+
+/// A battery drained by CPU activity.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_mcu::energy::Battery;
+///
+/// let mut battery = Battery::default();
+/// let full = battery.remaining_joules();
+/// battery.drain_cycles(24_000_000); // one second of full-speed compute
+/// assert!(battery.remaining_joules() < full);
+/// assert!(!battery.is_depleted());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    capacity_j: f64,
+    drained_j: f64,
+    nj_per_cycle: f64,
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Battery::new(DEFAULT_BATTERY_JOULES, DEFAULT_NJ_PER_CYCLE)
+    }
+}
+
+impl Battery {
+    /// A battery with `capacity_j` joules and `nj_per_cycle` drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is non-positive.
+    #[must_use]
+    pub fn new(capacity_j: f64, nj_per_cycle: f64) -> Self {
+        assert!(capacity_j > 0.0, "capacity must be positive");
+        assert!(nj_per_cycle > 0.0, "per-cycle energy must be positive");
+        Battery {
+            capacity_j,
+            drained_j: 0.0,
+            nj_per_cycle,
+        }
+    }
+
+    /// Remaining energy in joules (never negative).
+    #[must_use]
+    pub fn remaining_joules(&self) -> f64 {
+        (self.capacity_j - self.drained_j).max(0.0)
+    }
+
+    /// Fraction of capacity remaining in `[0, 1]`.
+    #[must_use]
+    pub fn remaining_fraction(&self) -> f64 {
+        self.remaining_joules() / self.capacity_j
+    }
+
+    /// `true` once all energy is gone.
+    #[must_use]
+    pub fn is_depleted(&self) -> bool {
+        self.drained_j >= self.capacity_j
+    }
+
+    /// Drains the energy of `cycles` active cycles.
+    pub fn drain_cycles(&mut self, cycles: u64) {
+        self.drained_j += cycles as f64 * self.nj_per_cycle * 1e-9;
+    }
+
+    /// Energy of `cycles` active cycles in joules (without draining).
+    #[must_use]
+    pub fn energy_of_cycles(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.nj_per_cycle * 1e-9
+    }
+
+    /// How many cycles of active compute the remaining energy affords.
+    #[must_use]
+    pub fn cycles_remaining(&self) -> u64 {
+        (self.remaining_joules() / (self.nj_per_cycle * 1e-9)).round() as u64
+    }
+
+    /// Device lifetime in seconds if it computes continuously at 24 MHz.
+    #[must_use]
+    pub fn lifetime_seconds_at_full_load(&self) -> f64 {
+        self.cycles_remaining() as f64 / CLOCK_HZ as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_battery_full() {
+        let b = Battery::default();
+        assert!((b.remaining_fraction() - 1.0).abs() < 1e-12);
+        assert!(!b.is_depleted());
+    }
+
+    #[test]
+    fn drain_is_linear() {
+        let mut b = Battery::new(1.0, 1.0); // 1 J, 1 nJ/cycle
+        b.drain_cycles(500_000_000); // 0.5 J
+        assert!((b.remaining_joules() - 0.5).abs() < 1e-9);
+        b.drain_cycles(500_000_000);
+        assert!(b.is_depleted());
+        // Further drain clamps at zero.
+        b.drain_cycles(1);
+        assert_eq!(b.remaining_joules(), 0.0);
+    }
+
+    #[test]
+    fn cycles_remaining_inverse_of_drain() {
+        let b = Battery::new(1.0, 1.0);
+        assert_eq!(b.cycles_remaining(), 1_000_000_000);
+    }
+
+    #[test]
+    fn coin_cell_lasts_days_at_full_load() {
+        let b = Battery::default();
+        let days = b.lifetime_seconds_at_full_load() / 86_400.0;
+        // ~6.7 kJ at 30 mW ≈ 2.6 days of continuous full-load compute.
+        assert!(days > 1.0 && days < 10.0, "got {days} days");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Battery::new(0.0, 1.0);
+    }
+}

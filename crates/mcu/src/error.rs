@@ -1,0 +1,98 @@
+//! MCU error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::mpu::AccessKind;
+
+/// Errors raised by the simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum McuError {
+    /// An access touched an address that no memory region maps.
+    BusFault {
+        /// Offending address.
+        addr: u32,
+    },
+    /// The execution-aware MPU denied an access.
+    MpuViolation {
+        /// Program counter of the code attempting the access.
+        pc: u32,
+        /// Address being accessed.
+        addr: u32,
+        /// Kind of access attempted.
+        kind: AccessKind,
+    },
+    /// A write targeted read-only memory (ROM).
+    RomWrite {
+        /// Offending address.
+        addr: u32,
+    },
+    /// The MPU is locked and its configuration cannot change.
+    MpuLocked,
+    /// The MPU has no free rule slots.
+    MpuFull {
+        /// Number of rule slots the MPU was synthesized with.
+        capacity: usize,
+    },
+    /// Secure boot rejected the flash image.
+    BootImageRejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An interrupt vector was out of range.
+    BadIrqVector {
+        /// Offending vector number.
+        vector: u8,
+    },
+    /// An ISA program fault (illegal opcode, PC out of executable memory…).
+    CpuFault {
+        /// Program counter at the fault.
+        pc: u32,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Control flow entered a protected code region somewhere other than
+    /// its designated entry point (§6.2: "limiting code entry points").
+    EntryPointViolation {
+        /// Program counter the jump came from.
+        from: u32,
+        /// Illegal target inside the protected region.
+        to: u32,
+    },
+    /// The battery has been depleted; the device is dead.
+    BatteryDepleted,
+}
+
+impl fmt::Display for McuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McuError::BusFault { addr } => write!(f, "bus fault at {addr:#010x}"),
+            McuError::MpuViolation { pc, addr, kind } => write!(
+                f,
+                "ea-mpu violation: pc {pc:#010x} attempted {kind} at {addr:#010x}"
+            ),
+            McuError::RomWrite { addr } => write!(f, "write to rom at {addr:#010x}"),
+            McuError::MpuLocked => write!(f, "ea-mpu configuration is locked"),
+            McuError::MpuFull { capacity } => {
+                write!(f, "ea-mpu has no free rule slots (capacity {capacity})")
+            }
+            McuError::BootImageRejected { reason } => {
+                write!(f, "secure boot rejected the image: {reason}")
+            }
+            McuError::BadIrqVector { vector } => write!(f, "bad interrupt vector {vector}"),
+            McuError::CpuFault { pc, reason } => {
+                write!(f, "cpu fault at {pc:#010x}: {reason}")
+            }
+            McuError::EntryPointViolation { from, to } => {
+                write!(
+                    f,
+                    "entry-point violation: jump from {from:#010x} into protected code at {to:#010x}"
+                )
+            }
+            McuError::BatteryDepleted => write!(f, "battery depleted"),
+        }
+    }
+}
+
+impl Error for McuError {}

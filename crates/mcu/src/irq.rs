@@ -1,0 +1,252 @@
+//! Interrupt controller and in-memory interrupt descriptor table.
+//!
+//! Figure 1b's security argument hinges on the interrupt path: if
+//! `Adv_roam` can redirect or suppress the `Clock_LSB` wrap-around
+//! interrupt, the SW-clock silently stops. Three attack surfaces exist and
+//! all are modelled here or in the device:
+//!
+//! 1. **Rewriting the IDT entry** — the IDT lives in RAM at [`map::IDT`];
+//!    writes go through the bus and can be denied by an MPU rule.
+//! 2. **Moving the IDT** — the IDT base register is hardware-fixed in this
+//!    design ("the location of the IDT itself must be immutable").
+//! 3. **Disabling the interrupt** — the enable bit is an MMIO register the
+//!    device can place under an MPU rule.
+//!
+//! Hardware dispatch reads the IDT directly (a hardware read, not a
+//! software access), so *read* rules on the IDT never break dispatch; only
+//! *write* protection is needed.
+
+use crate::error::McuError;
+use crate::map;
+use crate::memory::PhysicalMemory;
+
+/// Number of interrupt vectors.
+pub const VECTORS: u8 = 32;
+
+/// The interrupt controller state.
+///
+/// Pending interrupts are *counted* per vector rather than latched as a
+/// single bit: the simulation advances time in coarse steps, and a counter
+/// models the real-world behaviour of a promptly-serviced interrupt line
+/// (one handler run per wrap) without forcing cycle-by-cycle stepping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrqController {
+    pending: [u32; VECTORS as usize],
+    /// Per-vector enable mask (bit set = enabled).
+    enabled_mask: u32,
+    /// Global interrupt enable.
+    global_enable: bool,
+}
+
+impl Default for IrqController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IrqController {
+    /// A controller with all vectors enabled and none pending.
+    #[must_use]
+    pub fn new() -> Self {
+        IrqController {
+            pending: [0; VECTORS as usize],
+            enabled_mask: u32::MAX,
+            global_enable: true,
+        }
+    }
+
+    /// Raises `vector` (increments its pending count).
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BadIrqVector`] if `vector >= 32`.
+    pub fn raise(&mut self, vector: u8) -> Result<(), McuError> {
+        if vector >= VECTORS {
+            return Err(McuError::BadIrqVector { vector });
+        }
+        self.pending[vector as usize] = self.pending[vector as usize].saturating_add(1);
+        Ok(())
+    }
+
+    /// The lowest pending-and-enabled vector, if interrupts are globally
+    /// enabled.
+    #[must_use]
+    pub fn next_pending(&self) -> Option<u8> {
+        if !self.global_enable {
+            return None;
+        }
+        (0..VECTORS).find(|&v| self.pending[v as usize] > 0 && self.enabled_mask & (1 << v) != 0)
+    }
+
+    /// Outstanding deliveries for `vector` (0 for out-of-range vectors).
+    #[must_use]
+    pub fn pending_count(&self, vector: u8) -> u32 {
+        if vector < VECTORS {
+            self.pending[vector as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Consumes one pending delivery of `vector` (handler acknowledgement).
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BadIrqVector`] if `vector >= 32`.
+    pub fn acknowledge(&mut self, vector: u8) -> Result<(), McuError> {
+        if vector >= VECTORS {
+            return Err(McuError::BadIrqVector { vector });
+        }
+        self.pending[vector as usize] = self.pending[vector as usize].saturating_sub(1);
+        Ok(())
+    }
+
+    /// Sets the per-vector enable bit.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BadIrqVector`] if `vector >= 32`.
+    pub fn set_vector_enabled(&mut self, vector: u8, enabled: bool) -> Result<(), McuError> {
+        if vector >= VECTORS {
+            return Err(McuError::BadIrqVector { vector });
+        }
+        if enabled {
+            self.enabled_mask |= 1 << vector;
+        } else {
+            self.enabled_mask &= !(1 << vector);
+        }
+        Ok(())
+    }
+
+    /// `true` iff the vector's enable bit is set.
+    #[must_use]
+    pub fn is_vector_enabled(&self, vector: u8) -> bool {
+        vector < VECTORS && self.enabled_mask & (1 << vector) != 0
+    }
+
+    /// Sets the global interrupt enable.
+    pub fn set_global_enable(&mut self, enabled: bool) {
+        self.global_enable = enabled;
+    }
+
+    /// `true` iff interrupts are globally enabled.
+    #[must_use]
+    pub fn is_globally_enabled(&self) -> bool {
+        self.global_enable
+    }
+}
+
+/// Reads the handler address for `vector` from the in-memory IDT.
+///
+/// This is the *hardware* dispatch path: it reads physical memory directly
+/// and is not subject to MPU rules (which only constrain software).
+///
+/// # Errors
+///
+/// - [`McuError::BadIrqVector`] if `vector >= 32`.
+/// - [`McuError::BusFault`] if the IDT region is unmapped (cannot happen
+///   with the default map).
+pub fn handler_address(memory: &PhysicalMemory, vector: u8) -> Result<u32, McuError> {
+    if vector >= VECTORS {
+        return Err(McuError::BadIrqVector { vector });
+    }
+    let mut buf = [0u8; 4];
+    memory.read(map::IDT.start + 4 * vector as u32, &mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes the handler address for `vector` into the in-memory IDT.
+///
+/// This is a plain memory helper used during boot, when the MPU is not yet
+/// locked; at runtime software must go through the bus (and the MPU).
+///
+/// # Errors
+///
+/// Same conditions as [`handler_address`].
+pub fn install_handler(
+    memory: &mut PhysicalMemory,
+    vector: u8,
+    handler: u32,
+) -> Result<(), McuError> {
+    if vector >= VECTORS {
+        return Err(McuError::BadIrqVector { vector });
+    }
+    memory.write(map::IDT.start + 4 * vector as u32, &handler.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_and_dispatch_order() {
+        let mut irq = IrqController::new();
+        irq.raise(5).unwrap();
+        irq.raise(2).unwrap();
+        assert_eq!(irq.next_pending(), Some(2));
+        irq.acknowledge(2).unwrap();
+        assert_eq!(irq.next_pending(), Some(5));
+        irq.acknowledge(5).unwrap();
+        assert_eq!(irq.next_pending(), None);
+    }
+
+    #[test]
+    fn multiple_raises_are_counted_not_latched() {
+        let mut irq = IrqController::new();
+        irq.raise(0).unwrap();
+        irq.raise(0).unwrap();
+        irq.raise(0).unwrap();
+        assert_eq!(irq.pending_count(0), 3);
+        irq.acknowledge(0).unwrap();
+        assert_eq!(irq.next_pending(), Some(0), "two deliveries remain");
+        irq.acknowledge(0).unwrap();
+        irq.acknowledge(0).unwrap();
+        assert_eq!(irq.next_pending(), None);
+        // Over-acknowledging saturates at zero.
+        irq.acknowledge(0).unwrap();
+        assert_eq!(irq.pending_count(0), 0);
+    }
+
+    #[test]
+    fn bad_vector_rejected() {
+        let mut irq = IrqController::new();
+        assert!(matches!(
+            irq.raise(32),
+            Err(McuError::BadIrqVector { vector: 32 })
+        ));
+        assert!(irq.acknowledge(255).is_err());
+        assert!(irq.set_vector_enabled(32, true).is_err());
+    }
+
+    #[test]
+    fn vector_disable_masks_dispatch() {
+        let mut irq = IrqController::new();
+        irq.raise(0).unwrap();
+        irq.set_vector_enabled(0, false).unwrap();
+        assert_eq!(irq.next_pending(), None);
+        // The pending bit survives; re-enabling delivers it.
+        irq.set_vector_enabled(0, true).unwrap();
+        assert_eq!(irq.next_pending(), Some(0));
+    }
+
+    #[test]
+    fn global_disable_masks_everything() {
+        let mut irq = IrqController::new();
+        irq.raise(3).unwrap();
+        irq.set_global_enable(false);
+        assert_eq!(irq.next_pending(), None);
+        irq.set_global_enable(true);
+        assert_eq!(irq.next_pending(), Some(3));
+    }
+
+    #[test]
+    fn idt_install_and_lookup() {
+        let mut mem = PhysicalMemory::new();
+        install_handler(&mut mem, 0, 0x0000_2010).unwrap();
+        install_handler(&mut mem, 7, 0x0001_0040).unwrap();
+        assert_eq!(handler_address(&mem, 0).unwrap(), 0x0000_2010);
+        assert_eq!(handler_address(&mem, 7).unwrap(), 0x0001_0040);
+        assert_eq!(handler_address(&mem, 1).unwrap(), 0);
+        assert!(handler_address(&mem, 32).is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! A two-pass assembler for the tiny ISA.
+//!
+//! Syntax (one instruction per line, `;` or `#` comments, labels end with
+//! `:`):
+//!
+//! ```text
+//! ; steal the attestation key
+//!         lui  r1, 0x0000
+//!         ldi  r1, 0x3000     ; K_Attest address (low half)
+//! loop:   ldb  r2, [r1]
+//!         addi r1, r1, 1
+//!         bne  r1, r3, loop
+//!         halt
+//! ```
+//!
+//! `ld`/`st`/`ldb`/`stb` take `[reg]` or `[reg+imm]` / `[reg-imm]` operands.
+//! Branches take a label or a signed word offset. `jmp`/`call` take a label
+//! or an absolute address. `.word <imm32>` emits raw data.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use super::inst::{Instruction, Reg};
+
+/// Assembly failure with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles `source` into little-endian machine code, with instruction 0
+/// at byte offset 0. Labels are resolved relative to `base` = 0; `jmp` and
+/// `call` to labels therefore assume the program is loaded at the address
+/// encoded by the caller — use [`assemble_at`] to link for a load address.
+///
+/// # Errors
+///
+/// [`AsmError`] describing the first offending line.
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    assemble_at(source, 0)
+}
+
+/// Assembles `source` linked for load address `base`.
+///
+/// # Errors
+///
+/// [`AsmError`] describing the first offending line.
+pub fn assemble_at(source: &str, base: u32) -> Result<Vec<u8>, AsmError> {
+    // Pass 1: collect labels.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut word_index: u32 = 0;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (label, rest) = split_label(line);
+        if let Some(name) = label {
+            if labels
+                .insert(name.to_string(), base + word_index * 4)
+                .is_some()
+            {
+                return Err(err(lineno + 1, format!("duplicate label `{name}`")));
+            }
+        }
+        if !rest.trim().is_empty() {
+            word_index += 1;
+        }
+    }
+
+    // Pass 2: encode.
+    let mut out = Vec::new();
+    let mut word_index: u32 = 0;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (_, rest) = split_label(line);
+        let rest = rest.trim();
+        if rest.is_empty() {
+            continue;
+        }
+        let pc = base + word_index * 4;
+        let word = encode_line(rest, pc, &labels, lineno + 1)?;
+        out.extend_from_slice(&word.to_le_bytes());
+        word_index += 1;
+    }
+    Ok(out)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line
+        .find(';')
+        .into_iter()
+        .chain(line.find('#'))
+        .min()
+        .unwrap_or(line.len());
+    &line[..end]
+}
+
+fn split_label(line: &str) -> (Option<&str>, &str) {
+    if let Some(colon) = line.find(':') {
+        let (label, rest) = line.split_at(colon);
+        let label = label.trim();
+        if !label.is_empty() && label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return (Some(label), &rest[1..]);
+        }
+    }
+    (None, line)
+}
+
+fn encode_line(
+    text: &str,
+    pc: u32,
+    labels: &HashMap<String, u32>,
+    lineno: usize,
+) -> Result<u32, AsmError> {
+    let (mnemonic, operands) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if operands.is_empty() {
+        Vec::new()
+    } else {
+        operands.split(',').map(str::trim).collect()
+    };
+
+    let parse_reg = |s: &str| -> Result<Reg, AsmError> {
+        let s = s.trim();
+        let idx = s
+            .strip_prefix('r')
+            .and_then(|n| n.parse::<u8>().ok())
+            .filter(|&n| n < 8)
+            .ok_or_else(|| err(lineno, format!("bad register `{s}`")))?;
+        Ok(Reg::new(idx))
+    };
+
+    let parse_imm = |s: &str| -> Result<i64, AsmError> {
+        let s = s.trim();
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let value = if let Some(hex) = body.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16)
+        } else {
+            body.parse::<i64>()
+        }
+        .map_err(|_| err(lineno, format!("bad immediate `{s}`")))?;
+        Ok(if neg { -value } else { value })
+    };
+
+    // `[reg]`, `[reg+imm]` or `[reg-imm]`.
+    let parse_mem = |s: &str| -> Result<(Reg, i8), AsmError> {
+        let inner = s
+            .trim()
+            .strip_prefix('[')
+            .and_then(|x| x.strip_suffix(']'))
+            .ok_or_else(|| err(lineno, format!("bad memory operand `{s}`")))?;
+        if let Some(plus) = inner.find('+') {
+            let reg = parse_reg(&inner[..plus])?;
+            let off = parse_imm(&inner[plus + 1..])?;
+            let off = i8::try_from(off).map_err(|_| err(lineno, "offset out of range"))?;
+            Ok((reg, off))
+        } else if let Some(minus) = inner.rfind('-') {
+            let reg = parse_reg(&inner[..minus])?;
+            let off = parse_imm(&inner[minus..])?;
+            let off = i8::try_from(off).map_err(|_| err(lineno, "offset out of range"))?;
+            Ok((reg, off))
+        } else {
+            Ok((parse_reg(inner)?, 0))
+        }
+    };
+
+    // Branch target: label or explicit offset, converted to a word offset
+    // relative to the *next* instruction.
+    let parse_branch_target = |s: &str| -> Result<i8, AsmError> {
+        if let Some(&addr) = labels.get(s.trim()) {
+            let delta_words = (i64::from(addr) - i64::from(pc) - 4) / 4;
+            i8::try_from(delta_words).map_err(|_| err(lineno, "branch target too far"))
+        } else {
+            let off = parse_imm(s)?;
+            i8::try_from(off).map_err(|_| err(lineno, "branch offset out of range"))
+        }
+    };
+
+    let parse_jump_target = |s: &str| -> Result<u32, AsmError> {
+        let addr = if let Some(&addr) = labels.get(s.trim()) {
+            addr
+        } else {
+            u32::try_from(parse_imm(s)?).map_err(|_| err(lineno, "jump target out of range"))?
+        };
+        if addr % 4 != 0 {
+            return Err(err(lineno, "jump target must be word aligned"));
+        }
+        Ok(addr)
+    };
+
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                lineno,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    let inst = match mnemonic.to_ascii_lowercase().as_str() {
+        "nop" => {
+            need(0)?;
+            Instruction::Nop
+        }
+        "halt" => {
+            need(0)?;
+            Instruction::Halt
+        }
+        "ldi" => {
+            need(2)?;
+            let imm = parse_imm(ops[1])?;
+            let imm = u16::try_from(imm).map_err(|_| err(lineno, "ldi immediate out of range"))?;
+            Instruction::Ldi(parse_reg(ops[0])?, imm)
+        }
+        "lui" => {
+            need(2)?;
+            let imm = parse_imm(ops[1])?;
+            let imm = u16::try_from(imm).map_err(|_| err(lineno, "lui immediate out of range"))?;
+            Instruction::Lui(parse_reg(ops[0])?, imm)
+        }
+        "ld" => {
+            need(2)?;
+            let (rs, off) = parse_mem(ops[1])?;
+            Instruction::Ld(parse_reg(ops[0])?, rs, off)
+        }
+        "st" => {
+            need(2)?;
+            let (rd, off) = parse_mem(ops[1])?;
+            Instruction::St(parse_reg(ops[0])?, rd, off)
+        }
+        "ldb" => {
+            need(2)?;
+            let (rs, off) = parse_mem(ops[1])?;
+            Instruction::Ldb(parse_reg(ops[0])?, rs, off)
+        }
+        "stb" => {
+            need(2)?;
+            let (rd, off) = parse_mem(ops[1])?;
+            Instruction::Stb(parse_reg(ops[0])?, rd, off)
+        }
+        "mov" => {
+            need(2)?;
+            Instruction::Mov(parse_reg(ops[0])?, parse_reg(ops[1])?)
+        }
+        "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "mul" => {
+            need(3)?;
+            let (rd, rs, rt) = (parse_reg(ops[0])?, parse_reg(ops[1])?, parse_reg(ops[2])?);
+            match mnemonic {
+                "add" => Instruction::Add(rd, rs, rt),
+                "sub" => Instruction::Sub(rd, rs, rt),
+                "and" => Instruction::And(rd, rs, rt),
+                "or" => Instruction::Or(rd, rs, rt),
+                "xor" => Instruction::Xor(rd, rs, rt),
+                "shl" => Instruction::Shl(rd, rs, rt),
+                "shr" => Instruction::Shr(rd, rs, rt),
+                _ => Instruction::Mul(rd, rs, rt),
+            }
+        }
+        "addi" => {
+            need(3)?;
+            let imm = parse_imm(ops[2])?;
+            let imm = i8::try_from(imm).map_err(|_| err(lineno, "addi immediate out of range"))?;
+            Instruction::Addi(parse_reg(ops[0])?, parse_reg(ops[1])?, imm)
+        }
+        "beq" | "bne" | "bltu" => {
+            need(3)?;
+            let (rs, rt) = (parse_reg(ops[0])?, parse_reg(ops[1])?);
+            let off = parse_branch_target(ops[2])?;
+            match mnemonic {
+                "beq" => Instruction::Beq(rs, rt, off),
+                "bne" => Instruction::Bne(rs, rt, off),
+                _ => Instruction::Bltu(rs, rt, off),
+            }
+        }
+        "jmp" => {
+            need(1)?;
+            Instruction::Jmp(parse_jump_target(ops[0])?)
+        }
+        "call" => {
+            need(1)?;
+            Instruction::Call(parse_jump_target(ops[0])?)
+        }
+        "ret" => {
+            need(0)?;
+            Instruction::Ret
+        }
+        ".word" => {
+            need(1)?;
+            let imm = parse_imm(ops[0])?;
+            return u32::try_from(imm).map_err(|_| err(lineno, ".word value out of range"));
+        }
+        other => return Err(err(lineno, format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(inst.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::inst::Instruction;
+
+    fn words(bytes: &[u8]) -> Vec<u32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    #[test]
+    fn simple_program_assembles() {
+        let code = assemble("ldi r1, 42\nhalt").unwrap();
+        let w = words(&code);
+        assert_eq!(
+            Instruction::decode(w[0]).unwrap(),
+            Instruction::Ldi(Reg::new(1), 42)
+        );
+        assert_eq!(Instruction::decode(w[1]).unwrap(), Instruction::Halt);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let src = "
+            ldi r1, 0
+            ldi r2, 5
+        loop:
+            addi r1, r1, 1
+            bne r1, r2, loop
+            halt
+        ";
+        let code = assemble(src).unwrap();
+        let w = words(&code);
+        // bne is word 3 (pc 12); loop is word 2 (addr 8): offset (8-12-4)/4 = -2.
+        assert_eq!(
+            Instruction::decode(w[3]).unwrap(),
+            Instruction::Bne(Reg::new(1), Reg::new(2), -2)
+        );
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let src = "start: ldi r0, 1\n jmp start";
+        let code = assemble_at(src, 0x1_0000).unwrap();
+        let w = words(&code);
+        assert_eq!(
+            Instruction::decode(w[1]).unwrap(),
+            Instruction::Jmp(0x1_0000)
+        );
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let code = assemble("ld r1, [r2]\nld r1, [r2+8]\nst r1, [r2-4]").unwrap();
+        let w = words(&code);
+        assert_eq!(
+            Instruction::decode(w[0]).unwrap(),
+            Instruction::Ld(Reg::new(1), Reg::new(2), 0)
+        );
+        assert_eq!(
+            Instruction::decode(w[1]).unwrap(),
+            Instruction::Ld(Reg::new(1), Reg::new(2), 8)
+        );
+        assert_eq!(
+            Instruction::decode(w[2]).unwrap(),
+            Instruction::St(Reg::new(1), Reg::new(2), -4)
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let code = assemble("; header\n\nnop # trailing\n").unwrap();
+        assert_eq!(words(&code), vec![Instruction::Nop.encode()]);
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let code = assemble("ldi r1, 0x3000").unwrap();
+        assert_eq!(
+            Instruction::decode(words(&code)[0]).unwrap(),
+            Instruction::Ldi(Reg::new(1), 0x3000)
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\nnop\na:\nnop").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn branch_too_far_rejected() {
+        let mut src = String::from("start:\n");
+        for _ in 0..200 {
+            src.push_str("nop\n");
+        }
+        src.push_str("beq r0, r0, start\n");
+        let e = assemble(&src).unwrap_err();
+        assert!(e.message.contains("too far"));
+    }
+
+    #[test]
+    fn word_directive_emits_raw_data() {
+        let code = assemble(".word 0xdeadbeef").unwrap();
+        assert_eq!(words(&code), vec![0xdead_beef]);
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(assemble("ldi r9, 1").is_err());
+        assert!(assemble("mov rx, r1").is_err());
+    }
+}

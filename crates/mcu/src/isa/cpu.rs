@@ -1,0 +1,438 @@
+//! The interpreter: fetch/decode/execute with EA-MPU enforcement.
+
+use crate::device::Mcu;
+use crate::error::McuError;
+
+use super::inst::{Instruction, Reg};
+
+/// Cycles charged per executed instruction (memory operations cost extra).
+const CYCLES_PER_INST: u64 = 1;
+/// Extra cycles per load/store.
+const CYCLES_PER_MEM: u64 = 2;
+
+/// Result of running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Instructions executed.
+    pub steps: u64,
+    /// `true` if the program executed `halt`.
+    pub halted: bool,
+    /// The fault that stopped execution, if any.
+    pub fault: Option<McuError>,
+}
+
+impl RunOutcome {
+    /// `true` iff the program stopped on a fault.
+    #[must_use]
+    pub fn faulted(&self) -> bool {
+        self.fault.is_some()
+    }
+}
+
+/// The CPU state of the tiny ISA.
+///
+/// # Example
+///
+/// A malware loop that tries to read `K_Attest` byte by byte faults on the
+/// first load when the key rule is installed:
+///
+/// ```
+/// use proverguard_mcu::device::Mcu;
+/// use proverguard_mcu::isa::{assemble_at_flash, Cpu};
+/// use proverguard_mcu::map;
+/// use proverguard_mcu::mpu::{Permissions, Rule};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut mcu = Mcu::new();
+/// mcu.provision_attest_key(&[0xaa; 16])?;
+/// mcu.reconfigure_mpu(map::BOOT_PC, |mpu| {
+///     mpu.add_rule(Rule::new("K_Attest", map::ATTEST_KEY, map::ATTEST_CODE,
+///                            Permissions::READ_ONLY))
+/// })?;
+/// let program = assemble_at_flash(
+///     "lui r1, 0x0000
+///      ldi r1, 0x3000   ; K_Attest
+///      ldb r2, [r1]     ; faults here
+///      halt")?;
+/// mcu.program_flash(&program)?;
+/// let mut cpu = Cpu::new(map::FLASH.start);
+/// let outcome = cpu.run(&mut mcu, 100);
+/// assert!(outcome.faulted());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cpu {
+    regs: [u32; 8],
+    pc: u32,
+    halted: bool,
+}
+
+impl Cpu {
+    /// A CPU with zeroed registers starting at `entry`.
+    #[must_use]
+    pub fn new(entry: u32) -> Self {
+        Cpu {
+            regs: [0; 8],
+            pc: entry,
+            halted: false,
+        }
+    }
+
+    /// Reads register `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 7`.
+    #[must_use]
+    pub fn reg(&self, index: u8) -> u32 {
+        self.regs[Reg::new(index).index()]
+    }
+
+    /// Writes register `index` (for test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 7`.
+    pub fn set_reg(&mut self, index: u8, value: u32) {
+        self.regs[Reg::new(index).index()] = value;
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// `true` after `halt`.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] / [`McuError::BusFault`] from memory,
+    /// or [`McuError::CpuFault`] on illegal instructions.
+    pub fn step(&mut self, mcu: &mut Mcu) -> Result<(), McuError> {
+        if self.halted {
+            return Ok(());
+        }
+        let mut word_bytes = [0u8; 4];
+        mcu.bus_fetch(self.pc, &mut word_bytes, self.pc)?;
+        let word = u32::from_le_bytes(word_bytes);
+        let inst = Instruction::decode(word).map_err(|e| McuError::CpuFault {
+            pc: self.pc,
+            reason: e.to_string(),
+        })?;
+        let mut next_pc = self.pc.wrapping_add(4);
+        let mut cycles = CYCLES_PER_INST;
+
+        match inst {
+            Instruction::Nop => {}
+            Instruction::Halt => self.halted = true,
+            Instruction::Ldi(rd, imm) => self.regs[rd.index()] = u32::from(imm),
+            Instruction::Lui(rd, imm) => self.regs[rd.index()] = u32::from(imm) << 16,
+            Instruction::Ld(rd, rs, off) => {
+                cycles += CYCLES_PER_MEM;
+                let addr = self.regs[rs.index()].wrapping_add(off as i32 as u32);
+                let mut buf = [0u8; 4];
+                mcu.bus_read(addr, &mut buf, self.pc)?;
+                self.regs[rd.index()] = u32::from_le_bytes(buf);
+            }
+            Instruction::St(rs, rd, off) => {
+                cycles += CYCLES_PER_MEM;
+                let addr = self.regs[rd.index()].wrapping_add(off as i32 as u32);
+                mcu.bus_write(addr, &self.regs[rs.index()].to_le_bytes(), self.pc)?;
+            }
+            Instruction::Ldb(rd, rs, off) => {
+                cycles += CYCLES_PER_MEM;
+                let addr = self.regs[rs.index()].wrapping_add(off as i32 as u32);
+                let mut buf = [0u8; 1];
+                mcu.bus_read(addr, &mut buf, self.pc)?;
+                self.regs[rd.index()] = u32::from(buf[0]);
+            }
+            Instruction::Stb(rs, rd, off) => {
+                cycles += CYCLES_PER_MEM;
+                let addr = self.regs[rd.index()].wrapping_add(off as i32 as u32);
+                mcu.bus_write(addr, &[self.regs[rs.index()] as u8], self.pc)?;
+            }
+            Instruction::Mov(rd, rs) => self.regs[rd.index()] = self.regs[rs.index()],
+            Instruction::Add(rd, rs, rt) => {
+                self.regs[rd.index()] = self.regs[rs.index()].wrapping_add(self.regs[rt.index()]);
+            }
+            Instruction::Sub(rd, rs, rt) => {
+                self.regs[rd.index()] = self.regs[rs.index()].wrapping_sub(self.regs[rt.index()]);
+            }
+            Instruction::And(rd, rs, rt) => {
+                self.regs[rd.index()] = self.regs[rs.index()] & self.regs[rt.index()];
+            }
+            Instruction::Or(rd, rs, rt) => {
+                self.regs[rd.index()] = self.regs[rs.index()] | self.regs[rt.index()];
+            }
+            Instruction::Xor(rd, rs, rt) => {
+                self.regs[rd.index()] = self.regs[rs.index()] ^ self.regs[rt.index()];
+            }
+            Instruction::Shl(rd, rs, rt) => {
+                self.regs[rd.index()] = self.regs[rs.index()] << (self.regs[rt.index()] & 31);
+            }
+            Instruction::Shr(rd, rs, rt) => {
+                self.regs[rd.index()] = self.regs[rs.index()] >> (self.regs[rt.index()] & 31);
+            }
+            Instruction::Mul(rd, rs, rt) => {
+                self.regs[rd.index()] = self.regs[rs.index()].wrapping_mul(self.regs[rt.index()]);
+            }
+            Instruction::Addi(rd, rs, imm) => {
+                self.regs[rd.index()] = self.regs[rs.index()].wrapping_add(imm as i32 as u32);
+            }
+            Instruction::Beq(rs, rt, off) => {
+                if self.regs[rs.index()] == self.regs[rt.index()] {
+                    next_pc = branch_target(self.pc, off);
+                }
+            }
+            Instruction::Bne(rs, rt, off) => {
+                if self.regs[rs.index()] != self.regs[rt.index()] {
+                    next_pc = branch_target(self.pc, off);
+                }
+            }
+            Instruction::Bltu(rs, rt, off) => {
+                if self.regs[rs.index()] < self.regs[rt.index()] {
+                    next_pc = branch_target(self.pc, off);
+                }
+            }
+            Instruction::Jmp(addr) => next_pc = addr,
+            Instruction::Call(addr) => {
+                self.regs[Reg::LINK.index()] = self.pc.wrapping_add(4);
+                next_pc = addr;
+            }
+            Instruction::Ret => next_pc = self.regs[Reg::LINK.index()],
+        }
+
+        mcu.advance_active(cycles);
+        if !self.halted {
+            // §6.2: entering a protected code region anywhere but its
+            // entry point is a control-flow violation.
+            mcu.check_control_transfer(self.pc, next_pc)?;
+            self.pc = next_pc;
+        }
+        Ok(())
+    }
+
+    /// Runs until `halt`, a fault, or `max_steps` instructions.
+    pub fn run(&mut self, mcu: &mut Mcu, max_steps: u64) -> RunOutcome {
+        let mut steps = 0;
+        while steps < max_steps && !self.halted {
+            match self.step(mcu) {
+                Ok(()) => steps += 1,
+                Err(fault) => {
+                    return RunOutcome {
+                        steps,
+                        halted: false,
+                        fault: Some(fault),
+                    };
+                }
+            }
+        }
+        RunOutcome {
+            steps,
+            halted: self.halted,
+            fault: None,
+        }
+    }
+}
+
+fn branch_target(pc: u32, off_words: i8) -> u32 {
+    pc.wrapping_add(4)
+        .wrapping_add((i32::from(off_words) * 4) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::assemble_at;
+    use crate::map;
+    use crate::mpu::{Permissions, Rule};
+
+    fn load_and_run(mcu: &mut Mcu, src: &str, max_steps: u64) -> (Cpu, RunOutcome) {
+        let program = assemble_at(src, map::FLASH.start).unwrap();
+        mcu.program_flash(&program).unwrap();
+        let mut cpu = Cpu::new(map::FLASH.start);
+        let outcome = cpu.run(mcu, max_steps);
+        (cpu, outcome)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut mcu = Mcu::new();
+        let (cpu, outcome) = load_and_run(
+            &mut mcu,
+            "ldi r1, 20
+             ldi r2, 22
+             add r3, r1, r2
+             halt",
+            100,
+        );
+        assert!(outcome.halted);
+        assert_eq!(cpu.reg(3), 42);
+        assert_eq!(outcome.steps, 4);
+    }
+
+    #[test]
+    fn loop_with_branch() {
+        let mut mcu = Mcu::new();
+        let (cpu, outcome) = load_and_run(
+            &mut mcu,
+            "ldi r1, 0
+             ldi r2, 10
+             loop: addi r1, r1, 1
+             bne r1, r2, loop
+             halt",
+            1000,
+        );
+        assert!(outcome.halted);
+        assert_eq!(cpu.reg(1), 10);
+    }
+
+    #[test]
+    fn memory_store_and_load() {
+        let mut mcu = Mcu::new();
+        let ram = map::APP_RAM.start;
+        let src = format!(
+            "lui r1, {:#x}
+             ldi r2, {:#x}
+             or r1, r1, r2
+             ldi r3, 77
+             st r3, [r1]
+             ld r4, [r1]
+             halt",
+            ram >> 16,
+            ram & 0xffff
+        );
+        let (cpu, outcome) = load_and_run(&mut mcu, &src, 100);
+        assert!(outcome.halted);
+        assert_eq!(cpu.reg(4), 77);
+    }
+
+    #[test]
+    fn key_stealing_program_faults_when_protected() {
+        let mut mcu = Mcu::new();
+        mcu.provision_attest_key(&[0xaa; 16]).unwrap();
+        mcu.reconfigure_mpu(map::BOOT_PC, |mpu| {
+            mpu.add_rule(Rule::new(
+                "K_Attest",
+                map::ATTEST_KEY,
+                map::ATTEST_CODE,
+                Permissions::READ_ONLY,
+            ))
+        })
+        .unwrap();
+        let src = format!(
+            "ldi r1, {:#x}
+             ldb r2, [r1]
+             halt",
+            map::ATTEST_KEY.start
+        );
+        let (cpu, outcome) = load_and_run(&mut mcu, &src, 100);
+        assert!(outcome.faulted());
+        assert!(matches!(outcome.fault, Some(McuError::MpuViolation { .. })));
+        assert_eq!(cpu.reg(2), 0, "no key byte leaked");
+    }
+
+    #[test]
+    fn key_stealing_program_succeeds_when_unprotected() {
+        let mut mcu = Mcu::new();
+        mcu.provision_attest_key(&[0xaa; 16]).unwrap();
+        let src = format!(
+            "ldi r1, {:#x}
+             ldb r2, [r1]
+             halt",
+            map::ATTEST_KEY.start
+        );
+        let (cpu, outcome) = load_and_run(&mut mcu, &src, 100);
+        assert!(outcome.halted);
+        assert_eq!(cpu.reg(2), 0xaa);
+    }
+
+    #[test]
+    fn shift_and_multiply() {
+        let mut mcu = Mcu::new();
+        let (cpu, outcome) = load_and_run(
+            &mut mcu,
+            "ldi r1, 3
+             ldi r2, 4
+             shl r3, r1, r2      ; 3 << 4 = 48
+             shr r4, r3, r2      ; 48 >> 4 = 3
+             mul r5, r3, r1      ; 48 * 3 = 144
+             halt",
+            100,
+        );
+        assert!(outcome.halted);
+        assert_eq!(cpu.reg(3), 48);
+        assert_eq!(cpu.reg(4), 3);
+        assert_eq!(cpu.reg(5), 144);
+    }
+
+    #[test]
+    fn shift_amount_masked_to_five_bits() {
+        let mut mcu = Mcu::new();
+        let (cpu, outcome) = load_and_run(
+            &mut mcu,
+            "ldi r1, 1
+             ldi r2, 33          ; 33 & 31 = 1
+             shl r3, r1, r2
+             halt",
+            100,
+        );
+        assert!(outcome.halted);
+        assert_eq!(cpu.reg(3), 2);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut mcu = Mcu::new();
+        let (cpu, outcome) = load_and_run(
+            &mut mcu,
+            "call fn
+             halt
+             fn: ldi r1, 9
+             ret",
+            100,
+        );
+        assert!(outcome.halted);
+        assert_eq!(cpu.reg(1), 9);
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let mut mcu = Mcu::new();
+        mcu.program_flash(&0xffff_ffffu32.to_le_bytes()).unwrap();
+        let mut cpu = Cpu::new(map::FLASH.start);
+        let outcome = cpu.run(&mut mcu, 10);
+        assert!(matches!(outcome.fault, Some(McuError::CpuFault { .. })));
+    }
+
+    #[test]
+    fn execution_consumes_cycles_and_energy() {
+        let mut mcu = Mcu::new();
+        let before = mcu.battery().remaining_joules();
+        let (_, outcome) = load_and_run(&mut mcu, "nop\nnop\nnop\nhalt", 100);
+        assert!(outcome.halted);
+        assert_eq!(mcu.clock().cycles(), 4);
+        assert!(mcu.battery().remaining_joules() < before);
+    }
+
+    #[test]
+    fn max_steps_stops_runaway_program() {
+        let mut mcu = Mcu::new();
+        let (_, outcome) = load_and_run(
+            &mut mcu,
+            &format!("loop: jmp loop ; at {:#x}", map::FLASH.start),
+            50,
+        );
+        assert!(!outcome.halted);
+        assert!(!outcome.faulted());
+        assert_eq!(outcome.steps, 50);
+    }
+}

@@ -1,0 +1,284 @@
+//! Instruction set definition, encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// A register index `r0`–`r7`. `r6` is the link register by convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The link register used by `call`/`ret`.
+    pub const LINK: Reg = Reg(6);
+
+    /// Creates a register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 7`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index < 8, "register index out of range");
+        Reg(index)
+    }
+
+    /// The numeric index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// No operation.
+    Nop,
+    /// Stop the machine.
+    Halt,
+    /// `rd = imm` (16-bit immediate, zero-extended).
+    Ldi(Reg, u16),
+    /// `rd = imm << 16` (load upper immediate).
+    Lui(Reg, u16),
+    /// `rd = mem32[rs + off]`.
+    Ld(Reg, Reg, i8),
+    /// `mem32[rd + off] = rs`.
+    St(Reg, Reg, i8),
+    /// `rd = mem8[rs + off]` (zero-extended byte load).
+    Ldb(Reg, Reg, i8),
+    /// `mem8[rd + off] = low byte of rs`.
+    Stb(Reg, Reg, i8),
+    /// `rd = rs`.
+    Mov(Reg, Reg),
+    /// `rd = rs + rt` (wrapping).
+    Add(Reg, Reg, Reg),
+    /// `rd = rs - rt` (wrapping).
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs & rt`.
+    And(Reg, Reg, Reg),
+    /// `rd = rs | rt`.
+    Or(Reg, Reg, Reg),
+    /// `rd = rs ^ rt`.
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs << (rt & 31)`.
+    Shl(Reg, Reg, Reg),
+    /// `rd = rs >> (rt & 31)` (logical).
+    Shr(Reg, Reg, Reg),
+    /// `rd = rs * rt` (wrapping, low 32 bits).
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs + imm` (signed 8-bit immediate, wrapping).
+    Addi(Reg, Reg, i8),
+    /// Branch (word offset relative to next instruction) if `rs == rt`.
+    Beq(Reg, Reg, i8),
+    /// Branch if `rs != rt`.
+    Bne(Reg, Reg, i8),
+    /// Branch if `rs < rt` (unsigned).
+    Bltu(Reg, Reg, i8),
+    /// Absolute jump to a word-aligned address (encoded as `addr >> 2` in
+    /// 24 bits).
+    Jmp(u32),
+    /// Call: link register = next pc, then jump.
+    Call(u32),
+    /// Return to the link register.
+    Ret,
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+const OP_NOP: u8 = 0x00;
+const OP_HALT: u8 = 0x01;
+const OP_LDI: u8 = 0x02;
+const OP_LUI: u8 = 0x03;
+const OP_LD: u8 = 0x04;
+const OP_ST: u8 = 0x05;
+const OP_LDB: u8 = 0x06;
+const OP_STB: u8 = 0x07;
+const OP_MOV: u8 = 0x08;
+const OP_ADD: u8 = 0x10;
+const OP_SUB: u8 = 0x11;
+const OP_AND: u8 = 0x12;
+const OP_OR: u8 = 0x13;
+const OP_XOR: u8 = 0x14;
+const OP_ADDI: u8 = 0x15;
+const OP_SHL: u8 = 0x16;
+const OP_SHR: u8 = 0x17;
+const OP_MUL: u8 = 0x18;
+const OP_BEQ: u8 = 0x20;
+const OP_BNE: u8 = 0x21;
+const OP_BLTU: u8 = 0x22;
+const OP_JMP: u8 = 0x30;
+const OP_CALL: u8 = 0x31;
+const OP_RET: u8 = 0x32;
+
+impl Instruction {
+    /// Encodes to a 32-bit word.
+    ///
+    /// Layout: `[opcode:8][a:8][b:8][c:8]` with immediates packed into the
+    /// lower fields; `Jmp`/`Call` use 24-bit word addresses.
+    #[must_use]
+    pub fn encode(&self) -> u32 {
+        let pack = |op: u8, a: u8, b: u8, c: u8| u32::from_be_bytes([op, a, b, c]);
+        match *self {
+            Instruction::Nop => pack(OP_NOP, 0, 0, 0),
+            Instruction::Halt => pack(OP_HALT, 0, 0, 0),
+            Instruction::Ldi(rd, imm) => pack(OP_LDI, rd.0, (imm >> 8) as u8, imm as u8),
+            Instruction::Lui(rd, imm) => pack(OP_LUI, rd.0, (imm >> 8) as u8, imm as u8),
+            Instruction::Ld(rd, rs, off) => pack(OP_LD, rd.0, rs.0, off as u8),
+            Instruction::St(rs, rd, off) => pack(OP_ST, rs.0, rd.0, off as u8),
+            Instruction::Ldb(rd, rs, off) => pack(OP_LDB, rd.0, rs.0, off as u8),
+            Instruction::Stb(rs, rd, off) => pack(OP_STB, rs.0, rd.0, off as u8),
+            Instruction::Mov(rd, rs) => pack(OP_MOV, rd.0, rs.0, 0),
+            Instruction::Add(rd, rs, rt) => pack(OP_ADD, rd.0, rs.0, rt.0),
+            Instruction::Sub(rd, rs, rt) => pack(OP_SUB, rd.0, rs.0, rt.0),
+            Instruction::And(rd, rs, rt) => pack(OP_AND, rd.0, rs.0, rt.0),
+            Instruction::Or(rd, rs, rt) => pack(OP_OR, rd.0, rs.0, rt.0),
+            Instruction::Xor(rd, rs, rt) => pack(OP_XOR, rd.0, rs.0, rt.0),
+            Instruction::Shl(rd, rs, rt) => pack(OP_SHL, rd.0, rs.0, rt.0),
+            Instruction::Shr(rd, rs, rt) => pack(OP_SHR, rd.0, rs.0, rt.0),
+            Instruction::Mul(rd, rs, rt) => pack(OP_MUL, rd.0, rs.0, rt.0),
+            Instruction::Addi(rd, rs, imm) => pack(OP_ADDI, rd.0, rs.0, imm as u8),
+            Instruction::Beq(rs, rt, off) => pack(OP_BEQ, rs.0, rt.0, off as u8),
+            Instruction::Bne(rs, rt, off) => pack(OP_BNE, rs.0, rt.0, off as u8),
+            Instruction::Bltu(rs, rt, off) => pack(OP_BLTU, rs.0, rt.0, off as u8),
+            Instruction::Jmp(addr) => {
+                debug_assert_eq!(addr % 4, 0, "jump target must be word aligned");
+                (u32::from(OP_JMP) << 24) | ((addr >> 2) & 0x00ff_ffff)
+            }
+            Instruction::Call(addr) => {
+                debug_assert_eq!(addr % 4, 0, "call target must be word aligned");
+                (u32::from(OP_CALL) << 24) | ((addr >> 2) & 0x00ff_ffff)
+            }
+            Instruction::Ret => pack(OP_RET, 0, 0, 0),
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] for unknown opcodes or bad register fields.
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        let [op, a, b, c] = word.to_be_bytes();
+        let reg = |i: u8| -> Result<Reg, DecodeError> {
+            if i < 8 {
+                Ok(Reg(i))
+            } else {
+                Err(DecodeError { word })
+            }
+        };
+        Ok(match op {
+            OP_NOP => Instruction::Nop,
+            OP_HALT => Instruction::Halt,
+            OP_LDI => Instruction::Ldi(reg(a)?, u16::from_be_bytes([b, c])),
+            OP_LUI => Instruction::Lui(reg(a)?, u16::from_be_bytes([b, c])),
+            OP_LD => Instruction::Ld(reg(a)?, reg(b)?, c as i8),
+            OP_ST => Instruction::St(reg(a)?, reg(b)?, c as i8),
+            OP_LDB => Instruction::Ldb(reg(a)?, reg(b)?, c as i8),
+            OP_STB => Instruction::Stb(reg(a)?, reg(b)?, c as i8),
+            OP_MOV => Instruction::Mov(reg(a)?, reg(b)?),
+            OP_ADD => Instruction::Add(reg(a)?, reg(b)?, reg(c)?),
+            OP_SUB => Instruction::Sub(reg(a)?, reg(b)?, reg(c)?),
+            OP_AND => Instruction::And(reg(a)?, reg(b)?, reg(c)?),
+            OP_OR => Instruction::Or(reg(a)?, reg(b)?, reg(c)?),
+            OP_XOR => Instruction::Xor(reg(a)?, reg(b)?, reg(c)?),
+            OP_SHL => Instruction::Shl(reg(a)?, reg(b)?, reg(c)?),
+            OP_SHR => Instruction::Shr(reg(a)?, reg(b)?, reg(c)?),
+            OP_MUL => Instruction::Mul(reg(a)?, reg(b)?, reg(c)?),
+            OP_ADDI => Instruction::Addi(reg(a)?, reg(b)?, c as i8),
+            OP_BEQ => Instruction::Beq(reg(a)?, reg(b)?, c as i8),
+            OP_BNE => Instruction::Bne(reg(a)?, reg(b)?, c as i8),
+            OP_BLTU => Instruction::Bltu(reg(a)?, reg(b)?, c as i8),
+            OP_JMP => Instruction::Jmp((word & 0x00ff_ffff) << 2),
+            OP_CALL => Instruction::Call((word & 0x00ff_ffff) << 2),
+            OP_RET => Instruction::Ret,
+            _ => return Err(DecodeError { word }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_all_forms() {
+        let r = Reg::new;
+        let cases = [
+            Instruction::Nop,
+            Instruction::Halt,
+            Instruction::Ldi(r(1), 0xbeef),
+            Instruction::Lui(r(2), 0xdead),
+            Instruction::Ld(r(3), r(4), -8),
+            Instruction::St(r(5), r(6), 127),
+            Instruction::Ldb(r(0), r(7), -128),
+            Instruction::Stb(r(1), r(2), 0),
+            Instruction::Mov(r(3), r(4)),
+            Instruction::Add(r(1), r(2), r(3)),
+            Instruction::Sub(r(1), r(2), r(3)),
+            Instruction::And(r(1), r(2), r(3)),
+            Instruction::Or(r(1), r(2), r(3)),
+            Instruction::Xor(r(1), r(2), r(3)),
+            Instruction::Shl(r(1), r(2), r(3)),
+            Instruction::Shr(r(4), r(5), r(6)),
+            Instruction::Mul(r(7), r(0), r(1)),
+            Instruction::Addi(r(1), r(2), -1),
+            Instruction::Beq(r(1), r(2), 5),
+            Instruction::Bne(r(1), r(2), -5),
+            Instruction::Bltu(r(1), r(2), 10),
+            Instruction::Jmp(0x0001_0000),
+            Instruction::Call(0x0000_1000),
+            Instruction::Ret,
+        ];
+        for inst in cases {
+            assert_eq!(
+                Instruction::decode(inst.encode()).unwrap(),
+                inst,
+                "{inst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn illegal_opcode_rejected() {
+        assert!(Instruction::decode(0xff00_0000).is_err());
+        assert!(Instruction::decode(0x7a00_0000).is_err());
+    }
+
+    #[test]
+    fn bad_register_field_rejected() {
+        // LDI with register index 9.
+        let word = u32::from_be_bytes([0x02, 9, 0, 0]);
+        assert!(Instruction::decode(word).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_constructor_validates() {
+        let _ = Reg::new(8);
+    }
+
+    #[test]
+    fn jump_addresses_word_granular() {
+        let i = Instruction::Jmp(0x00ff_fffc);
+        assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+    }
+}

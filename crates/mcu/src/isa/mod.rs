@@ -1,0 +1,56 @@
+//! A tiny load/store ISA executed through the EA-MPU.
+//!
+//! The high-level simulation models trusted and untrusted code as Rust
+//! closures tagged with a program counter. To also demonstrate EA-MAC at
+//! *instruction* granularity — the way SMART and TrustLite actually
+//! enforce it — this module provides a minimal 32-bit RISC machine whose
+//! every instruction fetch, load and store goes through
+//! [`Mcu::bus_fetch`](crate::device::Mcu::bus_fetch) /
+//! [`bus_read`](crate::device::Mcu::bus_read) /
+//! [`bus_write`](crate::device::Mcu::bus_write) with the real program
+//! counter. A malware program that tries `ldb r1, [r2]` on `K_Attest`
+//! faults exactly as it would on TrustLite.
+//!
+//! The machine: eight 32-bit registers (`r6` doubles as the link
+//! register), fixed 32-bit instruction words, byte-addressed little-endian
+//! memory.
+//!
+//! # Example
+//!
+//! ```
+//! use proverguard_mcu::isa::{assemble, Cpu};
+//! use proverguard_mcu::device::Mcu;
+//! use proverguard_mcu::map;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     "ldi r1, 42
+//!      halt",
+//! )?;
+//! let mut mcu = Mcu::new();
+//! mcu.program_flash(&program)?;
+//! let mut cpu = Cpu::new(map::FLASH.start);
+//! let outcome = cpu.run(&mut mcu, 100);
+//! assert!(outcome.halted);
+//! assert_eq!(cpu.reg(1), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+mod asm;
+mod cpu;
+mod inst;
+
+pub use asm::{assemble, assemble_at, AsmError};
+pub use cpu::{Cpu, RunOutcome};
+pub use inst::{DecodeError, Instruction, Reg};
+
+/// Assembles `source` linked for the flash base address (where application
+/// and malware programs live in this simulation).
+///
+/// # Errors
+///
+/// [`AsmError`] describing the first offending line.
+pub fn assemble_at_flash(source: &str) -> Result<Vec<u8>, AsmError> {
+    assemble_at(source, crate::map::FLASH.start)
+}

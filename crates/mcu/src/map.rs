@@ -1,0 +1,222 @@
+//! The device address map.
+//!
+//! A fixed layout modelled on small TrustLite/Siskiyou-class devices. RAM
+//! is 512 KiB — the exact size the paper uses for its whole-memory MAC
+//! cost example in §3.1.
+
+use std::fmt;
+
+/// A half-open address range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRange {
+    /// First address in the range.
+    pub start: u32,
+    /// One past the last address in the range.
+    pub end: u32,
+}
+
+impl AddrRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    pub const fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "range start must not exceed end");
+        AddrRange { start, end }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub const fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// `true` iff the range is empty.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` iff `addr` lies inside the range.
+    #[must_use]
+    pub const fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// `true` iff `[addr, addr+len)` lies entirely inside the range.
+    #[must_use]
+    pub fn contains_span(&self, addr: u32, len: u32) -> bool {
+        if len == 0 {
+            return self.contains(addr) || addr == self.end;
+        }
+        match addr.checked_add(len) {
+            Some(end) => addr >= self.start && end <= self.end,
+            None => false,
+        }
+    }
+
+    /// `true` iff the two ranges share at least one address.
+    #[must_use]
+    pub const fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}, {:#010x})", self.start, self.end)
+    }
+}
+
+/// ROM: boot code, `Code_Attest`, `Code_Clock`, and `K_Attest` (16 KiB).
+pub const ROM: AddrRange = AddrRange::new(0x0000_0000, 0x0000_4000);
+
+/// Flash: the application image (256 KiB).
+pub const FLASH: AddrRange = AddrRange::new(0x0001_0000, 0x0005_0000);
+
+/// RAM: 512 KiB of writable memory — the size of the paper's §3.1 example.
+pub const RAM: AddrRange = AddrRange::new(0x0010_0000, 0x0018_0000);
+
+/// Memory-mapped I/O: MPU configuration, timer, RTC (4 KiB).
+pub const MMIO: AddrRange = AddrRange::new(0x0020_0000, 0x0020_1000);
+
+/// MMIO sub-window: EA-MPU configuration registers.
+pub const MMIO_MPU_CONFIG: AddrRange = AddrRange::new(0x0020_0000, 0x0020_0100);
+
+/// MMIO sub-window: `Clock_LSB` timer registers (counter + control).
+pub const MMIO_TIMER: AddrRange = AddrRange::new(0x0020_0100, 0x0020_0120);
+
+/// MMIO sub-window: dedicated hardware RTC register (Figure 1a variant).
+pub const MMIO_RTC: AddrRange = AddrRange::new(0x0020_0120, 0x0020_0140);
+
+// ---- Well-known ROM layout -------------------------------------------------
+
+/// ROM window holding the secure-boot loader.
+pub const BOOT_CODE: AddrRange = AddrRange::new(0x0000_0000, 0x0000_1000);
+
+/// ROM window holding `Code_Attest` (the attestation trust anchor).
+pub const ATTEST_CODE: AddrRange = AddrRange::new(0x0000_1000, 0x0000_2000);
+
+/// ROM window holding `Code_Clock` (the SW-clock interrupt handler).
+pub const CLOCK_CODE: AddrRange = AddrRange::new(0x0000_2000, 0x0000_2800);
+
+/// ROM cell holding `K_Attest` (16 bytes).
+pub const ATTEST_KEY: AddrRange = AddrRange::new(0x0000_3000, 0x0000_3010);
+
+// ---- Well-known RAM layout -------------------------------------------------
+
+/// RAM word holding `counter_R` (the last accepted request counter, 8 bytes).
+pub const COUNTER_R: AddrRange = AddrRange::new(0x0010_0000, 0x0010_0008);
+
+/// RAM word holding `Clock_MSB` (high-order SW-clock bits, 8 bytes).
+pub const CLOCK_MSB: AddrRange = AddrRange::new(0x0010_0008, 0x0010_0010);
+
+/// RAM region holding the interrupt descriptor table (32 vectors × 4 bytes).
+pub const IDT: AddrRange = AddrRange::new(0x0010_0010, 0x0010_0090);
+
+/// RAM region holding the trust anchor's extension state (24 bytes):
+/// clock-sync offset (i64), last sync counter (u64), last command counter
+/// (u64) — used by the §7 future-work services.
+pub const TRUST_STATE: AddrRange = AddrRange::new(0x0010_0090, 0x0010_00a8);
+
+/// General-purpose application RAM (everything after the reserved words).
+pub const APP_RAM: AddrRange = AddrRange::new(0x0010_0100, 0x0018_0000);
+
+/// Flash window treated as the untrusted application's code region.
+pub const APP_CODE_RANGE: AddrRange = AddrRange::new(0x0001_0000, 0x0005_0000);
+
+/// The universal code range: a rule naming it grants access to code
+/// executing *anywhere* (used for "readable by everyone, writable by
+/// nobody else" patterns).
+pub const ALL_CODE: AddrRange = AddrRange::new(0, u32::MAX);
+
+/// A representative program-counter value inside the untrusted application.
+pub const APP_CODE: u32 = APP_CODE_RANGE.start + 0x100;
+
+/// A representative program-counter value inside `Code_Attest`.
+pub const ATTEST_PC: u32 = ATTEST_CODE.start + 0x10;
+
+/// A representative program-counter value inside `Code_Clock`.
+pub const CLOCK_PC: u32 = CLOCK_CODE.start + 0x10;
+
+/// A representative program-counter value inside the boot loader.
+pub const BOOT_PC: u32 = BOOT_CODE.start + 0x10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_is_512_kib() {
+        assert_eq!(RAM.len(), 512 * 1024);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let regions = [ROM, FLASH, RAM, MMIO];
+        for (i, a) in regions.iter().enumerate() {
+            for b in &regions[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rom_sublayout_within_rom() {
+        for sub in [BOOT_CODE, ATTEST_CODE, CLOCK_CODE, ATTEST_KEY] {
+            assert!(ROM.contains_span(sub.start, sub.len()), "{sub} outside ROM");
+        }
+    }
+
+    #[test]
+    fn ram_sublayout_within_ram() {
+        for sub in [COUNTER_R, CLOCK_MSB, IDT, TRUST_STATE, APP_RAM] {
+            assert!(RAM.contains_span(sub.start, sub.len()), "{sub} outside RAM");
+        }
+    }
+
+    #[test]
+    fn reserved_ram_words_do_not_overlap() {
+        let words = [COUNTER_R, CLOCK_MSB, IDT, TRUST_STATE, APP_RAM];
+        for (i, a) in words.iter().enumerate() {
+            for b in &words[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_span_edges() {
+        let r = AddrRange::new(0x100, 0x200);
+        assert!(r.contains_span(0x100, 0x100));
+        assert!(!r.contains_span(0x100, 0x101));
+        assert!(!r.contains_span(0xff, 2));
+        assert!(r.contains_span(0x1ff, 1));
+        assert!(!r.contains_span(u32::MAX, 2)); // overflow guarded
+    }
+
+    #[test]
+    fn representative_pcs_inside_their_regions() {
+        assert!(ATTEST_CODE.contains(ATTEST_PC));
+        assert!(CLOCK_CODE.contains(CLOCK_PC));
+        assert!(BOOT_CODE.contains(BOOT_PC));
+        assert!(APP_CODE_RANGE.contains(APP_CODE));
+    }
+
+    #[test]
+    fn mmio_subwindows_within_mmio() {
+        for sub in [MMIO_MPU_CONFIG, MMIO_TIMER, MMIO_RTC] {
+            assert!(MMIO.contains_span(sub.start, sub.len()));
+        }
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(
+            AddrRange::new(0, 0x4000).to_string(),
+            "[0x00000000, 0x00004000)"
+        );
+    }
+}

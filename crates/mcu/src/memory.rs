@@ -1,0 +1,217 @@
+//! Physical memory backing the address map.
+//!
+//! [`PhysicalMemory`] stores ROM, flash and RAM contents and enforces the
+//! *physical* property that ROM cannot be written after manufacturing
+//! ([`PhysicalMemory::burn_rom`] is the factory step). Access-control
+//! (who may read/write what) is the MPU's job, not this module's.
+
+use crate::error::McuError;
+use crate::map::{self, AddrRange};
+
+/// Flat storage for the ROM, flash and RAM regions.
+#[derive(Clone)]
+pub struct PhysicalMemory {
+    rom: Vec<u8>,
+    flash: Vec<u8>,
+    ram: Vec<u8>,
+}
+
+impl std::fmt::Debug for PhysicalMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysicalMemory")
+            .field("rom_bytes", &self.rom.len())
+            .field("flash_bytes", &self.flash.len())
+            .field("ram_bytes", &self.ram.len())
+            .finish()
+    }
+}
+
+impl Default for PhysicalMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysicalMemory {
+    /// Creates zeroed memory matching the [`map`] layout.
+    #[must_use]
+    pub fn new() -> Self {
+        PhysicalMemory {
+            rom: vec![0; map::ROM.len() as usize],
+            flash: vec![0; map::FLASH.len() as usize],
+            ram: vec![0; map::RAM.len() as usize],
+        }
+    }
+
+    /// Resolves an address to its region and offset.
+    fn region_of(&self, addr: u32) -> Option<(AddrRange, Region)> {
+        if map::ROM.contains(addr) {
+            Some((map::ROM, Region::Rom))
+        } else if map::FLASH.contains(addr) {
+            Some((map::FLASH, Region::Flash))
+        } else if map::RAM.contains(addr) {
+            Some((map::RAM, Region::Ram))
+        } else {
+            None
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if the span leaves mapped memory (MMIO is
+    /// handled by the device, not here).
+    pub fn read(&self, addr: u32, buf: &mut [u8]) -> Result<(), McuError> {
+        let (range, region) = self
+            .region_of(addr)
+            .filter(|(range, _)| range.contains_span(addr, buf.len() as u32))
+            .ok_or(McuError::BusFault { addr })?;
+        let off = (addr - range.start) as usize;
+        let src = match region {
+            Region::Rom => &self.rom,
+            Region::Flash => &self.flash,
+            Region::Ram => &self.ram,
+        };
+        buf.copy_from_slice(&src[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// - [`McuError::BusFault`] if the span leaves mapped memory.
+    /// - [`McuError::RomWrite`] if the span touches ROM — ROM is
+    ///   physically immutable at runtime.
+    pub fn write(&mut self, addr: u32, data: &[u8]) -> Result<(), McuError> {
+        let (range, region) = self
+            .region_of(addr)
+            .filter(|(range, _)| range.contains_span(addr, data.len() as u32))
+            .ok_or(McuError::BusFault { addr })?;
+        let off = (addr - range.start) as usize;
+        let dst = match region {
+            Region::Rom => return Err(McuError::RomWrite { addr }),
+            Region::Flash => &mut self.flash,
+            Region::Ram => &mut self.ram,
+        };
+        dst[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Factory step: writes ROM contents before the device ships.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if the span leaves ROM.
+    pub fn burn_rom(&mut self, addr: u32, data: &[u8]) -> Result<(), McuError> {
+        if !map::ROM.contains_span(addr, data.len() as u32) {
+            return Err(McuError::BusFault { addr });
+        }
+        let off = (addr - map::ROM.start) as usize;
+        self.rom[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Programs the flash image (used by provisioning and by `Adv_roam`'s
+    /// malware installation in the simulation — flash *is* writable).
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if the span leaves flash.
+    pub fn program_flash(&mut self, addr: u32, data: &[u8]) -> Result<(), McuError> {
+        self.write(addr, data).and_then(|()| {
+            if map::FLASH.contains(addr) {
+                Ok(())
+            } else {
+                Err(McuError::BusFault { addr })
+            }
+        })
+    }
+
+    /// Borrows the whole RAM contents (for whole-memory MAC computation).
+    #[must_use]
+    pub fn ram(&self) -> &[u8] {
+        &self.ram
+    }
+
+    /// Borrows the whole flash contents (for secure-boot hashing).
+    #[must_use]
+    pub fn flash(&self) -> &[u8] {
+        &self.flash
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Region {
+    Rom,
+    Flash,
+    Ram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_read_write_roundtrip() {
+        let mut mem = PhysicalMemory::new();
+        mem.write(map::RAM.start + 100, &[9, 8, 7]).unwrap();
+        let mut buf = [0u8; 3];
+        mem.read(map::RAM.start + 100, &mut buf).unwrap();
+        assert_eq!(buf, [9, 8, 7]);
+    }
+
+    #[test]
+    fn rom_write_rejected_but_burn_allowed() {
+        let mut mem = PhysicalMemory::new();
+        assert!(matches!(
+            mem.write(map::ROM.start, &[1]),
+            Err(McuError::RomWrite { .. })
+        ));
+        mem.burn_rom(map::ROM.start + 4, &[0xaa, 0xbb]).unwrap();
+        let mut buf = [0u8; 2];
+        mem.read(map::ROM.start + 4, &mut buf).unwrap();
+        assert_eq!(buf, [0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn burn_rom_outside_rom_rejected() {
+        let mut mem = PhysicalMemory::new();
+        assert!(mem.burn_rom(map::RAM.start, &[1]).is_err());
+        // Span straddling the ROM end is also rejected.
+        assert!(mem.burn_rom(map::ROM.end - 1, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut mem = PhysicalMemory::new();
+        let mut buf = [0u8];
+        assert!(matches!(
+            mem.read(0x0009_0000, &mut buf),
+            Err(McuError::BusFault { .. })
+        ));
+        assert!(mem.write(0xffff_0000, &[0]).is_err());
+    }
+
+    #[test]
+    fn cross_region_span_faults() {
+        let mem = PhysicalMemory::new();
+        let mut buf = [0u8; 8];
+        // Starts in ROM but runs past its end into unmapped space.
+        assert!(mem.read(map::ROM.end - 4, &mut buf).is_err());
+    }
+
+    #[test]
+    fn flash_programming() {
+        let mut mem = PhysicalMemory::new();
+        mem.program_flash(map::FLASH.start, b"app image").unwrap();
+        assert_eq!(&mem.flash()[..9], b"app image");
+    }
+
+    #[test]
+    fn ram_slice_is_full_size() {
+        let mem = PhysicalMemory::new();
+        assert_eq!(mem.ram().len(), 512 * 1024);
+    }
+}

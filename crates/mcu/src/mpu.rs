@@ -1,0 +1,441 @@
+//! The execution-aware memory protection unit (EA-MPU).
+//!
+//! The core primitive of SMART/TrustLite and of the paper's §6: memory
+//! access is allowed or denied based on **which code region the program
+//! counter is currently in** (execution-aware memory access control,
+//! EA-MAC). A [`Rule`] protects a data range by naming the single code
+//! range allowed to touch it and with which permissions; any access into a
+//! protected range from outside the named code range is denied.
+//!
+//! Addresses not covered by any rule are unrestricted — the EA-MPU is a
+//! whitelist of *carve-outs*, matching the TrustLite design where
+//! untrusted software keeps using ordinary memory freely.
+//!
+//! After secure boot installs the rules, the configuration is **locked**
+//! ([`EaMpu::lock`]): further rule changes fail with
+//! [`McuError::MpuLocked`], which is exactly the property that defeats
+//! `Adv_roam`'s attempt to strip protections in Phase II.
+
+use std::fmt;
+
+use crate::error::McuError;
+use crate::map::AddrRange;
+
+/// Kind of memory access being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Execute => write!(f, "execute"),
+        }
+    }
+}
+
+/// Permissions a rule grants to its code region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Permissions {
+    /// Reads allowed.
+    pub read: bool,
+    /// Writes allowed.
+    pub write: bool,
+}
+
+impl Permissions {
+    /// Read-only access.
+    pub const READ_ONLY: Permissions = Permissions {
+        read: true,
+        write: false,
+    };
+    /// Read and write access.
+    pub const READ_WRITE: Permissions = Permissions {
+        read: true,
+        write: true,
+    };
+    /// Write-only access (rare, but expressible).
+    pub const WRITE_ONLY: Permissions = Permissions {
+        read: false,
+        write: true,
+    };
+    /// No access at all — used to seal a region against everyone.
+    pub const NONE: Permissions = Permissions {
+        read: false,
+        write: false,
+    };
+
+    /// Does this permission set allow `kind`?
+    #[must_use]
+    pub fn allows(&self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.read,
+            AccessKind::Write => self.write,
+            // Execution of a *data* range is never granted by a data rule.
+            AccessKind::Execute => false,
+        }
+    }
+}
+
+/// One EA-MPU rule: `code_range` may access `data_range` with `perms`;
+/// everyone else is denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Human-readable label for reports ("K_Attest", "IDT", …).
+    pub name: &'static str,
+    /// The protected data range.
+    pub data_range: AddrRange,
+    /// The only code range allowed to access it.
+    pub code_range: AddrRange,
+    /// What that code range may do.
+    pub perms: Permissions,
+}
+
+impl Rule {
+    /// Creates a rule.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        data_range: AddrRange,
+        code_range: AddrRange,
+        perms: Permissions,
+    ) -> Self {
+        Rule {
+            name,
+            data_range,
+            code_range,
+            perms,
+        }
+    }
+}
+
+/// The EA-MPU: a fixed number of rule slots plus a lockdown latch.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_mcu::map::{self, AddrRange};
+/// use proverguard_mcu::mpu::{AccessKind, EaMpu, Permissions, Rule};
+///
+/// # fn main() -> Result<(), proverguard_mcu::McuError> {
+/// let mut mpu = EaMpu::new(4);
+/// mpu.add_rule(Rule::new(
+///     "K_Attest",
+///     map::ATTEST_KEY,
+///     map::ATTEST_CODE,
+///     Permissions::READ_ONLY,
+/// ))?;
+/// // Code_Attest may read the key; the application may not.
+/// assert!(mpu.check(map::ATTEST_PC, map::ATTEST_KEY.start, AccessKind::Read).is_ok());
+/// assert!(mpu.check(map::APP_CODE, map::ATTEST_KEY.start, AccessKind::Read).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EaMpu {
+    rules: Vec<Rule>,
+    capacity: usize,
+    locked: bool,
+}
+
+impl EaMpu {
+    /// Creates an unlocked EA-MPU with `capacity` rule slots.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        EaMpu {
+            rules: Vec::new(),
+            capacity,
+            locked: false,
+        }
+    }
+
+    /// Installed rules.
+    #[must_use]
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Rule-slot capacity (the `#r` of Table 3).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` once the configuration has been locked.
+    #[must_use]
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Installs a rule.
+    ///
+    /// # Errors
+    ///
+    /// - [`McuError::MpuLocked`] after lockdown.
+    /// - [`McuError::MpuFull`] if all slots are used.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<(), McuError> {
+        if self.locked {
+            return Err(McuError::MpuLocked);
+        }
+        if self.rules.len() >= self.capacity {
+            return Err(McuError::MpuFull {
+                capacity: self.capacity,
+            });
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Removes all rules whose name matches.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuLocked`] after lockdown — this is the call
+    /// `Adv_roam` would love to make and cannot.
+    pub fn remove_rule(&mut self, name: &str) -> Result<usize, McuError> {
+        if self.locked {
+            return Err(McuError::MpuLocked);
+        }
+        let before = self.rules.len();
+        self.rules.retain(|r| r.name != name);
+        Ok(before - self.rules.len())
+    }
+
+    /// Locks the configuration; irreversible until hardware reset.
+    pub fn lock(&mut self) {
+        self.locked = true;
+    }
+
+    /// Checks whether code executing at `pc` may perform `kind` at `addr`.
+    ///
+    /// Denial semantics: if *any* rule covers `addr`, the access is allowed
+    /// only if at least one covering rule names a code range containing
+    /// `pc` and grants `kind`. Uncovered addresses are unrestricted.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] when the access is denied.
+    pub fn check(&self, pc: u32, addr: u32, kind: AccessKind) -> Result<(), McuError> {
+        let mut covered = false;
+        for rule in &self.rules {
+            if !rule.data_range.contains(addr) {
+                continue;
+            }
+            covered = true;
+            if rule.code_range.contains(pc) && rule.perms.allows(kind) {
+                return Ok(());
+            }
+        }
+        if covered {
+            Err(McuError::MpuViolation { pc, addr, kind })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Checks an access spanning `[addr, addr + len)`.
+    ///
+    /// The span is segmented at every rule boundary it crosses; within a
+    /// segment the set of covering rules is constant, so checking one
+    /// representative byte per segment is exactly equivalent to checking
+    /// every byte.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] for the first denied segment.
+    pub fn check_span(
+        &self,
+        pc: u32,
+        addr: u32,
+        len: u32,
+        kind: AccessKind,
+    ) -> Result<(), McuError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let span_end = addr.saturating_add(len);
+        let mut cuts: Vec<u32> = vec![addr];
+        for rule in &self.rules {
+            for edge in [rule.data_range.start, rule.data_range.end] {
+                if edge > addr && edge < span_end {
+                    cuts.push(edge);
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        for probe in cuts {
+            self.check(pc, probe, kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map;
+
+    fn key_rule() -> Rule {
+        Rule::new(
+            "K_Attest",
+            map::ATTEST_KEY,
+            map::ATTEST_CODE,
+            Permissions::READ_ONLY,
+        )
+    }
+
+    #[test]
+    fn uncovered_addresses_are_open() {
+        let mpu = EaMpu::new(4);
+        assert!(mpu
+            .check(map::APP_CODE, map::RAM.start, AccessKind::Write)
+            .is_ok());
+        assert!(mpu.check(0, 0xdead_beef, AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    fn rule_grants_named_code_only() {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(key_rule()).unwrap();
+        assert!(mpu
+            .check(map::ATTEST_PC, map::ATTEST_KEY.start, AccessKind::Read)
+            .is_ok());
+        let denied = mpu.check(map::APP_CODE, map::ATTEST_KEY.start, AccessKind::Read);
+        assert!(matches!(denied, Err(McuError::MpuViolation { .. })));
+        // Even Code_Clock (trusted, but not named) is denied.
+        assert!(mpu
+            .check(map::CLOCK_PC, map::ATTEST_KEY.start, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn read_only_rule_denies_writes_even_to_owner() {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(key_rule()).unwrap();
+        assert!(mpu
+            .check(map::ATTEST_PC, map::ATTEST_KEY.start, AccessKind::Write)
+            .is_err());
+    }
+
+    #[test]
+    fn overlapping_rules_any_grant_wins() {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(key_rule()).unwrap();
+        // Second rule grants Code_Clock read access to the same range.
+        mpu.add_rule(Rule::new(
+            "K_Attest-for-clock",
+            map::ATTEST_KEY,
+            map::CLOCK_CODE,
+            Permissions::READ_ONLY,
+        ))
+        .unwrap();
+        assert!(mpu
+            .check(map::CLOCK_PC, map::ATTEST_KEY.start, AccessKind::Read)
+            .is_ok());
+        assert!(mpu
+            .check(map::ATTEST_PC, map::ATTEST_KEY.start, AccessKind::Read)
+            .is_ok());
+        assert!(mpu
+            .check(map::APP_CODE, map::ATTEST_KEY.start, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn lockdown_blocks_reconfiguration() {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(key_rule()).unwrap();
+        mpu.lock();
+        assert!(matches!(mpu.add_rule(key_rule()), Err(McuError::MpuLocked)));
+        assert!(matches!(
+            mpu.remove_rule("K_Attest"),
+            Err(McuError::MpuLocked)
+        ));
+        assert!(mpu.is_locked());
+        // Checks still work after lockdown.
+        assert!(mpu
+            .check(map::ATTEST_PC, map::ATTEST_KEY.start, AccessKind::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut mpu = EaMpu::new(1);
+        mpu.add_rule(key_rule()).unwrap();
+        assert!(matches!(
+            mpu.add_rule(key_rule()),
+            Err(McuError::MpuFull { capacity: 1 })
+        ));
+    }
+
+    #[test]
+    fn remove_rule_before_lockdown() {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(key_rule()).unwrap();
+        assert_eq!(mpu.remove_rule("K_Attest").unwrap(), 1);
+        assert_eq!(mpu.remove_rule("K_Attest").unwrap(), 0);
+        assert!(mpu
+            .check(map::APP_CODE, map::ATTEST_KEY.start, AccessKind::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn span_check_covers_partial_overlap() {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(key_rule()).unwrap();
+        // Span starting before the key but running into it is denied for app code.
+        let before = map::ATTEST_KEY.start - 8;
+        assert!(mpu
+            .check_span(map::APP_CODE, before, 16, AccessKind::Read)
+            .is_err());
+        // Span stopping right at the key start is fine.
+        assert!(mpu
+            .check_span(map::APP_CODE, before, 8, AccessKind::Read)
+            .is_ok());
+        // Owner may span across.
+        assert!(mpu
+            .check_span(map::ATTEST_PC, before, 16, AccessKind::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn execute_never_granted_by_data_rules() {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(Rule::new(
+            "sealed",
+            map::COUNTER_R,
+            map::ATTEST_CODE,
+            Permissions::READ_WRITE,
+        ))
+        .unwrap();
+        assert!(mpu
+            .check(map::ATTEST_PC, map::COUNTER_R.start, AccessKind::Execute)
+            .is_err());
+    }
+
+    #[test]
+    fn none_permissions_seal_a_region() {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(Rule::new(
+            "sealed",
+            map::CLOCK_MSB,
+            map::CLOCK_CODE,
+            Permissions::NONE,
+        ))
+        .unwrap();
+        assert!(mpu
+            .check(map::CLOCK_PC, map::CLOCK_MSB.start, AccessKind::Read)
+            .is_err());
+        assert!(mpu
+            .check(map::APP_CODE, map::CLOCK_MSB.start, AccessKind::Read)
+            .is_err());
+    }
+}

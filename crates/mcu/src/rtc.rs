@@ -1,0 +1,192 @@
+//! Dedicated hardware real-time clocks (Figure 1a and the §6.3 variants).
+//!
+//! The *base* prototype uses a wide dedicated counter register that never
+//! wraps within the device lifetime: 64 bits at full CPU speed
+//! (≈ 24 372.6 years at 24 MHz) or 32 bits behind a ÷2²⁰ prescaler
+//! (≈ 6 years at 42 ms resolution).
+//!
+//! Hardware increments the counter; software can at most *read* it — on a
+//! correctly configured device. Whether a rogue write is possible is the
+//! device's MPU configuration, not this struct's concern: [`HwRtc::set_raw`]
+//! exists so the device can model writable (unprotected) clocks and let
+//! `Adv_roam` execute its clock-reset attack against them.
+
+use crate::cycles::CLOCK_HZ;
+
+/// A free-running real-time counter of `width` bits behind a `2^prescaler`
+/// divider.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_mcu::rtc::HwRtc;
+///
+/// let mut rtc = HwRtc::wide64();
+/// rtc.advance(24_000_000); // one second of cycles
+/// assert!((rtc.seconds() - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwRtc {
+    width: u32,
+    prescaler_log2: u32,
+    ticks: u64,
+    residual_cycles: u64,
+}
+
+impl HwRtc {
+    /// The 64-bit full-speed clock of Figure 1a.
+    #[must_use]
+    pub fn wide64() -> Self {
+        HwRtc {
+            width: 64,
+            prescaler_log2: 0,
+            ticks: 0,
+            residual_cycles: 0,
+        }
+    }
+
+    /// The 32-bit ÷2²⁰ clock of §6.3 (42 ms resolution, ~6 year wrap).
+    #[must_use]
+    pub fn divided32() -> Self {
+        HwRtc {
+            width: 32,
+            prescaler_log2: 20,
+            ticks: 0,
+            residual_cycles: 0,
+        }
+    }
+
+    /// An arbitrary clock for ablations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 64`.
+    #[must_use]
+    pub fn custom(width: u32, prescaler_log2: u32) -> Self {
+        assert!((1..=64).contains(&width), "rtc width out of range");
+        HwRtc {
+            width,
+            prescaler_log2,
+            ticks: 0,
+            residual_cycles: 0,
+        }
+    }
+
+    /// Counter width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// log₂ of the prescaler (0 = one tick per CPU cycle).
+    #[must_use]
+    pub fn prescaler_log2(&self) -> u32 {
+        self.prescaler_log2
+    }
+
+    /// Current counter value, wrapped to `width` bits.
+    #[must_use]
+    pub fn read(&self) -> u64 {
+        if self.width == 64 {
+            self.ticks
+        } else {
+            self.ticks & ((1u64 << self.width) - 1)
+        }
+    }
+
+    /// Current time in seconds (from wrapped ticks — after a wrap, time
+    /// appears to restart, which is exactly the failure mode §6.3 sizes
+    /// the register to avoid).
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.read() as f64 * 2f64.powi(self.prescaler_log2 as i32) / CLOCK_HZ as f64
+    }
+
+    /// Advances by `cycles` CPU cycles.
+    pub fn advance(&mut self, cycles: u64) {
+        let total = self.residual_cycles + cycles;
+        self.ticks = self.ticks.wrapping_add(total >> self.prescaler_log2);
+        self.residual_cycles = total & ((1u64 << self.prescaler_log2) - 1);
+    }
+
+    /// Overwrites the counter — the clock-reset attack surface. A
+    /// correctly protected device never routes a write here; the
+    /// unprotected baseline does, letting `Adv_roam` set the clock back.
+    pub fn set_raw(&mut self, ticks: u64) {
+        self.ticks = if self.width == 64 {
+            ticks
+        } else {
+            ticks & ((1u64 << self.width) - 1)
+        };
+    }
+
+    /// Seconds until the counter wraps, from zero, at 24 MHz.
+    #[must_use]
+    pub fn wraparound_seconds(&self) -> f64 {
+        2f64.powi(self.width as i32) * 2f64.powi(self.prescaler_log2 as i32) / CLOCK_HZ as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide64_tracks_cycles_exactly() {
+        let mut rtc = HwRtc::wide64();
+        rtc.advance(123_456);
+        assert_eq!(rtc.read(), 123_456);
+    }
+
+    #[test]
+    fn divided32_prescales() {
+        let mut rtc = HwRtc::divided32();
+        rtc.advance((1 << 20) - 1);
+        assert_eq!(rtc.read(), 0);
+        rtc.advance(1);
+        assert_eq!(rtc.read(), 1);
+        // Residual carries across calls.
+        rtc.advance(1 << 19);
+        rtc.advance(1 << 19);
+        assert_eq!(rtc.read(), 2);
+    }
+
+    #[test]
+    fn resolution_is_42ms() {
+        let mut rtc = HwRtc::divided32();
+        rtc.advance(1 << 20);
+        let res = rtc.seconds();
+        assert!((res - 0.0437).abs() < 0.001, "got {res}");
+    }
+
+    #[test]
+    fn wraparound_times_match_section_6_3() {
+        let years64 = HwRtc::wide64().wraparound_seconds() / (365.25 * 86_400.0);
+        assert!((years64 - 24_372.6).abs() < 30.0, "got {years64}");
+        let minutes32_raw = HwRtc::custom(32, 0).wraparound_seconds() / 60.0;
+        assert!((minutes32_raw - 2.98).abs() < 0.05, "got {minutes32_raw}");
+        let years32_div = HwRtc::divided32().wraparound_seconds() / (365.25 * 86_400.0);
+        assert!((years32_div - 5.95).abs() < 0.2, "got {years32_div}");
+    }
+
+    #[test]
+    fn narrow_clock_wraps_and_time_restarts() {
+        let mut rtc = HwRtc::custom(8, 0);
+        rtc.advance(300);
+        assert_eq!(rtc.read(), 300 % 256);
+    }
+
+    #[test]
+    fn set_raw_models_clock_reset_attack() {
+        let mut rtc = HwRtc::wide64();
+        rtc.advance(1_000_000);
+        rtc.set_raw(10);
+        assert_eq!(rtc.read(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rtc width out of range")]
+    fn invalid_width_rejected() {
+        let _ = HwRtc::custom(65, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The short-term hardware counter `Clock_LSB` (Figure 1b ①).
+//!
+//! Common low-end MCUs (Siskiyou Peak, TI MSP430) ship a narrow timer that
+//! wraps around quickly and raises an interrupt at wrap-around. The
+//! advanced prototype builds a real-time clock from it: trusted
+//! `Code_Clock` serves the wrap interrupt and maintains the high-order
+//! bits (`Clock_MSB`) in protected RAM.
+//!
+//! The counter itself is hardware-incremented and read-only; what software
+//! *can* normally do is disable the timer — which is why the paper requires
+//! that "disabling the timer interrupt must also be prevented". The enable
+//! bit is exposed through the device's MMIO window so an MPU rule can lock
+//! it.
+
+/// Interrupt vector raised at wrap-around.
+pub const TIMER_WRAP_VECTOR: u8 = 0;
+
+/// A `width`-bit free-running up-counter with wrap-around detection.
+///
+/// # Example
+///
+/// ```
+/// use proverguard_mcu::timer::TimerLsb;
+///
+/// let mut t = TimerLsb::new(16, 0);
+/// let wraps = t.advance(65_536 * 3 + 10);
+/// assert_eq!(wraps, 3);
+/// assert_eq!(t.value(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerLsb {
+    width: u32,
+    prescaler_log2: u32,
+    /// Total prescaled ticks since reset (the counter value is the low
+    /// `width` bits).
+    ticks: u64,
+    /// Residual cycles not yet forming a full prescaled tick.
+    residual_cycles: u64,
+    enabled: bool,
+}
+
+impl TimerLsb {
+    /// Creates an enabled timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 32`.
+    #[must_use]
+    pub fn new(width: u32, prescaler_log2: u32) -> Self {
+        assert!((1..=32).contains(&width), "timer width out of range");
+        TimerLsb {
+            width,
+            prescaler_log2,
+            ticks: 0,
+            residual_cycles: 0,
+            enabled: true,
+        }
+    }
+
+    /// Counter width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// `true` while the timer is running.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the timer. The device must gate this behind an
+    /// MPU-protected MMIO register — a disabled timer silently stops the
+    /// SW-clock, which is exactly `Adv_roam`'s goal.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Current counter value (low `width` bits of the tick count).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.ticks & ((1u64 << self.width) - 1)
+    }
+
+    /// Total prescaled ticks since reset (not wrapped). The *hardware*
+    /// knows this only implicitly; it is exposed for test oracles.
+    #[must_use]
+    pub fn total_ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Advances the timer by `cycles` CPU cycles; returns how many
+    /// wrap-around interrupts occurred. Returns 0 while disabled.
+    pub fn advance(&mut self, cycles: u64) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let total_cycles = self.residual_cycles + cycles;
+        let new_ticks = total_cycles >> self.prescaler_log2;
+        self.residual_cycles = total_cycles & ((1u64 << self.prescaler_log2) - 1);
+        let before = self.ticks;
+        self.ticks += new_ticks;
+        // Wraps = how many times the low `width` bits rolled over.
+        (self.ticks >> self.width) - (before >> self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_wraps() {
+        let mut t = TimerLsb::new(8, 0);
+        assert_eq!(t.advance(255), 0);
+        assert_eq!(t.value(), 255);
+        assert_eq!(t.advance(1), 1);
+        assert_eq!(t.value(), 0);
+        assert_eq!(t.advance(512), 2);
+    }
+
+    #[test]
+    fn prescaler_divides_cycles() {
+        let mut t = TimerLsb::new(8, 4); // one tick per 16 cycles
+        assert_eq!(t.advance(15), 0);
+        assert_eq!(t.value(), 0);
+        assert_eq!(t.advance(1), 0);
+        assert_eq!(t.value(), 1);
+        // Residual cycles accumulate exactly.
+        let mut t2 = TimerLsb::new(8, 4);
+        let mut wraps = 0;
+        for _ in 0..(16 * 256) {
+            wraps += t2.advance(1);
+        }
+        assert_eq!(wraps, 1);
+        assert_eq!(t2.value(), 0);
+    }
+
+    #[test]
+    fn disabled_timer_freezes() {
+        let mut t = TimerLsb::new(8, 0);
+        t.advance(10);
+        t.set_enabled(false);
+        assert_eq!(t.advance(1000), 0);
+        assert_eq!(t.value(), 10);
+        t.set_enabled(true);
+        assert_eq!(t.advance(246), 1);
+    }
+
+    #[test]
+    fn wide_advance_counts_all_wraps() {
+        let mut t = TimerLsb::new(16, 0);
+        let wraps = t.advance(65_536 * 100 + 7);
+        assert_eq!(wraps, 100);
+        assert_eq!(t.value(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "timer width out of range")]
+    fn invalid_width_rejected() {
+        let _ = TimerLsb::new(0, 0);
+    }
+
+    #[test]
+    fn value_masks_to_width() {
+        let mut t = TimerLsb::new(4, 0);
+        t.advance(0x1_0005);
+        assert_eq!(t.value(), 5);
+        assert_eq!(t.total_ticks(), 0x1_0005);
+    }
+}

@@ -1,0 +1,45 @@
+//! The §3.1 attack the paper opens with: an external adversary floods a
+//! battery-powered sensor with bogus attestation requests. Compare what
+//! the flood does to an unprotected prover versus the paper's
+//! recommended deployment.
+//!
+//! ```sh
+//! cargo run --example dos_attack
+//! ```
+
+use proverguard_adversary::dos::flood_with_forgeries;
+use proverguard_attest::prover::ProverConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const FLOOD: u64 = 50;
+
+    println!("flooding two provers with {FLOOD} forged attestation requests…\n");
+
+    let open = flood_with_forgeries(ProverConfig::unprotected(), "unprotected", FLOOD)?;
+    let guarded = flood_with_forgeries(ProverConfig::recommended(), "protected", FLOOD)?;
+
+    for report in [&open, &guarded] {
+        println!("{}:", report.label);
+        println!(
+            "  requests answered      : {}/{}",
+            report.answered, report.requests
+        );
+        println!(
+            "  device compute burned  : {:.1} ms ({:.3} ms per forgery)",
+            report.ms_per_request() * report.requests as f64,
+            report.ms_per_request()
+        );
+        println!(
+            "  battery energy drained : {:.2e} J ({:.6}% of capacity)",
+            report.energy_joules,
+            report.battery_fraction * 100.0
+        );
+        println!();
+    }
+
+    let amplification = open.cycles_burned as f64 / guarded.cycles_burned.max(1) as f64;
+    println!("the unprotected prover burned {amplification:.0}x more energy on the same flood.");
+    println!("(paper §3.1: every bogus request costs ~754 ms of whole-memory MAC;");
+    println!(" §4.1: a Speck-authenticated request is dismissed in 0.017 ms.)");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: provision a protected prover, run one attestation round,
+//! and look at what it cost the device.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::verifier::Verifier;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's recommended lightweight deployment: Speck-authenticated
+    // requests, a monotonic counter, EA-MAC protection of K_Attest and
+    // counter_R, installed and locked by secure boot.
+    let config = ProverConfig::recommended();
+    let shared_key = [0x42u8; 16];
+
+    let mut prover = Prover::provision(config.clone(), &shared_key, b"sensor firmware v1")?;
+    let mut verifier = Verifier::new(&config, &shared_key)?;
+
+    println!("prover provisioned:");
+    println!("  auth      : {}", config.auth);
+    println!("  freshness : {}", config.freshness);
+    println!(
+        "  EA-MPU    : {} rules, locked = {}",
+        prover.mcu().mpu().rules().len(),
+        prover.mcu().mpu().is_locked()
+    );
+
+    // One genuine attestation round.
+    let request = verifier.make_request()?;
+    let response = prover.handle_request(&request)?;
+    let genuine = verifier.check_response(&request, &response, prover.expected_memory());
+    println!("\ngenuine attestation round: verifier accepts = {genuine}");
+    println!(
+        "  device cost: {:.3} ms at 24 MHz",
+        prover.last_cost().total_ms()
+    );
+    println!("    auth check : {} cycles", prover.last_cost().auth_cycles);
+    println!(
+        "    freshness  : {} cycles",
+        prover.last_cost().freshness_cycles
+    );
+    println!(
+        "    memory MAC : {} cycles",
+        prover.last_cost().response_cycles
+    );
+
+    // A forged request bounces off the first pipeline stage.
+    let mut forged = verifier.make_request()?;
+    forged.auth = vec![0u8; forged.auth.len()];
+    let rejected = prover.handle_request(&forged);
+    println!("\nforged request: {rejected:?}");
+    println!(
+        "  device cost: {:.3} ms — {}x cheaper than answering it",
+        prover.last_cost().total_ms(),
+        (754.0 / prover.last_cost().total_ms()) as u64
+    );
+
+    // A replay bounces off the second stage.
+    let replay = prover.handle_request(&request);
+    println!("\nreplayed request: {replay:?}");
+
+    Ok(())
+}

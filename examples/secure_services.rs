@@ -1,0 +1,86 @@
+//! The §7 future-work extensions in action: secure clock synchronization
+//! and gated security services (secure memory erasure, secure code
+//! update), all behind the same authenticate-then-freshness gate that
+//! protects attestation.
+//!
+//! ```sh
+//! cargo run --example secure_services
+//! ```
+
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::services::{erased_app_ram_digest, Command};
+use proverguard_attest::verifier::Verifier;
+use proverguard_mcu::map;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ProverConfig::timestamp_hw64();
+    let key = [0x42u8; 16];
+    let mut prover = Prover::provision(config.clone(), &key, b"field unit fw v1")?;
+    let mut verifier = Verifier::new(&config, &key)?;
+
+    // --- clock synchronization (§7 item 2) --------------------------------
+    // The prover's oscillator drifted 3 s behind true time.
+    prover.advance_time_ms(57_000)?;
+    verifier.advance_time_ms(60_000);
+    println!(
+        "before sync: prover believes t = {} ms, true time = {} ms",
+        prover.synced_now_ms()?.expect("clock"),
+        verifier.now_ms()
+    );
+    let sync = verifier.make_sync_request();
+    let outcome = prover.handle_sync(&sync)?;
+    println!(
+        "sync applied: skew {} ms measured, {} ms corrected -> prover now at {} ms\n",
+        outcome.measured_skew_ms, outcome.applied_ms, outcome.synced_now_ms
+    );
+
+    // A replayed sync bounces.
+    println!(
+        "replaying the same sync message: {:?}\n",
+        prover.handle_sync(&sync)
+    );
+
+    // --- secure memory erasure (SCUBA-style, §7 item 3) --------------------
+    prover.mcu_mut().bus_write(
+        map::APP_RAM.start,
+        b"cached patient telemetry",
+        map::APP_CODE,
+    )?;
+    println!("app RAM contains sensitive residue; issuing gated erase…");
+    let erase = verifier.make_command(Command::EraseAppRam);
+    let receipt = prover.handle_command(&erase)?;
+    let proven =
+        verifier.check_command_receipt(&receipt, &Command::EraseAppRam, &erased_app_ram_digest());
+    println!("erase receipt verifies (memory provably zeroed): {proven}\n");
+
+    // --- a forged command is rejected for the cost of one block check ------
+    let mut forged = verifier.make_command(Command::EraseAppRam);
+    forged.auth = vec![0u8; forged.auth.len()];
+    let cycles_before = prover.mcu().clock().cycles();
+    let rejected = prover.handle_command(&forged);
+    println!(
+        "forged erase command: {rejected:?} (cost: {} device cycles)",
+        prover.mcu().clock().cycles() - cycles_before
+    );
+
+    // --- secure code update -------------------------------------------------
+    let new_image = b"field unit fw v2 (patched)".to_vec();
+    println!(
+        "\nissuing gated firmware update ({} bytes)…",
+        new_image.len()
+    );
+    let update = verifier.make_command(Command::UpdateFirmware {
+        image: new_image.clone(),
+    });
+    let receipt = prover.handle_command(&update)?;
+    let mut expected_flash = vec![0u8; map::FLASH.len() as usize];
+    expected_flash[..new_image.len()].copy_from_slice(&new_image);
+    let expected = proverguard_crypto::sha1::Sha1::digest(&expected_flash);
+    let proven = verifier.check_command_receipt(
+        &receipt,
+        &Command::UpdateFirmware { image: new_image },
+        &expected,
+    );
+    println!("update receipt verifies (flash provably reprogrammed): {proven}");
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the ProverGuard reproduction suite.
+//!
+//! This package exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests in `tests/`. The actual library surface
+//! lives in the workspace crates:
+//!
+//! - [`proverguard_crypto`] — from-scratch cryptographic primitives (Table 1).
+//! - [`proverguard_hw`] — FPGA resource estimation (Table 3, §6.3).
+//! - [`proverguard_mcu`] — simulated low-end MCU with an execution-aware MPU.
+//! - [`proverguard_attest`] — the paper's contribution: prover-side DoS
+//!   protection for remote attestation.
+//! - [`proverguard_adversary`] — `Adv_ext` / `Adv_roam` attack engines.
+
+pub use proverguard_adversary as adversary;
+pub use proverguard_attest as attest;
+pub use proverguard_crypto as crypto;
+pub use proverguard_hw as hw;
+pub use proverguard_mcu as mcu;

@@ -1,0 +1,246 @@
+//! Integration tests pinning the paper's security claims: Table 2, the §5
+//! roaming-adversary results, and the §6 mitigations.
+
+use proverguard_adversary::ext::{run_attack, ExtAttack, MitigationMatrix};
+use proverguard_adversary::roam::{run_roam_attack, RoamAttack};
+use proverguard_adversary::world::World;
+use proverguard_attest::clock::ClockKind;
+use proverguard_attest::freshness::{FreshnessKind, DEFAULT_MAX_DELAY_MS};
+use proverguard_attest::profile::Protection;
+use proverguard_attest::prover::ProverConfig;
+
+fn config(freshness: FreshnessKind, clock: ClockKind, protection: Protection) -> ProverConfig {
+    ProverConfig {
+        freshness,
+        clock,
+        protection,
+        ..ProverConfig::recommended()
+    }
+}
+
+#[test]
+fn table2_complete_matrix() {
+    let m = MitigationMatrix::generate().expect("matrix");
+    // 3 policies x 3 attacks.
+    assert_eq!(m.cells().len(), 9);
+    let expected = [
+        // (policy, replay, reorder, delay) — the paper's checkmarks.
+        (FreshnessKind::NonceHistory, true, false, false),
+        (FreshnessKind::Counter, true, true, false),
+        (FreshnessKind::Timestamp, true, true, true),
+    ];
+    for (policy, replay, reorder, delay) in expected {
+        assert_eq!(
+            m.mitigated(policy, &ExtAttack::Replay),
+            Some(replay),
+            "{policy} replay"
+        );
+        assert_eq!(
+            m.mitigated(policy, &ExtAttack::Reorder),
+            Some(reorder),
+            "{policy} reorder"
+        );
+        assert_eq!(
+            m.mitigated(policy, &ExtAttack::Delay { delay_ms: 0 }),
+            Some(delay),
+            "{policy} delay"
+        );
+    }
+}
+
+#[test]
+fn forgery_blocked_by_every_mac() {
+    use proverguard_attest::auth::AuthMethod;
+    use proverguard_crypto::mac::MacAlgorithm;
+    for alg in MacAlgorithm::ALL {
+        let cfg = ProverConfig {
+            auth: AuthMethod::Mac(alg),
+            ..ProverConfig::recommended()
+        };
+        let mut world = World::new(cfg).expect("world");
+        let outcome = run_attack(&mut world, ExtAttack::Forge).expect("attack");
+        assert!(outcome.detected, "{alg}");
+    }
+}
+
+#[test]
+fn section5_all_roam_attacks_succeed_on_open_devices() {
+    let cases = [
+        (
+            RoamAttack::CounterRollback,
+            FreshnessKind::Counter,
+            ClockKind::None,
+        ),
+        (
+            RoamAttack::ClockReset,
+            FreshnessKind::Timestamp,
+            ClockKind::Hw64,
+        ),
+        (
+            RoamAttack::ClockReset,
+            FreshnessKind::Timestamp,
+            ClockKind::Hw32Div,
+        ),
+        (
+            RoamAttack::ClockReset,
+            FreshnessKind::Timestamp,
+            ClockKind::Software,
+        ),
+        (
+            RoamAttack::IdtHijack,
+            FreshnessKind::Timestamp,
+            ClockKind::Software,
+        ),
+        (
+            RoamAttack::TimerKill,
+            FreshnessKind::Timestamp,
+            ClockKind::Software,
+        ),
+        (
+            RoamAttack::KeyExtraction,
+            FreshnessKind::Counter,
+            ClockKind::None,
+        ),
+    ];
+    for (attack, freshness, clock) in cases {
+        let mut world = World::new(config(freshness, clock, Protection::Open)).expect("world");
+        let outcome = run_roam_attack(&mut world, attack, 5000).expect("scenario");
+        assert!(
+            outcome.tampering.iter().all(|t| t.succeeded),
+            "{attack}: tampering should succeed on open device: {:?}",
+            outcome.tampering
+        );
+        assert!(
+            outcome.replay_accepted,
+            "{attack}: DoS should succeed on open device"
+        );
+    }
+}
+
+#[test]
+fn section6_all_roam_attacks_blocked_by_eamac() {
+    let cases = [
+        (
+            RoamAttack::CounterRollback,
+            FreshnessKind::Counter,
+            ClockKind::None,
+        ),
+        (
+            RoamAttack::ClockReset,
+            FreshnessKind::Timestamp,
+            ClockKind::Hw64,
+        ),
+        (
+            RoamAttack::ClockReset,
+            FreshnessKind::Timestamp,
+            ClockKind::Hw32Div,
+        ),
+        (
+            RoamAttack::ClockReset,
+            FreshnessKind::Timestamp,
+            ClockKind::Software,
+        ),
+        (
+            RoamAttack::IdtHijack,
+            FreshnessKind::Timestamp,
+            ClockKind::Software,
+        ),
+        (
+            RoamAttack::TimerKill,
+            FreshnessKind::Timestamp,
+            ClockKind::Software,
+        ),
+        (
+            RoamAttack::KeyExtraction,
+            FreshnessKind::Counter,
+            ClockKind::None,
+        ),
+    ];
+    for (attack, freshness, clock) in cases {
+        let mut world = World::new(config(freshness, clock, Protection::EaMac)).expect("world");
+        let outcome = run_roam_attack(&mut world, attack, 5000).expect("scenario");
+        assert!(
+            outcome.fully_blocked(),
+            "{attack}: tampering must be denied: {:?}",
+            outcome.tampering
+        );
+        assert!(
+            !outcome.replay_accepted,
+            "{attack}: replay must be rejected"
+        );
+    }
+}
+
+#[test]
+fn section5_counter_rollback_is_trace_free_but_clock_reset_is_not() {
+    // Counter rollback: no clock, no evidence.
+    let mut world = World::new(config(
+        FreshnessKind::Counter,
+        ClockKind::None,
+        Protection::Open,
+    ))
+    .expect("world");
+    let counter_outcome =
+        run_roam_attack(&mut world, RoamAttack::CounterRollback, 5000).expect("scenario");
+    assert!(counter_outcome.replay_accepted);
+    assert_eq!(counter_outcome.clock_lag_ms, None, "no clock, no footprint");
+
+    // Clock reset: the prover's clock remains behind by ~δ.
+    let mut world = World::new(config(
+        FreshnessKind::Timestamp,
+        ClockKind::Hw64,
+        Protection::Open,
+    ))
+    .expect("world");
+    let clock_outcome =
+        run_roam_attack(&mut world, RoamAttack::ClockReset, 5000).expect("scenario");
+    assert!(clock_outcome.replay_accepted);
+    let lag = clock_outcome.clock_lag_ms.expect("clock installed");
+    assert!(lag > 3000, "clock should lag by roughly δ, got {lag} ms");
+}
+
+#[test]
+fn delay_attack_bounded_by_window() {
+    // Within the window: indistinguishable from slow delivery, accepted.
+    let mut world = World::new(config(
+        FreshnessKind::Timestamp,
+        ClockKind::Hw64,
+        Protection::EaMac,
+    ))
+    .expect("world");
+    let inside = run_attack(
+        &mut world,
+        ExtAttack::Delay {
+            delay_ms: DEFAULT_MAX_DELAY_MS / 2,
+        },
+    )
+    .expect("attack");
+    assert!(!inside.detected);
+
+    // Beyond the window: rejected.
+    let mut world = World::new(config(
+        FreshnessKind::Timestamp,
+        ClockKind::Hw64,
+        Protection::EaMac,
+    ))
+    .expect("world");
+    let outside = run_attack(
+        &mut world,
+        ExtAttack::Delay {
+            delay_ms: DEFAULT_MAX_DELAY_MS * 3,
+        },
+    )
+    .expect("attack");
+    assert!(outside.detected);
+}
+
+#[test]
+fn rejected_attacks_cost_less_than_answered_ones() {
+    let mut protected = World::new(ProverConfig::recommended()).expect("world");
+    let detected = run_attack(&mut protected, ExtAttack::Forge).expect("attack");
+    let mut open = World::new(ProverConfig::unprotected()).expect("world");
+    let undetected = run_attack(&mut open, ExtAttack::Forge).expect("attack");
+    assert!(detected.detected && !undetected.detected);
+    // >10,000x asymmetry between rejecting and answering.
+    assert!(undetected.prover_cycles_wasted > 10_000 * detected.prover_cycles_wasted);
+}

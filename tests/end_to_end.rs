@@ -1,0 +1,208 @@
+//! Cross-crate integration: the full attestation protocol across every
+//! configuration axis the paper discusses.
+
+use proverguard_attest::auth::AuthMethod;
+use proverguard_attest::clock::ClockKind;
+use proverguard_attest::error::RejectReason;
+use proverguard_attest::freshness::FreshnessKind;
+use proverguard_attest::message::FreshnessField;
+use proverguard_attest::profile::Protection;
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::verifier::Verifier;
+use proverguard_crypto::mac::MacAlgorithm;
+use proverguard_mcu::map;
+
+const KEY: [u8; 16] = [0x42; 16];
+
+fn pair(config: &ProverConfig) -> (Prover, Verifier) {
+    let prover = Prover::provision(config.clone(), &KEY, b"integration image").expect("provision");
+    let verifier = Verifier::new(config, &KEY).expect("verifier");
+    (prover, verifier)
+}
+
+#[test]
+fn every_auth_method_completes_a_round() {
+    for auth in [
+        AuthMethod::None,
+        AuthMethod::Mac(MacAlgorithm::HmacSha1),
+        AuthMethod::Mac(MacAlgorithm::Aes128Cbc),
+        AuthMethod::Mac(MacAlgorithm::Speck64Cbc),
+        AuthMethod::Ecdsa,
+    ] {
+        let config = ProverConfig {
+            auth,
+            ..ProverConfig::recommended()
+        };
+        let (mut prover, mut verifier) = pair(&config);
+        let req = verifier.make_request().expect("request");
+        let resp = prover
+            .handle_request(&req)
+            .unwrap_or_else(|e| panic!("{auth}: {e}"));
+        assert!(
+            verifier.check_response(&req, &resp, prover.expected_memory()),
+            "{auth}"
+        );
+    }
+}
+
+#[test]
+fn every_freshness_policy_completes_rounds() {
+    for freshness in [
+        FreshnessKind::None,
+        FreshnessKind::NonceHistory,
+        FreshnessKind::Counter,
+        FreshnessKind::Timestamp,
+    ] {
+        let config = ProverConfig {
+            freshness,
+            clock: if freshness == FreshnessKind::Timestamp {
+                ClockKind::Hw64
+            } else {
+                ClockKind::None
+            },
+            ..ProverConfig::recommended()
+        };
+        let (mut prover, mut verifier) = pair(&config);
+        for round in 0..3 {
+            prover.advance_time_ms(100).expect("advance");
+            verifier.advance_time_ms(100);
+            let req = verifier.make_request().expect("request");
+            prover
+                .handle_request(&req)
+                .unwrap_or_else(|e| panic!("{freshness} round {round}: {e}"));
+            // Wall time spent computing the response elapses for both
+            // parties (cf. `World::deliver`).
+            verifier.advance_time_ms(prover.last_cost().total_ms().round() as u64);
+        }
+        assert_eq!(prover.stats().accepted, 3, "{freshness}");
+    }
+}
+
+#[test]
+fn every_clock_kind_supports_timestamps() {
+    for clock in [ClockKind::Hw64, ClockKind::Hw32Div, ClockKind::Software] {
+        let config = ProverConfig {
+            freshness: FreshnessKind::Timestamp,
+            clock,
+            ..ProverConfig::recommended()
+        };
+        let (mut prover, mut verifier) = pair(&config);
+        prover.advance_time_ms(2000).expect("advance");
+        verifier.advance_time_ms(2000);
+        let req = verifier.make_request().expect("request");
+        prover
+            .handle_request(&req)
+            .unwrap_or_else(|e| panic!("{clock:?}: {e}"));
+    }
+}
+
+#[test]
+fn response_binds_the_challenge() {
+    let config = ProverConfig::recommended();
+    let (mut prover, mut verifier) = pair(&config);
+    let req = verifier.make_request().expect("request");
+    let resp = prover.handle_request(&req).expect("accepted");
+    // The same response presented for a different request must fail.
+    let other = verifier.make_request().expect("request");
+    assert!(!verifier.check_response(&other, &resp, prover.expected_memory()));
+}
+
+#[test]
+fn response_detects_post_hoc_memory_change() {
+    let config = ProverConfig::recommended();
+    let (mut prover, mut verifier) = pair(&config);
+    let req = verifier.make_request().expect("request");
+    let resp = prover.handle_request(&req).expect("accepted");
+    let golden = prover.expected_memory().to_vec();
+    assert!(verifier.check_response(&req, &resp, &golden));
+
+    // Malware scribbles over RAM afterwards; the *next* round catches it.
+    prover
+        .mcu_mut()
+        .bus_write(map::APP_RAM.start, b"rootkit", map::APP_CODE)
+        .expect("open app ram");
+    let req2 = verifier.make_request().expect("request");
+    let resp2 = prover.handle_request(&req2).expect("accepted");
+    // Expected memory (stale golden from before infection, with the new
+    // counter folded in) no longer matches.
+    let mut stale = golden;
+    let off = (map::COUNTER_R.start - map::RAM.start) as usize;
+    if let FreshnessField::Counter(c) = req2.freshness {
+        stale[off..off + 8].copy_from_slice(&c.to_le_bytes());
+    }
+    assert!(!verifier.check_response(&req2, &resp2, &stale));
+}
+
+#[test]
+fn serialized_requests_survive_the_wire() {
+    let config = ProverConfig::timestamp_hw64();
+    let (mut prover, mut verifier) = pair(&config);
+    prover.advance_time_ms(1000).expect("advance");
+    verifier.advance_time_ms(1000);
+    let req = verifier.make_request().expect("request");
+    // Round-trip through bytes, as the channel does.
+    let wire = req.to_bytes();
+    let parsed = proverguard_attest::message::AttestRequest::from_bytes(&wire).expect("parse");
+    assert_eq!(parsed, req);
+    prover.handle_request(&parsed).expect("accepted");
+}
+
+#[test]
+fn open_and_protected_provers_differ_exactly_in_tamper_resistance() {
+    for protection in [Protection::Open, Protection::EaMac] {
+        let config = ProverConfig {
+            protection,
+            ..ProverConfig::recommended()
+        };
+        let (mut prover, mut verifier) = pair(&config);
+        // Protocol works identically…
+        let req = verifier.make_request().expect("request");
+        prover.handle_request(&req).expect("accepted");
+        // …but only the EA-MAC device resists tampering.
+        let tamper =
+            prover
+                .mcu_mut()
+                .bus_write(map::COUNTER_R.start, &0u64.to_le_bytes(), map::APP_CODE);
+        match protection {
+            Protection::Open => assert!(tamper.is_ok()),
+            Protection::EaMac => assert!(tamper.is_err()),
+        }
+    }
+}
+
+#[test]
+fn ecdsa_auth_rejects_bad_signatures_and_accepts_good_ones() {
+    let config = ProverConfig {
+        auth: AuthMethod::Ecdsa,
+        ..ProverConfig::recommended()
+    };
+    let (mut prover, mut verifier) = pair(&config);
+    let good = verifier.make_request().expect("request");
+    prover.handle_request(&good).expect("accepted");
+
+    let mut bad = verifier.make_request().expect("request");
+    bad.auth[5] ^= 0xff;
+    let err = prover.handle_request(&bad).expect_err("rejected");
+    assert_eq!(err.reject_reason(), Some(RejectReason::BadAuth));
+    // The rejection still cost the full ECDSA verification — the paradox.
+    assert!(prover.last_cost().total_ms() > 100.0);
+}
+
+#[test]
+fn nonce_history_grows_while_counter_stays_flat() {
+    let counter_cfg = ProverConfig::recommended();
+    let nonce_cfg = ProverConfig {
+        freshness: FreshnessKind::NonceHistory,
+        ..ProverConfig::recommended()
+    };
+    let (mut counter_prover, mut counter_verifier) = pair(&counter_cfg);
+    let (mut nonce_prover, mut nonce_verifier) = pair(&nonce_cfg);
+    for _ in 0..10 {
+        let req = counter_verifier.make_request().expect("request");
+        counter_prover.handle_request(&req).expect("accepted");
+        let req = nonce_verifier.make_request().expect("request");
+        nonce_prover.handle_request(&req).expect("accepted");
+    }
+    assert_eq!(counter_prover.policy().storage_bytes(), 8);
+    assert_eq!(nonce_prover.policy().storage_bytes(), 160);
+}

@@ -1,0 +1,176 @@
+//! Integration tests for the §7 future-work extensions: secure clock
+//! synchronization and gated security services, end to end through the
+//! prover's authenticate-then-freshness gate.
+
+use proverguard_attest::error::RejectReason;
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::services::{erased_app_ram_digest, Command};
+use proverguard_attest::verifier::Verifier;
+use proverguard_crypto::sha1::Sha1;
+use proverguard_mcu::map;
+
+const KEY: [u8; 16] = [0x42; 16];
+
+fn pair(config: &ProverConfig) -> (Prover, Verifier) {
+    let prover = Prover::provision(config.clone(), &KEY, b"extensions image").expect("provision");
+    let verifier = Verifier::new(config, &KEY).expect("verifier");
+    (prover, verifier)
+}
+
+// ---- clock synchronization ---------------------------------------------------
+
+#[test]
+fn clock_sync_corrects_skew_end_to_end() {
+    let config = ProverConfig::timestamp_hw64();
+    let (mut prover, mut verifier) = pair(&config);
+    // The prover's oscillator "lost" 2 s relative to true time.
+    prover.advance_time_ms(8_000).expect("advance");
+    verifier.advance_time_ms(10_000);
+    assert_eq!(prover.synced_now_ms().unwrap(), Some(8_000));
+
+    let sync = verifier.make_sync_request();
+    let outcome = prover.handle_sync(&sync).expect("sync accepted");
+    assert_eq!(outcome.measured_skew_ms, 2_000);
+    assert_eq!(outcome.applied_ms, 2_000);
+    assert_eq!(prover.synced_now_ms().unwrap(), Some(10_000));
+
+    // Timestamped attestation now works despite the oscillator error.
+    let req = verifier.make_request().expect("request");
+    prover.handle_request(&req).expect("accepted");
+}
+
+#[test]
+fn forged_sync_rejected() {
+    let config = ProverConfig::timestamp_hw64();
+    let (mut prover, mut verifier) = pair(&config);
+    prover.advance_time_ms(1_000).expect("advance");
+    verifier.advance_time_ms(5_000);
+    let mut sync = verifier.make_sync_request();
+    sync.auth = vec![0; sync.auth.len()];
+    let err = prover.handle_sync(&sync).expect_err("rejected");
+    assert_eq!(err.reject_reason(), Some(RejectReason::BadAuth));
+    // No correction happened.
+    assert_eq!(prover.synced_now_ms().unwrap(), Some(1_000));
+}
+
+#[test]
+fn replayed_sync_rejected_and_offset_survives() {
+    let config = ProverConfig::timestamp_hw64();
+    let (mut prover, mut verifier) = pair(&config);
+    prover.advance_time_ms(1_000).expect("advance");
+    verifier.advance_time_ms(1_500);
+    let sync = verifier.make_sync_request();
+    prover.handle_sync(&sync).expect("first accepted");
+    assert_eq!(prover.synced_now_ms().unwrap(), Some(1_500));
+    let err = prover.handle_sync(&sync).expect_err("replay rejected");
+    assert_eq!(err.reject_reason(), Some(RejectReason::StaleCounter));
+    assert_eq!(prover.synced_now_ms().unwrap(), Some(1_500));
+}
+
+#[test]
+fn malware_cannot_touch_the_sync_offset() {
+    let config = ProverConfig::timestamp_hw64();
+    let (mut prover, _) = pair(&config);
+    // Adv_roam tries to plant a huge offset directly.
+    let result = prover.mcu_mut().bus_write(
+        map::TRUST_STATE.start,
+        &i64::MAX.to_le_bytes(),
+        map::APP_CODE,
+    );
+    assert!(result.is_err(), "trust-state rule must deny malware");
+}
+
+#[test]
+fn sync_requires_a_clock() {
+    let config = ProverConfig::recommended(); // no clock
+    let (mut prover, mut verifier) = pair(&config);
+    let sync = verifier.make_sync_request();
+    let err = prover.handle_sync(&sync).expect_err("no clock");
+    assert!(matches!(err, proverguard_attest::AttestError::MissingClock));
+}
+
+// ---- gated services ----------------------------------------------------------
+
+#[test]
+fn secure_erase_end_to_end() {
+    let config = ProverConfig::recommended();
+    let (mut prover, mut verifier) = pair(&config);
+    prover
+        .mcu_mut()
+        .bus_write(map::APP_RAM.start, b"residual secrets", map::APP_CODE)
+        .expect("write");
+
+    let request = verifier.make_command(Command::EraseAppRam);
+    let receipt = prover.handle_command(&request).expect("executed");
+    assert!(verifier.check_command_receipt(
+        &receipt,
+        &Command::EraseAppRam,
+        &erased_app_ram_digest()
+    ));
+}
+
+#[test]
+fn secure_update_end_to_end() {
+    let config = ProverConfig::recommended();
+    let (mut prover, mut verifier) = pair(&config);
+    let image = b"sensor firmware v2".to_vec();
+    let request = verifier.make_command(Command::UpdateFirmware {
+        image: image.clone(),
+    });
+    let receipt = prover.handle_command(&request).expect("executed");
+
+    // The verifier knows what the flash should hash to.
+    let mut expected_flash = vec![0u8; map::FLASH.len() as usize];
+    expected_flash[..image.len()].copy_from_slice(&image);
+    let expected = Sha1::digest(&expected_flash);
+    assert!(verifier.check_command_receipt(
+        &receipt,
+        &Command::UpdateFirmware { image },
+        &expected
+    ));
+}
+
+#[test]
+fn forged_command_rejected_cheaply() {
+    let config = ProverConfig::recommended();
+    let (mut prover, mut verifier) = pair(&config);
+    let cycles_before = prover.mcu().clock().cycles();
+    let mut request = verifier.make_command(Command::EraseAppRam);
+    request.auth = vec![0; request.auth.len()];
+    let err = prover.handle_command(&request).expect_err("rejected");
+    assert_eq!(err.reject_reason(), Some(RejectReason::BadAuth));
+    // Rejection cost one block check, not half a megabyte of erasure.
+    assert!(prover.mcu().clock().cycles() - cycles_before < 1_000);
+    // And the RAM was not erased (the counter word is still intact, and
+    // nothing else changed — probe a canary).
+    prover
+        .mcu_mut()
+        .bus_write(map::APP_RAM.start, b"canary", map::APP_CODE)
+        .expect("write");
+}
+
+#[test]
+fn replayed_command_rejected() {
+    let config = ProverConfig::recommended();
+    let (mut prover, mut verifier) = pair(&config);
+    let request = verifier.make_command(Command::Ping);
+    prover.handle_command(&request).expect("first");
+    let err = prover.handle_command(&request).expect_err("replay");
+    assert_eq!(err.reject_reason(), Some(RejectReason::StaleCounter));
+}
+
+#[test]
+fn command_attestation_and_sync_counters_are_independent_streams() {
+    let config = ProverConfig::timestamp_hw64();
+    let (mut prover, mut verifier) = pair(&config);
+    prover.advance_time_ms(1_000).expect("advance");
+    verifier.advance_time_ms(1_000);
+
+    // Interleave all three protocols.
+    let cmd = verifier.make_command(Command::Ping);
+    prover.handle_command(&cmd).expect("command");
+    let sync = verifier.make_sync_request();
+    prover.handle_sync(&sync).expect("sync");
+    let att = verifier.make_request().expect("request");
+    prover.handle_request(&att).expect("attestation");
+}

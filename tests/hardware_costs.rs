@@ -1,0 +1,93 @@
+//! Integration tests pinning the hardware-evaluation numbers: Table 3,
+//! the §6.3 overheads and the clock wrap-around arithmetic.
+
+use proverguard_hw::components::{Component, EaMpu, HardwareClock, SiskiyouPeak};
+use proverguard_hw::design::{ClockKind, Design};
+use proverguard_hw::Resources;
+
+#[test]
+fn table3_rows_exact() {
+    assert_eq!(SiskiyouPeak.cost(), Resources::new(5528, 14361));
+    assert_eq!(EaMpu::new(0).cost(), Resources::new(278, 417));
+    assert_eq!(EaMpu::rule_cost(), Resources::new(116, 182));
+    assert_eq!(HardwareClock::wide64().cost(), Resources::new(64, 64));
+    assert_eq!(HardwareClock::divided32().cost(), Resources::new(32, 32));
+}
+
+#[test]
+fn section_6_3_baseline_exact() {
+    // 5528 + 278 + 116·2 = 6038 registers; 14361 + 417 + 182·2 = 15142 LUTs.
+    let report = Design::baseline().synthesize();
+    assert_eq!(report.total(), Resources::new(6038, 15142));
+}
+
+#[test]
+fn section_6_3_overheads_exact() {
+    let baseline = Design::baseline().synthesize();
+    let cases = [
+        (
+            Design::with_clock(ClockKind::Wide64),
+            Resources::new(180, 246),
+            (2.98, 1.62),
+        ),
+        (
+            Design::with_clock(ClockKind::Divided32),
+            Resources::new(148, 214),
+            (2.45, 1.41),
+        ),
+        (
+            Design::full(ClockKind::Software),
+            Resources::new(348, 546),
+            (5.76, 3.61),
+        ),
+    ];
+    for (design, delta, (reg_pct, lut_pct)) in cases {
+        let report = design.synthesize();
+        assert_eq!(
+            report.delta_vs(&baseline),
+            delta,
+            "{}",
+            report.design_name()
+        );
+        let (r, l) = report.overhead_vs(&baseline);
+        assert!((r - reg_pct).abs() < 0.01, "{}: {r}", report.design_name());
+        assert!((l - lut_pct).abs() < 0.01, "{}: {l}", report.design_name());
+    }
+}
+
+#[test]
+fn clock_sizing_claims() {
+    // 64-bit at 24 MHz: ~24,372.6 years (the paper uses 365-day years).
+    let years64 = HardwareClock::wide64().wraparound_seconds(24e6) / (365.0 * 86_400.0);
+    assert!((years64 - 24_372.6).abs() < 1.0, "{years64}");
+    // Raw 32-bit: ~3 minutes.
+    let min32 = HardwareClock::custom(32, 0).wraparound_seconds(24e6) / 60.0;
+    assert!((min32 - 2.98).abs() < 0.05, "{min32}");
+    // Divided 32-bit: ~6 years at ~42 ms resolution.
+    let divided = HardwareClock::divided32();
+    let years32 = divided.wraparound_seconds(24e6) / (365.0 * 86_400.0);
+    assert!((5.5..6.5).contains(&years32), "{years32}");
+    let res_ms = divided.resolution_seconds(24e6) * 1e3;
+    assert!((42.0..45.0).contains(&res_ms), "{res_ms}");
+}
+
+#[test]
+fn protection_cost_stays_below_six_percent() {
+    // The paper's headline: full Adv_roam protection costs < 6% registers.
+    let baseline = Design::baseline().synthesize();
+    for clock in [ClockKind::Wide64, ClockKind::Divided32, ClockKind::Software] {
+        let (reg_pct, lut_pct) = Design::full(clock).synthesize().overhead_vs(&baseline);
+        assert!(reg_pct < 6.0, "{clock}: {reg_pct}%");
+        assert!(lut_pct < 4.0, "{clock}: {lut_pct}%");
+    }
+}
+
+#[test]
+fn mpu_cost_linear_in_rules() {
+    let c2 = EaMpu::new(2).cost();
+    let c3 = EaMpu::new(3).cost();
+    let c10 = EaMpu::new(10).cost();
+    assert_eq!(c3.registers - c2.registers, 116);
+    assert_eq!(c10.registers - c2.registers, 8 * 116);
+    assert_eq!(c10.luts - c2.luts, 8 * 182);
+}

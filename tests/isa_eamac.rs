@@ -1,0 +1,199 @@
+//! Integration tests running real (tiny-ISA) programs against the EA-MPU:
+//! instruction-granular enforcement, exactly as SMART/TrustLite do it.
+
+use proverguard_attest::clock::ClockKind;
+use proverguard_attest::profile::{rules_for, Protection};
+use proverguard_mcu::boot::{image_digest, SecureBoot};
+use proverguard_mcu::device::Mcu;
+use proverguard_mcu::isa::{assemble_at, Cpu};
+use proverguard_mcu::map;
+use proverguard_mcu::McuError;
+
+/// Builds a secure-booted device with the EA-MAC rule set and `program`
+/// in flash.
+fn protected_device(program: &str, clock: ClockKind) -> Mcu {
+    let mut mcu = Mcu::new();
+    mcu.provision_attest_key(&[0xaa; 16]).expect("key");
+    let image = assemble_at(program, map::FLASH.start).expect("assembles");
+    mcu.program_flash(&image).expect("flash");
+    mcu.install_entry_point(map::ATTEST_CODE, map::ATTEST_CODE.start);
+    let reference = image_digest(mcu.physical_memory().flash());
+    SecureBoot::new(reference)
+        .run(&mut mcu, &rules_for(Protection::EaMac, clock))
+        .expect("boot");
+    mcu
+}
+
+#[test]
+fn benign_program_runs_to_completion() {
+    let mut mcu = protected_device(
+        "ldi r1, 100
+         ldi r2, 23
+         add r3, r1, r2
+         halt",
+        ClockKind::None,
+    );
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let outcome = cpu.run(&mut mcu, 100);
+    assert!(outcome.halted);
+    assert_eq!(cpu.reg(3), 123);
+}
+
+#[test]
+fn key_read_faults_at_the_exact_instruction() {
+    let program = format!(
+        "nop
+         nop
+         ldi r1, {:#x}
+         ldb r2, [r1]
+         halt",
+        map::ATTEST_KEY.start
+    );
+    let mut mcu = protected_device(&program, ClockKind::None);
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let outcome = cpu.run(&mut mcu, 100);
+    assert_eq!(outcome.steps, 3, "two nops and the ldi execute");
+    assert!(matches!(
+        outcome.fault,
+        Some(McuError::MpuViolation { pc, .. }) if pc == map::FLASH.start + 12
+    ));
+    assert_eq!(cpu.reg(2), 0);
+}
+
+#[test]
+fn counter_write_faults_but_app_ram_write_succeeds() {
+    let program = format!(
+        "lui r1, {:#x}
+         ldi r2, {:#x}
+         or r1, r1, r2        ; r1 = APP_RAM
+         ldi r3, 7
+         st r3, [r1]          ; allowed: plain RAM
+         lui r4, {:#x}
+         ldi r5, {:#x}
+         or r4, r4, r5        ; r4 = counter_R
+         st r3, [r4]          ; denied: protected word
+         halt",
+        map::APP_RAM.start >> 16,
+        map::APP_RAM.start & 0xffff,
+        map::COUNTER_R.start >> 16,
+        map::COUNTER_R.start & 0xffff,
+    );
+    let mut mcu = protected_device(&program, ClockKind::None);
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let outcome = cpu.run(&mut mcu, 100);
+    assert!(matches!(outcome.fault, Some(McuError::MpuViolation { .. })));
+    // The benign store went through before the fault.
+    let mut buf = [0u8; 4];
+    mcu.bus_read(map::APP_RAM.start, &mut buf, map::APP_CODE)
+        .expect("read");
+    assert_eq!(u32::from_le_bytes(buf), 7);
+}
+
+#[test]
+fn idt_overwrite_faults_on_sw_clock_device() {
+    let program = format!(
+        "lui r1, {:#x}
+         ldi r2, {:#x}
+         or r1, r1, r2        ; r1 = IDT base
+         ldi r3, 0
+         st r3, [r1]          ; denied: IDT is write-locked
+         halt",
+        map::IDT.start >> 16,
+        map::IDT.start & 0xffff,
+    );
+    let mut mcu = protected_device(&program, ClockKind::Software);
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let outcome = cpu.run(&mut mcu, 100);
+    assert!(matches!(outcome.fault, Some(McuError::MpuViolation { .. })));
+}
+
+#[test]
+fn jump_into_middle_of_code_attest_faults() {
+    // §6.2: "Runtime attacks on Code_Attest can be addressed, e.g., by
+    // limiting code entry points". Malware tries to jump past the checks
+    // into the body of the trust anchor.
+    let mid_attest = map::ATTEST_CODE.start + 0x80;
+    let program = format!(
+        "nop
+         jmp {mid_attest:#x}   ; illegal: not the entry point
+         halt"
+    );
+    let mut mcu = protected_device(&program, ClockKind::None);
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let outcome = cpu.run(&mut mcu, 100);
+    assert!(matches!(
+        outcome.fault,
+        Some(McuError::EntryPointViolation { to, .. }) if to == mid_attest
+    ));
+}
+
+#[test]
+fn call_to_code_attest_entry_is_legal() {
+    // Entering at the designated entry point passes the control-flow
+    // check: execution proceeds inside ROM (zeroed ROM words decode as
+    // `nop`, so the CPU just marches forward until the step budget runs
+    // out — with no entry-point or MPU fault).
+    let entry = map::ATTEST_CODE.start;
+    let program = format!("call {entry:#x}\nhalt");
+    let mut mcu = protected_device(&program, ClockKind::None);
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let outcome = cpu.run(&mut mcu, 50);
+    assert!(
+        outcome.fault.is_none(),
+        "transfer must be legal, got {:?}",
+        outcome.fault
+    );
+    assert!(
+        map::ATTEST_CODE.contains(cpu.pc()),
+        "pc {:#x} should be inside Code_Attest",
+        cpu.pc()
+    );
+}
+
+#[test]
+fn same_program_succeeds_on_open_device() {
+    // Sanity check that the faults above are EA-MPU effects, not ISA bugs.
+    let program = format!(
+        "ldi r1, {:#x}
+         ldb r2, [r1]
+         halt",
+        map::ATTEST_KEY.start
+    );
+    let mut mcu = Mcu::new();
+    mcu.provision_attest_key(&[0xaa; 16]).expect("key");
+    let image = assemble_at(&program, map::FLASH.start).expect("assembles");
+    mcu.program_flash(&image).expect("flash");
+    // No secure boot, no rules: the strawman.
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let outcome = cpu.run(&mut mcu, 100);
+    assert!(outcome.halted);
+    assert_eq!(cpu.reg(2), 0xaa, "open device leaks the key byte");
+}
+
+#[test]
+fn fault_log_records_isa_violations() {
+    let program = format!(
+        "ldi r1, {:#x}
+         ldb r2, [r1]
+         halt",
+        map::ATTEST_KEY.start
+    );
+    let mut mcu = protected_device(&program, ClockKind::None);
+    assert!(mcu.fault_log().is_empty());
+    let mut cpu = Cpu::new(map::FLASH.start);
+    let _ = cpu.run(&mut mcu, 100);
+    assert_eq!(mcu.fault_log().len(), 1);
+}
+
+#[test]
+fn secure_boot_refuses_tampered_program() {
+    let mut mcu = Mcu::new();
+    let image = assemble_at("halt", map::FLASH.start).expect("assembles");
+    mcu.program_flash(&image).expect("flash");
+    let reference = image_digest(mcu.physical_memory().flash());
+    // Tamper after the reference was taken.
+    let evil = assemble_at("nop\nhalt", map::FLASH.start).expect("assembles");
+    mcu.program_flash(&evil).expect("flash");
+    let result = SecureBoot::new(reference).run(&mut mcu, &[]);
+    assert!(matches!(result, Err(McuError::BootImageRejected { .. })));
+}

@@ -1,0 +1,222 @@
+//! Property-based tests (proptest) on the core data structures and
+//! protocol invariants.
+
+use proptest::prelude::*;
+
+use proverguard_attest::freshness::{FreshnessKind, FreshnessPolicy};
+use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_crypto::aes::Aes128;
+use proverguard_crypto::bignum::U384;
+use proverguard_crypto::cbc;
+use proverguard_crypto::ct::ct_eq;
+use proverguard_crypto::hmac::HmacSha1;
+use proverguard_crypto::speck::Speck64_128;
+use proverguard_crypto::BlockCipher;
+use proverguard_mcu::map::AddrRange;
+use proverguard_mcu::mpu::{AccessKind, EaMpu, Permissions, Rule};
+use proverguard_mcu::Mcu;
+
+proptest! {
+    // ---- crypto ------------------------------------------------------------
+
+    #[test]
+    fn aes_roundtrips(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::from_key(&key);
+        let mut data = block;
+        aes.encrypt_block(&mut data);
+        aes.decrypt_block(&mut data);
+        prop_assert_eq!(data, block);
+    }
+
+    #[test]
+    fn speck_roundtrips(key in any::<[u8; 16]>(), block in any::<[u8; 8]>()) {
+        let speck = Speck64_128::from_key(&key);
+        let mut data = block;
+        speck.encrypt_block(&mut data);
+        speck.decrypt_block(&mut data);
+        prop_assert_eq!(data, block);
+    }
+
+    #[test]
+    fn cbc_roundtrips(
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        blocks in 1usize..8,
+        seed in any::<u8>(),
+    ) {
+        let aes = Aes128::from_key(&key);
+        let original: Vec<u8> = (0..blocks * 16).map(|i| seed.wrapping_add(i as u8)).collect();
+        let mut data = original.clone();
+        cbc::encrypt(&aes, &iv, &mut data).expect("aligned");
+        prop_assert_ne!(&data, &original);
+        cbc::decrypt(&aes, &iv, &mut data).expect("aligned");
+        prop_assert_eq!(data, original);
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_separated(
+        key1 in any::<[u8; 16]>(),
+        key2 in any::<[u8; 16]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let t1 = HmacSha1::mac(&key1, &msg);
+        prop_assert_eq!(t1, HmacSha1::mac(&key1, &msg));
+        if key1 != key2 {
+            prop_assert_ne!(t1, HmacSha1::mac(&key2, &msg));
+        }
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                            b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    // ---- bignum ------------------------------------------------------------
+
+    #[test]
+    fn u384_bytes_roundtrip(bytes in any::<[u8; 20]>()) {
+        let v = U384::from_be_bytes(&bytes);
+        let full = v.to_be_bytes();
+        prop_assert_eq!(&full[28..], &bytes[..]);
+    }
+
+    #[test]
+    fn u384_add_sub_inverse(a in any::<u64>(), b in any::<u64>()) {
+        let av = U384::from_u64(a);
+        let bv = U384::from_u64(b);
+        let sum = av.wrapping_add(&bv);
+        prop_assert_eq!(sum.wrapping_sub(&bv), av);
+    }
+
+    #[test]
+    fn u384_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = U384::from_u64(a).widening_mul(&U384::from_u64(b));
+        prop_assert!(hi.is_zero());
+        let expected = u128::from(a) * u128::from(b);
+        let lo_bytes = lo.to_be_bytes();
+        let mut got = [0u8; 16];
+        got.copy_from_slice(&lo_bytes[32..]);
+        prop_assert_eq!(u128::from_be_bytes(got), expected);
+    }
+
+    #[test]
+    fn u384_mod_inverse_is_inverse(a in 1u64.., m_idx in 0usize..3) {
+        // A few odd prime moduli of different sizes.
+        let m = [
+            U384::from_u64(1_000_000_007),
+            U384::from_be_hex("ffffffffffffffffffffffffffffffff7fffffff"),
+            U384::from_be_hex("0100000000000000000001f4c8f927aed3ca752257"),
+        ][m_idx];
+        let av = U384::from_u64(a).rem(&m);
+        if !av.is_zero() {
+            let inv = av.inv_mod(&m).expect("prime modulus");
+            prop_assert_eq!(av.mul_mod(&inv, &m), U384::ONE);
+        }
+    }
+
+    // ---- messages ----------------------------------------------------------
+
+    #[test]
+    fn request_wire_roundtrip(
+        kind in 0u8..4,
+        value in any::<u64>(),
+        nonce in any::<[u8; 16]>(),
+        challenge in any::<[u8; 16]>(),
+        auth in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let freshness = match kind {
+            0 => FreshnessField::None,
+            1 => FreshnessField::Nonce(nonce),
+            2 => FreshnessField::Counter(value),
+            _ => FreshnessField::Timestamp(value),
+        };
+        let req = AttestRequest { freshness, challenge, auth };
+        let parsed = AttestRequest::from_bytes(&req.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn request_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Whatever Adv_ext injects, parsing is total.
+        let _ = AttestRequest::from_bytes(&bytes);
+    }
+
+    // ---- freshness invariants ------------------------------------------------
+
+    #[test]
+    fn counter_policy_accepts_iff_strictly_increasing(counters in proptest::collection::vec(1u64..1000, 1..40)) {
+        let mut policy = FreshnessPolicy::new(FreshnessKind::Counter);
+        let mut mcu = Mcu::new();
+        let mut high_water = 0u64;
+        for c in counters {
+            let accepted = policy
+                .check_and_update(&FreshnessField::Counter(c), &mut mcu, None)
+                .is_ok();
+            prop_assert_eq!(accepted, c > high_water, "counter {}", c);
+            if accepted {
+                high_water = c;
+            }
+        }
+    }
+
+    #[test]
+    fn nonce_policy_accepts_exactly_first_occurrences(nonces in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let mut policy = FreshnessPolicy::new(FreshnessKind::NonceHistory);
+        let mut mcu = Mcu::new();
+        let mut seen: std::collections::HashSet<u8> = std::collections::HashSet::new();
+        for n in nonces {
+            let field = FreshnessField::Nonce([n; 16]);
+            let accepted = policy.check_and_update(&field, &mut mcu, None).is_ok();
+            prop_assert_eq!(accepted, seen.insert(n));
+        }
+    }
+
+    // ---- EA-MPU invariants -----------------------------------------------------
+
+    #[test]
+    fn mpu_span_check_equals_per_byte_check(
+        rule_starts in proptest::collection::vec(0u32..200, 0..4),
+        rule_lens in proptest::collection::vec(1u32..50, 0..4),
+        code_grant in any::<bool>(),
+        span_start in 0u32..250,
+        span_len in 1u32..64,
+        pc_in_grant in any::<bool>(),
+    ) {
+        let mut mpu = EaMpu::new(8);
+        let grant_code = AddrRange::new(1000, 2000);
+        let n = rule_starts.len().min(rule_lens.len());
+        for i in 0..n {
+            let start = rule_starts[i];
+            let end = start + rule_lens[i];
+            let code = if code_grant && i % 2 == 0 {
+                grant_code
+            } else {
+                AddrRange::new(3000, 4000)
+            };
+            mpu.add_rule(Rule::new("r", AddrRange::new(start, end), code, Permissions::READ_WRITE))
+                .expect("capacity");
+        }
+        let pc = if pc_in_grant { 1500 } else { 5000 };
+        let span_ok = mpu.check_span(pc, span_start, span_len, AccessKind::Read).is_ok();
+        let byte_ok = (span_start..span_start + span_len)
+            .all(|addr| mpu.check(pc, addr, AccessKind::Read).is_ok());
+        prop_assert_eq!(span_ok, byte_ok);
+    }
+
+    #[test]
+    fn mpu_uncovered_addresses_always_allowed(
+        addr in 10_000u32..20_000,
+        pc in any::<u32>(),
+    ) {
+        let mut mpu = EaMpu::new(4);
+        mpu.add_rule(Rule::new(
+            "r",
+            AddrRange::new(0, 100),
+            AddrRange::new(0, 0),
+            Permissions::NONE,
+        )).expect("capacity");
+        prop_assert!(mpu.check(pc, addr, AccessKind::Read).is_ok());
+        prop_assert!(mpu.check(pc, addr, AccessKind::Write).is_ok());
+    }
+}
