@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 build + test run.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build --release =="
+cargo build --release
+
+echo "== tier-1: test =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "CI green."

@@ -5,6 +5,7 @@
 //! lets scenarios deliver them in any order, any number of times, at any
 //! time.
 
+use proverguard_attest::error::AttestError;
 use proverguard_attest::message::AttestRequest;
 
 /// A recorded in-flight request with the verifier-side send time.
@@ -19,13 +20,13 @@ pub struct RecordedRequest {
 impl RecordedRequest {
     /// Re-materializes the request (what the prover will parse).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the recorded bytes no longer parse — impossible for
-    /// bytes produced by [`Channel::send`].
-    #[must_use]
-    pub fn request(&self) -> AttestRequest {
-        AttestRequest::from_bytes(&self.bytes).expect("recorded bytes parse")
+    /// [`AttestError::MalformedMessage`] when the recorded bytes do not
+    /// parse — which is a *normal* state now that the channel can inject
+    /// raw bytes and tamper with recorded ones, not a programming error.
+    pub fn request(&self) -> Result<AttestRequest, AttestError> {
+        AttestRequest::from_bytes(&self.bytes)
     }
 }
 
@@ -64,6 +65,30 @@ impl Channel {
         self.tape.get(index)
     }
 
+    /// Injects arbitrary bytes onto the tape — the adversary forging or
+    /// fuzzing at the wire level rather than replaying an observed
+    /// message. Returns the tape index.
+    pub fn inject_raw(&mut self, bytes: &[u8], sent_at_ms: u64) -> usize {
+        self.tape.push(RecordedRequest {
+            bytes: bytes.to_vec(),
+            sent_at_ms,
+        });
+        self.tape.len() - 1
+    }
+
+    /// Mutates the recorded bytes of tape entry `index` in place
+    /// (truncation, bit-flips, …). Returns `false` when the index is out
+    /// of range.
+    pub fn tamper(&mut self, index: usize, f: impl FnOnce(&mut Vec<u8>)) -> bool {
+        match self.tape.get_mut(index) {
+            Some(entry) => {
+                f(&mut entry.bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of messages observed.
     #[must_use]
     pub fn observed(&self) -> usize {
@@ -92,7 +117,7 @@ mod tests {
         assert_eq!((i0, i1), (0, 1));
         assert_eq!(ch.observed(), 2);
         assert_eq!(ch.recorded(0).unwrap().sent_at_ms, 100);
-        assert_eq!(ch.recorded(1).unwrap().request(), request(2));
+        assert_eq!(ch.recorded(1).unwrap().request().unwrap(), request(2));
         assert!(ch.recorded(2).is_none());
     }
 
@@ -102,7 +127,25 @@ mod tests {
         let original = request(7);
         ch.send(&original, 0);
         // Deliver twice — byte-identical both times.
-        assert_eq!(ch.recorded(0).unwrap().request(), original);
-        assert_eq!(ch.recorded(0).unwrap().request(), original);
+        assert_eq!(ch.recorded(0).unwrap().request().unwrap(), original);
+        assert_eq!(ch.recorded(0).unwrap().request().unwrap(), original);
+    }
+
+    #[test]
+    fn injected_garbage_surfaces_as_parse_error_not_panic() {
+        let mut ch = Channel::new();
+        let idx = ch.inject_raw(&[0xde, 0xad, 0xbe, 0xef], 50);
+        let entry = ch.recorded(idx).unwrap();
+        assert_eq!(entry.sent_at_ms, 50);
+        assert!(entry.request().is_err());
+    }
+
+    #[test]
+    fn tampered_recording_no_longer_parses() {
+        let mut ch = Channel::new();
+        ch.send(&request(1), 0);
+        assert!(ch.tamper(0, |bytes| bytes.truncate(3)));
+        assert!(ch.recorded(0).unwrap().request().is_err());
+        assert!(!ch.tamper(9, |_| unreachable!("index out of range")));
     }
 }

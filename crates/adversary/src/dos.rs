@@ -103,6 +103,52 @@ pub fn flood_with_forgeries(
     })
 }
 
+/// Floods `config` with `n` malformed wire blobs (line noise / fuzz
+/// traffic) through [`Prover::handle_wire_request`] and reports what the
+/// parse-reject path cost the prover. The blobs are seeded garbage of
+/// varying length, so none of them parse.
+///
+/// [`Prover::handle_wire_request`]: proverguard_attest::prover::Prover::handle_wire_request
+///
+/// # Errors
+///
+/// [`AttestError`] if provisioning fails.
+pub fn flood_with_garbage(
+    config: ProverConfig,
+    label: &str,
+    n: u64,
+) -> Result<FloodReport, AttestError> {
+    let mut world = World::new(config)?;
+    world.advance_ms(1000)?;
+    let start_cycles = world.prover.stats().attestation_cycles;
+    let start_energy = world.prover.mcu().battery().remaining_joules();
+    let capacity = start_energy;
+
+    let mut answered = 0;
+    for i in 0..n {
+        // Garbage that cannot be a valid message: wrong version byte up
+        // front, then filler whose length walks through the interesting
+        // range (empty through larger-than-any-real-request).
+        let mut blob = vec![0xff_u8];
+        blob.extend((0..(i % 96)).map(|j| (i ^ j) as u8));
+        if world.prover.handle_wire_request(&blob).is_ok() {
+            answered += 1;
+        }
+        world.advance_ms(10)?;
+    }
+
+    let cycles_burned = world.prover.stats().attestation_cycles - start_cycles;
+    let energy_joules = start_energy - world.prover.mcu().battery().remaining_joules();
+    Ok(FloodReport {
+        label: label.to_string(),
+        requests: n,
+        answered,
+        cycles_burned,
+        energy_joules,
+        battery_fraction: energy_joules / capacity,
+    })
+}
+
 /// The §3.1/§4.1 comparison set: unprotected vs each authentication
 /// primitive (the flood is pure forgery traffic).
 ///
@@ -194,6 +240,31 @@ mod tests {
         // Speck check: the §4.1 paradox.
         assert!(speck < aes && aes < hmac && hmac < ecdsa && ecdsa < open);
         assert!(ecdsa > 1000.0 * speck);
+    }
+
+    #[test]
+    fn garbage_flood_is_cheaper_than_forgery_flood() {
+        let garbage = flood_with_garbage(ProverConfig::recommended(), "garbage", 20).unwrap();
+        let forged = flood_with_forgeries(ProverConfig::recommended(), "forged", 20).unwrap();
+        // Nothing parses, so nothing is answered — and every blob is
+        // counted by the malformed-reject statistic.
+        assert_eq!(garbage.answered, 0);
+        assert!(garbage.cycles_burned < forged.cycles_burned);
+        assert!(
+            garbage.ms_per_request() < 0.01,
+            "got {}",
+            garbage.ms_per_request()
+        );
+    }
+
+    #[test]
+    fn garbage_flood_counts_malformed_rejects() {
+        let mut world = World::new(ProverConfig::recommended()).unwrap();
+        for _ in 0..4 {
+            let _ = world.prover.handle_wire_request(&[0xff, 1, 2, 3]);
+        }
+        assert_eq!(world.prover.stats().rejected_malformed, 4);
+        assert_eq!(world.prover.stats().requests_seen, 4);
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub fn run_attack(world: &mut World, attack: ExtAttack) -> Result<AttackOutcome,
             let _ = world.prover.handle_request(&req);
             world.advance_ms(50)?;
             // Malicious redelivery.
-            let replayed = channel.recorded(0).expect("recorded").request();
+            let replayed = channel.recorded(0).expect("recorded").request()?;
             Ok(deliver_malicious(world, &replayed))
         }
         ExtAttack::Reorder => {
@@ -109,7 +109,7 @@ pub fn run_attack(world: &mut World, attack: ExtAttack) -> Result<AttackOutcome,
             let _ = world.prover.handle_request(&second);
             world.advance_ms(50)?;
             // …then the held-back first request: the malicious delivery.
-            let held_back = channel.recorded(0).expect("recorded").request();
+            let held_back = channel.recorded(0).expect("recorded").request()?;
             Ok(deliver_malicious(world, &held_back))
         }
         ExtAttack::Delay { delay_ms } => {
@@ -117,7 +117,7 @@ pub fn run_attack(world: &mut World, attack: ExtAttack) -> Result<AttackOutcome,
             channel.send(&req, world.verifier.now_ms());
             // The adversary holds the message while time passes.
             world.advance_ms(delay_ms)?;
-            let delayed = channel.recorded(0).expect("recorded").request();
+            let delayed = channel.recorded(0).expect("recorded").request()?;
             Ok(deliver_malicious(world, &delayed))
         }
     }

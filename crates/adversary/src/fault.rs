@@ -1,0 +1,497 @@
+//! Deterministic fault injection for attestation sessions.
+//!
+//! `Adv_ext` is usually *smart* — replay, reorder, forge. This module
+//! models the channel being *hostile by accident*: radio loss, line
+//! noise, brown-outs. Per message, driven by a seeded RNG, it can drop,
+//! duplicate, delay, truncate or bit-flip the bytes in either direction,
+//! and it can power-cycle the prover or glitch its clock between pipeline
+//! stages. [`FaultyLink`] plugs the whole thing into the verifier's
+//! [`SessionDriver`](proverguard_attest::session::SessionDriver) so
+//! retry/backoff behaviour can be graded against a reproducible fault
+//! schedule.
+
+use proverguard_attest::clock::ClockKind;
+use proverguard_attest::error::AttestError;
+use proverguard_attest::message::AttestResponse;
+use proverguard_attest::session::{AttemptOutcome, SessionLink};
+
+use crate::world::World;
+
+/// One thing the channel (or the power rail) can do to a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The message vanishes.
+    Drop,
+    /// The message arrives twice.
+    Duplicate,
+    /// The message arrives late by [`FaultConfig::delay_ms`].
+    Delay,
+    /// The message loses its tail.
+    Truncate,
+    /// One bit of the message flips.
+    BitFlip,
+    /// The prover power-cycles before handling the message.
+    Reboot,
+    /// The prover's clock jumps ahead by
+    /// [`FaultConfig::clock_glitch_ms`] before handling the message.
+    ClockGlitch,
+}
+
+/// Which leg of the exchange a fault hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Verifier → prover.
+    Request,
+    /// Prover → verifier.
+    Response,
+}
+
+/// Per-mille fault probabilities plus fault parameters. The per-message
+/// roll picks **at most one** fault, so the rates must sum to ≤ 1000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// RNG seed — same seed, same fault schedule.
+    pub seed: u64,
+    /// ‰ chance the message is dropped.
+    pub drop_per_mille: u16,
+    /// ‰ chance the message is duplicated.
+    pub duplicate_per_mille: u16,
+    /// ‰ chance the message is delayed.
+    pub delay_per_mille: u16,
+    /// ‰ chance the message is truncated.
+    pub truncate_per_mille: u16,
+    /// ‰ chance one bit flips.
+    pub bitflip_per_mille: u16,
+    /// ‰ chance the prover reboots (request leg only).
+    pub reboot_per_mille: u16,
+    /// ‰ chance the prover's clock glitches (request leg only).
+    pub clock_glitch_per_mille: u16,
+    /// How late a delayed message arrives.
+    pub delay_ms: u64,
+    /// How far a glitched clock jumps.
+    pub clock_glitch_ms: u64,
+}
+
+impl FaultConfig {
+    /// A perfectly clean channel (the control group).
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            delay_per_mille: 0,
+            truncate_per_mille: 0,
+            bitflip_per_mille: 0,
+            reboot_per_mille: 0,
+            clock_glitch_per_mille: 0,
+            delay_ms: 1500,
+            clock_glitch_ms: 5_000,
+        }
+    }
+
+    /// A lossy radio: 30 % drops, 20 % long delays.
+    #[must_use]
+    pub fn lossy(seed: u64) -> Self {
+        FaultConfig {
+            drop_per_mille: 300,
+            delay_per_mille: 200,
+            ..Self::none(seed)
+        }
+    }
+
+    /// A noisy line: 25 % truncations, 25 % bit-flips.
+    #[must_use]
+    pub fn corrupting(seed: u64) -> Self {
+        FaultConfig {
+            truncate_per_mille: 250,
+            bitflip_per_mille: 250,
+            ..Self::none(seed)
+        }
+    }
+
+    /// A browning-out prover: 30 % reboots, 10 % clock glitches.
+    #[must_use]
+    pub fn rebooting(seed: u64) -> Self {
+        FaultConfig {
+            reboot_per_mille: 300,
+            clock_glitch_per_mille: 100,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Always-drop (every attempt times out — exercises retry exhaustion).
+    #[must_use]
+    pub fn black_hole(seed: u64) -> Self {
+        FaultConfig {
+            drop_per_mille: 1000,
+            ..Self::none(seed)
+        }
+    }
+
+    fn assert_valid(&self) {
+        let sum = self.drop_per_mille
+            + self.duplicate_per_mille
+            + self.delay_per_mille
+            + self.truncate_per_mille
+            + self.bitflip_per_mille
+            + self.reboot_per_mille
+            + self.clock_glitch_per_mille;
+        assert!(sum <= 1000, "fault rates sum to {sum} ‰ > 1000 ‰");
+    }
+}
+
+/// SplitMix64 — tiny, seedable, good enough for fault schedules. Kept
+/// local so the non-dev dependency graph stays free of test crates.
+#[derive(Debug, Clone)]
+struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    fn new(seed: u64) -> Self {
+        FaultRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A fault that actually fired, for the post-mortem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Which message (0-based, counting both legs) was hit.
+    pub message_index: u64,
+    /// Which leg.
+    pub direction: Direction,
+    /// What happened to it.
+    pub kind: FaultKind,
+}
+
+/// Rolls faults from the seeded schedule and remembers what fired.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: FaultRng,
+    messages: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// An injector for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config's fault rates sum past 1000 ‰.
+    #[must_use]
+    pub fn new(config: FaultConfig) -> Self {
+        config.assert_valid();
+        FaultInjector {
+            rng: FaultRng::new(config.seed),
+            config,
+            messages: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Every fault that has fired so far.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Rolls the fault (if any) for the next message on `direction`.
+    /// Reboot and clock-glitch only make sense on the way *to* the
+    /// prover, so response rolls mapping onto them fire nothing.
+    pub fn roll(&mut self, direction: Direction) -> Option<FaultKind> {
+        let index = self.messages;
+        self.messages += 1;
+        let roll = self.rng.below(1000) as u16;
+        let c = &self.config;
+        let ladder = [
+            (FaultKind::Drop, c.drop_per_mille),
+            (FaultKind::Duplicate, c.duplicate_per_mille),
+            (FaultKind::Delay, c.delay_per_mille),
+            (FaultKind::Truncate, c.truncate_per_mille),
+            (FaultKind::BitFlip, c.bitflip_per_mille),
+            (FaultKind::Reboot, c.reboot_per_mille),
+            (FaultKind::ClockGlitch, c.clock_glitch_per_mille),
+        ];
+        let mut ceiling = 0u16;
+        for (kind, rate) in ladder {
+            ceiling += rate;
+            if roll < ceiling {
+                let prover_side = matches!(kind, FaultKind::Reboot | FaultKind::ClockGlitch);
+                if prover_side && direction == Direction::Response {
+                    return None;
+                }
+                self.events.push(FaultEvent {
+                    message_index: index,
+                    direction,
+                    kind,
+                });
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Mangles `bytes` in place for a [`FaultKind::Truncate`] or
+    /// [`FaultKind::BitFlip`] fault.
+    pub fn mangle(&mut self, kind: FaultKind, bytes: &mut Vec<u8>) {
+        match kind {
+            FaultKind::Truncate => {
+                let keep = self.rng.below(bytes.len().max(1) as u64) as usize;
+                bytes.truncate(keep);
+            }
+            FaultKind::BitFlip if !bytes.is_empty() => {
+                let bit = self.rng.below(bytes.len() as u64 * 8);
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A [`SessionLink`] that runs attempts through a [`FaultInjector`]:
+/// the wire carries raw bytes (`Prover::handle_wire_request`), so every
+/// injected corruption hits the prover's cheap parse-reject path rather
+/// than a host-side panic.
+#[derive(Debug)]
+pub struct FaultyLink {
+    /// The verifier + prover pair under test.
+    pub world: World,
+    injector: FaultInjector,
+}
+
+impl FaultyLink {
+    /// Wraps `world` in a faulty channel.
+    #[must_use]
+    pub fn new(world: World, config: FaultConfig) -> Self {
+        FaultyLink {
+            world,
+            injector: FaultInjector::new(config),
+        }
+    }
+
+    /// The fault log so far.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        self.injector.events()
+    }
+
+    /// Delivers request bytes to the prover, keeping the verifier's clock
+    /// in step with the prover's compute time.
+    fn deliver(&mut self, bytes: &[u8]) -> Result<Vec<u8>, AttestError> {
+        let result = self.world.prover.handle_wire_request(bytes);
+        let compute_ms = self.world.prover.last_cost().total_ms().ceil() as u64;
+        self.world.verifier.advance_time_ms(compute_ms);
+        result
+    }
+}
+
+impl SessionLink for FaultyLink {
+    fn attempt(&mut self, timeout_ms: u64) -> AttemptOutcome {
+        let request = match self.world.verifier.make_request() {
+            Ok(r) => r,
+            Err(e) => return AttemptOutcome::Error(e),
+        };
+        let mut bytes = request.to_bytes();
+
+        // Request leg.
+        match self.injector.roll(Direction::Request) {
+            Some(FaultKind::Drop) => {
+                // The verifier waits out its whole timeout for nothing.
+                let _ = self.world.advance_ms(timeout_ms);
+                return AttemptOutcome::RequestLost;
+            }
+            Some(FaultKind::Delay) => {
+                let delay = self.injector.config.delay_ms;
+                if delay >= timeout_ms {
+                    let _ = self.world.advance_ms(timeout_ms);
+                    return AttemptOutcome::RequestLost;
+                }
+                // Late but within the timeout: time passes, then the
+                // (possibly now stale-looking) request arrives.
+                let _ = self.world.advance_ms(delay);
+            }
+            Some(kind @ (FaultKind::Truncate | FaultKind::BitFlip)) => {
+                self.injector.mangle(kind, &mut bytes);
+            }
+            Some(FaultKind::Duplicate) => {
+                // The spurious copy arrives first; whatever the prover
+                // makes of it is lost on the floor. The original is then
+                // delivered normally below — and meets freshness state
+                // the copy already consumed.
+                let _ = self.deliver(&bytes.clone());
+            }
+            Some(FaultKind::Reboot) => {
+                if let Err(e) = self.world.prover.reboot() {
+                    return AttemptOutcome::Error(e);
+                }
+            }
+            Some(FaultKind::ClockGlitch) => {
+                let glitch = self.injector.config.clock_glitch_ms;
+                // Only the prover's clock jumps — the two drift apart.
+                if let Err(e) = self.world.prover.advance_time_ms(glitch) {
+                    return AttemptOutcome::Error(e);
+                }
+            }
+            None => {}
+        }
+
+        let response_bytes = match self.deliver(&bytes) {
+            Ok(b) => b,
+            Err(AttestError::Rejected(reason)) => return AttemptOutcome::Rejected(reason),
+            Err(e) => return AttemptOutcome::Error(e),
+        };
+
+        // Response leg.
+        let mut response_bytes = response_bytes;
+        match self.injector.roll(Direction::Response) {
+            Some(FaultKind::Drop) => {
+                let _ = self.world.advance_ms(timeout_ms);
+                return AttemptOutcome::ResponseLost;
+            }
+            Some(FaultKind::Delay) => {
+                let delay = self.injector.config.delay_ms;
+                if delay >= timeout_ms {
+                    let _ = self.world.advance_ms(timeout_ms);
+                    return AttemptOutcome::ResponseLost;
+                }
+                let _ = self.world.advance_ms(delay);
+            }
+            Some(kind @ (FaultKind::Truncate | FaultKind::BitFlip)) => {
+                self.injector.mangle(kind, &mut response_bytes);
+            }
+            Some(FaultKind::Duplicate)
+            | Some(FaultKind::Reboot)
+            | Some(FaultKind::ClockGlitch)
+            | None => {}
+        }
+
+        let Ok(response) = AttestResponse::from_bytes(&response_bytes) else {
+            return AttemptOutcome::BadResponse;
+        };
+        if self.world.verifier.check_response(
+            &request,
+            &response,
+            self.world.prover.expected_memory(),
+        ) {
+            AttemptOutcome::Success
+        } else {
+            AttemptOutcome::BadResponse
+        }
+    }
+
+    fn wait_ms(&mut self, ms: u64) {
+        let _ = self.world.advance_ms(ms);
+    }
+
+    fn recover(&mut self, _failed: &AttemptOutcome) {
+        // A rebooted or glitched prover clock makes every timestamped
+        // request look out-of-window; authenticated §7 sync messages are
+        // the legitimate fix. Each sync's correction is clamped, so a
+        // large skew takes several rounds — keep going until the outcome
+        // reports the full measured skew was applied (converged), with a
+        // hard cap so a hostile clock can't trap the verifier here.
+        if self.world.prover.config().clock == ClockKind::None {
+            return;
+        }
+        for _ in 0..16 {
+            let sync = self.world.verifier.make_sync_request();
+            match self.world.prover.handle_sync(&sync) {
+                Ok(outcome) if outcome.applied_ms == outcome.measured_skew_ms => break,
+                Ok(_) => {} // clamped — sync again
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proverguard_attest::prover::ProverConfig;
+    use proverguard_attest::session::{RetryPolicy, SessionDriver};
+
+    fn driver() -> SessionDriver {
+        SessionDriver::new(RetryPolicy {
+            timeout_ms: 1000,
+            max_retries: 8,
+            backoff_base_ms: 50,
+            backoff_factor: 2,
+        })
+    }
+
+    #[test]
+    fn clean_channel_succeeds_first_try() {
+        let world = World::new(ProverConfig::recommended()).unwrap();
+        let mut link = FaultyLink::new(world, FaultConfig::none(1));
+        let report = driver().run(&mut link);
+        assert!(report.succeeded());
+        assert_eq!(report.attempt_count(), 1);
+        assert!(link.events().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let mut a = FaultInjector::new(FaultConfig::lossy(7));
+        let mut b = FaultInjector::new(FaultConfig::lossy(7));
+        for _ in 0..200 {
+            assert_eq!(a.roll(Direction::Request), b.roll(Direction::Request));
+        }
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn rates_scale_fault_frequency() {
+        let mut injector = FaultInjector::new(FaultConfig::lossy(3));
+        for _ in 0..1000 {
+            let _ = injector.roll(Direction::Request);
+        }
+        let fired = injector.events().len();
+        // 50 % nominal rate; allow generous slack.
+        assert!((350..650).contains(&fired), "{fired} faults in 1000");
+    }
+
+    #[test]
+    fn black_hole_exhausts_the_retry_budget() {
+        let world = World::new(ProverConfig::recommended()).unwrap();
+        let mut link = FaultyLink::new(world, FaultConfig::black_hole(5));
+        let report = driver().run(&mut link);
+        assert!(!report.succeeded());
+        assert_eq!(report.attempt_count(), 9);
+        assert!(report
+            .attempts
+            .iter()
+            .all(|a| a.outcome == AttemptOutcome::RequestLost));
+        // The prover never saw a single byte.
+        assert_eq!(link.world.prover.stats().requests_seen, 0);
+    }
+
+    #[test]
+    fn overfull_rates_rejected() {
+        let config = FaultConfig {
+            drop_per_mille: 600,
+            bitflip_per_mille: 600,
+            ..FaultConfig::none(0)
+        };
+        assert!(std::panic::catch_unwind(|| FaultInjector::new(config)).is_err());
+    }
+}

@@ -16,6 +16,10 @@
 //! - [`dos`] — denial-of-service economics: cycles, milliseconds and
 //!   battery energy an attacker drains per bogus request (§3.1), and the
 //!   "ECDSA-authentication-as-DoS" paradox (§4.1).
+//! - [`fault`] — deterministic fault injection: seeded drop / duplicate /
+//!   delay / truncate / bit-flip faults plus prover reboots and clock
+//!   glitches, wired into the verifier's retry/backoff
+//!   [`SessionDriver`](proverguard_attest::session::SessionDriver).
 //!
 //! # Example
 //!
@@ -38,12 +42,14 @@
 pub mod channel;
 pub mod dos;
 pub mod ext;
+pub mod fault;
 pub mod report;
 pub mod roam;
 pub mod workload;
 pub mod world;
 
 pub use ext::{ExtAttack, MitigationMatrix};
+pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultyLink};
 pub use report::SuiteReport;
 pub use roam::{RoamAttack, RoamOutcome};
 pub use world::World;

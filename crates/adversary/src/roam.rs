@@ -221,7 +221,7 @@ pub fn run_roam_attack(
     // tampers — otherwise they would be applied *after* a Clock_MSB reset
     // and silently skew the attack by the attestation's duration.
     world.prover.advance_time_ms(0)?;
-    let recorded = channel.recorded(0).expect("recorded").request();
+    let recorded = channel.recorded(0).expect("recorded").request()?;
     let clock_kind = world.prover.config().clock;
     let mut tampering = Vec::new();
     match attack {

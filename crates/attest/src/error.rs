@@ -25,6 +25,9 @@ pub enum RejectReason {
     /// The request carried a freshness field of the wrong kind for the
     /// prover's policy.
     FreshnessKindMismatch,
+    /// The wire bytes did not parse as a request at all (truncated,
+    /// corrupted, or garbage) — rejected before any cryptography runs.
+    Malformed,
 }
 
 impl fmt::Display for RejectReason {
@@ -42,6 +45,7 @@ impl fmt::Display for RejectReason {
             RejectReason::FreshnessKindMismatch => {
                 write!(f, "freshness field kind does not match the policy")
             }
+            RejectReason::Malformed => write!(f, "wire bytes failed to parse"),
         }
     }
 }

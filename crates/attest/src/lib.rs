@@ -50,12 +50,20 @@ pub mod clocksync;
 pub mod error;
 pub mod freshness;
 pub mod message;
+pub mod persist;
 pub mod profile;
 pub mod prover;
 pub mod services;
+pub mod session;
 pub mod verifier;
 
 pub use error::{AttestError, RejectReason};
 pub use message::{AttestRequest, AttestResponse, FreshnessField};
+pub use persist::{
+    FreshnessRecord, InMemoryNvStore, PersistedState, RecoveryOutcome, SharedNvStore,
+};
 pub use prover::{Prover, ProverConfig};
+pub use session::{
+    AttemptOutcome, DirectLink, RetryPolicy, SessionDriver, SessionLink, SessionReport,
+};
 pub use verifier::Verifier;

@@ -1,0 +1,342 @@
+//! Pluggable non-volatile storage for the prover's freshness state.
+//!
+//! §5's `Adv_roam` wins by resetting state; the same state is also lost by
+//! an honest reboot, because `counter_R` and the trust-state words live in
+//! volatile RAM. This module gives the prover a small non-volatile record
+//! it can write after every accepted request and re-load during
+//! [`Prover::reboot`](crate::prover::Prover::reboot):
+//!
+//! - with [`Protection::EaMac`](crate::profile::Protection::EaMac) the
+//!   record is **sealed** — a MAC under a key derived from `K_Attest`
+//!   covers it, so a tampered or rolled-back record is *detected* at boot
+//!   (the RATA observation: attestation guarantees hinge on state that
+//!   persists correctly across resets);
+//! - the [`Protection::Open`](crate::profile::Protection::Open) baseline
+//!   stores the record in the clear, so anyone who can touch the store can
+//!   roll the counter back — reproducing the §5 rollback as a *recovery*
+//!   failure, not just an attack script.
+//!
+//! The storage medium itself is abstract ([`PersistedState`]): tests use
+//! [`InMemoryNvStore`] or the adversary-accessible [`SharedNvStore`].
+
+use std::cell::RefCell;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use proverguard_crypto::mac::MacKey;
+use proverguard_mcu::device::Mcu;
+use proverguard_mcu::map;
+
+use crate::error::AttestError;
+
+/// Domain-separation prefix for the seal MAC (distinct from attestation
+/// responses and sync/command authenticators).
+const SEAL_DOMAIN: &[u8] = b"proverguard-nv-v1";
+
+/// Magic bytes identifying a freshness record.
+const MAGIC: &[u8; 8] = b"PGNVREC1";
+
+/// Byte length of an encoded (unsealed) record.
+pub const RECORD_LEN: usize = 8 + 4 * 8;
+
+/// A non-volatile storage cell the prover can save one record into.
+///
+/// The trait is object-safe and cloneable-through-the-box so that
+/// [`Prover`](crate::prover::Prover) can stay `Clone`.
+pub trait PersistedState: Debug {
+    /// Overwrites the stored record.
+    fn save(&mut self, bytes: &[u8]);
+
+    /// Reads the stored record, if any.
+    fn load(&self) -> Option<Vec<u8>>;
+
+    /// Clones the store behind a fresh box.
+    fn box_clone(&self) -> Box<dyn PersistedState>;
+}
+
+impl Clone for Box<dyn PersistedState> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// A plain owned in-memory store (each prover clone gets its own copy).
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryNvStore {
+    cell: Option<Vec<u8>>,
+}
+
+impl InMemoryNvStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PersistedState for InMemoryNvStore {
+    fn save(&mut self, bytes: &[u8]) {
+        self.cell = Some(bytes.to_vec());
+    }
+
+    fn load(&self) -> Option<Vec<u8>> {
+        self.cell.clone()
+    }
+
+    fn box_clone(&self) -> Box<dyn PersistedState> {
+        Box::new(self.clone())
+    }
+}
+
+/// A store whose cell is shared between the prover and whoever else holds
+/// the handle — the model of an external flash chip `Adv_roam` can rewrite
+/// while the device is off.
+#[derive(Debug, Clone, Default)]
+pub struct SharedNvStore {
+    cell: Rc<RefCell<Option<Vec<u8>>>>,
+}
+
+impl SharedNvStore {
+    /// An empty shared store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The raw stored bytes (adversary/test view).
+    #[must_use]
+    pub fn raw(&self) -> Option<Vec<u8>> {
+        self.cell.borrow().clone()
+    }
+
+    /// Overwrites the raw stored bytes from outside the prover — the
+    /// tamper/rollback surface.
+    pub fn overwrite(&self, bytes: Option<Vec<u8>>) {
+        *self.cell.borrow_mut() = bytes;
+    }
+}
+
+impl PersistedState for SharedNvStore {
+    fn save(&mut self, bytes: &[u8]) {
+        *self.cell.borrow_mut() = Some(bytes.to_vec());
+    }
+
+    fn load(&self) -> Option<Vec<u8>> {
+        self.cell.borrow().clone()
+    }
+
+    fn box_clone(&self) -> Box<dyn PersistedState> {
+        Box::new(self.clone())
+    }
+}
+
+/// The freshness state worth carrying across a reboot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FreshnessRecord {
+    /// `counter_R`: last accepted request counter or timestamp.
+    pub counter_r: u64,
+    /// Last accepted clock-sync counter.
+    pub sync_counter: u64,
+    /// Last accepted gated-command counter.
+    pub command_counter: u64,
+    /// The prover's synced time (raw clock + offset) when the record was
+    /// written — re-seeded as the clock offset after reboot, since the raw
+    /// clock restarts from zero.
+    pub synced_ms: u64,
+}
+
+impl FreshnessRecord {
+    /// Reads the live freshness words out of device RAM (as `Code_Attest`).
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the EA-MPU denies a read.
+    pub fn capture(mcu: &mut Mcu, synced_ms: u64) -> Result<Self, AttestError> {
+        let mut counter = [0u8; 8];
+        mcu.bus_read(map::COUNTER_R.start, &mut counter, map::ATTEST_PC)?;
+        // TRUST_STATE layout (see `map`): offset i64 ‖ sync u64 ‖ cmd u64.
+        let mut trust = [0u8; 24];
+        mcu.bus_read(map::TRUST_STATE.start, &mut trust, map::ATTEST_PC)?;
+        Ok(FreshnessRecord {
+            counter_r: u64::from_le_bytes(counter),
+            sync_counter: u64::from_le_bytes(trust[8..16].try_into().expect("8 bytes")),
+            command_counter: u64::from_le_bytes(trust[16..24].try_into().expect("8 bytes")),
+            synced_ms,
+        })
+    }
+
+    /// Writes the record back into device RAM as `pc` (the boot loader,
+    /// before the MPU locks). The clock-sync offset word is seeded with
+    /// `synced_ms` so synced time resumes where it left off.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the write is denied.
+    pub fn restore(&self, mcu: &mut Mcu, pc: u32) -> Result<(), AttestError> {
+        mcu.bus_write(map::COUNTER_R.start, &self.counter_r.to_le_bytes(), pc)?;
+        let mut trust = [0u8; 24];
+        trust[..8].copy_from_slice(&(self.synced_ms as i64).to_le_bytes());
+        trust[8..16].copy_from_slice(&self.sync_counter.to_le_bytes());
+        trust[16..24].copy_from_slice(&self.command_counter.to_le_bytes());
+        mcu.bus_write(map::TRUST_STATE.start, &trust, pc)?;
+        Ok(())
+    }
+
+    /// Serializes the record (magic ‖ four LE u64 words).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RECORD_LEN);
+        out.extend_from_slice(MAGIC);
+        for word in [
+            self.counter_r,
+            self.sync_counter,
+            self.command_counter,
+            self.synced_ms,
+        ] {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses an unsealed record; `None` on wrong magic or length.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != RECORD_LEN || &bytes[..8] != MAGIC {
+            return None;
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(bytes[8 + 8 * i..16 + 8 * i].try_into().expect("8 bytes"))
+        };
+        Some(FreshnessRecord {
+            counter_r: word(0),
+            sync_counter: word(1),
+            command_counter: word(2),
+            synced_ms: word(3),
+        })
+    }
+
+    /// Serializes with an appended MAC tag under `key` (EA-MAC profile).
+    #[must_use]
+    pub fn seal(&self, key: &MacKey) -> Vec<u8> {
+        let mut out = self.encode();
+        let tag = key.compute(&[SEAL_DOMAIN, &out].concat());
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Parses and verifies a sealed record; `None` when the bytes are
+    /// malformed **or the tag does not verify** — a tampered or
+    /// rolled-back store is indistinguishable from a corrupt one and both
+    /// are refused.
+    #[must_use]
+    pub fn open_sealed(bytes: &[u8], key: &MacKey) -> Option<Self> {
+        if bytes.len() <= RECORD_LEN {
+            return None;
+        }
+        let (record, tag) = bytes.split_at(RECORD_LEN);
+        if !key.verify(&[SEAL_DOMAIN, record].concat(), tag) {
+            return None;
+        }
+        Self::decode(record)
+    }
+}
+
+/// What [`Prover::reboot`](crate::prover::Prover::reboot) found in the
+/// store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// Freshness state restored from a valid record.
+    Restored(FreshnessRecord),
+    /// No store is attached; the prover boots with zeroed freshness state.
+    NoStore,
+    /// The store is attached but empty (first boot).
+    Empty,
+    /// The record failed validation (bad seal or corrupt bytes); the
+    /// prover refuses it and boots with zeroed freshness state.
+    TamperDetected,
+}
+
+impl RecoveryOutcome {
+    /// `true` iff a record was restored.
+    #[must_use]
+    pub fn restored(&self) -> bool {
+        matches!(self, RecoveryOutcome::Restored(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proverguard_crypto::mac::MacAlgorithm;
+
+    fn key() -> MacKey {
+        MacKey::new(MacAlgorithm::HmacSha1, &[0x11; 16]).unwrap()
+    }
+
+    fn record() -> FreshnessRecord {
+        FreshnessRecord {
+            counter_r: 7,
+            sync_counter: 3,
+            command_counter: 1,
+            synced_ms: 42_000,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = record();
+        assert_eq!(FreshnessRecord::decode(&r.encode()), Some(r));
+        assert_eq!(FreshnessRecord::decode(&[]), None);
+        let mut bad_magic = r.encode();
+        bad_magic[0] ^= 1;
+        assert_eq!(FreshnessRecord::decode(&bad_magic), None);
+    }
+
+    #[test]
+    fn seal_detects_tampering_and_rollback() {
+        let r = record();
+        let sealed = r.seal(&key());
+        assert_eq!(FreshnessRecord::open_sealed(&sealed, &key()), Some(r));
+        // Bit-flip anywhere kills it.
+        for i in 0..sealed.len() {
+            let mut t = sealed.clone();
+            t[i] ^= 0x40;
+            assert_eq!(FreshnessRecord::open_sealed(&t, &key()), None, "byte {i}");
+        }
+        // A stale record re-sealed under the wrong key also fails.
+        let other = MacKey::new(MacAlgorithm::HmacSha1, &[0x22; 16]).unwrap();
+        assert_eq!(FreshnessRecord::open_sealed(&r.seal(&other), &key()), None);
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_through_device() {
+        let mut mcu = Mcu::new();
+        record().restore(&mut mcu, map::BOOT_PC).unwrap();
+        let captured = FreshnessRecord::capture(&mut mcu, 42_000).unwrap();
+        assert_eq!(captured, record());
+        // The offset word was seeded with synced_ms.
+        assert_eq!(
+            crate::clocksync::read_offset_ms(&mut mcu).unwrap(),
+            42_000_i64
+        );
+    }
+
+    #[test]
+    fn shared_store_exposes_tamper_surface() {
+        let handle = SharedNvStore::new();
+        let mut boxed: Box<dyn PersistedState> = Box::new(handle.clone());
+        boxed.save(b"state");
+        assert_eq!(handle.raw().as_deref(), Some(&b"state"[..]));
+        handle.overwrite(Some(b"rolled back".to_vec()));
+        assert_eq!(boxed.load().as_deref(), Some(&b"rolled back"[..]));
+    }
+
+    #[test]
+    fn in_memory_store_is_private_per_clone() {
+        let mut a = InMemoryNvStore::new();
+        a.save(b"x");
+        let mut b = a.clone();
+        b.save(b"y");
+        assert_eq!(a.load().as_deref(), Some(&b"x"[..]));
+    }
+}

@@ -8,6 +8,7 @@
 //! the entire DoS-mitigation argument in measurable form.
 
 use proverguard_crypto::mac::{MacAlgorithm, MacKey};
+use proverguard_crypto::sha1::DIGEST_SIZE;
 use proverguard_mcu::boot::{image_digest, SecureBoot};
 use proverguard_mcu::device::Mcu;
 use proverguard_mcu::map;
@@ -21,6 +22,7 @@ use crate::clocksync::{self, SyncOutcome, SyncParams, SyncRequest};
 use crate::error::{AttestError, RejectReason};
 use crate::freshness::{FreshnessKind, FreshnessPolicy};
 use crate::message::{AttestRequest, AttestResponse};
+use crate::persist::{FreshnessRecord, PersistedState, RecoveryOutcome};
 use crate::profile::{rules_for, Protection};
 use crate::services::{self, CommandReceipt, CommandRequest};
 
@@ -108,6 +110,8 @@ impl ProverConfig {
 /// Cycle cost of the last handled request, by pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CostBreakdown {
+    /// Wire-parsing cycles (0 when the request arrived pre-parsed).
+    pub parse_cycles: u64,
     /// Request-authentication cycles.
     pub auth_cycles: u64,
     /// Freshness-check cycles (bus accesses + comparison).
@@ -120,7 +124,7 @@ impl CostBreakdown {
     /// Total cycles.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.auth_cycles + self.freshness_cycles + self.response_cycles
+        self.parse_cycles + self.auth_cycles + self.freshness_cycles + self.response_cycles
     }
 
     /// Total milliseconds on the 24 MHz device.
@@ -141,12 +145,23 @@ pub struct ProverStats {
     pub rejected_auth: u64,
     /// Requests dropped by the freshness policy.
     pub rejected_freshness: u64,
+    /// Wire requests dropped because the bytes did not parse at all.
+    pub rejected_malformed: u64,
+    /// Reboots survived ([`Prover::reboot`]).
+    pub reboots: u64,
+    /// Reboots where an attached store's record failed validation and the
+    /// prover fell back to zeroed freshness state.
+    pub recovery_failures: u64,
     /// Total attestation-related cycles spent.
     pub attestation_cycles: u64,
 }
 
 /// Nominal cycles for the freshness bookkeeping itself (a few bus words).
 const FRESHNESS_OVERHEAD_CYCLES: u64 = 64;
+
+/// Nominal cycles for the wire-format parse (length/tag checks and a few
+/// copies — deliberately tiny, so garbage is the cheapest thing to reject).
+const PARSE_OVERHEAD_CYCLES: u64 = 96;
 
 /// The prover device plus its trust anchor.
 #[derive(Debug, Clone)]
@@ -160,6 +175,11 @@ pub struct Prover {
     sync_params: SyncParams,
     stats: ProverStats,
     last_cost: CostBreakdown,
+    /// Reference image digest secure boot verifies against — kept so
+    /// [`Prover::reboot`] can re-run boot without re-provisioning.
+    boot_reference: [u8; DIGEST_SIZE],
+    /// Optional non-volatile store for the freshness record.
+    nv: Option<Box<dyn PersistedState>>,
 }
 
 impl Prover {
@@ -197,14 +217,14 @@ impl Prover {
             }
         }
 
+        let boot_reference = image_digest(mcu.physical_memory().flash());
         if config.protection == Protection::EaMac {
             // §6.2: runtime attacks on the trust anchors are addressed by
             // limiting code entry points.
             mcu.install_entry_point(map::ATTEST_CODE, map::ATTEST_CODE.start);
             mcu.install_entry_point(map::CLOCK_CODE, CLOCK_HANDLER_ADDR);
-            let reference = image_digest(mcu.physical_memory().flash());
             let rules = rules_for(config.protection, config.clock);
-            SecureBoot::new(reference).run(&mut mcu, &rules)?;
+            SecureBoot::new(boot_reference).run(&mut mcu, &rules)?;
         }
 
         // Code_Attest reads K_Attest through the bus — with EA-MAC this
@@ -225,7 +245,28 @@ impl Prover {
             sync_params: SyncParams::default(),
             stats: ProverStats::default(),
             last_cost: CostBreakdown::default(),
+            boot_reference,
+            nv: None,
         })
+    }
+
+    /// Attaches a non-volatile store for the freshness record and
+    /// immediately saves the current state into it. Until a store is
+    /// attached, [`Prover::reboot`] loses all freshness state — the
+    /// configuration whose rollback the fault-matrix tests demonstrate.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if reading the live freshness words fails.
+    pub fn attach_nv_store(&mut self, store: Box<dyn PersistedState>) -> Result<(), AttestError> {
+        self.nv = Some(store);
+        self.persist_freshness()
+    }
+
+    /// `true` when a non-volatile store is attached.
+    #[must_use]
+    pub fn has_nv_store(&self) -> bool {
+        self.nv.is_some()
     }
 
     /// The deployment configuration.
@@ -324,7 +365,9 @@ impl Prover {
             .clock
             .now_ms(&mut self.mcu)?
             .ok_or(AttestError::MissingClock)?;
-        clocksync::apply_sync(&mut self.mcu, &self.sync_params, request, raw)
+        let outcome = clocksync::apply_sync(&mut self.mcu, &self.sync_params, request, raw)?;
+        self.persist_freshness()?;
+        Ok(outcome)
     }
 
     /// Handles a gated command (§7 future-work item 3): the same
@@ -345,7 +388,9 @@ impl Prover {
         if !self.checker.check(&request.signed_bytes(), &request.auth) {
             return Err(AttestError::Rejected(RejectReason::BadAuth));
         }
-        services::execute_command(&mut self.mcu, &self.response_key, request)
+        let receipt = services::execute_command(&mut self.mcu, &self.response_key, request)?;
+        self.persist_freshness()?;
+        Ok(receipt)
     }
 
     /// Handles one attestation request end to end.
@@ -360,8 +405,49 @@ impl Prover {
         &mut self,
         request: &AttestRequest,
     ) -> Result<AttestResponse, AttestError> {
+        self.handle_parsed(request, CostBreakdown::default())
+    }
+
+    /// Handles one attestation request **from raw wire bytes**, the way a
+    /// radio ISR would hand it over. Bytes that do not parse are rejected
+    /// with [`RejectReason::Malformed`] after only the tiny parse overhead
+    /// — cheaper than even the authentication check, so line noise and
+    /// fuzz traffic cannot deplete the prover.
+    ///
+    /// # Errors
+    ///
+    /// - [`AttestError::Rejected`] with [`RejectReason::Malformed`] when
+    ///   the bytes fail to parse; other [`RejectReason`]s when a later
+    ///   pipeline stage fires.
+    /// - [`AttestError::Device`] / [`AttestError::Crypto`] on internal
+    ///   faults.
+    pub fn handle_wire_request(&mut self, bytes: &[u8]) -> Result<Vec<u8>, AttestError> {
+        let cost = CostBreakdown {
+            parse_cycles: PARSE_OVERHEAD_CYCLES,
+            ..CostBreakdown::default()
+        };
+        self.mcu.advance_active(cost.parse_cycles);
+        match AttestRequest::from_bytes(bytes) {
+            Ok(request) => self
+                .handle_parsed(&request, cost)
+                .map(|response| response.to_bytes()),
+            Err(_) => {
+                self.stats.requests_seen += 1;
+                self.stats.rejected_malformed += 1;
+                self.finish(cost);
+                Err(AttestError::Rejected(RejectReason::Malformed))
+            }
+        }
+    }
+
+    /// The §4/§5 pipeline, shared by the parsed and wire entry points.
+    /// `cost` carries cycles already spent upstream (parsing).
+    fn handle_parsed(
+        &mut self,
+        request: &AttestRequest,
+        mut cost: CostBreakdown,
+    ) -> Result<AttestResponse, AttestError> {
         self.stats.requests_seen += 1;
-        let mut cost = CostBreakdown::default();
         let message = request.signed_bytes();
 
         // Stage 1: authenticate the request (§4.1). The check itself costs
@@ -408,12 +494,103 @@ impl Prover {
 
         self.stats.accepted += 1;
         self.finish(cost);
+        self.persist_freshness()?;
         Ok(AttestResponse { report })
     }
 
     fn finish(&mut self, cost: CostBreakdown) {
         self.stats.attestation_cycles += cost.total();
         self.last_cost = cost;
+    }
+
+    /// Saves the current freshness state into the attached store (no-op
+    /// without one). With [`Protection::EaMac`] the record is sealed under
+    /// the device key; the [`Protection::Open`] baseline writes it in the
+    /// clear — and therefore cannot tell a rollback from the truth.
+    fn persist_freshness(&mut self) -> Result<(), AttestError> {
+        if self.nv.is_none() {
+            return Ok(());
+        }
+        let synced_ms = self.synced_now_ms()?.unwrap_or(0);
+        let record = FreshnessRecord::capture(&mut self.mcu, synced_ms)?;
+        let bytes = match self.config.protection {
+            Protection::EaMac => record.seal(&self.response_key),
+            Protection::Open => record.encode(),
+        };
+        if let Some(nv) = &mut self.nv {
+            nv.save(&bytes);
+        }
+        Ok(())
+    }
+
+    /// Power-cycles the device and re-runs the boot path: volatile state
+    /// (RAM, MPU, IRQ, clocks) is lost exactly as [`Mcu::reset`] defines,
+    /// secure boot re-verifies the flash image against the provisioning
+    /// reference, and the freshness record — if an attached store holds a
+    /// valid one — is restored *before* the EA-MPU locks.
+    ///
+    /// This is the honest-reboot counterpart of `Adv_roam`'s reset attack:
+    /// with a sealed record the counter survives and old requests stay
+    /// replay-protected; without one (or with the unsealed baseline) the
+    /// counter rolls back to whatever the store says, or to zero.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] / [`AttestError::Crypto`] if the boot path
+    /// itself fails (e.g. secure boot rejects a modified image).
+    pub fn reboot(&mut self) -> Result<RecoveryOutcome, AttestError> {
+        // What the store says, judged before anything else: the decision
+        // is made on non-volatile data only.
+        let outcome = match &self.nv {
+            None => RecoveryOutcome::NoStore,
+            Some(nv) => match nv.load() {
+                None => RecoveryOutcome::Empty,
+                Some(bytes) => {
+                    let record = match self.config.protection {
+                        Protection::EaMac => {
+                            FreshnessRecord::open_sealed(&bytes, &self.response_key)
+                        }
+                        Protection::Open => FreshnessRecord::decode(&bytes),
+                    };
+                    match record {
+                        Some(r) => RecoveryOutcome::Restored(r),
+                        None => RecoveryOutcome::TamperDetected,
+                    }
+                }
+            },
+        };
+
+        // Power cycle: volatile state is gone.
+        self.mcu.reset();
+
+        // The boot loader re-creates what provisioning set up in RAM.
+        if self.config.clock == ClockKind::Software {
+            self.mcu
+                .install_idt_entry(TIMER_WRAP_VECTOR, CLOCK_HANDLER_ADDR)?;
+        }
+        if let RecoveryOutcome::Restored(record) = &outcome {
+            // Restore while the MPU is still unlocked, as boot code.
+            record.restore(&mut self.mcu, map::BOOT_PC)?;
+        }
+        if self.config.protection == Protection::EaMac {
+            self.mcu
+                .install_entry_point(map::ATTEST_CODE, map::ATTEST_CODE.start);
+            self.mcu
+                .install_entry_point(map::CLOCK_CODE, CLOCK_HANDLER_ADDR);
+            let rules = rules_for(self.config.protection, self.config.clock);
+            SecureBoot::new(self.boot_reference).run(&mut self.mcu, &rules)?;
+        }
+
+        // Host-side mirrors of volatile state start over too.
+        self.policy = FreshnessPolicy::new(self.config.freshness);
+        self.clock = ProverClock::new(self.config.clock);
+        self.last_cost = CostBreakdown::default();
+
+        self.stats.reboots += 1;
+        if outcome == RecoveryOutcome::TamperDetected {
+            self.stats.recovery_failures += 1;
+        }
+        Ok(outcome)
     }
 
     /// The memory image a verifier should expect (test oracle: the

@@ -1,0 +1,327 @@
+//! Verifier-side session driving: timeouts, bounded retries, backoff.
+//!
+//! The paper's verifier fires one request and waits ~754 ms for the
+//! memory MAC. Over a real (lossy) link that is not a protocol: requests
+//! drop, responses drop, and the prover may reboot mid-session. The
+//! [`SessionDriver`] turns one *logical* attestation into a bounded retry
+//! loop with exponential backoff, recording what happened on every
+//! attempt so experiments can grade a channel, not just a run.
+//!
+//! The transport is abstracted behind [`SessionLink`]: [`DirectLink`]
+//! wires a verifier straight to a prover (lossless), while the adversary
+//! crate's fault injector implements the same trait over a faulty channel.
+
+use crate::error::{AttestError, RejectReason};
+use crate::message::AttestResponse;
+use crate::prover::Prover;
+use crate::verifier::Verifier;
+
+/// Retry/backoff configuration for one attestation session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long (prover/verifier simulated ms) one attempt may take
+    /// before it is declared lost.
+    pub timeout_ms: u64,
+    /// Retries after the first attempt (total attempts = `max_retries`
+    /// + 1).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base_ms: u64,
+    /// Multiplier applied to the backoff after every failed attempt.
+    pub backoff_factor: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_ms: 1000,
+            max_retries: 5,
+            backoff_base_ms: 100,
+            backoff_factor: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to wait after failed attempt number `attempt` (1-based):
+    /// `base * factor^(attempt-1)`, saturating.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let exp = u64::from(self.backoff_factor).saturating_pow(attempt.saturating_sub(1));
+        self.backoff_base_ms.saturating_mul(exp)
+    }
+}
+
+/// What one attempt did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// A valid response arrived and verified.
+    Success,
+    /// The request never reached the prover (or timed out on the way).
+    RequestLost,
+    /// The prover answered but the response never arrived in time.
+    ResponseLost,
+    /// The prover actively rejected the request.
+    Rejected(RejectReason),
+    /// A response arrived but failed verification (corrupt or forged).
+    BadResponse,
+    /// The attempt died on an internal error.
+    Error(AttestError),
+}
+
+impl AttemptOutcome {
+    /// `true` iff the attempt succeeded.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        matches!(self, AttemptOutcome::Success)
+    }
+}
+
+/// One attempt's entry in the session report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+    /// Backoff waited *after* this attempt (0 for the last one).
+    pub backoff_ms: u64,
+}
+
+/// Everything a driven session did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionReport {
+    /// Per-attempt outcomes, in order.
+    pub attempts: Vec<AttemptRecord>,
+}
+
+impl SessionReport {
+    /// `true` iff the final attempt succeeded.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.attempts.last().is_some_and(|a| a.outcome.is_success())
+    }
+
+    /// Number of attempts made.
+    #[must_use]
+    pub fn attempt_count(&self) -> u32 {
+        self.attempts.len() as u32
+    }
+
+    /// Total backoff time spent waiting between attempts.
+    #[must_use]
+    pub fn total_backoff_ms(&self) -> u64 {
+        self.attempts.iter().map(|a| a.backoff_ms).sum()
+    }
+}
+
+/// A transport that can run one attestation attempt end to end.
+pub trait SessionLink {
+    /// Runs one attempt with the given timeout and says what happened.
+    fn attempt(&mut self, timeout_ms: u64) -> AttemptOutcome;
+
+    /// Lets `ms` of simulated time pass on both ends (backoff).
+    fn wait_ms(&mut self, ms: u64);
+
+    /// Hook run after a failed attempt, before the backoff — e.g. resync
+    /// the prover's clock after a suspected reboot. Default: nothing.
+    fn recover(&mut self, _failed: &AttemptOutcome) {}
+}
+
+/// Drives sessions according to a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionDriver {
+    /// The policy applied to every run.
+    pub policy: RetryPolicy,
+}
+
+impl SessionDriver {
+    /// A driver with the given policy.
+    #[must_use]
+    pub fn new(policy: RetryPolicy) -> Self {
+        SessionDriver { policy }
+    }
+
+    /// Runs one logical attestation over `link`: up to `max_retries + 1`
+    /// attempts, exponential backoff between them, recovery hook after
+    /// each failure.
+    pub fn run(&self, link: &mut dyn SessionLink) -> SessionReport {
+        let mut report = SessionReport::default();
+        let total = self.policy.max_retries + 1;
+        for attempt in 1..=total {
+            let outcome = link.attempt(self.policy.timeout_ms);
+            let success = outcome.is_success();
+            let last = success || attempt == total;
+            let backoff_ms = if last {
+                0
+            } else {
+                self.policy.backoff_ms(attempt)
+            };
+            if !success && !last {
+                link.recover(&outcome);
+                link.wait_ms(backoff_ms);
+            }
+            report.attempts.push(AttemptRecord {
+                attempt,
+                outcome,
+                backoff_ms,
+            });
+            if success {
+                break;
+            }
+        }
+        report
+    }
+}
+
+/// The lossless reference link: verifier and prover wired back to back,
+/// requests delivered as wire bytes through
+/// [`Prover::handle_wire_request`].
+#[derive(Debug)]
+pub struct DirectLink<'a> {
+    verifier: &'a mut Verifier,
+    prover: &'a mut Prover,
+}
+
+impl<'a> DirectLink<'a> {
+    /// Wires a verifier to a prover.
+    pub fn new(verifier: &'a mut Verifier, prover: &'a mut Prover) -> Self {
+        DirectLink { verifier, prover }
+    }
+}
+
+impl SessionLink for DirectLink<'_> {
+    fn attempt(&mut self, _timeout_ms: u64) -> AttemptOutcome {
+        let request = match self.verifier.make_request() {
+            Ok(r) => r,
+            Err(e) => return AttemptOutcome::Error(e),
+        };
+        let wire = match self.prover.handle_wire_request(&request.to_bytes()) {
+            Ok(bytes) => bytes,
+            Err(AttestError::Rejected(reason)) => return AttemptOutcome::Rejected(reason),
+            Err(e) => return AttemptOutcome::Error(e),
+        };
+        // The prover's compute time passes for the verifier too.
+        let elapsed_ms = self.prover.last_cost().total_ms().ceil() as u64;
+        self.verifier.advance_time_ms(elapsed_ms);
+        let Ok(response) = AttestResponse::from_bytes(&wire) else {
+            return AttemptOutcome::BadResponse;
+        };
+        if self
+            .verifier
+            .check_response(&request, &response, self.prover.expected_memory())
+        {
+            AttemptOutcome::Success
+        } else {
+            AttemptOutcome::BadResponse
+        }
+    }
+
+    fn wait_ms(&mut self, ms: u64) {
+        let _ = self.prover.advance_time_ms(ms);
+        self.verifier.advance_time_ms(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::ProverConfig;
+
+    const KEY: [u8; 16] = [0x42; 16];
+
+    fn pair(config: ProverConfig) -> (Prover, Verifier) {
+        let prover = Prover::provision(config.clone(), &KEY, b"app v1").unwrap();
+        let verifier = Verifier::new(&config, &KEY).unwrap();
+        (prover, verifier)
+    }
+
+    #[test]
+    fn direct_link_succeeds_first_attempt() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended());
+        let mut link = DirectLink::new(&mut verifier, &mut prover);
+        let report = SessionDriver::default().run(&mut link);
+        assert!(report.succeeded());
+        assert_eq!(report.attempt_count(), 1);
+        assert_eq!(report.total_backoff_ms(), 0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_ms(1), 100);
+        assert_eq!(policy.backoff_ms(2), 200);
+        assert_eq!(policy.backoff_ms(3), 400);
+        // Saturates instead of overflowing.
+        assert_eq!(
+            RetryPolicy {
+                backoff_base_ms: u64::MAX,
+                ..policy
+            }
+            .backoff_ms(5),
+            u64::MAX
+        );
+    }
+
+    /// A link that fails `fail_first` times, then succeeds.
+    struct FlakyLink {
+        fail_first: u32,
+        attempts: u32,
+        waited: u64,
+        recoveries: u32,
+    }
+
+    impl SessionLink for FlakyLink {
+        fn attempt(&mut self, _timeout_ms: u64) -> AttemptOutcome {
+            self.attempts += 1;
+            if self.attempts <= self.fail_first {
+                AttemptOutcome::RequestLost
+            } else {
+                AttemptOutcome::Success
+            }
+        }
+        fn wait_ms(&mut self, ms: u64) {
+            self.waited += ms;
+        }
+        fn recover(&mut self, failed: &AttemptOutcome) {
+            assert!(!failed.is_success());
+            self.recoveries += 1;
+        }
+    }
+
+    #[test]
+    fn driver_retries_until_success() {
+        let mut link = FlakyLink {
+            fail_first: 3,
+            attempts: 0,
+            waited: 0,
+            recoveries: 0,
+        };
+        let report = SessionDriver::default().run(&mut link);
+        assert!(report.succeeded());
+        assert_eq!(report.attempt_count(), 4);
+        // Backoffs: 100 + 200 + 400.
+        assert_eq!(report.total_backoff_ms(), 700);
+        assert_eq!(link.waited, 700);
+        assert_eq!(link.recoveries, 3);
+    }
+
+    #[test]
+    fn driver_gives_up_after_budget() {
+        let mut link = FlakyLink {
+            fail_first: u32::MAX,
+            attempts: 0,
+            waited: 0,
+            recoveries: 0,
+        };
+        let policy = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        let report = SessionDriver::new(policy).run(&mut link);
+        assert!(!report.succeeded());
+        assert_eq!(report.attempt_count(), 3);
+        // No recovery/backoff after the final attempt.
+        assert_eq!(link.recoveries, 2);
+    }
+}

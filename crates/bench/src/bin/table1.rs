@@ -58,12 +58,12 @@ fn main() {
         row(
             "AES-128 enc per block",
             cycles_to_ms(cost.aes_enc_per_block),
-            { time_ns(512, || aes.encrypt_block(&mut aes_block)) },
+            time_ns(512, || aes.encrypt_block(&mut aes_block)),
         ),
         row(
             "AES-128 dec per block",
             cycles_to_ms(cost.aes_dec_per_block),
-            { time_ns(512, || aes.decrypt_block(&mut aes_block)) },
+            time_ns(512, || aes.decrypt_block(&mut aes_block)),
         ),
         row(
             "Speck 64/128 key expansion",
@@ -77,12 +77,12 @@ fn main() {
         row(
             "Speck 64/128 enc per block",
             cycles_to_ms(cost.speck_enc_per_block),
-            { time_ns(512, || speck.encrypt_block(&mut speck_block)) },
+            time_ns(512, || speck.encrypt_block(&mut speck_block)),
         ),
         row(
             "Speck 64/128 dec per block",
             cycles_to_ms(cost.speck_dec_per_block),
-            { time_ns(512, || speck.decrypt_block(&mut speck_block)) },
+            time_ns(512, || speck.decrypt_block(&mut speck_block)),
         ),
         row("ECDSA secp160r1 sign", cycles_to_ms(cost.ecdsa_sign), {
             time_ns(4, || {

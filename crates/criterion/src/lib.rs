@@ -1,0 +1,269 @@
+//! An offline, dependency-free subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! member shadows the real `criterion` with the slice of its API our
+//! benches use. It is a *smoke harness*, not a statistics engine: each
+//! benchmark closure runs a handful of iterations, wall-clock timed with
+//! [`std::time::Instant`], and prints one line per benchmark. That keeps
+//! `cargo test` (which builds and runs `harness = false` bench binaries)
+//! fast while still executing every bench body end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Iterations per measurement: enough to catch panics and gross
+/// regressions, few enough that the full bench suite stays subsecond.
+const ITERATIONS: u32 = 3;
+
+/// Top-level handle mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, None, f);
+    }
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the shim always runs a fixed, small
+    /// number of iterations.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Records the per-iteration workload for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &name.to_string(), self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), self.throughput, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (a no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one parameter point of a benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name with a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// How `iter_batched` amortises setup cost; the shim runs every batch
+/// the same way regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iterations: u32,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed_ns: 0,
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` over a fixed, small number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iterations += ITERATIONS;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERATIONS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+        }
+        self.iterations += ITERATIONS;
+    }
+}
+
+fn run_one<F>(group: &str, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    let per_iter_ns = if bencher.iterations == 0 {
+        0
+    } else {
+        bencher.elapsed_ns / u128::from(bencher.iterations)
+    };
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            println!("bench {label}: {per_iter_ns} ns/iter ({bytes} bytes/iter)");
+        }
+        Some(Throughput::Elements(n)) => {
+            println!("bench {label}: {per_iter_ns} ns/iter ({n} elements/iter)");
+        }
+        None => println!("bench {label}: {per_iter_ns} ns/iter"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group
+            .throughput(Throughput::Bytes(64))
+            .bench_function("f", |b| {
+                b.iter(|| calls += 1);
+            });
+        group.finish();
+        assert_eq!(calls, ITERATIONS);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("x", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |v| seen = v, BatchSize::SmallInput);
+        });
+        assert_eq!(seen, 7);
+    }
+}

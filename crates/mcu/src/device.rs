@@ -100,6 +100,29 @@ impl Mcu {
         self.rtc = Some(rtc);
     }
 
+    /// Power-cycles the device (a reboot, a brown-out, or `Adv_roam`
+    /// yanking the battery).
+    ///
+    /// Volatile state is lost: RAM is wiped (taking `counter_R`,
+    /// `Clock_MSB`, the IDT and the trust state with it), the EA-MPU comes
+    /// back empty and *unlocked* (secure boot must re-run to re-arm it),
+    /// pending interrupts are discarded, and the timer and RTC restart
+    /// from zero. Non-volatile state persists: ROM (`K_Attest`), flash
+    /// (the application image), and the battery charge. The cycle clock —
+    /// the simulation's wall-time/energy ledger — also persists, so a
+    /// reset neither hides elapsed time nor refunds energy. The fault log
+    /// is diagnostic instrumentation, not device RAM, and survives too.
+    pub fn reset(&mut self) {
+        self.memory.wipe_ram();
+        self.mpu = EaMpu::new(self.mpu.capacity());
+        self.irq = IrqController::new();
+        self.timer = TimerLsb::new(self.timer.width(), self.timer.prescaler_log2());
+        if let Some(rtc) = &self.rtc {
+            self.rtc = Some(HwRtc::custom(rtc.width(), rtc.prescaler_log2()));
+        }
+        self.entry_points.clear();
+    }
+
     // ---- time & energy -----------------------------------------------------
 
     /// The cycle clock.
@@ -681,6 +704,43 @@ mod tests {
     fn entry_point_outside_region_rejected() {
         let mut mcu = Mcu::new();
         mcu.install_entry_point(map::ATTEST_CODE, map::APP_CODE);
+    }
+
+    #[test]
+    fn reset_wipes_volatile_state_but_not_nonvolatile() {
+        let mut mcu = Mcu::new();
+        mcu.provision_attest_key(&[7; 16]).unwrap();
+        mcu.program_flash(b"app").unwrap();
+        mcu.install_rtc(HwRtc::wide64());
+        mcu.install_entry_point(map::ATTEST_CODE, map::ATTEST_CODE.start);
+        mcu.bus_write(map::COUNTER_R.start, &9u64.to_le_bytes(), map::APP_CODE)
+            .unwrap();
+        protect_key(&mut mcu);
+        mcu.mpu_mut().lock();
+        mcu.advance_active(1 << 21);
+        let drained = mcu.battery().remaining_joules();
+        let elapsed = mcu.clock().cycles();
+
+        mcu.reset();
+
+        // Volatile: RAM zeroed, MPU empty + unlocked, IRQs gone, clocks at 0.
+        let mut buf = [0u8; 8];
+        mcu.bus_read(map::COUNTER_R.start, &mut buf, map::APP_CODE)
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 0);
+        assert!(!mcu.mpu().is_locked());
+        assert!(mcu.mpu().rules().is_empty());
+        assert!(mcu.take_interrupt().is_none());
+        assert_eq!(mcu.timer.value(), 0);
+        assert_eq!(mcu.rtc().unwrap().read(), 0);
+        assert!(mcu
+            .check_control_transfer(map::APP_CODE, map::ATTEST_CODE.start + 0x40)
+            .is_ok());
+        // Non-volatile: key, flash, battery level, cycle clock.
+        assert_eq!(mcu.read_attest_key(map::APP_CODE).unwrap(), [7; 16]);
+        assert_eq!(&mcu.physical_memory().flash()[..3], b"app");
+        assert_eq!(mcu.battery().remaining_joules(), drained);
+        assert_eq!(mcu.clock().cycles(), elapsed);
     }
 
     #[test]

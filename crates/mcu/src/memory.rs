@@ -129,6 +129,12 @@ impl PhysicalMemory {
         })
     }
 
+    /// Zeroes all of RAM — what a power cycle does to volatile memory.
+    /// ROM and flash are non-volatile and survive.
+    pub fn wipe_ram(&mut self) {
+        self.ram.fill(0);
+    }
+
     /// Borrows the whole RAM contents (for whole-memory MAC computation).
     #[must_use]
     pub fn ram(&self) -> &[u8] {

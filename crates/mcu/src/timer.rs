@@ -63,6 +63,12 @@ impl TimerLsb {
         self.width
     }
 
+    /// log₂ of the prescaler (0 = one tick per CPU cycle).
+    #[must_use]
+    pub fn prescaler_log2(&self) -> u32 {
+        self.prescaler_log2
+    }
+
     /// `true` while the timer is running.
     #[must_use]
     pub fn is_enabled(&self) -> bool {

@@ -1,0 +1,65 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeFrom};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for producing values of one type from a deterministic RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {:?}",
+                        self
+                    );
+                    let span = (self.end as u128) - (self.start as u128);
+                    let offset = (u128::from(rng.next_u64()) % span) as $ty;
+                    self.start + offset
+                }
+            }
+
+            impl Strategy for RangeFrom<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let span = (<$ty>::MAX as u128) - (self.start as u128) + 1;
+                    let offset = (u128::from(rng.next_u64()) % span) as $ty;
+                    self.start + offset
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..256 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (1u64..).generate(&mut rng);
+            assert!(w >= 1);
+            let x = (0usize..1).generate(&mut rng);
+            assert_eq!(x, 0);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Acceptance matrix for the robustness layer: every prover preset, run
+//! by the verifier's retry/backoff [`SessionDriver`] over a deterministic
+//! fault schedule (drop, duplicate, corrupt, delay, reboot), must still
+//! complete its attestation sessions — and the recovery properties of the
+//! persisted freshness record must hold.
+
+use proverguard_adversary::fault::{FaultConfig, FaultyLink};
+use proverguard_adversary::world::World;
+use proverguard_attest::error::RejectReason;
+use proverguard_attest::profile::Protection;
+use proverguard_attest::prover::ProverConfig;
+use proverguard_attest::session::{RetryPolicy, SessionDriver};
+use proverguard_attest::{FreshnessRecord, InMemoryNvStore, RecoveryOutcome, SharedNvStore};
+
+/// Fixed seed — the whole matrix is reproducible bit for bit.
+const SEED: u64 = 0x0DAC_2016;
+
+fn presets() -> Vec<(&'static str, ProverConfig)> {
+    vec![
+        ("recommended", ProverConfig::recommended()),
+        ("timestamp_hw64", ProverConfig::timestamp_hw64()),
+        ("timestamp_sw_clock", ProverConfig::timestamp_sw_clock()),
+        ("unprotected", ProverConfig::unprotected()),
+    ]
+}
+
+fn driver() -> SessionDriver {
+    SessionDriver::new(RetryPolicy {
+        timeout_ms: 1000,
+        max_retries: 8,
+        backoff_base_ms: 250,
+        backoff_factor: 2,
+    })
+}
+
+fn world_for(config: &ProverConfig) -> World {
+    let mut world = World::new(config.clone()).expect("provision");
+    // Let clocks get off zero so timestamp freshness has room to move.
+    world.advance_ms(5_000).expect("advance");
+    if config.protection == Protection::EaMac {
+        world
+            .prover
+            .attach_nv_store(Box::new(InMemoryNvStore::new()))
+            .expect("attach store");
+    }
+    world
+}
+
+/// A named fault mode: label plus a seed-to-config constructor.
+type FaultMode = (&'static str, fn(u64) -> FaultConfig);
+
+#[test]
+fn every_preset_recovers_under_every_recoverable_fault() {
+    let fault_modes: &[FaultMode] = &[
+        ("clean", FaultConfig::none),
+        ("lossy(drop+delay)", FaultConfig::lossy),
+        ("corrupting(truncate+bitflip)", FaultConfig::corrupting),
+        ("rebooting(reboot+clock-glitch)", FaultConfig::rebooting),
+        ("duplicating", |seed| FaultConfig {
+            duplicate_per_mille: 400,
+            ..FaultConfig::none(seed)
+        }),
+    ];
+
+    for (config_label, config) in presets() {
+        for (fault_label, fault_config) in fault_modes {
+            let mut link = FaultyLink::new(world_for(&config), fault_config(SEED));
+            for session in 0..3 {
+                let report = driver().run(&mut link);
+                assert!(
+                    report.succeeded(),
+                    "{config_label} under {fault_label}, session {session}: \
+                     attempts {:#?}, faults {:#?}",
+                    report.attempts,
+                    link.events(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_schedule_is_deterministic() {
+    let run = || {
+        let mut link = FaultyLink::new(
+            world_for(&ProverConfig::recommended()),
+            FaultConfig::lossy(SEED),
+        );
+        let reports: Vec<_> = (0..3).map(|_| driver().run(&mut link)).collect();
+        (reports, link.events().to_vec())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn malformed_bytes_rejected_under_a_millisecond_on_every_preset() {
+    let garbage: &[&[u8]] = &[
+        &[],
+        &[0x00],
+        &[0xff; 3],
+        &[0xde, 0xad, 0xbe, 0xef],
+        &[0x41; 512],
+    ];
+    for (label, config) in presets() {
+        let mut world = World::new(config).expect("provision");
+        for (i, blob) in garbage.iter().enumerate() {
+            let err = world.prover.handle_wire_request(blob).expect_err(label);
+            assert_eq!(
+                err.reject_reason(),
+                Some(RejectReason::Malformed),
+                "{label}, blob {i}"
+            );
+            assert!(
+                world.prover.last_cost().total_ms() < 1.0,
+                "{label}, blob {i}: {} ms",
+                world.prover.last_cost().total_ms()
+            );
+        }
+        assert_eq!(
+            world.prover.stats().rejected_malformed,
+            garbage.len() as u64
+        );
+        assert_eq!(world.prover.stats().accepted, 0);
+    }
+}
+
+#[test]
+fn sealed_counter_survives_reboot() {
+    let mut world = World::new(ProverConfig::recommended()).expect("provision");
+    world
+        .prover
+        .attach_nv_store(Box::new(InMemoryNvStore::new()))
+        .expect("attach");
+    let request = world.verifier.make_request().expect("request");
+    world.deliver(&request).expect("genuine request accepted");
+
+    let outcome = world.prover.reboot().expect("reboot");
+    assert!(matches!(
+        outcome,
+        RecoveryOutcome::Restored(r) if r.counter_r == 1
+    ));
+    // The replayed request is still dead: freshness state survived the
+    // power cycle.
+    let err = world.prover.handle_request(&request).expect_err("replay");
+    assert_eq!(err.reject_reason(), Some(RejectReason::StaleCounter));
+    // And a fresh request still works.
+    let next = world.verifier.make_request().expect("request");
+    world.deliver(&next).expect("post-reboot request accepted");
+    assert_eq!(world.prover.stats().reboots, 1);
+    assert_eq!(world.prover.stats().recovery_failures, 0);
+}
+
+#[test]
+fn baseline_without_store_rolls_back_on_reboot() {
+    // Same counter policy, but nothing persisted: an honest power cycle
+    // already re-arms the §5 replay.
+    let mut world = World::new(ProverConfig::recommended()).expect("provision");
+    let request = world.verifier.make_request().expect("request");
+    world.deliver(&request).expect("genuine request accepted");
+    let err = world.prover.handle_request(&request).expect_err("replay");
+    assert_eq!(err.reject_reason(), Some(RejectReason::StaleCounter));
+
+    assert_eq!(
+        world.prover.reboot().expect("reboot"),
+        RecoveryOutcome::NoStore
+    );
+    // counter_R rolled back to zero: the same recorded request is now
+    // accepted again.
+    world
+        .prover
+        .handle_request(&request)
+        .expect("rollback: replay accepted after reboot");
+}
+
+#[test]
+fn open_baseline_accepts_a_tampered_store_but_eamac_detects_it() {
+    // The Open-protection prover persists its record in the clear; an
+    // adversary with the flash chip rewrites it and the prover cannot
+    // tell.
+    let open_config = ProverConfig {
+        protection: Protection::Open,
+        ..ProverConfig::recommended()
+    };
+    let store = SharedNvStore::new();
+    let mut world = World::new(open_config).expect("provision");
+    world
+        .prover
+        .attach_nv_store(Box::new(store.clone()))
+        .expect("attach");
+    let request = world.verifier.make_request().expect("request");
+    world.deliver(&request).expect("accepted");
+
+    // Adv_roam rewrites the plain record with a zeroed counter.
+    store.overwrite(Some(FreshnessRecord::default().encode()));
+    let outcome = world.prover.reboot().expect("reboot");
+    assert!(matches!(
+        outcome,
+        RecoveryOutcome::Restored(r) if r.counter_r == 0
+    ));
+    world
+        .prover
+        .handle_request(&request)
+        .expect("rollback: tampered plain record re-armed the replay");
+    assert_eq!(world.prover.stats().recovery_failures, 0, "silent rollback");
+
+    // The EA-MAC prover refuses the identical forgery: the record is
+    // sealed, so a crafted replacement fails validation and is counted.
+    let store = SharedNvStore::new();
+    let mut world = World::new(ProverConfig::recommended()).expect("provision");
+    world
+        .prover
+        .attach_nv_store(Box::new(store.clone()))
+        .expect("attach");
+    let request = world.verifier.make_request().expect("request");
+    world.deliver(&request).expect("accepted");
+    store.overwrite(Some(FreshnessRecord::default().encode()));
+    assert_eq!(
+        world.prover.reboot().expect("reboot"),
+        RecoveryOutcome::TamperDetected
+    );
+    assert_eq!(world.prover.stats().recovery_failures, 1);
+}
+
+#[test]
+fn rebooted_timestamp_prover_resyncs_through_the_recovery_hook() {
+    // A reboot without persisted state zeroes the hardware clock; the
+    // driver's recovery hook (authenticated §7 sync) brings the prover
+    // back inside the freshness window within the retry budget.
+    let mut world = World::new(ProverConfig::timestamp_hw64()).expect("provision");
+    world.advance_ms(5_000).expect("advance");
+    let request = world.verifier.make_request().expect("request");
+    world.deliver(&request).expect("accepted");
+
+    assert_eq!(
+        world.prover.reboot().expect("reboot"),
+        RecoveryOutcome::NoStore
+    );
+    assert_eq!(world.prover.now_ms().expect("clock"), Some(0));
+
+    let mut link = FaultyLink::new(world, FaultConfig::none(SEED));
+    let report = driver().run(&mut link);
+    assert!(report.succeeded(), "attempts: {:#?}", report.attempts);
+}

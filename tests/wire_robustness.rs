@@ -1,0 +1,117 @@
+//! Property tests for the wire format: encoding round-trips, and the
+//! parsers never panic — on arbitrary bytes, on truncated encodings, on
+//! bit-flipped encodings. The prover's cheap-reject guarantee rests on
+//! `from_bytes` being total, so this is the contract that backs
+//! `Prover::handle_wire_request`.
+
+use proptest::prelude::*;
+use proverguard_attest::message::{
+    AttestRequest, AttestResponse, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
+};
+
+/// Builds a request from raw generated material, covering every
+/// freshness kind.
+fn request_from(
+    kind: u8,
+    word: u64,
+    nonce: [u8; NONCE_SIZE],
+    challenge: [u8; CHALLENGE_SIZE],
+    auth: Vec<u8>,
+) -> AttestRequest {
+    let freshness = match kind % 4 {
+        0 => FreshnessField::None,
+        1 => FreshnessField::Nonce(nonce),
+        2 => FreshnessField::Counter(word),
+        _ => FreshnessField::Timestamp(word),
+    };
+    AttestRequest {
+        freshness,
+        challenge,
+        auth,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrips(
+        kind in 0u8..4,
+        word in 0u64..,
+        nonce in any::<[u8; NONCE_SIZE]>(),
+        challenge in any::<[u8; CHALLENGE_SIZE]>(),
+        auth in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let request = request_from(kind, word, nonce, challenge, auth);
+        let parsed = AttestRequest::from_bytes(&request.to_bytes());
+        prop_assert_eq!(parsed.ok(), Some(request));
+    }
+
+    #[test]
+    fn response_roundtrips(report in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let response = AttestResponse { report };
+        let parsed = AttestResponse::from_bytes(&response.to_bytes());
+        prop_assert_eq!(parsed.ok(), Some(response));
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // A parse error is fine; a panic is the bug. Both parsers must be
+        // total functions of the input bytes.
+        let _ = AttestRequest::from_bytes(&bytes);
+        let _ = AttestResponse::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncated_requests_error_instead_of_panicking(
+        kind in 0u8..4,
+        word in 0u64..,
+        nonce in any::<[u8; NONCE_SIZE]>(),
+        challenge in any::<[u8; CHALLENGE_SIZE]>(),
+        auth in proptest::collection::vec(any::<u8>(), 0..40),
+        cut_seed in any::<u16>(),
+    ) {
+        let encoded = request_from(kind, word, nonce, challenge, auth).to_bytes();
+        let cut = cut_seed as usize % encoded.len();
+        // Every strict prefix must be rejected cleanly: the encoding is
+        // self-delimiting, so no prefix of a valid message is valid.
+        prop_assert!(AttestRequest::from_bytes(&encoded[..cut]).is_err());
+    }
+
+    #[test]
+    fn bitflipped_requests_parse_or_error_but_never_panic(
+        kind in 0u8..4,
+        word in 0u64..,
+        nonce in any::<[u8; NONCE_SIZE]>(),
+        challenge in any::<[u8; CHALLENGE_SIZE]>(),
+        auth in proptest::collection::vec(any::<u8>(), 0..40),
+        bit_seed in any::<u32>(),
+    ) {
+        let request = request_from(kind, word, nonce, challenge, auth);
+        let mut encoded = request.to_bytes();
+        let bit = bit_seed as usize % (encoded.len() * 8);
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        // A flip in the freshness word, challenge or auth still parses —
+        // but it must parse to a *different* message, so authentication
+        // will catch it downstream.
+        if let Ok(parsed) = AttestRequest::from_bytes(&encoded) {
+            prop_assert_ne!(parsed, request);
+        }
+    }
+
+    #[test]
+    fn bitflipped_responses_parse_or_error_but_never_panic(
+        report in proptest::collection::vec(any::<u8>(), 1..64),
+        bit_seed in any::<u32>(),
+    ) {
+        let response = AttestResponse { report };
+        let mut encoded = response.to_bytes();
+        let bit = bit_seed as usize % (encoded.len() * 8);
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(parsed) = AttestResponse::from_bytes(&encoded) {
+            prop_assert_ne!(parsed, response);
+        }
+    }
+}
