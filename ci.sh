@@ -19,4 +19,7 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== chaos soak (short deterministic gate) =="
+cargo run --release -q -p proverguard-bench --bin fleet_soak -- --ci
+
 echo "CI green."

@@ -34,7 +34,8 @@ pub struct FloodReport {
 }
 
 impl FloodReport {
-    /// Average prover milliseconds burned per bogus request.
+    /// Average prover milliseconds burned per bogus request. An empty
+    /// flood burned nothing per request — 0, never `NaN`.
     #[must_use]
     pub fn ms_per_request(&self) -> f64 {
         if self.requests == 0 {
@@ -42,6 +43,17 @@ impl FloodReport {
         }
         cycles_to_ms(self.cycles_burned) / self.requests as f64
     }
+}
+
+/// Fraction of `capacity_j` consumed by `energy_j`, clamped to `[0, 1]`:
+/// a flood that fully depletes the battery reports 1.0 (never more, and
+/// never `NaN` on a dead-on-arrival cell).
+#[must_use]
+fn battery_fraction(energy_j: f64, capacity_j: f64) -> f64 {
+    if capacity_j <= 0.0 {
+        return 1.0;
+    }
+    (energy_j / capacity_j).clamp(0.0, 1.0)
 }
 
 /// Floods `config` with `n` forged (unauthenticated garbage) requests and
@@ -99,7 +111,7 @@ pub fn flood_with_forgeries(
         answered,
         cycles_burned,
         energy_joules,
-        battery_fraction: energy_joules / capacity,
+        battery_fraction: battery_fraction(energy_joules, capacity),
     })
 }
 
@@ -145,7 +157,7 @@ pub fn flood_with_garbage(
         answered,
         cycles_burned,
         energy_joules,
-        battery_fraction: energy_joules / capacity,
+        battery_fraction: battery_fraction(energy_joules, capacity),
     })
 }
 
@@ -278,5 +290,29 @@ mod tests {
     fn battery_fraction_is_sane() {
         let r = flood_with_forgeries(ProverConfig::unprotected(), "open", 10).unwrap();
         assert!(r.battery_fraction > 0.0 && r.battery_fraction < 1.0);
+    }
+
+    #[test]
+    fn battery_fraction_saturates_at_one() {
+        // Accounting jitter (e.g. a flood measured against an
+        // already-drained capacity snapshot) must clamp, not report >100 %.
+        assert_eq!(battery_fraction(2.0, 1.0), 1.0);
+        assert_eq!(battery_fraction(1.0, 1.0), 1.0);
+        // A dead-on-arrival cell is fully consumed by definition, not NaN.
+        assert_eq!(battery_fraction(0.0, 0.0), 1.0);
+        // Negative jitter clamps to zero.
+        assert_eq!(battery_fraction(-1e-9, 1.0), 0.0);
+        assert!((battery_fraction(0.25, 1.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_flood_has_finite_stats() {
+        let r = flood_with_forgeries(ProverConfig::recommended(), "empty", 0).unwrap();
+        assert_eq!(r.requests, 0);
+        // Zero requests: 0 ms/request, not NaN.
+        assert_eq!(r.ms_per_request(), 0.0);
+        assert!(r.ms_per_request().is_finite());
+        assert!(r.battery_fraction.is_finite());
+        assert!((0.0..=1.0).contains(&r.battery_fraction));
     }
 }

@@ -295,6 +295,20 @@ impl FaultyLink {
         self.injector.events()
     }
 
+    /// Swaps the fault schedule mid-experiment (e.g. a soak run whose
+    /// faults clear after a configured round). The new injector starts
+    /// from `config`'s own seed; the old event log is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config`'s fault rates sum past 1000 ‰.
+    pub fn set_fault_config(&mut self, config: FaultConfig) {
+        config.assert_valid();
+        let events = std::mem::take(&mut self.injector.events);
+        self.injector = FaultInjector::new(config);
+        self.injector.events = events;
+    }
+
     /// Delivers request bytes to the prover, keeping the verifier's clock
     /// in step with the prover's compute time.
     fn deliver(&mut self, bytes: &[u8]) -> Result<Vec<u8>, AttestError> {

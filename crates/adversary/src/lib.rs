@@ -20,6 +20,10 @@
 //!   delay / truncate / bit-flip faults plus prover reboots and clock
 //!   glitches, wired into the verifier's retry/backoff
 //!   [`SessionDriver`](proverguard_attest::session::SessionDriver).
+//! - [`soak`] — the chaos soak: a simulated fleet of provers under
+//!   combined fault + flood pressure, scheduled by the verifier-side
+//!   [`FleetController`](proverguard_attest::fleet::FleetController),
+//!   graded against deterministic liveness invariants.
 //!
 //! # Example
 //!
@@ -45,6 +49,7 @@ pub mod ext;
 pub mod fault;
 pub mod report;
 pub mod roam;
+pub mod soak;
 pub mod workload;
 pub mod world;
 
@@ -52,4 +57,5 @@ pub use ext::{ExtAttack, MitigationMatrix};
 pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultyLink};
 pub use report::SuiteReport;
 pub use roam::{RoamAttack, RoamOutcome};
+pub use soak::{run_soak, DeviceRole, DeviceSummary, SoakConfig, SoakReport};
 pub use world::World;

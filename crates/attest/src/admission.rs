@@ -1,0 +1,337 @@
+//! Prover-side admission control: shed load *before* spending cycles.
+//!
+//! The paper's defences make a bogus request cheap (§4.1: one
+//! primitive-block check instead of the ~754 ms memory MAC) — but even a
+//! cheap check is not free, and an authenticated deployment still pays the
+//! whole-memory MAC for every *genuine* request. A verifier bug, a replay
+//! storm, or simply heavy fleet traffic can therefore still drain a coin
+//! cell. The [`AdmissionController`] puts a hard ceiling on that spend: a
+//! token bucket denominated in **CPU cycles** (the simulation's unit of
+//! both time and energy, see [`proverguard_mcu::energy`]) that refills as
+//! a configured duty-cycle fraction of wall time. A request is only
+//! admitted into the §4/§5 pipeline while the bucket holds enough tokens
+//! for the worst-case pipeline cost; everything else is shed with
+//! [`RejectReason::Throttled`](crate::error::RejectReason::Throttled)
+//! after a few dozen cycles — cheaper than even the MAC check.
+//!
+//! Two properties matter for the DoS economics:
+//!
+//! - **The budget is actual spend, not request count.** Every cycle the
+//!   pipeline burns (parse, auth check, freshness, response MAC) is
+//!   debited after the fact, so a flood of cheap rejects erodes the
+//!   bucket slowly while accepted attestations debit their full ~18 M
+//!   cycles — the controller bounds *energy*, which is what the battery
+//!   cares about.
+//! - **Reboots cannot refill the bucket.** The token count and the
+//!   cycle-clock refill mark are persisted in the sealed
+//!   [`FreshnessRecord`](crate::persist::FreshnessRecord); a reboot
+//!   restores them (the device's cycle clock survives reset, so elapsed
+//!   time is still credited correctly), and a missing or tampered record
+//!   restores a conservatively *empty* bucket.
+//!
+//! Below a configurable battery fraction the controller additionally
+//! enters **degraded mode**: only requests bearing a *fresh* monotonic
+//! counter/timestamp (strictly newer than the protected `counter_R` word)
+//! are admitted, so replayed floods are shed before the MAC check. A
+//! forger can still fabricate fresh-looking counters in the
+//! unauthenticated header — those die at the auth check as usual — but
+//! the replay/duplicate traffic that dominates real storms becomes free.
+
+use proverguard_mcu::cycles::{ms_to_cycles, CLOCK_HZ};
+
+/// Configuration of the prover's admission controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Bucket capacity in cycles. Bounds the burst of attestation work
+    /// the prover will perform back to back.
+    pub burst_cycles: u64,
+    /// Refill rate as a per-mille duty cycle: for every 1000 cycles of
+    /// wall time, this many cycles of attestation budget accrue. 50 ‰
+    /// means the prover will spend at most ~5 % of its time (and thus
+    /// ~5 % of its active-energy budget) on attestation, sustained.
+    pub duty_per_mille: u64,
+    /// Minimum tokens required to admit a request — the worst-case
+    /// pipeline cost, so an admitted request can always run to completion
+    /// within budget.
+    pub reserve_cycles: u64,
+    /// Battery fraction below which degraded mode engages.
+    pub degraded_battery_fraction: f64,
+}
+
+impl AdmissionPolicy {
+    /// The recommended deployment: a burst of two whole-memory MACs,
+    /// a 5 % duty cycle, degraded mode below 20 % battery.
+    #[must_use]
+    pub fn recommended() -> Self {
+        // §3.1: the 512 KiB memory MAC costs ~754 ms ≈ 18.1 M cycles.
+        let mac = ms_to_cycles(754.0);
+        AdmissionPolicy {
+            burst_cycles: 2 * mac,
+            duty_per_mille: 50,
+            reserve_cycles: mac + mac / 8,
+            degraded_battery_fraction: 0.2,
+        }
+    }
+
+    /// Sustained admitted attestations per second this policy allows once
+    /// the burst is spent (refill rate over worst-case request cost).
+    #[must_use]
+    pub fn sustained_rate_hz(&self) -> f64 {
+        if self.reserve_cycles == 0 {
+            return f64::INFINITY;
+        }
+        (CLOCK_HZ as f64 * self.duty_per_mille as f64 / 1000.0) / self.reserve_cycles as f64
+    }
+}
+
+/// What the controller decided about one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Run the pipeline.
+    Admit,
+    /// Budget exhausted — shed with `RejectReason::Throttled`.
+    Throttled,
+    /// Low battery and the request carried no fresh counter — shed with
+    /// `RejectReason::DegradedMode`.
+    DegradedRefused,
+}
+
+/// Persistable controller state: the token count and the cycle-clock
+/// value at the last refill. Stored in the sealed freshness record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionSnapshot {
+    /// Tokens (cycles) in the bucket.
+    pub tokens: u64,
+    /// Device cycle-clock reading at the last refill.
+    pub refill_mark_cycles: u64,
+}
+
+/// Cumulative admission statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests admitted into the pipeline.
+    pub admitted: u64,
+    /// Requests shed because the bucket was below the reserve.
+    pub throttled: u64,
+    /// Requests shed by degraded mode (stale or missing counter).
+    pub degraded_refused: u64,
+    /// Total cycles debited from the bucket.
+    pub cycles_charged: u64,
+}
+
+/// The token bucket itself. Owned by the prover; all time comes from the
+/// device's cycle clock so the controller has no clock of its own to
+/// glitch.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    tokens: u64,
+    refill_mark_cycles: u64,
+    /// Remainder of the last refill in milli-tokens (cycles × duty ‰
+    /// not yet worth a whole token), so integer division never loses
+    /// budget across split refills.
+    refill_carry: u64,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// A controller starting with a full bucket at cycle-clock `now`.
+    #[must_use]
+    pub fn new(policy: AdmissionPolicy, now_cycles: u64) -> Self {
+        AdmissionController {
+            tokens: policy.burst_cycles,
+            refill_mark_cycles: now_cycles,
+            refill_carry: 0,
+            policy,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    /// Tokens currently in the bucket.
+    #[must_use]
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &AdmissionStats {
+        &self.stats
+    }
+
+    /// Credits the budget for wall time elapsed since the last refill.
+    pub fn refill(&mut self, now_cycles: u64) {
+        let elapsed = now_cycles.saturating_sub(self.refill_mark_cycles);
+        // Milli-tokens: saturation only matters for absurd elapsed times,
+        // where the bucket caps at `burst_cycles` anyway.
+        let milli = elapsed
+            .saturating_mul(self.policy.duty_per_mille)
+            .saturating_add(self.refill_carry);
+        self.refill_carry = milli % 1000;
+        self.refill_mark_cycles = now_cycles;
+        self.tokens = self
+            .tokens
+            .saturating_add(milli / 1000)
+            .min(self.policy.burst_cycles);
+    }
+
+    /// Decides one request. `battery_fraction` is the remaining battery
+    /// in `[0, 1]`; `has_fresh_counter` says whether the request's
+    /// freshness field is strictly newer than the protected state (only
+    /// consulted in degraded mode).
+    pub fn decide(&mut self, battery_fraction: f64, has_fresh_counter: bool) -> AdmissionDecision {
+        if battery_fraction < self.policy.degraded_battery_fraction && !has_fresh_counter {
+            self.stats.degraded_refused += 1;
+            return AdmissionDecision::DegradedRefused;
+        }
+        if self.tokens < self.policy.reserve_cycles {
+            self.stats.throttled += 1;
+            return AdmissionDecision::Throttled;
+        }
+        self.stats.admitted += 1;
+        AdmissionDecision::Admit
+    }
+
+    /// Debits actual pipeline spend (called after the request finishes,
+    /// whatever its outcome).
+    pub fn charge(&mut self, cycles: u64) {
+        self.tokens = self.tokens.saturating_sub(cycles);
+        self.stats.cycles_charged += cycles;
+    }
+
+    /// The persistable state.
+    #[must_use]
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        AdmissionSnapshot {
+            tokens: self.tokens,
+            refill_mark_cycles: self.refill_mark_cycles,
+        }
+    }
+
+    /// Restores from a trusted (seal-verified) snapshot at cycle-clock
+    /// `now`. The device's cycle clock persists across reset, so time
+    /// elapsed while the record sat in flash is credited by the next
+    /// [`AdmissionController::refill`]; a snapshot from the future (a
+    /// clock that somehow went backwards) is clamped to `now`.
+    pub fn restore(&mut self, snapshot: AdmissionSnapshot, now_cycles: u64) {
+        self.tokens = snapshot.tokens.min(self.policy.burst_cycles);
+        self.refill_mark_cycles = snapshot.refill_mark_cycles.min(now_cycles);
+        self.refill_carry = 0;
+    }
+
+    /// Conservative post-tamper state: an *empty* bucket, so a reboot
+    /// with a missing or forged record never refills the budget.
+    pub fn reset_empty(&mut self, now_cycles: u64) {
+        self.tokens = 0;
+        self.refill_mark_cycles = now_cycles;
+        self.refill_carry = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AdmissionPolicy {
+        AdmissionPolicy {
+            burst_cycles: 10_000,
+            duty_per_mille: 100, // 10 %
+            reserve_cycles: 4_000,
+            degraded_battery_fraction: 0.2,
+        }
+    }
+
+    #[test]
+    fn full_bucket_admits() {
+        let mut c = AdmissionController::new(policy(), 0);
+        assert_eq!(c.decide(1.0, false), AdmissionDecision::Admit);
+        assert_eq!(c.stats().admitted, 1);
+    }
+
+    #[test]
+    fn charge_below_reserve_throttles_until_refill() {
+        let mut c = AdmissionController::new(policy(), 0);
+        c.charge(7_000); // 3 000 left < 4 000 reserve
+        assert_eq!(c.decide(1.0, false), AdmissionDecision::Throttled);
+        // 10 % duty: 10 000 cycles of wall time earn 1 000 tokens.
+        c.refill(10_000);
+        assert_eq!(c.tokens(), 4_000);
+        assert_eq!(c.decide(1.0, false), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut c = AdmissionController::new(policy(), 0);
+        c.refill(u64::MAX / 2);
+        assert_eq!(c.tokens(), policy().burst_cycles);
+    }
+
+    #[test]
+    fn refill_is_exact_over_split_calls() {
+        // 10 % of 25 000 cycles = 2 500 tokens, regardless of how the
+        // elapsed time is chopped up.
+        let mut whole = AdmissionController::new(policy(), 0);
+        whole.charge(10_000);
+        whole.refill(25_000);
+        let mut split = AdmissionController::new(policy(), 0);
+        split.charge(10_000);
+        for now in [1, 7, 1_234, 24_999, 25_000] {
+            split.refill(now);
+        }
+        assert_eq!(whole.tokens(), 2_500);
+        assert_eq!(split.tokens(), 2_500);
+    }
+
+    #[test]
+    fn degraded_mode_requires_fresh_counter() {
+        let mut c = AdmissionController::new(policy(), 0);
+        assert_eq!(c.decide(0.1, false), AdmissionDecision::DegradedRefused);
+        assert_eq!(c.decide(0.1, true), AdmissionDecision::Admit);
+        // Above the threshold the counter is not consulted.
+        assert_eq!(c.decide(0.5, false), AdmissionDecision::Admit);
+        assert_eq!(c.stats().degraded_refused, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_tamper_reset() {
+        let mut c = AdmissionController::new(policy(), 0);
+        c.charge(2_500);
+        let snap = c.snapshot();
+        let mut restored = AdmissionController::new(policy(), 100);
+        restored.restore(snap, 100);
+        assert_eq!(restored.tokens(), 7_500);
+        restored.reset_empty(100);
+        assert_eq!(restored.tokens(), 0);
+        assert_eq!(restored.decide(1.0, false), AdmissionDecision::Throttled);
+    }
+
+    #[test]
+    fn restore_clamps_forged_token_counts() {
+        let mut c = AdmissionController::new(policy(), 0);
+        c.restore(
+            AdmissionSnapshot {
+                tokens: u64::MAX,
+                refill_mark_cycles: u64::MAX,
+            },
+            50,
+        );
+        assert_eq!(c.tokens(), policy().burst_cycles);
+        // A future refill mark was clamped, so refill cannot underflow.
+        c.refill(60);
+        assert!(c.tokens() <= policy().burst_cycles);
+    }
+
+    #[test]
+    fn sustained_rate_matches_duty_cycle() {
+        let p = AdmissionPolicy::recommended();
+        // 5 % of 24 MHz over ~20 M cycles/request ≈ 0.06 req/s.
+        let hz = p.sustained_rate_hz();
+        assert!(hz > 0.01 && hz < 1.0, "got {hz}");
+    }
+}

@@ -28,6 +28,14 @@ pub enum RejectReason {
     /// The wire bytes did not parse as a request at all (truncated,
     /// corrupted, or garbage) — rejected before any cryptography runs.
     Malformed,
+    /// The admission controller shed the request: the prover's
+    /// attestation cycle/energy budget is exhausted. Rejected before any
+    /// cryptography runs.
+    Throttled,
+    /// The prover is in low-battery degraded mode and the request did not
+    /// carry a fresh monotonic counter/timestamp. Rejected before any
+    /// cryptography runs.
+    DegradedMode,
 }
 
 impl fmt::Display for RejectReason {
@@ -46,6 +54,15 @@ impl fmt::Display for RejectReason {
                 write!(f, "freshness field kind does not match the policy")
             }
             RejectReason::Malformed => write!(f, "wire bytes failed to parse"),
+            RejectReason::Throttled => {
+                write!(
+                    f,
+                    "admission controller shed the request (budget exhausted)"
+                )
+            }
+            RejectReason::DegradedMode => {
+                write!(f, "low-battery degraded mode admits only fresh counters")
+            }
         }
     }
 }

@@ -1,0 +1,428 @@
+//! Verifier-side fleet management: health scoring, circuit breakers, and
+//! bounded-concurrency scheduling of attestation rounds.
+//!
+//! One [`SessionDriver`](crate::session::SessionDriver) grades a single
+//! channel; a real deployment attests *many* provers continuously. Doing
+//! that naively hurts the fleet twice over: a dead or depleted device
+//! eats a full retry budget every round (the verifier becomes its own
+//! flood, §3.1's DoS economics turned inward), and a compromised device
+//! that will never verify keeps getting hammered anyway. The
+//! [`FleetController`] fixes both:
+//!
+//! - a per-device **health score** — an exponentially weighted moving
+//!   average of session outcomes — separates flaky from dead;
+//! - a per-device **circuit breaker** stops scheduling a device after
+//!   consecutive failures (`Closed → Open`), lets a cooldown pass, then
+//!   sends a single **probe** session (`Open → HalfOpen`); the probe's
+//!   outcome either re-closes the breaker or re-opens it for another
+//!   cooldown;
+//! - **bounded concurrency**: at most `max_concurrent` sessions per
+//!   scheduling round, handed out round-robin so every eligible device
+//!   eventually gets a turn — the liveness half of the soak invariants.
+//!
+//! The controller is pure policy: it decides *who* to attest and records
+//! *what happened*, while the caller owns the transports and runs the
+//! sessions. That keeps it deterministic and testable without a single
+//! simulated device.
+
+use crate::session::SessionReport;
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive session failures that trip `Closed → Open`.
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before allowing a half-open probe.
+    pub open_cooldown_ms: u64,
+    /// Probe successes required to re-close from `HalfOpen`.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            open_cooldown_ms: 30_000,
+            half_open_successes: 1,
+        }
+    }
+}
+
+/// Where a breaker is in its `Closed → Open → HalfOpen` cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: sessions flow normally.
+    Closed,
+    /// Tripped: no sessions until `until_ms`.
+    Open {
+        /// When the cooldown expires and a probe becomes legal.
+        until_ms: u64,
+    },
+    /// Cooldown expired: probe sessions decide which way to go.
+    HalfOpen,
+}
+
+/// One device's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    half_open_successes: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `policy`.
+    #[must_use]
+    pub fn new(policy: BreakerPolicy) -> Self {
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            half_open_successes: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has tripped open.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// May a session be attempted at `now_ms`? An expired cooldown flips
+    /// `Open → HalfOpen` as a side effect — the caller's next session
+    /// against this device is the probe.
+    pub fn can_attempt(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_ms } if now_ms >= until_ms => {
+                self.state = BreakerState::HalfOpen;
+                self.half_open_successes = 0;
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Feeds one session outcome back in.
+    pub fn record(&mut self, succeeded: bool, now_ms: u64) {
+        if succeeded {
+            self.consecutive_failures = 0;
+            match self.state {
+                BreakerState::HalfOpen => {
+                    self.half_open_successes += 1;
+                    if self.half_open_successes >= self.policy.half_open_successes {
+                        self.state = BreakerState::Closed;
+                    }
+                }
+                BreakerState::Closed | BreakerState::Open { .. } => {}
+            }
+            return;
+        }
+        self.consecutive_failures += 1;
+        let trip = match self.state {
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.policy.failure_threshold,
+            BreakerState::Open { .. } => false,
+        };
+        if trip {
+            self.state = BreakerState::Open {
+                until_ms: now_ms.saturating_add(self.policy.open_cooldown_ms),
+            };
+            self.trips += 1;
+        }
+    }
+}
+
+/// Fleet-level tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetPolicy {
+    /// Per-device breaker tuning.
+    pub breaker: BreakerPolicy,
+    /// Maximum sessions handed out per scheduling round.
+    pub max_concurrent: usize,
+    /// EWMA smoothing factor for the health score, in `(0, 1]`: the
+    /// weight of the newest outcome.
+    pub ewma_alpha: f64,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            breaker: BreakerPolicy::default(),
+            max_concurrent: 4,
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+/// Everything the controller knows about one device.
+#[derive(Debug, Clone)]
+pub struct DeviceHealth {
+    /// The device's circuit breaker.
+    pub breaker: CircuitBreaker,
+    /// EWMA of session outcomes in `[0, 1]`; starts at 1 (innocent until
+    /// proven flaky).
+    pub score: f64,
+    /// Sessions driven against this device.
+    pub sessions: u64,
+    /// Sessions that verified.
+    pub successes: u64,
+    /// When the last session finished, if any.
+    pub last_session_ms: Option<u64>,
+    /// When the last *successful* session finished, if any.
+    pub last_success_ms: Option<u64>,
+}
+
+impl DeviceHealth {
+    fn new(policy: &FleetPolicy) -> Self {
+        DeviceHealth {
+            breaker: CircuitBreaker::new(policy.breaker),
+            score: 1.0,
+            sessions: 0,
+            successes: 0,
+            last_session_ms: None,
+            last_success_ms: None,
+        }
+    }
+
+    /// `true` while the breaker is closed.
+    #[must_use]
+    pub fn available(&self) -> bool {
+        self.breaker.state() == BreakerState::Closed
+    }
+
+    /// `true` once the health score has decayed below `threshold` — the
+    /// "looks compromised or depleted" signal operators alert on.
+    #[must_use]
+    pub fn suspect(&self, threshold: f64) -> bool {
+        self.score < threshold
+    }
+}
+
+/// Schedules attestation rounds across N provers.
+#[derive(Debug, Clone)]
+pub struct FleetController {
+    policy: FleetPolicy,
+    devices: Vec<DeviceHealth>,
+    /// Round-robin start position for the next schedule call.
+    cursor: usize,
+}
+
+impl FleetController {
+    /// A controller for `n` devices.
+    #[must_use]
+    pub fn new(n: usize, policy: FleetPolicy) -> Self {
+        FleetController {
+            devices: (0..n).map(|_| DeviceHealth::new(&policy)).collect(),
+            policy,
+            cursor: 0,
+        }
+    }
+
+    /// Number of managed devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` when managing no devices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// One device's health record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn device(&self, index: usize) -> &DeviceHealth {
+        &self.devices[index]
+    }
+
+    /// All device health records.
+    #[must_use]
+    pub fn devices(&self) -> &[DeviceHealth] {
+        &self.devices
+    }
+
+    /// Picks the devices to attest this round: up to `max_concurrent`,
+    /// round-robin from where the last round stopped, skipping devices
+    /// whose breaker is open. Expired cooldowns flip to half-open here
+    /// and get their probe slot like anyone else.
+    pub fn schedule(&mut self, now_ms: u64) -> Vec<usize> {
+        let n = self.devices.len();
+        if n == 0 || self.policy.max_concurrent == 0 {
+            return Vec::new();
+        }
+        let mut chosen = Vec::new();
+        for step in 0..n {
+            if chosen.len() >= self.policy.max_concurrent {
+                break;
+            }
+            let idx = (self.cursor + step) % n;
+            if self.devices[idx].breaker.can_attempt(now_ms) {
+                chosen.push(idx);
+            }
+        }
+        // Next round starts after the last device we *considered*, so a
+        // long streak of open breakers cannot starve the tail.
+        self.cursor = (self.cursor + n.min(self.policy.max_concurrent.max(1))) % n;
+        chosen
+    }
+
+    /// Records a driven session's outcome for `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn record(&mut self, index: usize, report: &SessionReport, now_ms: u64) {
+        self.record_outcome(index, report.succeeded(), now_ms);
+    }
+
+    /// Records a bare success/failure for `index` (for callers that do
+    /// not use [`SessionReport`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn record_outcome(&mut self, index: usize, succeeded: bool, now_ms: u64) {
+        let alpha = self.policy.ewma_alpha;
+        let d = &mut self.devices[index];
+        d.sessions += 1;
+        d.last_session_ms = Some(now_ms);
+        if succeeded {
+            d.successes += 1;
+            d.last_success_ms = Some(now_ms);
+        }
+        let outcome = if succeeded { 1.0 } else { 0.0 };
+        d.score = alpha * outcome + (1.0 - alpha) * d.score;
+        d.breaker.record(succeeded, now_ms);
+    }
+
+    /// Indices of devices whose breaker is currently not closed.
+    #[must_use]
+    pub fn open_devices(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.available())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> FleetPolicy {
+        FleetPolicy {
+            breaker: BreakerPolicy {
+                failure_threshold: 2,
+                open_cooldown_ms: 1_000,
+                half_open_successes: 1,
+            },
+            max_concurrent: 2,
+            ewma_alpha: 0.5,
+        }
+    }
+
+    #[test]
+    fn breaker_full_cycle() {
+        let mut b = CircuitBreaker::new(policy().breaker);
+        assert!(b.can_attempt(0));
+        b.record(false, 0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(false, 10);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 1_010 });
+        assert_eq!(b.trips(), 1);
+        // Cooldown not yet over.
+        assert!(!b.can_attempt(500));
+        // Expired: half-open, probe allowed.
+        assert!(b.can_attempt(1_010));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Failed probe re-opens immediately.
+        b.record(false, 1_020);
+        assert_eq!(b.state(), BreakerState::Open { until_ms: 2_020 });
+        // Next probe succeeds: closed again.
+        assert!(b.can_attempt(2_020));
+        b.record(true, 2_030);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn success_in_closed_state_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(policy().breaker);
+        b.record(false, 0);
+        b.record(true, 1);
+        b.record(false, 2);
+        // Two non-consecutive failures: still closed.
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn schedule_is_bounded_and_fair() {
+        let mut fleet = FleetController::new(5, policy());
+        let first = fleet.schedule(0);
+        assert_eq!(first, vec![0, 1]);
+        let second = fleet.schedule(0);
+        assert_eq!(second, vec![2, 3]);
+        let third = fleet.schedule(0);
+        assert_eq!(third, vec![4, 0]);
+    }
+
+    #[test]
+    fn open_breakers_are_skipped_then_probed() {
+        let mut fleet = FleetController::new(3, policy());
+        // Device 1 fails twice: breaker opens.
+        for _ in 0..2 {
+            fleet.record_outcome(1, false, 0);
+        }
+        assert_eq!(fleet.open_devices(), vec![1]);
+        // While open, schedule never hands out device 1 …
+        for _ in 0..4 {
+            assert!(!fleet.schedule(10).contains(&1));
+        }
+        // … but after the cooldown it gets a probe slot again.
+        let later: Vec<usize> = (0..3).flat_map(|_| fleet.schedule(2_000)).collect();
+        assert!(later.contains(&1));
+        assert_eq!(fleet.device(1).breaker.state(), BreakerState::HalfOpen);
+        // A successful probe re-closes it.
+        fleet.record_outcome(1, true, 2_100);
+        assert!(fleet.device(1).available());
+    }
+
+    #[test]
+    fn health_score_decays_and_recovers() {
+        let mut fleet = FleetController::new(1, policy());
+        assert!(!fleet.device(0).suspect(0.5));
+        fleet.record_outcome(0, false, 0);
+        fleet.record_outcome(0, false, 1);
+        // 1.0 -> 0.5 -> 0.25 with alpha 0.5.
+        assert!(fleet.device(0).suspect(0.5));
+        fleet.record_outcome(0, true, 2);
+        fleet.record_outcome(0, true, 3);
+        assert!(fleet.device(0).score > 0.5);
+        assert_eq!(fleet.device(0).successes, 2);
+        assert_eq!(fleet.device(0).sessions, 4);
+    }
+
+    #[test]
+    fn empty_fleet_schedules_nothing() {
+        let mut fleet = FleetController::new(0, policy());
+        assert!(fleet.is_empty());
+        assert!(fleet.schedule(0).is_empty());
+    }
+}

@@ -44,10 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod auth;
 pub mod clock;
 pub mod clocksync;
 pub mod error;
+pub mod fleet;
 pub mod freshness;
 pub mod message;
 pub mod persist;
@@ -57,7 +59,11 @@ pub mod services;
 pub mod session;
 pub mod verifier;
 
+pub use admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
 pub use error::{AttestError, RejectReason};
+pub use fleet::{
+    BreakerPolicy, BreakerState, CircuitBreaker, DeviceHealth, FleetController, FleetPolicy,
+};
 pub use message::{AttestRequest, AttestResponse, FreshnessField};
 pub use persist::{
     FreshnessRecord, InMemoryNvStore, PersistedState, RecoveryOutcome, SharedNvStore,

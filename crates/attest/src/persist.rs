@@ -33,11 +33,14 @@ use crate::error::AttestError;
 /// responses and sync/command authenticators).
 const SEAL_DOMAIN: &[u8] = b"proverguard-nv-v1";
 
-/// Magic bytes identifying a freshness record.
-const MAGIC: &[u8; 8] = b"PGNVREC1";
+/// Magic bytes identifying a freshness record. The trailing digit is the
+/// format version: v2 appended the admission-budget words, and a v1
+/// record (or any other magic) is refused outright — a downgrade to the
+/// budget-free format would itself be a rollback.
+const MAGIC: &[u8; 8] = b"PGNVREC2";
 
 /// Byte length of an encoded (unsealed) record.
-pub const RECORD_LEN: usize = 8 + 4 * 8;
+pub const RECORD_LEN: usize = 8 + 6 * 8;
 
 /// A non-volatile storage cell the prover can save one record into.
 ///
@@ -143,6 +146,12 @@ pub struct FreshnessRecord {
     /// written — re-seeded as the clock offset after reboot, since the raw
     /// clock restarts from zero.
     pub synced_ms: u64,
+    /// Admission-controller tokens (cycles) at the time of writing; zero
+    /// when no controller is installed.
+    pub admission_tokens: u64,
+    /// Cycle-clock reading at the controller's last refill; zero when no
+    /// controller is installed.
+    pub admission_refill_mark: u64,
 }
 
 impl FreshnessRecord {
@@ -162,6 +171,8 @@ impl FreshnessRecord {
             sync_counter: u64::from_le_bytes(trust[8..16].try_into().expect("8 bytes")),
             command_counter: u64::from_le_bytes(trust[16..24].try_into().expect("8 bytes")),
             synced_ms,
+            admission_tokens: 0,
+            admission_refill_mark: 0,
         })
     }
 
@@ -192,6 +203,8 @@ impl FreshnessRecord {
             self.sync_counter,
             self.command_counter,
             self.synced_ms,
+            self.admission_tokens,
+            self.admission_refill_mark,
         ] {
             out.extend_from_slice(&word.to_le_bytes());
         }
@@ -212,6 +225,8 @@ impl FreshnessRecord {
             sync_counter: word(1),
             command_counter: word(2),
             synced_ms: word(3),
+            admission_tokens: word(4),
+            admission_refill_mark: word(5),
         })
     }
 
@@ -279,6 +294,8 @@ mod tests {
             sync_counter: 3,
             command_counter: 1,
             synced_ms: 42_000,
+            admission_tokens: 9_999,
+            admission_refill_mark: 123_456,
         }
     }
 
@@ -313,7 +330,16 @@ mod tests {
         let mut mcu = Mcu::new();
         record().restore(&mut mcu, map::BOOT_PC).unwrap();
         let captured = FreshnessRecord::capture(&mut mcu, 42_000).unwrap();
-        assert_eq!(captured, record());
+        // The admission words live host-side, not in device RAM: capture
+        // leaves them zero for the prover to fill in.
+        assert_eq!(
+            captured,
+            FreshnessRecord {
+                admission_tokens: 0,
+                admission_refill_mark: 0,
+                ..record()
+            }
+        );
         // The offset word was seeded with synced_ms.
         assert_eq!(
             crate::clocksync::read_offset_ms(&mut mcu).unwrap(),

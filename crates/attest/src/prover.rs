@@ -16,12 +16,15 @@ use proverguard_mcu::rtc::HwRtc;
 use proverguard_mcu::timer::TIMER_WRAP_VECTOR;
 use proverguard_mcu::CLOCK_HZ;
 
+use crate::admission::{
+    AdmissionController, AdmissionDecision, AdmissionPolicy, AdmissionSnapshot,
+};
 use crate::auth::{AuthMethod, RequestChecker, RequestSigner};
 use crate::clock::{ClockKind, ProverClock, CLOCK_HANDLER_ADDR};
 use crate::clocksync::{self, SyncOutcome, SyncParams, SyncRequest};
 use crate::error::{AttestError, RejectReason};
 use crate::freshness::{FreshnessKind, FreshnessPolicy};
-use crate::message::{AttestRequest, AttestResponse};
+use crate::message::{AttestRequest, AttestResponse, FreshnessField};
 use crate::persist::{FreshnessRecord, PersistedState, RecoveryOutcome};
 use crate::profile::{rules_for, Protection};
 use crate::services::{self, CommandReceipt, CommandRequest};
@@ -112,6 +115,8 @@ impl ProverConfig {
 pub struct CostBreakdown {
     /// Wire-parsing cycles (0 when the request arrived pre-parsed).
     pub parse_cycles: u64,
+    /// Admission-control cycles (0 when no controller is installed).
+    pub admission_cycles: u64,
     /// Request-authentication cycles.
     pub auth_cycles: u64,
     /// Freshness-check cycles (bus accesses + comparison).
@@ -124,7 +129,11 @@ impl CostBreakdown {
     /// Total cycles.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.parse_cycles + self.auth_cycles + self.freshness_cycles + self.response_cycles
+        self.parse_cycles
+            + self.admission_cycles
+            + self.auth_cycles
+            + self.freshness_cycles
+            + self.response_cycles
     }
 
     /// Total milliseconds on the 24 MHz device.
@@ -147,6 +156,10 @@ pub struct ProverStats {
     pub rejected_freshness: u64,
     /// Wire requests dropped because the bytes did not parse at all.
     pub rejected_malformed: u64,
+    /// Requests shed by the admission controller (budget exhausted).
+    pub rejected_throttled: u64,
+    /// Requests shed by low-battery degraded mode (no fresh counter).
+    pub rejected_degraded: u64,
     /// Reboots survived ([`Prover::reboot`]).
     pub reboots: u64,
     /// Reboots where an attached store's record failed validation and the
@@ -162,6 +175,12 @@ const FRESHNESS_OVERHEAD_CYCLES: u64 = 64;
 /// Nominal cycles for the wire-format parse (length/tag checks and a few
 /// copies — deliberately tiny, so garbage is the cheapest thing to reject).
 const PARSE_OVERHEAD_CYCLES: u64 = 96;
+
+/// Nominal cycles for the admission decision (a bucket compare plus, in
+/// degraded mode, one protected-word read) — cheaper than even the
+/// Speck block check, so shed traffic is the next-cheapest thing to
+/// reject after garbage.
+const ADMISSION_OVERHEAD_CYCLES: u64 = 32;
 
 /// The prover device plus its trust anchor.
 #[derive(Debug, Clone)]
@@ -180,6 +199,8 @@ pub struct Prover {
     boot_reference: [u8; DIGEST_SIZE],
     /// Optional non-volatile store for the freshness record.
     nv: Option<Box<dyn PersistedState>>,
+    /// Optional admission controller gating the whole pipeline.
+    admission: Option<AdmissionController>,
 }
 
 impl Prover {
@@ -247,7 +268,22 @@ impl Prover {
             last_cost: CostBreakdown::default(),
             boot_reference,
             nv: None,
+            admission: None,
         })
+    }
+
+    /// Installs (or removes) the admission controller. The bucket starts
+    /// full; after a reboot the persisted budget is restored instead, so
+    /// power-cycling is never a way to refill it.
+    pub fn set_admission_policy(&mut self, policy: Option<AdmissionPolicy>) {
+        let now = self.mcu.clock().cycles();
+        self.admission = policy.map(|p| AdmissionController::new(p, now));
+    }
+
+    /// The admission controller, if one is installed.
+    #[must_use]
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
     }
 
     /// Attaches a non-volatile store for the freshness record and
@@ -383,6 +419,42 @@ impl Prover {
         &mut self,
         request: &CommandRequest,
     ) -> Result<CommandReceipt, AttestError> {
+        let start_cycles = self.mcu.clock().cycles();
+        let result = self.handle_command_gated(request);
+        if let Some(ctrl) = self.admission.as_mut() {
+            let spent = self.mcu.clock().cycles().saturating_sub(start_cycles);
+            ctrl.charge(spent);
+        }
+        result
+    }
+
+    fn handle_command_gated(
+        &mut self,
+        request: &CommandRequest,
+    ) -> Result<CommandReceipt, AttestError> {
+        // Stage 0: admission — a shed command never pays the auth check,
+        // let alone its (possibly flash-sized) execution cost.
+        if self.admission.is_some() {
+            self.mcu.advance_active(ADMISSION_OVERHEAD_CYCLES);
+            let battery_fraction = self.mcu.battery().remaining_fraction();
+            let now_cycles = self.mcu.clock().cycles();
+            let fresh = services::peek_command_counter(&mut self.mcu)
+                .is_some_and(|last| request.counter > last);
+            if let Some(ctrl) = self.admission.as_mut() {
+                ctrl.refill(now_cycles);
+                match ctrl.decide(battery_fraction, fresh) {
+                    AdmissionDecision::Admit => {}
+                    AdmissionDecision::Throttled => {
+                        self.stats.rejected_throttled += 1;
+                        return Err(AttestError::Rejected(RejectReason::Throttled));
+                    }
+                    AdmissionDecision::DegradedRefused => {
+                        self.stats.rejected_degraded += 1;
+                        return Err(AttestError::Rejected(RejectReason::DegradedMode));
+                    }
+                }
+            }
+        }
         let cycles = self.checker.check_cycles(self.mcu.cost_table());
         self.mcu.advance_active(cycles);
         if !self.checker.check(&request.signed_bytes(), &request.auth) {
@@ -448,6 +520,33 @@ impl Prover {
         mut cost: CostBreakdown,
     ) -> Result<AttestResponse, AttestError> {
         self.stats.requests_seen += 1;
+
+        // Stage 0: admission control. Shed load before any cryptography —
+        // a throttled request costs the bucket compare, nothing more.
+        if self.admission.is_some() {
+            cost.admission_cycles = ADMISSION_OVERHEAD_CYCLES;
+            self.mcu.advance_active(cost.admission_cycles);
+            let battery_fraction = self.mcu.battery().remaining_fraction();
+            let now_cycles = self.mcu.clock().cycles();
+            let fresh = self.freshness_peek(&request.freshness);
+            if let Some(ctrl) = self.admission.as_mut() {
+                ctrl.refill(now_cycles);
+                match ctrl.decide(battery_fraction, fresh) {
+                    AdmissionDecision::Admit => {}
+                    AdmissionDecision::Throttled => {
+                        self.stats.rejected_throttled += 1;
+                        self.finish(cost);
+                        return Err(AttestError::Rejected(RejectReason::Throttled));
+                    }
+                    AdmissionDecision::DegradedRefused => {
+                        self.stats.rejected_degraded += 1;
+                        self.finish(cost);
+                        return Err(AttestError::Rejected(RejectReason::DegradedMode));
+                    }
+                }
+            }
+        }
+
         let message = request.signed_bytes();
 
         // Stage 1: authenticate the request (§4.1). The check itself costs
@@ -500,7 +599,34 @@ impl Prover {
 
     fn finish(&mut self, cost: CostBreakdown) {
         self.stats.attestation_cycles += cost.total();
+        // The budget tracks actual spend: accepted requests debit their
+        // full MAC cost, rejects only what their check cost.
+        if let Some(ctrl) = self.admission.as_mut() {
+            ctrl.charge(cost.total());
+        }
         self.last_cost = cost;
+    }
+
+    /// Cheap pre-auth peek for degraded mode: is the request's freshness
+    /// field strictly newer than the protected `counter_R` word? (An
+    /// unauthenticated header can of course *claim* freshness — forgeries
+    /// still die at the auth check; this gate exists to shed the replayed
+    /// and duplicated traffic that dominates storms.)
+    fn freshness_peek(&mut self, field: &FreshnessField) -> bool {
+        let mut buf = [0u8; 8];
+        if self
+            .mcu
+            .bus_read(map::COUNTER_R.start, &mut buf, map::ATTEST_PC)
+            .is_err()
+        {
+            return false;
+        }
+        let last = u64::from_le_bytes(buf);
+        match field {
+            FreshnessField::Counter(c) => *c > last,
+            FreshnessField::Timestamp(t) => *t > last,
+            FreshnessField::None | FreshnessField::Nonce(_) => false,
+        }
     }
 
     /// Saves the current freshness state into the attached store (no-op
@@ -512,7 +638,12 @@ impl Prover {
             return Ok(());
         }
         let synced_ms = self.synced_now_ms()?.unwrap_or(0);
-        let record = FreshnessRecord::capture(&mut self.mcu, synced_ms)?;
+        let mut record = FreshnessRecord::capture(&mut self.mcu, synced_ms)?;
+        if let Some(ctrl) = &self.admission {
+            let snap = ctrl.snapshot();
+            record.admission_tokens = snap.tokens;
+            record.admission_refill_mark = snap.refill_mark_cycles;
+        }
         let bytes = match self.config.protection {
             Protection::EaMac => record.seal(&self.response_key),
             Protection::Open => record.encode(),
@@ -585,6 +716,26 @@ impl Prover {
         self.policy = FreshnessPolicy::new(self.config.freshness);
         self.clock = ProverClock::new(self.config.clock);
         self.last_cost = CostBreakdown::default();
+
+        // The admission budget is restored from the (seal-verified)
+        // record; anything else — no store, empty, tampered — reboots
+        // into an *empty* bucket so power-cycling never refills it. The
+        // cycle clock survives reset, so legitimately elapsed time is
+        // still credited at the next refill.
+        if let Some(ctrl) = self.admission.as_mut() {
+            let now_cycles = self.mcu.clock().cycles();
+            if let RecoveryOutcome::Restored(record) = &outcome {
+                ctrl.restore(
+                    AdmissionSnapshot {
+                        tokens: record.admission_tokens,
+                        refill_mark_cycles: record.admission_refill_mark,
+                    },
+                    now_cycles,
+                );
+            } else {
+                ctrl.reset_empty(now_cycles);
+            }
+        }
 
         self.stats.reboots += 1;
         if outcome == RecoveryOutcome::TamperDetected {

@@ -134,6 +134,12 @@ fn read_command_counter(mcu: &mut Mcu) -> Result<u64, AttestError> {
     Ok(u64::from_le_bytes(buf))
 }
 
+/// Pre-auth peek at the command counter for the degraded-mode admission
+/// gate; `None` if the protected word is unreadable.
+pub(crate) fn peek_command_counter(mcu: &mut Mcu) -> Option<u64> {
+    read_command_counter(mcu).ok()
+}
+
 fn write_command_counter(mcu: &mut Mcu, value: u64) -> Result<(), AttestError> {
     mcu.bus_write(COMMAND_COUNTER_ADDR, &value.to_le_bytes(), map::ATTEST_PC)?;
     Ok(())

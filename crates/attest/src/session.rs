@@ -44,10 +44,13 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Backoff to wait after failed attempt number `attempt` (1-based):
-    /// `base * factor^(attempt-1)`, saturating.
+    /// `base * factor^(attempt-1)`, saturating. The exponent is capped at
+    /// 63: any factor ≥ 2 has saturated every u64 base by then, and the
+    /// cap keeps absurd attempt counts from ever wrapping the arithmetic.
     #[must_use]
     pub fn backoff_ms(&self, attempt: u32) -> u64 {
-        let exp = u64::from(self.backoff_factor).saturating_pow(attempt.saturating_sub(1));
+        let shift = attempt.saturating_sub(1).min(63);
+        let exp = u64::from(self.backoff_factor).saturating_pow(shift);
         self.backoff_base_ms.saturating_mul(exp)
     }
 }
@@ -108,10 +111,14 @@ impl SessionReport {
         self.attempts.len() as u32
     }
 
-    /// Total backoff time spent waiting between attempts.
+    /// Total backoff time spent waiting between attempts, saturating: a
+    /// session whose per-attempt backoffs saturated must not overflow the
+    /// sum (a plain `sum()` would panic in debug builds).
     #[must_use]
     pub fn total_backoff_ms(&self) -> u64 {
-        self.attempts.iter().map(|a| a.backoff_ms).sum()
+        self.attempts
+            .iter()
+            .fold(0u64, |acc, a| acc.saturating_add(a.backoff_ms))
     }
 }
 
@@ -261,6 +268,29 @@ mod tests {
             .backoff_ms(5),
             u64::MAX
         );
+        // Huge attempt numbers hit the exponent cap, not a wrap or a
+        // pathological pow.
+        assert_eq!(policy.backoff_ms(u32::MAX), policy.backoff_ms(64));
+        assert_eq!(policy.backoff_ms(200), u64::MAX);
+        // A factor-1 schedule stays flat no matter the attempt count.
+        let flat = RetryPolicy {
+            backoff_factor: 1,
+            ..policy
+        };
+        assert_eq!(flat.backoff_ms(u32::MAX), flat.backoff_base_ms);
+    }
+
+    #[test]
+    fn total_backoff_saturates_instead_of_overflowing() {
+        let mut report = SessionReport::default();
+        for attempt in 1..=3 {
+            report.attempts.push(AttemptRecord {
+                attempt,
+                outcome: AttemptOutcome::RequestLost,
+                backoff_ms: u64::MAX / 2 + 1,
+            });
+        }
+        assert_eq!(report.total_backoff_ms(), u64::MAX);
     }
 
     /// A link that fails `fail_first` times, then succeeds.

@@ -137,6 +137,12 @@ impl Mcu {
         &self.battery
     }
 
+    /// Swaps in a different battery (fleet experiments provision devices
+    /// with varying capacities; physically, a cell replacement).
+    pub fn set_battery(&mut self, battery: Battery) {
+        self.battery = battery;
+    }
+
     /// The Table 1 cost calibration.
     #[must_use]
     pub fn cost_table(&self) -> &CostTable {

@@ -1,0 +1,174 @@
+//! Integration: the admission controller sheds floods *before* the
+//! pipeline spends anything expensive.
+//!
+//! The scenario the tentpole exists for: an attacker floods the gated
+//! command port with forged `UpdateFirmware` requests. Flash programming
+//! is the most expensive thing a prover can be asked to do, and even the
+//! auth check that protects it costs a primitive block. With a small
+//! admission bucket the flood must be shed with `Throttled` after a few
+//! dozen cycles each — the flash is never touched and the bucket bounds
+//! total spend, whatever the flood's size.
+
+use proverguard_attest::admission::AdmissionPolicy;
+use proverguard_attest::error::{AttestError, RejectReason};
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::services::Command;
+use proverguard_attest::services::CommandRequest;
+use proverguard_attest::verifier::Verifier;
+use proverguard_crypto::sha1::Sha1;
+use proverguard_mcu::energy::{Battery, DEFAULT_NJ_PER_CYCLE};
+
+const KEY: [u8; 16] = [0x42; 16];
+const IMAGE: &[u8] = b"genuine app image v1";
+
+/// A bucket big enough for ~90 auth checks, then empty; refill is a
+/// glacial 0.1 % duty cycle so the flood cannot outwait it.
+fn tiny_bucket() -> AdmissionPolicy {
+    AdmissionPolicy {
+        burst_cycles: 60_000,
+        duty_per_mille: 1,
+        reserve_cycles: 20_000,
+        degraded_battery_fraction: 0.2,
+    }
+}
+
+fn forged_update(counter: u64) -> CommandRequest {
+    CommandRequest {
+        counter,
+        command: Command::UpdateFirmware {
+            image: vec![0xEE; 4096],
+        },
+        auth: vec![0u8; 8], // garbage — the attacker has no key
+    }
+}
+
+#[test]
+fn forged_update_flood_is_throttled_before_flash_cost() {
+    let config = ProverConfig::recommended();
+    let mut defended = Prover::provision(config.clone(), &KEY, IMAGE).unwrap();
+    defended.set_admission_policy(Some(tiny_bucket()));
+    let mut undefended = Prover::provision(config, &KEY, IMAGE).unwrap();
+
+    let flash_before = defended.mcu().physical_memory().flash().to_vec();
+    let defended_start = defended.mcu().clock().cycles();
+    let undefended_start = undefended.mcu().clock().cycles();
+
+    for i in 1..=1000u64 {
+        let bogus = forged_update(i);
+        let defended_result = defended.handle_command(&bogus);
+        assert!(defended_result.is_err(), "forgery {i} must not execute");
+        assert!(undefended.handle_command(&bogus).is_err());
+        // Every defended rejection is pre-MAC-gate: throttled once the
+        // bucket empties, BadAuth while it still admits.
+        match defended_result.unwrap_err() {
+            AttestError::Rejected(RejectReason::Throttled | RejectReason::BadAuth) => {}
+            other => panic!("unexpected rejection for forgery {i}: {other}"),
+        }
+    }
+
+    // The bucket shed the overwhelming majority of the flood...
+    let stats = defended.stats();
+    assert!(
+        stats.rejected_throttled >= 800,
+        "only {} of 1000 forgeries were throttled",
+        stats.rejected_throttled
+    );
+    // ...so the defended prover spent far fewer cycles than one paying
+    // the auth check for every forgery.
+    let defended_spend = defended.mcu().clock().cycles() - defended_start;
+    let undefended_spend = undefended.mcu().clock().cycles() - undefended_start;
+    assert!(
+        defended_spend * 2 < undefended_spend,
+        "throttling saved nothing: {defended_spend} vs {undefended_spend} cycles"
+    );
+    // And the flash — the cost the gate protects — was never touched.
+    assert_eq!(defended.mcu().physical_memory().flash(), &flash_before[..]);
+    // The admission budget bounds total spend: bucket plus per-request
+    // shed overhead, nowhere near the flood's nominal auth cost.
+    assert!(
+        defended_spend < tiny_bucket().burst_cycles + 1000 * 100,
+        "spend {defended_spend} exceeds the admission budget's bound"
+    );
+}
+
+#[test]
+fn genuine_update_still_lands_after_refill() {
+    let config = ProverConfig::recommended();
+    let mut prover = Prover::provision(config.clone(), &KEY, IMAGE).unwrap();
+    let mut verifier = Verifier::new(&config, &KEY).unwrap();
+    prover.set_admission_policy(Some(tiny_bucket()));
+
+    // Empty the bucket with a short forged flood.
+    for i in 1..=200u64 {
+        let _ = prover.handle_command(&forged_update(i));
+    }
+    // A genuine command right now is shed like everything else...
+    let new_image = b"genuine app image v2".to_vec();
+    let request = verifier.make_command(Command::UpdateFirmware {
+        image: new_image.clone(),
+    });
+    assert!(matches!(
+        prover.handle_command(&request),
+        Err(AttestError::Rejected(RejectReason::Throttled))
+    ));
+    // ...but after idle wall time the 0.1 % duty cycle has refilled the
+    // reserve, and the same verifier retries successfully.
+    prover.advance_time_ms(2_000).unwrap();
+    let retry = verifier.make_command(Command::UpdateFirmware {
+        image: new_image.clone(),
+    });
+    let receipt = prover
+        .handle_command(&retry)
+        .expect("refilled bucket admits");
+    let mut expected_flash = new_image.clone();
+    expected_flash.resize(prover.mcu().physical_memory().flash().len(), 0);
+    assert!(verifier.check_command_receipt(
+        &receipt,
+        &retry.command,
+        &Sha1::digest(&expected_flash)
+    ));
+    assert_eq!(
+        &prover.mcu().physical_memory().flash()[..new_image.len()],
+        &new_image[..]
+    );
+}
+
+#[test]
+fn degraded_mode_admits_only_fresh_counters() {
+    let config = ProverConfig::recommended();
+    let mut prover = Prover::provision(config.clone(), &KEY, IMAGE).unwrap();
+    let mut verifier = Verifier::new(&config, &KEY).unwrap();
+    prover.set_admission_policy(Some(AdmissionPolicy::recommended()));
+
+    // Put the battery at ~10 %: below the 20 % degraded threshold.
+    prover
+        .mcu_mut()
+        .set_battery(Battery::new(0.001, DEFAULT_NJ_PER_CYCLE));
+    prover.mcu_mut().advance_active(720_000);
+    assert!(prover.mcu().battery().remaining_fraction() < 0.2);
+
+    // A genuine attestation with a fresh counter is admitted and runs.
+    let fresh = verifier.make_request().unwrap();
+    let response = prover.handle_request(&fresh).unwrap();
+    assert!(verifier.check_response(&fresh, &response, prover.expected_memory()));
+
+    // Replaying it is shed by the degraded gate — before the auth check,
+    // so cheaper than even the normal StaleCounter rejection.
+    assert!(matches!(
+        prover.handle_request(&fresh),
+        Err(AttestError::Rejected(RejectReason::DegradedMode))
+    ));
+    assert_eq!(prover.stats().rejected_degraded, 1);
+
+    // A forged "fresh" counter passes the peek but still dies at auth:
+    // degraded mode narrows the pipe, it does not replace the MAC check.
+    // (Idle first so the bucket refills past the reserve the genuine
+    // attestation consumed — otherwise the gate says Throttled instead.)
+    prover.advance_time_ms(5_000).unwrap();
+    let mut forged = verifier.make_request().unwrap();
+    forged.auth = vec![0u8; forged.auth.len()];
+    assert!(matches!(
+        prover.handle_request(&forged),
+        Err(AttestError::Rejected(RejectReason::BadAuth))
+    ));
+}

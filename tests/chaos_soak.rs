@@ -1,0 +1,59 @@
+//! Integration: the deterministic CI chaos soak and its liveness
+//! invariants (the gate `ci.sh` also runs via the `fleet_soak` binary).
+//!
+//! One fixed-seed scenario, the full stack: a 4-device fleet (one
+//! compromised, one behind a lossy radio that heals mid-run) under a
+//! per-round forgery flood, driven by the verifier-side fleet controller
+//! with admission control on every prover. The invariants are the
+//! robustness story in one assertion each: batteries stay above the
+//! floor, honest devices attest, breakers re-close when faults clear,
+//! compromised devices are quarantined.
+
+use proverguard_adversary::soak::{run_soak, DeviceRole, SoakConfig};
+
+#[test]
+fn ci_soak_holds_every_liveness_invariant() {
+    let cfg = SoakConfig::ci();
+    let report = run_soak(&cfg).expect("ci soak provisions");
+
+    assert!(
+        report.liveness_ok(),
+        "liveness violations: {:#?}",
+        report.violations
+    );
+    assert_eq!(report.devices.len(), 4);
+    assert_eq!(report.rounds, 10);
+    assert!(report.total_flood >= 400, "flood never ran");
+    assert!(report.total_successes > 0);
+
+    for device in &report.devices {
+        match device.role {
+            DeviceRole::Compromised => {
+                // Quarantined: never verified, breaker tripped, and the
+                // health score collapsed.
+                assert_eq!(device.successes, 0);
+                assert!(device.breaker_trips >= 1);
+                assert!(device.health_score < 0.5);
+            }
+            DeviceRole::Faulty => {
+                // Attested despite the lossy radio, and once the faults
+                // cleared the breaker ended the run closed.
+                assert!(device.successes >= 1);
+                assert!(device.breaker_closed);
+            }
+            DeviceRole::Honest => {
+                assert!(device.successes >= 1);
+                assert!(device.breaker_closed);
+                assert!(device.health_score > 0.5);
+            }
+        }
+        // The admission bucket kept every battery near full even though
+        // every device ate the whole flood.
+        assert!(
+            device.min_battery_fraction >= cfg.energy_floor_fraction,
+            "device {} fell to {}",
+            device.index,
+            device.min_battery_fraction
+        );
+    }
+}
