@@ -22,4 +22,7 @@ cargo test --workspace -q
 echo "== chaos soak (short deterministic gate) =="
 cargo run --release -q -p proverguard-bench --bin fleet_soak -- --ci
 
+echo "== telemetry trace report (phase table vs cycle model) =="
+cargo run --release -q -p proverguard-bench --bin trace_report -- --ci
+
 echo "CI green."

@@ -73,7 +73,7 @@ pub fn flood_with_forgeries(
     let start_energy = world.prover.mcu().battery().remaining_joules();
     let capacity = start_energy;
 
-    let mut answered = 0;
+    let mut answered = 0u64;
     for i in 0..n {
         // Adv_ext fabricates a request; without the key the auth bytes are
         // garbage. Freshness fields count up so that *unauthenticated*
@@ -98,12 +98,16 @@ pub fn flood_with_forgeries(
             auth: vec![0u8; 8],
         };
         if world.prover.handle_request(&bogus).is_ok() {
-            answered += 1;
+            answered = answered.saturating_add(1);
         }
         world.advance_ms(10)?;
     }
 
-    let cycles_burned = world.prover.stats().attestation_cycles - start_cycles;
+    let cycles_burned = world
+        .prover
+        .stats()
+        .attestation_cycles
+        .saturating_sub(start_cycles);
     let energy_joules = start_energy - world.prover.mcu().battery().remaining_joules();
     Ok(FloodReport {
         label: label.to_string(),
@@ -136,7 +140,7 @@ pub fn flood_with_garbage(
     let start_energy = world.prover.mcu().battery().remaining_joules();
     let capacity = start_energy;
 
-    let mut answered = 0;
+    let mut answered = 0u64;
     for i in 0..n {
         // Garbage that cannot be a valid message: wrong version byte up
         // front, then filler whose length walks through the interesting
@@ -144,12 +148,16 @@ pub fn flood_with_garbage(
         let mut blob = vec![0xff_u8];
         blob.extend((0..(i % 96)).map(|j| (i ^ j) as u8));
         if world.prover.handle_wire_request(&blob).is_ok() {
-            answered += 1;
+            answered = answered.saturating_add(1);
         }
         world.advance_ms(10)?;
     }
 
-    let cycles_burned = world.prover.stats().attestation_cycles - start_cycles;
+    let cycles_burned = world
+        .prover
+        .stats()
+        .attestation_cycles
+        .saturating_sub(start_cycles);
     let energy_joules = start_energy - world.prover.mcu().battery().remaining_joules();
     Ok(FloodReport {
         label: label.to_string(),

@@ -42,6 +42,7 @@ use proverguard_attest::session::{RetryPolicy, SessionDriver};
 use proverguard_attest::verifier::Verifier;
 use proverguard_attest::AdmissionPolicy;
 use proverguard_mcu::energy::{Battery, DEFAULT_NJ_PER_CYCLE};
+use proverguard_telemetry::metrics;
 
 use crate::fault::{FaultConfig, FaultyLink};
 use crate::world::{World, DEFAULT_IMAGE, DEFAULT_KEY};
@@ -323,34 +324,49 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, AttestError> {
         // traffic — worst case for the admission bucket.
         for link in links.iter_mut() {
             for _ in 0..cfg.flood_per_round {
-                flood_sequence += 1;
+                flood_sequence = flood_sequence.saturating_add(1);
                 let bogus = forged_request(
                     cfg.config.freshness,
                     flood_sequence,
                     link.world.verifier.now_ms(),
                 );
                 let _ = link.world.prover.handle_wire_request(&bogus.to_bytes());
-                total_flood += 1;
+                total_flood = total_flood.saturating_add(1);
             }
         }
+        metrics::counter_add(
+            "soak.flood.requests",
+            cfg.flood_per_round * cfg.devices as u64,
+        );
 
         // Bounded-concurrency attestation round.
         for idx in fleet.schedule(now_ms) {
             let report = driver.run(&mut links[idx]);
-            sessions[idx] += 1;
+            sessions[idx] = sessions[idx].saturating_add(1);
             if report.succeeded() {
-                successes[idx] += 1;
+                successes[idx] = successes[idx].saturating_add(1);
             }
             fleet.record(idx, &report, now_ms);
         }
 
-        // Idle out the rest of the round; track the battery floor.
+        // Idle out the rest of the round; track the battery floor and
+        // publish the per-tick device metrics the soak dashboards read.
         for (i, link) in links.iter_mut().enumerate() {
             let _ = link.world.advance_ms(cfg.round_ms);
             let fraction = link.world.prover.mcu().battery().remaining_fraction();
             if fraction < min_fraction[i] {
                 min_fraction[i] = fraction;
             }
+            let stats = link.world.prover.stats();
+            metrics::histogram_record(
+                "soak.device.battery_permille",
+                (fraction * 1000.0).clamp(0.0, 1000.0) as u64,
+            );
+            metrics::histogram_record(
+                "soak.device.requests_seen_per_round",
+                stats.requests_seen / round.saturating_add(1),
+            );
+            metrics::gauge_set("soak.round", round);
         }
     }
 
@@ -378,6 +394,18 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, AttestError> {
             breaker_closed: health.breaker.state() == BreakerState::Closed,
             health_score: health.score,
         };
+
+        // Accounting invariant: every request the prover saw was either
+        // accepted or counted by exactly one rejection statistic.
+        let stats = link.world.prover.stats();
+        if stats.requests_seen != stats.accepted.saturating_add(stats.rejected_total()) {
+            violations.push(format!(
+                "device {i} stats do not partition: {} seen != {} accepted + {} rejected",
+                stats.requests_seen,
+                stats.accepted,
+                stats.rejected_total()
+            ));
+        }
 
         if summary.min_battery_fraction < cfg.energy_floor_fraction {
             violations.push(format!(

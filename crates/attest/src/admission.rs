@@ -187,14 +187,14 @@ impl AdmissionController {
     /// consulted in degraded mode).
     pub fn decide(&mut self, battery_fraction: f64, has_fresh_counter: bool) -> AdmissionDecision {
         if battery_fraction < self.policy.degraded_battery_fraction && !has_fresh_counter {
-            self.stats.degraded_refused += 1;
+            self.stats.degraded_refused = self.stats.degraded_refused.saturating_add(1);
             return AdmissionDecision::DegradedRefused;
         }
         if self.tokens < self.policy.reserve_cycles {
-            self.stats.throttled += 1;
+            self.stats.throttled = self.stats.throttled.saturating_add(1);
             return AdmissionDecision::Throttled;
         }
-        self.stats.admitted += 1;
+        self.stats.admitted = self.stats.admitted.saturating_add(1);
         AdmissionDecision::Admit
     }
 
@@ -202,7 +202,7 @@ impl AdmissionController {
     /// whatever its outcome).
     pub fn charge(&mut self, cycles: u64) {
         self.tokens = self.tokens.saturating_sub(cycles);
-        self.stats.cycles_charged += cycles;
+        self.stats.cycles_charged = self.stats.cycles_charged.saturating_add(cycles);
     }
 
     /// The persistable state.

@@ -106,6 +106,7 @@ impl CircuitBreaker {
             BreakerState::Open { until_ms } if now_ms >= until_ms => {
                 self.state = BreakerState::HalfOpen;
                 self.half_open_successes = 0;
+                proverguard_telemetry::trace::event_with("fleet.breaker.half_open", now_ms);
                 true
             }
             BreakerState::Open { .. } => false,
@@ -121,13 +122,15 @@ impl CircuitBreaker {
                     self.half_open_successes += 1;
                     if self.half_open_successes >= self.policy.half_open_successes {
                         self.state = BreakerState::Closed;
+                        proverguard_telemetry::trace::event_with("fleet.breaker.closed", now_ms);
+                        proverguard_telemetry::metrics::counter_add("fleet.breaker.closes", 1);
                     }
                 }
                 BreakerState::Closed | BreakerState::Open { .. } => {}
             }
             return;
         }
-        self.consecutive_failures += 1;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
         let trip = match self.state {
             // A failed probe re-opens immediately.
             BreakerState::HalfOpen => true,
@@ -138,7 +141,9 @@ impl CircuitBreaker {
             self.state = BreakerState::Open {
                 until_ms: now_ms.saturating_add(self.policy.open_cooldown_ms),
             };
-            self.trips += 1;
+            self.trips = self.trips.saturating_add(1);
+            proverguard_telemetry::trace::event_with("fleet.breaker.open", now_ms);
+            proverguard_telemetry::metrics::counter_add("fleet.breaker.trips", 1);
         }
     }
 }

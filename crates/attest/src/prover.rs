@@ -169,6 +169,23 @@ pub struct ProverStats {
     pub attestation_cycles: u64,
 }
 
+impl ProverStats {
+    /// Requests rejected by any pipeline stage. Together with
+    /// [`ProverStats::accepted`] this partitions
+    /// [`ProverStats::requests_seen`]: the invariant
+    /// `requests_seen == accepted + rejected_total()` holds at every
+    /// quiescent point and is asserted by the fault-matrix tests and the
+    /// soak gate.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_auth
+            .saturating_add(self.rejected_freshness)
+            .saturating_add(self.rejected_malformed)
+            .saturating_add(self.rejected_throttled)
+            .saturating_add(self.rejected_degraded)
+    }
+}
+
 /// Nominal cycles for the freshness bookkeeping itself (a few bus words).
 const FRESHNESS_OVERHEAD_CYCLES: u64 = 64;
 
@@ -445,11 +462,13 @@ impl Prover {
                 match ctrl.decide(battery_fraction, fresh) {
                     AdmissionDecision::Admit => {}
                     AdmissionDecision::Throttled => {
-                        self.stats.rejected_throttled += 1;
+                        self.stats.rejected_throttled =
+                            self.stats.rejected_throttled.saturating_add(1);
                         return Err(AttestError::Rejected(RejectReason::Throttled));
                     }
                     AdmissionDecision::DegradedRefused => {
-                        self.stats.rejected_degraded += 1;
+                        self.stats.rejected_degraded =
+                            self.stats.rejected_degraded.saturating_add(1);
                         return Err(AttestError::Rejected(RejectReason::DegradedMode));
                     }
                 }
@@ -498,14 +517,14 @@ impl Prover {
             parse_cycles: PARSE_OVERHEAD_CYCLES,
             ..CostBreakdown::default()
         };
-        self.mcu.advance_active(cost.parse_cycles);
+        self.charge_stage("prover.parse", cost.parse_cycles, |_| ());
         match AttestRequest::from_bytes(bytes) {
             Ok(request) => self
                 .handle_parsed(&request, cost)
                 .map(|response| response.to_bytes()),
             Err(_) => {
-                self.stats.requests_seen += 1;
-                self.stats.rejected_malformed += 1;
+                self.stats.requests_seen = self.stats.requests_seen.saturating_add(1);
+                self.stats.rejected_malformed = self.stats.rejected_malformed.saturating_add(1);
                 self.finish(cost);
                 Err(AttestError::Rejected(RejectReason::Malformed))
             }
@@ -519,30 +538,32 @@ impl Prover {
         request: &AttestRequest,
         mut cost: CostBreakdown,
     ) -> Result<AttestResponse, AttestError> {
-        self.stats.requests_seen += 1;
+        self.stats.requests_seen = self.stats.requests_seen.saturating_add(1);
 
         // Stage 0: admission control. Shed load before any cryptography —
         // a throttled request costs the bucket compare, nothing more.
         if self.admission.is_some() {
             cost.admission_cycles = ADMISSION_OVERHEAD_CYCLES;
-            self.mcu.advance_active(cost.admission_cycles);
-            let battery_fraction = self.mcu.battery().remaining_fraction();
-            let now_cycles = self.mcu.clock().cycles();
-            let fresh = self.freshness_peek(&request.freshness);
-            if let Some(ctrl) = self.admission.as_mut() {
-                ctrl.refill(now_cycles);
-                match ctrl.decide(battery_fraction, fresh) {
-                    AdmissionDecision::Admit => {}
-                    AdmissionDecision::Throttled => {
-                        self.stats.rejected_throttled += 1;
-                        self.finish(cost);
-                        return Err(AttestError::Rejected(RejectReason::Throttled));
-                    }
-                    AdmissionDecision::DegradedRefused => {
-                        self.stats.rejected_degraded += 1;
-                        self.finish(cost);
-                        return Err(AttestError::Rejected(RejectReason::DegradedMode));
-                    }
+            let decision = self.charge_stage("prover.admission", cost.admission_cycles, |p| {
+                let battery_fraction = p.mcu.battery().remaining_fraction();
+                let now_cycles = p.mcu.clock().cycles();
+                let fresh = p.freshness_peek(&request.freshness);
+                p.admission.as_mut().map(|ctrl| {
+                    ctrl.refill(now_cycles);
+                    ctrl.decide(battery_fraction, fresh)
+                })
+            });
+            match decision {
+                None | Some(AdmissionDecision::Admit) => {}
+                Some(AdmissionDecision::Throttled) => {
+                    self.stats.rejected_throttled = self.stats.rejected_throttled.saturating_add(1);
+                    self.finish(cost);
+                    return Err(AttestError::Rejected(RejectReason::Throttled));
+                }
+                Some(AdmissionDecision::DegradedRefused) => {
+                    self.stats.rejected_degraded = self.stats.rejected_degraded.saturating_add(1);
+                    self.finish(cost);
+                    return Err(AttestError::Rejected(RejectReason::DegradedMode));
                 }
             }
         }
@@ -553,9 +574,11 @@ impl Prover {
         // cycles whether it passes or not — with ECDSA, enough to be a DoS
         // by itself.
         cost.auth_cycles = self.checker.check_cycles(self.mcu.cost_table());
-        self.mcu.advance_active(cost.auth_cycles);
-        if !self.checker.check(&message, &request.auth) {
-            self.stats.rejected_auth += 1;
+        let authentic = self.charge_stage("prover.auth", cost.auth_cycles, |p| {
+            p.checker.check(&message, &request.auth)
+        });
+        if !authentic {
+            self.stats.rejected_auth = self.stats.rejected_auth.saturating_add(1);
             self.finish(cost);
             return Err(AttestError::Rejected(RejectReason::BadAuth));
         }
@@ -567,13 +590,13 @@ impl Prover {
         self.clock.service_interrupts(&mut self.mcu)?;
         let now = self.synced_now_ms()?;
         cost.freshness_cycles = FRESHNESS_OVERHEAD_CYCLES;
-        self.mcu.advance_active(cost.freshness_cycles);
-        if let Err(e) = self
-            .policy
-            .check_and_update(&request.freshness, &mut self.mcu, now)
-        {
+        let freshness_verdict = self.charge_stage("prover.freshness", cost.freshness_cycles, |p| {
+            p.policy
+                .check_and_update(&request.freshness, &mut p.mcu, now)
+        });
+        if let Err(e) = freshness_verdict {
             if e.is_rejection() {
-                self.stats.rejected_freshness += 1;
+                self.stats.rejected_freshness = self.stats.rejected_freshness.saturating_add(1);
             }
             self.finish(cost);
             return Err(e);
@@ -586,19 +609,43 @@ impl Prover {
             .mcu
             .cost_table()
             .mac_cost(self.config.response_mac, ram.len() + message.len());
-        self.mcu.advance_active(cost.response_cycles);
-        let mut macced = message;
-        macced.extend_from_slice(&ram);
-        let report = self.response_key.compute(&macced);
+        let report = self.charge_stage("prover.attest_mac", cost.response_cycles, |p| {
+            let mut macced = message;
+            macced.extend_from_slice(&ram);
+            p.response_key.compute(&macced)
+        });
 
-        self.stats.accepted += 1;
+        self.stats.accepted = self.stats.accepted.saturating_add(1);
         self.finish(cost);
         self.persist_freshness()?;
         Ok(AttestResponse { report })
     }
 
+    /// Advances the device clock by `cycles` under a telemetry span named
+    /// `name`, then runs `f` (host-side work charged to the same stage:
+    /// the actual MAC/signature computation whose *cost* the advance
+    /// models). The span measures exactly the cycle-clock delta of the
+    /// advance, so the per-phase table sums to
+    /// [`ProverStats::attestation_cycles`]; with the tracer disabled this
+    /// is one flag check and zero device cycles.
+    fn charge_stage<R>(
+        &mut self,
+        name: &'static str,
+        cycles: u64,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        use proverguard_telemetry::trace;
+        trace::set_now(self.mcu.clock().cycles());
+        let span = trace::span(name);
+        self.mcu.advance_active(cycles);
+        trace::set_now(self.mcu.clock().cycles());
+        let result = f(self);
+        drop(span);
+        result
+    }
+
     fn finish(&mut self, cost: CostBreakdown) {
-        self.stats.attestation_cycles += cost.total();
+        self.stats.attestation_cycles = self.stats.attestation_cycles.saturating_add(cost.total());
         // The budget tracks actual spend: accepted requests debit their
         // full MAC cost, rejects only what their check cost.
         if let Some(ctrl) = self.admission.as_mut() {
@@ -737,9 +784,9 @@ impl Prover {
             }
         }
 
-        self.stats.reboots += 1;
+        self.stats.reboots = self.stats.reboots.saturating_add(1);
         if outcome == RecoveryOutcome::TamperDetected {
-            self.stats.recovery_failures += 1;
+            self.stats.recovery_failures = self.stats.recovery_failures.saturating_add(1);
         }
         Ok(outcome)
     }

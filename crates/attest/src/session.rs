@@ -153,6 +153,7 @@ impl SessionDriver {
     /// attempts, exponential backoff between them, recovery hook after
     /// each failure.
     pub fn run(&self, link: &mut dyn SessionLink) -> SessionReport {
+        use proverguard_telemetry::{metrics, trace};
         let mut report = SessionReport::default();
         let total = self.policy.max_retries + 1;
         for attempt in 1..=total {
@@ -165,7 +166,10 @@ impl SessionDriver {
                 self.policy.backoff_ms(attempt)
             };
             if !success && !last {
+                trace::event_with("session.attempt_failed", u64::from(attempt));
+                metrics::counter_add("session.retries", 1);
                 link.recover(&outcome);
+                trace::event_with("session.backoff", backoff_ms);
                 link.wait_ms(backoff_ms);
             }
             report.attempts.push(AttemptRecord {
@@ -177,6 +181,15 @@ impl SessionDriver {
                 break;
             }
         }
+        metrics::counter_add(
+            if report.succeeded() {
+                "session.success"
+            } else {
+                "session.failure"
+            },
+            1,
+        );
+        metrics::histogram_record("session.attempts", u64::from(report.attempt_count()));
         report
     }
 }

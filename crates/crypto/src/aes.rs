@@ -233,6 +233,7 @@ impl Aes128 {
 
 impl BlockCipher for Aes128 {
     const BLOCK_SIZE: usize = BLOCK_SIZE;
+    const NAME: &'static str = "aes128";
 
     fn encrypt_block(&self, block: &mut [u8]) {
         let state: &mut [u8; 16] = block.try_into().expect("AES block must be 16 bytes");

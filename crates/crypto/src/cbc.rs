@@ -106,6 +106,11 @@ fn check_lengths<C: BlockCipher>(iv: &[u8], data: &[u8]) -> Result<(), CryptoErr
 /// ```
 #[must_use]
 pub fn cbc_mac<C: BlockCipher>(cipher: &C, message: &[u8]) -> Vec<u8> {
+    let _span = proverguard_telemetry::trace::span(match C::NAME {
+        "aes128" => "crypto.aes128_cbc",
+        "speck64_128" => "crypto.speck64_cbc",
+        _ => "crypto.cbc_mac",
+    });
     let bs = C::BLOCK_SIZE;
     // Length-prepend block: u64 big-endian length, zero padded to block size.
     let mut state = vec![0u8; bs];

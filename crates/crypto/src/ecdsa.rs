@@ -145,6 +145,7 @@ impl SigningKey {
     /// impossible for a correct implementation.
     #[must_use]
     pub fn sign(&self, message: &[u8]) -> Signature {
+        let _span = proverguard_telemetry::trace::span("crypto.ecdsa.sign");
         let e = message_scalar(message, self.curve.order());
 
         // RFC 6979-flavoured deterministic nonce: seed the DRBG with the
@@ -214,6 +215,7 @@ impl VerifyingKey {
     ///   `[1, n-1]`.
     /// - [`CryptoError::BadSignature`] if the signature does not verify.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
+        let _span = proverguard_telemetry::trace::span("crypto.ecdsa.verify");
         let n = self.curve.order();
         let in_range = |v: &U384| !v.is_zero() && v < n;
         if !in_range(&signature.r) || !in_range(&signature.s) {

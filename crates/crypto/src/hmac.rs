@@ -75,6 +75,7 @@ impl HmacSha1 {
     /// One-shot convenience: `HMAC(key, message)`.
     #[must_use]
     pub fn mac(key: &[u8], message: &[u8]) -> [u8; DIGEST_SIZE] {
+        let _span = proverguard_telemetry::trace::span("crypto.hmac_sha1");
         let mut h = HmacSha1::new(key);
         h.update(message);
         h.finalize()

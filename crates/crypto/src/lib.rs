@@ -62,6 +62,10 @@ pub trait BlockCipher {
     /// Block size in bytes.
     const BLOCK_SIZE: usize;
 
+    /// Short lowercase identifier used in telemetry span names
+    /// (e.g. `"aes128"` → the `crypto.aes128_cbc` span).
+    const NAME: &'static str = "cipher";
+
     /// Encrypts one block in place.
     ///
     /// # Panics

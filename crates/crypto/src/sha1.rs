@@ -79,6 +79,7 @@ impl Sha1 {
     /// One-shot convenience: hashes `data` and returns the digest.
     #[must_use]
     pub fn digest(data: &[u8]) -> [u8; DIGEST_SIZE] {
+        let _span = proverguard_telemetry::trace::span("crypto.sha1");
         let mut h = Sha1::new();
         h.update(data);
         h.finalize()

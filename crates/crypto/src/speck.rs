@@ -89,6 +89,7 @@ impl Speck64_128 {
 
 impl BlockCipher for Speck64_128 {
     const BLOCK_SIZE: usize = BLOCK_SIZE;
+    const NAME: &'static str = "speck64_128";
 
     fn encrypt_block(&self, block: &mut [u8]) {
         let b: &mut [u8; 8] = block.try_into().expect("Speck block must be 8 bytes");

@@ -227,4 +227,40 @@ mod tests {
         let ten = table.mac_cost(MacAlgorithm::HmacSha1, 640);
         assert_eq!(ten - one, 9 * table.hmac_per_block);
     }
+
+    #[test]
+    fn conversion_round_trips_at_the_bottom() {
+        assert_eq!(cycles_to_ms(0), 0.0);
+        assert_eq!(ms_to_cycles(0.0), 0);
+        // A single cycle survives the trip through milliseconds exactly:
+        // 1/24e6 s is representable to far more precision than f64 loses.
+        assert_eq!(ms_to_cycles(cycles_to_ms(1)), 1);
+        // The trip is exact while the conversion's ~2-ULP rounding error
+        // stays under half a cycle — i.e. up to about 2^50 cycles (~1.3
+        // years of device time); spot-check the top of that range.
+        let exact = 1u64 << 50;
+        assert_eq!(ms_to_cycles(cycles_to_ms(exact)), exact);
+    }
+
+    #[test]
+    fn conversion_round_trips_near_u64_max() {
+        // Above 2^53, f64 can no longer hold every integer, so the trip
+        // is only exact to f64 relative precision (~2^-52) — but it must
+        // land within that error, not wrap or saturate to garbage.
+        let got = ms_to_cycles(cycles_to_ms(u64::MAX));
+        assert!(
+            got.abs_diff(u64::MAX) <= 4096,
+            "round trip of u64::MAX landed at {got}"
+        );
+    }
+
+    #[test]
+    fn ms_to_cycles_saturates_on_pathological_input() {
+        // Rust's f64→u64 `as` cast saturates; the conversion inherits
+        // that instead of wrapping or panicking.
+        assert_eq!(ms_to_cycles(f64::MAX), u64::MAX);
+        assert_eq!(ms_to_cycles(f64::INFINITY), u64::MAX);
+        assert_eq!(ms_to_cycles(-1.0), 0);
+        assert_eq!(ms_to_cycles(f64::NAN), 0);
+    }
 }

@@ -1,0 +1,328 @@
+//! Exporters: JSONL dump, Chrome `trace_event` JSON, and the per-phase
+//! cycle table.
+//!
+//! Floats are allowed *here* — exporters run off the device, after the
+//! measurement is over. The hot path (tracer + registry) stays integer.
+//!
+//! The phase table is the CI-facing artefact: for a set of span names it
+//! reports calls, total cycles, milliseconds at a given clock, and the
+//! share of the table's total — the "where do cycles die" view that the
+//! paper's Table 1 / Figure 1 cost argument is built on.
+
+use crate::trace::TraceEvent;
+
+/// Minimal JSON string escaping for the static names we emit.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON object per line, one line per event. Spans carry
+/// `start_cycles`/`end_cycles`/`depth`; instants carry `at_cycles`/`arg`.
+#[must_use]
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        match event {
+            TraceEvent::Span {
+                name,
+                start_cycles,
+                end_cycles,
+                depth,
+            } => out.push_str(&format!(
+                "{{\"type\":\"span\",\"name\":\"{}\",\"start_cycles\":{},\"end_cycles\":{},\"depth\":{}}}\n",
+                escape(name), start_cycles, end_cycles, depth
+            )),
+            TraceEvent::Instant {
+                name,
+                at_cycles,
+                arg,
+            } => out.push_str(&format!(
+                "{{\"type\":\"instant\",\"name\":\"{}\",\"at_cycles\":{},\"arg\":{}}}\n",
+                escape(name), at_cycles, arg
+            )),
+        }
+    }
+    out
+}
+
+/// A Chrome `trace_event` JSON document (open `chrome://tracing` or
+/// Perfetto and load it). Cycle stamps are converted to microseconds at
+/// `clock_hz`; spans become `ph:"X"` complete events, instants `ph:"i"`.
+#[must_use]
+pub fn to_chrome_trace(events: &[TraceEvent], clock_hz: u64) -> String {
+    let hz = clock_hz.max(1) as f64;
+    let us = |cycles: u64| cycles as f64 * 1_000_000.0 / hz;
+    let mut entries = Vec::with_capacity(events.len());
+    for event in events {
+        match event {
+            TraceEvent::Span {
+                name,
+                start_cycles,
+                end_cycles,
+                depth,
+            } => entries.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"start_cycles\":{},\"depth\":{}}}}}",
+                escape(name),
+                us(*start_cycles),
+                us(end_cycles.saturating_sub(*start_cycles)),
+                start_cycles,
+                depth
+            )),
+            TraceEvent::Instant {
+                name,
+                at_cycles,
+                arg,
+            } => entries.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"t\",\"ts\":{:.3},\"args\":{{\"arg\":{}}}}}",
+                escape(name),
+                us(*at_cycles),
+                arg
+            )),
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        entries.join(",")
+    )
+}
+
+/// One row of the per-phase table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Span name, e.g. `"prover.attest_mac"`.
+    pub name: &'static str,
+    /// Number of completed spans with that name.
+    pub calls: u64,
+    /// Total cycles across those spans (saturating).
+    pub cycles: u64,
+}
+
+impl PhaseRow {
+    /// Mean cycles per call (integer division), or 0 if no calls.
+    #[must_use]
+    pub fn cycles_per_call(&self) -> u64 {
+        self.cycles.checked_div(self.calls).unwrap_or(0)
+    }
+}
+
+/// Per-phase cycle totals aggregated from span events, in first-seen
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTable {
+    rows: Vec<PhaseRow>,
+}
+
+impl PhaseTable {
+    /// Aggregates every span event (instants are ignored).
+    #[must_use]
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        Self::from_events_filtered(events, |_| true)
+    }
+
+    /// Aggregates span events whose name starts with `prefix`.
+    #[must_use]
+    pub fn from_events_with_prefix(events: &[TraceEvent], prefix: &str) -> Self {
+        Self::from_events_filtered(events, |name| name.starts_with(prefix))
+    }
+
+    fn from_events_filtered(events: &[TraceEvent], keep: impl Fn(&str) -> bool) -> Self {
+        let mut table = PhaseTable::default();
+        for event in events {
+            if let TraceEvent::Span { name, .. } = event {
+                if keep(name) {
+                    table.add(name, event.cycles());
+                }
+            }
+        }
+        table
+    }
+
+    fn add(&mut self, name: &'static str, cycles: u64) {
+        match self.rows.iter_mut().find(|r| r.name == name) {
+            Some(row) => {
+                row.calls = row.calls.saturating_add(1);
+                row.cycles = row.cycles.saturating_add(cycles);
+            }
+            None => self.rows.push(PhaseRow {
+                name,
+                calls: 1,
+                cycles,
+            }),
+        }
+    }
+
+    /// The aggregated rows, in first-seen order.
+    #[must_use]
+    pub fn rows(&self) -> &[PhaseRow] {
+        &self.rows
+    }
+
+    /// The row named `name`, if present.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&PhaseRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Saturating sum of all rows' cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.rows
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.cycles))
+    }
+
+    /// Renders the plain-text table: phase, calls, cycles, ms at
+    /// `clock_hz`, and % of the table total. Stable format, suitable for
+    /// diffing in CI.
+    #[must_use]
+    pub fn render(&self, clock_hz: u64) -> String {
+        let total = self.total_cycles();
+        let hz = clock_hz.max(1) as f64;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>14} {:>10} {:>7}\n",
+            "phase", "calls", "cycles", "ms", "%"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(24 + 8 + 14 + 10 + 7 + 4)));
+        for row in &self.rows {
+            let ms = row.cycles as f64 * 1_000.0 / hz;
+            let pct = if total == 0 {
+                0.0
+            } else {
+                row.cycles as f64 * 100.0 / total as f64
+            };
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>14} {:>10.3} {:>6.1}%\n",
+                row.name, row.calls, row.cycles, ms, pct
+            ));
+        }
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>14} {:>10.3} {:>6.1}%\n",
+            "total",
+            self.rows
+                .iter()
+                .fold(0u64, |a, r| a.saturating_add(r.calls)),
+            total,
+            total as f64 * 1_000.0 / hz,
+            if total == 0 { 0.0 } else { 100.0 }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Span {
+                name: "prover.parse",
+                start_cycles: 0,
+                end_cycles: 96,
+                depth: 0,
+            },
+            TraceEvent::Span {
+                name: "prover.auth",
+                start_cycles: 96,
+                end_cycles: 500,
+                depth: 0,
+            },
+            TraceEvent::Span {
+                name: "prover.parse",
+                start_cycles: 500,
+                end_cycles: 596,
+                depth: 0,
+            },
+            TraceEvent::Instant {
+                name: "session.retry",
+                at_cycles: 600,
+                arg: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let text = to_jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[0].contains("\"name\":\"prover.parse\""));
+        assert!(lines[3].contains("\"type\":\"instant\""));
+        assert!(lines[3].contains("\"arg\":2"));
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let doc = to_chrome_trace(&sample_events(), 24_000_000);
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\","));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        // 96 cycles @ 24 MHz = 4 µs.
+        assert!(doc.contains("\"dur\":4.000"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn phase_table_aggregates_and_sums() {
+        let table = PhaseTable::from_events(&sample_events());
+        assert_eq!(table.rows().len(), 2);
+        let parse = table.row("prover.parse").unwrap();
+        assert_eq!(parse.calls, 2);
+        assert_eq!(parse.cycles, 192);
+        assert_eq!(parse.cycles_per_call(), 96);
+        assert_eq!(table.total_cycles(), 192 + 404);
+        assert!(table.row("session.retry").is_none(), "instants excluded");
+    }
+
+    #[test]
+    fn phase_table_prefix_filter() {
+        let mut events = sample_events();
+        events.push(TraceEvent::Span {
+            name: "crypto.sha1",
+            start_cycles: 0,
+            end_cycles: 10,
+            depth: 1,
+        });
+        let table = PhaseTable::from_events_with_prefix(&events, "prover.");
+        assert!(table.row("crypto.sha1").is_none());
+        assert_eq!(table.rows().len(), 2);
+    }
+
+    #[test]
+    fn render_has_header_rows_and_total() {
+        let table = PhaseTable::from_events(&sample_events());
+        let text = table.render(24_000_000);
+        assert!(text.contains("phase"));
+        assert!(text.contains("prover.parse"));
+        assert!(text.contains("prover.auth"));
+        assert!(text.contains("total"));
+        assert!(text.contains("100.0%"));
+    }
+
+    #[test]
+    fn empty_table_renders_without_panicking() {
+        let table = PhaseTable::default();
+        let text = table.render(24_000_000);
+        assert!(text.contains("total"));
+        assert_eq!(table.total_cycles(), 0);
+    }
+}

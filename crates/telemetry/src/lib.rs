@@ -1,0 +1,44 @@
+//! Cycle-accurate telemetry for the ProverGuard suite.
+//!
+//! The paper's whole argument is a *cost* argument: a bogus `attreq`
+//! costs the prover up to 754 ms of whole-memory MACing at 24 MHz, so
+//! defences are ranked by **where in the pipeline cycles die** (parse →
+//! admission → auth → freshness → MAC). This crate gives every bench,
+//! soak, and test one shared vocabulary for that accounting:
+//!
+//! - [`trace`] — a span/event tracer driven by the deterministic device
+//!   cycle clock (never wall time). Spans nest, land in a bounded ring
+//!   buffer, and cost nothing when the tracer is disabled: no
+//!   instrumentation point ever advances the MCU clock, so the prover's
+//!   measured cycle counts are identical with tracing on or off.
+//! - [`metrics`] — a registry of counters, gauges and log-bucketed
+//!   [`CycleHistogram`]s (p50/p90/p99/max from fixed power-of-two
+//!   buckets; integer-only hot path) keyed by interned static names.
+//! - [`export`] — JSONL trace dumps, Chrome-`trace_event` JSON for
+//!   `chrome://tracing` / Perfetto, and the plain-text [`PhaseTable`]
+//!   (phase, calls, cycles, ms @ clock, % of total) that CI diffs.
+//!
+//! The crate is a deliberate **leaf**: zero dependencies, so every other
+//! workspace crate — including `proverguard-crypto`, itself a leaf
+//! otherwise — can be instrumented without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{to_chrome_trace, to_jsonl, PhaseRow, PhaseTable};
+pub use metrics::{CycleHistogram, Registry};
+pub use trace::{SpanGuard, TraceEvent, Tracer};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crate_level_reexports_compile() {
+        let _table = crate::PhaseTable::default();
+        let _hist = crate::CycleHistogram::new();
+        let _reg = crate::Registry::new();
+    }
+}

@@ -1,0 +1,499 @@
+//! Span/event tracing on the deterministic device cycle clock.
+//!
+//! The tracer never reads wall time. Instead, whoever owns the cycle
+//! clock (the prover, which advances its [`Mcu`]) publishes the current
+//! cycle count with [`set_now`]; spans and events are stamped with the
+//! most recently published value. Because the simulation's cycle clock is
+//! deterministic, traces are reproducible bit for bit — the property the
+//! whole measurement trail rests on.
+//!
+//! Spans are guard-based and nest naturally:
+//!
+//! ```
+//! use proverguard_telemetry::trace;
+//!
+//! trace::reset();
+//! trace::enable();
+//! trace::set_now(0);
+//! {
+//!     let _auth = trace::span("auth.mac_check");
+//!     trace::set_now(408); // the Speck block check, in cycles
+//! }
+//! let events = trace::drain();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].cycles(), 408);
+//! trace::disable();
+//! ```
+//!
+//! The tracer is **disabled by default** and costs nothing on the device
+//! when off: no instrumentation point ever advances the MCU clock or
+//! touches the battery, and a disabled [`span`]/[`event`] call is a
+//! single flag check that returns an inert guard. State is thread-local,
+//! so parallel tests never share a ring buffer.
+//!
+//! Completed spans land in a **bounded ring buffer**: once
+//! [`Tracer::capacity`] events are held, the oldest is overwritten and
+//! counted in [`dropped`]. Exporters consume the ring via [`drain`] or
+//! [`snapshot`].
+//!
+//! [`Mcu`]: https://docs.rs/proverguard-mcu
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+/// Default ring-buffer capacity, in events.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// One recorded trace entry, stamped in device cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A completed span.
+    Span {
+        /// Static span name (e.g. `"prover.auth"`).
+        name: &'static str,
+        /// Cycle count when the span opened.
+        start_cycles: u64,
+        /// Cycle count when the span guard dropped.
+        end_cycles: u64,
+        /// Nesting depth at open time (0 = top level).
+        depth: u16,
+    },
+    /// A point event.
+    Instant {
+        /// Static event name (e.g. `"fleet.breaker.open"`).
+        name: &'static str,
+        /// Cycle count when the event fired.
+        at_cycles: u64,
+        /// One free-form numeric argument (device index, backoff ms, …).
+        arg: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Span { name, .. } | TraceEvent::Instant { name, .. } => name,
+        }
+    }
+
+    /// Span duration in cycles; 0 for instant events.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        match self {
+            TraceEvent::Span {
+                start_cycles,
+                end_cycles,
+                ..
+            } => end_cycles.saturating_sub(*start_cycles),
+            TraceEvent::Instant { .. } => 0,
+        }
+    }
+
+    /// The cycle stamp the event starts at.
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        match self {
+            TraceEvent::Span { start_cycles, .. } => *start_cycles,
+            TraceEvent::Instant { at_cycles, .. } => *at_cycles,
+        }
+    }
+}
+
+/// The per-thread tracer state. Use the module-level free functions for
+/// day-to-day instrumentation; [`with`] exposes the raw state for tests
+/// and exporters.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    now_cycles: u64,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    depth: u16,
+    dropped: u64,
+}
+
+/// A span that was opened while the tracer was enabled, waiting for its
+/// guard to drop.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    name: &'static str,
+    start_cycles: u64,
+    depth: u16,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Tracer {
+            enabled: false,
+            now_cycles: 0,
+            capacity: DEFAULT_CAPACITY,
+            events: VecDeque::new(),
+            depth: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Is the tracer recording?
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off. Disabling leaves the ring intact.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// The most recently published cycle count.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now_cycles
+    }
+
+    /// Publishes the current cycle count. Monotonicity is the caller's
+    /// business: the tracer stamps whatever it was last told.
+    pub fn set_now(&mut self, cycles: u64) {
+        if self.enabled {
+            self.now_cycles = cycles;
+        }
+    }
+
+    /// Ring capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resizes the ring (oldest events are dropped if shrinking).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+            self.dropped = self.dropped.saturating_add(1);
+        }
+    }
+
+    /// Events overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Current nesting depth of open spans.
+    #[must_use]
+    pub fn depth(&self) -> u16 {
+        self.depth
+    }
+
+    /// Events currently held, oldest first (the ring is not consumed).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Takes all held events, oldest first, leaving the ring empty.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Clears events, depth, the drop counter and the published clock
+    /// (the enabled flag and capacity survive).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.depth = 0;
+        self.dropped = 0;
+        self.now_cycles = 0;
+    }
+
+    fn begin_span(&mut self, name: &'static str) -> Option<OpenSpan> {
+        if !self.enabled {
+            return None;
+        }
+        let open = OpenSpan {
+            name,
+            start_cycles: self.now_cycles,
+            depth: self.depth,
+        };
+        self.depth = self.depth.saturating_add(1);
+        Some(open)
+    }
+
+    fn end_span(&mut self, open: OpenSpan) {
+        self.depth = self.depth.saturating_sub(1);
+        self.push(TraceEvent::Span {
+            name: open.name,
+            start_cycles: open.start_cycles,
+            end_cycles: self.now_cycles.max(open.start_cycles),
+            depth: open.depth,
+        });
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped = self.dropped.saturating_add(1);
+        }
+        self.events.push_back(event);
+    }
+}
+
+thread_local! {
+    static TRACER: RefCell<Tracer> = RefCell::new(Tracer::new());
+}
+
+/// Runs `f` with this thread's tracer. Do not call tracing free functions
+/// from within `f` — the state is already borrowed.
+pub fn with<R>(f: impl FnOnce(&mut Tracer) -> R) -> R {
+    TRACER.with(|t| f(&mut t.borrow_mut()))
+}
+
+/// Starts recording on this thread.
+pub fn enable() {
+    with(|t| t.set_enabled(true));
+}
+
+/// Stops recording on this thread (the ring is kept).
+pub fn disable() {
+    with(|t| t.set_enabled(false));
+}
+
+/// Is this thread's tracer recording?
+#[must_use]
+pub fn is_enabled() -> bool {
+    with(|t| t.is_enabled())
+}
+
+/// Publishes the current device cycle count (no-op while disabled).
+pub fn set_now(cycles: u64) {
+    with(|t| t.set_now(cycles));
+}
+
+/// The most recently published cycle count.
+#[must_use]
+pub fn now() -> u64 {
+    with(|t| t.now())
+}
+
+/// Opens a span named `name` at the current cycle stamp. The span closes
+/// (and is recorded) when the returned guard drops. While the tracer is
+/// disabled the guard is inert and nothing is recorded.
+#[must_use = "a span closes when its guard drops — bind it to a variable"]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        open: with(|t| t.begin_span(name)),
+    }
+}
+
+/// Records a point event with argument 0 (no-op while disabled).
+pub fn event(name: &'static str) {
+    event_with(name, 0);
+}
+
+/// Records a point event carrying one numeric argument (no-op while
+/// disabled).
+pub fn event_with(name: &'static str, arg: u64) {
+    with(|t| {
+        if t.enabled {
+            let at_cycles = t.now_cycles;
+            t.push(TraceEvent::Instant {
+                name,
+                at_cycles,
+                arg,
+            });
+        }
+    });
+}
+
+/// Takes all events recorded on this thread, oldest first.
+#[must_use]
+pub fn drain() -> Vec<TraceEvent> {
+    with(Tracer::drain)
+}
+
+/// Copies (without consuming) all events recorded on this thread.
+#[must_use]
+pub fn snapshot() -> Vec<TraceEvent> {
+    with(|t| t.snapshot())
+}
+
+/// Events lost to ring overflow on this thread.
+#[must_use]
+pub fn dropped() -> u64 {
+    with(|t| t.dropped())
+}
+
+/// Resizes this thread's ring buffer.
+pub fn set_capacity(capacity: usize) {
+    with(|t| t.set_capacity(capacity));
+}
+
+/// Clears this thread's events, depth, drop counter and published clock.
+pub fn reset() {
+    with(Tracer::clear);
+}
+
+/// Closes its span on drop. Obtained from [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            with(|t| t.end_span(open));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that share the thread-local tracer — `cargo test`
+    /// may run them on the same worker thread in any order.
+    fn with_clean_tracer(f: impl FnOnce()) {
+        reset();
+        enable();
+        f();
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        reset();
+        assert!(!is_enabled());
+        set_now(100);
+        let g = span("never");
+        drop(g);
+        event("nope");
+        assert!(drain().is_empty());
+        assert_eq!(now(), 0, "set_now is a no-op while disabled");
+    }
+
+    #[test]
+    fn spans_record_enter_exit_cycles_and_nest() {
+        with_clean_tracer(|| {
+            set_now(10);
+            let outer = span("outer");
+            set_now(20);
+            {
+                let _inner = span("inner");
+                set_now(35);
+            }
+            set_now(40);
+            drop(outer);
+
+            let events = drain();
+            assert_eq!(events.len(), 2);
+            // Children complete (and are recorded) before their parent.
+            assert_eq!(
+                events[0],
+                TraceEvent::Span {
+                    name: "inner",
+                    start_cycles: 20,
+                    end_cycles: 35,
+                    depth: 1,
+                }
+            );
+            assert_eq!(
+                events[1],
+                TraceEvent::Span {
+                    name: "outer",
+                    start_cycles: 10,
+                    end_cycles: 40,
+                    depth: 0,
+                }
+            );
+            assert_eq!(events[1].cycles(), 30);
+        });
+    }
+
+    #[test]
+    fn instants_carry_their_argument() {
+        with_clean_tracer(|| {
+            set_now(7);
+            event_with("breaker.open", 3);
+            let events = drain();
+            assert_eq!(
+                events[0],
+                TraceEvent::Instant {
+                    name: "breaker.open",
+                    at_cycles: 7,
+                    arg: 3,
+                }
+            );
+            assert_eq!(events[0].cycles(), 0);
+            assert_eq!(events[0].start(), 7);
+        });
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        with_clean_tracer(|| {
+            set_capacity(4);
+            for i in 0..10 {
+                set_now(i);
+                event("tick");
+            }
+            assert_eq!(dropped(), 6);
+            let events = drain();
+            assert_eq!(events.len(), 4);
+            // Oldest were overwritten: the survivors are the last four.
+            assert_eq!(events[0].start(), 6);
+            assert_eq!(events[3].start(), 9);
+            set_capacity(DEFAULT_CAPACITY);
+        });
+    }
+
+    #[test]
+    fn clear_resets_state_but_not_enablement() {
+        with_clean_tracer(|| {
+            set_now(5);
+            event("x");
+            reset();
+            assert!(is_enabled());
+            assert_eq!(now(), 0);
+            assert_eq!(dropped(), 0);
+            assert!(snapshot().is_empty());
+        });
+    }
+
+    #[test]
+    fn span_closed_after_disable_is_still_recorded() {
+        with_clean_tracer(|| {
+            set_now(1);
+            let g = span("cross");
+            set_now(9);
+            disable();
+            drop(g); // was opened while enabled: completes anyway
+            enable();
+            let events = drain();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].cycles(), 8);
+        });
+    }
+
+    #[test]
+    fn backwards_clock_clamps_span_to_zero_width() {
+        with_clean_tracer(|| {
+            set_now(100);
+            let g = span("weird");
+            set_now(100); // a stuck clock
+            drop(g);
+            let events = drain();
+            assert_eq!(events[0].cycles(), 0);
+        });
+    }
+}

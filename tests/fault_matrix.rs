@@ -46,6 +46,23 @@ fn world_for(config: &ProverConfig) -> World {
     world
 }
 
+/// Every request lands in exactly one stats bucket: accepted or one of
+/// the reject tallies. A request that is double-counted (or dropped from
+/// the accounting entirely) would silently skew every experiment built
+/// on [`ProverStats`], so the matrix asserts the partition after each
+/// scenario.
+fn assert_stats_partition(world: &World, label: &str) {
+    let stats = world.prover.stats();
+    assert_eq!(
+        stats.requests_seen,
+        stats.accepted + stats.rejected_total(),
+        "{label}: {} seen != {} accepted + {} rejected",
+        stats.requests_seen,
+        stats.accepted,
+        stats.rejected_total(),
+    );
+}
+
 /// A named fault mode: label plus a seed-to-config constructor.
 type FaultMode = (&'static str, fn(u64) -> FaultConfig);
 
@@ -75,6 +92,7 @@ fn every_preset_recovers_under_every_recoverable_fault() {
                     link.events(),
                 );
             }
+            assert_stats_partition(&link.world, &format!("{config_label} under {fault_label}"));
         }
     }
 }
@@ -121,6 +139,7 @@ fn malformed_bytes_rejected_under_a_millisecond_on_every_preset() {
             garbage.len() as u64
         );
         assert_eq!(world.prover.stats().accepted, 0);
+        assert_stats_partition(&world, label);
     }
 }
 
@@ -148,6 +167,7 @@ fn sealed_counter_survives_reboot() {
     world.deliver(&next).expect("post-reboot request accepted");
     assert_eq!(world.prover.stats().reboots, 1);
     assert_eq!(world.prover.stats().recovery_failures, 0);
+    assert_stats_partition(&world, "sealed_counter_survives_reboot");
 }
 
 #[test]
