@@ -25,4 +25,7 @@ cargo run --release -q -p proverguard-bench --bin fleet_soak -- --ci
 echo "== telemetry trace report (phase table vs cycle model) =="
 cargo run --release -q -p proverguard-bench --bin trace_report -- --ci
 
+echo "== gateway bench (socket-free loopback gate) =="
+cargo run --release -q -p proverguard-bench --bin gateway_bench -- --ci
+
 echo "CI green."

@@ -450,6 +450,7 @@ mod tests {
             max_retries: 8,
             backoff_base_ms: 50,
             backoff_factor: 2,
+            ..RetryPolicy::default()
         })
     }
 

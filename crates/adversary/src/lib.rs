@@ -50,6 +50,7 @@ pub mod fault;
 pub mod report;
 pub mod roam;
 pub mod soak;
+pub mod wire;
 pub mod workload;
 pub mod world;
 
@@ -58,4 +59,5 @@ pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultyLink};
 pub use report::SuiteReport;
 pub use roam::{RoamAttack, RoamOutcome};
 pub use soak::{run_soak, DeviceRole, DeviceSummary, SoakConfig, SoakReport};
+pub use wire::{forgery_flood, junk_frame_flood, raw_garbage_flood, FaultyTransport, FloodStats};
 pub use world::World;

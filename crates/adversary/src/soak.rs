@@ -135,6 +135,7 @@ impl SoakConfig {
                 max_retries: 2,
                 backoff_base_ms: 100,
                 backoff_factor: 2,
+                ..RetryPolicy::default()
             },
             fleet: FleetPolicy {
                 breaker: proverguard_attest::fleet::BreakerPolicy {

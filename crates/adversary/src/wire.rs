@@ -1,0 +1,373 @@
+//! Wire-level adversary tooling: the crate's seeded fault schedules
+//! applied to **real transports**, plus the flood clients that hammer a
+//! gateway the way `Adv_ext` hammers a prover.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and rolls the same
+//! [`FaultInjector`] ladder the in-process [`crate::FaultyLink`] uses, so
+//! a fault matrix graded against the simulated channel applies unchanged
+//! to the socketed stack. Two kinds differ by necessity:
+//!
+//! - Truncate/bit-flip mangle the message **payload** (the framing layer
+//!   below re-frames it intact), so corruption lands on the gateway
+//!   protocol and attestation parsers — the layers with something to
+//!   reject. Codec-level garbage is the flood clients' job
+//!   ([`raw_garbage_flood`] writes unframed bytes straight at the codec).
+//! - Reboot/clock-glitch are prover-side power faults with no wire
+//!   equivalent; the roll is consumed (keeping schedules aligned with
+//!   [`crate::FaultyLink`] runs on the same seed) but nothing fires.
+
+use std::time::Duration;
+
+use proverguard_attest::error::RejectReason;
+use proverguard_attest::gateway::GatewayMsg;
+use proverguard_transport::mem::LoopbackConnector;
+use proverguard_transport::{LinkStats, Transport, TransportError};
+
+use crate::fault::{Direction, FaultConfig, FaultEvent, FaultInjector, FaultKind};
+
+/// A [`Transport`] with a seeded fault schedule between the caller and
+/// the real link: sends and receives roll the [`FaultInjector`] ladder
+/// (send = [`Direction::Request`], receive = [`Direction::Response`]).
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    injector: FaultInjector,
+    /// Duplicate-fault copy waiting to be received again.
+    replay: Option<Vec<u8>>,
+    /// Cap on the real sleep a Delay fault performs, so a schedule tuned
+    /// for simulated milliseconds cannot stall a wall-clock bench.
+    pub max_real_delay_ms: u64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` with the fault schedule of `config`.
+    #[must_use]
+    pub fn new(inner: T, config: FaultConfig) -> Self {
+        FaultyTransport {
+            inner,
+            injector: FaultInjector::new(config),
+            replay: None,
+            max_real_delay_ms: 100,
+        }
+    }
+
+    /// Every fault that has fired so far.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        self.injector.events()
+    }
+
+    /// The wrapped transport.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    fn nap(&self) {
+        let ms = self.injector.config().delay_ms.min(self.max_real_delay_ms);
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        match self.injector.roll(Direction::Request) {
+            Some(FaultKind::Drop) => Ok(()), // vanished on the wire
+            Some(FaultKind::Duplicate) => {
+                self.inner.send(payload)?;
+                self.inner.send(payload)
+            }
+            Some(FaultKind::Delay) => {
+                self.nap();
+                self.inner.send(payload)
+            }
+            Some(kind @ (FaultKind::Truncate | FaultKind::BitFlip)) => {
+                let mut mangled = payload.to_vec();
+                self.injector.mangle(kind, &mut mangled);
+                self.inner.send(&mangled)
+            }
+            // Power faults have no wire equivalent; the roll is consumed
+            // to keep the schedule aligned across harnesses.
+            Some(FaultKind::Reboot | FaultKind::ClockGlitch) | None => self.inner.send(payload),
+        }
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        if let Some(copy) = self.replay.take() {
+            return Ok(copy);
+        }
+        loop {
+            let payload = self.inner.recv()?;
+            match self.injector.roll(Direction::Response) {
+                Some(FaultKind::Drop) => continue, // eaten; wait for the next
+                Some(FaultKind::Duplicate) => {
+                    self.replay = Some(payload.clone());
+                    return Ok(payload);
+                }
+                Some(FaultKind::Delay) => {
+                    self.nap();
+                    return Ok(payload);
+                }
+                Some(kind @ (FaultKind::Truncate | FaultKind::BitFlip)) => {
+                    let mut mangled = payload;
+                    self.injector.mangle(kind, &mut mangled);
+                    return Ok(mangled);
+                }
+                Some(FaultKind::Reboot | FaultKind::ClockGlitch) | None => return Ok(payload),
+            }
+        }
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), TransportError> {
+        self.inner.set_deadline(deadline)
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.inner.stats()
+    }
+
+    fn peer(&self) -> String {
+        format!("faulty:{}", self.inner.peer())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flood clients
+// ---------------------------------------------------------------------------
+
+/// What a flood run observed from the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FloodStats {
+    /// Connections/sessions the flood opened (or tried to).
+    pub attempts: u64,
+    /// `Busy` frames received — the gateway shedding us cheaply.
+    pub busy: u64,
+    /// `Bye` frames received (always `verified: false` for forgeries).
+    pub byes: u64,
+    /// Attestation requests answered with forged responses.
+    pub forged_responses: u64,
+    /// Connections that ended in an error/hang-up (the usual fate of
+    /// garbage: the gateway just closes).
+    pub closed: u64,
+}
+
+fn splitmix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn junk_bytes(state: &mut u64, max_len: usize) -> Vec<u8> {
+    let len = (splitmix64(state) as usize % max_len.max(1)) + 1;
+    (0..len).map(|_| (splitmix64(state) & 0xff) as u8).collect()
+}
+
+/// Blasts `blasts` bursts of **unframed** random bytes at a loopback
+/// gateway — line noise aimed at the frame codec itself. Loopback-only
+/// because it needs [`proverguard_transport::mem::MemTransport::send_raw`].
+pub fn raw_garbage_flood(connector: &LoopbackConnector, blasts: usize, seed: u64) -> FloodStats {
+    let mut state = seed;
+    let mut stats = FloodStats::default();
+    for _ in 0..blasts {
+        stats.attempts += 1;
+        let Ok(mut conn) = connector.connect() else {
+            stats.closed += 1;
+            continue;
+        };
+        if conn.send_raw(junk_bytes(&mut state, 64)).is_err() {
+            stats.closed += 1;
+            continue;
+        }
+        // The gateway either sheds us with Busy or (having failed to
+        // parse the noise) hangs up; a short read settles which.
+        let _ = conn.set_deadline(Some(Duration::from_millis(200)));
+        match conn.recv().map(|b| GatewayMsg::decode(&b)) {
+            Ok(Ok(GatewayMsg::Busy)) => stats.busy += 1,
+            _ => stats.closed += 1,
+        }
+    }
+    stats
+}
+
+/// Opens `frames` connections and sends one **well-framed but
+/// protocol-garbage** payload down each — exercises the gateway's
+/// handshake rejection (as opposed to the codec rejection of
+/// [`raw_garbage_flood`]).
+pub fn junk_frame_flood<F>(mut connect: F, frames: usize, seed: u64) -> FloodStats
+where
+    F: FnMut() -> Result<Box<dyn Transport>, TransportError>,
+{
+    let mut state = seed.wrapping_add(0x6a75_6e6b); // "junk"
+    let mut stats = FloodStats::default();
+    for _ in 0..frames {
+        stats.attempts += 1;
+        let Ok(mut conn) = connect() else {
+            stats.closed += 1;
+            continue;
+        };
+        if conn.send(&junk_bytes(&mut state, 256)).is_err() {
+            stats.closed += 1;
+            continue;
+        }
+        let _ = conn.set_deadline(Some(Duration::from_millis(200)));
+        match conn.recv().map(|b| GatewayMsg::decode(&b)) {
+            Ok(Ok(GatewayMsg::Busy)) => stats.busy += 1,
+            _ => stats.closed += 1,
+        }
+    }
+    stats
+}
+
+/// Runs `sessions` **forged** attestation sessions: a correct `Hello` for
+/// `device_id`, then a random (hence MAC-invalid) response to every
+/// request. The gateway must burn its retries and report the session
+/// failed — and never crash or mis-verify.
+pub fn forgery_flood<F>(
+    mut connect: F,
+    device_id: u64,
+    sessions: usize,
+    seed: u64,
+    io_timeout: Duration,
+) -> FloodStats
+where
+    F: FnMut() -> Result<Box<dyn Transport>, TransportError>,
+{
+    let mut state = seed.wrapping_add(0x666f_7267); // "forg"
+    let mut stats = FloodStats::default();
+    for _ in 0..sessions {
+        stats.attempts += 1;
+        let Ok(mut conn) = connect() else {
+            stats.closed += 1;
+            continue;
+        };
+        if conn.set_deadline(Some(io_timeout)).is_err() {
+            stats.closed += 1;
+            continue;
+        }
+        if conn
+            .send(&GatewayMsg::Hello { device_id }.encode())
+            .is_err()
+        {
+            stats.closed += 1;
+            continue;
+        }
+        loop {
+            match conn.recv().map(|b| GatewayMsg::decode(&b)) {
+                Ok(Ok(GatewayMsg::AttReq(_))) => {
+                    // Sometimes a forged MAC, sometimes an insolent
+                    // "your request was malformed" — both must bounce.
+                    let reply = if splitmix64(&mut state) & 1 == 0 {
+                        GatewayMsg::AttResp(junk_bytes(&mut state, 32))
+                    } else {
+                        GatewayMsg::Reject(RejectReason::Malformed)
+                    };
+                    stats.forged_responses += 1;
+                    if conn.send(&reply.encode()).is_err() {
+                        stats.closed += 1;
+                        break;
+                    }
+                }
+                Ok(Ok(GatewayMsg::Busy)) => {
+                    stats.busy += 1;
+                    break;
+                }
+                Ok(Ok(GatewayMsg::Bye { .. })) => {
+                    stats.byes += 1;
+                    break;
+                }
+                _ => {
+                    stats.closed += 1;
+                    break;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proverguard_transport::frame::DEFAULT_MAX_FRAME;
+    use proverguard_transport::mem::loopback_pair;
+
+    #[test]
+    fn clean_config_is_transparent() {
+        let (a, mut b) = loopback_pair(DEFAULT_MAX_FRAME);
+        let mut a = FaultyTransport::new(a, FaultConfig::none(1));
+        a.send(b"hello").unwrap();
+        b.set_deadline(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(b.recv().unwrap(), b"hello");
+        assert!(a.events().is_empty());
+    }
+
+    #[test]
+    fn black_hole_eats_sends_silently() {
+        let (a, mut b) = loopback_pair(DEFAULT_MAX_FRAME);
+        let mut a = FaultyTransport::new(a, FaultConfig::black_hole(2));
+        for _ in 0..4 {
+            a.send(b"x").unwrap(); // "succeeds" — that's the point
+        }
+        b.set_deadline(Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(b.recv(), Err(TransportError::Timeout));
+        assert_eq!(a.events().len(), 4);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let (a, _b) = loopback_pair(DEFAULT_MAX_FRAME);
+            let mut a = FaultyTransport::new(a, FaultConfig::lossy(seed));
+            for _ in 0..32 {
+                let _ = a.send(b"payload");
+            }
+            a.events()
+                .iter()
+                .map(|e| (e.message_index, e.kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn corruption_reaches_the_peer_mangled() {
+        let (a, mut b) = loopback_pair(DEFAULT_MAX_FRAME);
+        let mut a = FaultyTransport::new(a, FaultConfig::corrupting(3));
+        b.set_deadline(Some(Duration::from_millis(200))).unwrap();
+        let payload = vec![0xAAu8; 32];
+        let mut saw_mangled = false;
+        for _ in 0..64 {
+            a.send(&payload).unwrap();
+            match b.recv() {
+                Ok(got) => saw_mangled |= got != payload,
+                Err(TransportError::Timeout) => break,
+                Err(e) => panic!("unexpected transport error: {e:?}"),
+            }
+        }
+        assert!(saw_mangled, "corrupting schedule never mangled a payload");
+        assert!(!a.events().is_empty());
+    }
+
+    #[test]
+    fn duplicate_on_receive_is_replayed() {
+        let config = FaultConfig {
+            duplicate_per_mille: 1000,
+            ..FaultConfig::none(4)
+        };
+        let (mut a, b) = loopback_pair(DEFAULT_MAX_FRAME);
+        let mut b = FaultyTransport::new(b, config);
+        a.send(b"once").unwrap();
+        b.set_deadline(Some(Duration::from_millis(200))).unwrap();
+        assert_eq!(b.recv().unwrap(), b"once");
+        assert_eq!(b.recv().unwrap(), b"once"); // the duplicate
+    }
+
+    #[test]
+    fn junk_generators_are_deterministic() {
+        let mut s1 = 42u64;
+        let mut s2 = 42u64;
+        assert_eq!(junk_bytes(&mut s1, 64), junk_bytes(&mut s2, 64));
+    }
+}

@@ -1,0 +1,1230 @@
+//! The verifier **gateway**: a concurrent attestation server for a fleet
+//! of socketed provers.
+//!
+//! Everything below this module drives one verifier against one prover
+//! through in-process calls. The gateway is the production shape: an
+//! accept loop pulls connections off a [`proverguard_transport::Acceptor`]
+//! (TCP, or the in-memory loopback hub for CI), pushes them through a
+//! **bounded** work queue, and a fixed pool of worker threads runs one
+//! [`SessionDriver`] attestation per connection against the per-device
+//! [`Verifier`] state held in a [`DeviceDirectory`].
+//!
+//! Backpressure is explicit and cheap, mirroring the paper's prover-side
+//! philosophy at the fleet level: when the queue is full the accept loop
+//! answers with a one-frame [`GatewayMsg::Busy`] and drops the connection
+//! — it never queues unboundedly and never spends a worker on load it
+//! cannot serve. Honest provers treat `Busy` as a retry-with-backoff
+//! signal (see [`ProverAgent::attest_with_retry`]); floods just get a
+//! 1-frame brush-off.
+//!
+//! Every worker keeps thread-local [`proverguard_telemetry`] metrics and
+//! traces; [`GatewayHandle::shutdown`] joins the threads and folds their
+//! registries into one [`GatewayReport`] via `Registry::merge`, so byte
+//! counters, queue-depth gauges and per-session latency histograms
+//! survive the thread boundary.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use proverguard_telemetry::metrics::{self, Registry};
+use proverguard_telemetry::trace;
+use proverguard_transport::{Acceptor, Transport, TransportError};
+
+use proverguard_mcu::map;
+
+use crate::error::{AttestError, RejectReason};
+use crate::fleet::{FleetController, FleetPolicy};
+use crate::message::{AttestResponse, FreshnessField};
+use crate::prover::Prover;
+use crate::session::{AttemptOutcome, RetryPolicy, SessionDriver, SessionLink};
+use crate::verifier::Verifier;
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+const TAG_HELLO: u8 = 1;
+const TAG_ATTREQ: u8 = 2;
+const TAG_ATTRESP: u8 = 3;
+const TAG_REJECT: u8 = 4;
+const TAG_BUSY: u8 = 5;
+const TAG_BYE: u8 = 6;
+
+/// One gateway-protocol message, carried as the payload of one transport
+/// frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayMsg {
+    /// Prover → gateway, first message: which device is calling.
+    Hello {
+        /// Index of the device in the gateway's [`DeviceDirectory`].
+        device_id: u64,
+    },
+    /// Gateway → prover: a serialized [`crate::message::AttestRequest`].
+    AttReq(Vec<u8>),
+    /// Prover → gateway: a serialized [`AttestResponse`].
+    AttResp(Vec<u8>),
+    /// Prover → gateway: the prover's defences rejected the request.
+    Reject(RejectReason),
+    /// Gateway → prover: load shed at admission — try again later.
+    Busy,
+    /// Gateway → prover: session over.
+    Bye {
+        /// Whether the attestation verified.
+        verified: bool,
+    },
+}
+
+fn reason_code(reason: RejectReason) -> u8 {
+    match reason {
+        RejectReason::BadAuth => 1,
+        RejectReason::NonceReused => 2,
+        RejectReason::StaleCounter => 3,
+        RejectReason::TimestampNotMonotonic => 4,
+        RejectReason::TimestampOutOfWindow => 5,
+        RejectReason::FreshnessKindMismatch => 6,
+        RejectReason::Malformed => 7,
+        RejectReason::Throttled => 8,
+        RejectReason::DegradedMode => 9,
+    }
+}
+
+fn reason_from_code(code: u8) -> Option<RejectReason> {
+    Some(match code {
+        1 => RejectReason::BadAuth,
+        2 => RejectReason::NonceReused,
+        3 => RejectReason::StaleCounter,
+        4 => RejectReason::TimestampNotMonotonic,
+        5 => RejectReason::TimestampOutOfWindow,
+        6 => RejectReason::FreshnessKindMismatch,
+        7 => RejectReason::Malformed,
+        8 => RejectReason::Throttled,
+        9 => RejectReason::DegradedMode,
+        _ => return None,
+    })
+}
+
+impl GatewayMsg {
+    /// Serializes the message (tag byte + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            GatewayMsg::Hello { device_id } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&device_id.to_be_bytes());
+                out
+            }
+            GatewayMsg::AttReq(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(TAG_ATTREQ);
+                out.extend_from_slice(bytes);
+                out
+            }
+            GatewayMsg::AttResp(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(TAG_ATTRESP);
+                out.extend_from_slice(bytes);
+                out
+            }
+            GatewayMsg::Reject(reason) => vec![TAG_REJECT, reason_code(*reason)],
+            GatewayMsg::Busy => vec![TAG_BUSY],
+            GatewayMsg::Bye { verified } => vec![TAG_BYE, u8::from(*verified)],
+        }
+    }
+
+    /// Parses one message. Unknown tags, truncated bodies and unknown
+    /// reject codes are all [`AttestError::MalformedMessage`] — never a
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::MalformedMessage`] as above.
+    pub fn decode(bytes: &[u8]) -> Result<Self, AttestError> {
+        let malformed = |reason: &str| AttestError::MalformedMessage {
+            reason: reason.to_string(),
+        };
+        let (&tag, body) = bytes
+            .split_first()
+            .ok_or_else(|| malformed("empty message"))?;
+        match tag {
+            TAG_HELLO => {
+                let raw: [u8; 8] = body
+                    .try_into()
+                    .map_err(|_| malformed("hello body must be 8 bytes"))?;
+                Ok(GatewayMsg::Hello {
+                    device_id: u64::from_be_bytes(raw),
+                })
+            }
+            TAG_ATTREQ => Ok(GatewayMsg::AttReq(body.to_vec())),
+            TAG_ATTRESP => Ok(GatewayMsg::AttResp(body.to_vec())),
+            TAG_REJECT => {
+                let [code] = body else {
+                    return Err(malformed("reject body must be 1 byte"));
+                };
+                let reason =
+                    reason_from_code(*code).ok_or_else(|| malformed("unknown reject code"))?;
+                Ok(GatewayMsg::Reject(reason))
+            }
+            TAG_BUSY => {
+                if body.is_empty() {
+                    Ok(GatewayMsg::Busy)
+                } else {
+                    Err(malformed("busy carries no body"))
+                }
+            }
+            TAG_BYE => {
+                let [flag] = body else {
+                    return Err(malformed("bye body must be 1 byte"));
+                };
+                Ok(GatewayMsg::Bye {
+                    verified: *flag == 1,
+                })
+            }
+            _ => Err(malformed("unknown message tag")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Device directory
+// ---------------------------------------------------------------------------
+
+/// Per-device verifier state the gateway serves sessions from.
+#[derive(Debug)]
+pub struct DeviceEntry {
+    verifier: Mutex<Verifier>,
+    expected_memory: Vec<u8>,
+    service_floor_ms: u64,
+}
+
+/// The fleet roster: one [`Verifier`] (plus expected memory image) per
+/// device, indexed by the `device_id` provers present in their `Hello`.
+///
+/// Entries are added before the gateway starts; at runtime the directory
+/// is shared read-only and each entry guards its verifier with its own
+/// mutex, so sessions for *different* devices never contend.
+#[derive(Debug, Default)]
+pub struct DeviceDirectory {
+    entries: Vec<DeviceEntry>,
+}
+
+impl DeviceDirectory {
+    /// An empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        DeviceDirectory::default()
+    }
+
+    /// Registers a device; returns its `device_id`.
+    pub fn register(&mut self, verifier: Verifier, expected_memory: Vec<u8>) -> u64 {
+        self.register_with_floor(verifier, expected_memory, 0)
+    }
+
+    /// Registers a device whose sessions take at least `service_floor_ms`
+    /// of wall time — a worker-occupancy knob used by backpressure tests
+    /// and the bench's per-worker probe phase.
+    pub fn register_with_floor(
+        &mut self,
+        verifier: Verifier,
+        expected_memory: Vec<u8>,
+        service_floor_ms: u64,
+    ) -> u64 {
+        let id = self.entries.len() as u64;
+        self.entries.push(DeviceEntry {
+            verifier: Mutex::new(verifier),
+            expected_memory,
+            service_floor_ms,
+        });
+        id
+    }
+
+    /// Number of registered devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no devices are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn get(&self, device_id: u64) -> Option<&DeviceEntry> {
+        usize::try_from(device_id)
+            .ok()
+            .and_then(|i| self.entries.get(i))
+    }
+}
+
+impl DeviceEntry {
+    /// The memory image the device should present for a request carrying
+    /// `field`. The prover commits counter/timestamp freshness into the
+    /// protected `counter_R` RAM word *before* MACing (reject-then-MAC
+    /// ordering, §4.2), so the attested image embeds the freshness value
+    /// the verifier just sent — patch it into the baseline.
+    fn expected_for(&self, field: &FreshnessField) -> Vec<u8> {
+        let mut image = self.expected_memory.clone();
+        let committed = match field {
+            FreshnessField::Counter(c) => Some(*c),
+            FreshnessField::Timestamp(t) => Some(*t),
+            FreshnessField::None | FreshnessField::Nonce(_) => None,
+        };
+        if let Some(value) = committed {
+            let offset = (map::COUNTER_R.start - map::RAM.start) as usize;
+            if let Some(word) = image.get_mut(offset..offset + 8) {
+                word.copy_from_slice(&value.to_le_bytes());
+            }
+        }
+        image
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration & stats
+// ---------------------------------------------------------------------------
+
+/// Gateway tuning.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Worker threads serving sessions.
+    pub workers: usize,
+    /// Bounded work-queue depth; a full queue sheds with `Busy`.
+    pub queue_depth: usize,
+    /// Per-connection read deadline (handshake and responses).
+    pub read_timeout_ms: u64,
+    /// Per-connection write deadline (where the OS supports one).
+    pub write_timeout_ms: u64,
+    /// Retry/backoff policy per session. `jitter_seed` is XORed with the
+    /// device id so concurrent sessions decorrelate.
+    pub retry: RetryPolicy,
+    /// Hard cap on any single real backoff sleep a worker performs, so a
+    /// saturated schedule cannot park a worker.
+    pub backoff_cap_ms: u64,
+    /// Accept-loop poll granularity (shutdown latency bound).
+    pub accept_poll_ms: u64,
+    /// Per-worker trace-ring capacity.
+    pub trace_capacity: usize,
+    /// Fleet-health tuning for the embedded [`FleetController`].
+    pub fleet: FleetPolicy,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 4,
+            queue_depth: 16,
+            read_timeout_ms: 1_000,
+            write_timeout_ms: 1_000,
+            retry: RetryPolicy {
+                timeout_ms: 500,
+                max_retries: 2,
+                backoff_base_ms: 5,
+                backoff_factor: 2,
+                jitter_per_mille: 500,
+                jitter_seed: 0x6761_7465, // "gate"
+            },
+            backoff_cap_ms: 50,
+            accept_poll_ms: 10,
+            trace_capacity: 4_096,
+            fleet: FleetPolicy::default(),
+        }
+    }
+}
+
+/// Live gateway counters (atomics; shared between accept loop, workers
+/// and observers).
+#[derive(Debug)]
+pub struct GatewayStats {
+    accepted: AtomicU64,
+    busy_rejected: AtomicU64,
+    enqueued: AtomicU64,
+    handshake_failed: AtomicU64,
+    sessions_ok: AtomicU64,
+    sessions_failed: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    per_worker_sessions: Vec<AtomicU64>,
+}
+
+impl GatewayStats {
+    fn new(workers: usize) -> Self {
+        GatewayStats {
+            accepted: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            handshake_failed: AtomicU64::new(0),
+            sessions_ok: AtomicU64::new(0),
+            sessions_failed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            per_worker_sessions: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> GatewaySnapshot {
+        GatewaySnapshot {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            busy_rejected: self.busy_rejected.load(Ordering::SeqCst),
+            enqueued: self.enqueued.load(Ordering::SeqCst),
+            handshake_failed: self.handshake_failed.load(Ordering::SeqCst),
+            sessions_ok: self.sessions_ok.load(Ordering::SeqCst),
+            sessions_failed: self.sessions_failed.load(Ordering::SeqCst),
+            queue_peak: self.queue_peak.load(Ordering::SeqCst),
+            per_worker_sessions: self
+                .per_worker_sessions
+                .iter()
+                .map(|c| c.load(Ordering::SeqCst))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`GatewayStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewaySnapshot {
+    /// Connections pulled off the acceptor.
+    pub accepted: u64,
+    /// Connections shed with a `Busy` frame (queue full).
+    pub busy_rejected: u64,
+    /// Connections that made it onto the work queue.
+    pub enqueued: u64,
+    /// Enqueued connections that died before/during `Hello` (timeout,
+    /// garbage, unknown device).
+    pub handshake_failed: u64,
+    /// Sessions whose attestation verified.
+    pub sessions_ok: u64,
+    /// Sessions driven to completion without a verified response.
+    pub sessions_failed: u64,
+    /// Highest simultaneous queue depth observed.
+    pub queue_peak: u64,
+    /// Sessions served per worker (ok + failed + handshake failures).
+    pub per_worker_sessions: Vec<u64>,
+}
+
+impl GatewaySnapshot {
+    /// The conservation law every quiesced gateway must satisfy: each
+    /// accepted connection was either shed `Busy` or enqueued, and each
+    /// enqueued connection ended as exactly one of handshake-failed,
+    /// session-ok or session-failed. Only meaningful once no sessions are
+    /// in flight (after [`GatewayHandle::shutdown`]).
+    #[must_use]
+    pub fn partition_holds(&self) -> bool {
+        self.accepted == self.busy_rejected + self.enqueued
+            && self.enqueued == self.handshake_failed + self.sessions_ok + self.sessions_failed
+    }
+
+    /// Total sessions driven to completion (verified or not).
+    #[must_use]
+    pub fn sessions_total(&self) -> u64 {
+        self.sessions_ok + self.sessions_failed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gateway runtime
+// ---------------------------------------------------------------------------
+
+struct GatewayShared {
+    directory: DeviceDirectory,
+    fleet: Mutex<FleetController>,
+    stats: GatewayStats,
+    config: GatewayConfig,
+    started: Instant,
+}
+
+impl GatewayShared {
+    fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+struct QueueItem {
+    conn: Box<dyn Transport>,
+    enqueued_at: Instant,
+}
+
+/// What one gateway thread hands back when it exits.
+struct ThreadExit {
+    registry: Registry,
+    spans: u64,
+    dropped_spans: u64,
+}
+
+/// The merged post-shutdown picture of a gateway run.
+#[derive(Debug)]
+pub struct GatewayReport {
+    /// All thread registries folded together (`Registry::merge`): byte
+    /// counters, queue gauges, session latency histograms.
+    pub metrics: Registry,
+    /// Trace spans recorded across all workers.
+    pub spans: u64,
+    /// Trace spans lost to ring overflow across all workers (0 when the
+    /// configured `trace_capacity` sufficed).
+    pub dropped_spans: u64,
+    /// Final counter snapshot.
+    pub stats: GatewaySnapshot,
+}
+
+/// A running gateway: accept loop + worker pool.
+pub struct GatewayHandle {
+    shared: Arc<GatewayShared>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: JoinHandle<ThreadExit>,
+    workers: Vec<JoinHandle<ThreadExit>>,
+}
+
+/// Namespace for [`Gateway::start`].
+#[derive(Debug)]
+pub struct Gateway;
+
+impl Gateway {
+    /// Starts the accept loop and worker pool over `acceptor`, serving
+    /// the devices in `directory`. Runs until
+    /// [`GatewayHandle::shutdown`].
+    #[must_use]
+    pub fn start(
+        acceptor: Box<dyn Acceptor>,
+        directory: DeviceDirectory,
+        config: GatewayConfig,
+    ) -> GatewayHandle {
+        let workers = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let fleet = FleetController::new(directory.len(), config.fleet);
+        let shared = Arc::new(GatewayShared {
+            directory,
+            fleet: Mutex::new(fleet),
+            stats: GatewayStats::new(workers),
+            config,
+            started: Instant::now(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (work_tx, work_rx) = sync_channel::<QueueItem>(queue_depth);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let worker_handles = (0..workers)
+            .map(|w| {
+                let rx = Arc::clone(&work_rx);
+                let ctx = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("gw-worker-{w}"))
+                    .spawn(move || worker_main(w, &rx, &ctx))
+                    .expect("spawn gateway worker")
+            })
+            .collect();
+
+        let accept_thread = {
+            let ctx = Arc::clone(&shared);
+            let flag = Arc::clone(&shutdown);
+            thread::Builder::new()
+                .name("gw-accept".to_string())
+                .spawn(move || accept_main(acceptor, &work_tx, &ctx, &flag))
+                .expect("spawn gateway accept loop")
+        };
+
+        GatewayHandle {
+            shared,
+            shutdown,
+            accept_thread,
+            workers: worker_handles,
+        }
+    }
+}
+
+impl GatewayHandle {
+    /// Live counters.
+    #[must_use]
+    pub fn stats(&self) -> GatewaySnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Read access to the per-device health ledger.
+    pub fn with_fleet<R>(&self, f: impl FnOnce(&FleetController) -> R) -> R {
+        f(&self.shared.fleet.lock().expect("fleet lock poisoned"))
+    }
+
+    /// Graceful shutdown: stops accepting, lets in-flight sessions and
+    /// the queued backlog finish, joins every thread and merges their
+    /// telemetry.
+    #[must_use]
+    pub fn shutdown(self) -> GatewayReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Joining the accept thread drops the queue sender; workers drain
+        // the backlog, then their `recv` fails and they exit.
+        let accept_exit = self
+            .accept_thread
+            .join()
+            .expect("gateway accept thread panicked");
+        let mut metrics = accept_exit.registry;
+        let mut spans = accept_exit.spans;
+        let mut dropped_spans = accept_exit.dropped_spans;
+        for handle in self.workers {
+            let exit = handle.join().expect("gateway worker panicked");
+            metrics.merge(&exit.registry);
+            spans += exit.spans;
+            dropped_spans += exit.dropped_spans;
+        }
+        GatewayReport {
+            metrics,
+            spans,
+            dropped_spans,
+            stats: self.shared.stats.snapshot(),
+        }
+    }
+}
+
+fn accept_main(
+    mut acceptor: Box<dyn Acceptor>,
+    work_tx: &SyncSender<QueueItem>,
+    ctx: &GatewayShared,
+    shutdown: &AtomicBool,
+) -> ThreadExit {
+    metrics::reset();
+    let poll = Duration::from_millis(ctx.config.accept_poll_ms.max(1));
+    while !shutdown.load(Ordering::SeqCst) {
+        let conn = match acceptor.poll_accept(poll) {
+            Ok(Some(conn)) => conn,
+            Ok(None) => continue,
+            Err(_) => break,
+        };
+        ctx.stats.accepted.fetch_add(1, Ordering::SeqCst);
+        metrics::counter_add("gateway.accepted", 1);
+        let item = QueueItem {
+            conn,
+            enqueued_at: Instant::now(),
+        };
+        // Count the slot *before* the send so a fast worker's decrement
+        // can never observe (and underflow past) a not-yet-incremented
+        // depth.
+        let depth = ctx.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+        match work_tx.try_send(item) {
+            Ok(()) => {
+                ctx.stats.enqueued.fetch_add(1, Ordering::SeqCst);
+                ctx.stats.queue_peak.fetch_max(depth, Ordering::SeqCst);
+                metrics::gauge_set("gateway.queue_depth", depth);
+            }
+            Err(TrySendError::Full(item)) => {
+                ctx.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                ctx.stats.busy_rejected.fetch_add(1, Ordering::SeqCst);
+                metrics::counter_add("gateway.busy", 1);
+                let mut conn = item.conn;
+                let _ = conn.set_deadline(Some(Duration::from_millis(ctx.config.write_timeout_ms)));
+                let _ = conn.send(&GatewayMsg::Busy.encode());
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                ctx.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                break;
+            }
+        }
+    }
+    ThreadExit {
+        registry: metrics::snapshot(),
+        spans: 0,
+        dropped_spans: 0,
+    }
+}
+
+fn worker_main(w: usize, rx: &Mutex<Receiver<QueueItem>>, ctx: &GatewayShared) -> ThreadExit {
+    metrics::reset();
+    trace::reset();
+    trace::set_capacity(ctx.config.trace_capacity.max(16));
+    trace::enable();
+    let mut spans = 0u64;
+    loop {
+        // Holding the lock across the blocking `recv` serializes only the
+        // *dequeue*, never the session work; idle workers park here.
+        let item = match rx.lock().expect("gateway queue lock poisoned").recv() {
+            Ok(item) => item,
+            Err(_) => break,
+        };
+        let depth = ctx
+            .stats
+            .queue_depth
+            .fetch_sub(1, Ordering::SeqCst)
+            .saturating_sub(1);
+        metrics::gauge_set("gateway.queue_depth", depth);
+        serve_connection(w, item, ctx);
+        // Keep the ring shallow so long runs never overflow it; `drain`
+        // (unlike `clear`) preserves the dropped-span count.
+        spans += trace::drain()
+            .iter()
+            .filter(|e| matches!(e, proverguard_telemetry::trace::TraceEvent::Span { .. }))
+            .count() as u64;
+    }
+    ThreadExit {
+        registry: metrics::snapshot(),
+        spans,
+        dropped_spans: trace::dropped(),
+    }
+}
+
+fn serve_connection(w: usize, item: QueueItem, ctx: &GatewayShared) {
+    let mut conn = item.conn;
+    metrics::histogram_record(
+        "gateway.queue_wait_us",
+        u64::try_from(item.enqueued_at.elapsed().as_micros()).unwrap_or(u64::MAX),
+    );
+    let session_start = Instant::now();
+    trace::set_now(ctx.elapsed_us());
+    let span = trace::span("gateway.session");
+
+    ctx.stats.per_worker_sessions[w].fetch_add(1, Ordering::SeqCst);
+    let read_timeout = Duration::from_millis(ctx.config.read_timeout_ms);
+    let write_timeout = Duration::from_millis(ctx.config.write_timeout_ms);
+
+    let fail_handshake = |label: &'static str| {
+        ctx.stats.handshake_failed.fetch_add(1, Ordering::SeqCst);
+        metrics::counter_add("gateway.handshake_failed", 1);
+        metrics::counter_add(label, 1);
+    };
+
+    let _ = conn.set_deadline(Some(read_timeout));
+    let hello = match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
+        Ok(Ok(GatewayMsg::Hello { device_id })) => device_id,
+        Ok(_) => {
+            fail_handshake("gateway.handshake.garbage");
+            finish_span(ctx, span);
+            return;
+        }
+        Err(_) => {
+            fail_handshake("gateway.handshake.link");
+            finish_span(ctx, span);
+            return;
+        }
+    };
+    let Some(entry) = ctx.directory.get(hello) else {
+        fail_handshake("gateway.handshake.unknown_device");
+        let _ = conn.set_deadline(Some(write_timeout));
+        let _ = conn.send(&GatewayMsg::Bye { verified: false }.encode());
+        finish_span(ctx, span);
+        return;
+    };
+
+    if entry.service_floor_ms > 0 {
+        thread::sleep(Duration::from_millis(entry.service_floor_ms));
+    }
+
+    let policy = RetryPolicy {
+        jitter_seed: ctx.config.retry.jitter_seed ^ hello,
+        ..ctx.config.retry
+    };
+    let mut link = GatewayLink {
+        conn: conn.as_mut(),
+        entry,
+        ctx,
+        dead: false,
+    };
+    let report = SessionDriver::new(policy).run(&mut link);
+    let verified = report.succeeded();
+
+    let _ = conn.set_deadline(Some(write_timeout));
+    let _ = conn.send(&GatewayMsg::Bye { verified }.encode());
+
+    let now_ms = ctx.elapsed_ms();
+    ctx.fleet
+        .lock()
+        .expect("fleet lock poisoned")
+        .record_outcome(hello as usize, verified, now_ms);
+    if verified {
+        ctx.stats.sessions_ok.fetch_add(1, Ordering::SeqCst);
+        metrics::counter_add("gateway.sessions_ok", 1);
+    } else {
+        ctx.stats.sessions_failed.fetch_add(1, Ordering::SeqCst);
+        metrics::counter_add("gateway.sessions_failed", 1);
+    }
+    metrics::histogram_record(
+        "gateway.session_us",
+        u64::try_from(session_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+    );
+    finish_span(ctx, span);
+}
+
+fn finish_span(ctx: &GatewayShared, span: proverguard_telemetry::trace::SpanGuard) {
+    trace::set_now(ctx.elapsed_us());
+    drop(span);
+}
+
+/// [`SessionLink`] over one accepted connection: real frames out, real
+/// deadlines, real sleeps for backoff.
+struct GatewayLink<'a> {
+    conn: &'a mut dyn Transport,
+    entry: &'a DeviceEntry,
+    ctx: &'a GatewayShared,
+    /// Set once the link is unrecoverable (peer gone, stream poisoned);
+    /// later attempts fail instantly instead of burning timeouts.
+    dead: bool,
+}
+
+impl SessionLink for GatewayLink<'_> {
+    fn attempt(&mut self, timeout_ms: u64) -> AttemptOutcome {
+        if self.dead {
+            return AttemptOutcome::RequestLost;
+        }
+        let request = {
+            let mut verifier = self.entry.verifier.lock().expect("verifier lock poisoned");
+            // Keep the verifier clock in step with gateway wall time so
+            // timestamp-freshness fleets work over real links.
+            let now = self.ctx.elapsed_ms().max(verifier.now_ms());
+            verifier.set_time_ms(now);
+            match verifier.make_request() {
+                Ok(r) => r,
+                Err(e) => return AttemptOutcome::Error(e),
+            }
+        };
+        let deadline = Duration::from_millis(timeout_ms.max(1));
+        if self.conn.set_deadline(Some(deadline)).is_err() {
+            self.dead = true;
+            return AttemptOutcome::RequestLost;
+        }
+        if let Err(e) = self
+            .conn
+            .send(&GatewayMsg::AttReq(request.to_bytes()).encode())
+        {
+            self.dead = !e.is_transient();
+            return AttemptOutcome::RequestLost;
+        }
+        match self.conn.recv() {
+            Ok(bytes) => match GatewayMsg::decode(&bytes) {
+                Ok(GatewayMsg::AttResp(raw)) => {
+                    let Ok(response) = AttestResponse::from_bytes(&raw) else {
+                        return AttemptOutcome::BadResponse;
+                    };
+                    let expected = self.entry.expected_for(&request.freshness);
+                    let verifier = self.entry.verifier.lock().expect("verifier lock poisoned");
+                    if verifier.check_response(&request, &response, &expected) {
+                        AttemptOutcome::Success
+                    } else {
+                        AttemptOutcome::BadResponse
+                    }
+                }
+                Ok(GatewayMsg::Reject(reason)) => AttemptOutcome::Rejected(reason),
+                _ => AttemptOutcome::BadResponse,
+            },
+            Err(TransportError::Timeout) => AttemptOutcome::ResponseLost,
+            Err(TransportError::Malformed { .. } | TransportError::TooLarge { .. }) => {
+                // Stream poisoned by garbage — no point retrying.
+                self.dead = true;
+                AttemptOutcome::BadResponse
+            }
+            Err(_) => {
+                self.dead = true;
+                AttemptOutcome::ResponseLost
+            }
+        }
+    }
+
+    fn wait_ms(&mut self, ms: u64) {
+        if !self.dead {
+            thread::sleep(Duration::from_millis(
+                ms.min(self.ctx.config.backoff_cap_ms),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prover agent (client side)
+// ---------------------------------------------------------------------------
+
+/// How one prover-side gateway session ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentOutcome {
+    /// The gateway drove the session to completion and said goodbye.
+    Served {
+        /// Attestation requests the prover processed (incl. rejected).
+        requests_handled: u32,
+        /// What the gateway's `Bye` said about the final attempt.
+        verified: bool,
+    },
+    /// The gateway shed the connection with `Busy`.
+    Busy,
+    /// The link died (timeout, hangup, I/O error).
+    ConnectionLost,
+    /// The gateway spoke something that is not the protocol.
+    ProtocolError,
+}
+
+impl AgentOutcome {
+    /// `true` iff the session completed with a verified attestation.
+    #[must_use]
+    pub fn is_verified(&self) -> bool {
+        matches!(self, AgentOutcome::Served { verified: true, .. })
+    }
+}
+
+/// The prover side of the gateway protocol: dials in, answers `AttReq`
+/// frames with the device's real [`Prover`] pipeline (so every paper
+/// defence — auth, freshness, admission — applies on the wire), and obeys
+/// `Busy`.
+#[derive(Debug)]
+pub struct ProverAgent {
+    prover: Prover,
+    device_id: u64,
+}
+
+impl ProverAgent {
+    /// An agent for `prover`, registered as `device_id` at the gateway.
+    #[must_use]
+    pub fn new(prover: Prover, device_id: u64) -> Self {
+        ProverAgent { prover, device_id }
+    }
+
+    /// The wrapped prover.
+    #[must_use]
+    pub fn prover(&self) -> &Prover {
+        &self.prover
+    }
+
+    /// Mutable access (e.g. to install an admission policy).
+    pub fn prover_mut(&mut self) -> &mut Prover {
+        &mut self.prover
+    }
+
+    /// Runs one session over an established connection.
+    pub fn run_session(&mut self, conn: &mut dyn Transport, io_timeout: Duration) -> AgentOutcome {
+        if conn.set_deadline(Some(io_timeout)).is_err() {
+            return AgentOutcome::ConnectionLost;
+        }
+        let hello = GatewayMsg::Hello {
+            device_id: self.device_id,
+        };
+        if conn.send(&hello.encode()).is_err() {
+            // The gateway may have shed this connection before reading a
+            // byte — a Busy (or Bye) frame can already be queued on our
+            // side even though the peer is gone.
+            return drain_outcome(conn, 0);
+        }
+        let mut requests_handled = 0u32;
+        let session_start = Instant::now();
+        let mut last_seen = Duration::ZERO;
+        loop {
+            let bytes = match conn.recv() {
+                Ok(bytes) => bytes,
+                Err(_) => return AgentOutcome::ConnectionLost,
+            };
+            // Real wall time passed while we waited; let it pass for the
+            // prover's simulated clock too (freshness windows, admission
+            // refill).
+            let elapsed = session_start.elapsed();
+            let delta_ms = (elapsed - last_seen).as_millis() as u64;
+            last_seen = elapsed;
+            if delta_ms > 0 {
+                let _ = self.prover.advance_time_ms(delta_ms);
+            }
+            match GatewayMsg::decode(&bytes) {
+                Ok(GatewayMsg::AttReq(raw)) => {
+                    let reply = match self.prover.handle_wire_request(&raw) {
+                        Ok(resp) => GatewayMsg::AttResp(resp),
+                        Err(AttestError::Rejected(reason)) => GatewayMsg::Reject(reason),
+                        Err(_) => GatewayMsg::Reject(RejectReason::Malformed),
+                    };
+                    requests_handled += 1;
+                    if conn.send(&reply.encode()).is_err() {
+                        // The gateway may have timed this attempt out and
+                        // hung up with a queued Bye.
+                        return drain_outcome(conn, requests_handled);
+                    }
+                }
+                Ok(GatewayMsg::Busy) => return AgentOutcome::Busy,
+                Ok(GatewayMsg::Bye { verified }) => {
+                    return AgentOutcome::Served {
+                        requests_handled,
+                        verified,
+                    }
+                }
+                _ => return AgentOutcome::ProtocolError,
+            }
+        }
+    }
+
+    /// Dials, runs a session, and retries `Busy` shed with the jittered
+    /// backoff of `policy` (each sleep capped at `busy_cap_ms`). Gives up
+    /// after `policy.max_retries` re-dials.
+    pub fn attest_with_retry<F>(
+        &mut self,
+        mut connect: F,
+        policy: &RetryPolicy,
+        io_timeout: Duration,
+        busy_cap_ms: u64,
+    ) -> AgentOutcome
+    where
+        F: FnMut() -> Result<Box<dyn Transport>, TransportError>,
+    {
+        let total = policy.max_retries + 1;
+        for attempt in 1..=total {
+            let mut conn = match connect() {
+                Ok(conn) => conn,
+                Err(_) => return AgentOutcome::ConnectionLost,
+            };
+            match self.run_session(conn.as_mut(), io_timeout) {
+                AgentOutcome::Busy if attempt < total => {
+                    let nap = policy.backoff_ms(attempt).min(busy_cap_ms);
+                    thread::sleep(Duration::from_millis(nap));
+                    let _ = self.prover.advance_time_ms(nap);
+                }
+                outcome => return outcome,
+            }
+        }
+        AgentOutcome::Busy
+    }
+}
+
+/// Reads out whatever verdict frames the gateway left behind after a
+/// failed send (the peer hangs up right after writing `Busy`/`Bye`, so
+/// the frames outlive the connection).
+fn drain_outcome(conn: &mut dyn Transport, requests_handled: u32) -> AgentOutcome {
+    loop {
+        match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
+            Ok(Ok(GatewayMsg::Busy)) => return AgentOutcome::Busy,
+            Ok(Ok(GatewayMsg::Bye { verified })) => {
+                return AgentOutcome::Served {
+                    requests_handled,
+                    verified,
+                }
+            }
+            Ok(Ok(_)) => continue, // stale in-session frame
+            Ok(Err(_)) => return AgentOutcome::ProtocolError,
+            Err(_) => return AgentOutcome::ConnectionLost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::ProverConfig;
+    use proverguard_transport::frame::DEFAULT_MAX_FRAME;
+    use proverguard_transport::mem::LoopbackHub;
+
+    const KEY: [u8; 16] = [0x42; 16];
+
+    fn provisioned(config: &ProverConfig) -> (Prover, Verifier) {
+        let prover = Prover::provision(config.clone(), &KEY, b"app v1").unwrap();
+        let verifier = Verifier::new(config, &KEY).unwrap();
+        (prover, verifier)
+    }
+
+    #[test]
+    fn wire_msgs_roundtrip() {
+        let msgs = [
+            GatewayMsg::Hello { device_id: 7 },
+            GatewayMsg::AttReq(vec![1, 2, 3]),
+            GatewayMsg::AttResp(vec![]),
+            GatewayMsg::Reject(RejectReason::StaleCounter),
+            GatewayMsg::Busy,
+            GatewayMsg::Bye { verified: true },
+            GatewayMsg::Bye { verified: false },
+        ];
+        for msg in msgs {
+            assert_eq!(GatewayMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn wire_msgs_reject_garbage_without_panicking() {
+        let bad: &[&[u8]] = &[
+            &[],
+            &[0],
+            &[99, 1, 2],
+            &[TAG_HELLO],          // truncated id
+            &[TAG_HELLO, 1, 2, 3], // short id
+            &[TAG_REJECT],         // missing code
+            &[TAG_REJECT, 200],    // unknown code
+            &[TAG_BUSY, 1],        // busy with body
+            &[TAG_BYE],            // missing flag
+            &[TAG_BYE, 1, 2],      // long flag
+        ];
+        for bytes in bad {
+            assert!(
+                matches!(
+                    GatewayMsg::decode(bytes),
+                    Err(AttestError::MalformedMessage { .. })
+                ),
+                "{bytes:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn every_reject_reason_roundtrips() {
+        for reason in [
+            RejectReason::BadAuth,
+            RejectReason::NonceReused,
+            RejectReason::StaleCounter,
+            RejectReason::TimestampNotMonotonic,
+            RejectReason::TimestampOutOfWindow,
+            RejectReason::FreshnessKindMismatch,
+            RejectReason::Malformed,
+            RejectReason::Throttled,
+            RejectReason::DegradedMode,
+        ] {
+            let msg = GatewayMsg::Reject(reason);
+            assert_eq!(GatewayMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn gateway_serves_honest_sessions_over_loopback() {
+        let config = ProverConfig::recommended();
+        let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+        let mut directory = DeviceDirectory::new();
+        let mut agents = Vec::new();
+        for id in 0..3u64 {
+            let (prover, verifier) = provisioned(&config);
+            let expected = prover.expected_memory().to_vec();
+            assert_eq!(directory.register(verifier, expected), id);
+            agents.push(ProverAgent::new(prover, id));
+        }
+        let handle = Gateway::start(
+            Box::new(hub),
+            directory,
+            GatewayConfig {
+                workers: 2,
+                // Debug-build memory MACs are slow; don't let a loaded CI
+                // machine turn compute time into spurious retries.
+                retry: RetryPolicy {
+                    timeout_ms: 10_000,
+                    ..GatewayConfig::default().retry
+                },
+                ..GatewayConfig::default()
+            },
+        );
+
+        for agent in &mut agents {
+            for _ in 0..2 {
+                let mut conn = connector.connect().unwrap();
+                let outcome = agent.run_session(&mut conn, Duration::from_secs(5));
+                assert!(outcome.is_verified(), "honest session failed: {outcome:?}");
+            }
+        }
+
+        let report = handle.shutdown();
+        assert_eq!(report.stats.sessions_ok, 6);
+        assert_eq!(report.stats.sessions_failed, 0);
+        assert_eq!(report.stats.handshake_failed, 0);
+        assert!(report.stats.partition_holds(), "{:?}", report.stats);
+        // At least the per-session "gateway.session" span each; crypto
+        // stages inside the workers add more.
+        assert!(report.spans >= 6, "spans = {}", report.spans);
+        assert_eq!(report.dropped_spans, 0);
+        assert_eq!(report.metrics.counter("gateway.sessions_ok"), Some(6));
+        let hist = report.metrics.histogram("gateway.session_us").unwrap();
+        assert_eq!(hist.count(), 6);
+        // Transport byte counters crossed the thread boundary too.
+        assert!(report.metrics.counter("transport.bytes_in").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn unknown_device_and_garbage_hello_fail_handshake() {
+        let config = ProverConfig::recommended();
+        let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+        let (prover, verifier) = provisioned(&config);
+        let mut directory = DeviceDirectory::new();
+        directory.register(verifier, prover.expected_memory().to_vec());
+        let handle = Gateway::start(
+            Box::new(hub),
+            directory,
+            GatewayConfig {
+                workers: 1,
+                read_timeout_ms: 200,
+                ..GatewayConfig::default()
+            },
+        );
+
+        // Unknown device id: polite Bye{false}.
+        let mut conn = connector.connect().unwrap();
+        conn.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        conn.send(&GatewayMsg::Hello { device_id: 99 }.encode())
+            .unwrap();
+        assert_eq!(
+            GatewayMsg::decode(&conn.recv().unwrap()).unwrap(),
+            GatewayMsg::Bye { verified: false }
+        );
+
+        // Garbage instead of Hello: connection just closes.
+        let mut conn = connector.connect().unwrap();
+        conn.send(b"not a gateway message").unwrap();
+        conn.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        assert!(conn.recv().is_err());
+
+        let report = handle.shutdown();
+        assert_eq!(report.stats.handshake_failed, 2);
+        assert_eq!(report.stats.sessions_total(), 0);
+        assert!(report.stats.partition_holds());
+    }
+
+    #[test]
+    fn full_queue_sheds_with_busy_and_honest_retry_gets_through() {
+        let config = ProverConfig::recommended();
+        let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+        let mut directory = DeviceDirectory::new();
+        let (prover, verifier) = provisioned(&config);
+        // A slow device pins the single worker for ~150 ms per session.
+        directory.register_with_floor(verifier, prover.expected_memory().to_vec(), 150);
+        let handle = Gateway::start(
+            Box::new(hub),
+            directory,
+            GatewayConfig {
+                workers: 1,
+                queue_depth: 1,
+                retry: RetryPolicy {
+                    timeout_ms: 10_000,
+                    ..GatewayConfig::default().retry
+                },
+                ..GatewayConfig::default()
+            },
+        );
+        let mut agent = ProverAgent::new(prover, 0);
+
+        // Pin the single worker with a silent connection (it blocks on the
+        // Hello read timeout), then fill the 1-slot queue with another.
+        let pin_worker = connector.connect().unwrap();
+        thread::sleep(Duration::from_millis(50));
+        let pin_queue = connector.connect().unwrap();
+        thread::sleep(Duration::from_millis(50));
+        // An honest dial now must be shed with a cheap Busy frame.
+        let mut conn = connector.connect().unwrap();
+        let outcome = agent.run_session(&mut conn, Duration::from_secs(30));
+        assert_eq!(outcome, AgentOutcome::Busy);
+
+        // With retries, the same agent eventually lands a verified
+        // session (the dropped pinning connections free the worker).
+        drop(pin_worker);
+        drop(pin_queue);
+        let policy = RetryPolicy {
+            max_retries: 20,
+            backoff_base_ms: 25,
+            backoff_factor: 1,
+            ..RetryPolicy::default()
+        };
+        let outcome = agent.attest_with_retry(
+            || {
+                connector
+                    .connect()
+                    .map(|c| Box::new(c) as Box<dyn Transport>)
+            },
+            &policy,
+            Duration::from_secs(30),
+            100,
+        );
+        assert!(outcome.is_verified(), "retrying agent failed: {outcome:?}");
+
+        let report = handle.shutdown();
+        assert!(report.stats.busy_rejected >= 1, "{:?}", report.stats);
+        assert_eq!(report.stats.sessions_ok, 1);
+        assert!(report.stats.partition_holds(), "{:?}", report.stats);
+        assert_eq!(
+            report.metrics.counter("gateway.busy"),
+            report.stats.busy_rejected.into()
+        );
+    }
+}

@@ -51,6 +51,7 @@ pub mod clocksync;
 pub mod error;
 pub mod fleet;
 pub mod freshness;
+pub mod gateway;
 pub mod message;
 pub mod persist;
 pub mod profile;
@@ -63,6 +64,10 @@ pub use admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
 pub use error::{AttestError, RejectReason};
 pub use fleet::{
     BreakerPolicy, BreakerState, CircuitBreaker, DeviceHealth, FleetController, FleetPolicy,
+};
+pub use gateway::{
+    AgentOutcome, DeviceDirectory, Gateway, GatewayConfig, GatewayHandle, GatewayMsg,
+    GatewayReport, GatewaySnapshot, ProverAgent,
 };
 pub use message::{AttestRequest, AttestResponse, FreshnessField};
 pub use persist::{

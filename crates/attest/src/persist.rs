@@ -19,9 +19,8 @@
 //! The storage medium itself is abstract ([`PersistedState`]): tests use
 //! [`InMemoryNvStore`] or the adversary-accessible [`SharedNvStore`].
 
-use std::cell::RefCell;
 use std::fmt::Debug;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proverguard_crypto::mac::MacKey;
 use proverguard_mcu::device::Mcu;
@@ -45,8 +44,10 @@ pub const RECORD_LEN: usize = 8 + 6 * 8;
 /// A non-volatile storage cell the prover can save one record into.
 ///
 /// The trait is object-safe and cloneable-through-the-box so that
-/// [`Prover`](crate::prover::Prover) can stay `Clone`.
-pub trait PersistedState: Debug {
+/// [`Prover`](crate::prover::Prover) can stay `Clone`, and `Send` so a
+/// prover (store attached or not) can be moved onto the thread that will
+/// serve its socket.
+pub trait PersistedState: Debug + Send {
     /// Overwrites the stored record.
     fn save(&mut self, bytes: &[u8]);
 
@@ -96,7 +97,7 @@ impl PersistedState for InMemoryNvStore {
 /// while the device is off.
 #[derive(Debug, Clone, Default)]
 pub struct SharedNvStore {
-    cell: Rc<RefCell<Option<Vec<u8>>>>,
+    cell: Arc<Mutex<Option<Vec<u8>>>>,
 }
 
 impl SharedNvStore {
@@ -109,23 +110,23 @@ impl SharedNvStore {
     /// The raw stored bytes (adversary/test view).
     #[must_use]
     pub fn raw(&self) -> Option<Vec<u8>> {
-        self.cell.borrow().clone()
+        self.cell.lock().expect("nv store lock poisoned").clone()
     }
 
     /// Overwrites the raw stored bytes from outside the prover — the
     /// tamper/rollback surface.
     pub fn overwrite(&self, bytes: Option<Vec<u8>>) {
-        *self.cell.borrow_mut() = bytes;
+        *self.cell.lock().expect("nv store lock poisoned") = bytes;
     }
 }
 
 impl PersistedState for SharedNvStore {
     fn save(&mut self, bytes: &[u8]) {
-        *self.cell.borrow_mut() = Some(bytes.to_vec());
+        *self.cell.lock().expect("nv store lock poisoned") = Some(bytes.to_vec());
     }
 
     fn load(&self) -> Option<Vec<u8>> {
-        self.cell.borrow().clone()
+        self.cell.lock().expect("nv store lock poisoned").clone()
     }
 
     fn box_clone(&self) -> Box<dyn PersistedState> {

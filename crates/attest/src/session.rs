@@ -29,6 +29,16 @@ pub struct RetryPolicy {
     pub backoff_base_ms: u64,
     /// Multiplier applied to the backoff after every failed attempt.
     pub backoff_factor: u32,
+    /// Deterministic jitter amplitude in ‰ of the computed backoff
+    /// (0 = no jitter, 1000 = ±100 %). When many sessions share one
+    /// gateway, un-jittered exponential backoff synchronizes their
+    /// retries into periodic thundering herds; jitter decorrelates them.
+    /// Capped at 1000 ‰.
+    pub jitter_per_mille: u16,
+    /// Seed for the jitter schedule. Same seed + same attempt number =
+    /// same jitter, so experiments stay reproducible; concurrent sessions
+    /// get distinct seeds (e.g. their device id) to decorrelate.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -38,20 +48,45 @@ impl Default for RetryPolicy {
             max_retries: 5,
             backoff_base_ms: 100,
             backoff_factor: 2,
+            jitter_per_mille: 0,
+            jitter_seed: 0,
         }
     }
 }
 
+/// SplitMix64 finalizer — the jitter's deterministic "randomness".
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl RetryPolicy {
     /// Backoff to wait after failed attempt number `attempt` (1-based):
-    /// `base * factor^(attempt-1)`, saturating. The exponent is capped at
+    /// `base * factor^(attempt-1)`, saturating, then jittered by up to
+    /// ±`jitter_per_mille` ‰ of that value. The exponent is capped at
     /// 63: any factor ≥ 2 has saturated every u64 base by then, and the
     /// cap keeps absurd attempt counts from ever wrapping the arithmetic.
+    /// The jitter is a pure function of `(jitter_seed, attempt)`, centred
+    /// on the un-jittered value and hard-capped at ±100 %, so the result
+    /// stays within `[0, 2 × backoff]`.
     #[must_use]
     pub fn backoff_ms(&self, attempt: u32) -> u64 {
         let shift = attempt.saturating_sub(1).min(63);
         let exp = u64::from(self.backoff_factor).saturating_pow(shift);
-        self.backoff_base_ms.saturating_mul(exp)
+        let base = self.backoff_base_ms.saturating_mul(exp);
+        let jitter = u64::from(self.jitter_per_mille.min(1000));
+        if jitter == 0 || base == 0 {
+            return base;
+        }
+        let span = ((u128::from(base) * u128::from(jitter)) / 1000) as u64;
+        if span == 0 {
+            return base;
+        }
+        let roll = splitmix64(self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9))
+            % (span.saturating_mul(2).saturating_add(1));
+        base.saturating_sub(span).saturating_add(roll)
     }
 }
 
@@ -291,6 +326,55 @@ mod tests {
             ..policy
         };
         assert_eq!(flat.backoff_ms(u32::MAX), flat.backoff_base_ms);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_decorrelating() {
+        let policy = RetryPolicy {
+            jitter_per_mille: 300,
+            jitter_seed: 0xFEED,
+            ..RetryPolicy::default()
+        };
+        // Deterministic: the same (seed, attempt) gives the same backoff.
+        for attempt in 1..=8 {
+            assert_eq!(policy.backoff_ms(attempt), policy.backoff_ms(attempt));
+        }
+        // Bounded: within ±30 % of the un-jittered schedule.
+        let flat = RetryPolicy::default();
+        for attempt in 1..=8 {
+            let base = flat.backoff_ms(attempt);
+            let jittered = policy.backoff_ms(attempt);
+            let span = base * 300 / 1000;
+            assert!(
+                (base - span..=base + span).contains(&jittered),
+                "attempt {attempt}: {jittered} outside {base}±{span}"
+            );
+        }
+        // Decorrelating: two sessions with different seeds must not share
+        // a whole schedule (else they'd still herd).
+        let other = RetryPolicy {
+            jitter_seed: 0xBEEF,
+            ..policy
+        };
+        assert!(
+            (1..=8).any(|a| policy.backoff_ms(a) != other.backoff_ms(a)),
+            "distinct seeds produced identical schedules"
+        );
+        // Zero jitter reproduces the legacy schedule exactly.
+        let none = RetryPolicy {
+            jitter_per_mille: 0,
+            ..policy
+        };
+        for attempt in 1..=8 {
+            assert_eq!(none.backoff_ms(attempt), flat.backoff_ms(attempt));
+        }
+        // Saturated base stays saturated, never wraps.
+        let huge = RetryPolicy {
+            backoff_base_ms: u64::MAX,
+            jitter_per_mille: 1000,
+            ..policy
+        };
+        let _ = huge.backoff_ms(5); // must not panic
     }
 
     #[test]

@@ -1,0 +1,550 @@
+//! Hammers a loopback verifier gateway with a fleet of concurrent honest
+//! prover threads while garbage and forgery floods compete for the same
+//! bounded work queue — the socketed, multi-threaded version of the
+//! paper's DoS economics: the gateway must shed the flood with cheap
+//! `Busy` frames while every honest session still verifies.
+//!
+//! Default mode compares a light and a heavy flood and prints throughput
+//! plus p50/p90/p99 session latency from the gateway's merged telemetry.
+//! `--ci` runs one short deterministic gate (seed below) and exits
+//! non-zero if any invariant is violated: every honest session verified,
+//! excess load shed with `Busy`, the stats partition law, every worker
+//! exercised, and zero dropped trace spans.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use proverguard_adversary::wire::{forgery_flood, junk_frame_flood, raw_garbage_flood, FloodStats};
+use proverguard_attest::gateway::{
+    DeviceDirectory, Gateway, GatewayConfig, GatewayMsg, GatewayReport, ProverAgent,
+};
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::session::RetryPolicy;
+use proverguard_attest::verifier::Verifier;
+use proverguard_bench::render_table;
+use proverguard_transport::{LoopbackConnector, LoopbackHub, Transport, DEFAULT_MAX_FRAME};
+
+/// Seed for the `--ci` gate (recorded in EXPERIMENTS.md).
+const CI_SEED: u64 = 0xDAC1_6761_7465;
+
+#[derive(Debug, Clone)]
+struct BenchConfig {
+    label: String,
+    /// Concurrent honest prover threads (the acceptance gate needs >= 8).
+    honest_threads: usize,
+    /// Attestation sessions each honest thread completes.
+    sessions_per_thread: usize,
+    workers: usize,
+    queue_depth: usize,
+    /// Forged sessions (valid `Hello`, garbage responses).
+    forgery_sessions: usize,
+    /// Well-framed protocol-garbage connections.
+    junk_frames: usize,
+    /// Unframed line-noise blasts at the codec.
+    raw_blasts: usize,
+    /// Service floor for the saturation-probe devices.
+    probe_floor_ms: u64,
+    /// Connections dialed against the saturated gateway; each must be
+    /// shed with `Busy`.
+    shed_dials: usize,
+    seed: u64,
+}
+
+impl BenchConfig {
+    fn ci() -> Self {
+        BenchConfig {
+            label: "ci gate".to_string(),
+            honest_threads: 8,
+            sessions_per_thread: 2,
+            workers: 4,
+            queue_depth: 4,
+            forgery_sessions: 8,
+            junk_frames: 12,
+            raw_blasts: 12,
+            probe_floor_ms: 300,
+            shed_dials: 3,
+            seed: CI_SEED,
+        }
+    }
+}
+
+struct BenchOutcome {
+    honest_total: u64,
+    honest_verified: u64,
+    flood: FloodStats,
+    shed_busy: u64,
+    shed_dials: u64,
+    report: GatewayReport,
+    elapsed: Duration,
+    violations: Vec<String>,
+}
+
+fn provision(index: u64) -> (Prover, Verifier) {
+    let config = ProverConfig::recommended();
+    let mut key = [0x42u8; 16];
+    key[0] ^= (index & 0xff) as u8;
+    key[1] ^= ((index >> 8) & 0xff) as u8;
+    let prover = Prover::provision(config.clone(), &key, b"app v1").expect("provision prover");
+    let verifier = Verifier::new(&config, &key).expect("provision verifier");
+    (prover, verifier)
+}
+
+fn boxed_connect(
+    connector: &LoopbackConnector,
+) -> impl FnMut() -> Result<Box<dyn Transport>, proverguard_transport::TransportError> + '_ {
+    move || {
+        connector
+            .connect()
+            .map(|conn| Box::new(conn) as Box<dyn Transport>)
+    }
+}
+
+/// Client-side retry: patient (`Busy` shed is expected under flood) with
+/// seeded jitter so concurrent threads decorrelate their re-dials.
+fn client_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        timeout_ms: 10_000,
+        max_retries: 40,
+        backoff_base_ms: 5,
+        backoff_factor: 1,
+        jitter_per_mille: 500,
+        jitter_seed: seed,
+    }
+}
+
+/// Dials the saturated gateway once and reports whether it was shed with
+/// a `Busy` frame. Mirrors the agent's drain semantics: the accept loop
+/// writes `Busy` and hangs up, so the send may fail while the verdict
+/// frame is already queued on our receiver.
+fn dial_expect_busy(connector: &LoopbackConnector, device_id: u64) -> bool {
+    let Ok(mut conn) = connector.connect() else {
+        return false;
+    };
+    let _ = conn.set_deadline(Some(Duration::from_millis(1_000)));
+    let _ = conn.send(&GatewayMsg::Hello { device_id }.encode());
+    loop {
+        match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
+            Ok(Ok(GatewayMsg::Busy)) => return true,
+            Ok(Ok(_)) => continue,
+            _ => return false,
+        }
+    }
+}
+
+fn run_bench(cfg: &BenchConfig) -> BenchOutcome {
+    let io_timeout = Duration::from_secs(10);
+    let mut directory = DeviceDirectory::new();
+
+    // Honest fleet: one device per thread.
+    let mut agents = Vec::new();
+    for t in 0..cfg.honest_threads {
+        let (prover, verifier) = provision(t as u64);
+        let id = directory.register(verifier, prover.expected_memory().to_vec());
+        agents.push(ProverAgent::new(prover, id));
+    }
+    // The forgery flood's target: a real registered device whose key the
+    // flood does not hold.
+    let (_forge_prover, forge_verifier) = provision(0x1000);
+    let forge_id = directory.register(forge_verifier, _forge_prover.expected_memory().to_vec());
+    // Saturation-probe devices: their floor keeps a worker occupied long
+    // enough to pigeonhole one probe session onto every worker and make
+    // the `Busy` shed deterministic.
+    let probe_count = cfg.workers + cfg.queue_depth;
+    let mut probe_agents = Vec::new();
+    for p in 0..probe_count {
+        let (prover, verifier) = provision(0x2000 + p as u64);
+        let id = directory.register_with_floor(
+            verifier,
+            prover.expected_memory().to_vec(),
+            cfg.probe_floor_ms,
+        );
+        probe_agents.push(ProverAgent::new(prover, id));
+    }
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let gateway_config = GatewayConfig {
+        workers: cfg.workers,
+        queue_depth: cfg.queue_depth,
+        read_timeout_ms: 2_000,
+        write_timeout_ms: 2_000,
+        retry: RetryPolicy {
+            timeout_ms: 10_000,
+            max_retries: 2,
+            backoff_base_ms: 5,
+            backoff_factor: 2,
+            jitter_per_mille: 500,
+            jitter_seed: cfg.seed,
+        },
+        backoff_cap_ms: 50,
+        accept_poll_ms: 5,
+        trace_capacity: 8_192,
+        ..GatewayConfig::default()
+    };
+    let handle = Gateway::start(Box::new(hub), directory, gateway_config);
+    let started = Instant::now();
+
+    // Phase 1 — honest fleet under flood.
+    let sessions_per_thread = cfg.sessions_per_thread;
+    let seed = cfg.seed;
+    let honest_joins: Vec<_> = agents
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut agent)| {
+            let connector = connector.clone();
+            let policy = client_policy(seed ^ (t as u64).wrapping_mul(0x9e37_79b9));
+            thread::spawn(move || {
+                let mut verified = 0u64;
+                for _ in 0..sessions_per_thread {
+                    let outcome = agent.attest_with_retry(
+                        boxed_connect(&connector),
+                        &policy,
+                        Duration::from_secs(10),
+                        50,
+                    );
+                    if outcome.is_verified() {
+                        verified += 1;
+                    }
+                }
+                verified
+            })
+        })
+        .collect();
+
+    let forge_join = {
+        let connector = connector.clone();
+        let sessions = cfg.forgery_sessions;
+        thread::spawn(move || {
+            forgery_flood(
+                boxed_connect(&connector),
+                forge_id,
+                sessions,
+                seed,
+                io_timeout,
+            )
+        })
+    };
+    let junk_join = {
+        let connector = connector.clone();
+        let frames = cfg.junk_frames;
+        thread::spawn(move || junk_frame_flood(boxed_connect(&connector), frames, seed))
+    };
+    let raw_join = {
+        let connector = connector.clone();
+        let blasts = cfg.raw_blasts;
+        thread::spawn(move || raw_garbage_flood(&connector, blasts, seed))
+    };
+
+    let honest_total = (cfg.honest_threads * cfg.sessions_per_thread) as u64;
+    let mut honest_verified: u64 = honest_joins
+        .into_iter()
+        .map(|j| j.join().expect("honest thread panicked"))
+        .sum();
+    let mut flood = FloodStats::default();
+    for stats in [
+        forge_join.join().expect("forgery flood panicked"),
+        junk_join.join().expect("junk flood panicked"),
+        raw_join.join().expect("raw flood panicked"),
+    ] {
+        flood.attempts += stats.attempts;
+        flood.busy += stats.busy;
+        flood.byes += stats.byes;
+        flood.forged_responses += stats.forged_responses;
+        flood.closed += stats.closed;
+    }
+
+    // Phase 1.5 — forgery soak on the now-quiescent gateway: with the
+    // honest load drained, every forged session reaches a worker, which
+    // must burn its retries against the garbage responses and report the
+    // session failed — never mis-verify.
+    let quiescent = forgery_flood(
+        boxed_connect(&connector),
+        forge_id,
+        cfg.forgery_sessions,
+        seed ^ 0x5155_4945,
+        io_timeout,
+    );
+    flood.attempts += quiescent.attempts;
+    flood.busy += quiescent.busy;
+    flood.byes += quiescent.byes;
+    flood.forged_responses += quiescent.forged_responses;
+    flood.closed += quiescent.closed;
+
+    // Phase 2 — saturation probe: exactly workers + queue_depth sessions
+    // against the floor devices. Each occupies its worker for at least
+    // `probe_floor_ms`, so every worker serves at least one (pigeonhole)
+    // and, mid-floor, the queue is provably full: the extra dials below
+    // MUST come back `Busy`.
+    let probe_total = probe_agents.len() as u64;
+    let probe_joins: Vec<_> = probe_agents
+        .into_iter()
+        .enumerate()
+        .map(|(p, mut agent)| {
+            let connector = connector.clone();
+            let policy = client_policy(seed ^ 0x7072_6f62 ^ (p as u64) << 8);
+            // Staggered dials fill workers-then-queue in order, so no
+            // probe bounces off a transiently full channel at spawn.
+            thread::sleep(Duration::from_millis(3));
+            thread::spawn(move || {
+                agent
+                    .attest_with_retry(
+                        boxed_connect(&connector),
+                        &policy,
+                        Duration::from_secs(30),
+                        50,
+                    )
+                    .is_verified() as u64
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(cfg.probe_floor_ms / 2));
+    let mut shed_busy = 0u64;
+    for _ in 0..cfg.shed_dials {
+        if dial_expect_busy(&connector, forge_id) {
+            shed_busy += 1;
+        }
+    }
+
+    let probe_verified: u64 = probe_joins
+        .into_iter()
+        .map(|j| j.join().expect("probe thread panicked"))
+        .sum();
+    honest_verified += probe_verified;
+    let elapsed = started.elapsed();
+    let report = handle.shutdown();
+
+    let mut violations = Vec::new();
+    let all_honest = honest_total + probe_total;
+    if honest_verified != all_honest {
+        violations.push(format!(
+            "honest sessions: {honest_verified}/{all_honest} verified"
+        ));
+    }
+    if report.stats.sessions_ok != all_honest {
+        violations.push(format!(
+            "gateway verified {} sessions, expected exactly the {all_honest} honest ones",
+            report.stats.sessions_ok
+        ));
+    }
+    if shed_busy != cfg.shed_dials as u64 {
+        violations.push(format!(
+            "saturation probe: only {shed_busy}/{} dials shed with Busy",
+            cfg.shed_dials
+        ));
+    }
+    if report.stats.busy_rejected < shed_busy {
+        violations.push(format!(
+            "busy_rejected {} < shed probe count {shed_busy}",
+            report.stats.busy_rejected
+        ));
+    }
+    if !report.stats.partition_holds() {
+        violations.push(format!("stats partition violated: {:?}", report.stats));
+    }
+    if let Some(idle) = report
+        .stats
+        .per_worker_sessions
+        .iter()
+        .position(|&sessions| sessions == 0)
+    {
+        violations.push(format!(
+            "worker {idle} served zero sessions: {:?}",
+            report.stats.per_worker_sessions
+        ));
+    }
+    if report.dropped_spans != 0 {
+        violations.push(format!("{} trace spans dropped", report.dropped_spans));
+    }
+    if flood.forged_responses == 0 {
+        violations.push("forgery flood never reached a worker (no forged responses)".to_string());
+    }
+    if flood.byes == 0 {
+        violations.push("no forged session was driven to a failed-session Bye verdict".to_string());
+    }
+    match report.metrics.histogram("gateway.session_us") {
+        Some(hist) if hist.count() >= all_honest => {}
+        Some(hist) => violations.push(format!(
+            "session histogram holds {} samples, expected >= {all_honest}",
+            hist.count()
+        )),
+        None => violations.push("gateway.session_us histogram missing".to_string()),
+    }
+
+    BenchOutcome {
+        honest_total: all_honest,
+        honest_verified,
+        flood,
+        shed_busy,
+        shed_dials: cfg.shed_dials as u64,
+        report,
+        elapsed,
+        violations,
+    }
+}
+
+fn percentiles(outcome: &BenchOutcome) -> (u64, u64, u64) {
+    outcome
+        .report
+        .metrics
+        .histogram("gateway.session_us")
+        .map_or((0, 0, 0), |h| {
+            (h.percentile(50), h.percentile(90), h.percentile(99))
+        })
+}
+
+fn throughput(outcome: &BenchOutcome) -> f64 {
+    let secs = outcome.elapsed.as_secs_f64();
+    if secs > 0.0 {
+        outcome.report.stats.sessions_total() as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+fn print_run(cfg: &BenchConfig, outcome: &BenchOutcome) {
+    let (p50, p90, p99) = percentiles(outcome);
+    println!(
+        "gateway bench [{}] seed {:#x}: {} workers / queue {}, {} honest threads x {} sessions",
+        cfg.label,
+        cfg.seed,
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.honest_threads,
+        cfg.sessions_per_thread,
+    );
+    println!(
+        "  honest: {}/{} verified (incl. {} worker-probe sessions)",
+        outcome.honest_verified,
+        outcome.honest_total,
+        cfg.workers + cfg.queue_depth,
+    );
+    println!(
+        "  flood: {} attempts -> {} busy, {} byes, {} forged responses, {} closed",
+        outcome.flood.attempts,
+        outcome.flood.busy,
+        outcome.flood.byes,
+        outcome.flood.forged_responses,
+        outcome.flood.closed,
+    );
+    println!(
+        "  shed probe: {}/{} dials answered Busy while saturated",
+        outcome.shed_busy, outcome.shed_dials,
+    );
+    let stats = &outcome.report.stats;
+    println!(
+        "  gateway: ok {} / failed {} / handshake-failed {}, busy_rejected {}, queue peak {}",
+        stats.sessions_ok,
+        stats.sessions_failed,
+        stats.handshake_failed,
+        stats.busy_rejected,
+        stats.queue_peak,
+    );
+    println!("  per-worker sessions: {:?}", stats.per_worker_sessions);
+    println!(
+        "  throughput: {:.1} sessions/s over {} ms; latency p50 {p50} us, p90 {p90} us, p99 {p99} us",
+        throughput(outcome),
+        outcome.elapsed.as_millis(),
+    );
+    println!(
+        "  trace: {} spans recorded, {} dropped",
+        outcome.report.spans, outcome.report.dropped_spans,
+    );
+}
+
+fn main() {
+    let ci_mode = std::env::args().any(|a| a == "--ci");
+
+    if ci_mode {
+        let cfg = BenchConfig::ci();
+        let outcome = run_bench(&cfg);
+        print_run(&cfg, &outcome);
+        println!(
+            "\nmerged gateway telemetry:\n{}",
+            outcome.report.metrics.render()
+        );
+        if outcome.violations.is_empty() {
+            println!("all gateway invariants held");
+            return;
+        }
+        for violation in &outcome.violations {
+            eprintln!("GATEWAY INVARIANT VIOLATION: {violation}");
+        }
+        std::process::exit(1);
+    }
+
+    println!("verifier gateway under concurrent honest load + adversarial flood\n");
+    let configs = vec![
+        BenchConfig {
+            label: "light flood".to_string(),
+            honest_threads: 8,
+            sessions_per_thread: 4,
+            forgery_sessions: 4,
+            junk_frames: 8,
+            raw_blasts: 8,
+            seed: CI_SEED ^ 1,
+            ..BenchConfig::ci()
+        },
+        BenchConfig {
+            label: "heavy flood".to_string(),
+            honest_threads: 12,
+            sessions_per_thread: 4,
+            forgery_sessions: 24,
+            junk_frames: 48,
+            raw_blasts: 48,
+            seed: CI_SEED ^ 2,
+            ..BenchConfig::ci()
+        },
+    ];
+    let mut rows = Vec::new();
+    let mut all_violations = Vec::new();
+    let mut last: Option<(BenchConfig, BenchOutcome)> = None;
+    for cfg in configs {
+        let outcome = run_bench(&cfg);
+        let (p50, p90, p99) = percentiles(&outcome);
+        rows.push(vec![
+            cfg.label.clone(),
+            format!("{}/{}", outcome.honest_verified, outcome.honest_total),
+            format!("{}", outcome.flood.attempts),
+            format!("{}", outcome.report.stats.busy_rejected),
+            format!("{:.1}/s", throughput(&outcome)),
+            format!("{p50}"),
+            format!("{p90}"),
+            format!("{p99}"),
+        ]);
+        for v in &outcome.violations {
+            all_violations.push(format!("[{}] {v}", cfg.label));
+        }
+        last = Some((cfg, outcome));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "configuration",
+                "honest ok",
+                "flood",
+                "shed",
+                "throughput",
+                "p50 us",
+                "p90 us",
+                "p99 us"
+            ],
+            &rows,
+            &[16, 10, 8, 6, 12, 10, 10, 10],
+        )
+    );
+    if let Some((cfg, outcome)) = &last {
+        println!("detail of the last run:");
+        print_run(cfg, outcome);
+    }
+    println!("\nreading the table: the queue is bounded, so the flood costs the");
+    println!("gateway a frame decode or a Busy write — never a worker; honest");
+    println!("sessions keep verifying and the latency tail stays flat.");
+    if !all_violations.is_empty() {
+        println!("\ninvariant violations observed:");
+        for v in &all_violations {
+            println!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

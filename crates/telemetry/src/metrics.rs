@@ -115,6 +115,19 @@ impl CycleHistogram {
         &self.buckets
     }
 
+    /// Folds another histogram into this one: bucket-wise addition, with
+    /// count and sum saturating and max taking the larger. Used to
+    /// aggregate per-thread histograms (each gateway worker records into
+    /// its own thread-local registry) into one fleet-wide distribution.
+    pub fn absorb(&mut self, other: &CycleHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// The `p`-th percentile (0–100), resolved to the upper bound of the
     /// bucket holding the rank-`ceil(count * p / 100)` observation and
     /// clamped to the observed maximum. Returns 0 for an empty histogram.
@@ -258,6 +271,31 @@ impl Registry {
     /// Drops every entry.
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Folds `other` into this registry: counters add, histograms merge
+    /// bucket-wise ([`CycleHistogram::absorb`]), and gauges take the
+    /// **maximum** of the two values — gauges are last-write-wins within
+    /// one thread, so across threads the peak is the only aggregate that
+    /// never under-reports (e.g. peak queue depth).
+    ///
+    /// # Panics
+    /// If a name is registered with different metric kinds in the two
+    /// registries.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, slot) in &other.entries {
+            match slot {
+                Slot::Counter(v) => self.counter_add(name, *v),
+                Slot::Gauge(v) => {
+                    let current = self.gauge(name).unwrap_or(0);
+                    self.gauge_set(name, current.max(*v));
+                }
+                Slot::Histogram(h) => match self.slot(name, || Slot::Histogram(Box::default())) {
+                    Slot::Histogram(mine) => mine.absorb(h),
+                    other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+                },
+            }
+        }
     }
 
     /// A plain-text dump: one line per metric, histograms with
@@ -418,6 +456,54 @@ mod tests {
         let mut r = Registry::new();
         r.counter_add("x", 1);
         r.gauge_set("x", 1);
+    }
+
+    #[test]
+    fn merge_folds_worker_registries() {
+        let mut a = Registry::new();
+        a.counter_add("bytes", 100);
+        a.gauge_set("queue.peak", 3);
+        a.histogram_record("latency", 8);
+        a.histogram_record("latency", 16);
+
+        let mut b = Registry::new();
+        b.counter_add("bytes", 50);
+        b.counter_add("busy", 2);
+        b.gauge_set("queue.peak", 7);
+        b.histogram_record("latency", 1024);
+
+        a.merge(&b);
+        assert_eq!(a.counter("bytes"), Some(150));
+        assert_eq!(a.counter("busy"), Some(2));
+        // Gauges merge by max: the fleet-wide peak.
+        assert_eq!(a.gauge("queue.peak"), Some(7));
+        let h = a.histogram("latency").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 8 + 16 + 1024);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn absorb_saturates_and_keeps_buckets() {
+        let mut a = CycleHistogram::new();
+        a.record(u64::MAX);
+        let mut b = CycleHistogram::new();
+        b.record(1);
+        a.absorb(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), u64::MAX); // saturated
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.buckets()[CycleHistogram::bucket_index(1)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a histogram")]
+    fn merge_kind_mismatch_panics() {
+        let mut a = Registry::new();
+        a.counter_add("x", 1);
+        let mut b = Registry::new();
+        b.histogram_record("x", 1);
+        a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Transport-layer errors.
+//!
+//! Everything a real link does to you — peers hanging up mid-frame, reads
+//! that never complete, frames that lie about their length — surfaces
+//! here as a value, never as a panic. The gateway's cheap-reject
+//! guarantee extends down to this layer: a hostile byte stream costs the
+//! receiver a header check, not an allocation.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Why a transport operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// The peer closed the connection (or the loopback hub shut down).
+    Closed,
+    /// The deadline expired before the operation completed.
+    Timeout,
+    /// A frame declared a length larger than the configured maximum. The
+    /// declared length is rejected **before** any allocation.
+    TooLarge {
+        /// The length the frame header declared.
+        declared: u64,
+        /// The maximum this endpoint accepts.
+        max: usize,
+    },
+    /// The bytes on the wire did not form a valid frame.
+    Malformed {
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// An OS-level I/O error (anything not mapped to the variants above).
+    Io {
+        /// The error kind.
+        kind: io::ErrorKind,
+        /// The error's display text.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "connection closed by peer"),
+            TransportError::Timeout => write!(f, "operation timed out"),
+            TransportError::TooLarge { declared, max } => {
+                write!(f, "frame declares {declared} bytes, max is {max}")
+            }
+            TransportError::Malformed { reason } => write!(f, "malformed frame: {reason}"),
+            TransportError::Io { kind, msg } => write!(f, "i/o error ({kind:?}): {msg}"),
+        }
+    }
+}
+
+impl Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => TransportError::Closed,
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => TransportError::Timeout,
+            kind => TransportError::Io {
+                kind,
+                msg: e.to_string(),
+            },
+        }
+    }
+}
+
+impl TransportError {
+    /// `true` for errors a retry loop should treat as transient (the
+    /// peer may still be there): timeouts only. `Closed`, `TooLarge`
+    /// and `Malformed` all mean the conversation is over.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TransportError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_map_to_semantic_variants() {
+        let closed: TransportError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert_eq!(closed, TransportError::Closed);
+        let timeout: TransportError = io::Error::new(io::ErrorKind::WouldBlock, "wb").into();
+        assert_eq!(timeout, TransportError::Timeout);
+        let timeout: TransportError = io::Error::new(io::ErrorKind::TimedOut, "to").into();
+        assert_eq!(timeout, TransportError::Timeout);
+        let other: TransportError = io::Error::new(io::ErrorKind::PermissionDenied, "nope").into();
+        assert!(matches!(other, TransportError::Io { .. }));
+    }
+
+    #[test]
+    fn only_timeouts_are_transient() {
+        assert!(TransportError::Timeout.is_transient());
+        assert!(!TransportError::Closed.is_transient());
+        assert!(!TransportError::TooLarge {
+            declared: 10,
+            max: 5
+        }
+        .is_transient());
+        assert!(!TransportError::Malformed { reason: "x" }.is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TransportError::TooLarge {
+            declared: 1 << 40,
+            max: 65536,
+        };
+        assert!(e.to_string().contains("65536"));
+    }
+}

@@ -1,0 +1,278 @@
+//! In-memory loopback transport.
+//!
+//! The same framed, blocking, deadline-bearing pipe as the socket
+//! transports, built on `std::sync::mpsc` — so CI containers with no
+//! network namespace, deterministic benches, and the adversary's fault
+//! wrappers all run the *identical* stack from the codec up. Frames
+//! travel whole (message semantics, like UDP) and still pass through
+//! [`decode_datagram`](crate::frame::decode_datagram) on receive, so a
+//! fault wrapper that truncates or bit-flips the framed bytes is caught
+//! by the same codec checks a real wire would hit.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::TransportError;
+use crate::frame::{decode_datagram, encode_frame};
+use crate::{Acceptor, LinkStats, Transport};
+
+/// One end of an in-memory loopback link.
+#[derive(Debug)]
+pub struct MemTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    deadline: Option<Duration>,
+    max_frame: usize,
+    stats: LinkStats,
+    label: String,
+}
+
+impl MemTransport {
+    fn new(tx: Sender<Vec<u8>>, rx: Receiver<Vec<u8>>, max_frame: usize, label: String) -> Self {
+        MemTransport {
+            tx,
+            rx,
+            deadline: None,
+            max_frame,
+            stats: LinkStats::default(),
+            label,
+        }
+    }
+
+    /// Injects raw (unframed, unvalidated) bytes to the peer — the
+    /// adversary's wire-level fuzzing hook. The peer's codec decides what
+    /// to make of them.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] when the peer is gone.
+    pub fn send_raw(&mut self, bytes: Vec<u8>) -> Result<(), TransportError> {
+        let n = bytes.len();
+        self.tx.send(bytes).map_err(|_| TransportError::Closed)?;
+        self.stats.note_sent(n);
+        Ok(())
+    }
+}
+
+impl Transport for MemTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let framed = encode_frame(payload, self.max_frame)?;
+        let n = framed.len();
+        self.tx.send(framed).map_err(|_| TransportError::Closed)?;
+        self.stats.note_sent(n);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        let framed = match self.deadline {
+            Some(d) => self.rx.recv_timeout(d).map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout,
+                RecvTimeoutError::Disconnected => TransportError::Closed,
+            })?,
+            None => self.rx.recv().map_err(|_| TransportError::Closed)?,
+        };
+        self.stats.note_received_bytes(framed.len());
+        let payload = decode_datagram(&framed, self.max_frame)?;
+        self.stats.note_received_frame();
+        Ok(payload)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), TransportError> {
+        self.deadline = deadline;
+        Ok(())
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A connected pair of loopback transports.
+#[must_use]
+pub fn loopback_pair(max_frame: usize) -> (MemTransport, MemTransport) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    (
+        MemTransport::new(a_tx, a_rx, max_frame, "loopback:a".to_string()),
+        MemTransport::new(b_tx, b_rx, max_frame, "loopback:b".to_string()),
+    )
+}
+
+/// The dialing side of a [`LoopbackHub`]. Cloneable: every prover thread
+/// in a bench holds one.
+#[derive(Debug, Clone)]
+pub struct LoopbackConnector {
+    conn_tx: Sender<MemTransport>,
+    closed: Arc<AtomicBool>,
+    next_id: Arc<AtomicU64>,
+    max_frame: usize,
+}
+
+impl LoopbackConnector {
+    /// Opens a new connection to the hub, returning the client end.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] once the hub has shut down.
+    pub fn connect(&self) -> Result<MemTransport, TransportError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(TransportError::Closed);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let (client_tx, server_rx) = channel();
+        let (server_tx, client_rx) = channel();
+        let server = MemTransport::new(
+            server_tx,
+            server_rx,
+            self.max_frame,
+            format!("loopback#{id}"),
+        );
+        let client = MemTransport::new(
+            client_tx,
+            client_rx,
+            self.max_frame,
+            format!("gateway#{id}"),
+        );
+        self.conn_tx
+            .send(server)
+            .map_err(|_| TransportError::Closed)?;
+        Ok(client)
+    }
+}
+
+/// The listening side of the in-memory stack: connections queued by
+/// [`LoopbackConnector::connect`] come out of [`Acceptor::poll_accept`]
+/// exactly like TCP accepts would.
+#[derive(Debug)]
+pub struct LoopbackHub {
+    conn_rx: Receiver<MemTransport>,
+    closed: Arc<AtomicBool>,
+}
+
+impl LoopbackHub {
+    /// A hub plus its (cloneable) connector.
+    #[must_use]
+    pub fn new(max_frame: usize) -> (Self, LoopbackConnector) {
+        let (conn_tx, conn_rx) = channel();
+        let closed = Arc::new(AtomicBool::new(false));
+        (
+            LoopbackHub {
+                conn_rx,
+                closed: Arc::clone(&closed),
+            },
+            LoopbackConnector {
+                conn_tx,
+                closed,
+                next_id: Arc::new(AtomicU64::new(0)),
+                max_frame,
+            },
+        )
+    }
+
+    /// Marks the hub closed: subsequent `connect` calls fail with
+    /// [`TransportError::Closed`]. Connections already queued are still
+    /// drained by `poll_accept`.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Acceptor for LoopbackHub {
+    fn poll_accept(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Box<dyn Transport>>, TransportError> {
+        if self.closed.load(Ordering::SeqCst) {
+            // Drain what's queued, then report closed.
+            return match self.conn_rx.try_recv() {
+                Ok(t) => Ok(Some(Box::new(t))),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => {
+                    Err(TransportError::Closed)
+                }
+            };
+        }
+        match self.conn_rx.recv_timeout(timeout) {
+            Ok(t) => Ok(Some(Box::new(t))),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn local_label(&self) -> String {
+        "loopback-hub".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DEFAULT_MAX_FRAME;
+
+    #[test]
+    fn pair_roundtrip() {
+        let (mut a, mut b) = loopback_pair(DEFAULT_MAX_FRAME);
+        a.send(b"x").unwrap();
+        b.set_deadline(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(b.recv().unwrap(), b"x");
+    }
+
+    #[test]
+    fn recv_timeout_and_closed() {
+        let (a, mut b) = loopback_pair(DEFAULT_MAX_FRAME);
+        b.set_deadline(Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(b.recv(), Err(TransportError::Timeout));
+        drop(a);
+        assert_eq!(b.recv(), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn raw_injection_hits_the_codec() {
+        let (mut a, mut b) = loopback_pair(DEFAULT_MAX_FRAME);
+        a.send_raw(vec![0xff, 0xff]).unwrap();
+        b.set_deadline(Some(Duration::from_secs(1))).unwrap();
+        assert!(matches!(b.recv(), Err(TransportError::Malformed { .. })));
+    }
+
+    #[test]
+    fn hub_accepts_connections_in_order() {
+        let (mut hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+        let mut c1 = connector.connect().unwrap();
+        let _c2 = connector.connect().unwrap();
+        c1.send(b"first").unwrap();
+        let mut s1 = hub
+            .poll_accept(Duration::from_secs(1))
+            .unwrap()
+            .expect("first connection");
+        s1.set_deadline(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(s1.recv().unwrap(), b"first");
+        assert!(hub.poll_accept(Duration::from_secs(1)).unwrap().is_some());
+        assert!(hub
+            .poll_accept(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn closed_hub_rejects_new_connections_but_drains_queued() {
+        let (mut hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+        let _queued = connector.connect().unwrap();
+        hub.close();
+        assert!(connector.connect().is_err());
+        // The queued connection still comes out …
+        assert!(hub
+            .poll_accept(Duration::from_millis(10))
+            .unwrap()
+            .is_some());
+        // … then the hub reports closed.
+        assert_eq!(
+            hub.poll_accept(Duration::from_millis(10)).err(),
+            Some(TransportError::Closed)
+        );
+    }
+}

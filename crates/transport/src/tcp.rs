@@ -1,0 +1,279 @@
+//! TCP transport: length-prefixed frames over `std::net::TcpStream`.
+//!
+//! This is the production-shaped path: partial reads, coalesced writes,
+//! slow peers and connection churn all happen here for real. The
+//! [`FrameDecoder`](crate::frame::FrameDecoder) underneath reassembles
+//! frames from whatever the kernel hands us, so a peer dribbling one byte
+//! per segment and a peer batching ten frames per segment both work.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::error::TransportError;
+use crate::frame::{encode_frame, FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::{Acceptor, LinkStats, Transport};
+
+/// How much to ask the kernel for per read.
+const READ_CHUNK: usize = 4096;
+
+/// A framed TCP connection.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    stats: LinkStats,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Wraps an established stream with the default frame cap.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] if socket options cannot be applied.
+    pub fn new(stream: TcpStream) -> Result<Self, TransportError> {
+        Self::with_max_frame(stream, DEFAULT_MAX_FRAME)
+    }
+
+    /// Wraps an established stream accepting payloads up to `max_frame`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] if socket options cannot be applied.
+    pub fn with_max_frame(stream: TcpStream, max_frame: usize) -> Result<Self, TransportError> {
+        // Attestation exchanges are request/response; Nagle only adds
+        // latency here.
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "tcp:unknown".to_string(), |a| a.to_string());
+        Ok(TcpTransport {
+            stream,
+            decoder: FrameDecoder::new(max_frame),
+            stats: LinkStats::default(),
+            peer,
+        })
+    }
+
+    /// Connects to `addr` and wraps the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] on connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, TransportError> {
+        Self::new(TcpStream::connect(addr)?)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let framed = encode_frame(payload, self.decoder.max_frame_len())?;
+        self.stream.write_all(&framed)?;
+        self.stats.note_sent(framed.len());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                self.stats.note_received_frame();
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(TransportError::Closed);
+            }
+            self.stats.note_received_bytes(n);
+            self.decoder.extend(&chunk[..n]);
+        }
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), TransportError> {
+        self.stream.set_read_timeout(deadline)?;
+        self.stream.set_write_timeout(deadline)?;
+        Ok(())
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// The listening side: a non-blocking `TcpListener` polled with a small
+/// sleep, so the accept loop can observe a shutdown flag between polls
+/// without a wake-up socket.
+#[derive(Debug)]
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    max_frame: usize,
+    local: SocketAddr,
+}
+
+impl TcpAcceptor {
+    /// Binds `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] on bind failure.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Self, TransportError> {
+        Self::bind_with_max_frame(addr, DEFAULT_MAX_FRAME)
+    }
+
+    /// Binds `addr` with a custom per-connection frame cap.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] on bind failure.
+    pub fn bind_with_max_frame(
+        addr: impl ToSocketAddrs,
+        max_frame: usize,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Ok(TcpAcceptor {
+            listener,
+            max_frame,
+            local,
+        })
+    }
+
+    /// The bound address (for clients when port 0 was requested).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+}
+
+impl Acceptor for TcpAcceptor {
+    fn poll_accept(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Box<dyn Transport>>, TransportError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let t = TcpTransport::with_max_frame(stream, self.max_frame)?;
+                    return Ok(Some(Box::new(t)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn local_label(&self) -> String {
+        self.local.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpTransport, TcpTransport) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || TcpTransport::connect(addr).unwrap());
+        let (server, _) = listener.accept().unwrap();
+        let server = TcpTransport::new(server).unwrap();
+        (server, client.join().unwrap())
+    }
+
+    #[test]
+    fn roundtrip_over_localhost() {
+        let (mut server, mut client) = pair();
+        client.send(b"ping").unwrap();
+        assert_eq!(server.recv().unwrap(), b"ping");
+        server.send(b"pong").unwrap();
+        assert_eq!(client.recv().unwrap(), b"pong");
+        assert_eq!(client.stats().frames_out, 1);
+        assert_eq!(client.stats().frames_in, 1);
+        assert!(client.stats().bytes_out >= 4);
+    }
+
+    #[test]
+    fn recv_times_out_on_silent_peer() {
+        let (mut server, _client) = pair();
+        server
+            .set_deadline(Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(server.recv(), Err(TransportError::Timeout));
+    }
+
+    #[test]
+    fn recv_reports_closed_on_hangup() {
+        let (mut server, client) = pair();
+        drop(client);
+        server
+            .set_deadline(Some(Duration::from_millis(500)))
+            .unwrap();
+        assert_eq!(server.recv(), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn garbage_stream_is_malformed_not_panic() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::new(stream).unwrap();
+        server
+            .set_deadline(Some(Duration::from_millis(500)))
+            .unwrap();
+        assert!(matches!(
+            server.recv(),
+            Err(TransportError::Malformed { .. })
+        ));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn acceptor_polls_and_accepts() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        // Nothing to accept: poll returns None after the timeout.
+        assert!(acceptor
+            .poll_accept(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+        let addr = acceptor.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpTransport::connect(addr).unwrap();
+            c.send(b"hi").unwrap();
+        });
+        let mut conn = acceptor
+            .poll_accept(Duration::from_secs(5))
+            .unwrap()
+            .expect("client connected");
+        conn.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(conn.recv().unwrap(), b"hi");
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_send_rejected_locally() {
+        let (mut server, _client) = pair();
+        let mut small =
+            TcpTransport::with_max_frame(server.stream.try_clone().unwrap(), 8).unwrap();
+        assert!(matches!(
+            small.send(&[0u8; 9]),
+            Err(TransportError::TooLarge { .. })
+        ));
+        let _ = &mut server;
+    }
+}

@@ -1,0 +1,165 @@
+//! UDP transport: one datagram per frame.
+//!
+//! The datagram variant keeps the identical frame header so truncated and
+//! padded packets are detected by the codec, not trusted. There is no
+//! connection and no delivery guarantee — exactly the link model the
+//! retry/backoff layer above was built for. A `UdpTransport` is
+//! "connected" in the BSD sense: it talks to one fixed peer address.
+
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+use crate::error::TransportError;
+use crate::frame::{decode_datagram, encode_frame, DEFAULT_MAX_FRAME, HEADER_LEN};
+use crate::{LinkStats, Transport};
+
+/// A framed datagram endpoint bound to one peer.
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    max_frame: usize,
+    stats: LinkStats,
+    peer: String,
+}
+
+impl UdpTransport {
+    /// Binds `local` and connects the socket to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] on bind/connect failure.
+    pub fn bind(
+        local: impl ToSocketAddrs,
+        peer: impl ToSocketAddrs,
+    ) -> Result<Self, TransportError> {
+        Self::bind_with_max_frame(local, peer, DEFAULT_MAX_FRAME)
+    }
+
+    /// Binds with a custom frame cap.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] on bind/connect failure.
+    pub fn bind_with_max_frame(
+        local: impl ToSocketAddrs,
+        peer: impl ToSocketAddrs,
+        max_frame: usize,
+    ) -> Result<Self, TransportError> {
+        let socket = UdpSocket::bind(local)?;
+        socket.connect(peer)?;
+        let peer = socket
+            .peer_addr()
+            .map_or_else(|_| "udp:unknown".to_string(), |a| a.to_string());
+        Ok(UdpTransport {
+            socket,
+            max_frame,
+            stats: LinkStats::default(),
+            peer,
+        })
+    }
+
+    /// The local address (for handing to the peer when port 0 was used).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] if the socket has no local address.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        Ok(self.socket.local_addr()?)
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let framed = encode_frame(payload, self.max_frame)?;
+        self.socket.send(&framed)?;
+        self.stats.note_sent(framed.len());
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        // One datagram, one frame: buffer sized to the cap plus header,
+        // and anything larger arrives truncated — which the length check
+        // in `decode_datagram` then rejects as malformed.
+        let mut buf = vec![0u8; self.max_frame + HEADER_LEN];
+        let n = self.socket.recv(&mut buf)?;
+        self.stats.note_received_bytes(n);
+        let payload = decode_datagram(&buf[..n], self.max_frame)?;
+        self.stats.note_received_frame();
+        Ok(payload)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), TransportError> {
+        self.socket.set_read_timeout(deadline)?;
+        self.socket.set_write_timeout(deadline)?;
+        Ok(())
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// A bound pair of UDP transports talking to each other over localhost.
+///
+/// # Errors
+///
+/// [`TransportError::Io`] on bind failure.
+pub fn udp_pair(max_frame: usize) -> Result<(UdpTransport, UdpTransport), TransportError> {
+    // Bind both ends first so each knows the other's ephemeral port.
+    let a = UdpSocket::bind("127.0.0.1:0")?;
+    let b = UdpSocket::bind("127.0.0.1:0")?;
+    let a_addr = a.local_addr()?;
+    let b_addr = b.local_addr()?;
+    a.connect(b_addr)?;
+    b.connect(a_addr)?;
+    let wrap = |socket: UdpSocket, peer: SocketAddr| UdpTransport {
+        socket,
+        max_frame,
+        stats: LinkStats::default(),
+        peer: peer.to_string(),
+    };
+    Ok((wrap(a, b_addr), wrap(b, a_addr)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datagram_roundtrip() {
+        let (mut a, mut b) = udp_pair(DEFAULT_MAX_FRAME).unwrap();
+        b.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        a.send(b"over the air").unwrap();
+        assert_eq!(b.recv().unwrap(), b"over the air");
+        assert_eq!(a.stats().frames_out, 1);
+        assert_eq!(b.stats().frames_in, 1);
+    }
+
+    #[test]
+    fn recv_times_out_when_nothing_arrives() {
+        let (_a, mut b) = udp_pair(DEFAULT_MAX_FRAME).unwrap();
+        b.set_deadline(Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(b.recv(), Err(TransportError::Timeout));
+    }
+
+    #[test]
+    fn raw_garbage_datagram_is_malformed() {
+        let (a, mut b) = udp_pair(DEFAULT_MAX_FRAME).unwrap();
+        b.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        a.socket.send(&[1, 2, 3]).unwrap();
+        assert!(matches!(b.recv(), Err(TransportError::Malformed { .. })));
+    }
+
+    #[test]
+    fn oversized_datagram_payload_rejected() {
+        let (mut a, _b) = udp_pair(16).unwrap();
+        assert!(matches!(
+            a.send(&[0u8; 17]),
+            Err(TransportError::TooLarge { .. })
+        ));
+    }
+}

@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_retries: 8,
         backoff_base_ms: 250,
         backoff_factor: 2,
+        ..RetryPolicy::default()
     };
     let driver = SessionDriver::new(policy);
 

@@ -30,6 +30,7 @@ fn driver() -> SessionDriver {
         max_retries: 8,
         backoff_base_ms: 250,
         backoff_factor: 2,
+        ..RetryPolicy::default()
     })
 }
 

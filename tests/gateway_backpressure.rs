@@ -1,0 +1,245 @@
+//! Backpressure contract of the verifier gateway: the work queue is
+//! bounded, overload is shed with a cheap `Busy` frame at the accept
+//! loop, honest sessions already in flight run to verified completion,
+//! and the stats partition law holds once the gateway quiesces.
+
+use std::thread;
+use std::time::Duration;
+
+use proverguard_attest::gateway::{
+    DeviceDirectory, Gateway, GatewayConfig, GatewayMsg, ProverAgent,
+};
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::session::RetryPolicy;
+use proverguard_attest::verifier::Verifier;
+use proverguard_transport::{LoopbackConnector, LoopbackHub, Transport, DEFAULT_MAX_FRAME};
+
+const FLOOR_MS: u64 = 300;
+
+fn provision(index: u64) -> (Prover, Verifier) {
+    let config = ProverConfig::recommended();
+    let mut key = [0x42u8; 16];
+    key[0] ^= index as u8;
+    let prover = Prover::provision(config.clone(), &key, b"app v1").expect("provision prover");
+    let verifier = Verifier::new(&config, &key).expect("provision verifier");
+    (prover, verifier)
+}
+
+/// Patient client policy: `Busy` shed is the expected answer under load.
+fn patient() -> RetryPolicy {
+    RetryPolicy {
+        timeout_ms: 10_000,
+        max_retries: 40,
+        backoff_base_ms: 5,
+        backoff_factor: 1,
+        jitter_per_mille: 500,
+        jitter_seed: 0xbac_4b0b,
+    }
+}
+
+/// One dial against the gateway; reports whether it was shed with `Busy`.
+/// The accept loop writes the `Busy` frame and hangs up immediately, so
+/// the `Hello` send may fail while the verdict is already queued — drain
+/// rather than trust the send result.
+fn dial_expect_busy(connector: &LoopbackConnector) -> bool {
+    let Ok(mut conn) = connector.connect() else {
+        return false;
+    };
+    let _ = conn.set_deadline(Some(Duration::from_millis(1_000)));
+    let _ = conn.send(&GatewayMsg::Hello { device_id: 0 }.encode());
+    loop {
+        match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
+            Ok(Ok(GatewayMsg::Busy)) => return true,
+            Ok(Ok(_)) => continue,
+            _ => return false,
+        }
+    }
+}
+
+/// Saturate a 2-worker / depth-2 gateway with exactly four floor-pinned
+/// honest sessions, then dial three more connections mid-floor: each
+/// extra dial must come back `Busy` without costing the gateway any
+/// session work, every pinned session must still verify, and the final
+/// snapshot must satisfy the partition law.
+#[test]
+fn full_queue_sheds_busy_while_in_flight_sessions_complete() {
+    let workers = 2usize;
+    let queue_depth = 2usize;
+    let mut directory = DeviceDirectory::new();
+    let mut agents = Vec::new();
+    for p in 0..(workers + queue_depth) {
+        let (prover, verifier) = provision(p as u64);
+        let id =
+            directory.register_with_floor(verifier, prover.expected_memory().to_vec(), FLOOR_MS);
+        agents.push(ProverAgent::new(prover, id));
+    }
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let handle = Gateway::start(
+        Box::new(hub),
+        directory,
+        GatewayConfig {
+            workers,
+            queue_depth,
+            retry: RetryPolicy {
+                timeout_ms: 10_000,
+                ..GatewayConfig::default().retry
+            },
+            ..GatewayConfig::default()
+        },
+    );
+
+    // Fill both workers, then both queue slots. Staggered dials keep the
+    // fill order deterministic: no pin bounces off a transiently full
+    // channel, so exactly four sessions are in flight when we probe.
+    let pins: Vec<_> = agents
+        .into_iter()
+        .map(|mut agent| {
+            let connector = connector.clone();
+            thread::sleep(Duration::from_millis(3));
+            thread::spawn(move || {
+                agent
+                    .attest_with_retry(
+                        || {
+                            connector
+                                .connect()
+                                .map(|conn| Box::new(conn) as Box<dyn Transport>)
+                        },
+                        &patient(),
+                        Duration::from_secs(30),
+                        50,
+                    )
+                    .is_verified()
+            })
+        })
+        .collect();
+
+    // Mid-floor both workers are sleeping out their service floor and the
+    // queue holds the other two pins: the gateway MUST shed us, cheaply.
+    thread::sleep(Duration::from_millis(FLOOR_MS / 2));
+    let mut shed = 0u64;
+    for _ in 0..3 {
+        assert!(
+            dial_expect_busy(&connector),
+            "dial against a saturated gateway must be shed with Busy"
+        );
+        shed += 1;
+    }
+
+    for (p, pin) in pins.into_iter().enumerate() {
+        assert!(
+            pin.join().expect("pinned session panicked"),
+            "pinned honest session {p} must verify despite the Busy storm"
+        );
+    }
+    let report = handle.shutdown();
+
+    assert!(
+        report.stats.busy_rejected >= shed,
+        "busy_rejected {} must cover the {shed} shed probes",
+        report.stats.busy_rejected
+    );
+    assert_eq!(
+        report.stats.sessions_ok,
+        (workers + queue_depth) as u64,
+        "every pinned honest session completes verified"
+    );
+    assert_eq!(report.stats.handshake_failed, 0);
+    assert!(
+        report.stats.partition_holds(),
+        "partition law violated: {:?}",
+        report.stats
+    );
+    // Cheapness: a Busy shed never reaches a worker, so the session
+    // histogram holds exactly the honest sessions and nothing more.
+    let sessions = report
+        .metrics
+        .histogram("gateway.session_us")
+        .expect("session histogram present");
+    assert_eq!(sessions.count(), (workers + queue_depth) as u64);
+    assert_eq!(
+        report.metrics.counter("gateway.busy"),
+        Some(report.stats.busy_rejected),
+        "busy telemetry counter mirrors the stats atomics"
+    );
+    assert_eq!(report.dropped_spans, 0);
+}
+
+/// The partition law also holds under a mixed ending: verified sessions,
+/// failed (forged) sessions, handshake garbage and Busy sheds all land in
+/// exactly one bucket each.
+#[test]
+fn stats_partition_holds_under_mixed_outcomes() {
+    let mut directory = DeviceDirectory::new();
+    let (prover, verifier) = provision(0);
+    let honest_id = directory.register(verifier, prover.expected_memory().to_vec());
+    let mut agent = ProverAgent::new(prover, honest_id);
+    let (forge_prover, forge_verifier) = provision(1);
+    let forge_id = directory.register(forge_verifier, forge_prover.expected_memory().to_vec());
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let handle = Gateway::start(
+        Box::new(hub),
+        directory,
+        GatewayConfig {
+            workers: 2,
+            queue_depth: 2,
+            retry: RetryPolicy {
+                timeout_ms: 10_000,
+                max_retries: 1,
+                ..GatewayConfig::default().retry
+            },
+            ..GatewayConfig::default()
+        },
+    );
+
+    // One verified session.
+    let outcome = agent.attest_with_retry(
+        || {
+            connector
+                .connect()
+                .map(|conn| Box::new(conn) as Box<dyn Transport>)
+        },
+        &patient(),
+        Duration::from_secs(30),
+        50,
+    );
+    assert!(outcome.is_verified(), "honest session failed: {outcome:?}");
+
+    // One failed session: a valid Hello for a device whose key we do not
+    // hold, answering every request with garbage.
+    let stats = proverguard_adversary::wire::forgery_flood(
+        || {
+            connector
+                .connect()
+                .map(|conn| Box::new(conn) as Box<dyn Transport>)
+        },
+        forge_id,
+        1,
+        0x5eed,
+        Duration::from_secs(30),
+    );
+    assert_eq!(stats.byes, 1, "forged session must be driven to a Bye");
+
+    // One handshake failure: a well-framed garbage Hello.
+    let junk = proverguard_adversary::wire::junk_frame_flood(
+        || {
+            connector
+                .connect()
+                .map(|conn| Box::new(conn) as Box<dyn Transport>)
+        },
+        1,
+        0x5eed,
+    );
+    assert_eq!(junk.attempts, 1);
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.sessions_ok, 1);
+    assert_eq!(report.stats.sessions_failed, 1);
+    assert_eq!(report.stats.handshake_failed, 1);
+    assert!(
+        report.stats.partition_holds(),
+        "partition law violated: {:?}",
+        report.stats
+    );
+}

@@ -1,0 +1,152 @@
+//! End-to-end attestation over real OS sockets on 127.0.0.1: the full
+//! gateway stack on TCP, and the raw framed protocol on UDP datagrams.
+//! Everything binds port 0, so runs never collide.
+
+use std::thread;
+use std::time::Duration;
+
+use proverguard_attest::gateway::{DeviceDirectory, Gateway, GatewayConfig, ProverAgent};
+use proverguard_attest::message::{AttestRequest, AttestResponse};
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::session::RetryPolicy;
+use proverguard_attest::verifier::Verifier;
+use proverguard_transport::{udp_pair, TcpAcceptor, TcpTransport, Transport, DEFAULT_MAX_FRAME};
+
+fn provision(index: u64) -> (Prover, Verifier) {
+    let config = ProverConfig::recommended();
+    let mut key = [0x42u8; 16];
+    key[0] ^= index as u8;
+    let prover = Prover::provision(config.clone(), &key, b"app v1").expect("provision prover");
+    let verifier = Verifier::new(&config, &key).expect("provision verifier");
+    (prover, verifier)
+}
+
+/// The whole stack over TCP: gateway accept loop, bounded queue, worker
+/// pool, framed session protocol — and two provers dialing in over real
+/// sockets, each verifying twice.
+#[test]
+fn gateway_attests_provers_over_tcp() {
+    let mut directory = DeviceDirectory::new();
+    let mut agents = Vec::new();
+    for d in 0..2u64 {
+        let (prover, verifier) = provision(d);
+        let id = directory.register(verifier, prover.expected_memory().to_vec());
+        agents.push(ProverAgent::new(prover, id));
+    }
+
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind loopback tcp");
+    let addr = acceptor.local_addr();
+    let handle = Gateway::start(
+        Box::new(acceptor),
+        directory,
+        GatewayConfig {
+            workers: 2,
+            queue_depth: 4,
+            retry: RetryPolicy {
+                timeout_ms: 10_000,
+                ..GatewayConfig::default().retry
+            },
+            ..GatewayConfig::default()
+        },
+    );
+
+    let clients: Vec<_> = agents
+        .into_iter()
+        .map(|mut agent| {
+            thread::spawn(move || {
+                let policy = RetryPolicy {
+                    timeout_ms: 10_000,
+                    max_retries: 10,
+                    backoff_base_ms: 5,
+                    backoff_factor: 1,
+                    jitter_per_mille: 500,
+                    jitter_seed: 0x7c9,
+                };
+                (0..2)
+                    .filter(|_| {
+                        agent
+                            .attest_with_retry(
+                                || {
+                                    TcpTransport::connect(addr)
+                                        .map(|conn| Box::new(conn) as Box<dyn Transport>)
+                                },
+                                &policy,
+                                Duration::from_secs(30),
+                                50,
+                            )
+                            .is_verified()
+                    })
+                    .count()
+            })
+        })
+        .collect();
+
+    let verified: usize = clients
+        .into_iter()
+        .map(|c| c.join().expect("tcp client panicked"))
+        .sum();
+    let report = handle.shutdown();
+
+    assert_eq!(verified, 4, "all four TCP sessions must verify");
+    assert_eq!(report.stats.sessions_ok, 4);
+    assert!(report.stats.partition_holds());
+    assert_eq!(report.dropped_spans, 0);
+    assert!(
+        report.metrics.counter("transport.bytes_in").unwrap_or(0) > 0,
+        "gateway-side byte counters must see real socket traffic"
+    );
+}
+
+/// The framed attestation protocol over UDP datagrams: one request per
+/// datagram, the prover's cheap-reject ladder and memory MAC on one side,
+/// the verifier's expected-image check on the other. The prover side
+/// snapshots its RAM after each request, because committing counter
+/// freshness mutates the attested image before the MAC runs.
+#[test]
+fn attestation_roundtrips_over_udp_datagrams() {
+    const SESSIONS: usize = 2;
+    let (mut prover, mut verifier) = provision(7);
+
+    let (mut prover_end, mut verifier_end) =
+        udp_pair(DEFAULT_MAX_FRAME).expect("bind loopback udp pair");
+    prover_end
+        .set_deadline(Some(Duration::from_secs(10)))
+        .expect("prover deadline");
+    verifier_end
+        .set_deadline(Some(Duration::from_secs(10)))
+        .expect("verifier deadline");
+
+    let service = thread::spawn(move || {
+        let mut snapshots = Vec::new();
+        for _ in 0..SESSIONS {
+            let request = prover_end.recv().expect("prover recv");
+            let reply = prover
+                .handle_wire_request(&request)
+                .expect("honest request accepted");
+            snapshots.push(prover.expected_memory().to_vec());
+            prover_end.send(&reply).expect("prover send");
+        }
+        snapshots
+    });
+
+    let mut exchanges = Vec::new();
+    for _ in 0..SESSIONS {
+        let request = verifier.make_request().expect("make request");
+        verifier_end
+            .send(&request.to_bytes())
+            .expect("verifier send");
+        let reply = verifier_end.recv().expect("verifier recv");
+        exchanges.push((request, reply));
+    }
+    let snapshots = service.join().expect("prover thread panicked");
+
+    for (round, ((request, reply), expected)) in exchanges.iter().zip(snapshots.iter()).enumerate()
+    {
+        let request = AttestRequest::from_bytes(&request.to_bytes()).expect("request reparses");
+        let response = AttestResponse::from_bytes(reply).expect("response parses");
+        assert!(
+            verifier.check_response(&request, &response, expected),
+            "UDP session {round} must verify against the post-commit image"
+        );
+    }
+}

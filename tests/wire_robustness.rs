@@ -5,9 +5,16 @@
 //! `Prover::handle_wire_request`.
 
 use proptest::prelude::*;
+use proverguard_attest::gateway::GatewayMsg;
 use proverguard_attest::message::{
     AttestRequest, AttestResponse, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
 };
+use proverguard_attest::RejectReason;
+use proverguard_transport::frame::{
+    decode_datagram, encode_frame, FrameDecoder, DEFAULT_MAX_FRAME, FRAME_VERSION, HEADER_LEN,
+    MAGIC0, MAGIC1,
+};
+use proverguard_transport::TransportError;
 
 /// Builds a request from raw generated material, covering every
 /// freshness kind.
@@ -113,5 +120,152 @@ proptest! {
         if let Ok(parsed) = AttestResponse::from_bytes(&encoded) {
             prop_assert_ne!(parsed, response);
         }
+    }
+}
+
+/// Builds a gateway message from raw generated material, covering every
+/// wire tag.
+fn gateway_msg_from(kind: u8, word: u64, body: Vec<u8>) -> GatewayMsg {
+    match kind % 6 {
+        0 => GatewayMsg::Hello { device_id: word },
+        1 => GatewayMsg::AttReq(body),
+        2 => GatewayMsg::AttResp(body),
+        3 => GatewayMsg::Reject(match word % 9 {
+            0 => RejectReason::BadAuth,
+            1 => RejectReason::NonceReused,
+            2 => RejectReason::StaleCounter,
+            3 => RejectReason::TimestampNotMonotonic,
+            4 => RejectReason::TimestampOutOfWindow,
+            5 => RejectReason::FreshnessKindMismatch,
+            6 => RejectReason::Malformed,
+            7 => RejectReason::Throttled,
+            _ => RejectReason::DegradedMode,
+        }),
+        4 => GatewayMsg::Busy,
+        _ => GatewayMsg::Bye {
+            verified: word & 1 == 1,
+        },
+    }
+}
+
+// The transport frame codec and the gateway's session protocol share the
+// same totality contract as the attestation parsers above: arbitrary,
+// truncated or oversized bytes must come back as errors, never as panics
+// — and an oversized *declared* length must be rejected from the 8-byte
+// header alone, before any payload allocation.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frames_roundtrip_through_stream_decoder(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        cut_seed in any::<u16>(),
+    ) {
+        let frame = encode_frame(&payload, DEFAULT_MAX_FRAME).unwrap();
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        // Feed in two arbitrary slices: stream reads don't respect frame
+        // boundaries, so neither may the decoder.
+        let cut = cut_seed as usize % (frame.len() + 1);
+        decoder.extend(&frame[..cut]);
+        let early = decoder.next_frame().unwrap();
+        if cut < frame.len() {
+            prop_assert_eq!(early, None);
+            decoder.extend(&frame[cut..]);
+            prop_assert_eq!(decoder.next_frame().unwrap(), Some(payload));
+        } else {
+            prop_assert_eq!(early, Some(payload));
+        }
+        prop_assert_eq!(decoder.next_frame().unwrap(), None);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip_as_datagrams(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let frame = encode_frame(&payload, DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(decode_datagram(&frame, DEFAULT_MAX_FRAME).unwrap(), payload);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_arbitrary_bytes(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..8,
+        ),
+    ) {
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        for chunk in &chunks {
+            decoder.extend(chunk);
+            // Errors are fine (and poison the decoder); panics are the bug.
+            let _ = decoder.next_frame();
+        }
+        let _ = decode_datagram(chunks.concat().as_slice(), DEFAULT_MAX_FRAME);
+    }
+
+    #[test]
+    fn oversize_declared_length_rejected_from_header_alone(
+        excess in 1u64..u32::MAX as u64,
+        max in 0usize..4096,
+    ) {
+        // A hostile header declaring more than `max`: the decoder must
+        // refuse from the 8 header bytes, before buffering any payload.
+        let declared = (max as u64 + excess).min(u32::MAX as u64);
+        prop_assume!(declared > max as u64);
+        let mut header = vec![MAGIC0, MAGIC1, FRAME_VERSION, 0];
+        header.extend_from_slice(&(declared as u32).to_be_bytes());
+        prop_assert_eq!(header.len(), HEADER_LEN);
+
+        let mut decoder = FrameDecoder::new(max);
+        decoder.extend(&header);
+        prop_assert_eq!(
+            decoder.next_frame(),
+            Err(TransportError::TooLarge { declared, max })
+        );
+        // The refusal consumed only the header — nothing was allocated or
+        // buffered for the declared payload, and the decoder is poisoned.
+        prop_assert!(decoder.pending() <= HEADER_LEN);
+        prop_assert!(decoder.next_frame().is_err());
+        // Same contract on the datagram path.
+        prop_assert_eq!(
+            decode_datagram(&header, max),
+            Err(TransportError::TooLarge { declared, max })
+        );
+    }
+
+    #[test]
+    fn truncated_frames_wait_and_padded_datagrams_error(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        cut_seed in any::<u16>(),
+    ) {
+        let frame = encode_frame(&payload, DEFAULT_MAX_FRAME).unwrap();
+        let cut = cut_seed as usize % frame.len();
+        // Stream: a strict prefix is an incomplete frame, not an error.
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        decoder.extend(&frame[..cut]);
+        prop_assert_eq!(decoder.next_frame().unwrap(), None);
+        // Datagram: the same prefix is a truncated packet and must error.
+        prop_assert!(decode_datagram(&frame[..cut], DEFAULT_MAX_FRAME).is_err());
+        // And a padded datagram (trailing junk) must error too.
+        let mut padded = frame.clone();
+        padded.push(0xAA);
+        prop_assert!(decode_datagram(&padded, DEFAULT_MAX_FRAME).is_err());
+    }
+
+    #[test]
+    fn gateway_msgs_roundtrip(
+        kind in 0u8..6,
+        word in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let msg = gateway_msg_from(kind, word, body);
+        prop_assert_eq!(GatewayMsg::decode(&msg.encode()).ok(), Some(msg));
+    }
+
+    #[test]
+    fn gateway_decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let _ = GatewayMsg::decode(&bytes);
     }
 }
