@@ -19,6 +19,9 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== attest pipeline conformance (segcache / golden vectors / session model) =="
+cargo test -q --test segcache_coherence --test golden_vectors --test session_state_machine
+
 echo "== chaos soak (short deterministic gate) =="
 cargo run --release -q -p proverguard-bench --bin fleet_soak -- --ci
 
@@ -27,5 +30,8 @@ cargo run --release -q -p proverguard-bench --bin trace_report -- --ci
 
 echo "== gateway bench (socket-free loopback gate) =="
 cargo run --release -q -p proverguard-bench --bin gateway_bench -- --ci
+
+echo "== segcache bench (incremental attestation gate, emits BENCH_segcache.json) =="
+cargo run --release -q -p proverguard-bench --bin segcache_bench -- --ci
 
 echo "CI green."

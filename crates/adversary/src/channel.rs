@@ -99,10 +99,11 @@ impl Channel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proverguard_attest::message::FreshnessField;
+    use proverguard_attest::message::{AttestScope, FreshnessField};
 
     fn request(counter: u64) -> AttestRequest {
         AttestRequest {
+            scope: AttestScope::Whole,
             freshness: FreshnessField::Counter(counter),
             challenge: [1; 16],
             auth: vec![0xaa; 8],

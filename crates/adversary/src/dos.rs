@@ -10,7 +10,7 @@
 //! enough to remain a DoS vector.
 
 use proverguard_attest::error::AttestError;
-use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
 use proverguard_attest::prover::ProverConfig;
 use proverguard_mcu::cycles::cycles_to_ms;
 
@@ -80,6 +80,7 @@ pub fn flood_with_forgeries(
         // provers with a counter policy still accept them (the adversary
         // can put anything in an unauthenticated header).
         let bogus = AttestRequest {
+            scope: AttestScope::Whole,
             freshness: match world.prover.config().freshness {
                 proverguard_attest::freshness::FreshnessKind::None => FreshnessField::None,
                 proverguard_attest::freshness::FreshnessKind::NonceHistory => {

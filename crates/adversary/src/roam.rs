@@ -19,7 +19,7 @@ use proverguard_attest::auth::RequestSigner;
 use proverguard_attest::clock::{ms_to_ticks, ClockKind};
 use proverguard_attest::error::AttestError;
 use proverguard_attest::freshness::FreshnessKind;
-use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
 use proverguard_mcu::device::{timer_regs, DEFAULT_TIMER_PRESCALER_LOG2, DEFAULT_TIMER_WIDTH};
 use proverguard_mcu::map;
 use proverguard_mcu::Mcu;
@@ -293,6 +293,7 @@ fn forge_with_stolen_key(
         _ => FreshnessField::None,
     };
     let mut forged = AttestRequest {
+        scope: AttestScope::Whole,
         freshness,
         challenge: [0xee; 16],
         auth: Vec::new(),

@@ -36,7 +36,7 @@
 use proverguard_attest::error::AttestError;
 use proverguard_attest::fleet::{BreakerState, FleetController, FleetPolicy};
 use proverguard_attest::freshness::FreshnessKind;
-use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
 use proverguard_attest::prover::{Prover, ProverConfig};
 use proverguard_attest::session::{RetryPolicy, SessionDriver};
 use proverguard_attest::verifier::Verifier;
@@ -241,6 +241,7 @@ fn forged_request(kind: FreshnessKind, sequence: u64, now_ms: u64) -> AttestRequ
         FreshnessKind::Timestamp => FreshnessField::Timestamp(now_ms),
     };
     AttestRequest {
+        scope: AttestScope::Whole,
         freshness,
         challenge: [0xbb; 16],
         auth: vec![0u8; 8],

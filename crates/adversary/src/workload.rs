@@ -13,7 +13,7 @@
 //! period whose idle time falls below the task's execution budget misses
 //! its deadline.
 
-use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
 use proverguard_attest::prover::ProverConfig;
 use proverguard_mcu::cycles::cycles_to_ms;
 
@@ -89,6 +89,7 @@ pub fn interference_under_flood(
     // Measure the per-forgery handling cost once (it is constant per
     // configuration), then lay out the busy intervals analytically.
     let bogus = AttestRequest {
+        scope: AttestScope::Whole,
         freshness: match world.prover.config().freshness {
             proverguard_attest::freshness::FreshnessKind::Counter => FreshnessField::Counter(1),
             proverguard_attest::freshness::FreshnessKind::Timestamp => {

@@ -36,6 +36,11 @@ pub enum RejectReason {
     /// carry a fresh monotonic counter/timestamp. Rejected before any
     /// cryptography runs.
     DegradedMode,
+    /// The request asked for the segmented response construction but the
+    /// prover has no segment cache configured. Rejected right after
+    /// authentication, before any freshness state is consumed or memory
+    /// work done.
+    ScopeUnsupported,
 }
 
 impl fmt::Display for RejectReason {
@@ -62,6 +67,9 @@ impl fmt::Display for RejectReason {
             }
             RejectReason::DegradedMode => {
                 write!(f, "low-battery degraded mode admits only fresh counters")
+            }
+            RejectReason::ScopeUnsupported => {
+                write!(f, "segmented scope not supported by this prover")
             }
         }
     }

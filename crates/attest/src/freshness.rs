@@ -163,6 +163,27 @@ impl FreshnessPolicy {
     }
 }
 
+/// Patches a verifier-side expected RAM image so its `counter_R` word
+/// matches what the prover will have committed by response time: the
+/// prover writes the request's counter/timestamp into `counter_R`
+/// *before* MACing memory, so every expected image must carry the same
+/// value at the same offset. Nonce and no-freshness requests leave
+/// `counter_R` untouched and this is a no-op.
+///
+/// This is the single shared implementation of the word-offset arithmetic
+/// that the gateway, examples and integration tests all need.
+pub fn patch_expected_image(image: &mut [u8], field: &FreshnessField) {
+    let value = match field {
+        FreshnessField::Counter(c) => *c,
+        FreshnessField::Timestamp(t) => *t,
+        FreshnessField::None | FreshnessField::Nonce(_) => return,
+    };
+    let off = (map::COUNTER_R.start - map::RAM.start) as usize;
+    if image.len() >= off + 8 {
+        image[off..off + 8].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
 /// Reads the protected `counter_R` word as `Code_Attest`.
 ///
 /// # Errors
@@ -316,6 +337,34 @@ mod tests {
             .check_and_update(&FreshnessField::None, &mut m, None)
             .unwrap_err();
         assert_eq!(e.reject_reason(), Some(RejectReason::FreshnessKindMismatch));
+    }
+
+    #[test]
+    fn patch_expected_image_matches_device_commit() {
+        let mut p = FreshnessPolicy::new(FreshnessKind::Counter);
+        let mut m = mcu();
+        p.check_and_update(&FreshnessField::Counter(0xDEAD_BEEF), &mut m, None)
+            .unwrap();
+        let mut image = vec![0u8; map::RAM.len() as usize];
+        patch_expected_image(&mut image, &FreshnessField::Counter(0xDEAD_BEEF));
+        let off = (map::COUNTER_R.start - map::RAM.start) as usize;
+        assert_eq!(image[off..off + 8], 0xDEAD_BEEFu64.to_le_bytes());
+        assert_eq!(read_counter_r(&mut m).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn patch_expected_image_ignores_nonces_and_short_images() {
+        let mut image = vec![0xAAu8; 32];
+        patch_expected_image(&mut image, &FreshnessField::Nonce([1; 16]));
+        patch_expected_image(&mut image, &FreshnessField::None);
+        assert!(image.iter().all(|&b| b == 0xAA));
+        // Timestamp patches at the same word.
+        patch_expected_image(&mut image, &FreshnessField::Timestamp(7));
+        assert_eq!(image[..8], 7u64.to_le_bytes());
+        // A too-short image is left alone rather than panicking.
+        let mut tiny = vec![0u8; 4];
+        patch_expected_image(&mut tiny, &FreshnessField::Counter(1));
+        assert_eq!(tiny, vec![0u8; 4]);
     }
 
     #[test]

@@ -33,8 +33,6 @@ use proverguard_telemetry::metrics::{self, Registry};
 use proverguard_telemetry::trace;
 use proverguard_transport::{Acceptor, Transport, TransportError};
 
-use proverguard_mcu::map;
-
 use crate::error::{AttestError, RejectReason};
 use crate::fleet::{FleetController, FleetPolicy};
 use crate::message::{AttestResponse, FreshnessField};
@@ -88,6 +86,7 @@ fn reason_code(reason: RejectReason) -> u8 {
         RejectReason::Malformed => 7,
         RejectReason::Throttled => 8,
         RejectReason::DegradedMode => 9,
+        RejectReason::ScopeUnsupported => 10,
     }
 }
 
@@ -102,6 +101,7 @@ fn reason_from_code(code: u8) -> Option<RejectReason> {
         7 => RejectReason::Malformed,
         8 => RejectReason::Throttled,
         9 => RejectReason::DegradedMode,
+        10 => RejectReason::ScopeUnsupported,
         _ => return None,
     })
 }
@@ -268,17 +268,7 @@ impl DeviceEntry {
     /// the verifier just sent — patch it into the baseline.
     fn expected_for(&self, field: &FreshnessField) -> Vec<u8> {
         let mut image = self.expected_memory.clone();
-        let committed = match field {
-            FreshnessField::Counter(c) => Some(*c),
-            FreshnessField::Timestamp(t) => Some(*t),
-            FreshnessField::None | FreshnessField::Nonce(_) => None,
-        };
-        if let Some(value) = committed {
-            let offset = (map::COUNTER_R.start - map::RAM.start) as usize;
-            if let Some(word) = image.get_mut(offset..offset + 8) {
-                word.copy_from_slice(&value.to_le_bytes());
-            }
-        }
+        crate::freshness::patch_expected_image(&mut image, field);
         image
     }
 }
@@ -1066,6 +1056,7 @@ mod tests {
             RejectReason::Malformed,
             RejectReason::Throttled,
             RejectReason::DegradedMode,
+            RejectReason::ScopeUnsupported,
         ] {
             let msg = GatewayMsg::Reject(reason);
             assert_eq!(GatewayMsg::decode(&msg.encode()).unwrap(), msg);

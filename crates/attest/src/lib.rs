@@ -56,6 +56,7 @@ pub mod message;
 pub mod persist;
 pub mod profile;
 pub mod prover;
+pub mod segcache;
 pub mod services;
 pub mod session;
 pub mod verifier;
@@ -69,11 +70,12 @@ pub use gateway::{
     AgentOutcome, DeviceDirectory, Gateway, GatewayConfig, GatewayHandle, GatewayMsg,
     GatewayReport, GatewaySnapshot, ProverAgent,
 };
-pub use message::{AttestRequest, AttestResponse, FreshnessField};
+pub use message::{AttestRequest, AttestResponse, AttestScope, FreshnessField};
 pub use persist::{
     FreshnessRecord, InMemoryNvStore, PersistedState, RecoveryOutcome, SharedNvStore,
 };
 pub use prover::{Prover, ProverConfig};
+pub use segcache::{SegmentCache, SegmentedParams};
 pub use session::{
     AttemptOutcome, DirectLink, RetryPolicy, SessionDriver, SessionLink, SessionReport,
 };

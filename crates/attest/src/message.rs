@@ -1,10 +1,11 @@
 //! Protocol messages and their wire encoding.
 //!
-//! An `attreq` carries a freshness field (nonce, counter or timestamp — or
-//! nothing, for the unprotected strawman), a 16-byte challenge, and an
-//! authenticator computed over the serialized header. The paper assumes
-//! requests fit in one primitive block (§4.1); our header is 26 bytes,
-//! within a single 64-byte HMAC block.
+//! An `attreq` carries a response scope (whole-memory or segmented), a
+//! freshness field (nonce, counter or timestamp — or nothing, for the
+//! unprotected strawman), a 16-byte challenge, and an authenticator
+//! computed over the serialized header. The paper assumes requests fit in
+//! one primitive block (§4.1); our header is 27 bytes, within a single
+//! 64-byte HMAC block.
 
 use crate::error::AttestError;
 
@@ -16,6 +17,31 @@ pub const NONCE_SIZE: usize = 16;
 
 /// Protocol version byte.
 pub const VERSION: u8 = 1;
+
+/// Which response construction the verifier is asking for. The scope is
+/// part of the authenticated header, so an adversary cannot downgrade a
+/// segmented request into a whole-memory one (or vice versa) without
+/// failing the authentication check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AttestScope {
+    /// One MAC over the whole writable memory — the paper's §3.1
+    /// construction.
+    #[default]
+    Whole,
+    /// `MAC(K, header ‖ seg-header ‖ d_0 ‖ … ‖ d_{n-1})` over per-segment
+    /// SHA-1 digests, served from the prover's dirty-bit-invalidated
+    /// segment cache (see [`crate::segcache`]).
+    Segmented,
+}
+
+impl AttestScope {
+    fn scope_byte(self) -> u8 {
+        match self {
+            AttestScope::Whole => 0,
+            AttestScope::Segmented => 1,
+        }
+    }
+}
 
 /// The freshness field of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +70,8 @@ impl FreshnessField {
 /// An attestation request (`attreq`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttestRequest {
+    /// Requested response construction.
+    pub scope: AttestScope,
     /// Freshness field.
     pub freshness: FreshnessField,
     /// Verifier challenge, bound into the response MAC.
@@ -58,8 +86,9 @@ impl AttestRequest {
     /// The bytes the authenticator covers: everything except `auth`.
     #[must_use]
     pub fn signed_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(2 + 16 + CHALLENGE_SIZE);
+        let mut out = Vec::with_capacity(3 + 16 + CHALLENGE_SIZE);
         out.push(VERSION);
+        out.push(self.scope.scope_byte());
         out.push(self.freshness.kind_byte());
         match self.freshness {
             FreshnessField::None => {}
@@ -106,6 +135,11 @@ impl AttestRequest {
         if version != VERSION {
             return Err(malformed("unsupported version"));
         }
+        let scope = match take(&mut idx, 1)?[0] {
+            0 => AttestScope::Whole,
+            1 => AttestScope::Segmented,
+            _ => return Err(malformed("unknown scope")),
+        };
         let kind = take(&mut idx, 1)?[0];
         let freshness = match kind {
             0 => FreshnessField::None,
@@ -131,6 +165,7 @@ impl AttestRequest {
             return Err(malformed("trailing bytes"));
         }
         Ok(AttestRequest {
+            scope,
             freshness,
             challenge,
             auth,
@@ -185,6 +220,7 @@ mod tests {
 
     fn sample(freshness: FreshnessField) -> AttestRequest {
         AttestRequest {
+            scope: AttestScope::Whole,
             freshness,
             challenge: [7; CHALLENGE_SIZE],
             auth: vec![1, 2, 3],
@@ -245,13 +281,29 @@ mod tests {
     }
 
     #[test]
-    fn unknown_kind_and_version_rejected() {
+    fn unknown_kind_scope_and_version_rejected() {
         let mut bytes = sample(FreshnessField::None).to_bytes();
-        bytes[1] = 7; // freshness kind
+        bytes[2] = 7; // freshness kind
+        assert!(AttestRequest::from_bytes(&bytes).is_err());
+        let mut bytes = sample(FreshnessField::None).to_bytes();
+        bytes[1] = 9; // scope
         assert!(AttestRequest::from_bytes(&bytes).is_err());
         let mut bytes = sample(FreshnessField::None).to_bytes();
         bytes[0] = 99; // version
         assert!(AttestRequest::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn scope_roundtrips_and_is_signed() {
+        let mut req = sample(FreshnessField::Counter(4));
+        req.scope = AttestScope::Segmented;
+        let parsed = AttestRequest::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(parsed.scope, AttestScope::Segmented);
+        // The scope byte is under the authenticator: changing it changes
+        // the signed bytes, so a downgrade flips the MAC check downstream.
+        let mut whole = req.clone();
+        whole.scope = AttestScope::Whole;
+        assert_ne!(req.signed_bytes(), whole.signed_bytes());
     }
 
     #[test]

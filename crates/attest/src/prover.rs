@@ -24,9 +24,11 @@ use crate::clock::{ClockKind, ProverClock, CLOCK_HANDLER_ADDR};
 use crate::clocksync::{self, SyncOutcome, SyncParams, SyncRequest};
 use crate::error::{AttestError, RejectReason};
 use crate::freshness::{FreshnessKind, FreshnessPolicy};
+use crate::message::AttestScope;
 use crate::message::{AttestRequest, AttestResponse, FreshnessField};
 use crate::persist::{FreshnessRecord, PersistedState, RecoveryOutcome};
 use crate::profile::{rules_for, Protection};
+use crate::segcache::{self, SegmentCache, SegmentedParams};
 use crate::services::{self, CommandReceipt, CommandRequest};
 
 /// Static configuration of a prover deployment.
@@ -42,6 +44,12 @@ pub struct ProverConfig {
     pub protection: Protection,
     /// The MAC used for the attestation *response* over memory.
     pub response_mac: MacAlgorithm,
+    /// Incremental segmented attestation: when `Some`, the device's
+    /// dirty-tracking hardware is strapped to the given granularity and
+    /// the prover serves [`AttestScope::Segmented`] requests from its
+    /// per-segment digest cache. `None` provers reject segmented requests
+    /// with [`RejectReason::ScopeUnsupported`].
+    pub segmented: Option<SegmentedParams>,
 }
 
 impl ProverConfig {
@@ -56,6 +64,18 @@ impl ProverConfig {
             clock: ClockKind::None,
             protection: Protection::EaMac,
             response_mac: MacAlgorithm::HmacSha1,
+            segmented: None,
+        }
+    }
+
+    /// The recommended deployment with incremental segmented attestation
+    /// enabled at the default 8 KiB granularity: repeat attestations cost
+    /// only the dirty segments plus one short combine MAC.
+    #[must_use]
+    pub fn recommended_segmented() -> Self {
+        ProverConfig {
+            segmented: Some(SegmentedParams::default()),
+            ..Self::recommended()
         }
     }
 
@@ -69,6 +89,7 @@ impl ProverConfig {
             clock: ClockKind::Hw64,
             protection: Protection::EaMac,
             response_mac: MacAlgorithm::HmacSha1,
+            segmented: None,
         }
     }
 
@@ -91,6 +112,7 @@ impl ProverConfig {
             clock: ClockKind::None,
             protection: Protection::Open,
             response_mac: MacAlgorithm::HmacSha1,
+            segmented: None,
         }
     }
 
@@ -105,6 +127,9 @@ impl ProverConfig {
             return Err(AttestError::BadConfig {
                 reason: "timestamp freshness requires a clock".to_string(),
             });
+        }
+        if let Some(params) = &self.segmented {
+            params.validate()?;
         }
         Ok(())
     }
@@ -121,8 +146,15 @@ pub struct CostBreakdown {
     pub auth_cycles: u64,
     /// Freshness-check cycles (bus accesses + comparison).
     pub freshness_cycles: u64,
-    /// Whole-memory response MAC cycles (0 when the request was rejected).
+    /// Response MAC cycles (0 when the request was rejected). For a
+    /// whole-memory response this is the full sweep; for a segmented one
+    /// it is the dirty-bit scan + recomputed segment digests + combine
+    /// MAC.
     pub response_cycles: u64,
+    /// Segments whose digest had to be recomputed (segmented scope only).
+    pub mac_recomputed_segments: u32,
+    /// Segments served from the digest cache (segmented scope only).
+    pub mac_cached_segments: u32,
 }
 
 impl CostBreakdown {
@@ -160,6 +192,17 @@ pub struct ProverStats {
     pub rejected_throttled: u64,
     /// Requests shed by low-battery degraded mode (no fresh counter).
     pub rejected_degraded: u64,
+    /// Segmented-scope requests rejected because the prover has no
+    /// segment cache configured.
+    pub rejected_scope: u64,
+    /// Segment digests recomputed across all segmented responses.
+    pub seg_mac_recomputed: u64,
+    /// Segment digests served from the cache across all segmented
+    /// responses.
+    pub seg_mac_cached: u64,
+    /// Wholesale segment-cache invalidations (reboot, EA-MPU fault,
+    /// explicit clear).
+    pub segcache_invalidations: u64,
     /// Reboots survived ([`Prover::reboot`]).
     pub reboots: u64,
     /// Reboots where an attached store's record failed validation and the
@@ -183,6 +226,7 @@ impl ProverStats {
             .saturating_add(self.rejected_malformed)
             .saturating_add(self.rejected_throttled)
             .saturating_add(self.rejected_degraded)
+            .saturating_add(self.rejected_scope)
     }
 }
 
@@ -198,6 +242,10 @@ const PARSE_OVERHEAD_CYCLES: u64 = 96;
 /// Speck block check, so shed traffic is the next-cheapest thing to
 /// reject after garbage.
 const ADMISSION_OVERHEAD_CYCLES: u64 = 32;
+
+/// Cycles to test one hardware dirty bit during the segmented scan (a
+/// load, a mask and a branch).
+const SEG_SCAN_CYCLES: u64 = 8;
 
 /// The prover device plus its trust anchor.
 #[derive(Debug, Clone)]
@@ -218,6 +266,13 @@ pub struct Prover {
     nv: Option<Box<dyn PersistedState>>,
     /// Optional admission controller gating the whole pipeline.
     admission: Option<AdmissionController>,
+    /// Per-segment digest cache (only with `config.segmented`). Volatile
+    /// `Code_Attest` state: never sealed into the freshness record, and
+    /// dropped wholesale on reboot or on an observed EA-MPU violation.
+    segcache: Option<SegmentCache>,
+    /// Length of the device fault log when the cache was last known good;
+    /// growth means an EA-MPU violation happened and the cache is dropped.
+    fault_mark: usize,
 }
 
 impl Prover {
@@ -273,6 +328,21 @@ impl Prover {
         let policy = FreshnessPolicy::new(config.freshness);
         let clock = ProverClock::new(config.clock);
 
+        // Strap the dirty-tracking hardware and allocate the (empty)
+        // digest cache. Every segment starts dirty, so the first segmented
+        // attestation after provisioning does a full recomputation.
+        let segcache = match &config.segmented {
+            Some(params) => {
+                mcu.set_segment_len(params.segment_len)?;
+                Some(SegmentCache::new(
+                    params.segment_len as usize,
+                    map::RAM.len() as usize,
+                ))
+            }
+            None => None,
+        };
+        let fault_mark = mcu.fault_log().len();
+
         Ok(Prover {
             mcu,
             config,
@@ -286,6 +356,8 @@ impl Prover {
             boot_reference,
             nv: None,
             admission: None,
+            segcache,
+            fault_mark,
         })
     }
 
@@ -583,6 +655,17 @@ impl Prover {
             return Err(AttestError::Rejected(RejectReason::BadAuth));
         }
 
+        // Stage 1b: scope capability. The scope byte is under the
+        // authenticator (checked above), so this is a genuine verifier
+        // request for a construction we do not serve — rejected before
+        // any freshness state is consumed, so the verifier can re-dial
+        // with the same counter at whole-memory scope.
+        if request.scope == AttestScope::Segmented && self.segcache.is_none() {
+            self.stats.rejected_scope = self.stats.rejected_scope.saturating_add(1);
+            self.finish(cost);
+            return Err(AttestError::Rejected(RejectReason::ScopeUnsupported));
+        }
+
         // Stage 2: freshness (§4.2). Service any outstanding clock
         // interrupts first so the SW-clock is up to date, then read the
         // synced time (raw clock + the clock-sync offset, which is zero
@@ -602,23 +685,150 @@ impl Prover {
             return Err(e);
         }
 
-        // Stage 3: the expensive part — MAC over the whole writable
-        // memory, bound to the request (§3.1's 754 ms).
-        let ram = self.mcu.ram_snapshot(map::ATTEST_PC)?;
-        cost.response_cycles = self
-            .mcu
-            .cost_table()
-            .mac_cost(self.config.response_mac, ram.len() + message.len());
-        let report = self.charge_stage("prover.attest_mac", cost.response_cycles, |p| {
-            let mut macced = message;
-            macced.extend_from_slice(&ram);
-            p.response_key.compute(&macced)
-        });
+        // Stage 3: the expensive part. Whole scope pays the §3.1 ~754 ms
+        // full-memory MAC; segmented scope re-digests only dirty segments
+        // and pays one short combine MAC.
+        let report = match request.scope {
+            AttestScope::Whole => self.respond_whole(message, &mut cost)?,
+            AttestScope::Segmented => self.respond_segmented(message, &mut cost)?,
+        };
 
         self.stats.accepted = self.stats.accepted.saturating_add(1);
         self.finish(cost);
         self.persist_freshness()?;
         Ok(AttestResponse { report })
+    }
+
+    /// Whole-memory response: MAC over the request header followed by all
+    /// of RAM (§3.1's 754 ms).
+    fn respond_whole(
+        &mut self,
+        message: Vec<u8>,
+        cost: &mut CostBreakdown,
+    ) -> Result<Vec<u8>, AttestError> {
+        let ram = self.mcu.ram_snapshot(map::ATTEST_PC)?;
+        cost.response_cycles = self
+            .mcu
+            .cost_table()
+            .mac_cost(self.config.response_mac, ram.len() + message.len());
+        Ok(
+            self.charge_stage("prover.attest_mac", cost.response_cycles, |p| {
+                let mut macced = message;
+                macced.extend_from_slice(&ram);
+                p.response_key.compute(&macced)
+            }),
+        )
+    }
+
+    /// Segmented response: scan the hardware dirty bits, re-digest only
+    /// the segments that are dirty (or missing from the cache), then MAC
+    /// the request header over the full digest list. Each recomputed
+    /// segment's dirty bit is acknowledged **as `Code_Attest`, after its
+    /// digest is taken** — a write landing later marks it dirty again, so
+    /// the cache can go stale-conservative but never stale-trusted.
+    fn respond_segmented(
+        &mut self,
+        message: Vec<u8>,
+        cost: &mut CostBreakdown,
+    ) -> Result<Vec<u8>, AttestError> {
+        // An EA-MPU violation since the cache was last known good means
+        // untrusted code probed the trust anchors; drop the cache rather
+        // than reason about what it might have influenced.
+        if self.mcu.fault_log().len() > self.fault_mark {
+            self.invalidate_segcache();
+            self.fault_mark = self.mcu.fault_log().len();
+        }
+
+        let ram = self.mcu.ram_snapshot(map::ATTEST_PC)?;
+        let seg_len = self.mcu.segment_len() as usize;
+        let seg_count = self.mcu.segment_count();
+
+        // Scan: one dirty-bit test per segment. A segment is served from
+        // cache only when its hardware bit is clear AND a digest is live.
+        let scan_cycles = SEG_SCAN_CYCLES * seg_count as u64;
+        let todo: Vec<usize> = self.charge_stage("prover.attest_mac.cached", scan_cycles, |p| {
+            let cache = p.segcache.as_ref().expect("segmented scope requires cache");
+            (0..seg_count)
+                .filter(|&i| p.mcu.segment_dirty(i) || !cache.has(i))
+                .collect()
+        });
+
+        // Recompute: SHA-1 over each stale segment, acknowledging its
+        // dirty bit as Code_Attest once the digest is in hand.
+        let recompute_cycles: u64 = todo
+            .iter()
+            .map(|&i| {
+                let len = ram[i * seg_len..].len().min(seg_len);
+                self.mcu
+                    .cost_table()
+                    .sha1_digest_cost(segcache::SEGMENT_PREFIX_LEN + len)
+            })
+            .sum();
+        let ack_result: Result<(), AttestError> =
+            self.charge_stage("prover.attest_mac.recomputed", recompute_cycles, |p| {
+                for &i in &todo {
+                    let start = i * seg_len;
+                    let end = (start + seg_len).min(ram.len());
+                    let digest = segcache::segment_digest(i as u32, &ram[start..end]);
+                    p.segcache
+                        .as_mut()
+                        .expect("segmented scope requires cache")
+                        .store(i, digest);
+                    p.mcu.acknowledge_segment(i, map::ATTEST_PC)?;
+                }
+                Ok(())
+            });
+        ack_result?;
+
+        let cache = self
+            .segcache
+            .as_ref()
+            .expect("segmented scope requires cache");
+        let digests = cache
+            .all()
+            .expect("every segment was scanned or recomputed");
+        let cached = seg_count - todo.len();
+        cost.mac_recomputed_segments = todo.len() as u32;
+        cost.mac_cached_segments = cached as u32;
+        self.stats.seg_mac_recomputed = self
+            .stats
+            .seg_mac_recomputed
+            .saturating_add(todo.len() as u64);
+        self.stats.seg_mac_cached = self.stats.seg_mac_cached.saturating_add(cached as u64);
+
+        // Combine: one keyed MAC over header ‖ seg-header ‖ digest list —
+        // the only per-request cryptography, a few dozen blocks.
+        let combined = segcache::combined_input(&message, seg_len as u32, &digests);
+        let combine_cycles = self
+            .mcu
+            .cost_table()
+            .mac_cost(self.config.response_mac, combined.len());
+        cost.response_cycles = scan_cycles + recompute_cycles + combine_cycles;
+        Ok(self.charge_stage("prover.attest_mac", combine_cycles, |p| {
+            p.response_key.compute(&combined)
+        }))
+    }
+
+    /// Drops every cached segment digest. The next segmented response
+    /// recomputes from scratch (correctness is unaffected — only cost).
+    pub fn clear_segment_cache(&mut self) {
+        self.invalidate_segcache();
+    }
+
+    /// The segment cache, if segmented mode is configured.
+    #[must_use]
+    pub fn segment_cache(&self) -> Option<&SegmentCache> {
+        self.segcache.as_ref()
+    }
+
+    fn invalidate_segcache(&mut self) {
+        if let Some(cache) = self.segcache.as_mut() {
+            if cache.cached_count() > 0 {
+                self.stats.segcache_invalidations =
+                    self.stats.segcache_invalidations.saturating_add(1);
+            }
+            cache.invalidate_all();
+        }
     }
 
     /// Advances the device clock by `cycles` under a telemetry span named
@@ -759,10 +969,15 @@ impl Prover {
             SecureBoot::new(self.boot_reference).run(&mut self.mcu, &rules)?;
         }
 
-        // Host-side mirrors of volatile state start over too.
+        // Host-side mirrors of volatile state start over too. The segment
+        // cache is volatile by design — it is NOT part of the sealed
+        // freshness record, so an honest reboot (like Adv_roam's reset)
+        // forces a full recomputation on the next segmented attestation.
         self.policy = FreshnessPolicy::new(self.config.freshness);
         self.clock = ProverClock::new(self.config.clock);
         self.last_cost = CostBreakdown::default();
+        self.invalidate_segcache();
+        self.fault_mark = self.mcu.fault_log().len();
 
         // The admission budget is restored from the (seal-verified)
         // record; anything else — no store, empty, tampered — reboots
@@ -897,6 +1112,7 @@ mod tests {
         let (mut prover, _) = pair(ProverConfig::unprotected());
         // A completely bogus request — no auth, no freshness.
         let bogus = AttestRequest {
+            scope: AttestScope::Whole,
             freshness: crate::message::FreshnessField::None,
             challenge: [0; 16],
             auth: Vec::new(),
@@ -912,6 +1128,140 @@ mod tests {
         let (mut prover, _) = pair(ProverConfig::recommended());
         assert!(prover.mcu_mut().read_attest_key(map::APP_CODE).is_err());
         // But Code_Attest read it fine during provisioning (we got here).
+    }
+
+    #[test]
+    fn segmented_repeat_attestation_is_cheap_and_verifies() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        // First segmented attestation: everything is dirty, full cost.
+        let req = verifier.make_request().unwrap();
+        assert_eq!(req.scope, AttestScope::Segmented);
+        let resp = prover.handle_request(&req).unwrap();
+        assert!(verifier.check_response(&req, &resp, prover.expected_memory()));
+        let first = *prover.last_cost();
+        assert!(first.mac_recomputed_segments > 0);
+
+        // Nothing written since (the freshness commit dirties only the
+        // counter_R segment): the repeat re-digests just that one segment.
+        let req = verifier.make_request().unwrap();
+        let resp = prover.handle_request(&req).unwrap();
+        assert!(verifier.check_response(&req, &resp, prover.expected_memory()));
+        let second = *prover.last_cost();
+        assert_eq!(second.mac_recomputed_segments, 1);
+        assert!(
+            second.response_cycles < first.response_cycles / 6,
+            "repeat cost {} vs first {}",
+            second.response_cycles,
+            first.response_cycles
+        );
+    }
+
+    #[test]
+    fn segmented_tracks_app_writes() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        let req = verifier.make_request().unwrap();
+        prover.handle_request(&req).unwrap();
+
+        // Application code modifies RAM in a segment well away from
+        // counter_R's; the next report must reflect it.
+        prover
+            .mcu_mut()
+            .bus_write(map::RAM.start + 3 * 8192 + 64, &[0xEE; 100], map::APP_CODE)
+            .unwrap();
+        let req = verifier.make_request().unwrap();
+        let resp = prover.handle_request(&req).unwrap();
+        assert!(verifier.check_response(&req, &resp, prover.expected_memory()));
+        // counter_R segment + the written segment were re-digested.
+        assert_eq!(prover.last_cost().mac_recomputed_segments, 2);
+    }
+
+    #[test]
+    fn segmented_scope_rejected_without_cache() {
+        let (mut prover, _) = pair(ProverConfig::recommended());
+        let (_, mut seg_verifier) = pair(ProverConfig::recommended_segmented());
+        let req = seg_verifier.make_request().unwrap();
+        let err = prover.handle_request(&req).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::ScopeUnsupported));
+        assert_eq!(prover.stats().rejected_scope, 1);
+        // Rejected after auth but before freshness: no counter burned, no
+        // memory work done.
+        assert_eq!(prover.last_cost().response_cycles, 0);
+        let s = prover.stats();
+        assert_eq!(s.requests_seen, s.accepted + s.rejected_total());
+    }
+
+    #[test]
+    fn reboot_invalidates_segment_cache() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        let req = verifier.make_request().unwrap();
+        prover.handle_request(&req).unwrap();
+        assert!(prover.segment_cache().unwrap().cached_count() > 0);
+
+        prover.reboot().unwrap();
+        assert_eq!(prover.segment_cache().unwrap().cached_count(), 0);
+        assert_eq!(prover.stats().segcache_invalidations, 1);
+
+        // Without an NV store the counter rolled back; redial with a fresh
+        // verifier state to confirm the post-reboot full recompute still
+        // verifies. (RAM was wiped, so the expected image changed too.)
+        let req = verifier.make_request().unwrap();
+        let resp = prover.handle_request(&req).unwrap();
+        assert!(verifier.check_response(&req, &resp, prover.expected_memory()));
+        assert!(prover.last_cost().mac_recomputed_segments as usize > 1);
+    }
+
+    #[test]
+    fn mpu_violation_invalidates_segment_cache() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        let req = verifier.make_request().unwrap();
+        prover.handle_request(&req).unwrap();
+        let cached_before = prover.segment_cache().unwrap().cached_count();
+        assert!(cached_before > 0);
+
+        // Untrusted code pokes at the protected counter word — EA-MPU
+        // fault, logged. The next segmented response drops the cache.
+        let _ = prover
+            .mcu_mut()
+            .bus_write(map::COUNTER_R.start, &[0; 8], map::APP_CODE);
+        assert!(!prover.mcu().fault_log().is_empty());
+
+        let req = verifier.make_request().unwrap();
+        let resp = prover.handle_request(&req).unwrap();
+        assert!(verifier.check_response(&req, &resp, prover.expected_memory()));
+        assert_eq!(prover.stats().segcache_invalidations, 1);
+        // Everything was recomputed from scratch.
+        assert_eq!(
+            prover.last_cost().mac_recomputed_segments as usize,
+            prover.segment_cache().unwrap().segment_count()
+        );
+    }
+
+    #[test]
+    fn segmented_digest_matches_from_scratch_oracle() {
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        for _ in 0..3 {
+            let req = verifier.make_request().unwrap();
+            prover.handle_request(&req).unwrap();
+            let oracle = crate::segcache::segment_digests(
+                prover.expected_memory(),
+                prover.segment_cache().unwrap().segment_len(),
+            );
+            assert_eq!(prover.segment_cache().unwrap().all().unwrap(), oracle);
+            prover
+                .mcu_mut()
+                .bus_write(map::APP_RAM.start + 64, &[1, 2, 3], map::APP_CODE)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_segment_len_is_bad_config() {
+        let mut config = ProverConfig::recommended_segmented();
+        config.segmented = Some(crate::segcache::SegmentedParams { segment_len: 100 });
+        assert!(matches!(
+            Prover::provision(config, &KEY, b"app"),
+            Err(AttestError::BadConfig { .. })
+        ));
     }
 
     #[test]

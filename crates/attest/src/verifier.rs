@@ -13,8 +13,11 @@ use proverguard_crypto::mac::MacKey;
 use crate::auth::{AuthMethod, RequestSigner};
 use crate::error::AttestError;
 use crate::freshness::FreshnessKind;
-use crate::message::{AttestRequest, AttestResponse, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE};
+use crate::message::{
+    AttestRequest, AttestResponse, AttestScope, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
+};
 use crate::prover::ProverConfig;
+use crate::segcache::{self, SegmentedParams};
 
 /// The verifier's state.
 #[derive(Debug, Clone)]
@@ -22,6 +25,7 @@ pub struct Verifier {
     signer: RequestSigner,
     response_key: MacKey,
     freshness: FreshnessKind,
+    segmented: Option<SegmentedParams>,
     next_counter: u64,
     next_sync_counter: u64,
     next_command_counter: u64,
@@ -42,6 +46,7 @@ impl Verifier {
             signer: RequestSigner::new(config.auth, key)?,
             response_key: MacKey::new(config.response_mac, key)?,
             freshness: config.freshness,
+            segmented: config.segmented,
             next_counter: 1,
             next_sync_counter: 1,
             next_command_counter: 1,
@@ -99,7 +104,13 @@ impl Verifier {
         };
         let mut challenge = [0u8; CHALLENGE_SIZE];
         self.drbg.fill(&mut challenge);
+        let scope = if self.segmented.is_some() {
+            AttestScope::Segmented
+        } else {
+            AttestScope::Whole
+        };
         let mut request = AttestRequest {
+            scope,
             freshness,
             challenge,
             auth: Vec::new(),
@@ -149,7 +160,10 @@ impl Verifier {
         receipt.verify(&self.response_key, command, expected_digest)
     }
 
-    /// Validates a response against the expected memory image.
+    /// Validates a response against the expected memory image, using the
+    /// construction the request's (authenticated) scope byte named. The
+    /// verifier recomputes the segmented digest list from scratch — only
+    /// the prover, which trusts its dirty-tracking hardware, may cache.
     #[must_use]
     pub fn check_response(
         &self,
@@ -157,9 +171,23 @@ impl Verifier {
         response: &AttestResponse,
         expected_memory: &[u8],
     ) -> bool {
-        let mut macced = request.signed_bytes();
-        macced.extend_from_slice(expected_memory);
-        self.response_key.verify(&macced, &response.report)
+        match request.scope {
+            AttestScope::Whole => {
+                let mut macced = request.signed_bytes();
+                macced.extend_from_slice(expected_memory);
+                self.response_key.verify(&macced, &response.report)
+            }
+            AttestScope::Segmented => {
+                let Some(params) = &self.segmented else {
+                    return false;
+                };
+                let digests =
+                    segcache::segment_digests(expected_memory, params.segment_len as usize);
+                let combined =
+                    segcache::combined_input(&request.signed_bytes(), params.segment_len, &digests);
+                self.response_key.verify(&combined, &response.report)
+            }
+        }
     }
 }
 
@@ -235,6 +263,38 @@ mod tests {
         let a = v.make_request().unwrap();
         let b = v.make_request().unwrap();
         assert_ne!(a.challenge, b.challenge);
+    }
+
+    #[test]
+    fn segmented_check_recomputes_from_scratch() {
+        let config = ProverConfig::recommended_segmented();
+        let mut v = Verifier::new(&config, &KEY).unwrap();
+        let req = v.make_request().unwrap();
+        assert_eq!(req.scope, AttestScope::Segmented);
+        let memory = vec![3u8; 64 * 1024];
+        let seg_len = config.segmented.unwrap().segment_len;
+        let digests = segcache::segment_digests(&memory, seg_len as usize);
+        let combined = segcache::combined_input(&req.signed_bytes(), seg_len, &digests);
+        let good = AttestResponse {
+            report: MacKey::new(MacAlgorithm::HmacSha1, &KEY)
+                .unwrap()
+                .compute(&combined),
+        };
+        assert!(v.check_response(&req, &good, &memory));
+        // One flipped byte anywhere flips one segment digest.
+        let mut tampered = memory.clone();
+        tampered[40_000] ^= 1;
+        assert!(!v.check_response(&req, &good, &tampered));
+        // A whole-memory-construction response must not pass a segmented
+        // check (downgrade detection).
+        let mut macced = req.signed_bytes();
+        macced.extend_from_slice(&memory);
+        let whole = AttestResponse {
+            report: MacKey::new(MacAlgorithm::HmacSha1, &KEY)
+                .unwrap()
+                .compute(&macced),
+        };
+        assert!(!v.check_response(&req, &whole, &memory));
     }
 
     #[test]

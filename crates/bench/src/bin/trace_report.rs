@@ -24,7 +24,7 @@
 //! `--jsonl PATH` / `--chrome PATH` additionally export the trace.
 
 use proverguard_adversary::world::World;
-use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
 use proverguard_attest::prover::ProverConfig;
 use proverguard_attest::session::{DirectLink, SessionDriver};
 use proverguard_mcu::{map, CLOCK_HZ};
@@ -53,6 +53,7 @@ fn run_workload() -> World {
     for i in 0..FORGERIES {
         // Adv_ext: plausible header (fresh-looking counter), garbage MAC.
         let bogus = AttestRequest {
+            scope: AttestScope::Whole,
             freshness: FreshnessField::Counter(1_000 + i),
             challenge: [0xbb; 16],
             auth: vec![0u8; 8],

@@ -140,6 +140,16 @@ impl CostTable {
         self.mac_cost(MacAlgorithm::HmacSha1, memory_bytes)
     }
 
+    /// Cycles to SHA-1-digest `len` arbitrary bytes (unkeyed — no HMAC
+    /// pads, no key schedule): one compression per padded 64-byte block
+    /// at the Table 1 per-block rate. This is what one segment of the
+    /// incremental attestation cache costs to (re)digest.
+    #[must_use]
+    pub fn sha1_digest_cost(&self, len: usize) -> u64 {
+        // Merkle–Damgård padding: 0x80 plus the 8-byte length word.
+        ((len + 9).div_ceil(64) as u64) * self.hmac_per_block
+    }
+
     /// Cycles to verify an authenticated request with `alg` (recompute MAC
     /// + compare).
     ///
@@ -218,6 +228,18 @@ mod tests {
         let table = CostTable::siskiyou_peak();
         let speck = table.request_check_cost(MacAlgorithm::Speck64Cbc);
         assert!(table.ecdsa_verify > 1000 * speck);
+    }
+
+    #[test]
+    fn sha1_digest_cost_tracks_blocks_without_hmac_fixed() {
+        let table = CostTable::siskiyou_peak();
+        // 55 bytes pad into one block; 56 spill into two.
+        assert_eq!(table.sha1_digest_cost(55), table.hmac_per_block);
+        assert_eq!(table.sha1_digest_cost(56), 2 * table.hmac_per_block);
+        // An unkeyed digest never pays the HMAC fixed cost: one segment
+        // costs strictly less than HMACing the same bytes.
+        let seg = 8 * 1024;
+        assert!(table.sha1_digest_cost(seg) < table.mac_cost(MacAlgorithm::HmacSha1, seg));
     }
 
     #[test]

@@ -445,6 +445,73 @@ impl Mcu {
         Ok(self.memory.ram().to_vec())
     }
 
+    // ---- dirty-region tracking ---------------------------------------------
+
+    /// Dirty-tracking granularity in bytes (see
+    /// [`crate::memory::DEFAULT_SEGMENT_LEN`]).
+    #[must_use]
+    pub fn segment_len(&self) -> u32 {
+        self.memory.segment_len()
+    }
+
+    /// Number of tracked RAM segments.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.memory.segment_count()
+    }
+
+    /// Reconfigures the dirty-tracking granularity — a boot-time hardware
+    /// strap, like the timer width. Non-volatile: it survives
+    /// [`Mcu::reset`]. All bits come back set.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BadSegmentLen`] for lengths that are not a power of two
+    /// between 64 bytes and the RAM size.
+    pub fn set_segment_len(&mut self, len: u32) -> Result<(), McuError> {
+        self.memory.set_segment_len(len)
+    }
+
+    /// The hardware dirty bit of segment `index`. Readable by anyone —
+    /// the bit only becomes load-bearing through the clear path below.
+    #[must_use]
+    pub fn segment_dirty(&self, index: usize) -> bool {
+        self.memory.segment_dirty(index)
+    }
+
+    /// Clears the dirty bit of segment `index` as code executing at `pc`.
+    ///
+    /// The acknowledge register is hardwired to `Code_Attest` (§6.2 in
+    /// spirit: the same execution-aware gating that protects `counter_R`).
+    /// This is what makes a cached segment digest sound: untrusted code
+    /// can *set* bits all day by writing memory, but it can never clear
+    /// one to freeze a stale digest into the next report.
+    ///
+    /// # Errors
+    ///
+    /// - [`McuError::MpuViolation`] (logged) when `pc` is outside
+    ///   [`map::ATTEST_CODE`].
+    /// - [`McuError::BusFault`] for an out-of-range segment index.
+    pub fn acknowledge_segment(&mut self, index: usize, pc: u32) -> Result<(), McuError> {
+        let addr = map::RAM
+            .start
+            .saturating_add((index as u32).saturating_mul(self.memory.segment_len()));
+        if !map::ATTEST_CODE.contains(pc) {
+            let e = McuError::MpuViolation {
+                pc,
+                addr,
+                kind: AccessKind::Write,
+            };
+            self.fault_log.push(e.clone());
+            return Err(e);
+        }
+        if index >= self.memory.segment_count() {
+            return Err(McuError::BusFault { addr });
+        }
+        self.memory.clear_dirty(index);
+        Ok(())
+    }
+
     // ---- RTC ------------------------------------------------------------------
 
     /// Reads the dedicated RTC (if installed) as `pc`, through the bus.
@@ -747,6 +814,49 @@ mod tests {
         assert_eq!(&mcu.physical_memory().flash()[..3], b"app");
         assert_eq!(mcu.battery().remaining_joules(), drained);
         assert_eq!(mcu.clock().cycles(), elapsed);
+    }
+
+    #[test]
+    fn segment_acknowledge_is_pc_gated() {
+        let mut mcu = Mcu::new();
+        // Dirty from power-on; only Code_Attest may acknowledge.
+        assert!(mcu.segment_dirty(5));
+        let denied = mcu.acknowledge_segment(5, map::APP_CODE);
+        assert!(matches!(denied, Err(McuError::MpuViolation { .. })));
+        assert!(mcu.segment_dirty(5));
+        assert_eq!(mcu.fault_log().len(), 1);
+        mcu.acknowledge_segment(5, map::ATTEST_PC).unwrap();
+        assert!(!mcu.segment_dirty(5));
+        // A bus write from anywhere re-dirties it.
+        mcu.bus_write(
+            map::RAM.start + 5 * mcu.segment_len() + 1,
+            &[0xcc],
+            map::APP_CODE,
+        )
+        .unwrap();
+        assert!(mcu.segment_dirty(5));
+    }
+
+    #[test]
+    fn acknowledge_out_of_range_faults() {
+        let mut mcu = Mcu::new();
+        assert!(matches!(
+            mcu.acknowledge_segment(1_000, map::ATTEST_PC),
+            Err(McuError::BusFault { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_marks_all_segments_dirty_but_keeps_granularity() {
+        let mut mcu = Mcu::new();
+        mcu.set_segment_len(4096).unwrap();
+        for i in 0..mcu.segment_count() {
+            mcu.acknowledge_segment(i, map::ATTEST_PC).unwrap();
+        }
+        mcu.reset();
+        // Granularity is a hardware strap and survives; the bits do not.
+        assert_eq!(mcu.segment_len(), 4096);
+        assert!((0..mcu.segment_count()).all(|i| mcu.segment_dirty(i)));
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub enum McuError {
     },
     /// The battery has been depleted; the device is dead.
     BatteryDepleted,
+    /// A dirty-tracking segment length was not a power of two between
+    /// 64 bytes and the RAM size.
+    BadSegmentLen {
+        /// Offending length in bytes.
+        len: u32,
+    },
 }
 
 impl fmt::Display for McuError {
@@ -91,6 +97,9 @@ impl fmt::Display for McuError {
                 )
             }
             McuError::BatteryDepleted => write!(f, "battery depleted"),
+            McuError::BadSegmentLen { len } => {
+                write!(f, "bad dirty-tracking segment length {len}")
+            }
         }
     }
 }

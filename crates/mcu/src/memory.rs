@@ -4,9 +4,22 @@
 //! *physical* property that ROM cannot be written after manufacturing
 //! ([`PhysicalMemory::burn_rom`] is the factory step). Access-control
 //! (who may read/write what) is the MPU's job, not this module's.
+//!
+//! RAM additionally carries a hardware **dirty map**: one bit per
+//! fixed-size segment, set by the memory controller on *any* RAM write
+//! (there is no way to store a byte without tripping it) and cleared only
+//! through the device's PC-gated acknowledge path. The incremental
+//! attestation cache rests entirely on this bit being write-synchronous.
 
 use crate::error::McuError;
 use crate::map::{self, AddrRange};
+
+/// Default dirty-tracking granularity: 8 KiB segments, i.e. 64 segments
+/// over the 512 KiB RAM.
+pub const DEFAULT_SEGMENT_LEN: u32 = 8 * 1024;
+
+/// Smallest supported dirty-tracking segment (one SHA-1 block).
+pub const MIN_SEGMENT_LEN: u32 = 64;
 
 /// Flat storage for the ROM, flash and RAM regions.
 #[derive(Clone)]
@@ -14,6 +27,10 @@ pub struct PhysicalMemory {
     rom: Vec<u8>,
     flash: Vec<u8>,
     ram: Vec<u8>,
+    /// Dirty-tracking granularity in bytes (power of two).
+    segment_len: u32,
+    /// One dirty bit per RAM segment.
+    dirty: Vec<bool>,
 }
 
 impl std::fmt::Debug for PhysicalMemory {
@@ -36,10 +53,14 @@ impl PhysicalMemory {
     /// Creates zeroed memory matching the [`map`] layout.
     #[must_use]
     pub fn new() -> Self {
+        let segments = map::RAM.len().div_ceil(DEFAULT_SEGMENT_LEN) as usize;
         PhysicalMemory {
             rom: vec![0; map::ROM.len() as usize],
             flash: vec![0; map::FLASH.len() as usize],
             ram: vec![0; map::RAM.len() as usize],
+            segment_len: DEFAULT_SEGMENT_LEN,
+            // Everything starts dirty: no digest has ever covered it.
+            dirty: vec![true; segments],
         }
     }
 
@@ -96,7 +117,26 @@ impl PhysicalMemory {
             Region::Ram => &mut self.ram,
         };
         dst[off..off + data.len()].copy_from_slice(data);
+        if matches!(region, Region::Ram) {
+            self.mark_dirty_span(off, data.len());
+        }
         Ok(())
+    }
+
+    /// Sets the dirty bit of every segment overlapping `[off, off+len)`
+    /// (RAM offsets). The controller does this synchronously with the
+    /// store — there is no window where data has changed but the bit is
+    /// still clear.
+    fn mark_dirty_span(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let seg = self.segment_len as usize;
+        let first = off / seg;
+        let last = ((off + len - 1) / seg).min(self.dirty.len() - 1);
+        for bit in &mut self.dirty[first..=last] {
+            *bit = true;
+        }
     }
 
     /// Factory step: writes ROM contents before the device ships.
@@ -130,9 +170,65 @@ impl PhysicalMemory {
     }
 
     /// Zeroes all of RAM — what a power cycle does to volatile memory.
-    /// ROM and flash are non-volatile and survive.
+    /// ROM and flash are non-volatile and survive. Every dirty bit comes
+    /// back **set**: the wipe changed the contents, and the dirty map
+    /// must never claim continuity across a power cycle (that would hand
+    /// `Adv_roam` a stale-but-trusted digest).
     pub fn wipe_ram(&mut self) {
         self.ram.fill(0);
+        self.mark_all_dirty();
+    }
+
+    // ---- dirty-region tracking --------------------------------------------
+
+    /// Dirty-tracking granularity in bytes.
+    #[must_use]
+    pub fn segment_len(&self) -> u32 {
+        self.segment_len
+    }
+
+    /// Number of tracked RAM segments.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Reconfigures the dirty-tracking granularity (a boot-time hardware
+    /// strap). All bits come back set — no digest covers the new layout.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BadSegmentLen`] unless `len` is a power of two between
+    /// [`MIN_SEGMENT_LEN`] and the RAM size.
+    pub fn set_segment_len(&mut self, len: u32) -> Result<(), McuError> {
+        if !len.is_power_of_two() || len < MIN_SEGMENT_LEN || len > map::RAM.len() {
+            return Err(McuError::BadSegmentLen { len });
+        }
+        self.segment_len = len;
+        self.dirty = vec![true; map::RAM.len().div_ceil(len) as usize];
+        Ok(())
+    }
+
+    /// The dirty bit of segment `index` (out-of-range reads as dirty —
+    /// the conservative answer).
+    #[must_use]
+    pub fn segment_dirty(&self, index: usize) -> bool {
+        self.dirty.get(index).copied().unwrap_or(true)
+    }
+
+    /// Sets every dirty bit.
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.fill(true);
+    }
+
+    /// Clears one dirty bit. Crate-private on purpose: software reaches
+    /// this only through [`crate::device::Mcu::acknowledge_segment`],
+    /// which gates the clear on the caller executing inside
+    /// `Code_Attest`.
+    pub(crate) fn clear_dirty(&mut self, index: usize) {
+        if let Some(bit) = self.dirty.get_mut(index) {
+            *bit = false;
+        }
     }
 
     /// Borrows the whole RAM contents (for whole-memory MAC computation).
@@ -219,5 +315,87 @@ mod tests {
     fn ram_slice_is_full_size() {
         let mem = PhysicalMemory::new();
         assert_eq!(mem.ram().len(), 512 * 1024);
+    }
+
+    fn clear_all(mem: &mut PhysicalMemory) {
+        for i in 0..mem.segment_count() {
+            mem.clear_dirty(i);
+        }
+    }
+
+    #[test]
+    fn writes_set_dirty_bits_at_default_granularity() {
+        let mut mem = PhysicalMemory::new();
+        assert_eq!(mem.segment_len(), DEFAULT_SEGMENT_LEN);
+        assert_eq!(mem.segment_count(), 64);
+        clear_all(&mut mem);
+        assert!(!mem.segment_dirty(0));
+        // One byte in segment 3.
+        mem.write(map::RAM.start + 3 * DEFAULT_SEGMENT_LEN + 17, &[1])
+            .unwrap();
+        assert!(mem.segment_dirty(3));
+        assert!(!mem.segment_dirty(2) && !mem.segment_dirty(4));
+    }
+
+    #[test]
+    fn straddling_write_dirties_both_segments() {
+        let mut mem = PhysicalMemory::new();
+        clear_all(&mut mem);
+        // Four bytes across the segment 0 / segment 1 boundary.
+        mem.write(map::RAM.start + DEFAULT_SEGMENT_LEN - 2, &[9; 4])
+            .unwrap();
+        assert!(mem.segment_dirty(0));
+        assert!(mem.segment_dirty(1));
+        assert!(!mem.segment_dirty(2));
+    }
+
+    #[test]
+    fn flash_and_failed_writes_do_not_touch_dirty_map() {
+        let mut mem = PhysicalMemory::new();
+        clear_all(&mut mem);
+        mem.program_flash(map::FLASH.start, b"image").unwrap();
+        assert!(mem.write(0xffff_0000, &[0]).is_err());
+        assert!((0..mem.segment_count()).all(|i| !mem.segment_dirty(i)));
+    }
+
+    #[test]
+    fn wipe_marks_everything_dirty() {
+        let mut mem = PhysicalMemory::new();
+        clear_all(&mut mem);
+        mem.wipe_ram();
+        assert!((0..mem.segment_count()).all(|i| mem.segment_dirty(i)));
+    }
+
+    #[test]
+    fn segment_len_reconfiguration_validates_and_resets() {
+        let mut mem = PhysicalMemory::new();
+        clear_all(&mut mem);
+        mem.set_segment_len(4096).unwrap();
+        assert_eq!(mem.segment_count(), 128);
+        // The new layout has no digests over it yet: all dirty.
+        assert!((0..mem.segment_count()).all(|i| mem.segment_dirty(i)));
+        for bad in [0, 63, 100, 12_345, map::RAM.len() * 2] {
+            assert!(matches!(
+                mem.set_segment_len(bad),
+                Err(McuError::BadSegmentLen { .. })
+            ));
+        }
+        // Whole-RAM-as-one-segment is the degenerate but legal maximum.
+        mem.set_segment_len(map::RAM.len()).unwrap();
+        assert_eq!(mem.segment_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_segment_reads_dirty() {
+        let mem = PhysicalMemory::new();
+        assert!(mem.segment_dirty(usize::MAX));
+    }
+
+    #[test]
+    fn zero_length_write_marks_nothing() {
+        let mut mem = PhysicalMemory::new();
+        clear_all(&mut mem);
+        mem.write(map::RAM.start, &[]).unwrap();
+        assert!(!mem.segment_dirty(0));
     }
 }

@@ -8,6 +8,7 @@
 //! cargo run --example fleet_monitor
 //! ```
 
+use proverguard_attest::freshness::patch_expected_image;
 use proverguard_attest::message::FreshnessField;
 use proverguard_attest::prover::{Prover, ProverConfig};
 use proverguard_attest::verifier::Verifier;
@@ -18,8 +19,7 @@ use proverguard_mcu::map;
 /// request's counter in `counter_R` before MACing its memory.
 fn expected_image(golden: &[u8], request_counter: u64) -> Vec<u8> {
     let mut image = golden.to_vec();
-    let offset = (map::COUNTER_R.start - map::RAM.start) as usize;
-    image[offset..offset + 8].copy_from_slice(&request_counter.to_le_bytes());
+    patch_expected_image(&mut image, &FreshnessField::Counter(request_counter));
     image
 }
 

@@ -5,7 +5,6 @@ use proverguard_attest::auth::AuthMethod;
 use proverguard_attest::clock::ClockKind;
 use proverguard_attest::error::RejectReason;
 use proverguard_attest::freshness::FreshnessKind;
-use proverguard_attest::message::FreshnessField;
 use proverguard_attest::profile::Protection;
 use proverguard_attest::prover::{Prover, ProverConfig};
 use proverguard_attest::verifier::Verifier;
@@ -126,10 +125,7 @@ fn response_detects_post_hoc_memory_change() {
     // Expected memory (stale golden from before infection, with the new
     // counter folded in) no longer matches.
     let mut stale = golden;
-    let off = (map::COUNTER_R.start - map::RAM.start) as usize;
-    if let FreshnessField::Counter(c) = req2.freshness {
-        stale[off..off + 8].copy_from_slice(&c.to_le_bytes());
-    }
+    proverguard_attest::freshness::patch_expected_image(&mut stale, &req2.freshness);
     assert!(!verifier.check_response(&req2, &resp2, &stale));
 }
 

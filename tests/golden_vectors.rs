@@ -1,0 +1,145 @@
+//! Golden vectors: frozen byte-level expectations for the formats a
+//! deployed fleet depends on. These hex strings were produced by this
+//! codebase and then **frozen** — any change to key derivation, MAC
+//! layout, record encoding, segment-digest construction or the wire
+//! protocol flips one of these tests, turning a silent compatibility
+//! break into a loud one. If a test here fails, either revert the
+//! format change or bump the relevant version byte/magic AND these
+//! vectors in the same commit.
+
+use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
+use proverguard_attest::persist::{FreshnessRecord, RECORD_LEN};
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::segcache::{combined_input, segment_digests};
+use proverguard_attest::verifier::Verifier;
+use proverguard_crypto::mac::{MacAlgorithm, MacKey};
+
+const KEY: [u8; 16] = [0x42; 16];
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The deterministic 1 KiB test memory: byte i holds i mod 256.
+fn test_memory() -> Vec<u8> {
+    (0..1024u32).map(|i| i as u8).collect()
+}
+
+/// The deterministic request header used for the MAC vectors.
+fn test_request() -> AttestRequest {
+    AttestRequest {
+        scope: AttestScope::Whole,
+        freshness: FreshnessField::Counter(7),
+        challenge: [0x11; 16],
+        auth: Vec::new(),
+    }
+}
+
+#[test]
+fn whole_memory_hmac_sha1_vector() {
+    let key = MacKey::new(MacAlgorithm::HmacSha1, &KEY).unwrap();
+    let mut macced = test_request().signed_bytes();
+    macced.extend_from_slice(&test_memory());
+    assert_eq!(
+        hex(&key.compute(&macced)),
+        "3e4c78075877636d004ea2867176bf5140360691",
+        "whole-memory MAC construction changed"
+    );
+}
+
+#[test]
+fn segmented_combine_mac_vector() {
+    let key = MacKey::new(MacAlgorithm::HmacSha1, &KEY).unwrap();
+    let memory = test_memory();
+    let mut request = test_request();
+    request.scope = AttestScope::Segmented;
+    let digests = segment_digests(&memory, 256);
+    assert_eq!(digests.len(), 4);
+    assert_eq!(
+        hex(&digests[0]),
+        "187f22c1f8a3af149f158fcdd4e7c0d85b96d3b8",
+        "per-segment digest construction changed"
+    );
+    let combined = combined_input(&request.signed_bytes(), 256, &digests);
+    assert_eq!(
+        hex(&key.compute(&combined)),
+        "32f2d0e69e7660444754a7ebac957b5278353f25",
+        "segmented combine-MAC construction changed"
+    );
+}
+
+#[test]
+fn request_wire_encoding_vector() {
+    // 27-byte header (version ‖ scope ‖ kind ‖ counter ‖ challenge) plus
+    // the empty-auth length: the exact bytes a v1 radio stack emits.
+    assert_eq!(
+        hex(&test_request().to_bytes()),
+        "0100020000000000000007111111111111111111111111111111110000"
+    );
+}
+
+#[test]
+fn sealed_freshness_record_v2_vector() {
+    let record = FreshnessRecord {
+        counter_r: 7,
+        sync_counter: 2,
+        command_counter: 3,
+        synced_ms: 1234,
+        admission_tokens: 99,
+        admission_refill_mark: 1000,
+    };
+    let encoded = record.encode();
+    assert_eq!(encoded.len(), RECORD_LEN);
+    assert_eq!(&encoded[..8], b"PGNVREC2", "record magic changed");
+
+    let key = MacKey::new(MacAlgorithm::HmacSha1, &KEY).unwrap();
+    let sealed = record.seal(&key);
+    assert_eq!(hex(&sealed), "50474e5652454332070000000000000002000000000000000300000000000000d2040000000000006300000000000000e803000000000000e8e739a9c4c1b91701804e1a79a4b5fe23c939ea");
+    // And the frozen bytes must keep opening.
+    let reopened = FreshnessRecord::open_sealed(&sealed, &key).expect("seal roundtrip");
+    assert_eq!(reopened.counter_r, 7);
+    assert_eq!(reopened.admission_refill_mark, 1000);
+}
+
+/// A full two-round wire session under the recommended config. The
+/// verifier's nonces/challenges come from `HmacDrbg(K, "proverguard-
+/// verifier-nonces")` and the prover image is fixed, so every byte on
+/// the wire is reproducible.
+#[test]
+fn wire_session_transcript_vector() {
+    let config = ProverConfig::recommended();
+    let mut prover = Prover::provision(config.clone(), &KEY, b"golden app v1").unwrap();
+    let mut verifier = Verifier::new(&config, &KEY).unwrap();
+
+    let req1 = verifier.make_request().unwrap();
+    let resp1 = prover.handle_wire_request(&req1.to_bytes()).unwrap();
+    assert_eq!(
+        hex(&req1.to_bytes()),
+        "0100020000000000000001affe5585d360c46afbadbf3191df6489000815a152e65974f73e"
+    );
+    assert_eq!(hex(&resp1), "0014013a28e140ed8dd7536053b6644030d4479aeb68");
+
+    let req2 = verifier.make_request().unwrap();
+    let resp2 = prover.handle_wire_request(&req2.to_bytes()).unwrap();
+    assert_eq!(
+        hex(&req2.to_bytes()),
+        "010002000000000000000239c7d24eca9db883ecfc350e16e1416a00084e941f6086aa46da"
+    );
+    assert_eq!(hex(&resp2), "0014d7327903b16915a7037a97ef76ebbc0a9325c475");
+}
+
+/// Same transcript freeze for the segmented construction.
+#[test]
+fn segmented_session_transcript_vector() {
+    let config = ProverConfig::recommended_segmented();
+    let mut prover = Prover::provision(config.clone(), &KEY, b"golden app v1").unwrap();
+    let mut verifier = Verifier::new(&config, &KEY).unwrap();
+
+    let req = verifier.make_request().unwrap();
+    let resp = prover.handle_wire_request(&req.to_bytes()).unwrap();
+    assert_eq!(
+        hex(&req.to_bytes()),
+        "0101020000000000000001affe5585d360c46afbadbf3191df6489000856ea39bc55bc8a1d"
+    );
+    assert_eq!(hex(&resp), "0014b925753ab8bc1c4c9031d42e6ed1a1d75fb62dac");
+}

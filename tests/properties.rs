@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use proverguard_attest::freshness::{FreshnessKind, FreshnessPolicy};
-use proverguard_attest::message::{AttestRequest, FreshnessField};
+use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
 use proverguard_crypto::aes::Aes128;
 use proverguard_crypto::bignum::U384;
 use proverguard_crypto::cbc;
@@ -131,7 +131,7 @@ proptest! {
             2 => FreshnessField::Counter(value),
             _ => FreshnessField::Timestamp(value),
         };
-        let req = AttestRequest { freshness, challenge, auth };
+        let req = AttestRequest { scope: AttestScope::Whole, freshness, challenge, auth };
         let parsed = AttestRequest::from_bytes(&req.to_bytes()).expect("roundtrip");
         prop_assert_eq!(parsed, req);
     }

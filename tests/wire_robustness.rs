@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use proverguard_attest::gateway::GatewayMsg;
 use proverguard_attest::message::{
-    AttestRequest, AttestResponse, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
+    AttestRequest, AttestResponse, AttestScope, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
 };
 use proverguard_attest::RejectReason;
 use proverguard_transport::frame::{
@@ -17,7 +17,7 @@ use proverguard_transport::frame::{
 use proverguard_transport::TransportError;
 
 /// Builds a request from raw generated material, covering every
-/// freshness kind.
+/// freshness kind and both scopes.
 fn request_from(
     kind: u8,
     word: u64,
@@ -31,7 +31,13 @@ fn request_from(
         2 => FreshnessField::Counter(word),
         _ => FreshnessField::Timestamp(word),
     };
+    let scope = if kind >= 4 {
+        AttestScope::Segmented
+    } else {
+        AttestScope::Whole
+    };
     AttestRequest {
+        scope,
         freshness,
         challenge,
         auth,
@@ -43,7 +49,7 @@ proptest! {
 
     #[test]
     fn request_roundtrips(
-        kind in 0u8..4,
+        kind in 0u8..8,
         word in 0u64..,
         nonce in any::<[u8; NONCE_SIZE]>(),
         challenge in any::<[u8; CHALLENGE_SIZE]>(),
@@ -73,7 +79,7 @@ proptest! {
 
     #[test]
     fn truncated_requests_error_instead_of_panicking(
-        kind in 0u8..4,
+        kind in 0u8..8,
         word in 0u64..,
         nonce in any::<[u8; NONCE_SIZE]>(),
         challenge in any::<[u8; CHALLENGE_SIZE]>(),
@@ -89,7 +95,7 @@ proptest! {
 
     #[test]
     fn bitflipped_requests_parse_or_error_but_never_panic(
-        kind in 0u8..4,
+        kind in 0u8..8,
         word in 0u64..,
         nonce in any::<[u8; NONCE_SIZE]>(),
         challenge in any::<[u8; CHALLENGE_SIZE]>(),
@@ -130,7 +136,7 @@ fn gateway_msg_from(kind: u8, word: u64, body: Vec<u8>) -> GatewayMsg {
         0 => GatewayMsg::Hello { device_id: word },
         1 => GatewayMsg::AttReq(body),
         2 => GatewayMsg::AttResp(body),
-        3 => GatewayMsg::Reject(match word % 9 {
+        3 => GatewayMsg::Reject(match word % 10 {
             0 => RejectReason::BadAuth,
             1 => RejectReason::NonceReused,
             2 => RejectReason::StaleCounter,
@@ -139,7 +145,8 @@ fn gateway_msg_from(kind: u8, word: u64, body: Vec<u8>) -> GatewayMsg {
             5 => RejectReason::FreshnessKindMismatch,
             6 => RejectReason::Malformed,
             7 => RejectReason::Throttled,
-            _ => RejectReason::DegradedMode,
+            8 => RejectReason::DegradedMode,
+            _ => RejectReason::ScopeUnsupported,
         }),
         4 => GatewayMsg::Busy,
         _ => GatewayMsg::Bye {
