@@ -34,4 +34,7 @@ cargo run --release -q -p proverguard-bench --bin gateway_bench -- --ci
 echo "== segcache bench (incremental attestation gate, emits BENCH_segcache.json) =="
 cargo run --release -q -p proverguard-bench --bin segcache_bench -- --ci
 
+echo "== campaign soak (staged OTA rollout gate, emits BENCH_campaign.json) =="
+cargo run --release -q -p proverguard-bench --bin campaign_soak -- --ci
+
 echo "CI green."

@@ -1,0 +1,369 @@
+//! Simulated OTA-campaign fleet: thousands of devices answering
+//! [`CampaignAction`]s under a seeded fault schedule.
+//!
+//! The real prover stack (a full [`World`](crate::world::World) per
+//! device, ≈790 KiB of simulated MCU memory each) is the right tool for
+//! a handful of end-to-end devices, but a 2,000-device staged rollout
+//! needs a lighter model. [`SimFleet`] keeps exactly the state the
+//! campaign state machine can observe — which image (old, new, torn) is
+//! in each device's flash, whether the device is reachable, whether it
+//! is compromised — and rolls a per-device seeded RNG against the PR-2
+//! lossy-radio rates ([`FaultConfig::lossy`]: 300 ‰ drops, 200 ‰ long
+//! delays) to decide each action's [`DeviceOutcome`].
+//!
+//! Because the fleet tracks *actual* flash contents independently of
+//! what it reports, it doubles as the soak's oracle: after convergence,
+//! `campaign_soak` asserts that every device the controller marked
+//! `Healthy` really holds the new image (the zero-wrong-image gate) and
+//! that every torn flash was re-flashed, never trusted.
+
+use proverguard_attest::campaign::{CampaignAction, DeviceOutcome, ImageId};
+
+use crate::fault::FaultConfig;
+
+/// What is actually in a simulated device's flash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimFlash {
+    /// The campaign's starting image.
+    Old,
+    /// The rollout target, fully programmed.
+    New,
+    /// A power loss interrupted the erase-then-program sequence: the
+    /// flash holds a prefix of one image over zeros — neither digest
+    /// matches.
+    Torn,
+}
+
+/// Per-fleet simulation tuning. All probabilities are per-mille rolls
+/// against a per-device RNG derived from [`CampaignSimConfig::seed`].
+#[derive(Debug, Clone)]
+pub struct CampaignSimConfig {
+    /// Master seed; per-device schedules derive from it.
+    pub seed: u64,
+    /// Fleet size.
+    pub devices: usize,
+    /// ‰ chance an action's session is lost (maps to `Timeout`) — the
+    /// PR-2 drop rate by default.
+    pub drop_per_mille: u16,
+    /// ‰ chance an action is delayed past the retry budget (also a
+    /// `Timeout`) — the PR-2 delay rate by default.
+    pub delay_per_mille: u16,
+    /// ‰ chance the gateway sheds the session (`Busy`).
+    pub busy_per_mille: u16,
+    /// ‰ chance power dies mid-flash during an `UpdateFirmware`,
+    /// leaving a torn image.
+    pub torn_per_mille: u16,
+    /// ‰ chance the device roams offline when an action reaches it.
+    pub offline_per_mille: u16,
+    /// Ticks an offline device stays away before it can return.
+    pub offline_return_ticks: u64,
+    /// The *last* `compromised` device indices present a valid MAC over
+    /// the wrong image on every attestation: the quarantine signature.
+    /// (Placed at the top of the index space so they land in a late
+    /// wave, compromised *mid-campaign* rather than at the canary.)
+    pub compromised: usize,
+    /// The *new* image is bad: every gating attestation of `New` comes
+    /// back as neither image (the digest of what was actually flashed
+    /// matches nothing the verifier expects).
+    pub bad_image: bool,
+}
+
+impl CampaignSimConfig {
+    /// The PR-2 lossy-radio schedule over `devices` devices: the
+    /// [`FaultConfig::lossy`] drop/delay rates, a 5 ‰ torn-flash rate,
+    /// 10 ‰ roaming, and one compromised device per 500.
+    #[must_use]
+    pub fn lossy(seed: u64, devices: usize) -> Self {
+        let template = FaultConfig::lossy(seed);
+        CampaignSimConfig {
+            seed,
+            devices,
+            drop_per_mille: template.drop_per_mille,
+            delay_per_mille: template.delay_per_mille,
+            busy_per_mille: 20,
+            torn_per_mille: 5,
+            offline_per_mille: 10,
+            offline_return_ticks: 6,
+            compromised: devices / 500,
+            bad_image: false,
+        }
+    }
+}
+
+/// One simulated device.
+#[derive(Debug, Clone)]
+struct SimDevice {
+    flash: SimFlash,
+    rng: u64,
+    /// `Some(t)` while roaming: reachable again at tick `t`.
+    offline_until: Option<u64>,
+    /// Set once the fleet has reported `Offline` for this park (so the
+    /// return can be polled exactly once).
+    parked_reported: bool,
+}
+
+/// A deterministic fleet of simulated campaign targets.
+#[derive(Debug)]
+pub struct SimFleet {
+    config: CampaignSimConfig,
+    devices: Vec<SimDevice>,
+    /// Torn flashes produced (oracle counter).
+    pub torn_flashes: u64,
+    /// Actions answered.
+    pub actions: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimFleet {
+    /// A fleet per `config`, every device starting on the old image.
+    #[must_use]
+    pub fn new(config: CampaignSimConfig) -> Self {
+        let devices = (0..config.devices)
+            .map(|i| {
+                let mut seed = config.seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                // Warm the stream so adjacent devices decorrelate.
+                let _ = splitmix64(&mut seed);
+                SimDevice {
+                    flash: SimFlash::Old,
+                    rng: seed,
+                    offline_until: None,
+                    parked_reported: false,
+                }
+            })
+            .collect();
+        SimFleet {
+            config,
+            devices,
+            torn_flashes: 0,
+            actions: 0,
+        }
+    }
+
+    /// Actual flash content of device `i` (oracle view — the campaign
+    /// controller never sees this directly).
+    #[must_use]
+    pub fn flash_of(&self, i: usize) -> SimFlash {
+        self.devices[i].flash
+    }
+
+    /// Whether device `i` is compromised (wrong-image MAC on every
+    /// attestation).
+    #[must_use]
+    pub fn is_compromised(&self, i: usize) -> bool {
+        i + self.config.compromised >= self.config.devices
+    }
+
+    fn roll(&mut self, i: usize, per_mille: u16) -> bool {
+        (splitmix64(&mut self.devices[i].rng) % 1000) < u64::from(per_mille)
+    }
+
+    /// Devices whose roam ended by `now`: report each to the controller
+    /// as [`DeviceOutcome::CameOnline`]. Drains the returns (a device is
+    /// listed once per park).
+    pub fn poll_returns(&mut self, now: u64) -> Vec<usize> {
+        let mut back = Vec::new();
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            if let Some(until) = d.offline_until {
+                if d.parked_reported && now >= until {
+                    d.offline_until = None;
+                    d.parked_reported = false;
+                    back.push(i);
+                }
+            }
+        }
+        back
+    }
+
+    /// Answers one campaign action at tick `now`.
+    pub fn perform(&mut self, action: CampaignAction, now: u64) -> DeviceOutcome {
+        self.actions += 1;
+        let i = action.device();
+
+        // Roaming: an already-offline device stays silent; otherwise roll
+        // for a new park. Either way the campaign sees `Offline`.
+        if self.devices[i].offline_until.is_some() {
+            self.devices[i].parked_reported = true;
+            return DeviceOutcome::Offline;
+        }
+        if self.roll(i, self.config.offline_per_mille) {
+            self.devices[i].offline_until = Some(now + self.config.offline_return_ticks);
+            self.devices[i].parked_reported = true;
+            return DeviceOutcome::Offline;
+        }
+
+        // Radio: drops and over-budget delays are both timeouts from the
+        // session driver's point of view; the gateway may also shed.
+        if self.roll(i, self.config.drop_per_mille) || self.roll(i, self.config.delay_per_mille) {
+            return DeviceOutcome::Timeout;
+        }
+        if self.roll(i, self.config.busy_per_mille) {
+            return DeviceOutcome::Busy;
+        }
+
+        match action {
+            CampaignAction::SendUpdate { image, .. } => {
+                if self.roll(i, self.config.torn_per_mille) {
+                    // Power died after the erase, mid-program: the flash
+                    // now matches neither image.
+                    self.devices[i].flash = SimFlash::Torn;
+                    self.torn_flashes += 1;
+                    return DeviceOutcome::UpdateTorn;
+                }
+                self.devices[i].flash = match image {
+                    ImageId::Old => SimFlash::Old,
+                    ImageId::New => SimFlash::New,
+                };
+                DeviceOutcome::UpdateOk
+            }
+            CampaignAction::Attest { image, .. } => {
+                if self.is_compromised(i) {
+                    // A valid MAC over the wrong image, every time.
+                    return DeviceOutcome::AttestedOther;
+                }
+                match (self.devices[i].flash, image) {
+                    (SimFlash::Torn, _) => DeviceOutcome::AttestedNeither,
+                    (SimFlash::New, ImageId::New) if self.config.bad_image => {
+                        // The device faithfully attests what it flashed —
+                        // but the bad image hashes to nothing the
+                        // verifier expects.
+                        DeviceOutcome::AttestedNeither
+                    }
+                    (SimFlash::Old, ImageId::Old) | (SimFlash::New, ImageId::New) => {
+                        DeviceOutcome::AttestedExpected
+                    }
+                    _ => DeviceOutcome::AttestedOther,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proverguard_attest::campaign::CampaignAction;
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let cfg = CampaignSimConfig::lossy(7, 64);
+        let mut a = SimFleet::new(cfg.clone());
+        let mut b = SimFleet::new(cfg);
+        for now in 0..50 {
+            for i in 0..64 {
+                let action = CampaignAction::SendUpdate {
+                    device: i,
+                    image: ImageId::New,
+                };
+                assert_eq!(a.perform(action, now), b.perform(action, now));
+            }
+        }
+    }
+
+    #[test]
+    fn compromised_devices_always_attest_other() {
+        let mut cfg = CampaignSimConfig::lossy(3, 8);
+        cfg.compromised = 2;
+        cfg.drop_per_mille = 0;
+        cfg.delay_per_mille = 0;
+        cfg.busy_per_mille = 0;
+        cfg.offline_per_mille = 0;
+        let mut fleet = SimFleet::new(cfg);
+        assert!(!fleet.is_compromised(0));
+        assert!(fleet.is_compromised(6) && fleet.is_compromised(7));
+        for now in 0..20 {
+            let outcome = fleet.perform(
+                CampaignAction::Attest {
+                    device: 7,
+                    image: ImageId::Old,
+                },
+                now,
+            );
+            assert_eq!(outcome, DeviceOutcome::AttestedOther);
+        }
+    }
+
+    #[test]
+    fn torn_flash_attests_neither_until_reflashed() {
+        let mut cfg = CampaignSimConfig::lossy(11, 4);
+        cfg.torn_per_mille = 1000; // every flash tears
+        cfg.drop_per_mille = 0;
+        cfg.delay_per_mille = 0;
+        cfg.busy_per_mille = 0;
+        cfg.offline_per_mille = 0;
+        cfg.compromised = 0;
+        let mut fleet = SimFleet::new(cfg);
+        let up = CampaignAction::SendUpdate {
+            device: 1,
+            image: ImageId::New,
+        };
+        assert_eq!(fleet.perform(up, 0), DeviceOutcome::UpdateTorn);
+        assert_eq!(fleet.flash_of(1), SimFlash::Torn);
+        let at = CampaignAction::Attest {
+            device: 1,
+            image: ImageId::New,
+        };
+        assert_eq!(fleet.perform(at, 1), DeviceOutcome::AttestedNeither);
+        // Heal the tear and the retry lands.
+        fleet.config.torn_per_mille = 0;
+        assert_eq!(fleet.perform(up, 2), DeviceOutcome::UpdateOk);
+        assert_eq!(fleet.perform(at, 3), DeviceOutcome::AttestedExpected);
+    }
+
+    #[test]
+    fn bad_image_attests_neither_not_other() {
+        let mut cfg = CampaignSimConfig::lossy(5, 2);
+        cfg.bad_image = true;
+        cfg.torn_per_mille = 0;
+        cfg.drop_per_mille = 0;
+        cfg.delay_per_mille = 0;
+        cfg.busy_per_mille = 0;
+        cfg.offline_per_mille = 0;
+        cfg.compromised = 0;
+        let mut fleet = SimFleet::new(cfg);
+        let up = CampaignAction::SendUpdate {
+            device: 0,
+            image: ImageId::New,
+        };
+        assert_eq!(fleet.perform(up, 0), DeviceOutcome::UpdateOk);
+        let at = CampaignAction::Attest {
+            device: 0,
+            image: ImageId::New,
+        };
+        assert_eq!(fleet.perform(at, 1), DeviceOutcome::AttestedNeither);
+        // Rolling back to the (good) old image still verifies.
+        let down = CampaignAction::SendUpdate {
+            device: 0,
+            image: ImageId::Old,
+        };
+        assert_eq!(fleet.perform(down, 2), DeviceOutcome::UpdateOk);
+        let at_old = CampaignAction::Attest {
+            device: 0,
+            image: ImageId::Old,
+        };
+        assert_eq!(fleet.perform(at_old, 3), DeviceOutcome::AttestedExpected);
+    }
+
+    #[test]
+    fn offline_devices_return_after_park() {
+        let mut cfg = CampaignSimConfig::lossy(9, 2);
+        cfg.offline_per_mille = 1000;
+        cfg.offline_return_ticks = 3;
+        let mut fleet = SimFleet::new(cfg);
+        let action = CampaignAction::SendUpdate {
+            device: 0,
+            image: ImageId::New,
+        };
+        assert_eq!(fleet.perform(action, 0), DeviceOutcome::Offline);
+        assert!(fleet.poll_returns(1).is_empty());
+        assert_eq!(fleet.poll_returns(3), vec![0]);
+        // Drained: not listed twice.
+        assert!(fleet.poll_returns(4).is_empty());
+    }
+}

@@ -20,6 +20,10 @@
 //!   delay / truncate / bit-flip faults plus prover reboots and clock
 //!   glitches, wired into the verifier's retry/backoff
 //!   [`SessionDriver`](proverguard_attest::session::SessionDriver).
+//! - [`campaign`] — a lightweight simulated fleet answering OTA-campaign
+//!   actions ([`proverguard_attest::campaign`]) under seeded torn-flash /
+//!   offline / compromised fault schedules, with an oracle view of each
+//!   device's actual flash contents.
 //! - [`soak`] — the chaos soak: a simulated fleet of provers under
 //!   combined fault + flood pressure, scheduled by the verifier-side
 //!   [`FleetController`](proverguard_attest::fleet::FleetController),
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod channel;
 pub mod dos;
 pub mod ext;

@@ -1,0 +1,948 @@
+//! Attestation-gated OTA campaigns: staged rollout with auto-halt and
+//! rollback.
+//!
+//! An update is only trustworthy if a *fresh* attestation of the *new*
+//! image gates each rollout wave (the TOCTOU observation: a receipt says
+//! the flash write happened, only an attestation says the device is
+//! running what you think it is). [`CampaignController`] is the
+//! deterministic state machine behind that discipline:
+//!
+//! - **Phases** `Canary → Widening(wave_i) → Complete | Halted →
+//!   RolledBack`. The canary wave updates a handful of devices; each
+//!   subsequent wave grows geometrically, and a wave only widens once
+//!   every admitted device has settled.
+//! - **Per-device FSM** with bounded retries: flash (`UpdateFirmware`
+//!   through the real gateway/[`SessionDriver`](crate::session) path),
+//!   then a fresh `Segmented`-scope attestation of the new expected
+//!   image. Only that attestation admits a device to `Healthy`.
+//! - **Auto-halt** when the wave failure-rate EWMA or the cumulative
+//!   [`FleetController`] breaker-trip count crosses a threshold; a halt
+//!   starts rollback waves that re-flash and re-attest the *old* image.
+//! - **The long tail**: a reboot mid-flash leaves a torn image (detected
+//!   as an attestation of *neither* image, routed to retry — never to
+//!   rollback or healthy); devices roaming offline past the wave
+//!   deadline are parked, not failed, and re-admitted on return; a
+//!   device presenting a valid MAC over the *wrong* image is quarantined
+//!   via the breaker and never marked healthy.
+//!
+//! The controller owns no I/O. [`CampaignController::tick`] emits
+//! [`CampaignAction`]s; the caller drives them over whatever transport
+//! it has (the gateway wire protocol, an in-process pair, a simulation)
+//! and feeds results back through [`CampaignController::report`]. That
+//! keeps the state machine exhaustively model-checkable — see
+//! `tests/campaign_convergence.rs` — while the `campaign_soak` bench
+//! runs the same machine over thousands of faulty simulated devices.
+
+use proverguard_telemetry::{metrics, trace};
+
+use crate::fleet::{FleetController, FleetPolicy};
+
+/// Which firmware image a step refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageId {
+    /// The fleet-wide image the campaign started from.
+    Old,
+    /// The per-wave rollout target.
+    New,
+}
+
+/// Campaign-level phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignPhase {
+    /// The first, smallest wave is rolling out.
+    Canary,
+    /// Wave `wave` (1-based after the canary) is rolling out.
+    Widening {
+        /// Widening wave index (1 = first post-canary wave).
+        wave: u32,
+    },
+    /// Every device settled and the failure thresholds never fired.
+    Complete,
+    /// A threshold fired; rollback waves are re-flashing the old image.
+    Halted,
+    /// Rollback finished: every recoverable device re-attested the old
+    /// image.
+    RolledBack,
+}
+
+impl CampaignPhase {
+    fn span_name(self) -> &'static str {
+        match self {
+            CampaignPhase::Canary => "campaign.phase.canary",
+            CampaignPhase::Widening { .. } => "campaign.phase.widening",
+            CampaignPhase::Complete => "campaign.phase.complete",
+            CampaignPhase::Halted => "campaign.phase.halted",
+            CampaignPhase::RolledBack => "campaign.phase.rolledback",
+        }
+    }
+
+    /// `true` for the two terminal phases.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, CampaignPhase::Complete | CampaignPhase::RolledBack)
+    }
+}
+
+/// Per-device campaign state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceState {
+    /// Not yet admitted to a wave.
+    Pending,
+    /// Admitted; flashing the new image.
+    Updating {
+        /// Attempts consumed so far in this stage.
+        attempts: u32,
+    },
+    /// Flash reported done; awaiting the gating attestation of the new
+    /// image.
+    Attesting {
+        /// Attempts consumed so far in this stage.
+        attempts: u32,
+    },
+    /// Fresh attestation of the target image verified.
+    Healthy,
+    /// A reboot mid-flash left the image torn (attested as neither
+    /// image); the device is in recovery boot awaiting an update retry.
+    Torn {
+        /// Flash attempts consumed so far (shared with `Updating`).
+        attempts: u32,
+    },
+    /// Roamed out of reach; parked (not failed), re-admitted on return.
+    Offline {
+        /// Campaign time at which the device vanished.
+        since: u64,
+    },
+    /// Presented a valid MAC over the wrong image: treated as
+    /// compromised, never marked healthy.
+    Quarantined,
+    /// Rolling back to the old image. `flashed` is set once the
+    /// re-flash receipt arrived and only the re-attestation remains
+    /// (devices that never updated skip the re-flash).
+    RollingBack {
+        /// Attempts consumed so far in the rollback.
+        attempts: u32,
+        /// Whether the old image is back in flash.
+        flashed: bool,
+    },
+    /// Re-attested the old image after a halt.
+    RolledBack,
+    /// Retry budget exhausted.
+    Failed,
+}
+
+impl DeviceState {
+    /// `true` once the device needs no further campaign work.
+    #[must_use]
+    pub fn is_settled(&self) -> bool {
+        matches!(
+            self,
+            DeviceState::Healthy
+                | DeviceState::Quarantined
+                | DeviceState::RolledBack
+                | DeviceState::Failed
+        )
+    }
+}
+
+/// Work the campaign wants performed against one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignAction {
+    /// Drive an `UpdateFirmware` of `image` through the session path.
+    SendUpdate {
+        /// Target device index.
+        device: usize,
+        /// Which image to flash.
+        image: ImageId,
+    },
+    /// Drive a fresh `Segmented`-scope attestation, expecting `image`.
+    Attest {
+        /// Target device index.
+        device: usize,
+        /// Which image the verifier must expect.
+        image: ImageId,
+    },
+}
+
+impl CampaignAction {
+    /// The device the action targets.
+    #[must_use]
+    pub fn device(&self) -> usize {
+        match self {
+            CampaignAction::SendUpdate { device, .. } | CampaignAction::Attest { device, .. } => {
+                *device
+            }
+        }
+    }
+}
+
+/// What happened when a [`CampaignAction`] was driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceOutcome {
+    /// The update receipt verified against the target image digest.
+    UpdateOk,
+    /// The update was rejected or produced a bad receipt.
+    UpdateFailed,
+    /// Power died mid-flash; the device rebooted into recovery with a
+    /// torn image.
+    UpdateTorn,
+    /// The attestation verified against the expected image.
+    AttestedExpected,
+    /// A cryptographically valid response over the *wrong* image — the
+    /// compromise signature.
+    AttestedOther,
+    /// The response verified against no known image — the torn-flash
+    /// signature.
+    AttestedNeither,
+    /// No response within the retry budget.
+    Timeout,
+    /// The gateway or device shed the session.
+    Busy,
+    /// The device roamed out of reach.
+    Offline,
+    /// A parked device came back.
+    CameOnline,
+}
+
+/// Campaign tuning.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Devices in the canary wave.
+    pub canary_size: usize,
+    /// Geometric wave growth factor (wave `i+1` admits `growth ×` the
+    /// devices of wave `i`).
+    pub wave_growth: u32,
+    /// Per-stage retry budget per device (flash attempts and attestation
+    /// attempts are budgeted separately; torn flashes share the flash
+    /// budget).
+    pub max_attempts: u32,
+    /// Halt once the wave failure EWMA exceeds this (0..1).
+    pub halt_failure_ewma: f64,
+    /// EWMA smoothing factor (weight of the newest settlement).
+    pub ewma_alpha: f64,
+    /// Settlements required before the EWMA may halt the campaign (so a
+    /// single early failure cannot).
+    pub min_halt_samples: u32,
+    /// Halt once cumulative breaker trips across the fleet reach this.
+    pub breaker_trip_halt: u64,
+    /// Offline devices stop blocking wave completion once the wave is
+    /// this much older than its start (same time units as `now`).
+    pub wave_deadline: u64,
+    /// Cap on actions emitted per tick (session concurrency budget).
+    pub max_inflight: usize,
+    /// Health tracking for the embedded [`FleetController`].
+    pub fleet: FleetPolicy,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            canary_size: 2,
+            wave_growth: 4,
+            max_attempts: 3,
+            halt_failure_ewma: 0.5,
+            ewma_alpha: 0.4,
+            min_halt_samples: 2,
+            breaker_trip_halt: 8,
+            wave_deadline: 10,
+            max_inflight: 64,
+            fleet: FleetPolicy::default(),
+        }
+    }
+}
+
+/// Cumulative campaign statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Devices currently `Healthy`.
+    pub healthy: u64,
+    /// Devices currently `Failed`.
+    pub failed: u64,
+    /// Devices currently `Quarantined`.
+    pub quarantined: u64,
+    /// Devices currently `RolledBack`.
+    pub rolled_back: u64,
+    /// Torn-flash events observed.
+    pub torn_events: u64,
+    /// Park (offline) events observed.
+    pub parked_events: u64,
+    /// `SendUpdate` actions emitted.
+    pub update_actions: u64,
+    /// `Attest` actions emitted.
+    pub attest_actions: u64,
+    /// Waves started (canary included).
+    pub waves_started: u64,
+}
+
+/// The deterministic staged-rollout state machine.
+#[derive(Debug)]
+pub struct CampaignController {
+    config: CampaignConfig,
+    phase: CampaignPhase,
+    devices: Vec<DeviceState>,
+    /// Resume state for parked devices.
+    parked: Vec<Option<DeviceState>>,
+    /// Whether an action for the device is in flight (emitted by `tick`,
+    /// not yet `report`ed).
+    dispatched: Vec<bool>,
+    /// Wave membership: `Some(wave)` once admitted.
+    wave_of: Vec<Option<u32>>,
+    fleet: FleetController,
+    wave: u32,
+    wave_started: u64,
+    /// Failure EWMA over settlements in the current rollout.
+    ewma: f64,
+    ewma_samples: u32,
+    /// Campaign epoch (first `tick` time) for phase-span accounting.
+    started: Option<u64>,
+    phase_entered: u64,
+    stats: CampaignStats,
+}
+
+impl CampaignController {
+    /// A campaign over `n` devices, all starting on the old image.
+    #[must_use]
+    pub fn new(n: usize, config: CampaignConfig) -> Self {
+        let fleet = FleetController::new(n, config.fleet);
+        CampaignController {
+            config,
+            phase: CampaignPhase::Canary,
+            devices: vec![DeviceState::Pending; n],
+            parked: vec![None; n],
+            dispatched: vec![false; n],
+            wave_of: vec![None; n],
+            fleet,
+            wave: 0,
+            wave_started: 0,
+            ewma: 0.0,
+            ewma_samples: 0,
+            started: None,
+            phase_entered: 0,
+            stats: CampaignStats::default(),
+        }
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> CampaignPhase {
+        self.phase
+    }
+
+    /// State of device `i`.
+    #[must_use]
+    pub fn device_state(&self, i: usize) -> DeviceState {
+        self.devices[i]
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> CampaignStats {
+        let mut s = self.stats;
+        s.healthy = self.count(DeviceState::Healthy);
+        s.failed = self.count(DeviceState::Failed);
+        s.quarantined = self.count(DeviceState::Quarantined);
+        s.rolled_back = self.count(DeviceState::RolledBack);
+        s
+    }
+
+    /// The embedded fleet-health controller.
+    #[must_use]
+    pub fn fleet(&self) -> &FleetController {
+        &self.fleet
+    }
+
+    /// The image the verifier must expect from device `i` *right now* —
+    /// resolved from the device's campaign state, not the fleet-wide
+    /// current image. Patching expectations against the wrong member of
+    /// this pair is exactly the per-wave bug this helper exists to
+    /// prevent: a device mid-rollout attests the new image while its
+    /// neighbours still run (and must be verified against) the old one.
+    #[must_use]
+    pub fn expected_image(&self, i: usize) -> ImageId {
+        match self.devices[i] {
+            // Admitted to the rollout and past the flash: the new image.
+            DeviceState::Attesting { .. } | DeviceState::Healthy => ImageId::New,
+            // Parked devices resume where they left off.
+            DeviceState::Offline { .. } => match self.parked[i] {
+                Some(DeviceState::Attesting { .. } | DeviceState::Healthy) => ImageId::New,
+                _ => ImageId::Old,
+            },
+            // Everything else — pending, mid-flash, torn, rolling back,
+            // rolled back, failed — is held to the old image.
+            _ => ImageId::Old,
+        }
+    }
+
+    fn count(&self, needle: DeviceState) -> u64 {
+        self.devices.iter().filter(|s| **s == needle).count() as u64
+    }
+
+    fn wave_size(&self, wave: u32) -> usize {
+        self.config
+            .canary_size
+            .saturating_mul((self.config.wave_growth as usize).saturating_pow(wave))
+            .max(1)
+    }
+
+    fn set_phase(&mut self, phase: CampaignPhase, now: u64) {
+        if phase == self.phase {
+            return;
+        }
+        // Emit the finished phase as a telemetry span covering exactly
+        // [phase_entered, now): successive spans partition campaign time.
+        trace::set_now(self.phase_entered);
+        let span = trace::span(self.phase.span_name());
+        trace::set_now(now);
+        drop(span);
+        metrics::counter_add("campaign.phase_changes", 1);
+        self.phase = phase;
+        self.phase_entered = now;
+    }
+
+    fn admit_wave(&mut self, now: u64) {
+        let size = self.wave_size(self.wave);
+        let mut admitted = 0usize;
+        for i in 0..self.devices.len() {
+            if admitted == size {
+                break;
+            }
+            if self.wave_of[i].is_none() {
+                self.wave_of[i] = Some(self.wave);
+                self.devices[i] = DeviceState::Updating { attempts: 0 };
+                admitted += 1;
+            }
+        }
+        self.wave_started = now;
+        self.stats.waves_started += 1;
+        metrics::counter_add("campaign.waves_started", 1);
+        metrics::gauge_set("campaign.wave", u64::from(self.wave));
+    }
+
+    fn settle_sample(&mut self, failed: bool) {
+        let x = if failed { 1.0 } else { 0.0 };
+        self.ewma = self.config.ewma_alpha * x + (1.0 - self.config.ewma_alpha) * self.ewma;
+        self.ewma_samples += 1;
+    }
+
+    fn breaker_trips(&self) -> u64 {
+        (0..self.devices.len())
+            .map(|i| self.fleet.device(i).breaker.trips())
+            .sum()
+    }
+
+    fn should_halt(&self) -> bool {
+        (self.ewma_samples >= self.config.min_halt_samples
+            && self.ewma > self.config.halt_failure_ewma)
+            || self.breaker_trips() >= self.config.breaker_trip_halt
+    }
+
+    fn halt(&mut self, now: u64) {
+        self.set_phase(CampaignPhase::Halted, now);
+        metrics::counter_add("campaign.halts", 1);
+        // Convert every device to its rollback role. Devices the rollout
+        // touched re-flash the old image; untouched devices only need the
+        // re-attestation; quarantined and exhausted devices stay put.
+        for i in 0..self.devices.len() {
+            let state = match self.parked[i].take() {
+                Some(saved) => {
+                    // Un-park for rollback classification; a device that
+                    // is still unreachable will just report Offline again.
+                    saved
+                }
+                None => self.devices[i],
+            };
+            self.devices[i] = match state {
+                DeviceState::Quarantined => DeviceState::Quarantined,
+                DeviceState::Updating { .. }
+                | DeviceState::Attesting { .. }
+                | DeviceState::Healthy
+                | DeviceState::Torn { .. }
+                | DeviceState::Failed => DeviceState::RollingBack {
+                    attempts: 0,
+                    flashed: false,
+                },
+                DeviceState::Pending => DeviceState::RollingBack {
+                    attempts: 0,
+                    flashed: true, // old image never left flash
+                },
+                // Already in rollback shape (repeated halt is a no-op).
+                s @ (DeviceState::RollingBack { .. } | DeviceState::RolledBack) => s,
+                DeviceState::Offline { .. } => unreachable!("parked state was taken"),
+            };
+            self.dispatched[i] = false;
+        }
+    }
+
+    /// Advances the campaign at time `now` and returns the actions to
+    /// drive. Call [`CampaignController::report`] with each action's
+    /// outcome before the next tick (an action stays in flight until
+    /// reported).
+    pub fn tick(&mut self, now: u64) -> Vec<CampaignAction> {
+        if self.started.is_none() {
+            self.started = Some(now);
+            self.phase_entered = now;
+            self.admit_wave(now);
+        }
+        if self.phase.is_terminal() {
+            return Vec::new();
+        }
+
+        if !matches!(self.phase, CampaignPhase::Halted) {
+            if self.should_halt() {
+                self.halt(now);
+            } else {
+                self.advance_waves(now);
+            }
+        }
+        if matches!(self.phase, CampaignPhase::Halted) && self.rollback_done() {
+            self.set_phase(CampaignPhase::RolledBack, now);
+            return Vec::new();
+        }
+        if self.phase.is_terminal() {
+            return Vec::new();
+        }
+
+        let mut actions = Vec::new();
+        for i in 0..self.devices.len() {
+            if actions.len() >= self.config.max_inflight {
+                break;
+            }
+            if self.dispatched[i] {
+                continue;
+            }
+            let action = match self.devices[i] {
+                DeviceState::Updating { .. } | DeviceState::Torn { .. } => {
+                    Some(CampaignAction::SendUpdate {
+                        device: i,
+                        image: ImageId::New,
+                    })
+                }
+                DeviceState::Attesting { .. } => Some(CampaignAction::Attest {
+                    device: i,
+                    image: ImageId::New,
+                }),
+                DeviceState::RollingBack { flashed, .. } => Some(if flashed {
+                    CampaignAction::Attest {
+                        device: i,
+                        image: ImageId::Old,
+                    }
+                } else {
+                    CampaignAction::SendUpdate {
+                        device: i,
+                        image: ImageId::Old,
+                    }
+                }),
+                _ => None,
+            };
+            if let Some(action) = action {
+                self.dispatched[i] = true;
+                match action {
+                    CampaignAction::SendUpdate { .. } => self.stats.update_actions += 1,
+                    CampaignAction::Attest { .. } => self.stats.attest_actions += 1,
+                }
+                actions.push(action);
+            }
+        }
+        actions
+    }
+
+    /// `true` once every device has settled or is parked offline past
+    /// the wave deadline.
+    fn wave_settled(&self, now: u64) -> bool {
+        let deadline_passed = now.saturating_sub(self.wave_started) > self.config.wave_deadline;
+        self.devices.iter().enumerate().all(|(i, s)| {
+            if self.wave_of[i].is_none() {
+                return true; // not admitted yet
+            }
+            match s {
+                DeviceState::Offline { .. } => deadline_passed,
+                s => s.is_settled(),
+            }
+        })
+    }
+
+    fn advance_waves(&mut self, now: u64) {
+        if !self.wave_settled(now) {
+            return;
+        }
+        let unadmitted = self.wave_of.iter().filter(|w| w.is_none()).count();
+        if unadmitted == 0 {
+            // Fully admitted. Complete only once nothing is parked — a
+            // parked device is *not failed* and must still be driven to
+            // a settled state when it returns.
+            let all_settled = self.devices.iter().all(DeviceState::is_settled);
+            if all_settled {
+                self.set_phase(CampaignPhase::Complete, now);
+            }
+            return;
+        }
+        self.wave += 1;
+        self.set_phase(CampaignPhase::Widening { wave: self.wave }, now);
+        self.admit_wave(now);
+    }
+
+    fn rollback_done(&self) -> bool {
+        self.devices.iter().all(|s| {
+            matches!(
+                s,
+                DeviceState::RolledBack | DeviceState::Quarantined | DeviceState::Failed
+            )
+        })
+    }
+
+    /// Feeds back the outcome of an action against device `i` at time
+    /// `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn report(&mut self, i: usize, outcome: DeviceOutcome, now: u64) {
+        self.dispatched[i] = false;
+
+        // Park / return first: they apply in any working state.
+        match outcome {
+            DeviceOutcome::Offline => {
+                if !matches!(self.devices[i], DeviceState::Offline { .. }) {
+                    self.parked[i] = Some(self.devices[i]);
+                    self.devices[i] = DeviceState::Offline { since: now };
+                    self.stats.parked_events += 1;
+                    metrics::counter_add("campaign.parked", 1);
+                }
+                return;
+            }
+            DeviceOutcome::CameOnline => {
+                if let DeviceState::Offline { .. } = self.devices[i] {
+                    let resumed = self.parked[i].take().unwrap_or(DeviceState::Pending);
+                    // A device that parked during the rollout but returns
+                    // after a halt joins the rollback instead.
+                    self.devices[i] = if matches!(self.phase, CampaignPhase::Halted) {
+                        match resumed {
+                            DeviceState::Quarantined => DeviceState::Quarantined,
+                            DeviceState::RollingBack { .. } | DeviceState::RolledBack => resumed,
+                            DeviceState::Pending => DeviceState::RollingBack {
+                                attempts: 0,
+                                flashed: true,
+                            },
+                            _ => DeviceState::RollingBack {
+                                attempts: 0,
+                                flashed: false,
+                            },
+                        }
+                    } else {
+                        resumed
+                    };
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        let success = matches!(
+            outcome,
+            DeviceOutcome::UpdateOk | DeviceOutcome::AttestedExpected
+        );
+        // Busy is backpressure, not device health; everything else feeds
+        // the breaker/EWMA health model.
+        if !matches!(outcome, DeviceOutcome::Busy) {
+            self.fleet.record_outcome(i, success, now);
+        }
+
+        let max = self.config.max_attempts;
+        let state = self.devices[i];
+        self.devices[i] = match (state, outcome) {
+            // ---- rollout: flashing ------------------------------------
+            (DeviceState::Updating { .. }, DeviceOutcome::UpdateOk) => {
+                DeviceState::Attesting { attempts: 0 }
+            }
+            (
+                DeviceState::Updating { attempts } | DeviceState::Torn { attempts },
+                DeviceOutcome::UpdateTorn,
+            ) => {
+                self.stats.torn_events += 1;
+                metrics::counter_add("campaign.torn", 1);
+                if attempts + 1 >= max {
+                    self.settle_sample(true);
+                    DeviceState::Failed
+                } else {
+                    // Torn routes to *retry* — never rollback, never
+                    // healthy: the recovery-booted device accepts a new
+                    // UpdateFirmware and nothing else will attest.
+                    DeviceState::Torn {
+                        attempts: attempts + 1,
+                    }
+                }
+            }
+            (
+                DeviceState::Updating { attempts } | DeviceState::Torn { attempts },
+                DeviceOutcome::UpdateFailed | DeviceOutcome::Timeout | DeviceOutcome::Busy,
+            ) => {
+                if outcome != DeviceOutcome::Busy && attempts + 1 >= max {
+                    self.settle_sample(true);
+                    DeviceState::Failed
+                } else {
+                    DeviceState::Updating {
+                        attempts: attempts + u32::from(outcome != DeviceOutcome::Busy),
+                    }
+                }
+            }
+            // A torn retry keeps its attempt count: the budget bounds the
+            // whole flash-then-attest cycle, not each lap of it.
+            (DeviceState::Torn { attempts }, DeviceOutcome::UpdateOk) => {
+                DeviceState::Attesting { attempts }
+            }
+
+            // ---- rollout: gating attestation --------------------------
+            (DeviceState::Attesting { .. }, DeviceOutcome::AttestedExpected) => {
+                self.settle_sample(false);
+                metrics::counter_add("campaign.healthy", 1);
+                DeviceState::Healthy
+            }
+            (_, DeviceOutcome::AttestedOther) => {
+                // Valid MAC, wrong image: compromise. The breaker already
+                // took the failure above; quarantine is terminal.
+                self.settle_sample(true);
+                metrics::counter_add("campaign.quarantined", 1);
+                DeviceState::Quarantined
+            }
+            (DeviceState::Attesting { attempts }, DeviceOutcome::AttestedNeither) => {
+                // Neither image: the torn-flash signature, seen from the
+                // verifier side. Back to the flash stage.
+                self.stats.torn_events += 1;
+                metrics::counter_add("campaign.torn", 1);
+                if attempts + 1 >= max {
+                    self.settle_sample(true);
+                    DeviceState::Failed
+                } else {
+                    DeviceState::Torn {
+                        attempts: attempts + 1,
+                    }
+                }
+            }
+            (DeviceState::Attesting { attempts }, DeviceOutcome::Timeout | DeviceOutcome::Busy) => {
+                if outcome != DeviceOutcome::Busy && attempts + 1 >= max {
+                    self.settle_sample(true);
+                    DeviceState::Failed
+                } else {
+                    DeviceState::Attesting {
+                        attempts: attempts + u32::from(outcome != DeviceOutcome::Busy),
+                    }
+                }
+            }
+
+            // ---- rollback ---------------------------------------------
+            (DeviceState::RollingBack { attempts, .. }, DeviceOutcome::UpdateOk) => {
+                DeviceState::RollingBack {
+                    attempts,
+                    flashed: true,
+                }
+            }
+            (DeviceState::RollingBack { attempts, .. }, DeviceOutcome::AttestedExpected) => {
+                let _ = attempts;
+                metrics::counter_add("campaign.rolled_back", 1);
+                DeviceState::RolledBack
+            }
+            (DeviceState::RollingBack { attempts, .. }, DeviceOutcome::UpdateTorn) => {
+                self.stats.torn_events += 1;
+                if attempts + 1 >= max {
+                    DeviceState::Failed
+                } else {
+                    DeviceState::RollingBack {
+                        attempts: attempts + 1,
+                        flashed: false,
+                    }
+                }
+            }
+            (
+                DeviceState::RollingBack { attempts, flashed },
+                DeviceOutcome::UpdateFailed
+                | DeviceOutcome::Timeout
+                | DeviceOutcome::Busy
+                | DeviceOutcome::AttestedNeither,
+            ) => {
+                let charged = outcome != DeviceOutcome::Busy;
+                let reflash = outcome == DeviceOutcome::AttestedNeither;
+                if charged && attempts + 1 >= max {
+                    DeviceState::Failed
+                } else {
+                    DeviceState::RollingBack {
+                        attempts: attempts + u32::from(charged),
+                        flashed: flashed && !reflash,
+                    }
+                }
+            }
+
+            // Anything else (late or duplicate outcome): hold position.
+            (state, _) => state,
+        };
+    }
+
+    /// Closes out telemetry once the campaign reached a terminal phase:
+    /// emits the final phase span so the set of phase spans partitions
+    /// `[first tick, now)` exactly. Idempotent via the zero-length tail.
+    pub fn finish(&mut self, now: u64) {
+        trace::set_now(self.phase_entered);
+        let span = trace::span(self.phase.span_name());
+        trace::set_now(now);
+        drop(span);
+        self.phase_entered = now;
+        metrics::gauge_set("campaign.healthy_final", self.count(DeviceState::Healthy));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CampaignConfig {
+        CampaignConfig {
+            canary_size: 1,
+            wave_growth: 2,
+            max_attempts: 3,
+            halt_failure_ewma: 0.4,
+            ewma_alpha: 0.5,
+            min_halt_samples: 1,
+            breaker_trip_halt: 100,
+            wave_deadline: 5,
+            max_inflight: 16,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// Drives every emitted action with `f(device, action) -> outcome`.
+    fn drive<F>(c: &mut CampaignController, ticks: u64, mut f: F)
+    where
+        F: FnMut(usize, CampaignAction) -> DeviceOutcome,
+    {
+        for now in 0..ticks {
+            let actions = c.tick(now);
+            if c.phase().is_terminal() {
+                break;
+            }
+            for a in actions {
+                let outcome = f(a.device(), a);
+                c.report(a.device(), outcome, now);
+            }
+        }
+    }
+
+    #[test]
+    fn all_healthy_campaign_completes() {
+        let mut c = CampaignController::new(7, config());
+        drive(&mut c, 50, |_, a| match a {
+            CampaignAction::SendUpdate { .. } => DeviceOutcome::UpdateOk,
+            CampaignAction::Attest { .. } => DeviceOutcome::AttestedExpected,
+        });
+        assert_eq!(c.phase(), CampaignPhase::Complete);
+        assert_eq!(c.stats().healthy, 7);
+        // Waves: 1, 2, 4 → all 7 admitted in three waves.
+        assert_eq!(c.stats().waves_started, 3);
+    }
+
+    #[test]
+    fn bad_canary_halts_before_second_wave_and_rolls_back() {
+        let mut c = CampaignController::new(8, config());
+        drive(&mut c, 100, |i, a| match a {
+            // The canary (device 0) flashed a bad image: every gating
+            // attestation comes back as neither image.
+            CampaignAction::Attest {
+                image: ImageId::New,
+                ..
+            } if i == 0 => DeviceOutcome::AttestedNeither,
+            CampaignAction::SendUpdate { .. } => DeviceOutcome::UpdateOk,
+            CampaignAction::Attest { .. } => DeviceOutcome::AttestedExpected,
+        });
+        assert_eq!(c.phase(), CampaignPhase::RolledBack);
+        // The halt fired during the canary: no widening wave started.
+        assert_eq!(c.stats().waves_started, 1);
+        assert_eq!(c.stats().healthy, 0);
+        // Every device re-attested the old image.
+        assert_eq!(c.stats().rolled_back, 8);
+    }
+
+    #[test]
+    fn wrong_image_mac_quarantines_never_healthy() {
+        let mut c = CampaignController::new(4, config());
+        drive(&mut c, 100, |i, a| match a {
+            CampaignAction::Attest { .. } if i == 2 => DeviceOutcome::AttestedOther,
+            CampaignAction::SendUpdate { .. } => DeviceOutcome::UpdateOk,
+            CampaignAction::Attest { .. } => DeviceOutcome::AttestedExpected,
+        });
+        assert_eq!(c.device_state(2), DeviceState::Quarantined);
+        assert_ne!(c.device_state(2), DeviceState::Healthy);
+    }
+
+    #[test]
+    fn torn_flash_routes_to_retry_then_succeeds() {
+        let mut torn_left = 1;
+        let mut c = CampaignController::new(1, config());
+        drive(&mut c, 50, |_, a| match a {
+            CampaignAction::SendUpdate { .. } if torn_left > 0 => {
+                torn_left -= 1;
+                DeviceOutcome::UpdateTorn
+            }
+            CampaignAction::SendUpdate { .. } => DeviceOutcome::UpdateOk,
+            CampaignAction::Attest { .. } => DeviceOutcome::AttestedExpected,
+        });
+        assert_eq!(c.phase(), CampaignPhase::Complete);
+        assert_eq!(c.stats().healthy, 1);
+        assert_eq!(c.stats().torn_events, 1);
+    }
+
+    #[test]
+    fn offline_device_parks_and_resumes() {
+        let mut c = CampaignController::new(3, config());
+        let mut offline_reported = false;
+        let mut came_back = false;
+        for now in 0..60 {
+            let actions = c.tick(now);
+            if c.phase().is_terminal() {
+                break;
+            }
+            // Device 0 vanishes on its first action and returns at t=20.
+            if !came_back && now >= 20 {
+                if let DeviceState::Offline { .. } = c.device_state(0) {
+                    c.report(0, DeviceOutcome::CameOnline, now);
+                    came_back = true;
+                }
+            }
+            for a in actions {
+                let outcome = if a.device() == 0 && !offline_reported {
+                    offline_reported = true;
+                    DeviceOutcome::Offline
+                } else {
+                    match a {
+                        CampaignAction::SendUpdate { .. } => DeviceOutcome::UpdateOk,
+                        CampaignAction::Attest { .. } => DeviceOutcome::AttestedExpected,
+                    }
+                };
+                c.report(a.device(), outcome, now);
+            }
+        }
+        assert_eq!(c.phase(), CampaignPhase::Complete);
+        assert_eq!(c.stats().healthy, 3);
+        assert_eq!(c.stats().parked_events, 1);
+        // The park did not block widening: the other devices settled
+        // while device 0 roamed.
+    }
+
+    #[test]
+    fn expected_image_tracks_per_device_state() {
+        let mut c = CampaignController::new(3, config());
+        let _ = c.tick(0);
+        // Device 0 is the canary, mid-flash: still expected on Old.
+        assert_eq!(c.expected_image(0), ImageId::Old);
+        c.report(0, DeviceOutcome::UpdateOk, 0);
+        // Flashed, awaiting the gating attest: expected on New.
+        assert_eq!(c.expected_image(0), ImageId::New);
+        // Unadmitted neighbour stays Old.
+        assert_eq!(c.expected_image(1), ImageId::Old);
+        c.report(0, DeviceOutcome::AttestedExpected, 1);
+        assert_eq!(c.expected_image(0), ImageId::New);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_device() {
+        let mut c = CampaignController::new(1, config());
+        drive(&mut c, 50, |_, _| DeviceOutcome::Timeout);
+        assert_eq!(c.device_state(0), DeviceState::Failed);
+    }
+}

@@ -98,6 +98,9 @@ pub enum AttestError {
         /// Explanation.
         reason: String,
     },
+    /// Power was lost mid-operation (a reboot during a flash write left
+    /// the image torn). The device must go through recovery boot.
+    PowerLoss,
 }
 
 impl fmt::Display for AttestError {
@@ -111,6 +114,9 @@ impl fmt::Display for AttestError {
                 write!(f, "malformed message: {reason}")
             }
             AttestError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+            AttestError::PowerLoss => {
+                write!(f, "power lost mid-operation; flash image is torn")
+            }
         }
     }
 }

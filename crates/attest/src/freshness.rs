@@ -184,6 +184,18 @@ pub fn patch_expected_image(image: &mut [u8], field: &FreshnessField) {
     }
 }
 
+/// Patches a verifier-side expected RAM image so its gated-command
+/// counter word (third `TRUST_STATE` word) matches what the prover
+/// committed when it executed the command. An attestation taken *after*
+/// an `UpdateFirmware` must expect the counter that update consumed —
+/// the campaign path resolves that per device, per wave.
+pub fn patch_expected_command_counter(image: &mut [u8], counter: u64) {
+    let off = (map::TRUST_STATE.start + 16 - map::RAM.start) as usize;
+    if image.len() >= off + 8 {
+        image[off..off + 8].copy_from_slice(&counter.to_le_bytes());
+    }
+}
+
 /// Reads the protected `counter_R` word as `Code_Attest`.
 ///
 /// # Errors
@@ -365,6 +377,34 @@ mod tests {
         let mut tiny = vec![0u8; 4];
         patch_expected_image(&mut tiny, &FreshnessField::Counter(1));
         assert_eq!(tiny, vec![0u8; 4]);
+    }
+
+    #[test]
+    fn patch_expected_command_counter_matches_device_word() {
+        let mut m = mcu();
+        let k = proverguard_crypto::mac::MacKey::new(
+            proverguard_crypto::mac::MacAlgorithm::HmacSha1,
+            &[0x42; 16],
+        )
+        .unwrap();
+        crate::services::execute_command(
+            &mut m,
+            &k,
+            &crate::services::CommandRequest {
+                counter: 9,
+                command: crate::services::Command::Ping,
+                auth: Vec::new(),
+            },
+        )
+        .unwrap();
+        let mut image = vec![0u8; map::RAM.len() as usize];
+        patch_expected_command_counter(&mut image, 9);
+        let off = (map::TRUST_STATE.start + 16 - map::RAM.start) as usize;
+        assert_eq!(image[off..off + 8], 9u64.to_le_bytes());
+        let mut word = [0u8; 8];
+        m.bus_read(map::TRUST_STATE.start + 16, &mut word, map::ATTEST_PC)
+            .unwrap();
+        assert_eq!(word, 9u64.to_le_bytes());
     }
 
     #[test]

@@ -50,6 +50,8 @@ const TAG_ATTRESP: u8 = 3;
 const TAG_REJECT: u8 = 4;
 const TAG_BUSY: u8 = 5;
 const TAG_BYE: u8 = 6;
+const TAG_COMMAND: u8 = 7;
+const TAG_RECEIPT: u8 = 8;
 
 /// One gateway-protocol message, carried as the payload of one transport
 /// frame.
@@ -73,6 +75,13 @@ pub enum GatewayMsg {
         /// Whether the attestation verified.
         verified: bool,
     },
+    /// Verifier → prover: a serialized
+    /// [`crate::services::CommandRequest`] (gated OTA/erase commands over
+    /// the same session protocol).
+    Command(Vec<u8>),
+    /// Prover → verifier: a serialized
+    /// [`crate::services::CommandReceipt`].
+    Receipt(Vec<u8>),
 }
 
 fn reason_code(reason: RejectReason) -> u8 {
@@ -132,6 +141,18 @@ impl GatewayMsg {
             GatewayMsg::Reject(reason) => vec![TAG_REJECT, reason_code(*reason)],
             GatewayMsg::Busy => vec![TAG_BUSY],
             GatewayMsg::Bye { verified } => vec![TAG_BYE, u8::from(*verified)],
+            GatewayMsg::Command(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(TAG_COMMAND);
+                out.extend_from_slice(bytes);
+                out
+            }
+            GatewayMsg::Receipt(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(TAG_RECEIPT);
+                out.extend_from_slice(bytes);
+                out
+            }
         }
     }
 
@@ -183,6 +204,8 @@ impl GatewayMsg {
                     verified: *flag == 1,
                 })
             }
+            TAG_COMMAND => Ok(GatewayMsg::Command(body.to_vec())),
+            TAG_RECEIPT => Ok(GatewayMsg::Receipt(body.to_vec())),
             _ => Err(malformed("unknown message tag")),
         }
     }
@@ -196,7 +219,9 @@ impl GatewayMsg {
 #[derive(Debug)]
 pub struct DeviceEntry {
     verifier: Mutex<Verifier>,
-    expected_memory: Vec<u8>,
+    /// Behind its own mutex so a running gateway can be re-targeted at a
+    /// new expected image mid-campaign (per-wave OTA targets).
+    expected_memory: Mutex<Vec<u8>>,
     service_floor_ms: u64,
 }
 
@@ -235,10 +260,30 @@ impl DeviceDirectory {
         let id = self.entries.len() as u64;
         self.entries.push(DeviceEntry {
             verifier: Mutex::new(verifier),
-            expected_memory,
+            expected_memory: Mutex::new(expected_memory),
             service_floor_ms,
         });
         id
+    }
+
+    /// Replaces the expected memory image of `device_id` — what a
+    /// campaign does when a device's wave moves it to a new firmware
+    /// target (or back to the old one on rollback). Takes `&self`: the
+    /// directory is shared read-only with running workers, and each
+    /// entry's image has its own lock.
+    ///
+    /// Returns `false` for an unknown device.
+    pub fn set_expected_memory(&self, device_id: u64, expected_memory: Vec<u8>) -> bool {
+        match self.get(device_id) {
+            Some(entry) => {
+                *entry
+                    .expected_memory
+                    .lock()
+                    .expect("expected-memory lock poisoned") = expected_memory;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of registered devices.
@@ -267,7 +312,11 @@ impl DeviceEntry {
     /// ordering, §4.2), so the attested image embeds the freshness value
     /// the verifier just sent — patch it into the baseline.
     fn expected_for(&self, field: &FreshnessField) -> Vec<u8> {
-        let mut image = self.expected_memory.clone();
+        let mut image = self
+            .expected_memory
+            .lock()
+            .expect("expected-memory lock poisoned")
+            .clone();
         crate::freshness::patch_expected_image(&mut image, field);
         image
     }
@@ -921,6 +970,26 @@ impl ProverAgent {
                     if conn.send(&reply.encode()).is_err() {
                         // The gateway may have timed this attempt out and
                         // hung up with a queued Bye.
+                        return drain_outcome(conn, requests_handled);
+                    }
+                }
+                Ok(GatewayMsg::Command(raw)) => {
+                    let reply = match crate::services::CommandRequest::from_bytes(&raw)
+                        .and_then(|request| self.prover.handle_command(&request))
+                    {
+                        Ok(receipt) => GatewayMsg::Receipt(receipt.to_bytes()),
+                        Err(AttestError::Rejected(reason)) => GatewayMsg::Reject(reason),
+                        Err(AttestError::MalformedMessage { .. }) => {
+                            GatewayMsg::Reject(RejectReason::Malformed)
+                        }
+                        // A torn flash (injected power loss) kills the
+                        // device, not the protocol: the connection just
+                        // drops, like the real board browning out.
+                        Err(AttestError::PowerLoss) => return AgentOutcome::ConnectionLost,
+                        Err(_) => GatewayMsg::Reject(RejectReason::Malformed),
+                    };
+                    requests_handled += 1;
+                    if conn.send(&reply.encode()).is_err() {
                         return drain_outcome(conn, requests_handled);
                     }
                 }

@@ -46,6 +46,7 @@
 
 pub mod admission;
 pub mod auth;
+pub mod campaign;
 pub mod clock;
 pub mod clocksync;
 pub mod error;
@@ -62,6 +63,10 @@ pub mod session;
 pub mod verifier;
 
 pub use admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
+pub use campaign::{
+    CampaignAction, CampaignConfig, CampaignController, CampaignPhase, CampaignStats,
+    DeviceOutcome, DeviceState, ImageId,
+};
 pub use error::{AttestError, RejectReason};
 pub use fleet::{
     BreakerPolicy, BreakerState, CircuitBreaker, DeviceHealth, FleetController, FleetPolicy,

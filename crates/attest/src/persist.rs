@@ -257,6 +257,88 @@ impl FreshnessRecord {
     }
 }
 
+/// Magic bytes identifying an update journal (a separate record format —
+/// the frozen `PGNVREC2` freshness layout is untouched by OTA support).
+const JOURNAL_MAGIC: &[u8; 8] = b"PGUPJRN1";
+
+/// Byte length of an encoded (unsealed) update journal.
+pub const JOURNAL_LEN: usize = 8 + 20 + 20 + 2;
+
+/// The firmware-update journal: the tiny non-volatile record that makes
+/// a torn flash *detectable and recoverable* instead of a brick.
+///
+/// Written before the erase starts (`in_progress` set, target recorded)
+/// and again after the image commits. On reboot the boot path compares
+/// the actual flash digest against `active_digest` and `target_digest`:
+/// a match commits or resumes normally; anything else — the torn-flash
+/// signature — routes through recovery boot. Sealed with the same
+/// EA-MAC-derived key as the freshness record, in its own store slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateJournal {
+    /// Whole-flash digest of the currently committed (trusted) image.
+    pub active_digest: [u8; 20],
+    /// Whole-flash digest the in-flight update is moving to (equal to
+    /// `active_digest` when no update is in flight).
+    pub target_digest: [u8; 20],
+    /// `true` between the pre-erase journal write and the commit.
+    pub in_progress: bool,
+    /// `true` once the execute-from-RAM mirror of the active image has
+    /// been installed (so boot knows to reinstall it after a power
+    /// cycle).
+    pub mirrored: bool,
+}
+
+impl UpdateJournal {
+    /// Serializes the journal (magic ‖ digests ‖ flags).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(JOURNAL_LEN);
+        out.extend_from_slice(JOURNAL_MAGIC);
+        out.extend_from_slice(&self.active_digest);
+        out.extend_from_slice(&self.target_digest);
+        out.push(u8::from(self.in_progress));
+        out.push(u8::from(self.mirrored));
+        out
+    }
+
+    /// Parses an unsealed journal; `None` on wrong magic or length.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != JOURNAL_LEN || &bytes[..8] != JOURNAL_MAGIC {
+            return None;
+        }
+        Some(UpdateJournal {
+            active_digest: bytes[8..28].try_into().expect("20 bytes"),
+            target_digest: bytes[28..48].try_into().expect("20 bytes"),
+            in_progress: bytes[48] != 0,
+            mirrored: bytes[49] != 0,
+        })
+    }
+
+    /// Serializes with an appended MAC tag under `key`.
+    #[must_use]
+    pub fn seal(&self, key: &MacKey) -> Vec<u8> {
+        let mut out = self.encode();
+        let tag = key.compute(&[SEAL_DOMAIN, &out].concat());
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Parses and verifies a sealed journal; `None` when malformed or
+    /// the tag does not verify.
+    #[must_use]
+    pub fn open_sealed(bytes: &[u8], key: &MacKey) -> Option<Self> {
+        if bytes.len() <= JOURNAL_LEN {
+            return None;
+        }
+        let (record, tag) = bytes.split_at(JOURNAL_LEN);
+        if !key.verify(&[SEAL_DOMAIN, record].concat(), tag) {
+            return None;
+        }
+        Self::decode(record)
+    }
+}
+
 /// What [`Prover::reboot`](crate::prover::Prover::reboot) found in the
 /// store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -346,6 +428,25 @@ mod tests {
             crate::clocksync::read_offset_ms(&mut mcu).unwrap(),
             42_000_i64
         );
+    }
+
+    #[test]
+    fn update_journal_roundtrip_and_seal() {
+        let j = UpdateJournal {
+            active_digest: [0xAA; 20],
+            target_digest: [0xBB; 20],
+            in_progress: true,
+            mirrored: false,
+        };
+        assert_eq!(UpdateJournal::decode(&j.encode()), Some(j));
+        assert_eq!(UpdateJournal::decode(&[]), None);
+        // Journal magic and freshness magic are distinct formats.
+        assert_eq!(UpdateJournal::decode(&record().encode()), None);
+        let sealed = j.seal(&key());
+        assert_eq!(UpdateJournal::open_sealed(&sealed, &key()), Some(j));
+        let mut tampered = sealed.clone();
+        tampered[10] ^= 1;
+        assert_eq!(UpdateJournal::open_sealed(&tampered, &key()), None);
     }
 
     #[test]

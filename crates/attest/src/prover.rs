@@ -26,10 +26,23 @@ use crate::error::{AttestError, RejectReason};
 use crate::freshness::{FreshnessKind, FreshnessPolicy};
 use crate::message::AttestScope;
 use crate::message::{AttestRequest, AttestResponse, FreshnessField};
-use crate::persist::{FreshnessRecord, PersistedState, RecoveryOutcome};
+use crate::persist::{FreshnessRecord, PersistedState, RecoveryOutcome, UpdateJournal};
 use crate::profile::{rules_for, Protection};
 use crate::segcache::{self, SegmentCache, SegmentedParams};
-use crate::services::{self, CommandReceipt, CommandRequest};
+use crate::services::{self, Command, CommandReceipt, CommandRequest};
+
+/// How the device last came up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BootHealth {
+    /// Secure boot verified the flash image against a trusted reference.
+    #[default]
+    Healthy,
+    /// The flash digest matched neither the active nor the target image
+    /// (torn update); the device came up through recovery boot with its
+    /// protections armed but no application image. It attests — as
+    /// neither image — and accepts `UpdateFirmware` retries.
+    Recovery,
+}
 
 /// Static configuration of a prover deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -273,6 +286,14 @@ pub struct Prover {
     /// Length of the device fault log when the cache was last known good;
     /// growth means an EA-MPU violation happened and the cache is dropped.
     fault_mark: usize,
+    /// Optional non-volatile slot for the firmware-update journal
+    /// (separate from the freshness record; OTA torn-flash recovery).
+    journal_nv: Option<Box<dyn PersistedState>>,
+    /// How the last boot concluded.
+    boot_health: BootHealth,
+    /// One-shot fault injection: cut power after this many image bytes of
+    /// the next `UpdateFirmware`.
+    tear_next_update: Option<usize>,
 }
 
 impl Prover {
@@ -358,6 +379,9 @@ impl Prover {
             admission: None,
             segcache,
             fault_mark,
+            journal_nv: None,
+            boot_health: BootHealth::Healthy,
+            tear_next_update: None,
         })
     }
 
@@ -392,6 +416,75 @@ impl Prover {
     #[must_use]
     pub fn has_nv_store(&self) -> bool {
         self.nv.is_some()
+    }
+
+    /// Attaches a non-volatile slot for the firmware-update journal and
+    /// seeds it with the current (provisioned) image as active. With a
+    /// journal attached, [`Prover::reboot`] becomes torn-flash aware: a
+    /// flash digest matching neither the active nor the in-flight target
+    /// image routes through recovery boot instead of refusing to come up.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::Device`] if the initial journal write fails.
+    pub fn attach_update_journal(
+        &mut self,
+        store: Box<dyn PersistedState>,
+    ) -> Result<(), AttestError> {
+        self.journal_nv = Some(store);
+        let journal = UpdateJournal {
+            active_digest: self.boot_reference,
+            target_digest: self.boot_reference,
+            in_progress: false,
+            mirrored: false,
+        };
+        self.persist_journal(&journal);
+        Ok(())
+    }
+
+    /// `true` when an update journal is attached.
+    #[must_use]
+    pub fn has_update_journal(&self) -> bool {
+        self.journal_nv.is_some()
+    }
+
+    /// How the device last booted.
+    #[must_use]
+    pub fn boot_health(&self) -> BootHealth {
+        self.boot_health
+    }
+
+    /// The flash digest secure boot currently trusts (rotates on a
+    /// committed firmware update).
+    #[must_use]
+    pub fn boot_reference(&self) -> &[u8; DIGEST_SIZE] {
+        &self.boot_reference
+    }
+
+    /// Arms a one-shot power-loss injection: the next `UpdateFirmware`
+    /// loses power after `at` image bytes are programmed, leaving the
+    /// flash torn. The command returns [`AttestError::PowerLoss`]; the
+    /// caller then models the device coming back via [`Prover::reboot`].
+    pub fn inject_update_tear(&mut self, at: usize) {
+        self.tear_next_update = Some(at);
+    }
+
+    fn persist_journal(&mut self, journal: &UpdateJournal) {
+        let bytes = match self.config.protection {
+            Protection::EaMac => journal.seal(&self.response_key),
+            Protection::Open => journal.encode(),
+        };
+        if let Some(nv) = &mut self.journal_nv {
+            nv.save(&bytes);
+        }
+    }
+
+    fn load_journal(&self) -> Option<UpdateJournal> {
+        let bytes = self.journal_nv.as_ref()?.load()?;
+        match self.config.protection {
+            Protection::EaMac => UpdateJournal::open_sealed(&bytes, &self.response_key),
+            Protection::Open => UpdateJournal::decode(&bytes),
+        }
     }
 
     /// The deployment configuration.
@@ -551,7 +644,48 @@ impl Prover {
         if !self.checker.check(&request.signed_bytes(), &request.auth) {
             return Err(AttestError::Rejected(RejectReason::BadAuth));
         }
-        let receipt = services::execute_command(&mut self.mcu, &self.response_key, request)?;
+
+        let update_target = match &request.command {
+            Command::UpdateFirmware { image } => Some(services::updated_flash_digest(image)),
+            _ => None,
+        };
+        // Write-ahead journal: record the in-flight target *before* the
+        // erase starts, so a mid-flash power loss is recoverable.
+        if let (Some(target), Some(journal)) = (update_target, self.load_journal()) {
+            self.persist_journal(&UpdateJournal {
+                target_digest: target,
+                in_progress: true,
+                ..journal
+            });
+        }
+
+        let tear = if update_target.is_some() {
+            self.tear_next_update.take()
+        } else {
+            None
+        };
+        let receipt =
+            services::execute_command_with_tear(&mut self.mcu, &self.response_key, request, tear)?;
+
+        if let Some(target) = update_target {
+            // The flash controller's DMA installed the new image into the
+            // RAM mirror *behind* the dirty tracker; mark the covering
+            // segments dirty explicitly, or the next segmented attest
+            // would serve stale-trusted digests of the old image.
+            self.mcu
+                .mark_dirty_region(map::APP_IMAGE_MIRROR.start, map::APP_IMAGE_MIRROR.len())?;
+            // Commit: the new image is now what secure boot trusts.
+            self.boot_reference = target;
+            self.boot_health = BootHealth::Healthy;
+            if self.journal_nv.is_some() {
+                self.persist_journal(&UpdateJournal {
+                    active_digest: target,
+                    target_digest: target,
+                    in_progress: false,
+                    mirrored: true,
+                });
+            }
+        }
         self.persist_freshness()?;
         Ok(receipt)
     }
@@ -966,7 +1100,66 @@ impl Prover {
             self.mcu
                 .install_entry_point(map::CLOCK_CODE, CLOCK_HANDLER_ADDR);
             let rules = rules_for(self.config.protection, self.config.clock);
-            SecureBoot::new(self.boot_reference).run(&mut self.mcu, &rules)?;
+            match self.load_journal() {
+                // No journal: the pre-OTA contract — a digest mismatch
+                // refuses to boot and the error propagates.
+                None => {
+                    SecureBoot::new(self.boot_reference).run(&mut self.mcu, &rules)?;
+                    self.boot_health = BootHealth::Healthy;
+                }
+                Some(journal) => {
+                    let digest = image_digest(self.mcu.physical_memory().flash());
+                    if digest == journal.active_digest {
+                        // Committed image in place: a normal boot. If a
+                        // completed update was journalled as mirrored,
+                        // the boot loader re-kicks the DMA install.
+                        SecureBoot::new(journal.active_digest).run(&mut self.mcu, &rules)?;
+                        self.boot_reference = journal.active_digest;
+                        self.boot_health = BootHealth::Healthy;
+                        if journal.mirrored {
+                            self.mcu.dma_copy_flash_to_ram(
+                                0,
+                                map::APP_IMAGE_MIRROR.start,
+                                map::APP_IMAGE_MIRROR.len(),
+                            )?;
+                        }
+                    } else if journal.in_progress && digest == journal.target_digest {
+                        // Power died between the last programmed byte and
+                        // the commit journal write: the image is whole, so
+                        // commit it now.
+                        SecureBoot::new(journal.target_digest).run(&mut self.mcu, &rules)?;
+                        self.boot_reference = journal.target_digest;
+                        self.boot_health = BootHealth::Healthy;
+                        self.mcu.dma_copy_flash_to_ram(
+                            0,
+                            map::APP_IMAGE_MIRROR.start,
+                            map::APP_IMAGE_MIRROR.len(),
+                        )?;
+                        self.persist_journal(&UpdateJournal {
+                            active_digest: digest,
+                            target_digest: digest,
+                            in_progress: false,
+                            mirrored: true,
+                        });
+                    } else {
+                        // Torn flash: neither image. Recovery boot arms
+                        // the protections without the digest check and
+                        // still installs the execute-from-RAM shadow of
+                        // whatever the flash holds — so the next
+                        // attestation covers the *torn* bytes and can
+                        // verify as neither the old nor the new image.
+                        SecureBoot::new(journal.active_digest)
+                            .run_recovery(&mut self.mcu, &rules)?;
+                        self.mcu.dma_copy_flash_to_ram(
+                            0,
+                            map::APP_IMAGE_MIRROR.start,
+                            map::APP_IMAGE_MIRROR.len(),
+                        )?;
+                        self.boot_reference = journal.active_digest;
+                        self.boot_health = BootHealth::Recovery;
+                    }
+                }
+            }
         }
 
         // Host-side mirrors of volatile state start over too. The segment

@@ -91,6 +91,71 @@ impl CommandRequest {
         out.extend_from_slice(self.command.payload());
         out
     }
+
+    /// Wire encoding: `counter u64 BE ‖ kind u8 ‖ auth_len u16 BE ‖ auth
+    /// ‖ payload_len u32 BE ‖ payload`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.command.payload();
+        let mut out = Vec::with_capacity(15 + self.auth.len() + payload.len());
+        out.extend_from_slice(&self.counter.to_be_bytes());
+        out.push(self.command.kind_byte());
+        out.extend_from_slice(&(self.auth.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.auth);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Parses the [`CommandRequest::to_bytes`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::MalformedMessage`] on truncation, trailing bytes,
+    /// an unknown kind, or a payload on a payload-less command.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, AttestError> {
+        let malformed = |reason: &str| AttestError::MalformedMessage {
+            reason: reason.to_string(),
+        };
+        if bytes.len() < 15 {
+            return Err(malformed("command request truncated"));
+        }
+        let counter = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let kind = bytes[8];
+        let auth_len = u16::from_be_bytes(bytes[9..11].try_into().expect("2 bytes")) as usize;
+        let rest = &bytes[11..];
+        if rest.len() < auth_len + 4 {
+            return Err(malformed("command request auth truncated"));
+        }
+        let auth = rest[..auth_len].to_vec();
+        let rest = &rest[auth_len..];
+        let payload_len = u32::from_be_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let payload = &rest[4..];
+        if payload.len() != payload_len {
+            return Err(malformed("command request payload length mismatch"));
+        }
+        let command = match kind {
+            0 | 1 => {
+                if !payload.is_empty() {
+                    return Err(malformed("unexpected payload on payload-less command"));
+                }
+                if kind == 0 {
+                    Command::Ping
+                } else {
+                    Command::EraseAppRam
+                }
+            }
+            2 => Command::UpdateFirmware {
+                image: payload.to_vec(),
+            },
+            _ => return Err(malformed("unknown command kind")),
+        };
+        Ok(CommandRequest {
+            counter,
+            command,
+            auth,
+        })
+    }
 }
 
 /// Attestation-grade evidence that a command executed.
@@ -124,6 +189,44 @@ impl CommandReceipt {
                 &self.tag,
             )
     }
+
+    /// Wire encoding: `counter u64 BE ‖ digest (20) ‖ tag_len u16 BE ‖
+    /// tag`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(30 + self.tag.len());
+        out.extend_from_slice(&self.counter.to_be_bytes());
+        out.extend_from_slice(&self.post_state_digest);
+        out.extend_from_slice(&(self.tag.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.tag);
+        out
+    }
+
+    /// Parses the [`CommandReceipt::to_bytes`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestError::MalformedMessage`] on truncation or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, AttestError> {
+        let malformed = |reason: &str| AttestError::MalformedMessage {
+            reason: reason.to_string(),
+        };
+        if bytes.len() < 30 {
+            return Err(malformed("command receipt truncated"));
+        }
+        let counter = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        let post_state_digest: [u8; 20] = bytes[8..28].try_into().expect("20 bytes");
+        let tag_len = u16::from_be_bytes(bytes[28..30].try_into().expect("2 bytes")) as usize;
+        let tag = &bytes[30..];
+        if tag.len() != tag_len {
+            return Err(malformed("command receipt tag length mismatch"));
+        }
+        Ok(CommandReceipt {
+            counter,
+            post_state_digest,
+            tag: tag.to_vec(),
+        })
+    }
 }
 
 const COMMAND_COUNTER_ADDR: u32 = map::TRUST_STATE.start + 16;
@@ -150,6 +253,68 @@ fn write_command_counter(mcu: &mut Mcu, value: u64) -> Result<(), AttestError> {
 const ERASE_CYCLES_PER_BYTE: u64 = 1;
 const FLASH_CYCLES_PER_BYTE: u64 = 2;
 
+/// The whole-flash digest after a *completed* update to `image`:
+/// erase-then-program leaves `image ‖ 0x00…` in flash, the same layout
+/// provisioning produces. What the verifier's secure-boot reference and
+/// the campaign's per-wave expected digest are computed from.
+#[must_use]
+pub fn updated_flash_digest(image: &[u8]) -> [u8; 20] {
+    let mut flash = vec![0u8; map::FLASH.len() as usize];
+    let n = image.len().min(flash.len());
+    flash[..n].copy_from_slice(&image[..n]);
+    Sha1::digest(&flash)
+}
+
+/// The firmware-update flash procedure: erase the whole flash, program
+/// the new image, then DMA the flash contents into the execute-from-RAM
+/// mirror window. Returns the post-update whole-flash digest.
+///
+/// `tear_at` injects a power loss after exactly that many image bytes
+/// have been programmed (test/fault-injection hook): the erase has
+/// happened, a prefix is written, and neither the mirror install nor
+/// any commit runs — the flash holds a digest matching *neither* the
+/// old nor the new image.
+///
+/// Note the mirror DMA deliberately does **not** mark the covering RAM
+/// segments dirty — that is the flash controller's real behaviour (see
+/// [`Mcu::dma_copy_flash_to_ram`]); the prover's update handler is
+/// responsible for the explicit mark.
+///
+/// # Errors
+///
+/// - [`AttestError::Device`] if `image` exceeds flash.
+/// - [`AttestError::PowerLoss`] if `tear_at` fired.
+pub fn apply_firmware_image(
+    mcu: &mut Mcu,
+    image: &[u8],
+    tear_at: Option<usize>,
+) -> Result<[u8; 20], AttestError> {
+    if image.len() > map::FLASH.len() as usize {
+        return Err(AttestError::Device(proverguard_mcu::McuError::BusFault {
+            addr: map::FLASH.start,
+        }));
+    }
+    // Erase: flash programs 1→0, so a real update always erases first.
+    let zeros = vec![0u8; map::FLASH.len() as usize];
+    mcu.program_flash(&zeros)?;
+    mcu.advance_active(zeros.len() as u64 * ERASE_CYCLES_PER_BYTE);
+
+    if let Some(k) = tear_at {
+        let k = k.min(image.len());
+        mcu.program_flash(&image[..k])?;
+        mcu.advance_active(k as u64 * FLASH_CYCLES_PER_BYTE);
+        return Err(AttestError::PowerLoss);
+    }
+
+    mcu.program_flash(image)?;
+    mcu.advance_active(image.len() as u64 * FLASH_CYCLES_PER_BYTE);
+
+    // Install the execute-from-RAM shadow copy of the new image.
+    mcu.dma_copy_flash_to_ram(0, map::APP_IMAGE_MIRROR.start, map::FLASH.len())?;
+
+    Ok(Sha1::digest(mcu.physical_memory().flash()))
+}
+
 /// Executes a *pre-authenticated* command: checks the counter, runs the
 /// command as `Code_Attest`, charges cycles, returns a MACed receipt.
 ///
@@ -161,6 +326,17 @@ pub fn execute_command(
     mcu: &mut Mcu,
     key: &MacKey,
     request: &CommandRequest,
+) -> Result<CommandReceipt, AttestError> {
+    execute_command_with_tear(mcu, key, request, None)
+}
+
+/// [`execute_command`] with a fault-injection hook: `tear_at` cuts power
+/// after that many image bytes of an `UpdateFirmware` are programmed.
+pub(crate) fn execute_command_with_tear(
+    mcu: &mut Mcu,
+    key: &MacKey,
+    request: &CommandRequest,
+    tear_at: Option<usize>,
 ) -> Result<CommandReceipt, AttestError> {
     let last = read_command_counter(mcu)?;
     if request.counter <= last {
@@ -187,11 +363,7 @@ pub fn execute_command(
             mcu.bus_read(map::APP_RAM.start, &mut region, map::ATTEST_PC)?;
             Sha1::digest(&region)
         }
-        Command::UpdateFirmware { image } => {
-            mcu.program_flash(image)?;
-            mcu.advance_active(image.len() as u64 * FLASH_CYCLES_PER_BYTE);
-            Sha1::digest(mcu.physical_memory().flash())
-        }
+        Command::UpdateFirmware { image } => apply_firmware_image(mcu, image, tear_at)?,
     };
 
     let tag = key.compute(&CommandReceipt::tag_message(
@@ -286,6 +458,116 @@ mod tests {
         assert_eq!(&mcu.physical_memory().flash()[..image.len()], &image[..]);
         let expected = Sha1::digest(mcu.physical_memory().flash());
         assert!(receipt.verify(&k, &Command::UpdateFirmware { image }, &expected));
+    }
+
+    #[test]
+    fn update_digest_matches_helper_and_installs_mirror() {
+        let mut mcu = Mcu::new();
+        let k = key();
+        let image = b"firmware v2".to_vec();
+        let receipt = execute_command(
+            &mut mcu,
+            &k,
+            &request(
+                1,
+                Command::UpdateFirmware {
+                    image: image.clone(),
+                },
+            ),
+        )
+        .unwrap();
+        assert_eq!(receipt.post_state_digest, updated_flash_digest(&image));
+        // The execute-from-RAM mirror holds the new image.
+        let mut buf = [0u8; 11];
+        mcu.bus_read(map::APP_IMAGE_MIRROR.start, &mut buf, map::APP_CODE)
+            .unwrap();
+        assert_eq!(&buf, image.as_slice());
+    }
+
+    #[test]
+    fn erase_then_program_clears_old_image_tail() {
+        let mut mcu = Mcu::new();
+        let k = key();
+        let long = vec![0xAA; 1000];
+        execute_command(
+            &mut mcu,
+            &k,
+            &request(1, Command::UpdateFirmware { image: long }),
+        )
+        .unwrap();
+        let short = b"tiny".to_vec();
+        let receipt = execute_command(
+            &mut mcu,
+            &k,
+            &request(
+                2,
+                Command::UpdateFirmware {
+                    image: short.clone(),
+                },
+            ),
+        )
+        .unwrap();
+        // No 0xAA residue past the short image: erase preceded program.
+        assert_eq!(receipt.post_state_digest, updated_flash_digest(&short));
+        assert!(mcu.physical_memory().flash()[4..1000]
+            .iter()
+            .all(|b| *b == 0));
+    }
+
+    #[test]
+    fn torn_flash_matches_neither_image() {
+        let mut mcu = Mcu::new();
+        let old = b"old image".to_vec();
+        mcu.program_flash(&old).unwrap();
+        let new = b"new image, longer".to_vec();
+        let err = apply_firmware_image(&mut mcu, &new, Some(5)).unwrap_err();
+        assert_eq!(err, AttestError::PowerLoss);
+        let torn = Sha1::digest(mcu.physical_memory().flash());
+        assert_ne!(torn, updated_flash_digest(&old));
+        assert_ne!(torn, updated_flash_digest(&new));
+        // Prefix programmed, rest erased.
+        assert_eq!(&mcu.physical_memory().flash()[..5], &new[..5]);
+        assert!(mcu.physical_memory().flash()[5..].iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn command_request_wire_roundtrip() {
+        for command in [
+            Command::Ping,
+            Command::EraseAppRam,
+            Command::UpdateFirmware {
+                image: vec![1, 2, 3, 4],
+            },
+        ] {
+            let req = CommandRequest {
+                counter: 77,
+                command,
+                auth: vec![9; 12],
+            };
+            let parsed = CommandRequest::from_bytes(&req.to_bytes()).unwrap();
+            assert_eq!(parsed, req);
+        }
+        assert!(CommandRequest::from_bytes(&[0; 5]).is_err());
+        // Trailing garbage rejected.
+        let mut bytes = CommandRequest {
+            counter: 1,
+            command: Command::Ping,
+            auth: Vec::new(),
+        }
+        .to_bytes();
+        bytes.push(0);
+        assert!(CommandRequest::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn command_receipt_wire_roundtrip() {
+        let mut mcu = Mcu::new();
+        let k = key();
+        let receipt = execute_command(&mut mcu, &k, &request(1, Command::Ping)).unwrap();
+        let parsed = CommandReceipt::from_bytes(&receipt.to_bytes()).unwrap();
+        assert_eq!(parsed, receipt);
+        assert!(parsed.verify(&k, &Command::Ping, &Sha1::digest(b"pong")));
+        assert!(CommandReceipt::from_bytes(&[0; 10]).is_err());
     }
 
     #[test]

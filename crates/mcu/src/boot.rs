@@ -77,6 +77,30 @@ impl SecureBoot {
         mcu.mpu_mut().lock();
         Ok(())
     }
+
+    /// Recovery boot: installs `rules` and locks the EA-MPU **without**
+    /// checking the flash digest.
+    ///
+    /// This is the OTA safety net. A power loss mid-update leaves flash
+    /// holding neither the old nor the new image; refusing to come up
+    /// (the [`SecureBoot::run`] behaviour) would brick the device. The
+    /// recovery path instead arms the trust anchor's protections — the
+    /// attestation key, counter and clock words are exactly as defended
+    /// as in a healthy boot — and lets the device come up *unattestable*:
+    /// any attestation it produces matches neither reference image, so a
+    /// verifier sees the torn state immediately and can re-issue the
+    /// update. The application image is never executed from this state.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuFull`] if `rules` exceed the MPU capacity.
+    pub fn run_recovery(&self, mcu: &mut Mcu, rules: &[Rule]) -> Result<(), McuError> {
+        for rule in rules {
+            mcu.mpu_mut().add_rule(*rule)?;
+        }
+        mcu.mpu_mut().lock();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +158,27 @@ mod tests {
         );
         let rules = vec![rule; crate::device::DEFAULT_MPU_CAPACITY + 1];
         assert!(matches!(booted_mcu(&rules), Err(McuError::MpuFull { .. })));
+    }
+
+    #[test]
+    fn recovery_boot_locks_without_digest_check() {
+        let mut mcu = Mcu::new();
+        mcu.program_flash(b"good image").unwrap();
+        let reference = image_digest(mcu.physical_memory().flash());
+        // Torn flash: neither image. A normal boot refuses...
+        mcu.program_flash(b"good imag\0").unwrap();
+        let boot = SecureBoot::new(reference);
+        assert!(boot.run(&mut mcu, &[]).is_err());
+        // ...but recovery still arms the protections.
+        let rule = Rule::new(
+            "K_Attest",
+            map::ATTEST_KEY,
+            map::ATTEST_CODE,
+            Permissions::READ_ONLY,
+        );
+        boot.run_recovery(&mut mcu, &[rule]).unwrap();
+        assert!(mcu.mpu().is_locked());
+        assert_eq!(mcu.mpu().rules().len(), 1);
     }
 
     #[test]

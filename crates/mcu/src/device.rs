@@ -512,6 +512,37 @@ impl Mcu {
         Ok(())
     }
 
+    /// Kicks the flash controller's DMA engine: copies `len` flash bytes
+    /// starting at flash offset `flash_off` into RAM at `ram_addr`. The
+    /// transfer runs on a dedicated port behind the dirty-tracking memory
+    /// controller, so **no dirty bits are set** — callers performing a
+    /// firmware update must follow up with [`Mcu::mark_dirty_region`] or
+    /// the attestation cache will keep trusting digests of the old bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if either span leaves its region.
+    pub fn dma_copy_flash_to_ram(
+        &mut self,
+        flash_off: u32,
+        ram_addr: u32,
+        len: u32,
+    ) -> Result<(), McuError> {
+        self.memory.dma_copy_flash_to_ram(flash_off, ram_addr, len)
+    }
+
+    /// Sets the dirty bit of every segment overlapping the RAM span —
+    /// the software "mark dirty" register. Setting bits is open to all
+    /// code (only clearing is PC-gated to `Code_Attest`), because a set
+    /// bit can only make the next attestation *more* honest.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if the span leaves RAM.
+    pub fn mark_dirty_region(&mut self, ram_addr: u32, len: u32) -> Result<(), McuError> {
+        self.memory.mark_dirty_region(ram_addr, len)
+    }
+
     // ---- RTC ------------------------------------------------------------------
 
     /// Reads the dedicated RTC (if installed) as `pc`, through the bus.

@@ -124,6 +124,11 @@ pub const TRUST_STATE: AddrRange = AddrRange::new(0x0010_0090, 0x0010_00a8);
 /// General-purpose application RAM (everything after the reserved words).
 pub const APP_RAM: AddrRange = AddrRange::new(0x0010_0100, 0x0018_0000);
 
+/// RAM window holding the execute-from-RAM shadow copy of the flash
+/// image (installed by the flash controller's DMA engine after a
+/// firmware update; flash-sized, at the bottom of application RAM).
+pub const APP_IMAGE_MIRROR: AddrRange = AddrRange::new(APP_RAM.start, APP_RAM.start + FLASH.len());
+
 /// Flash window treated as the untrusted application's code region.
 pub const APP_CODE_RANGE: AddrRange = AddrRange::new(0x0001_0000, 0x0005_0000);
 
@@ -175,6 +180,12 @@ mod tests {
         for sub in [COUNTER_R, CLOCK_MSB, IDT, TRUST_STATE, APP_RAM] {
             assert!(RAM.contains_span(sub.start, sub.len()), "{sub} outside RAM");
         }
+    }
+
+    #[test]
+    fn image_mirror_is_flash_sized_and_inside_app_ram() {
+        assert_eq!(APP_IMAGE_MIRROR.len(), FLASH.len());
+        assert!(APP_RAM.contains_span(APP_IMAGE_MIRROR.start, APP_IMAGE_MIRROR.len()));
     }
 
     #[test]

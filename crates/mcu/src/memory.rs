@@ -169,6 +169,60 @@ impl PhysicalMemory {
         })
     }
 
+    /// DMA-copies `len` bytes of flash (from flash offset `flash_off`)
+    /// into RAM at address `ram_addr`, **bypassing the dirty tracker**.
+    ///
+    /// Models the flash controller's DMA engine on execute-from-RAM
+    /// parts: it moves data over a dedicated port *behind* the memory
+    /// controller, so the per-segment dirty bits never see the transfer.
+    /// That is faithful hardware behaviour — and exactly why software
+    /// performing a firmware update must explicitly mark the mirrored
+    /// region dirty afterwards, or the incremental attestation cache will
+    /// keep serving digests of the *old* image as trusted.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if either span leaves its region.
+    pub fn dma_copy_flash_to_ram(
+        &mut self,
+        flash_off: u32,
+        ram_addr: u32,
+        len: u32,
+    ) -> Result<(), McuError> {
+        if !map::FLASH.contains_span(map::FLASH.start + flash_off, len) {
+            return Err(McuError::BusFault {
+                addr: map::FLASH.start + flash_off,
+            });
+        }
+        if !map::RAM.contains_span(ram_addr, len) {
+            return Err(McuError::BusFault { addr: ram_addr });
+        }
+        let src = flash_off as usize;
+        let dst = (ram_addr - map::RAM.start) as usize;
+        let n = len as usize;
+        self.ram[dst..dst + n].copy_from_slice(&self.flash[src..src + n]);
+        // Deliberately NO mark_dirty_span here: the DMA port is not
+        // routed through the dirty-tracking memory controller.
+        Ok(())
+    }
+
+    /// Sets the dirty bit of every segment overlapping the RAM span
+    /// `[ram_addr, ram_addr + len)` — the software-visible "mark dirty"
+    /// register. Anyone may *set* bits (only clearing is PC-gated), so
+    /// update code uses this to tell the attestation cache that a DMA
+    /// transfer changed memory behind the tracker's back.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::BusFault`] if the span leaves RAM.
+    pub fn mark_dirty_region(&mut self, ram_addr: u32, len: u32) -> Result<(), McuError> {
+        if !map::RAM.contains_span(ram_addr, len) {
+            return Err(McuError::BusFault { addr: ram_addr });
+        }
+        self.mark_dirty_span((ram_addr - map::RAM.start) as usize, len as usize);
+        Ok(())
+    }
+
     /// Zeroes all of RAM — what a power cycle does to volatile memory.
     /// ROM and flash are non-volatile and survive. Every dirty bit comes
     /// back **set**: the wipe changed the contents, and the dirty map
@@ -315,6 +369,37 @@ mod tests {
     fn ram_slice_is_full_size() {
         let mem = PhysicalMemory::new();
         assert_eq!(mem.ram().len(), 512 * 1024);
+    }
+
+    #[test]
+    fn dma_copy_bypasses_dirty_tracking() {
+        let mut mem = PhysicalMemory::new();
+        mem.program_flash(map::FLASH.start, b"firmware v2").unwrap();
+        // Clear every bit so the bypass is observable.
+        for i in 0..mem.segment_count() {
+            mem.clear_dirty(i);
+        }
+        mem.dma_copy_flash_to_ram(0, map::APP_RAM.start, 11)
+            .unwrap();
+        let mut buf = [0u8; 11];
+        mem.read(map::APP_RAM.start, &mut buf).unwrap();
+        assert_eq!(&buf, b"firmware v2");
+        // The DMA port is behind the dirty tracker: no bit tripped.
+        assert!((0..mem.segment_count()).all(|i| !mem.segment_dirty(i)));
+        // The explicit mark register closes the gap.
+        mem.mark_dirty_region(map::APP_RAM.start, 11).unwrap();
+        let seg = ((map::APP_RAM.start - map::RAM.start) / mem.segment_len()) as usize;
+        assert!(mem.segment_dirty(seg));
+    }
+
+    #[test]
+    fn dma_copy_bounds_checked() {
+        let mut mem = PhysicalMemory::new();
+        assert!(mem
+            .dma_copy_flash_to_ram(map::FLASH.len() - 4, map::RAM.start, 8)
+            .is_err());
+        assert!(mem.dma_copy_flash_to_ram(0, map::RAM.end - 4, 8).is_err());
+        assert!(mem.mark_dirty_region(map::RAM.end - 4, 8).is_err());
     }
 
     fn clear_all(mem: &mut PhysicalMemory) {

@@ -8,9 +8,13 @@
 //! cargo run --example fleet_monitor
 //! ```
 
+use proverguard_attest::campaign::{
+    CampaignAction, CampaignConfig, CampaignController, DeviceOutcome, ImageId,
+};
 use proverguard_attest::freshness::patch_expected_image;
 use proverguard_attest::message::FreshnessField;
 use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::services::Command;
 use proverguard_attest::verifier::Verifier;
 use proverguard_mcu::map;
 
@@ -92,5 +96,93 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfleet sweep cost {total_device_ms:.0} ms of device compute in total.");
     println!("(each accepted attestation is the §3.1 ~754 ms whole-memory MAC —");
     println!(" which is exactly why provers must not perform it for impostors.)");
+
+    // ---- phase 2: a staged firmware rollout reaches the canaries ----------
+    //
+    // Mid-campaign, the fleet is *heterogeneous*: the canary wave runs v2
+    // while the rest still runs v1. The verifier must resolve each
+    // device's expected image from its campaign state — patching the
+    // fleet-wide target into every expectation would flag every
+    // not-yet-updated device (or every canary) as compromised.
+    println!("\nstaged rollout of firmware v2 (canary wave = 2 devices):");
+    let mut campaign = CampaignController::new(
+        fleet.len(),
+        CampaignConfig {
+            canary_size: 2,
+            ..CampaignConfig::default()
+        },
+    );
+    let mut new_golden: Vec<Option<Vec<u8>>> = vec![None; fleet.len()];
+    for action in campaign.tick(0) {
+        if let CampaignAction::SendUpdate { device: i, .. } = action {
+            let request = verifier.make_command(Command::UpdateFirmware {
+                image: format!("sensor firmware v2 (unit {i})").into_bytes(),
+            });
+            fleet[i].prover.handle_command(&request)?;
+            new_golden[i] = Some(fleet[i].prover.expected_memory().to_vec());
+            campaign.report(i, DeviceOutcome::UpdateOk, 0);
+            println!(
+                "  {:<10} flashed v2 — awaiting gating attestation",
+                fleet[i].name
+            );
+        }
+    }
+
+    // The sweep resolves each expectation per campaign state.
+    for (i, device) in fleet.iter_mut().enumerate() {
+        let request = verifier.make_request()?;
+        let FreshnessField::Counter(issued) = request.freshness else {
+            unreachable!("counter policy issues counters");
+        };
+        let golden = match campaign.expected_image(i) {
+            ImageId::New => new_golden[i].as_ref().expect("updated device"),
+            ImageId::Old => &device.golden_ram,
+        };
+        let response = device.prover.handle_request(&request)?;
+        let healthy = verifier.check_response(&request, &response, &expected_image(golden, issued));
+        println!(
+            "  {:<10} expected {:?} image -> {}",
+            device.name,
+            campaign.expected_image(i),
+            if healthy {
+                "HEALTHY"
+            } else {
+                "COMPROMISED — memory changed!"
+            }
+        );
+        if matches!(campaign.expected_image(i), ImageId::New) {
+            campaign.report(
+                i,
+                if healthy {
+                    DeviceOutcome::AttestedExpected
+                } else {
+                    DeviceOutcome::AttestedOther
+                },
+                1,
+            );
+        }
+    }
+
+    // The bug the per-device resolution prevents: judge a canary against
+    // the fleet-wide *old* image and it reads as an infection.
+    let request = verifier.make_request()?;
+    let FreshnessField::Counter(issued) = request.freshness else {
+        unreachable!("counter policy issues counters");
+    };
+    let response = fleet[0].prover.handle_request(&request)?;
+    let stale_judgement = verifier.check_response(
+        &request,
+        &response,
+        &expected_image(&fleet[0].golden_ram, issued),
+    );
+    println!(
+        "\njudging {} against the fleet-wide v1 image: {}",
+        fleet[0].name,
+        if stale_judgement {
+            "HEALTHY (?!)"
+        } else {
+            "COMPROMISED — the per-wave expectation is not optional"
+        }
+    );
     Ok(())
 }

@@ -1,0 +1,237 @@
+//! Exhaustive convergence check for the OTA campaign state machine: a
+//! 5-device campaign is driven over *every* assignment of scripted
+//! device behaviours (ok / flaky / deaf / wrong-image / roaming — 5⁵ =
+//! 3,125 campaigns) and the terminal state of every device is compared
+//! against an independently written reference model of the per-device
+//! rollout FSM. The reference model is a direct simulation of one
+//! device's behaviour stream — no shared code with
+//! [`CampaignController`] beyond the outcome vocabulary.
+
+use proverguard_attest::campaign::{
+    CampaignAction, CampaignConfig, CampaignController, CampaignPhase, DeviceOutcome, DeviceState,
+};
+
+const DEVICES: usize = 5;
+const MAX_ATTEMPTS: u32 = 3;
+const ROAM_RETURN_TICKS: u64 = 3;
+
+/// The scripted behaviours a device can be assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Behavior {
+    /// Every action succeeds.
+    Ok,
+    /// The first two actions time out, everything after succeeds.
+    Flaky,
+    /// Every action times out: the retry budget must fail the device.
+    Deaf,
+    /// The flash succeeds but every attestation is a valid MAC over the
+    /// wrong image: the device must be quarantined.
+    Wrong,
+    /// The first action finds the device roaming; it returns
+    /// [`ROAM_RETURN_TICKS`] later and then behaves like `Ok`.
+    Roam,
+}
+
+const BEHAVIORS: [Behavior; 5] = [
+    Behavior::Ok,
+    Behavior::Flaky,
+    Behavior::Deaf,
+    Behavior::Wrong,
+    Behavior::Roam,
+];
+
+/// Per-device script interpreter: stateful, consumed one action at a
+/// time by the campaign driver.
+struct Script {
+    behavior: Behavior,
+    actions_seen: u32,
+    offline_until: Option<u64>,
+    parked_pending: bool,
+}
+
+impl Script {
+    fn new(behavior: Behavior) -> Self {
+        Script {
+            behavior,
+            actions_seen: 0,
+            offline_until: None,
+            parked_pending: false,
+        }
+    }
+
+    /// The device's reply to one campaign action at tick `now`.
+    fn respond(&mut self, action: CampaignAction, now: u64) -> DeviceOutcome {
+        self.actions_seen += 1;
+        match self.behavior {
+            Behavior::Ok => ok_outcome(action),
+            Behavior::Flaky => {
+                if self.actions_seen <= 2 {
+                    DeviceOutcome::Timeout
+                } else {
+                    ok_outcome(action)
+                }
+            }
+            Behavior::Deaf => DeviceOutcome::Timeout,
+            Behavior::Wrong => match action {
+                CampaignAction::SendUpdate { .. } => DeviceOutcome::UpdateOk,
+                CampaignAction::Attest { .. } => DeviceOutcome::AttestedOther,
+            },
+            Behavior::Roam => {
+                if self.actions_seen == 1 {
+                    self.offline_until = Some(now + ROAM_RETURN_TICKS);
+                    self.parked_pending = true;
+                    DeviceOutcome::Offline
+                } else {
+                    ok_outcome(action)
+                }
+            }
+        }
+    }
+
+    /// Whether the parked device has returned by `now` (drained once).
+    fn returns_at(&mut self, now: u64) -> bool {
+        if let Some(until) = self.offline_until {
+            if self.parked_pending && now >= until {
+                self.parked_pending = false;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn ok_outcome(action: CampaignAction) -> DeviceOutcome {
+    match action {
+        CampaignAction::SendUpdate { .. } => DeviceOutcome::UpdateOk,
+        CampaignAction::Attest { .. } => DeviceOutcome::AttestedExpected,
+    }
+}
+
+/// The independent reference model: simulate one device's rollout FSM
+/// directly — flash stage then verify stage, each with a bounded retry
+/// budget — against the behaviour's outcome stream, and predict the
+/// terminal [`DeviceState`].
+fn reference_final_state(behavior: Behavior) -> DeviceState {
+    // Timeouts charge the *current* stage's budget; a behaviour's
+    // timeouts all land before any success, so the worst case is easy to
+    // fold: `Flaky` spends 2 of MAX_ATTEMPTS in the flash stage and
+    // still lands both stages; `Deaf` exhausts the flash stage.
+    match behavior {
+        Behavior::Ok | Behavior::Roam => DeviceState::Healthy,
+        Behavior::Flaky => {
+            if 2 < MAX_ATTEMPTS {
+                DeviceState::Healthy
+            } else {
+                DeviceState::Failed
+            }
+        }
+        Behavior::Deaf => DeviceState::Failed,
+        Behavior::Wrong => DeviceState::Quarantined,
+    }
+}
+
+/// A campaign config with the halt thresholds disarmed, so every script
+/// assignment must run to `Complete` and terminal states are per-device
+/// properties (the halt path is exercised separately below).
+fn no_halt_config() -> CampaignConfig {
+    CampaignConfig {
+        canary_size: 1,
+        wave_growth: 2,
+        max_attempts: MAX_ATTEMPTS,
+        halt_failure_ewma: 1.0, // EWMA can never strictly exceed 1.0
+        ewma_alpha: 0.5,
+        min_halt_samples: 1,
+        breaker_trip_halt: u64::MAX,
+        wave_deadline: 2,
+        max_inflight: 16,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Drives one scripted campaign to a terminal phase. Returns the tick
+/// count; panics (with context) if the campaign fails to converge.
+fn drive(controller: &mut CampaignController, scripts: &mut [Script], budget: u64) -> u64 {
+    for now in 0..budget {
+        for (i, script) in scripts.iter_mut().enumerate() {
+            if script.returns_at(now) {
+                controller.report(i, DeviceOutcome::CameOnline, now);
+            }
+        }
+        let actions = controller.tick(now);
+        if controller.phase().is_terminal() {
+            return now;
+        }
+        // Invariant: at most one in-flight action per device per tick.
+        let mut seen = [false; DEVICES];
+        for action in actions {
+            let device = action.device();
+            assert!(
+                !seen[device],
+                "device {device} dispatched twice in one tick"
+            );
+            seen[device] = true;
+            let outcome = scripts[device].respond(action, now);
+            controller.report(device, outcome, now);
+        }
+    }
+    panic!("campaign did not converge within {budget} ticks");
+}
+
+#[test]
+fn exhaustive_scripted_campaigns_match_reference_model() {
+    // Every one of the 5^DEVICES behaviour assignments.
+    for assignment in 0..BEHAVIORS.len().pow(DEVICES as u32) {
+        let behaviors: Vec<Behavior> = (0..DEVICES)
+            .map(|d| BEHAVIORS[(assignment / BEHAVIORS.len().pow(d as u32)) % BEHAVIORS.len()])
+            .collect();
+        let mut scripts: Vec<Script> = behaviors.iter().map(|&b| Script::new(b)).collect();
+        let mut controller = CampaignController::new(DEVICES, no_halt_config());
+        drive(&mut controller, &mut scripts, 200);
+
+        assert_eq!(
+            controller.phase(),
+            CampaignPhase::Complete,
+            "assignment {behaviors:?} must complete with halts disarmed"
+        );
+        for (i, &behavior) in behaviors.iter().enumerate() {
+            let expected = reference_final_state(behavior);
+            assert_eq!(
+                controller.device_state(i),
+                expected,
+                "assignment {behaviors:?}: device {i} ({behavior:?}) diverged from the \
+                 reference model"
+            );
+        }
+    }
+}
+
+#[test]
+fn scripted_bad_canary_matches_halt_model() {
+    // With the EWMA armed and the canary deaf-failing its attestations,
+    // the reference prediction is: halt during wave 1, then every
+    // non-quarantined device re-attests the old image.
+    let config = CampaignConfig {
+        halt_failure_ewma: 0.4,
+        breaker_trip_halt: u64::MAX,
+        ..no_halt_config()
+    };
+    let mut controller = CampaignController::new(DEVICES, config);
+    let mut scripts: Vec<Script> = vec![
+        Script::new(Behavior::Wrong), // canary: quarantined, EWMA 0.5 > 0.4
+        Script::new(Behavior::Ok),
+        Script::new(Behavior::Ok),
+        Script::new(Behavior::Ok),
+        Script::new(Behavior::Ok),
+    ];
+    drive(&mut controller, &mut scripts, 200);
+    assert_eq!(controller.phase(), CampaignPhase::RolledBack);
+    assert_eq!(controller.device_state(0), DeviceState::Quarantined);
+    for i in 1..DEVICES {
+        assert_eq!(
+            controller.device_state(i),
+            DeviceState::RolledBack,
+            "device {i} must have re-attested the old image"
+        );
+    }
+    assert_eq!(controller.stats().healthy, 0);
+}
