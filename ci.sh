@@ -37,4 +37,7 @@ cargo run --release -q -p proverguard-bench --bin segcache_bench -- --ci
 echo "== campaign soak (staged OTA rollout gate, emits BENCH_campaign.json) =="
 cargo run --release -q -p proverguard-bench --bin campaign_soak -- --ci
 
+echo "== toctou bench (epoch-log transient-malware gate, emits BENCH_toctou.json) =="
+cargo run --release -q -p proverguard-bench --bin toctou_bench -- --ci
+
 echo "CI green."

@@ -371,7 +371,10 @@ impl SessionLink for FaultyLink {
 
         let response_bytes = match self.deliver(&bytes) {
             Ok(b) => b,
-            Err(AttestError::Rejected(reason)) => return AttemptOutcome::Rejected(reason),
+            Err(AttestError::Rejected(reason)) => {
+                self.world.verifier.note_failed(&request);
+                return AttemptOutcome::Rejected(reason);
+            }
             Err(e) => return AttemptOutcome::Error(e),
         };
 
@@ -400,15 +403,21 @@ impl SessionLink for FaultyLink {
         }
 
         let Ok(response) = AttestResponse::from_bytes(&response_bytes) else {
+            self.world.verifier.note_failed(&request);
             return AttemptOutcome::BadResponse;
         };
-        if self.world.verifier.check_response(
-            &request,
-            &response,
-            self.world.prover.expected_memory(),
-        ) {
+        let expected = self.world.prover.expected_memory().to_vec();
+        if self
+            .world
+            .verifier
+            .check_response(&request, &response, &expected)
+        {
+            self.world
+                .verifier
+                .note_verified(&request, &response, &expected);
             AttemptOutcome::Success
         } else {
+            self.world.verifier.note_failed(&request);
             AttemptOutcome::BadResponse
         }
     }

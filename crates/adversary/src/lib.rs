@@ -28,6 +28,11 @@
 //!   combined fault + flood pressure, scheduled by the verifier-side
 //!   [`FleetController`](proverguard_attest::fleet::FleetController),
 //!   graded against deterministic liveness invariants.
+//! - [`toctou`] — the transient-malware adversary: infect a segment of
+//!   the application image, act, restore the original bytes between
+//!   rounds. Defeats `Whole` and `Segmented` sweeps (content is pristine
+//!   at check time), caught by `History` rounds via the per-segment
+//!   last-write epoch log.
 //!
 //! # Example
 //!
@@ -55,6 +60,7 @@ pub mod fault;
 pub mod report;
 pub mod roam;
 pub mod soak;
+pub mod toctou;
 pub mod wire;
 pub mod workload;
 pub mod world;
@@ -64,5 +70,6 @@ pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultyLink};
 pub use report::SuiteReport;
 pub use roam::{RoamAttack, RoamOutcome};
 pub use soak::{run_soak, DeviceRole, DeviceSummary, SoakConfig, SoakReport};
+pub use toctou::{immutable_segments, toctou_alarm, TransientMalware};
 pub use wire::{forgery_flood, junk_frame_flood, raw_garbage_flood, FaultyTransport, FloodStats};
 pub use world::World;

@@ -39,12 +39,13 @@ use proverguard_attest::freshness::FreshnessKind;
 use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
 use proverguard_attest::prover::{Prover, ProverConfig};
 use proverguard_attest::session::{RetryPolicy, SessionDriver};
-use proverguard_attest::verifier::Verifier;
+use proverguard_attest::verifier::{ScopePolicy, Verifier};
 use proverguard_attest::AdmissionPolicy;
 use proverguard_mcu::energy::{Battery, DEFAULT_NJ_PER_CYCLE};
 use proverguard_telemetry::metrics;
 
 use crate::fault::{FaultConfig, FaultyLink};
+use crate::toctou::{toctou_alarm, TransientMalware};
 use crate::world::{World, DEFAULT_IMAGE, DEFAULT_KEY};
 
 /// Key provisioned into compromised devices: `Adv_roam` re-flashed the
@@ -60,12 +61,17 @@ pub enum DeviceRole {
     Faulty,
     /// Wrong key: attestation can never verify.
     Compromised,
+    /// Correct key, clean channel — but transient malware runs an
+    /// infect/act/restore cycle between rounds. Every digest verifies;
+    /// only a `History`-scope policy sees the write events.
+    Transient,
 }
 
 /// One soak scenario. Device slots are laid out deterministically:
 /// indices `[0, compromised_devices)` are compromised, the next
-/// `faulty_devices` slots are honest-but-faulty, the rest are honest
-/// with clean channels.
+/// `faulty_devices` slots are honest-but-faulty, the next
+/// `transient_devices` slots run transient malware, and the rest are
+/// honest with clean channels.
 #[derive(Debug, Clone)]
 pub struct SoakConfig {
     /// Human-readable label for reports.
@@ -78,6 +84,13 @@ pub struct SoakConfig {
     pub compromised_devices: usize,
     /// How many devices sit behind a faulty channel.
     pub faulty_devices: usize,
+    /// How many devices run transient malware between rounds.
+    pub transient_devices: usize,
+    /// Scope policy installed into every device's verifier. With
+    /// [`ScopePolicy::History`], transient devices must be flagged by the
+    /// TOCTOU alarm; with [`ScopePolicy::Full`] their strikes are
+    /// invisible (the contrast `toctou_bench` measures).
+    pub scope_policy: ScopePolicy,
     /// Scheduling rounds to run.
     pub rounds: u64,
     /// Idle wall time per round (simulated ms) — this is also what the
@@ -123,6 +136,8 @@ impl SoakConfig {
             devices: 4,
             compromised_devices: 1,
             faulty_devices: 1,
+            transient_devices: 0,
+            scope_policy: ScopePolicy::Full,
             rounds: 10,
             round_ms,
             flood_per_round: 10,
@@ -162,6 +177,22 @@ impl SoakConfig {
             ..Self::ci()
         }
     }
+
+    /// The CI scenario with the epoch-log defence exercised: segmented
+    /// provers, a `History`-mostly scope policy (one full re-anchor every
+    /// 4 rounds), and one device running transient malware. The grade
+    /// adds invariant 5: the transient device must trip the TOCTOU alarm.
+    #[must_use]
+    pub fn ci_history() -> Self {
+        SoakConfig {
+            label: "ci history".to_string(),
+            devices: 5,
+            transient_devices: 1,
+            scope_policy: ScopePolicy::History { full_every: 4 },
+            config: ProverConfig::recommended_segmented(),
+            ..Self::ci()
+        }
+    }
 }
 
 /// Per-device outcome of a soak.
@@ -183,6 +214,9 @@ pub struct DeviceSummary {
     pub throttled: u64,
     /// Times the device's breaker tripped open.
     pub breaker_trips: u64,
+    /// Verified History rounds whose modified set touched the immutable
+    /// image-mirror segments (the TOCTOU alarm).
+    pub toctou_flags: u64,
     /// Whether the breaker ended the soak closed.
     pub breaker_closed: bool,
     /// Final EWMA health score.
@@ -253,6 +287,8 @@ fn role_of(cfg: &SoakConfig, index: usize) -> DeviceRole {
         DeviceRole::Compromised
     } else if index < cfg.compromised_devices + cfg.faulty_devices {
         DeviceRole::Faulty
+    } else if index < cfg.compromised_devices + cfg.faulty_devices + cfg.transient_devices {
+        DeviceRole::Transient
     } else {
         DeviceRole::Honest
     }
@@ -271,7 +307,7 @@ fn role_of(cfg: &SoakConfig, index: usize) -> DeviceRole {
 pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, AttestError> {
     assert!(cfg.devices > 0 && cfg.rounds > 0, "soak must do something");
     assert!(
-        cfg.compromised_devices + cfg.faulty_devices <= cfg.devices,
+        cfg.compromised_devices + cfg.faulty_devices + cfg.transient_devices <= cfg.devices,
         "more special devices than fleet slots"
     );
 
@@ -287,7 +323,8 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, AttestError> {
         let mut prover = Prover::provision(cfg.config.clone(), key, DEFAULT_IMAGE)?;
         // The verifier always holds the *genuine* fleet key; a compromised
         // prover is exactly one whose key no longer matches it.
-        let verifier = Verifier::new(&cfg.config, &DEFAULT_KEY)?;
+        let mut verifier = Verifier::new(&cfg.config, &DEFAULT_KEY)?;
+        verifier.set_scope_policy(cfg.scope_policy);
         prover
             .mcu_mut()
             .set_battery(Battery::new(cfg.battery_capacity_j, DEFAULT_NJ_PER_CYCLE));
@@ -308,6 +345,15 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, AttestError> {
     let mut sessions = vec![0u64; cfg.devices];
     let mut successes = vec![0u64; cfg.devices];
     let mut min_fraction = vec![1.0f64; cfg.devices];
+    let mut toctou_flags = vec![0u64; cfg.devices];
+    let mut malware: Vec<Option<TransientMalware>> = roles
+        .iter()
+        .map(|r| (*r == DeviceRole::Transient).then(TransientMalware::default))
+        .collect();
+    let seg_len = cfg
+        .config
+        .segmented
+        .map_or(proverguard_mcu::DEFAULT_SEGMENT_LEN, |p| p.segment_len);
     let mut total_flood = 0u64;
     let mut flood_sequence = 0u64;
 
@@ -341,12 +387,29 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, AttestError> {
             cfg.flood_per_round * cfg.devices as u64,
         );
 
+        // Transient malware strikes between rounds: infect, act, restore.
+        // By the time any sweep runs, memory content is pristine — only
+        // the epoch log holds the write events.
+        for (i, slot) in malware.iter_mut().enumerate() {
+            if let Some(m) = slot {
+                m.strike(&mut links[i].world)?;
+            }
+        }
+
         // Bounded-concurrency attestation round.
         for idx in fleet.schedule(now_ms) {
             let report = driver.run(&mut links[idx]);
             sessions[idx] = sessions[idx].saturating_add(1);
             if report.succeeded() {
                 successes[idx] = successes[idx].saturating_add(1);
+                // TOCTOU policy: a verified History round whose modified
+                // set touched the immutable image mirror raises the alarm.
+                if let Some(outcome) = links[idx].world.verifier.last_history() {
+                    if toctou_alarm(outcome, seg_len) {
+                        toctou_flags[idx] = toctou_flags[idx].saturating_add(1);
+                        metrics::counter_add("soak.toctou.alarms", 1);
+                    }
+                }
             }
             fleet.record(idx, &report, now_ms);
         }
@@ -393,6 +456,7 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, AttestError> {
                 .admission()
                 .map_or(0, |a| a.stats().throttled + a.stats().degraded_refused),
             breaker_trips: health.breaker.trips(),
+            toctou_flags: toctou_flags[i],
             breaker_closed: health.breaker.state() == BreakerState::Closed,
             health_score: health.score,
         };
@@ -432,6 +496,42 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, AttestError> {
                     violations.push(format!(
                         "device {i}'s breaker still open after its faults cleared"
                     ));
+                }
+                if summary.toctou_flags > 0 {
+                    violations.push(format!(
+                        "false TOCTOU alarm on honest device {i} ({:?}): {} flags",
+                        roles[i], summary.toctou_flags
+                    ));
+                }
+            }
+            DeviceRole::Transient => {
+                // Invariant 5: the infect/act/restore device keeps
+                // verifying (every digest matches), but under a History
+                // policy the epoch log must expose the write events.
+                if summary.successes == 0 {
+                    violations.push(format!(
+                        "transient device {i} never attested in {} rounds",
+                        cfg.rounds
+                    ));
+                }
+                match cfg.scope_policy {
+                    ScopePolicy::History { .. } => {
+                        if summary.toctou_flags == 0 {
+                            violations.push(format!(
+                                "transient malware on device {i} went undetected \
+                                 under a History scope policy"
+                            ));
+                        }
+                    }
+                    ScopePolicy::Full => {
+                        if summary.toctou_flags > 0 {
+                            violations.push(format!(
+                                "device {i} raised {} TOCTOU flags under a Full \
+                                 scope policy, which never runs History rounds",
+                                summary.toctou_flags
+                            ));
+                        }
+                    }
                 }
             }
             DeviceRole::Compromised => {
@@ -497,6 +597,45 @@ mod tests {
         assert!(compromised.breaker_trips >= 1);
         assert!(honest.successes >= 1);
         assert!(honest.health_score > compromised.health_score);
+    }
+
+    /// A tiny History-policy scenario: one transient device, two honest.
+    fn mini_history() -> SoakConfig {
+        SoakConfig {
+            label: "mini history".to_string(),
+            devices: 3,
+            compromised_devices: 0,
+            faulty_devices: 0,
+            transient_devices: 1,
+            rounds: 6,
+            flood_per_round: 2,
+            faults_clear_at_round: 0,
+            ..SoakConfig::ci_history()
+        }
+    }
+
+    #[test]
+    fn mini_history_soak_flags_only_the_transient_device() {
+        let report = run_soak(&mini_history()).unwrap();
+        assert!(report.liveness_ok(), "violations: {:?}", report.violations);
+        let transient = &report.devices[0];
+        assert_eq!(transient.role, DeviceRole::Transient);
+        assert!(transient.successes >= 1, "every digest still verifies");
+        assert!(
+            transient.toctou_flags >= 1,
+            "epoch log must expose the strikes"
+        );
+        for honest in &report.devices[1..] {
+            assert_eq!(honest.role, DeviceRole::Honest);
+            assert_eq!(honest.toctou_flags, 0, "no false alarms");
+        }
+    }
+
+    #[test]
+    fn mini_history_soak_is_deterministic() {
+        let a = run_soak(&mini_history()).unwrap();
+        let b = run_soak(&mini_history()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -838,14 +838,20 @@ impl SessionLink for GatewayLink<'_> {
                         return AttemptOutcome::BadResponse;
                     };
                     let expected = self.entry.expected_for(&request.freshness);
-                    let verifier = self.entry.verifier.lock().expect("verifier lock poisoned");
+                    let mut verifier = self.entry.verifier.lock().expect("verifier lock poisoned");
                     if verifier.check_response(&request, &response, &expected) {
+                        verifier.note_verified(&request, &response, &expected);
                         AttemptOutcome::Success
                     } else {
+                        verifier.note_failed(&request);
                         AttemptOutcome::BadResponse
                     }
                 }
-                Ok(GatewayMsg::Reject(reason)) => AttemptOutcome::Rejected(reason),
+                Ok(GatewayMsg::Reject(reason)) => {
+                    let mut verifier = self.entry.verifier.lock().expect("verifier lock poisoned");
+                    verifier.note_failed(&request);
+                    AttemptOutcome::Rejected(reason)
+                }
                 _ => AttemptOutcome::BadResponse,
             },
             Err(TransportError::Timeout) => AttemptOutcome::ResponseLost,

@@ -77,11 +77,12 @@ pub use gateway::{
 };
 pub use message::{AttestRequest, AttestResponse, AttestScope, FreshnessField};
 pub use persist::{
-    FreshnessRecord, InMemoryNvStore, PersistedState, RecoveryOutcome, SharedNvStore,
+    EpochLogRecord, FreshnessRecord, InMemoryNvStore, PersistedState, RecoveryOutcome,
+    SharedNvStore,
 };
 pub use prover::{Prover, ProverConfig};
-pub use segcache::{SegmentCache, SegmentedParams};
+pub use segcache::{HistoryReport, SegmentCache, SegmentedParams};
 pub use session::{
     AttemptOutcome, DirectLink, RetryPolicy, SessionDriver, SessionLink, SessionReport,
 };
-pub use verifier::Verifier;
+pub use verifier::{HistoryOutcome, ScopePolicy, Verifier};

@@ -1,10 +1,11 @@
 //! Protocol messages and their wire encoding.
 //!
-//! An `attreq` carries a response scope (whole-memory or segmented), a
-//! freshness field (nonce, counter or timestamp — or nothing, for the
-//! unprotected strawman), a 16-byte challenge, and an authenticator
-//! computed over the serialized header. The paper assumes requests fit in
-//! one primitive block (§4.1); our header is 27 bytes, within a single
+//! An `attreq` carries a response scope (whole-memory, segmented, or
+//! history with its `since_round` parameter), a freshness field (nonce,
+//! counter or timestamp — or nothing, for the unprotected strawman), a
+//! 16-byte challenge, and an authenticator computed over the serialized
+//! header. The paper assumes requests fit in one primitive block (§4.1);
+//! our largest header (history × nonce) is 43 bytes, within a single
 //! 64-byte HMAC block.
 
 use crate::error::AttestError;
@@ -32,6 +33,17 @@ pub enum AttestScope {
     /// SHA-1 digests, served from the prover's dirty-bit-invalidated
     /// segment cache (see [`crate::segcache`]).
     Segmented,
+    /// "Which segments were written since round `since_round`, and what
+    /// do the written ones contain now?" — answered from the hardware
+    /// last-write epoch log in near-constant time. The response
+    /// authenticates the modified-segment *set* (the TOCTOU evidence a
+    /// snapshot MAC cannot give) plus fresh digests of exactly those
+    /// segments.
+    History {
+        /// The last round the verifier holds a verified view of; `0`
+        /// bootstraps (every segment reported modified).
+        since_round: u64,
+    },
 }
 
 impl AttestScope {
@@ -39,6 +51,7 @@ impl AttestScope {
         match self {
             AttestScope::Whole => 0,
             AttestScope::Segmented => 1,
+            AttestScope::History { .. } => 2,
         }
     }
 }
@@ -86,9 +99,15 @@ impl AttestRequest {
     /// The bytes the authenticator covers: everything except `auth`.
     #[must_use]
     pub fn signed_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(3 + 16 + CHALLENGE_SIZE);
+        let mut out = Vec::with_capacity(3 + 8 + 16 + CHALLENGE_SIZE);
         out.push(VERSION);
         out.push(self.scope.scope_byte());
+        // The scope *parameter* sits under the authenticator next to its
+        // byte: tampering with `since_round` (to widen or narrow the
+        // window) is a cheap `BadAuth` reject like any other downgrade.
+        if let AttestScope::History { since_round } = self.scope {
+            out.extend_from_slice(&since_round.to_be_bytes());
+        }
         out.push(self.freshness.kind_byte());
         match self.freshness {
             FreshnessField::None => {}
@@ -138,6 +157,11 @@ impl AttestRequest {
         let scope = match take(&mut idx, 1)?[0] {
             0 => AttestScope::Whole,
             1 => AttestScope::Segmented,
+            2 => AttestScope::History {
+                since_round: u64::from_be_bytes(
+                    take(&mut idx, 8)?.try_into().expect("slice is 8 bytes"),
+                ),
+            },
             _ => return Err(malformed("unknown scope")),
         };
         let kind = take(&mut idx, 1)?[0];
@@ -304,6 +328,40 @@ mod tests {
         let mut whole = req.clone();
         whole.scope = AttestScope::Whole;
         assert_ne!(req.signed_bytes(), whole.signed_bytes());
+    }
+
+    #[test]
+    fn history_scope_roundtrips_with_since_round_signed() {
+        for since_round in [0u64, 1, 7, u64::MAX] {
+            let mut req = sample(FreshnessField::Counter(4));
+            req.scope = AttestScope::History { since_round };
+            let parsed = AttestRequest::from_bytes(&req.to_bytes()).unwrap();
+            assert_eq!(parsed, req);
+            assert!(
+                parsed.signed_bytes().len() <= 64,
+                "history header must fit one HMAC block"
+            );
+        }
+        // `since_round` is under the authenticator: widening the window
+        // by one round changes the signed bytes.
+        let mut a = sample(FreshnessField::Counter(4));
+        a.scope = AttestScope::History { since_round: 3 };
+        let mut b = a.clone();
+        b.scope = AttestScope::History { since_round: 4 };
+        assert_ne!(a.signed_bytes(), b.signed_bytes());
+    }
+
+    #[test]
+    fn truncated_history_request_rejected() {
+        let mut req = sample(FreshnessField::Nonce([5; NONCE_SIZE]));
+        req.scope = AttestScope::History { since_round: 9 };
+        let bytes = req.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                AttestRequest::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 
     #[test]

@@ -339,6 +339,133 @@ impl UpdateJournal {
     }
 }
 
+/// Magic bytes identifying an epoch-log record (its own format; the
+/// frozen `PGNVREC2` and `PGUPJRN1` layouts are untouched by history
+/// support).
+const EPOCH_MAGIC: &[u8; 8] = b"PGEPLOG1";
+
+/// Byte length of the fixed header of an encoded (unsealed) epoch-log
+/// record: magic ‖ epoch ‖ segment_len ‖ segment count.
+pub const EPOCH_HEADER_LEN: usize = 8 + 8 + 8 + 8;
+
+/// Hard cap on the per-segment list a decoder will accept (512 KiB RAM /
+/// 64-byte minimum segments = 8192): a forged length word must not drive
+/// an allocation.
+const EPOCH_MAX_SEGMENTS: u64 = 8192;
+
+/// The last-write epoch log worth carrying across a reboot.
+///
+/// The epoch *register* is volatile silicon, so without this record every
+/// power cycle would restart round numbering — handing `Adv_roam` exactly
+/// the rollback the TOCTOU log exists to close (reboot, replay round
+/// numbers, and a verifier's `since_round` quietly points at a different
+/// interval). The record is sealed under the same EA-MAC-derived key as
+/// the freshness record; a rolled-back or forged copy fails the tag and
+/// the prover boots with history *suspended* — `History` requests are
+/// refused until a full-scope round rebuilds trust.
+///
+/// The per-segment epochs are recorded for tamper-evident audit (and the
+/// golden-vector freeze), but restore deliberately does **not** replay
+/// them into the hardware: RAM was wiped, so every segment truly was
+/// just written, and the only sound post-boot log is "everything
+/// modified at the restored epoch".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EpochLogRecord {
+    /// The epoch register at capture time.
+    pub epoch: u64,
+    /// Dirty/epoch-tracking granularity the log was recorded under.
+    pub segment_len: u32,
+    /// Last-write epoch of each RAM segment at capture time.
+    pub segment_epochs: Vec<u64>,
+}
+
+impl EpochLogRecord {
+    /// Reads the live epoch state out of the device.
+    #[must_use]
+    pub fn capture(mcu: &Mcu) -> Self {
+        EpochLogRecord {
+            epoch: mcu.epoch(),
+            segment_len: mcu.segment_len(),
+            segment_epochs: (0..mcu.segment_count())
+                .map(|i| mcu.segment_epoch(i))
+                .collect(),
+        }
+    }
+
+    /// Serializes the record (magic ‖ epoch ‖ segment_len ‖ count ‖
+    /// per-segment epochs, all LE u64 words).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(EPOCH_HEADER_LEN + 8 * self.segment_epochs.len());
+        out.extend_from_slice(EPOCH_MAGIC);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&u64::from(self.segment_len).to_le_bytes());
+        out.extend_from_slice(&(self.segment_epochs.len() as u64).to_le_bytes());
+        for e in &self.segment_epochs {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses an unsealed record; `None` on wrong magic, bad length, an
+    /// absurd segment count, or a per-segment epoch newer than the
+    /// register (an impossible state no honest capture produces).
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < EPOCH_HEADER_LEN || &bytes[..8] != EPOCH_MAGIC {
+            return None;
+        }
+        let word =
+            |i: usize| u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+        let epoch = word(1);
+        let segment_len = u32::try_from(word(2)).ok()?;
+        let count = word(3);
+        if count > EPOCH_MAX_SEGMENTS || bytes.len() != EPOCH_HEADER_LEN + 8 * count as usize {
+            return None;
+        }
+        let segment_epochs: Vec<u64> = (0..count as usize).map(|i| word(4 + i)).collect();
+        if segment_epochs.iter().any(|&e| e > epoch) {
+            return None;
+        }
+        Some(EpochLogRecord {
+            epoch,
+            segment_len,
+            segment_epochs,
+        })
+    }
+
+    /// Serializes with an appended MAC tag under `key`.
+    #[must_use]
+    pub fn seal(&self, key: &MacKey) -> Vec<u8> {
+        let mut out = self.encode();
+        let tag = key.compute(&[SEAL_DOMAIN, &out].concat());
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Parses and verifies a sealed record; `None` when malformed or the
+    /// tag does not verify — a rolled-back log is refused, not restored.
+    #[must_use]
+    pub fn open_sealed(bytes: &[u8], key: &MacKey) -> Option<Self> {
+        if bytes.len() < EPOCH_HEADER_LEN + 8 {
+            return None;
+        }
+        let count = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+        if count > EPOCH_MAX_SEGMENTS {
+            return None;
+        }
+        let record_len = EPOCH_HEADER_LEN + 8 * count as usize;
+        if bytes.len() <= record_len {
+            return None;
+        }
+        let (record, tag) = bytes.split_at(record_len);
+        if !key.verify(&[SEAL_DOMAIN, record].concat(), tag) {
+            return None;
+        }
+        Self::decode(record)
+    }
+}
+
 /// What [`Prover::reboot`](crate::prover::Prover::reboot) found in the
 /// store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -447,6 +574,66 @@ mod tests {
         let mut tampered = sealed.clone();
         tampered[10] ^= 1;
         assert_eq!(UpdateJournal::open_sealed(&tampered, &key()), None);
+    }
+
+    #[test]
+    fn epoch_log_roundtrip_and_seal() {
+        let r = EpochLogRecord {
+            epoch: 9,
+            segment_len: 8192,
+            segment_epochs: vec![1, 4, 9, 9, 2],
+        };
+        assert_eq!(EpochLogRecord::decode(&r.encode()), Some(r.clone()));
+        assert_eq!(EpochLogRecord::decode(&[]), None);
+        assert_eq!(EpochLogRecord::decode(&record().encode()), None);
+        let sealed = r.seal(&key());
+        assert_eq!(
+            EpochLogRecord::open_sealed(&sealed, &key()),
+            Some(r.clone())
+        );
+        for i in 0..sealed.len() {
+            let mut t = sealed.clone();
+            t[i] ^= 0x40;
+            assert_eq!(EpochLogRecord::open_sealed(&t, &key()), None, "byte {i}");
+        }
+        let other = MacKey::new(MacAlgorithm::HmacSha1, &[0x22; 16]).unwrap();
+        assert_eq!(EpochLogRecord::open_sealed(&r.seal(&other), &key()), None);
+    }
+
+    #[test]
+    fn epoch_log_rejects_impossible_and_absurd_records() {
+        // A per-segment epoch newer than the register is unconstructable
+        // by honest capture — refuse it rather than restore it.
+        let bad = EpochLogRecord {
+            epoch: 3,
+            segment_len: 8192,
+            segment_epochs: vec![2, 4],
+        };
+        assert_eq!(EpochLogRecord::decode(&bad.encode()), None);
+        // A forged segment count must not drive an allocation.
+        let mut huge = EpochLogRecord {
+            epoch: 1,
+            segment_len: 64,
+            segment_epochs: vec![],
+        }
+        .encode();
+        huge[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(EpochLogRecord::decode(&huge), None);
+        assert_eq!(EpochLogRecord::open_sealed(&huge, &key()), None);
+    }
+
+    #[test]
+    fn epoch_log_captures_device_state() {
+        let mut mcu = Mcu::new();
+        mcu.advance_epoch(map::ATTEST_PC).unwrap();
+        mcu.bus_write(map::APP_RAM.start, &[1], map::APP_CODE)
+            .unwrap();
+        let r = EpochLogRecord::capture(&mcu);
+        assert_eq!(r.epoch, mcu.epoch());
+        assert_eq!(r.segment_len, mcu.segment_len());
+        assert_eq!(r.segment_epochs.len(), mcu.segment_count());
+        let seg = ((map::APP_RAM.start - map::RAM.start) / mcu.segment_len()) as usize;
+        assert_eq!(r.segment_epochs[seg], mcu.epoch());
     }
 
     #[test]

@@ -26,9 +26,11 @@ use crate::error::{AttestError, RejectReason};
 use crate::freshness::{FreshnessKind, FreshnessPolicy};
 use crate::message::AttestScope;
 use crate::message::{AttestRequest, AttestResponse, FreshnessField};
-use crate::persist::{FreshnessRecord, PersistedState, RecoveryOutcome, UpdateJournal};
+use crate::persist::{
+    EpochLogRecord, FreshnessRecord, PersistedState, RecoveryOutcome, UpdateJournal,
+};
 use crate::profile::{rules_for, Protection};
-use crate::segcache::{self, SegmentCache, SegmentedParams};
+use crate::segcache::{self, HistoryReport, SegmentCache, SegmentedParams};
 use crate::services::{self, Command, CommandReceipt, CommandRequest};
 
 /// How the device last came up.
@@ -216,11 +218,17 @@ pub struct ProverStats {
     /// Wholesale segment-cache invalidations (reboot, EA-MPU fault,
     /// explicit clear).
     pub segcache_invalidations: u64,
+    /// Accepted `History`-scope rounds (the cheap TOCTOU-detecting kind).
+    pub history_rounds: u64,
     /// Reboots survived ([`Prover::reboot`]).
     pub reboots: u64,
     /// Reboots where an attached store's record failed validation and the
     /// prover fell back to zeroed freshness state.
     pub recovery_failures: u64,
+    /// Reboots where the sealed epoch-log record failed validation
+    /// (rollback or forgery) and `History` scope was suspended until the
+    /// next full-scope round.
+    pub epoch_recovery_failures: u64,
     /// Total attestation-related cycles spent.
     pub attestation_cycles: u64,
 }
@@ -294,6 +302,15 @@ pub struct Prover {
     /// One-shot fault injection: cut power after this many image bytes of
     /// the next `UpdateFirmware`.
     tear_next_update: Option<usize>,
+    /// Optional non-volatile slot for the sealed epoch-log record
+    /// (`History` scope rollback detection across reboots).
+    epoch_nv: Option<Box<dyn PersistedState>>,
+    /// Set when the epoch log cannot vouch for rounds before the current
+    /// boot (no sealed record, or one that failed its seal — a rollback
+    /// or forgery signal). While set, `History` requests are refused with
+    /// [`RejectReason::ScopeUnsupported`]; any accepted full-scope round
+    /// re-establishes ground truth and clears it.
+    history_suspended: bool,
 }
 
 impl Prover {
@@ -382,6 +399,8 @@ impl Prover {
             journal_nv: None,
             boot_health: BootHealth::Healthy,
             tear_next_update: None,
+            epoch_nv: None,
+            history_suspended: false,
         })
     }
 
@@ -448,6 +467,38 @@ impl Prover {
         self.journal_nv.is_some()
     }
 
+    /// Attaches a non-volatile slot for the sealed epoch-log record and
+    /// immediately saves the current state into it. With a store attached,
+    /// the per-segment last-write epoch log survives [`Prover::reboot`]:
+    /// the round register is restored monotonically and every segment is
+    /// stamped at the restored round (RAM was wiped, so every byte *was*
+    /// rewritten). A missing, rolled-back or forged record suspends
+    /// [`AttestScope::History`] until a full-scope round completes.
+    pub fn attach_epoch_log_store(&mut self, store: Box<dyn PersistedState>) {
+        self.epoch_nv = Some(store);
+        self.persist_epoch_log();
+    }
+
+    /// `true` when an epoch-log store is attached.
+    #[must_use]
+    pub fn has_epoch_log_store(&self) -> bool {
+        self.epoch_nv.is_some()
+    }
+
+    /// The current attestation round — the value the epoch register holds
+    /// now, i.e. the round the *next* accepted request will run as.
+    #[must_use]
+    pub fn current_round(&self) -> u64 {
+        self.mcu.epoch()
+    }
+
+    /// `true` while `History` scope is suspended pending a full-scope
+    /// round (epoch log lost or tampered across a reboot).
+    #[must_use]
+    pub fn history_suspended(&self) -> bool {
+        self.history_suspended
+    }
+
     /// How the device last booted.
     #[must_use]
     pub fn boot_health(&self) -> BootHealth {
@@ -484,6 +535,28 @@ impl Prover {
         match self.config.protection {
             Protection::EaMac => UpdateJournal::open_sealed(&bytes, &self.response_key),
             Protection::Open => UpdateJournal::decode(&bytes),
+        }
+    }
+
+    fn persist_epoch_log(&mut self) {
+        if self.epoch_nv.is_none() {
+            return;
+        }
+        let record = EpochLogRecord::capture(&self.mcu);
+        let bytes = match self.config.protection {
+            Protection::EaMac => record.seal(&self.response_key),
+            Protection::Open => record.encode(),
+        };
+        if let Some(nv) = &mut self.epoch_nv {
+            nv.save(&bytes);
+        }
+    }
+
+    fn load_epoch_log(&self) -> Option<EpochLogRecord> {
+        let bytes = self.epoch_nv.as_ref()?.load()?;
+        match self.config.protection {
+            Protection::EaMac => EpochLogRecord::open_sealed(&bytes, &self.response_key),
+            Protection::Open => EpochLogRecord::decode(&bytes),
         }
     }
 
@@ -799,6 +872,28 @@ impl Prover {
             self.finish(cost);
             return Err(AttestError::Rejected(RejectReason::ScopeUnsupported));
         }
+        if let AttestScope::History { since_round } = request.scope {
+            // History needs the segment layout (digest granularity) and a
+            // trustworthy epoch log. A suspended log — the sealed record
+            // failed its seal at boot, or there was none to restore —
+            // cannot vouch for rounds before this boot.
+            if self.segcache.is_none() || self.history_suspended {
+                self.stats.rejected_scope = self.stats.rejected_scope.saturating_add(1);
+                self.finish(cost);
+                return Err(AttestError::Rejected(RejectReason::ScopeUnsupported));
+            }
+            // The register is strictly ahead of every completed round, so
+            // `since_round >= register` names a round that never happened:
+            // either a desynchronized verifier or a splicing attempt.
+            // Rejected before freshness state is consumed or any digest
+            // work is done, so the verifier can re-dial the same counter
+            // at a wider scope.
+            if since_round >= self.mcu.epoch() {
+                self.stats.rejected_auth = self.stats.rejected_auth.saturating_add(1);
+                self.finish(cost);
+                return Err(AttestError::Rejected(RejectReason::BadAuth));
+            }
+        }
 
         // Stage 2: freshness (§4.2). Service any outstanding clock
         // interrupts first so the SW-clock is up to date, then read the
@@ -825,11 +920,24 @@ impl Prover {
         let report = match request.scope {
             AttestScope::Whole => self.respond_whole(message, &mut cost)?,
             AttestScope::Segmented => self.respond_segmented(message, &mut cost)?,
+            AttestScope::History { since_round } => {
+                self.respond_history(message, since_round, &mut cost)?
+            }
         };
+
+        // Round boundary: `Code_Attest` advances the epoch register so any
+        // write landing after this response stamps the *next* round, then
+        // re-seals the log. A full-scope round hands the verifier complete
+        // fresh evidence, which lifts any tamper suspension of History.
+        self.mcu.advance_epoch(map::ATTEST_PC)?;
+        if !matches!(request.scope, AttestScope::History { .. }) {
+            self.history_suspended = false;
+        }
 
         self.stats.accepted = self.stats.accepted.saturating_add(1);
         self.finish(cost);
         self.persist_freshness()?;
+        self.persist_epoch_log();
         Ok(AttestResponse { report })
     }
 
@@ -941,6 +1049,108 @@ impl Prover {
         Ok(self.charge_stage("prover.attest_mac", combine_cycles, |p| {
             p.response_key.compute(&combined)
         }))
+    }
+
+    /// History response: scan the per-segment last-write epoch log,
+    /// re-digest only the segments written since `since_round`, and MAC
+    /// the authenticated modified-set bitmap together with those fresh
+    /// digests. Unmodified segments ship neither digest nor bytes — the
+    /// verifier recomputes expectations from its reference image — so a
+    /// quiescent round costs one scan, a couple of segment digests and
+    /// one short MAC.
+    ///
+    /// Soundness: a segment claims "unmodified since round R" iff its
+    /// logged epoch is ≤ R, and every write since the round-R response
+    /// latched an epoch > R (the register advanced right after round R's
+    /// MAC). Transient malware that infects *and restores* a segment
+    /// between rounds therefore still lands in the modified set — the
+    /// write event is the evidence, even though the restored bytes digest
+    /// identically.
+    fn respond_history(
+        &mut self,
+        message: Vec<u8>,
+        since_round: u64,
+        cost: &mut CostBreakdown,
+    ) -> Result<Vec<u8>, AttestError> {
+        // Same cache hygiene as the segmented path: an EA-MPU violation
+        // since the cache was last known good drops it.
+        if self.mcu.fault_log().len() > self.fault_mark {
+            self.invalidate_segcache();
+            self.fault_mark = self.mcu.fault_log().len();
+        }
+
+        let ram = self.mcu.ram_snapshot(map::ATTEST_PC)?;
+        let seg_len = self.mcu.segment_len() as usize;
+        let seg_count = self.mcu.segment_count();
+        let round = self.mcu.epoch();
+
+        // Scan: one epoch compare per segment — a load, a compare and a
+        // branch, same cost class as the dirty-bit test.
+        let scan_cycles = SEG_SCAN_CYCLES * seg_count as u64;
+        let modified: Vec<bool> = self.charge_stage("prover.attest_mac.cached", scan_cycles, |p| {
+            (0..seg_count)
+                .map(|i| p.mcu.segment_epoch(i) > since_round)
+                .collect()
+        });
+        let todo: Vec<usize> = (0..seg_count).filter(|&i| modified[i]).collect();
+
+        // Recompute fresh digests for the modified set only, warming the
+        // shared segment cache and acknowledging dirty bits exactly as the
+        // segmented path does.
+        let recompute_cycles: u64 = todo
+            .iter()
+            .map(|&i| {
+                let len = ram[i * seg_len..].len().min(seg_len);
+                self.mcu
+                    .cost_table()
+                    .sha1_digest_cost(segcache::SEGMENT_PREFIX_LEN + len)
+            })
+            .sum();
+        let digest_result: Result<Vec<[u8; DIGEST_SIZE]>, AttestError> =
+            self.charge_stage("prover.attest_mac.recomputed", recompute_cycles, |p| {
+                let mut fresh = Vec::with_capacity(todo.len());
+                for &i in &todo {
+                    let start = i * seg_len;
+                    let end = (start + seg_len).min(ram.len());
+                    let digest = segcache::segment_digest(i as u32, &ram[start..end]);
+                    if let Some(cache) = p.segcache.as_mut() {
+                        cache.store(i, digest);
+                    }
+                    p.mcu.acknowledge_segment(i, map::ATTEST_PC)?;
+                    fresh.push(digest);
+                }
+                Ok(fresh)
+            });
+        let modified_digests = digest_result?;
+
+        cost.mac_recomputed_segments = todo.len() as u32;
+        cost.mac_cached_segments = (seg_count - todo.len()) as u32;
+        self.stats.seg_mac_recomputed = self
+            .stats
+            .seg_mac_recomputed
+            .saturating_add(todo.len() as u64);
+        self.stats.seg_mac_cached = self
+            .stats
+            .seg_mac_cached
+            .saturating_add((seg_count - todo.len()) as u64);
+
+        // Combine: one keyed MAC binding the round, the modified-set
+        // bitmap and the fresh digests to the authenticated request.
+        let report = HistoryReport { round, modified };
+        let input = segcache::history_input(&message, seg_len as u32, &report, &modified_digests);
+        let combine_cycles = self
+            .mcu
+            .cost_table()
+            .mac_cost(self.config.response_mac, input.len());
+        cost.response_cycles = scan_cycles + recompute_cycles + combine_cycles;
+        let mac = self.charge_stage("prover.attest_mac", combine_cycles, |p| {
+            p.response_key.compute(&input)
+        });
+        self.stats.history_rounds = self.stats.history_rounds.saturating_add(1);
+
+        let mut out = report.encode();
+        out.extend_from_slice(&mac);
+        Ok(out)
     }
 
     /// Drops every cached segment digest. The next segmented response
@@ -1158,6 +1368,30 @@ impl Prover {
                         self.boot_reference = journal.active_digest;
                         self.boot_health = BootHealth::Recovery;
                     }
+                }
+            }
+        }
+
+        // Epoch-log recovery, judged like the freshness record on
+        // non-volatile data only. A valid sealed record restores the round
+        // register monotonically — and stamps every segment at the
+        // restored round, since the wipe rewrote every byte of RAM — so
+        // History claims about pre-reboot rounds stay sound. Anything else
+        // (no store, empty, failed seal) means the log cannot vouch for
+        // older rounds: History is suspended until a full-scope round
+        // re-establishes ground truth, and a failed seal additionally
+        // counts as a detected rollback/forgery.
+        self.history_suspended = true;
+        if self.epoch_nv.as_ref().and_then(|nv| nv.load()).is_some() {
+            match self.load_epoch_log() {
+                Some(record) => {
+                    self.mcu.restore_epoch(record.epoch, map::BOOT_PC)?;
+                    self.history_suspended = false;
+                    self.persist_epoch_log();
+                }
+                None => {
+                    self.stats.epoch_recovery_failures =
+                        self.stats.epoch_recovery_failures.saturating_add(1);
                 }
             }
         }
@@ -1472,5 +1706,186 @@ mod tests {
         assert_eq!(s.rejected_auth, 1);
         assert_eq!(s.rejected_freshness, 1);
         assert!(s.attestation_cycles > 0);
+    }
+
+    /// Runs one round under the verifier's scope policy and asserts it
+    /// verifies; returns the request that was used.
+    fn round(prover: &mut Prover, verifier: &mut Verifier) -> crate::message::AttestRequest {
+        let req = verifier.make_request().unwrap();
+        let resp = prover.handle_request(&req).unwrap();
+        let expected = prover.expected_memory().to_vec();
+        assert!(verifier.check_response(&req, &resp, &expected));
+        verifier.note_verified(&req, &resp, &expected);
+        req
+    }
+
+    #[test]
+    fn history_rounds_advance_and_stay_cheap_when_quiescent() {
+        use crate::verifier::ScopePolicy;
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+
+        // Bootstrap: since_round = 0, every segment reports modified.
+        let req = round(&mut prover, &mut verifier);
+        assert!(matches!(req.scope, AttestScope::History { since_round: 0 }));
+        let seg_count = prover.segment_cache().unwrap().segment_count();
+        assert_eq!(
+            prover.last_cost().mac_recomputed_segments as usize,
+            seg_count
+        );
+        assert_eq!(verifier.last_verified_round(), Some(1));
+        assert_eq!(prover.current_round(), 2);
+
+        // Quiescent follow-up: only the freshness commit's segment was
+        // written since round 1, so exactly one digest is recomputed.
+        let req = round(&mut prover, &mut verifier);
+        assert!(matches!(req.scope, AttestScope::History { since_round: 1 }));
+        assert_eq!(prover.last_cost().mac_recomputed_segments, 1);
+        assert_eq!(verifier.last_history().unwrap().modified.len(), 1);
+        assert_eq!(prover.stats().history_rounds, 2);
+    }
+
+    #[test]
+    fn history_flags_transiently_restored_segment() {
+        use crate::verifier::ScopePolicy;
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+        round(&mut prover, &mut verifier); // bootstrap
+
+        // Transient malware: infect a segment, act, then restore the
+        // original bytes before the next round. Content is back, but the
+        // writes latched epochs.
+        let addr = map::RAM.start + 5 * 8192 + 16;
+        let mut original = [0u8; 32];
+        prover
+            .mcu_mut()
+            .bus_read(addr, &mut original, map::APP_CODE)
+            .unwrap();
+        prover
+            .mcu_mut()
+            .bus_write(addr, &[0xBA; 32], map::APP_CODE)
+            .unwrap();
+        prover
+            .mcu_mut()
+            .bus_write(addr, &original, map::APP_CODE)
+            .unwrap();
+
+        round(&mut prover, &mut verifier);
+        let outcome = verifier.last_history().unwrap();
+        assert!(
+            outcome.modified.contains(&5),
+            "restored segment must appear in the authenticated modified set: {:?}",
+            outcome.modified
+        );
+    }
+
+    #[test]
+    fn future_since_round_rejected_before_freshness() {
+        use crate::message::AttestRequest;
+        let (mut prover, verifier) = pair(ProverConfig::recommended_segmented());
+        let signer = RequestSigner::new(verifier.auth_method(), &KEY).unwrap();
+        let mut req = AttestRequest {
+            scope: AttestScope::History { since_round: 99 },
+            freshness: FreshnessField::Counter(1),
+            challenge: [7; 16],
+            auth: Vec::new(),
+        };
+        req.auth = signer.sign(&req.signed_bytes());
+        let err = prover.handle_request(&req).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::BadAuth));
+        // No freshness state burned, no digest work done.
+        assert_eq!(prover.last_cost().response_cycles, 0);
+        // The same counter re-dials fine at a servable window.
+        req.scope = AttestScope::History { since_round: 0 };
+        req.auth = signer.sign(&req.signed_bytes());
+        prover.handle_request(&req).unwrap();
+    }
+
+    #[test]
+    fn epoch_log_survives_reboot_via_sealed_record() {
+        use crate::persist::InMemoryNvStore;
+        use crate::verifier::ScopePolicy;
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        prover.attach_epoch_log_store(Box::new(InMemoryNvStore::default()));
+        prover
+            .attach_nv_store(Box::new(InMemoryNvStore::default()))
+            .unwrap();
+        verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+        round(&mut prover, &mut verifier);
+        round(&mut prover, &mut verifier);
+        let pre_reboot_round = prover.current_round();
+
+        prover.reboot().unwrap();
+        assert!(!prover.history_suspended());
+        // Monotonic restore: the register never went backwards, so the
+        // verifier's remembered round is still strictly in the past.
+        assert!(prover.current_round() >= pre_reboot_round);
+
+        // The verifier's next History round self-heals: everything was
+        // stamped at the restored round, so it is a full-coverage round.
+        round(&mut prover, &mut verifier);
+        let seg_count = prover.segment_cache().unwrap().segment_count();
+        assert_eq!(
+            prover.last_cost().mac_recomputed_segments as usize,
+            seg_count
+        );
+    }
+
+    #[test]
+    fn tampered_epoch_log_suspends_history_until_full_round() {
+        use crate::persist::{InMemoryNvStore, SharedNvStore};
+        use crate::verifier::ScopePolicy;
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        let store = SharedNvStore::new();
+        prover.attach_epoch_log_store(Box::new(store.clone()));
+        prover
+            .attach_nv_store(Box::new(InMemoryNvStore::default()))
+            .unwrap();
+        verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+        round(&mut prover, &mut verifier);
+
+        // Flip one bit in the sealed record: the rollback/forgery case.
+        let mut raw = store.raw().unwrap();
+        *raw.last_mut().unwrap() ^= 1;
+        store.overwrite(Some(raw));
+
+        prover.reboot().unwrap();
+        assert!(prover.history_suspended());
+        assert_eq!(prover.stats().epoch_recovery_failures, 1);
+
+        // The History request is refused; the verifier falls back to a
+        // full Segmented round, which lifts the suspension, then History
+        // re-bootstraps from zero.
+        let req = verifier.make_request().unwrap();
+        assert!(matches!(req.scope, AttestScope::History { .. }));
+        let err = prover.handle_request(&req).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::ScopeUnsupported));
+        verifier.note_failed(&req);
+
+        let req = round(&mut prover, &mut verifier);
+        assert_eq!(req.scope, AttestScope::Segmented);
+        assert!(!prover.history_suspended());
+        let req = round(&mut prover, &mut verifier);
+        assert!(matches!(req.scope, AttestScope::History { since_round: 0 }));
+    }
+
+    #[test]
+    fn reboot_without_epoch_store_suspends_history() {
+        use crate::verifier::ScopePolicy;
+        let (mut prover, mut verifier) = pair(ProverConfig::recommended_segmented());
+        prover
+            .attach_nv_store(Box::new(crate::persist::InMemoryNvStore::default()))
+            .unwrap();
+        verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+        round(&mut prover, &mut verifier);
+        prover.reboot().unwrap();
+        // Rounds before this boot are unprovable without the sealed log.
+        assert!(prover.history_suspended());
+        let req = verifier.make_request().unwrap();
+        let err = prover.handle_request(&req).unwrap_err();
+        assert_eq!(err.reject_reason(), Some(RejectReason::ScopeUnsupported));
+        assert!(prover.stats().rejected_scope >= 1);
+        let s = prover.stats();
+        assert_eq!(s.requests_seen, s.accepted + s.rejected_total());
     }
 }

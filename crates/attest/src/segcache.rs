@@ -131,6 +131,126 @@ pub fn combined_input(message: &[u8], segment_len: u32, digests: &[[u8; DIGEST_S
     out
 }
 
+/// Magic introducing the history header inside the response-MAC input,
+/// separating the history construction from both the whole-memory and
+/// segmented ones.
+pub const HISTORY_MAGIC: &[u8; 7] = b"PGHIST1";
+
+/// The plaintext body of a `History`-scope response: which round the
+/// prover just executed and which segments its hardware epoch log says
+/// were written since the request's `since_round`.
+///
+/// Only this set travels on the wire — the fresh digests of the modified
+/// segments enter the response MAC ([`history_input`]) but are recomputed
+/// by the verifier from its expected image, keeping the response size
+/// near-constant (8 + 4 bytes + one bit per segment + one tag). The MAC
+/// binds the set, so malware cannot shrink it to hide a write; growing it
+/// only volunteers more digests to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryReport {
+    /// The prover's round number for this attestation (its epoch register
+    /// at response time; the verifier quotes it back as `since_round`).
+    pub round: u64,
+    /// One flag per segment: `true` iff the segment's last-write epoch is
+    /// newer than the request's `since_round`.
+    pub modified: Vec<bool>,
+}
+
+impl HistoryReport {
+    /// Indices of the modified segments, in order.
+    #[must_use]
+    pub fn modified_indices(&self) -> Vec<usize> {
+        (0..self.modified.len())
+            .filter(|&i| self.modified[i])
+            .collect()
+    }
+
+    /// Length of [`HistoryReport::encode`]'s output in bytes (the
+    /// response MAC starts at this offset in the wire report).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        12 + self.modified.len().div_ceil(8)
+    }
+
+    /// Serializes the plaintext body: round (u64 BE) ‖ segment count
+    /// (u32 BE) ‖ bitmap (LSB-first within each byte, padding bits zero).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.modified.len().div_ceil(8));
+        out.extend_from_slice(&self.round.to_be_bytes());
+        out.extend_from_slice(&(self.modified.len() as u32).to_be_bytes());
+        let mut bits = vec![0u8; self.modified.len().div_ceil(8)];
+        for (i, &m) in self.modified.iter().enumerate() {
+            if m {
+                bits[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out.extend_from_slice(&bits);
+        out
+    }
+
+    /// Parses a body serialized by [`HistoryReport::encode`] from the
+    /// front of `bytes`; returns the report and the remaining suffix (the
+    /// response MAC). `None` on truncation, a segment count above
+    /// `max_segments`, or a nonzero padding bit — strict parsing keeps
+    /// the encoding canonical so the MAC covers exactly one byte string
+    /// per report.
+    #[must_use]
+    pub fn decode(bytes: &[u8], max_segments: usize) -> Option<(Self, &[u8])> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let round = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let count = u32::from_be_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        if count > max_segments {
+            return None;
+        }
+        let bitmap_len = count.div_ceil(8);
+        let rest = bytes.get(12..)?;
+        if rest.len() < bitmap_len {
+            return None;
+        }
+        let (bits, tag) = rest.split_at(bitmap_len);
+        let modified: Vec<bool> = (0..count)
+            .map(|i| bits[i / 8] & (1 << (i % 8)) != 0)
+            .collect();
+        // Padding bits beyond `count` must be zero.
+        if !count.is_multiple_of(8) && bits[bitmap_len - 1] >> (count % 8) != 0 {
+            return None;
+        }
+        Some((HistoryReport { round, modified }, tag))
+    }
+}
+
+/// Builds the history response-MAC input:
+/// `message ‖ HISTORY_MAGIC ‖ round ‖ segment_len ‖ report bitmap ‖
+/// fresh digests of the modified segments (in index order)`.
+///
+/// `message` is the authenticated request header, which already contains
+/// the scope byte and `since_round` — so the tag binds the window being
+/// answered, the round answering it, the modified set, and the current
+/// contents of every segment in that set.
+#[must_use]
+pub fn history_input(
+    message: &[u8],
+    segment_len: u32,
+    report: &HistoryReport,
+    modified_digests: &[[u8; DIGEST_SIZE]],
+) -> Vec<u8> {
+    let body = report.encode();
+    let mut out = Vec::with_capacity(
+        message.len() + HISTORY_MAGIC.len() + 4 + body.len() + modified_digests.len() * DIGEST_SIZE,
+    );
+    out.extend_from_slice(message);
+    out.extend_from_slice(HISTORY_MAGIC);
+    out.extend_from_slice(&segment_len.to_le_bytes());
+    out.extend_from_slice(&body);
+    for d in modified_digests {
+        out.extend_from_slice(d);
+    }
+    out
+}
+
 /// Volatile per-segment digest store kept by `Code_Attest`.
 #[derive(Debug, Clone)]
 pub struct SegmentCache {
@@ -229,6 +349,50 @@ mod tests {
         assert_eq!(input[13..17], 2u32.to_le_bytes());
         assert_eq!(input.len(), 17 + 2 * DIGEST_SIZE);
         assert_eq!(&input[17..37], &ds[0]);
+    }
+
+    #[test]
+    fn history_report_roundtrip_and_strictness() {
+        for count in [0usize, 1, 7, 8, 9, 64] {
+            let report = HistoryReport {
+                round: 0xDEAD_BEEF,
+                modified: (0..count).map(|i| i % 3 == 0).collect(),
+            };
+            let mut bytes = report.encode();
+            bytes.extend_from_slice(&[0xAA; 20]); // the tag suffix
+            let (parsed, tag) = HistoryReport::decode(&bytes, 64).unwrap();
+            assert_eq!(parsed, report);
+            assert_eq!(tag, &[0xAA; 20]);
+        }
+        // Truncation, count overflow and dirty padding bits all refuse.
+        let report = HistoryReport {
+            round: 1,
+            modified: vec![true; 9],
+        };
+        let bytes = report.encode();
+        assert!(HistoryReport::decode(&bytes[..11], 64).is_none());
+        assert!(HistoryReport::decode(&bytes, 8).is_none());
+        let mut dirty_pad = bytes.clone();
+        *dirty_pad.last_mut().unwrap() |= 0x80;
+        assert!(HistoryReport::decode(&dirty_pad, 64).is_none());
+    }
+
+    #[test]
+    fn history_input_binds_round_set_and_digests() {
+        let report = HistoryReport {
+            round: 5,
+            modified: vec![true, false, true, false],
+        };
+        let ds = [[1u8; DIGEST_SIZE], [2u8; DIGEST_SIZE]];
+        let base = history_input(b"hdr", 64, &report, &ds);
+        let mut other_round = report.clone();
+        other_round.round = 6;
+        assert_ne!(base, history_input(b"hdr", 64, &other_round, &ds));
+        let mut other_set = report.clone();
+        other_set.modified[1] = true;
+        assert_ne!(base, history_input(b"hdr", 64, &other_set, &ds));
+        assert_ne!(base, history_input(b"hdr", 64, &report, &ds[..1]));
+        assert_ne!(base, history_input(b"hdr", 128, &report, &ds));
     }
 
     #[test]

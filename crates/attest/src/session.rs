@@ -253,21 +253,25 @@ impl SessionLink for DirectLink<'_> {
         };
         let wire = match self.prover.handle_wire_request(&request.to_bytes()) {
             Ok(bytes) => bytes,
-            Err(AttestError::Rejected(reason)) => return AttemptOutcome::Rejected(reason),
+            Err(AttestError::Rejected(reason)) => {
+                self.verifier.note_failed(&request);
+                return AttemptOutcome::Rejected(reason);
+            }
             Err(e) => return AttemptOutcome::Error(e),
         };
         // The prover's compute time passes for the verifier too.
         let elapsed_ms = self.prover.last_cost().total_ms().ceil() as u64;
         self.verifier.advance_time_ms(elapsed_ms);
         let Ok(response) = AttestResponse::from_bytes(&wire) else {
+            self.verifier.note_failed(&request);
             return AttemptOutcome::BadResponse;
         };
-        if self
-            .verifier
-            .check_response(&request, &response, self.prover.expected_memory())
-        {
+        let expected = self.prover.expected_memory().to_vec();
+        if self.verifier.check_response(&request, &response, &expected) {
+            self.verifier.note_verified(&request, &response, &expected);
             AttemptOutcome::Success
         } else {
+            self.verifier.note_failed(&request);
             AttemptOutcome::BadResponse
         }
     }

@@ -9,6 +9,7 @@
 
 use proverguard_crypto::drbg::HmacDrbg;
 use proverguard_crypto::mac::MacKey;
+use proverguard_crypto::sha1::DIGEST_SIZE;
 
 use crate::auth::{AuthMethod, RequestSigner};
 use crate::error::AttestError;
@@ -17,7 +18,42 @@ use crate::message::{
     AttestRequest, AttestResponse, AttestScope, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
 };
 use crate::prover::ProverConfig;
-use crate::segcache::{self, SegmentedParams};
+use crate::segcache::{self, HistoryReport, SegmentedParams};
+
+/// How the verifier picks the scope of each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScopePolicy {
+    /// Always the widest configured construction: `Segmented` when the
+    /// deployment has segment parameters, `Whole` otherwise.
+    #[default]
+    Full,
+    /// Cheap [`AttestScope::History`] rounds referencing the last round
+    /// this verifier saw authenticated, re-anchored by a full `Segmented`
+    /// round every `full_every` accepted rounds (0 = never). Bootstrap —
+    /// and recovery after any rejected History round — goes through
+    /// `since_round = 0` (every segment reports modified, so the round is
+    /// full-coverage) or a full-scope fallback respectively.
+    History {
+        /// Accepted rounds between forced full `Segmented` rounds.
+        full_every: u32,
+    },
+}
+
+/// The authenticated plaintext of one verified History round: which
+/// round the prover was in and which segments its epoch log reported as
+/// written since `since_round`. Policy layers inspect [`Self::modified`]
+/// — a segment that should be immutable (e.g. the application image
+/// mirror) appearing here is TOCTOU evidence even though every digest
+/// verified: the *write event* is the signal, not the content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryOutcome {
+    /// The prover's round when it answered.
+    pub round: u64,
+    /// The `since_round` the request named.
+    pub since_round: u64,
+    /// Indices of segments written after `since_round`.
+    pub modified: Vec<usize>,
+}
 
 /// The verifier's state.
 #[derive(Debug, Clone)]
@@ -31,6 +67,19 @@ pub struct Verifier {
     next_command_counter: u64,
     clock_ms: u64,
     drbg: HmacDrbg,
+    scope_policy: ScopePolicy,
+    /// Last round number seen in a *verified* History response; the next
+    /// History request quotes it as `since_round`. Stale-low is safe (the
+    /// prover re-digests more, never less); `None` forces a bootstrap.
+    last_verified_round: Option<u64>,
+    /// Accepted rounds since the last full-scope one (drives `full_every`).
+    rounds_since_full: u32,
+    /// Set when a History round was rejected or failed verification: the
+    /// next requests go full-scope until one verifies, then History
+    /// re-bootstraps from `since_round = 0`.
+    history_fallback: bool,
+    /// Outcome of the most recent verified History round.
+    last_history: Option<HistoryOutcome>,
 }
 
 impl Verifier {
@@ -52,7 +101,40 @@ impl Verifier {
             next_command_counter: 1,
             clock_ms: 0,
             drbg: HmacDrbg::new(key, b"proverguard-verifier-nonces"),
+            scope_policy: ScopePolicy::Full,
+            last_verified_round: None,
+            rounds_since_full: 0,
+            history_fallback: false,
+            last_history: None,
         })
+    }
+
+    /// Installs the scope policy, resetting all round tracking (the next
+    /// History round bootstraps from `since_round = 0`).
+    pub fn set_scope_policy(&mut self, policy: ScopePolicy) {
+        self.scope_policy = policy;
+        self.last_verified_round = None;
+        self.rounds_since_full = 0;
+        self.history_fallback = false;
+        self.last_history = None;
+    }
+
+    /// The active scope policy.
+    #[must_use]
+    pub fn scope_policy(&self) -> ScopePolicy {
+        self.scope_policy
+    }
+
+    /// The last prover round this verifier saw authenticated, if any.
+    #[must_use]
+    pub fn last_verified_round(&self) -> Option<u64> {
+        self.last_verified_round
+    }
+
+    /// The most recent verified History round's authenticated outcome.
+    #[must_use]
+    pub fn last_history(&self) -> Option<&HistoryOutcome> {
+        self.last_history.as_ref()
     }
 
     /// The authentication method in use.
@@ -104,10 +186,23 @@ impl Verifier {
         };
         let mut challenge = [0u8; CHALLENGE_SIZE];
         self.drbg.fill(&mut challenge);
-        let scope = if self.segmented.is_some() {
+        let full_scope = if self.segmented.is_some() {
             AttestScope::Segmented
         } else {
             AttestScope::Whole
+        };
+        let scope = match self.scope_policy {
+            ScopePolicy::Full => full_scope,
+            ScopePolicy::History { full_every } => {
+                let due_full = full_every > 0 && self.rounds_since_full >= full_every;
+                if self.segmented.is_none() || self.history_fallback || due_full {
+                    full_scope
+                } else {
+                    AttestScope::History {
+                        since_round: self.last_verified_round.unwrap_or(0),
+                    }
+                }
+            }
         };
         let mut request = AttestRequest {
             scope,
@@ -187,6 +282,108 @@ impl Verifier {
                     segcache::combined_input(&request.signed_bytes(), params.segment_len, &digests);
                 self.response_key.verify(&combined, &response.report)
             }
+            AttestScope::History { since_round } => {
+                let Some(params) = &self.segmented else {
+                    return false;
+                };
+                let Some((report, modified_digests)) =
+                    self.parse_history(since_round, response, expected_memory)
+                else {
+                    return false;
+                };
+                let input = segcache::history_input(
+                    &request.signed_bytes(),
+                    params.segment_len,
+                    &report,
+                    &modified_digests,
+                );
+                self.response_key.verify(
+                    &input,
+                    response.report.get(report.encoded_len()..).unwrap_or(&[]),
+                )
+            }
+        }
+    }
+
+    /// Decodes a History report against the expected image: the bitmap
+    /// must cover exactly the expected segment count, the prover's round
+    /// must postdate `since_round` (the register is strictly ahead of
+    /// every completed round), and the expected digests of the modified
+    /// segments are recomputed from `expected_memory` — the unmodified
+    /// ones are exactly what round `since_round` already vouched for.
+    fn parse_history(
+        &self,
+        since_round: u64,
+        response: &AttestResponse,
+        expected_memory: &[u8],
+    ) -> Option<(HistoryReport, Vec<[u8; DIGEST_SIZE]>)> {
+        let params = self.segmented.as_ref()?;
+        let seg_len = params.segment_len as usize;
+        let seg_count = expected_memory.len().div_ceil(seg_len);
+        let (report, _tag) = HistoryReport::decode(&response.report, seg_count)?;
+        if report.modified.len() != seg_count || report.round <= since_round {
+            return None;
+        }
+        let digests = report
+            .modified_indices()
+            .into_iter()
+            .map(|i| {
+                let start = i * seg_len;
+                let end = (start + seg_len).min(expected_memory.len());
+                segcache::segment_digest(i as u32, &expected_memory[start..end])
+            })
+            .collect();
+        Some((report, digests))
+    }
+
+    /// Records a round that completed and verified. Drives the History
+    /// policy: a full-scope round re-anchors the baseline (and clears any
+    /// fallback), a History round advances `since_round` to the prover's
+    /// authenticated round and exposes its modified set via
+    /// [`Verifier::last_history`]. Returns that outcome for History
+    /// rounds so callers can apply TOCTOU policy immediately.
+    pub fn note_verified(
+        &mut self,
+        request: &AttestRequest,
+        response: &AttestResponse,
+        expected_memory: &[u8],
+    ) -> Option<&HistoryOutcome> {
+        match request.scope {
+            AttestScope::Whole | AttestScope::Segmented => {
+                self.rounds_since_full = 0;
+                self.history_fallback = false;
+                self.last_history = None;
+                // The prover advanced its register past this round; the
+                // remembered History baseline goes stale-low, which is
+                // safe (extra digests, never missing ones). After a
+                // fallback the baseline was dropped and the next History
+                // round re-bootstraps from zero.
+                None
+            }
+            AttestScope::History { since_round } => {
+                let (report, _) = self.parse_history(since_round, response, expected_memory)?;
+                self.rounds_since_full = self.rounds_since_full.saturating_add(1);
+                self.last_verified_round = Some(report.round);
+                self.last_history = Some(HistoryOutcome {
+                    round: report.round,
+                    since_round,
+                    modified: report.modified_indices(),
+                });
+                self.last_history.as_ref()
+            }
+        }
+    }
+
+    /// Records a round that failed — rejected by the prover, lost, or
+    /// failing verification. A failed History round drops the baseline
+    /// and routes the next requests through a full-scope fallback until
+    /// one verifies (the prover may have rebooted, suspended History
+    /// after detecting epoch-log tampering, or desynchronized rounds).
+    pub fn note_failed(&mut self, request: &AttestRequest) {
+        if matches!(request.scope, AttestScope::History { .. }) {
+            self.last_verified_round = None;
+            self.history_fallback = true;
+            self.last_history = None;
         }
     }
 }

@@ -113,6 +113,10 @@ impl Mcu {
     /// reset neither hides elapsed time nor refunds energy. The fault log
     /// is diagnostic instrumentation, not device RAM, and survives too.
     pub fn reset(&mut self) {
+        // The epoch register is volatile too: round numbering survives a
+        // power cycle only through the sealed NV record (restored via the
+        // PC-gated `restore_epoch`), never through the silicon.
+        self.memory.reset_epoch();
         self.memory.wipe_ram();
         self.mpu = EaMpu::new(self.mpu.capacity());
         self.irq = IrqController::new();
@@ -512,6 +516,71 @@ impl Mcu {
         Ok(())
     }
 
+    /// The epoch register: which attestation round writes are currently
+    /// being attributed to. Readable by anyone, like the dirty bits.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.memory.epoch()
+    }
+
+    /// The last-write epoch of segment `index` (out-of-range reads as the
+    /// current epoch — the conservative answer).
+    #[must_use]
+    pub fn segment_epoch(&self, index: usize) -> u64 {
+        self.memory.segment_epoch(index)
+    }
+
+    /// Advances the epoch register by one as code executing at `pc`,
+    /// returning the new value. The advance register is hardwired to
+    /// `Code_Attest` exactly like the dirty-bit acknowledge: untrusted
+    /// code moving the register forward could launder a fresh write as
+    /// an old one ("written at epoch N" read against a register it
+    /// already pushed past N), so only the attest routine — which only
+    /// advances *after* digesting the round — may touch it.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] (logged) when `pc` is outside
+    /// [`map::ATTEST_CODE`].
+    pub fn advance_epoch(&mut self, pc: u32) -> Result<u64, McuError> {
+        if !map::ATTEST_CODE.contains(pc) {
+            let e = McuError::MpuViolation {
+                pc,
+                addr: map::RAM.start,
+                kind: AccessKind::Write,
+            };
+            self.fault_log.push(e.clone());
+            return Err(e);
+        }
+        Ok(self.memory.advance_epoch())
+    }
+
+    /// Restores the epoch register from the sealed NV record during boot,
+    /// as code executing at `pc`. Monotonic (the register never moves
+    /// backwards) and stamps every segment with the restored epoch: the
+    /// power cycle rewrote all of RAM, so claiming any segment unmodified
+    /// across it would be exactly the stale-trusted answer the log
+    /// exists to prevent. Gated to `Code_Attest` ∪ `Code_Boot` — the
+    /// paths that hold the sealed record's key material.
+    ///
+    /// # Errors
+    ///
+    /// [`McuError::MpuViolation`] (logged) when `pc` is outside both
+    /// regions.
+    pub fn restore_epoch(&mut self, epoch: u64, pc: u32) -> Result<(), McuError> {
+        if !map::ATTEST_CODE.contains(pc) && !map::BOOT_CODE.contains(pc) {
+            let e = McuError::MpuViolation {
+                pc,
+                addr: map::RAM.start,
+                kind: AccessKind::Write,
+            };
+            self.fault_log.push(e.clone());
+            return Err(e);
+        }
+        self.memory.restore_epoch(epoch);
+        Ok(())
+    }
+
     /// Kicks the flash controller's DMA engine: copies `len` flash bytes
     /// starting at flash offset `flash_off` into RAM at `ram_addr`. The
     /// transfer runs on a dedicated port behind the dirty-tracking memory
@@ -888,6 +957,43 @@ mod tests {
         // Granularity is a hardware strap and survives; the bits do not.
         assert_eq!(mcu.segment_len(), 4096);
         assert!((0..mcu.segment_count()).all(|i| mcu.segment_dirty(i)));
+    }
+
+    #[test]
+    fn epoch_advance_is_pc_gated_like_acknowledge() {
+        let mut mcu = Mcu::new();
+        let start = mcu.epoch();
+        let denied = mcu.advance_epoch(map::APP_CODE);
+        assert!(matches!(denied, Err(McuError::MpuViolation { .. })));
+        assert_eq!(mcu.epoch(), start);
+        assert_eq!(mcu.fault_log().len(), 1);
+        assert_eq!(mcu.advance_epoch(map::ATTEST_PC).unwrap(), start + 1);
+        // A bus write from anywhere latches the advanced epoch.
+        mcu.bus_write(map::APP_RAM.start, &[0xcc], map::APP_CODE)
+            .unwrap();
+        let seg = ((map::APP_RAM.start - map::RAM.start) / mcu.segment_len()) as usize;
+        assert_eq!(mcu.segment_epoch(seg), start + 1);
+    }
+
+    #[test]
+    fn epoch_register_is_volatile_and_restore_is_gated() {
+        let mut mcu = Mcu::new();
+        mcu.advance_epoch(map::ATTEST_PC).unwrap();
+        mcu.advance_epoch(map::ATTEST_PC).unwrap();
+        let before = mcu.epoch();
+        mcu.reset();
+        assert_eq!(mcu.epoch(), crate::memory::EPOCH_RESET);
+        assert!(matches!(
+            mcu.restore_epoch(before, map::APP_CODE),
+            Err(McuError::MpuViolation { .. })
+        ));
+        mcu.restore_epoch(before, map::BOOT_PC).unwrap();
+        assert_eq!(mcu.epoch(), before);
+        // Conservative: the wipe counts as a write of everything.
+        assert!((0..mcu.segment_count()).all(|i| mcu.segment_epoch(i) == before));
+        // Monotonic: a rolled-back restore is a no-op.
+        mcu.restore_epoch(1, map::ATTEST_PC).unwrap();
+        assert_eq!(mcu.epoch(), before);
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! (there is no way to store a byte without tripping it) and cleared only
 //! through the device's PC-gated acknowledge path. The incremental
 //! attestation cache rests entirely on this bit being write-synchronous.
+//!
+//! Alongside each dirty bit the controller keeps a **last-write epoch**:
+//! a copy of the device's epoch register latched on every write covering
+//! the segment. The register counts attestation rounds and advances only
+//! through the PC-gated [`crate::device::Mcu::advance_epoch`], so the log
+//! answers "was this segment written since round R?" with the same
+//! write-synchronous guarantee the dirty map gives "was it written since
+//! the last acknowledge?" — the RATA-style primitive behind
+//! `AttestScope::History`.
 
 use crate::error::McuError;
 use crate::map::{self, AddrRange};
@@ -21,6 +30,10 @@ pub const DEFAULT_SEGMENT_LEN: u32 = 8 * 1024;
 /// Smallest supported dirty-tracking segment (one SHA-1 block).
 pub const MIN_SEGMENT_LEN: u32 = 64;
 
+/// Reset value of the epoch register: writes before the first attestation
+/// round belong to epoch 1 ("modified since round 0").
+pub const EPOCH_RESET: u64 = 1;
+
 /// Flat storage for the ROM, flash and RAM regions.
 #[derive(Clone)]
 pub struct PhysicalMemory {
@@ -31,6 +44,10 @@ pub struct PhysicalMemory {
     segment_len: u32,
     /// One dirty bit per RAM segment.
     dirty: Vec<bool>,
+    /// Epoch register latched into [`Self::epochs`] on every write.
+    epoch: u64,
+    /// Last-write epoch per RAM segment.
+    epochs: Vec<u64>,
 }
 
 impl std::fmt::Debug for PhysicalMemory {
@@ -61,6 +78,9 @@ impl PhysicalMemory {
             segment_len: DEFAULT_SEGMENT_LEN,
             // Everything starts dirty: no digest has ever covered it.
             dirty: vec![true; segments],
+            epoch: EPOCH_RESET,
+            // And everything was "just written": modified since round 0.
+            epochs: vec![EPOCH_RESET; segments],
         }
     }
 
@@ -124,9 +144,10 @@ impl PhysicalMemory {
     }
 
     /// Sets the dirty bit of every segment overlapping `[off, off+len)`
-    /// (RAM offsets). The controller does this synchronously with the
-    /// store — there is no window where data has changed but the bit is
-    /// still clear.
+    /// (RAM offsets) and latches the epoch register into their last-write
+    /// epochs. The controller does this synchronously with the store —
+    /// there is no window where data has changed but the bit is still
+    /// clear or the epoch still old.
     fn mark_dirty_span(&mut self, off: usize, len: usize) {
         if len == 0 {
             return;
@@ -136,6 +157,9 @@ impl PhysicalMemory {
         let last = ((off + len - 1) / seg).min(self.dirty.len() - 1);
         for bit in &mut self.dirty[first..=last] {
             *bit = true;
+        }
+        for e in &mut self.epochs[first..=last] {
+            *e = self.epoch;
         }
     }
 
@@ -259,7 +283,10 @@ impl PhysicalMemory {
             return Err(McuError::BadSegmentLen { len });
         }
         self.segment_len = len;
-        self.dirty = vec![true; map::RAM.len().div_ceil(len) as usize];
+        let segments = map::RAM.len().div_ceil(len) as usize;
+        self.dirty = vec![true; segments];
+        // No per-segment history covers the new layout either.
+        self.epochs = vec![self.epoch; segments];
         Ok(())
     }
 
@@ -270,9 +297,56 @@ impl PhysicalMemory {
         self.dirty.get(index).copied().unwrap_or(true)
     }
 
-    /// Sets every dirty bit.
+    /// Sets every dirty bit and stamps every segment with the current
+    /// epoch (a whole-RAM event — wipe, relayout — *is* a write).
     pub fn mark_all_dirty(&mut self) {
         self.dirty.fill(true);
+        self.epochs.fill(self.epoch);
+    }
+
+    /// The epoch register: the round number writes are currently being
+    /// attributed to.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The last-write epoch of segment `index`. Out-of-range reads as the
+    /// current epoch — "written just now", the conservative answer.
+    #[must_use]
+    pub fn segment_epoch(&self, index: usize) -> u64 {
+        self.epochs.get(index).copied().unwrap_or(self.epoch)
+    }
+
+    /// Advances the epoch register by one (saturating). Crate-private on
+    /// purpose: software reaches this only through
+    /// [`crate::device::Mcu::advance_epoch`], which gates the advance on
+    /// the caller executing inside `Code_Attest` — exactly like the
+    /// dirty-bit acknowledge.
+    pub(crate) fn advance_epoch(&mut self) -> u64 {
+        self.epoch = self.epoch.saturating_add(1);
+        self.epoch
+    }
+
+    /// Power-cycles the epoch register back to [`EPOCH_RESET`] — the
+    /// register is volatile, like every other register. Only the sealed
+    /// NV record (and [`Self::restore_epoch`]) carry round numbering
+    /// across a reboot.
+    pub(crate) fn reset_epoch(&mut self) {
+        self.epoch = EPOCH_RESET;
+    }
+
+    /// Restores the epoch register after a reboot (the register is
+    /// volatile; the sealed NV record is the source of truth). Stamps
+    /// every segment with the restored value: the power cycle wiped and
+    /// re-populated RAM, so every segment truly was "just written" —
+    /// restoring the *per-segment* log verbatim would claim continuity
+    /// across the wipe. Monotonic: the register never moves backwards.
+    /// Crate-private; reached through the PC-gated
+    /// [`crate::device::Mcu::restore_epoch`].
+    pub(crate) fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+        self.mark_all_dirty();
     }
 
     /// Clears one dirty bit. Crate-private on purpose: software reaches
@@ -482,5 +556,70 @@ mod tests {
         clear_all(&mut mem);
         mem.write(map::RAM.start, &[]).unwrap();
         assert!(!mem.segment_dirty(0));
+    }
+
+    #[test]
+    fn writes_latch_current_epoch() {
+        let mut mem = PhysicalMemory::new();
+        assert_eq!(mem.epoch(), EPOCH_RESET);
+        assert!((0..mem.segment_count()).all(|i| mem.segment_epoch(i) == EPOCH_RESET));
+        assert_eq!(mem.advance_epoch(), EPOCH_RESET + 1);
+        mem.write(map::RAM.start + 3 * DEFAULT_SEGMENT_LEN, &[1])
+            .unwrap();
+        assert_eq!(mem.segment_epoch(3), EPOCH_RESET + 1);
+        assert_eq!(mem.segment_epoch(2), EPOCH_RESET);
+        // Acknowledging the dirty bit does not touch the epoch log.
+        mem.clear_dirty(3);
+        assert_eq!(mem.segment_epoch(3), EPOCH_RESET + 1);
+    }
+
+    #[test]
+    fn dma_copy_bypasses_epoch_log_too() {
+        let mut mem = PhysicalMemory::new();
+        mem.program_flash(map::FLASH.start, b"firmware v2").unwrap();
+        mem.advance_epoch();
+        mem.dma_copy_flash_to_ram(0, map::APP_RAM.start, 11)
+            .unwrap();
+        let seg = ((map::APP_RAM.start - map::RAM.start) / mem.segment_len()) as usize;
+        assert_eq!(
+            mem.segment_epoch(seg),
+            EPOCH_RESET,
+            "DMA port skips the log"
+        );
+        // The explicit mark register stamps the epoch alongside the bit.
+        mem.mark_dirty_region(map::APP_RAM.start, 11).unwrap();
+        assert_eq!(mem.segment_epoch(seg), EPOCH_RESET + 1);
+    }
+
+    #[test]
+    fn wipe_and_relayout_stamp_every_epoch() {
+        let mut mem = PhysicalMemory::new();
+        mem.advance_epoch();
+        mem.advance_epoch();
+        mem.wipe_ram();
+        assert!((0..mem.segment_count()).all(|i| mem.segment_epoch(i) == mem.epoch()));
+        mem.advance_epoch();
+        mem.set_segment_len(4096).unwrap();
+        assert!((0..mem.segment_count()).all(|i| mem.segment_epoch(i) == mem.epoch()));
+    }
+
+    #[test]
+    fn epoch_restore_is_monotonic_and_conservative() {
+        let mut mem = PhysicalMemory::new();
+        mem.restore_epoch(17);
+        assert_eq!(mem.epoch(), 17);
+        assert!((0..mem.segment_count()).all(|i| mem.segment_epoch(i) == 17));
+        // A rolled-back restore cannot drag the register backwards.
+        mem.restore_epoch(3);
+        assert_eq!(mem.epoch(), 17);
+        mem.reset_epoch();
+        assert_eq!(mem.epoch(), EPOCH_RESET);
+    }
+
+    #[test]
+    fn out_of_range_epoch_reads_current() {
+        let mut mem = PhysicalMemory::new();
+        mem.advance_epoch();
+        assert_eq!(mem.segment_epoch(usize::MAX), mem.epoch());
     }
 }

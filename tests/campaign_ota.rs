@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
+use proverguard_adversary::toctou::immutable_segments;
 use proverguard_attest::campaign::{
     CampaignAction, CampaignConfig, CampaignController, DeviceOutcome, DeviceState,
 };
@@ -19,7 +20,7 @@ use proverguard_attest::persist::InMemoryNvStore;
 use proverguard_attest::prover::{BootHealth, Prover, ProverConfig};
 use proverguard_attest::segcache::segment_digests;
 use proverguard_attest::services::{updated_flash_digest, Command};
-use proverguard_attest::verifier::Verifier;
+use proverguard_attest::verifier::{ScopePolicy, Verifier};
 use proverguard_attest::AttestError;
 use proverguard_mcu::map;
 use proverguard_transport::{Acceptor, LoopbackHub, DEFAULT_MAX_FRAME};
@@ -115,6 +116,106 @@ fn update_invalidates_segment_cache() {
         &new_image()[..],
         "RAM mirror must hold the new image after the update"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: the update DMA bypasses the per-write epoch
+// tracker, so the commit path must bump the epochs of every covered
+// segment explicitly — otherwise a later History round would report the
+// freshly flashed mirror as "unmodified since before the update".
+// ---------------------------------------------------------------------------
+
+/// One full History-policy attestation round, including the verifier
+/// bookkeeping a session link performs.
+fn history_round(prover: &mut Prover, verifier: &mut Verifier) -> bool {
+    let request = verifier.make_request().expect("request");
+    let Ok(response) = prover.handle_request(&request) else {
+        verifier.note_failed(&request);
+        return false;
+    };
+    let expected = prover.expected_memory().to_vec();
+    let ok = verifier.check_response(&request, &response, &expected);
+    if ok {
+        verifier.note_verified(&request, &response, &expected);
+    } else {
+        verifier.note_failed(&request);
+    }
+    ok
+}
+
+#[test]
+fn update_bumps_mirror_segment_epochs() {
+    let (mut prover, mut verifier) =
+        managed_pair(ProverConfig::recommended_segmented(), &old_image());
+    verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+    let seg_len = prover.segment_cache().expect("segmented").segment_len() as u32;
+
+    // Bootstrap, then a quiescent round: the mirror drops out of the
+    // modified set once a verified baseline exists.
+    assert!(history_round(&mut prover, &mut verifier), "bootstrap");
+    assert!(history_round(&mut prover, &mut verifier), "quiescent");
+    let quiescent = verifier.last_history().expect("history outcome");
+    for seg in immutable_segments(seg_len) {
+        assert!(
+            !quiescent.modified.contains(&seg),
+            "quiescent round must not report mirror segment {seg} modified"
+        );
+    }
+
+    // The update DMA-installs the new mirror behind the write tracker.
+    update(&mut prover, &mut verifier, &new_image()).expect("update");
+
+    // The next History round must expose every mirror segment as written
+    // — and still verify, because the recomputed digests cover the new
+    // image.
+    assert!(history_round(&mut prover, &mut verifier), "post-update");
+    let outcome = verifier.last_history().expect("history outcome");
+    for seg in immutable_segments(seg_len) {
+        assert!(
+            outcome.modified.contains(&seg),
+            "update must bump the epoch of mirror segment {seg}; modified = {:?}",
+            outcome.modified
+        );
+    }
+}
+
+#[test]
+fn torn_flash_recovery_boot_bumps_epochs() {
+    let (mut prover, mut verifier) =
+        managed_pair(ProverConfig::recommended_segmented(), &old_image());
+    prover.attach_epoch_log_store(Box::new(InMemoryNvStore::new()));
+    verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+    update(&mut prover, &mut verifier, &old_image()).expect("baseline update");
+    assert!(history_round(&mut prover, &mut verifier), "bootstrap");
+    assert!(history_round(&mut prover, &mut verifier), "quiescent");
+
+    // Power dies mid-flash; the reboot lands in recovery with a torn
+    // mirror installed by the boot path's DMA — again behind the tracker.
+    prover.inject_update_tear(17);
+    let request = verifier.make_command(Command::UpdateFirmware { image: new_image() });
+    match prover.handle_command(&request) {
+        Err(AttestError::PowerLoss) => {}
+        other => panic!("expected PowerLoss, got {other:?}"),
+    }
+    prover.reboot().expect("reboot");
+    assert_eq!(prover.boot_health(), BootHealth::Recovery);
+
+    // The sealed epoch log restored across the reboot (no History
+    // suspension), and the boot-time restore conservatively stamps every
+    // segment — so the torn mirror cannot hide behind a stale epoch.
+    assert!(!prover.history_suspended(), "sealed log must restore");
+    assert!(
+        history_round(&mut prover, &mut verifier),
+        "recovery device answers honestly about its torn mirror"
+    );
+    let outcome = verifier.last_history().expect("history outcome");
+    let seg_len = prover.segment_cache().expect("segmented").segment_len() as u32;
+    for seg in immutable_segments(seg_len) {
+        assert!(
+            outcome.modified.contains(&seg),
+            "recovery boot must report mirror segment {seg} modified"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,7 @@ fn ci_soak_holds_every_liveness_invariant() {
                 assert!(device.breaker_closed);
                 assert!(device.health_score > 0.5);
             }
+            DeviceRole::Transient => unreachable!("ci() has no transient devices"),
         }
         // The admission bucket kept every battery near full even though
         // every device ate the whole flood.
@@ -55,5 +56,47 @@ fn ci_soak_holds_every_liveness_invariant() {
             device.index,
             device.min_battery_fraction
         );
+    }
+}
+
+#[test]
+fn ci_history_soak_catches_transient_malware() {
+    // The epoch-log gate: a History-mostly scope policy over a segmented
+    // fleet, with one device running infect/act/restore strikes between
+    // rounds. Every digest that device ever presents verifies — the only
+    // evidence is the authenticated modified set, and the soak grades that
+    // it was seen (and that no honest device was falsely flagged).
+    let cfg = SoakConfig::ci_history();
+    let report = run_soak(&cfg).expect("ci history soak provisions");
+
+    assert!(
+        report.liveness_ok(),
+        "liveness violations: {:#?}",
+        report.violations
+    );
+    assert_eq!(report.devices.len(), 5);
+
+    let transient: Vec<_> = report
+        .devices
+        .iter()
+        .filter(|d| d.role == DeviceRole::Transient)
+        .collect();
+    assert_eq!(transient.len(), 1);
+    assert!(
+        transient[0].successes >= 1,
+        "restored memory keeps verifying — the attack beats content sweeps"
+    );
+    assert!(
+        transient[0].toctou_flags >= 1,
+        "the write events must surface through the History rounds"
+    );
+    for device in &report.devices {
+        if device.role != DeviceRole::Transient {
+            assert_eq!(
+                device.toctou_flags, 0,
+                "false TOCTOU alarm on device {}",
+                device.index
+            );
+        }
     }
 }

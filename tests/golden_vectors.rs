@@ -8,10 +8,10 @@
 //! vectors in the same commit.
 
 use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
-use proverguard_attest::persist::{FreshnessRecord, RECORD_LEN};
+use proverguard_attest::persist::{EpochLogRecord, FreshnessRecord, RECORD_LEN};
 use proverguard_attest::prover::{Prover, ProverConfig};
 use proverguard_attest::segcache::{combined_input, segment_digests};
-use proverguard_attest::verifier::Verifier;
+use proverguard_attest::verifier::{ScopePolicy, Verifier};
 use proverguard_crypto::mac::{MacAlgorithm, MacKey};
 
 const KEY: [u8; 16] = [0x42; 16];
@@ -126,6 +126,69 @@ fn wire_session_transcript_vector() {
         "010002000000000000000239c7d24eca9db883ecfc350e16e1416a00084e941f6086aa46da"
     );
     assert_eq!(hex(&resp2), "0014d7327903b16915a7037a97ef76ebbc0a9325c475");
+}
+
+/// Two-round History session freeze: the bootstrap round (scope byte 2,
+/// `since_round = 0`, full coverage) and the first quiescent incremental
+/// round. The response bytes carry the canonical `HistoryReport` bitmap
+/// ahead of the MAC, so this pins the report encoding on the wire too.
+#[test]
+fn history_session_transcript_vector() {
+    let config = ProverConfig::recommended_segmented();
+    let mut prover = Prover::provision(config.clone(), &KEY, b"golden app v1").unwrap();
+    let mut verifier = Verifier::new(&config, &KEY).unwrap();
+    verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+
+    let req1 = verifier.make_request().unwrap();
+    assert_eq!(
+        req1.scope,
+        AttestScope::History { since_round: 0 },
+        "History policy must bootstrap from round 0"
+    );
+    let resp1_raw = prover.handle_wire_request(&req1.to_bytes()).unwrap();
+    assert_eq!(hex(&req1.to_bytes()), "01020000000000000000020000000000000001affe5585d360c46afbadbf3191df64890008f950deb42be9182f");
+    assert_eq!(
+        hex(&resp1_raw),
+        "0028000000000000000100000040ffffffffffffffffa377734afa45f2ba3ff2265c7270229cbac97326",
+        "history bootstrap report (round 1, full coverage) changed"
+    );
+    let resp1 =
+        proverguard_attest::message::AttestResponse::from_bytes(&resp1_raw).expect("response");
+    assert!(verifier.check_response(&req1, &resp1, prover.expected_memory()));
+    let expected = prover.expected_memory().to_vec();
+    verifier.note_verified(&req1, &resp1, &expected);
+
+    let req2 = verifier.make_request().unwrap();
+    assert_eq!(req2.scope, AttestScope::History { since_round: 1 });
+    let resp2_raw = prover.handle_wire_request(&req2.to_bytes()).unwrap();
+    assert_eq!(hex(&req2.to_bytes()), "0102000000000000000102000000000000000239c7d24eca9db883ecfc350e16e1416a00085b9f05584da195c3");
+    assert_eq!(
+        hex(&resp2_raw),
+        "002800000000000000020000004001000000000000003fe144451bb2152ecc08c18d27a8e32221c96735",
+        "quiescent history report (round 2, only the counter segment) changed"
+    );
+    let resp2 =
+        proverguard_attest::message::AttestResponse::from_bytes(&resp2_raw).expect("response");
+    assert!(verifier.check_response(&req2, &resp2, prover.expected_memory()));
+}
+
+/// The sealed epoch-log record: frozen `PGEPLOG1` encoding. A deployed
+/// fleet's boot path must keep opening records written by this version.
+#[test]
+fn sealed_epoch_log_record_vector() {
+    let record = EpochLogRecord {
+        epoch: 5,
+        segment_len: 8192,
+        segment_epochs: vec![1, 2, 3, 4, 5],
+    };
+    let encoded = record.encode();
+    assert_eq!(&encoded[..8], b"PGEPLOG1", "epoch record magic changed");
+
+    let key = MacKey::new(MacAlgorithm::HmacSha1, &KEY).unwrap();
+    let sealed = record.seal(&key);
+    assert_eq!(hex(&sealed), "504745504c4f4731050000000000000000200000000000000500000000000000010000000000000002000000000000000300000000000000040000000000000005000000000000005004c7d32ca4cf24cf8b04086de7e6e3e8b79805");
+    let reopened = EpochLogRecord::open_sealed(&sealed, &key).expect("seal roundtrip");
+    assert_eq!(reopened, record);
 }
 
 /// Same transcript freeze for the segmented construction.

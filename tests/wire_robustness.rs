@@ -5,10 +5,14 @@
 //! `Prover::handle_wire_request`.
 
 use proptest::prelude::*;
+use proverguard_attest::auth::RequestSigner;
 use proverguard_attest::gateway::GatewayMsg;
 use proverguard_attest::message::{
     AttestRequest, AttestResponse, AttestScope, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
 };
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::segcache::HistoryReport;
+use proverguard_attest::verifier::Verifier;
 use proverguard_attest::RejectReason;
 use proverguard_transport::frame::{
     decode_datagram, encode_frame, FrameDecoder, DEFAULT_MAX_FRAME, FRAME_VERSION, HEADER_LEN,
@@ -17,7 +21,8 @@ use proverguard_transport::frame::{
 use proverguard_transport::TransportError;
 
 /// Builds a request from raw generated material, covering every
-/// freshness kind and both scopes.
+/// freshness kind and all three scopes (`History` carries a `since_round`
+/// parameter derived from the same word pool).
 fn request_from(
     kind: u8,
     word: u64,
@@ -31,10 +36,12 @@ fn request_from(
         2 => FreshnessField::Counter(word),
         _ => FreshnessField::Timestamp(word),
     };
-    let scope = if kind >= 4 {
-        AttestScope::Segmented
-    } else {
-        AttestScope::Whole
+    let scope = match (kind / 4) % 3 {
+        0 => AttestScope::Whole,
+        1 => AttestScope::Segmented,
+        _ => AttestScope::History {
+            since_round: word.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        },
     };
     AttestRequest {
         scope,
@@ -49,7 +56,7 @@ proptest! {
 
     #[test]
     fn request_roundtrips(
-        kind in 0u8..8,
+        kind in 0u8..12,
         word in 0u64..,
         nonce in any::<[u8; NONCE_SIZE]>(),
         challenge in any::<[u8; CHALLENGE_SIZE]>(),
@@ -79,7 +86,7 @@ proptest! {
 
     #[test]
     fn truncated_requests_error_instead_of_panicking(
-        kind in 0u8..8,
+        kind in 0u8..12,
         word in 0u64..,
         nonce in any::<[u8; NONCE_SIZE]>(),
         challenge in any::<[u8; CHALLENGE_SIZE]>(),
@@ -95,7 +102,7 @@ proptest! {
 
     #[test]
     fn bitflipped_requests_parse_or_error_but_never_panic(
-        kind in 0u8..8,
+        kind in 0u8..12,
         word in 0u64..,
         nonce in any::<[u8; NONCE_SIZE]>(),
         challenge in any::<[u8; CHALLENGE_SIZE]>(),
@@ -274,5 +281,135 @@ proptest! {
         bytes in proptest::collection::vec(any::<u8>(), 0..128),
     ) {
         let _ = GatewayMsg::decode(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// History-scope rejection contracts on a live prover: unknown scope bytes
+// and future `since_round` windows are shed before any digest work.
+// ---------------------------------------------------------------------------
+
+const KEY: [u8; 16] = [0x42; 16];
+
+fn segmented_pair() -> (Prover, Verifier) {
+    let config = ProverConfig::recommended_segmented();
+    let prover =
+        Prover::provision(config.clone(), &KEY, b"wire robustness app").expect("provision");
+    let verifier = Verifier::new(&config, &KEY).expect("verifier");
+    (prover, verifier)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A scope byte past every known scope is `Malformed` at the parse
+    /// stage — even under a valid MAC, and at zero response cycles.
+    #[test]
+    fn unknown_scope_bytes_reject_as_malformed_before_digest_work(
+        scope_byte in 3u8..,
+        word in 0u64..,
+        challenge in any::<[u8; CHALLENGE_SIZE]>(),
+    ) {
+        let (mut prover, verifier) = segmented_pair();
+        let signer = RequestSigner::new(verifier.auth_method(), &KEY).expect("signer");
+        let mut request = AttestRequest {
+            scope: AttestScope::Whole,
+            freshness: FreshnessField::Counter(word),
+            challenge,
+            auth: Vec::new(),
+        };
+        request.auth = signer.sign(&request.signed_bytes());
+        let mut bytes = request.to_bytes();
+        bytes[1] = scope_byte;
+        prop_assert!(AttestRequest::from_bytes(&bytes).is_err());
+        let err = prover.handle_wire_request(&bytes).unwrap_err();
+        prop_assert_eq!(err.reject_reason(), Some(RejectReason::Malformed));
+        prop_assert_eq!(prover.last_cost().response_cycles, 0);
+        prop_assert_eq!(prover.stats().rejected_malformed, 1);
+    }
+
+    /// A `since_round` the prover has not reached yet is `BadAuth` after
+    /// authentication but before freshness or digest work — so the same
+    /// counter re-dials at a servable window.
+    #[test]
+    fn future_since_round_rejects_as_bad_auth_before_digest_work(
+        future in 1u64..,
+        challenge in any::<[u8; CHALLENGE_SIZE]>(),
+    ) {
+        // A freshly provisioned prover is at the reset round (1), so every
+        // since_round >= 1 names a window that does not exist yet.
+        let (mut prover, verifier) = segmented_pair();
+        let signer = RequestSigner::new(verifier.auth_method(), &KEY).expect("signer");
+        let mut request = AttestRequest {
+            scope: AttestScope::History { since_round: future },
+            freshness: FreshnessField::Counter(1),
+            challenge,
+            auth: Vec::new(),
+        };
+        request.auth = signer.sign(&request.signed_bytes());
+        let err = prover.handle_request(&request).unwrap_err();
+        prop_assert_eq!(err.reject_reason(), Some(RejectReason::BadAuth));
+        prop_assert_eq!(prover.last_cost().response_cycles, 0);
+        // No freshness state burned: the same counter re-dials fine.
+        request.scope = AttestScope::History { since_round: 0 };
+        request.auth = signer.sign(&request.signed_bytes());
+        prop_assert!(prover.handle_request(&request).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The History report codec: strict canonical decoding, total on arbitrary
+// bytes.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn history_report_roundtrips_with_trailing_tag(
+        round in 1u64..,
+        modified in proptest::collection::vec(any::<bool>(), 0..200),
+        tag in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let report = HistoryReport { round, modified };
+        let mut bytes = report.encode();
+        prop_assert_eq!(bytes.len(), report.encoded_len());
+        bytes.extend_from_slice(&tag);
+        let (parsed, rest) =
+            HistoryReport::decode(&bytes, report.modified.len().max(1)).expect("canonical");
+        prop_assert_eq!(&parsed, &report);
+        prop_assert_eq!(rest, &tag[..]);
+    }
+
+    #[test]
+    fn history_report_decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let _ = HistoryReport::decode(&bytes, 4096);
+    }
+
+    /// Non-zero padding bits in the final bitmap byte are non-canonical:
+    /// two encodings of the same set must not both decode.
+    #[test]
+    fn history_report_nonzero_padding_rejected(
+        round in 1u64..,
+        len in 1usize..200,
+    ) {
+        prop_assume!(len % 8 != 0);
+        let report = HistoryReport { round, modified: vec![false; len] };
+        let mut bytes = report.encode();
+        let last = bytes.len() - 1;
+        bytes[last] |= 1 << (len % 8);
+        prop_assert!(HistoryReport::decode(&bytes, len).is_none());
+    }
+
+    /// A count above the verifier's segment bound is refused before the
+    /// bitmap is touched.
+    #[test]
+    fn history_report_count_beyond_max_rejected(count in 1usize..512) {
+        let report = HistoryReport { round: 1, modified: vec![false; count] };
+        let bytes = report.encode();
+        prop_assert!(HistoryReport::decode(&bytes, count - 1).is_none());
+        prop_assert!(HistoryReport::decode(&bytes, count).is_some());
     }
 }
