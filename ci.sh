@@ -40,4 +40,7 @@ cargo run --release -q -p proverguard-bench --bin campaign_soak -- --ci
 echo "== toctou bench (epoch-log transient-malware gate, emits BENCH_toctou.json) =="
 cargo run --release -q -p proverguard-bench --bin toctou_bench -- --ci
 
+echo "== session bench (attested-session amortization + adversary gauntlet, emits BENCH_session.json) =="
+cargo run --release -q -p proverguard-bench --bin session_bench -- --ci
+
 echo "CI green."

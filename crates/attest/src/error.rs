@@ -41,6 +41,17 @@ pub enum RejectReason {
     /// authentication, before any freshness state is consumed or memory
     /// work done.
     ScopeUnsupported,
+    /// The named session is unknown, idle-expired, or was evicted: the
+    /// peer must run a fresh attested handshake. No session key material
+    /// is consulted — the lookup fails before any MAC check.
+    SessionExpired,
+    /// A session frame's sequence number fell inside the replay window
+    /// (already seen) or behind it. Rejected before the frame MAC is
+    /// checked — replays cost the prover no cryptography at all.
+    SessionReplay,
+    /// A session frame's MAC did not verify under the session key, or its
+    /// direction/epoch did not match the session state.
+    SessionAuth,
 }
 
 impl fmt::Display for RejectReason {
@@ -70,6 +81,15 @@ impl fmt::Display for RejectReason {
             }
             RejectReason::ScopeUnsupported => {
                 write!(f, "segmented scope not supported by this prover")
+            }
+            RejectReason::SessionExpired => {
+                write!(f, "session unknown, expired, or evicted; re-handshake")
+            }
+            RejectReason::SessionReplay => {
+                write!(f, "session frame sequence number already seen")
+            }
+            RejectReason::SessionAuth => {
+                write!(f, "session frame authentication failed")
             }
         }
     }

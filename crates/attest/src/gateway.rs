@@ -33,6 +33,9 @@ use proverguard_telemetry::metrics::{self, Registry};
 use proverguard_telemetry::trace;
 use proverguard_transport::{Acceptor, Transport, TransportError};
 
+use proverguard_crypto::mac::MacAlgorithm;
+
+use crate::channel::{self, HandshakeAccept, HandshakeInit, SecureChannel};
 use crate::error::{AttestError, RejectReason};
 use crate::fleet::{FleetController, FleetPolicy};
 use crate::message::{AttestResponse, FreshnessField};
@@ -52,6 +55,10 @@ const TAG_BUSY: u8 = 5;
 const TAG_BYE: u8 = 6;
 const TAG_COMMAND: u8 = 7;
 const TAG_RECEIPT: u8 = 8;
+const TAG_SESS_HELLO: u8 = 9;
+const TAG_SESS_INIT: u8 = 10;
+const TAG_SESS_ACCEPT: u8 = 11;
+const TAG_SESS_FRAME: u8 = 12;
 
 /// One gateway-protocol message, carried as the payload of one transport
 /// frame.
@@ -82,6 +89,22 @@ pub enum GatewayMsg {
     /// Prover → verifier: a serialized
     /// [`crate::services::CommandReceipt`].
     Receipt(Vec<u8>),
+    /// Prover → gateway, first message of a **session-mode** connection:
+    /// which device is calling and, for a resumed session, which session.
+    SessHello {
+        /// Index of the device in the gateway's [`DeviceDirectory`].
+        device_id: u64,
+        /// `None` opens a new session (attested handshake); `Some`
+        /// resumes an established one for a cheap in-session round.
+        session_id: Option<[u8; channel::SESSION_ID_SIZE]>,
+    },
+    /// Gateway → prover: a serialized [`channel::HandshakeInit`].
+    SessInit(Vec<u8>),
+    /// Prover → gateway: a serialized [`channel::HandshakeAccept`].
+    SessAccept(Vec<u8>),
+    /// Either direction: one sealed [`channel::SecureChannel`] frame
+    /// carrying a gateway message (`AttReq`/`AttResp`/`Reject`).
+    SessFrame(Vec<u8>),
 }
 
 fn reason_code(reason: RejectReason) -> u8 {
@@ -96,6 +119,9 @@ fn reason_code(reason: RejectReason) -> u8 {
         RejectReason::Throttled => 8,
         RejectReason::DegradedMode => 9,
         RejectReason::ScopeUnsupported => 10,
+        RejectReason::SessionExpired => 11,
+        RejectReason::SessionReplay => 12,
+        RejectReason::SessionAuth => 13,
     }
 }
 
@@ -111,6 +137,9 @@ fn reason_from_code(code: u8) -> Option<RejectReason> {
         8 => RejectReason::Throttled,
         9 => RejectReason::DegradedMode,
         10 => RejectReason::ScopeUnsupported,
+        11 => RejectReason::SessionExpired,
+        12 => RejectReason::SessionReplay,
+        13 => RejectReason::SessionAuth,
         _ => return None,
     })
 }
@@ -150,6 +179,40 @@ impl GatewayMsg {
             GatewayMsg::Receipt(bytes) => {
                 let mut out = Vec::with_capacity(1 + bytes.len());
                 out.push(TAG_RECEIPT);
+                out.extend_from_slice(bytes);
+                out
+            }
+            GatewayMsg::SessHello {
+                device_id,
+                session_id,
+            } => {
+                let mut out = Vec::with_capacity(10 + channel::SESSION_ID_SIZE);
+                out.push(TAG_SESS_HELLO);
+                out.extend_from_slice(&device_id.to_be_bytes());
+                match session_id {
+                    None => out.push(0),
+                    Some(sid) => {
+                        out.push(1);
+                        out.extend_from_slice(sid);
+                    }
+                }
+                out
+            }
+            GatewayMsg::SessInit(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(TAG_SESS_INIT);
+                out.extend_from_slice(bytes);
+                out
+            }
+            GatewayMsg::SessAccept(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(TAG_SESS_ACCEPT);
+                out.extend_from_slice(bytes);
+                out
+            }
+            GatewayMsg::SessFrame(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(TAG_SESS_FRAME);
                 out.extend_from_slice(bytes);
                 out
             }
@@ -206,6 +269,28 @@ impl GatewayMsg {
             }
             TAG_COMMAND => Ok(GatewayMsg::Command(body.to_vec())),
             TAG_RECEIPT => Ok(GatewayMsg::Receipt(body.to_vec())),
+            TAG_SESS_HELLO => {
+                if body.len() < 9 {
+                    return Err(malformed("session hello too short"));
+                }
+                let device_id = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+                let session_id = match body[8] {
+                    0 if body.len() == 9 => None,
+                    1 if body.len() == 9 + channel::SESSION_ID_SIZE => {
+                        let mut sid = [0u8; channel::SESSION_ID_SIZE];
+                        sid.copy_from_slice(&body[9..]);
+                        Some(sid)
+                    }
+                    _ => return Err(malformed("session hello malformed")),
+                };
+                Ok(GatewayMsg::SessHello {
+                    device_id,
+                    session_id,
+                })
+            }
+            TAG_SESS_INIT => Ok(GatewayMsg::SessInit(body.to_vec())),
+            TAG_SESS_ACCEPT => Ok(GatewayMsg::SessAccept(body.to_vec())),
+            TAG_SESS_FRAME => Ok(GatewayMsg::SessFrame(body.to_vec())),
             _ => Err(malformed("unknown message tag")),
         }
     }
@@ -349,6 +434,16 @@ pub struct GatewayConfig {
     pub trace_capacity: usize,
     /// Fleet-health tuning for the embedded [`FleetController`].
     pub fleet: FleetPolicy,
+    /// Bounded session-table capacity; opening a session past it evicts
+    /// the least-recently-used one.
+    pub session_capacity: usize,
+    /// Idle expiry for established sessions: a session untouched for this
+    /// long is expired on next lookup or insert (the resuming prover gets
+    /// [`RejectReason::SessionExpired`] and re-handshakes).
+    pub session_idle_ms: u64,
+    /// Verified in-session rounds between deterministic rekey ratchets
+    /// (0 = never rekey).
+    pub rekey_after_rounds: u32,
 }
 
 impl Default for GatewayConfig {
@@ -370,6 +465,9 @@ impl Default for GatewayConfig {
             accept_poll_ms: 10,
             trace_capacity: 4_096,
             fleet: FleetPolicy::default(),
+            session_capacity: 64,
+            session_idle_ms: 30_000,
+            rekey_after_rounds: 8,
         }
     }
 }
@@ -387,6 +485,11 @@ pub struct GatewayStats {
     queue_depth: AtomicU64,
     queue_peak: AtomicU64,
     per_worker_sessions: Vec<AtomicU64>,
+    sessions_opened: AtomicU64,
+    sessions_active: AtomicU64,
+    sessions_expired: AtomicU64,
+    sessions_evicted: AtomicU64,
+    sessions_rekeyed: AtomicU64,
 }
 
 impl GatewayStats {
@@ -401,6 +504,11 @@ impl GatewayStats {
             queue_depth: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
             per_worker_sessions: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            sessions_opened: AtomicU64::new(0),
+            sessions_active: AtomicU64::new(0),
+            sessions_expired: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            sessions_rekeyed: AtomicU64::new(0),
         }
     }
 
@@ -420,6 +528,11 @@ impl GatewayStats {
                 .iter()
                 .map(|c| c.load(Ordering::SeqCst))
                 .collect(),
+            sessions_opened: self.sessions_opened.load(Ordering::SeqCst),
+            sessions_active: self.sessions_active.load(Ordering::SeqCst),
+            sessions_expired: self.sessions_expired.load(Ordering::SeqCst),
+            sessions_evicted: self.sessions_evicted.load(Ordering::SeqCst),
+            sessions_rekeyed: self.sessions_rekeyed.load(Ordering::SeqCst),
         }
     }
 }
@@ -444,6 +557,19 @@ pub struct GatewaySnapshot {
     pub queue_peak: u64,
     /// Sessions served per worker (ok + failed + handshake failures).
     pub per_worker_sessions: Vec<u64>,
+    /// Secure-session **epochs** opened: one per attested handshake plus
+    /// one per rekey ratchet (the post-ratchet keys are a new epoch).
+    pub sessions_opened: u64,
+    /// Session epochs currently live in the table.
+    pub sessions_active: u64,
+    /// Session epochs retired by idle expiry.
+    pub sessions_expired: u64,
+    /// Session epochs retired by LRU eviction, replacement on
+    /// re-handshake, or fail-closed teardown after a bad round.
+    pub sessions_evicted: u64,
+    /// Session epochs retired by a deterministic rekey ratchet (the
+    /// session lives on under the next epoch's keys).
+    pub sessions_rekeyed: u64,
 }
 
 impl GatewaySnapshot {
@@ -463,6 +589,111 @@ impl GatewaySnapshot {
     pub fn sessions_total(&self) -> u64 {
         self.sessions_ok + self.sessions_failed
     }
+
+    /// The session-table conservation law: every opened session epoch is
+    /// exactly one of still-active, idle-expired, evicted, or rekeyed
+    /// into its successor epoch. Only meaningful once no sessions are in
+    /// flight (after [`GatewayHandle::shutdown`]).
+    #[must_use]
+    pub fn session_partition_holds(&self) -> bool {
+        self.sessions_opened
+            == self.sessions_active
+                + self.sessions_expired
+                + self.sessions_evicted
+                + self.sessions_rekeyed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session table
+// ---------------------------------------------------------------------------
+
+/// One established secure session held by the gateway.
+struct SessionEntry {
+    device_id: u64,
+    chan: SecureChannel,
+    last_used_ms: u64,
+}
+
+/// The gateway's bounded table of established sessions. Shared across
+/// the worker pool (connections are not pinned to workers, so a resume
+/// must find its session no matter which worker serves it); the single
+/// mutex is held only for lookup/insert, never across a round's I/O.
+/// Capacity is enforced by LRU eviction, idleness by lazy expiry on
+/// lookup and insert. All transitions feed the [`GatewayStats`] session
+/// counters so `opened = active + expired + evicted + rekeyed` holds.
+#[derive(Default)]
+struct SessionTable {
+    entries: Vec<SessionEntry>,
+}
+
+impl SessionTable {
+    /// Drops every idle-expired session.
+    fn sweep(&mut self, now_ms: u64, idle_ms: u64, stats: &GatewayStats) {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| now_ms.saturating_sub(e.last_used_ms) <= idle_ms);
+        let expired = (before - self.entries.len()) as u64;
+        if expired > 0 {
+            stats.sessions_expired.fetch_add(expired, Ordering::SeqCst);
+            stats.sessions_active.fetch_sub(expired, Ordering::SeqCst);
+            metrics::counter_add("gateway.session.expired", expired);
+        }
+    }
+
+    /// Takes the session named `sid` out of the table for serving (the
+    /// caller reinserts it on success — fail-closed teardown otherwise).
+    /// `None` if unknown, idle-expired, or bound to another device.
+    fn take(
+        &mut self,
+        device_id: u64,
+        sid: [u8; channel::SESSION_ID_SIZE],
+        now_ms: u64,
+        idle_ms: u64,
+        stats: &GatewayStats,
+    ) -> Option<SessionEntry> {
+        self.sweep(now_ms, idle_ms, stats);
+        let at = self
+            .entries
+            .iter()
+            .position(|e| e.chan.session_id() == sid && e.device_id == device_id)?;
+        Some(self.entries.remove(at))
+    }
+
+    /// Inserts a session, evicting the least-recently-used entry when the
+    /// table is full and replacing any existing session for the same
+    /// device (a re-handshake supersedes the old keys).
+    fn insert(
+        &mut self,
+        entry: SessionEntry,
+        capacity: usize,
+        now_ms: u64,
+        idle_ms: u64,
+        stats: &GatewayStats,
+    ) {
+        self.sweep(now_ms, idle_ms, stats);
+        let mut evicted = 0u64;
+        let before = self.entries.len();
+        self.entries.retain(|e| e.device_id != entry.device_id);
+        evicted += (before - self.entries.len()) as u64;
+        while self.entries.len() >= capacity.max(1) {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used_ms)
+                .map(|(i, _)| i)
+                .expect("non-empty table has an LRU entry");
+            self.entries.remove(lru);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            stats.sessions_evicted.fetch_add(evicted, Ordering::SeqCst);
+            stats.sessions_active.fetch_sub(evicted, Ordering::SeqCst);
+            metrics::counter_add("gateway.session.evicted", evicted);
+        }
+        self.entries.push(entry);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -475,6 +706,7 @@ struct GatewayShared {
     stats: GatewayStats,
     config: GatewayConfig,
     started: Instant,
+    sessions: Mutex<SessionTable>,
 }
 
 impl GatewayShared {
@@ -545,6 +777,7 @@ impl Gateway {
             stats: GatewayStats::new(workers),
             config,
             started: Instant::now(),
+            sessions: Mutex::new(SessionTable::default()),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let (work_tx, work_rx) = sync_channel::<QueueItem>(queue_depth);
@@ -718,7 +951,11 @@ fn serve_connection(w: usize, item: QueueItem, ctx: &GatewayShared) {
 
     ctx.stats.per_worker_sessions[w].fetch_add(1, Ordering::SeqCst);
     let read_timeout = Duration::from_millis(ctx.config.read_timeout_ms);
-    let write_timeout = Duration::from_millis(ctx.config.write_timeout_ms);
+    // One budget covers *every* read until the connection reaches serving
+    // state — the first hello and each later handshake message draw down
+    // the same deadline, so a slowloris peer dribbling one frame per
+    // timeout cannot hold a worker for k × read_timeout.
+    let establish_deadline = session_start + read_timeout;
 
     let fail_handshake = |label: &'static str| {
         ctx.stats.handshake_failed.fetch_add(1, Ordering::SeqCst);
@@ -727,9 +964,9 @@ fn serve_connection(w: usize, item: QueueItem, ctx: &GatewayShared) {
     };
 
     let _ = conn.set_deadline(Some(read_timeout));
-    let hello = match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
-        Ok(Ok(GatewayMsg::Hello { device_id })) => device_id,
-        Ok(_) => {
+    let first = match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
+        Ok(Ok(msg)) => msg,
+        Ok(Err(_)) => {
             fail_handshake("gateway.handshake.garbage");
             finish_span(ctx, span);
             return;
@@ -740,11 +977,76 @@ fn serve_connection(w: usize, item: QueueItem, ctx: &GatewayShared) {
             return;
         }
     };
+    match first {
+        GatewayMsg::Hello { device_id } => {
+            serve_oneshot(conn.as_mut(), device_id, ctx, &fail_handshake);
+        }
+        GatewayMsg::SessHello {
+            device_id,
+            session_id: None,
+        } => {
+            serve_session_handshake(
+                conn.as_mut(),
+                device_id,
+                establish_deadline,
+                ctx,
+                &fail_handshake,
+            );
+        }
+        GatewayMsg::SessHello {
+            device_id,
+            session_id: Some(sid),
+        } => {
+            serve_session_round(conn.as_mut(), device_id, sid, ctx, &fail_handshake);
+        }
+        _ => fail_handshake("gateway.handshake.garbage"),
+    }
+    metrics::histogram_record(
+        "gateway.session_us",
+        u64::try_from(session_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+    );
+    finish_span(ctx, span);
+}
+
+/// Time left until `deadline`, if any.
+fn remaining(deadline: Instant) -> Option<Duration> {
+    let left = deadline.saturating_duration_since(Instant::now());
+    (left > Duration::ZERO).then_some(left)
+}
+
+/// Records a finished attestation attempt (one-shot session, handshake,
+/// or in-session round): Bye, fleet ledger, ok/failed counters.
+fn conclude(conn: &mut dyn Transport, device_id: u64, verified: bool, ctx: &GatewayShared) {
+    let write_timeout = Duration::from_millis(ctx.config.write_timeout_ms);
+    let _ = conn.set_deadline(Some(write_timeout));
+    let _ = conn.send(&GatewayMsg::Bye { verified }.encode());
+    let now_ms = ctx.elapsed_ms();
+    ctx.fleet
+        .lock()
+        .expect("fleet lock poisoned")
+        .record_outcome(device_id as usize, verified, now_ms);
+    if verified {
+        ctx.stats.sessions_ok.fetch_add(1, Ordering::SeqCst);
+        metrics::counter_add("gateway.sessions_ok", 1);
+    } else {
+        ctx.stats.sessions_failed.fetch_add(1, Ordering::SeqCst);
+        metrics::counter_add("gateway.sessions_failed", 1);
+    }
+}
+
+/// The classic one-shot path: a full [`SessionDriver`] exchange with
+/// retries, every request carrying its own outer authenticator.
+fn serve_oneshot(
+    conn: &mut dyn Transport,
+    hello: u64,
+    ctx: &GatewayShared,
+    fail_handshake: &dyn Fn(&'static str),
+) {
+    let write_timeout = Duration::from_millis(ctx.config.write_timeout_ms);
     let Some(entry) = ctx.directory.get(hello) else {
         fail_handshake("gateway.handshake.unknown_device");
         let _ = conn.set_deadline(Some(write_timeout));
         let _ = conn.send(&GatewayMsg::Bye { verified: false }.encode());
-        finish_span(ctx, span);
         return;
     };
 
@@ -757,34 +1059,293 @@ fn serve_connection(w: usize, item: QueueItem, ctx: &GatewayShared) {
         ..ctx.config.retry
     };
     let mut link = GatewayLink {
-        conn: conn.as_mut(),
+        conn: &mut *conn,
         entry,
         ctx,
         dead: false,
     };
     let report = SessionDriver::new(policy).run(&mut link);
-    let verified = report.succeeded();
+    conclude(conn, hello, report.succeeded(), ctx);
+}
 
-    let _ = conn.set_deadline(Some(write_timeout));
-    let _ = conn.send(&GatewayMsg::Bye { verified }.encode());
-
-    let now_ms = ctx.elapsed_ms();
-    ctx.fleet
-        .lock()
-        .expect("fleet lock poisoned")
-        .record_outcome(hello as usize, verified, now_ms);
-    if verified {
-        ctx.stats.sessions_ok.fetch_add(1, Ordering::SeqCst);
-        metrics::counter_add("gateway.sessions_ok", 1);
-    } else {
-        ctx.stats.sessions_failed.fetch_add(1, Ordering::SeqCst);
-        metrics::counter_add("gateway.sessions_failed", 1);
+/// Session establishment: the attested handshake. Every read draws down
+/// `deadline` (the per-connection establishment budget), the embedded
+/// attestation is full-scope, and the session enters the shared table
+/// only after the response verifies.
+fn serve_session_handshake(
+    conn: &mut dyn Transport,
+    device_id: u64,
+    deadline: Instant,
+    ctx: &GatewayShared,
+    fail_handshake: &dyn Fn(&'static str),
+) {
+    let write_timeout = Duration::from_millis(ctx.config.write_timeout_ms);
+    let Some(entry) = ctx.directory.get(device_id) else {
+        fail_handshake("gateway.handshake.unknown_device");
+        let _ = conn.set_deadline(Some(write_timeout));
+        let _ = conn.send(&GatewayMsg::Bye { verified: false }.encode());
+        return;
+    };
+    if entry.service_floor_ms > 0 {
+        thread::sleep(Duration::from_millis(entry.service_floor_ms));
     }
-    metrics::histogram_record(
-        "gateway.session_us",
-        u64::try_from(session_start.elapsed().as_micros()).unwrap_or(u64::MAX),
-    );
-    finish_span(ctx, span);
+    trace::set_now(ctx.elapsed_us());
+    let hs_span = trace::span("gateway.handshake");
+
+    let (init, request) = {
+        let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
+        let now = ctx.elapsed_ms().max(verifier.now_ms());
+        verifier.set_time_ms(now);
+        match channel::verifier_begin(&mut verifier, ctx.config.rekey_after_rounds) {
+            Ok(pair) => pair,
+            Err(_) => {
+                fail_handshake("gateway.handshake.internal");
+                finish_span(ctx, hs_span);
+                return;
+            }
+        }
+    };
+    let _ = conn.set_deadline(Some(write_timeout));
+    if conn
+        .send(&GatewayMsg::SessInit(init.encode()).encode())
+        .is_err()
+    {
+        fail_handshake("gateway.handshake.link");
+        finish_span(ctx, hs_span);
+        return;
+    }
+
+    // The accept read runs on whatever is left of the establishment
+    // budget — a peer that stalls after SessInit is cut off here.
+    let Some(left) = remaining(deadline) else {
+        fail_handshake("gateway.handshake.deadline");
+        finish_span(ctx, hs_span);
+        return;
+    };
+    let _ = conn.set_deadline(Some(left));
+    let accept = match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
+        Ok(Ok(GatewayMsg::SessAccept(raw))) => match HandshakeAccept::decode(&raw) {
+            Ok(accept) => accept,
+            Err(_) => {
+                fail_handshake("gateway.handshake.garbage");
+                finish_span(ctx, hs_span);
+                return;
+            }
+        },
+        Ok(Ok(GatewayMsg::Reject(_))) => {
+            // The prover's own defences refused the embedded attestation:
+            // a completed (failed) attestation attempt, not a dead link.
+            finish_span(ctx, hs_span);
+            conclude(conn, device_id, false, ctx);
+            return;
+        }
+        Ok(_) => {
+            fail_handshake("gateway.handshake.garbage");
+            finish_span(ctx, hs_span);
+            return;
+        }
+        Err(_) => {
+            fail_handshake("gateway.handshake.deadline");
+            finish_span(ctx, hs_span);
+            return;
+        }
+    };
+
+    let expected = entry.expected_for(&request.freshness);
+    let confirmed = {
+        let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
+        channel::verifier_confirm(&mut verifier, &init, &request, &accept, &expected)
+    };
+    finish_span(ctx, hs_span);
+    match confirmed {
+        Ok(chan) => {
+            let now_ms = ctx.elapsed_ms();
+            ctx.stats.sessions_opened.fetch_add(1, Ordering::SeqCst);
+            ctx.stats.sessions_active.fetch_add(1, Ordering::SeqCst);
+            metrics::counter_add("gateway.session.opened", 1);
+            ctx.sessions
+                .lock()
+                .expect("session table lock poisoned")
+                .insert(
+                    SessionEntry {
+                        device_id,
+                        chan,
+                        last_used_ms: now_ms,
+                    },
+                    ctx.config.session_capacity,
+                    now_ms,
+                    ctx.config.session_idle_ms,
+                    &ctx.stats,
+                );
+            conclude(conn, device_id, true, ctx);
+        }
+        Err(_) => {
+            metrics::counter_add("gateway.session.confirm_failed", 1);
+            conclude(conn, device_id, false, ctx);
+        }
+    }
+}
+
+/// One cheap in-session attestation round over an established session:
+/// unsigned inner request out, sealed frame back, lockstep rekey when
+/// the cadence is reached. Any irregularity fails closed — the session
+/// is torn down (evicted) and the prover must re-handshake.
+fn serve_session_round(
+    conn: &mut dyn Transport,
+    device_id: u64,
+    sid: [u8; channel::SESSION_ID_SIZE],
+    ctx: &GatewayShared,
+    fail_handshake: &dyn Fn(&'static str),
+) {
+    let write_timeout = Duration::from_millis(ctx.config.write_timeout_ms);
+    let read_timeout = Duration::from_millis(ctx.config.read_timeout_ms);
+    let Some(entry) = ctx.directory.get(device_id) else {
+        fail_handshake("gateway.handshake.unknown_device");
+        let _ = conn.set_deadline(Some(write_timeout));
+        let _ = conn.send(&GatewayMsg::Bye { verified: false }.encode());
+        return;
+    };
+    let now_ms = ctx.elapsed_ms();
+    let Some(mut session) = ctx
+        .sessions
+        .lock()
+        .expect("session table lock poisoned")
+        .take(
+            device_id,
+            sid,
+            now_ms,
+            ctx.config.session_idle_ms,
+            &ctx.stats,
+        )
+    else {
+        // Unknown/expired/foreign session id: cheap reject, no key
+        // material consulted, the prover re-handshakes.
+        fail_handshake("gateway.session.expired_lookup");
+        let _ = conn.set_deadline(Some(write_timeout));
+        let _ = conn.send(&GatewayMsg::Reject(RejectReason::SessionExpired).encode());
+        let _ = conn.send(&GatewayMsg::Bye { verified: false }.encode());
+        return;
+    };
+    if entry.service_floor_ms > 0 {
+        thread::sleep(Duration::from_millis(entry.service_floor_ms));
+    }
+    trace::set_now(ctx.elapsed_us());
+    let round_span = trace::span("gateway.session_round");
+
+    // The taken-out session is torn down (fail closed) unless the round
+    // completes verified; only then is it reinserted.
+    let teardown = |label: &'static str| {
+        ctx.stats.sessions_evicted.fetch_add(1, Ordering::SeqCst);
+        ctx.stats.sessions_active.fetch_sub(1, Ordering::SeqCst);
+        metrics::counter_add("gateway.session.evicted", 1);
+        metrics::counter_add(label, 1);
+    };
+
+    let request = {
+        let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
+        let now = ctx.elapsed_ms().max(verifier.now_ms());
+        verifier.set_time_ms(now);
+        match verifier.make_session_request() {
+            Ok(r) => r,
+            Err(_) => {
+                teardown("gateway.session.internal");
+                finish_span(ctx, round_span);
+                conclude(conn, device_id, false, ctx);
+                return;
+            }
+        }
+    };
+    let payload = GatewayMsg::AttReq(request.to_bytes()).encode();
+    let frame = session.chan.seal_next(&payload);
+    let _ = conn.set_deadline(Some(write_timeout));
+    if conn.send(&GatewayMsg::SessFrame(frame).encode()).is_err() {
+        teardown("gateway.session.link");
+        finish_span(ctx, round_span);
+        conclude(conn, device_id, false, ctx);
+        return;
+    }
+
+    let _ = conn.set_deadline(Some(read_timeout));
+    let reply = match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
+        Ok(Ok(msg)) => msg,
+        _ => {
+            teardown("gateway.session.link");
+            finish_span(ctx, round_span);
+            conclude(conn, device_id, false, ctx);
+            return;
+        }
+    };
+    // Downgrade defence: inside a session only sealed frames count. A
+    // plain AttResp (an attacker stripping the channel) is refused
+    // *before* any session-key work.
+    let GatewayMsg::SessFrame(sealed) = reply else {
+        teardown("gateway.session.downgrade");
+        finish_span(ctx, round_span);
+        conclude(conn, device_id, false, ctx);
+        return;
+    };
+    let inner = match session.chan.open(&sealed) {
+        Ok(inner) => inner,
+        Err(e) => {
+            let label = match e.reject_reason() {
+                Some(RejectReason::SessionReplay) => "gateway.session.replay",
+                _ => "gateway.session.auth_fail",
+            };
+            teardown(label);
+            finish_span(ctx, round_span);
+            conclude(conn, device_id, false, ctx);
+            return;
+        }
+    };
+    let verified = match GatewayMsg::decode(&inner) {
+        Ok(GatewayMsg::AttResp(raw)) => match AttestResponse::from_bytes(&raw) {
+            Ok(response) => {
+                let expected = entry.expected_for(&request.freshness);
+                let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
+                if verifier.check_response(&request, &response, &expected) {
+                    verifier.note_verified(&request, &response, &expected);
+                    true
+                } else {
+                    verifier.note_failed(&request);
+                    false
+                }
+            }
+            Err(_) => false,
+        },
+        Ok(GatewayMsg::Reject(_)) => {
+            let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
+            verifier.note_failed(&request);
+            false
+        }
+        _ => false,
+    };
+    if verified {
+        if session.chan.note_round() {
+            // Deterministic lockstep ratchet: the old epoch retires as
+            // "rekeyed", its successor counts as newly opened.
+            ctx.stats.sessions_rekeyed.fetch_add(1, Ordering::SeqCst);
+            ctx.stats.sessions_opened.fetch_add(1, Ordering::SeqCst);
+            metrics::counter_add("gateway.session.rekeyed", 1);
+            trace::set_now(ctx.elapsed_us());
+            let rekey_span = trace::span("gateway.rekey");
+            finish_span(ctx, rekey_span);
+        }
+        session.last_used_ms = ctx.elapsed_ms();
+        ctx.sessions
+            .lock()
+            .expect("session table lock poisoned")
+            .insert(
+                session,
+                ctx.config.session_capacity,
+                ctx.elapsed_ms(),
+                ctx.config.session_idle_ms,
+                &ctx.stats,
+            );
+    } else {
+        teardown("gateway.session.round_failed");
+    }
+    finish_span(ctx, round_span);
+    conclude(conn, device_id, verified, ctx);
 }
 
 fn finish_span(ctx: &GatewayShared, span: proverguard_telemetry::trace::SpanGuard) {
@@ -896,6 +1457,11 @@ pub enum AgentOutcome {
     ConnectionLost,
     /// The gateway spoke something that is not the protocol.
     ProtocolError,
+    /// The named session is gone at the gateway (idle-expired, evicted,
+    /// or never known) or desynced: the agent dropped its local session
+    /// state and must re-handshake.
+    /// [`ProverAgent::attest_with_retry`] does so transparently.
+    SessionExpired,
 }
 
 impl AgentOutcome {
@@ -914,13 +1480,38 @@ impl AgentOutcome {
 pub struct ProverAgent {
     prover: Prover,
     device_id: u64,
+    /// `true` → dial with `SessHello` and ride the secure channel;
+    /// `false` → classic one-shot protocol.
+    session_mode: bool,
+    /// The live prover-side channel state. Volatile by design: a device
+    /// reboot loses it (session keys live in RAM, never in NV), which is
+    /// exactly what makes the mid-session-reboot story safe — the sealed
+    /// freshness record survives, the session keys do not.
+    session: Option<SecureChannel>,
 }
 
 impl ProverAgent {
     /// An agent for `prover`, registered as `device_id` at the gateway.
     #[must_use]
     pub fn new(prover: Prover, device_id: u64) -> Self {
-        ProverAgent { prover, device_id }
+        ProverAgent {
+            prover,
+            device_id,
+            session_mode: false,
+            session: None,
+        }
+    }
+
+    /// A session-mode agent: dials with `SessHello`, runs the attested
+    /// handshake once, then rides cheap sealed session rounds.
+    #[must_use]
+    pub fn with_sessions(prover: Prover, device_id: u64) -> Self {
+        ProverAgent {
+            prover,
+            device_id,
+            session_mode: true,
+            session: None,
+        }
     }
 
     /// The wrapped prover.
@@ -934,8 +1525,45 @@ impl ProverAgent {
         &mut self.prover
     }
 
+    /// The live session's public id, if one is established.
+    #[must_use]
+    pub fn session_id(&self) -> Option<[u8; channel::SESSION_ID_SIZE]> {
+        self.session.as_ref().map(SecureChannel::session_id)
+    }
+
+    /// Removes and returns the live session state (adversary probes use
+    /// this to capture keys for cross-session-reuse attempts).
+    pub fn take_session(&mut self) -> Option<SecureChannel> {
+        self.session.take()
+    }
+
+    /// Installs session state (adversary probes: stale or foreign keys).
+    pub fn install_session(&mut self, session: SecureChannel) {
+        self.session = Some(session);
+    }
+
+    /// Reboots the device through the prover's recovery-boot path and
+    /// drops the volatile session state, like a real power cycle: the
+    /// sealed freshness record is restored from NV, the session keys are
+    /// gone. The next dial re-handshakes from scratch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Prover::reboot`].
+    pub fn reboot(&mut self) -> Result<crate::persist::RecoveryOutcome, AttestError> {
+        self.session = None;
+        self.prover.reboot()
+    }
+
     /// Runs one session over an established connection.
     pub fn run_session(&mut self, conn: &mut dyn Transport, io_timeout: Duration) -> AgentOutcome {
+        if self.session_mode {
+            return self.run_secure_session(conn, io_timeout);
+        }
+        self.run_oneshot(conn, io_timeout)
+    }
+
+    fn run_oneshot(&mut self, conn: &mut dyn Transport, io_timeout: Duration) -> AgentOutcome {
         if conn.set_deadline(Some(io_timeout)).is_err() {
             return AgentOutcome::ConnectionLost;
         }
@@ -1011,9 +1639,170 @@ impl ProverAgent {
         }
     }
 
+    /// Session-mode connection: attested handshake when no session is
+    /// live, one sealed attestation round when one is. Frame MAC work is
+    /// charged to the device's cycle clock (`prover.session_auth` /
+    /// `prover.session_seal` spans) — that small HMAC *is* the per-round
+    /// auth cost the session amortizes the one-shot outer MAC down to.
+    fn run_secure_session(
+        &mut self,
+        conn: &mut dyn Transport,
+        io_timeout: Duration,
+    ) -> AgentOutcome {
+        if conn.set_deadline(Some(io_timeout)).is_err() {
+            return AgentOutcome::ConnectionLost;
+        }
+        let resumed = self.session_id();
+        let hello = GatewayMsg::SessHello {
+            device_id: self.device_id,
+            session_id: resumed,
+        };
+        if conn.send(&hello.encode()).is_err() {
+            return drain_outcome(conn, 0);
+        }
+        let mut requests_handled = 0u32;
+        let mut in_round = false;
+        let session_start = Instant::now();
+        let mut last_seen = Duration::ZERO;
+        loop {
+            let bytes = match conn.recv() {
+                Ok(bytes) => bytes,
+                Err(_) => return AgentOutcome::ConnectionLost,
+            };
+            let elapsed = session_start.elapsed();
+            let delta_ms = (elapsed - last_seen).as_millis() as u64;
+            last_seen = elapsed;
+            if delta_ms > 0 {
+                let _ = self.prover.advance_time_ms(delta_ms);
+            }
+            match GatewayMsg::decode(&bytes) {
+                Ok(GatewayMsg::SessInit(raw)) if resumed.is_none() => {
+                    let Ok(init) = HandshakeInit::decode(&raw) else {
+                        return AgentOutcome::ProtocolError;
+                    };
+                    requests_handled += 1;
+                    match channel::prover_accept(&mut self.prover, &init) {
+                        Ok((accept, chan)) => {
+                            self.session = Some(chan);
+                            let msg = GatewayMsg::SessAccept(accept.encode());
+                            if conn.send(&msg.encode()).is_err() {
+                                return drain_outcome(conn, requests_handled);
+                            }
+                        }
+                        Err(AttestError::Rejected(reason)) => {
+                            if conn.send(&GatewayMsg::Reject(reason).encode()).is_err() {
+                                return drain_outcome(conn, requests_handled);
+                            }
+                        }
+                        Err(AttestError::PowerLoss) => return AgentOutcome::ConnectionLost,
+                        Err(_) => {
+                            let msg = GatewayMsg::Reject(RejectReason::Malformed);
+                            if conn.send(&msg.encode()).is_err() {
+                                return drain_outcome(conn, requests_handled);
+                            }
+                        }
+                    }
+                }
+                Ok(GatewayMsg::SessFrame(raw)) if self.session.is_some() => {
+                    // Cheap per-message auth: one short HMAC over the
+                    // frame, charged to the device clock.
+                    let open_cycles = self
+                        .prover
+                        .mcu()
+                        .cost_table()
+                        .mac_cost(MacAlgorithm::HmacSha1, raw.len());
+                    let session = self.session.as_mut().expect("session checked above");
+                    let opened =
+                        self.prover
+                            .charge_stage("prover.session_auth", open_cycles, |_| {
+                                session.open(&raw)
+                            });
+                    let payload = match opened {
+                        Ok(payload) => payload,
+                        Err(e) => {
+                            // A frame our own keys cannot open: replay
+                            // (drop it, stay alive) or desync/forgery
+                            // (fail closed, force a re-handshake).
+                            let reason = e.reject_reason().unwrap_or(RejectReason::Malformed);
+                            if reason == RejectReason::SessionReplay {
+                                let msg = GatewayMsg::Reject(reason);
+                                if conn.send(&msg.encode()).is_err() {
+                                    return drain_outcome(conn, requests_handled);
+                                }
+                                continue;
+                            }
+                            self.session = None;
+                            let _ = conn.send(&GatewayMsg::Reject(reason).encode());
+                            return AgentOutcome::SessionExpired;
+                        }
+                    };
+                    let reply = match GatewayMsg::decode(&payload) {
+                        Ok(GatewayMsg::AttReq(req_raw)) => {
+                            requests_handled += 1;
+                            in_round = true;
+                            match self.prover.handle_session_wire_request(&req_raw) {
+                                Ok(resp) => GatewayMsg::AttResp(resp),
+                                Err(AttestError::Rejected(reason)) => GatewayMsg::Reject(reason),
+                                Err(AttestError::PowerLoss) => return AgentOutcome::ConnectionLost,
+                                Err(_) => GatewayMsg::Reject(RejectReason::Malformed),
+                            }
+                        }
+                        _ => return AgentOutcome::ProtocolError,
+                    };
+                    let inner = reply.encode();
+                    let seal_cycles = self
+                        .prover
+                        .mcu()
+                        .cost_table()
+                        .mac_cost(MacAlgorithm::HmacSha1, inner.len());
+                    let session = self.session.as_mut().expect("session checked above");
+                    let frame =
+                        self.prover
+                            .charge_stage("prover.session_seal", seal_cycles, |_| {
+                                session.seal_next(&inner)
+                            });
+                    if conn.send(&GatewayMsg::SessFrame(frame).encode()).is_err() {
+                        return drain_outcome(conn, requests_handled);
+                    }
+                }
+                Ok(GatewayMsg::AttReq(_) | GatewayMsg::Command(_)) => {
+                    // Downgrade-to-one-shot: a session-mode agent never
+                    // answers bare requests. Refused before any pipeline
+                    // or key-schedule work.
+                    let _ = conn.send(&GatewayMsg::Reject(RejectReason::SessionAuth).encode());
+                    return AgentOutcome::ProtocolError;
+                }
+                Ok(GatewayMsg::Reject(RejectReason::SessionExpired)) => {
+                    self.session = None;
+                    return AgentOutcome::SessionExpired;
+                }
+                Ok(GatewayMsg::Busy) => return AgentOutcome::Busy,
+                Ok(GatewayMsg::Bye { verified }) => {
+                    if verified && in_round {
+                        // Lockstep rekey: count the verified round exactly
+                        // when the gateway does. A lost Bye desyncs the
+                        // ratchet and the next round fails closed into a
+                        // re-handshake — never an accepted forgery.
+                        if let Some(session) = self.session.as_mut() {
+                            session.note_round();
+                        }
+                    }
+                    return AgentOutcome::Served {
+                        requests_handled,
+                        verified,
+                    };
+                }
+                _ => return AgentOutcome::ProtocolError,
+            }
+        }
+    }
+
     /// Dials, runs a session, and retries `Busy` shed with the jittered
     /// backoff of `policy` (each sleep capped at `busy_cap_ms`). Gives up
-    /// after `policy.max_retries` re-dials.
+    /// after `policy.max_retries` re-dials. A [`AgentOutcome::
+    /// SessionExpired`] verdict triggers one transparent re-handshake
+    /// dial (the local session state is already dropped, so the next dial
+    /// opens fresh) without consuming the busy budget.
     pub fn attest_with_retry<F>(
         &mut self,
         mut connect: F,
@@ -1025,21 +1814,29 @@ impl ProverAgent {
         F: FnMut() -> Result<Box<dyn Transport>, TransportError>,
     {
         let total = policy.max_retries + 1;
-        for attempt in 1..=total {
+        let mut attempt = 1;
+        let mut rehandshaken = false;
+        loop {
             let mut conn = match connect() {
                 Ok(conn) => conn,
                 Err(_) => return AgentOutcome::ConnectionLost,
             };
             match self.run_session(conn.as_mut(), io_timeout) {
-                AgentOutcome::Busy if attempt < total => {
+                AgentOutcome::Busy => {
+                    if attempt >= total {
+                        return AgentOutcome::Busy;
+                    }
                     let nap = policy.backoff_ms(attempt).min(busy_cap_ms);
                     thread::sleep(Duration::from_millis(nap));
                     let _ = self.prover.advance_time_ms(nap);
+                    attempt += 1;
+                }
+                AgentOutcome::SessionExpired if !rehandshaken => {
+                    rehandshaken = true;
                 }
                 outcome => return outcome,
             }
         }
-        AgentOutcome::Busy
     }
 }
 
@@ -1088,6 +1885,17 @@ mod tests {
             GatewayMsg::Busy,
             GatewayMsg::Bye { verified: true },
             GatewayMsg::Bye { verified: false },
+            GatewayMsg::SessHello {
+                device_id: 3,
+                session_id: None,
+            },
+            GatewayMsg::SessHello {
+                device_id: 3,
+                session_id: Some([9; channel::SESSION_ID_SIZE]),
+            },
+            GatewayMsg::SessInit(vec![4, 5]),
+            GatewayMsg::SessAccept(vec![]),
+            GatewayMsg::SessFrame(vec![6; 40]),
         ];
         for msg in msgs {
             assert_eq!(GatewayMsg::decode(&msg.encode()).unwrap(), msg);
@@ -1100,13 +1908,18 @@ mod tests {
             &[],
             &[0],
             &[99, 1, 2],
-            &[TAG_HELLO],          // truncated id
-            &[TAG_HELLO, 1, 2, 3], // short id
-            &[TAG_REJECT],         // missing code
-            &[TAG_REJECT, 200],    // unknown code
-            &[TAG_BUSY, 1],        // busy with body
-            &[TAG_BYE],            // missing flag
-            &[TAG_BYE, 1, 2],      // long flag
+            &[TAG_HELLO],                                    // truncated id
+            &[TAG_HELLO, 1, 2, 3],                           // short id
+            &[TAG_REJECT],                                   // missing code
+            &[TAG_REJECT, 200],                              // unknown code
+            &[TAG_BUSY, 1],                                  // busy with body
+            &[TAG_BYE],                                      // missing flag
+            &[TAG_BYE, 1, 2],                                // long flag
+            &[TAG_SESS_HELLO],                               // no id
+            &[TAG_SESS_HELLO, 0, 0, 0, 0, 0, 0, 0, 1],       // missing flag byte
+            &[TAG_SESS_HELLO, 0, 0, 0, 0, 0, 0, 0, 1, 2],    // unknown flag
+            &[TAG_SESS_HELLO, 0, 0, 0, 0, 0, 0, 0, 1, 1, 9], // short sid
+            &[TAG_SESS_HELLO, 0, 0, 0, 0, 0, 0, 0, 1, 0, 9], // trailing after none
         ];
         for bytes in bad {
             assert!(
@@ -1132,6 +1945,9 @@ mod tests {
             RejectReason::Throttled,
             RejectReason::DegradedMode,
             RejectReason::ScopeUnsupported,
+            RejectReason::SessionExpired,
+            RejectReason::SessionReplay,
+            RejectReason::SessionAuth,
         ] {
             let msg = GatewayMsg::Reject(reason);
             assert_eq!(GatewayMsg::decode(&msg.encode()).unwrap(), msg);
@@ -1187,6 +2003,93 @@ mod tests {
         assert_eq!(hist.count(), 6);
         // Transport byte counters crossed the thread boundary too.
         assert!(report.metrics.counter("transport.bytes_in").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn secure_sessions_handshake_round_rekey_and_expire() {
+        use crate::verifier::ScopePolicy;
+
+        let config = ProverConfig::recommended_segmented();
+        let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+        let prover = Prover::provision(config.clone(), &KEY, b"app v1").unwrap();
+        let mut verifier = Verifier::new(&config, &KEY).unwrap();
+        verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+        let mut directory = DeviceDirectory::new();
+        directory.register(verifier, prover.expected_memory().to_vec());
+        let handle = Gateway::start(
+            Box::new(hub),
+            directory,
+            GatewayConfig {
+                workers: 2,
+                read_timeout_ms: 10_000,
+                rekey_after_rounds: 2,
+                ..GatewayConfig::default()
+            },
+        );
+        let mut agent = ProverAgent::with_sessions(prover, 0);
+
+        // Dial 1: attested handshake (full-scope attest inside).
+        let mut conn = connector.connect().unwrap();
+        let outcome = agent.run_session(&mut conn, Duration::from_secs(30));
+        assert!(outcome.is_verified(), "handshake failed: {outcome:?}");
+        let sid = agent.session_id().expect("session established");
+
+        // Dials 2..=5: cheap sealed History rounds; cadence 2 → rekeys.
+        for round in 0..4 {
+            let mut conn = connector.connect().unwrap();
+            let outcome = agent.run_session(&mut conn, Duration::from_secs(30));
+            assert!(outcome.is_verified(), "round {round} failed: {outcome:?}");
+            assert_eq!(agent.session_id(), Some(sid), "session id is stable");
+        }
+
+        // A forgotten session id must be rejected cheaply and the retry
+        // wrapper must transparently re-handshake.
+        let stale = agent.take_session().unwrap();
+        let mut desynced = stale.clone();
+        for _ in 0..3 {
+            desynced.note_round(); // force epoch ahead of the gateway's
+        }
+        agent.install_session(desynced);
+        let outcome = agent.attest_with_retry(
+            || {
+                connector
+                    .connect()
+                    .map(|c| Box::new(c) as Box<dyn Transport>)
+            },
+            &RetryPolicy::default(),
+            Duration::from_secs(30),
+            100,
+        );
+        assert!(outcome.is_verified(), "re-handshake failed: {outcome:?}");
+        assert_ne!(agent.session_id(), Some(sid), "fresh session after desync");
+
+        let report = handle.shutdown();
+        // 1 handshake + 4 rounds + (1 failed desynced round + 1 fresh
+        // handshake) = 6 ok, 1 failed.
+        assert_eq!(report.stats.sessions_ok, 6, "{:?}", report.stats);
+        assert_eq!(report.stats.sessions_failed, 1, "{:?}", report.stats);
+        assert!(report.stats.partition_holds(), "{:?}", report.stats);
+        assert!(
+            report.stats.session_partition_holds(),
+            "session partition: {:?}",
+            report.stats
+        );
+        assert!(report.stats.sessions_rekeyed >= 2, "{:?}", report.stats);
+        assert_eq!(report.stats.sessions_active, 1, "{:?}", report.stats);
+        assert!(
+            report
+                .metrics
+                .counter("gateway.session.opened")
+                .unwrap_or(0)
+                >= 2
+        );
+        assert!(
+            report
+                .metrics
+                .counter("gateway.session.rekeyed")
+                .unwrap_or(0)
+                >= 2
+        );
     }
 
     #[test]

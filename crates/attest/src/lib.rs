@@ -47,6 +47,7 @@
 pub mod admission;
 pub mod auth;
 pub mod campaign;
+pub mod channel;
 pub mod clock;
 pub mod clocksync;
 pub mod error;
@@ -67,6 +68,7 @@ pub use campaign::{
     CampaignAction, CampaignConfig, CampaignController, CampaignPhase, CampaignStats,
     DeviceOutcome, DeviceState, ImageId,
 };
+pub use channel::{HandshakeAccept, HandshakeInit, ReplayWindow, SecureChannel, SessionKeys};
 pub use error::{AttestError, RejectReason};
 pub use fleet::{
     BreakerPolicy, BreakerState, CircuitBreaker, DeviceHealth, FleetController, FleetPolicy,

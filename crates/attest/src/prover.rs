@@ -775,7 +775,50 @@ impl Prover {
         &mut self,
         request: &AttestRequest,
     ) -> Result<AttestResponse, AttestError> {
-        self.handle_parsed(request, CostBreakdown::default())
+        self.handle_parsed(request, CostBreakdown::default(), false)
+    }
+
+    /// Handles an attestation request that arrived **inside an
+    /// established secure session** (`crate::channel`). The session
+    /// frame's MAC already authenticated the bytes per-message, so stage
+    /// 1 (the outer request authenticator) is skipped — that is the
+    /// session amortization win. Every other defence runs unchanged:
+    /// admission, scope capability, freshness (the monotonic counter
+    /// still advances and persists to the sealed NV record, so a
+    /// mid-session reboot resumes safely), and the response is still
+    /// MAC'd under the response key exactly as for a one-shot.
+    ///
+    /// Callers **must** only pass payloads recovered from a verified
+    /// session frame ([`crate::channel::SecureChannel::open`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Prover::handle_request`], minus [`RejectReason::BadAuth`]
+    /// from stage 1 (History bound checks can still raise it).
+    pub fn handle_session_request(
+        &mut self,
+        request: &AttestRequest,
+    ) -> Result<AttestResponse, AttestError> {
+        self.handle_parsed(request, CostBreakdown::default(), true)
+    }
+
+    /// Wire-bytes variant of [`Prover::handle_session_request`], with the
+    /// same cheap malformed-reject ladder as
+    /// [`Prover::handle_wire_request`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Prover::handle_session_request`], plus
+    /// [`RejectReason::Malformed`] when the bytes fail to parse.
+    pub fn handle_session_wire_request(&mut self, bytes: &[u8]) -> Result<Vec<u8>, AttestError> {
+        self.handle_wire(bytes, true)
+    }
+
+    /// The long-term device key as HKDF input keying material for the
+    /// attested-channel handshake. Read through the MPU gate exactly like
+    /// the signing path — outside ROM attestation code this faults.
+    pub(crate) fn session_ikm(&mut self) -> Result<[u8; 16], AttestError> {
+        Ok(self.mcu.read_attest_key(map::ATTEST_PC)?)
     }
 
     /// Handles one attestation request **from raw wire bytes**, the way a
@@ -792,6 +835,10 @@ impl Prover {
     /// - [`AttestError::Device`] / [`AttestError::Crypto`] on internal
     ///   faults.
     pub fn handle_wire_request(&mut self, bytes: &[u8]) -> Result<Vec<u8>, AttestError> {
+        self.handle_wire(bytes, false)
+    }
+
+    fn handle_wire(&mut self, bytes: &[u8], preauth: bool) -> Result<Vec<u8>, AttestError> {
         let cost = CostBreakdown {
             parse_cycles: PARSE_OVERHEAD_CYCLES,
             ..CostBreakdown::default()
@@ -799,7 +846,7 @@ impl Prover {
         self.charge_stage("prover.parse", cost.parse_cycles, |_| ());
         match AttestRequest::from_bytes(bytes) {
             Ok(request) => self
-                .handle_parsed(&request, cost)
+                .handle_parsed(&request, cost, preauth)
                 .map(|response| response.to_bytes()),
             Err(_) => {
                 self.stats.requests_seen = self.stats.requests_seen.saturating_add(1);
@@ -811,11 +858,14 @@ impl Prover {
     }
 
     /// The §4/§5 pipeline, shared by the parsed and wire entry points.
-    /// `cost` carries cycles already spent upstream (parsing).
+    /// `cost` carries cycles already spent upstream (parsing). With
+    /// `preauth` the caller vouches that a session-frame MAC already
+    /// authenticated the message and stage 1 is skipped.
     fn handle_parsed(
         &mut self,
         request: &AttestRequest,
         mut cost: CostBreakdown,
+        preauth: bool,
     ) -> Result<AttestResponse, AttestError> {
         self.stats.requests_seen = self.stats.requests_seen.saturating_add(1);
 
@@ -851,15 +901,19 @@ impl Prover {
 
         // Stage 1: authenticate the request (§4.1). The check itself costs
         // cycles whether it passes or not — with ECDSA, enough to be a DoS
-        // by itself.
-        cost.auth_cycles = self.checker.check_cycles(self.mcu.cost_table());
-        let authentic = self.charge_stage("prover.auth", cost.auth_cycles, |p| {
-            p.checker.check(&message, &request.auth)
-        });
-        if !authentic {
-            self.stats.rejected_auth = self.stats.rejected_auth.saturating_add(1);
-            self.finish(cost);
-            return Err(AttestError::Rejected(RejectReason::BadAuth));
+        // by itself. Inside a secure session the frame MAC already
+        // authenticated these bytes per-message (`preauth`), so the outer
+        // check is skipped — the amortization the channel layer exists for.
+        if !preauth {
+            cost.auth_cycles = self.checker.check_cycles(self.mcu.cost_table());
+            let authentic = self.charge_stage("prover.auth", cost.auth_cycles, |p| {
+                p.checker.check(&message, &request.auth)
+            });
+            if !authentic {
+                self.stats.rejected_auth = self.stats.rejected_auth.saturating_add(1);
+                self.finish(cost);
+                return Err(AttestError::Rejected(RejectReason::BadAuth));
+            }
         }
 
         // Stage 1b: scope capability. The scope byte is under the
@@ -1182,7 +1236,7 @@ impl Prover {
     /// advance, so the per-phase table sums to
     /// [`ProverStats::attestation_cycles`]; with the tracer disabled this
     /// is one flag check and zero device cycles.
-    fn charge_stage<R>(
+    pub(crate) fn charge_stage<R>(
         &mut self,
         name: &'static str,
         cycles: u64,

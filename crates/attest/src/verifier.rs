@@ -80,6 +80,10 @@ pub struct Verifier {
     history_fallback: bool,
     /// Outcome of the most recent verified History round.
     last_history: Option<HistoryOutcome>,
+    /// The long-term device key, kept as HKDF input keying material for
+    /// the attested-channel handshake (`crate::channel`). Never put on
+    /// the wire; session keys are labeled derivations from it.
+    session_ikm: [u8; 16],
 }
 
 impl Verifier {
@@ -106,6 +110,7 @@ impl Verifier {
             rounds_since_full: 0,
             history_fallback: false,
             last_history: None,
+            session_ikm: *key,
         })
     }
 
@@ -170,6 +175,67 @@ impl Verifier {
     /// Currently infallible in practice; the `Result` reserves room for
     /// signature failures.
     pub fn make_request(&mut self) -> Result<AttestRequest, AttestError> {
+        let scope = self.policy_scope();
+        self.request_with(scope, true)
+    }
+
+    /// Creates the next authenticated request at **full** scope
+    /// (`Segmented` when configured, else `Whole`), regardless of the
+    /// steady-state scope policy. Session establishment uses this: the
+    /// handshake's key-confirming attestation always re-covers
+    /// everything.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::make_request`].
+    pub fn make_full_request(&mut self) -> Result<AttestRequest, AttestError> {
+        let scope = self.full_scope();
+        self.request_with(scope, true)
+    }
+
+    /// Creates the next **unsigned** attestation request for an
+    /// established session round. Freshness and challenge are minted
+    /// exactly as for [`Verifier::make_request`]; only the outer request
+    /// authenticator is omitted — inside a session the frame MAC is the
+    /// per-message authenticator, which is the whole amortization win.
+    ///
+    /// # Errors
+    ///
+    /// As [`Verifier::make_request`].
+    pub fn make_session_request(&mut self) -> Result<AttestRequest, AttestError> {
+        let scope = self.policy_scope();
+        self.request_with(scope, false)
+    }
+
+    fn full_scope(&self) -> AttestScope {
+        if self.segmented.is_some() {
+            AttestScope::Segmented
+        } else {
+            AttestScope::Whole
+        }
+    }
+
+    fn policy_scope(&self) -> AttestScope {
+        match self.scope_policy {
+            ScopePolicy::Full => self.full_scope(),
+            ScopePolicy::History { full_every } => {
+                let due_full = full_every > 0 && self.rounds_since_full >= full_every;
+                if self.segmented.is_none() || self.history_fallback || due_full {
+                    self.full_scope()
+                } else {
+                    AttestScope::History {
+                        since_round: self.last_verified_round.unwrap_or(0),
+                    }
+                }
+            }
+        }
+    }
+
+    fn request_with(
+        &mut self,
+        scope: AttestScope,
+        signed: bool,
+    ) -> Result<AttestRequest, AttestError> {
         let freshness = match self.freshness {
             FreshnessKind::None => FreshnessField::None,
             FreshnessKind::NonceHistory => {
@@ -186,32 +252,28 @@ impl Verifier {
         };
         let mut challenge = [0u8; CHALLENGE_SIZE];
         self.drbg.fill(&mut challenge);
-        let full_scope = if self.segmented.is_some() {
-            AttestScope::Segmented
-        } else {
-            AttestScope::Whole
-        };
-        let scope = match self.scope_policy {
-            ScopePolicy::Full => full_scope,
-            ScopePolicy::History { full_every } => {
-                let due_full = full_every > 0 && self.rounds_since_full >= full_every;
-                if self.segmented.is_none() || self.history_fallback || due_full {
-                    full_scope
-                } else {
-                    AttestScope::History {
-                        since_round: self.last_verified_round.unwrap_or(0),
-                    }
-                }
-            }
-        };
         let mut request = AttestRequest {
             scope,
             freshness,
             challenge,
             auth: Vec::new(),
         };
-        request.auth = self.signer.sign(&request.signed_bytes());
+        if signed {
+            request.auth = self.signer.sign(&request.signed_bytes());
+        }
         Ok(request)
+    }
+
+    /// Draws a fresh session-handshake nonce from the verifier's DRBG.
+    pub(crate) fn session_nonce(&mut self) -> [u8; 16] {
+        let mut nonce = [0u8; 16];
+        self.drbg.fill(&mut nonce);
+        nonce
+    }
+
+    /// The HKDF input keying material for session establishment.
+    pub(crate) fn session_ikm(&self) -> &[u8; 16] {
+        &self.session_ikm
     }
 
     /// Creates the next authenticated clock-synchronization message

@@ -1,0 +1,190 @@
+//! HKDF over HMAC-SHA1 (RFC 5869 construction).
+//!
+//! The session layer derives per-session MAC keys from the long-term
+//! device key and a handshake transcript. Deriving — rather than reusing
+//! the device key on session frames — keeps the long-term key's usage
+//! surface fixed (it signs attestation requests/responses and seals NV
+//! records, nothing else) and makes every session's frame keys worthless
+//! outside that session.
+//!
+//! The construction is the RFC 5869 extract/expand pair instantiated with
+//! the crate's own [`HmacSha1`] — no new primitive, no new dependency:
+//!
+//! - [`extract`]`(salt, ikm)` = `HMAC(salt, ikm)` → a 20-byte PRK.
+//! - [`expand`]`(prk, info, len)` = the counter-chained HMAC stream
+//!   `T(1) ‖ T(2) ‖ …` truncated to `len` bytes.
+//! - [`expand_label`] wraps `expand` with a versioned, length-prefixed
+//!   label encoding so that distinct uses can never collide on `info`
+//!   bytes (the same trick TLS 1.3 uses with `HkdfLabel`).
+//!
+//! # Example
+//!
+//! ```
+//! use proverguard_crypto::hkdf;
+//!
+//! let prk = hkdf::extract(b"transcript bytes", b"device key bytes");
+//! let k1 = hkdf::expand_label(&prk, b"c2p mac", b"", 16);
+//! let k2 = hkdf::expand_label(&prk, b"p2c mac", b"", 16);
+//! assert_ne!(k1, k2);
+//! ```
+
+use crate::hmac::HmacSha1;
+use crate::sha1::DIGEST_SIZE;
+
+/// Domain-separation prefix baked into every [`expand_label`] `info`
+/// encoding. Versioned so a future schedule change cannot silently
+/// collide with v1 derivations.
+pub const LABEL_PREFIX: &[u8] = b"proverguard hkdf v1";
+
+/// Maximum output length of one [`expand`] call: 255 blocks of the
+/// 20-byte HMAC-SHA1 output, per RFC 5869.
+pub const MAX_OUTPUT_LEN: usize = 255 * DIGEST_SIZE;
+
+/// HKDF-Extract: concentrates input keying material `ikm` into a
+/// fixed-size pseudorandom key, keyed by `salt`.
+///
+/// Per RFC 5869 this is exactly `HMAC(salt, ikm)`. The session layer
+/// passes the handshake transcript as the salt, so two handshakes that
+/// differ in a single bit produce unrelated PRKs even under the same
+/// device key.
+#[must_use]
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_SIZE] {
+    HmacSha1::mac(salt, ikm)
+}
+
+/// HKDF-Expand: stretches `prk` into `len` output bytes bound to `info`.
+///
+/// `T(0) = empty`, `T(n) = HMAC(prk, T(n-1) ‖ info ‖ n)`; output is the
+/// concatenation truncated to `len`.
+///
+/// # Panics
+///
+/// Panics if `len > MAX_OUTPUT_LEN` (255 · 20 bytes), the RFC 5869
+/// limit. Session derivations ask for at most 20 bytes.
+#[must_use]
+pub fn expand(prk: &[u8; DIGEST_SIZE], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(
+        len <= MAX_OUTPUT_LEN,
+        "hkdf expand output capped at {MAX_OUTPUT_LEN} bytes"
+    );
+    let mut out = Vec::with_capacity(len);
+    let mut block = [0u8; DIGEST_SIZE];
+    let mut counter = 0u8;
+    while out.len() < len {
+        counter += 1;
+        let mut h = HmacSha1::new(prk);
+        if counter > 1 {
+            h.update(&block);
+        }
+        h.update(info);
+        h.update(&[counter]);
+        block = h.finalize();
+        let take = (len - out.len()).min(DIGEST_SIZE);
+        out.extend_from_slice(&block[..take]);
+    }
+    out
+}
+
+/// Labeled [`expand`]: derives `len` bytes under an unambiguous `info`
+/// encoding `LABEL_PREFIX ‖ len(label) ‖ label ‖ context`.
+///
+/// The one-byte length prefix makes the encoding injective — no choice
+/// of `label`/`context` pair can alias another — so every named
+/// derivation lives in its own domain.
+///
+/// # Panics
+///
+/// Panics if `label` exceeds 255 bytes (the length prefix is one byte)
+/// or `len > MAX_OUTPUT_LEN`.
+#[must_use]
+pub fn expand_label(prk: &[u8; DIGEST_SIZE], label: &[u8], context: &[u8], len: usize) -> Vec<u8> {
+    assert!(label.len() <= u8::MAX as usize, "label capped at 255 bytes");
+    let mut info = Vec::with_capacity(LABEL_PREFIX.len() + 1 + label.len() + context.len());
+    info.extend_from_slice(LABEL_PREFIX);
+    info.push(label.len() as u8);
+    info.extend_from_slice(label);
+    info.extend_from_slice(context);
+    expand(prk, &info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::to_hex;
+
+    // RFC 5869 Appendix A.4: SHA-1 basic test case.
+    #[test]
+    fn rfc5869_case4_sha1_basic() {
+        let ikm = [0x0b; 11];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(to_hex(&prk), "9b6c18c432a7bf8f0e71c8eb88f4b30baa2ba243");
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "085a01ea1b10f36933068b56efa5ad81a4f14b822f5b091568a9cdd4f155fda2c22e422478d305f3f896"
+        );
+    }
+
+    // RFC 5869 Appendix A.5: longer inputs/outputs.
+    #[test]
+    fn rfc5869_case5_sha1_long() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(to_hex(&prk), "8adae09a2a307059478d309b26c4115a224cfaf6");
+        let okm = expand(&prk, &info, 82);
+        assert_eq!(
+            to_hex(&okm),
+            "0bd770a74d1160f7c9f12cd5912a06ebff6adcae899d92191fe4305673ba2ffe8fa3f1a4e5ad79f3f334\
+             b3b202b2173c486ea37ce3d397ed034c7f9dfeb15c5e927336d0441f4c4300e2cff0d0900b52d3b4"
+        );
+    }
+
+    // RFC 5869 Appendix A.6: zero-length salt and info.
+    #[test]
+    fn rfc5869_case6_sha1_no_salt_no_info() {
+        let ikm = [0x0b; 22];
+        let prk = extract(&[], &ikm);
+        assert_eq!(to_hex(&prk), "da8c8a73c7fa77288ec6f5e7c297786aa0d32d01");
+        let okm = expand(&prk, &[], 42);
+        assert_eq!(
+            to_hex(&okm),
+            "0ac1af7002b3d761d1e55298da9d0506b9ae52057220a306e07b6b87e8df21d0ea00033de03984d34918"
+        );
+    }
+
+    #[test]
+    fn expand_is_prefix_consistent() {
+        // Asking for fewer bytes yields a prefix of the longer stream.
+        let prk = extract(b"salt", b"ikm");
+        let long = expand(&prk, b"info", 50);
+        for len in 0..=50 {
+            assert_eq!(expand(&prk, b"info", len), long[..len]);
+        }
+    }
+
+    #[test]
+    fn labels_are_domain_separated() {
+        let prk = extract(b"transcript", b"key");
+        // Moving a byte between label and context must change the output:
+        // the length prefix makes the encoding injective.
+        let a = expand_label(&prk, b"ab", b"c", 20);
+        let b = expand_label(&prk, b"a", b"bc", 20);
+        assert_ne!(a, b);
+        // And distinct labels never collide.
+        assert_ne!(
+            expand_label(&prk, b"c2p mac", b"", 16),
+            expand_label(&prk, b"p2c mac", b"", 16)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn oversize_output_panics() {
+        let prk = extract(b"s", b"i");
+        let _ = expand(&prk, b"", MAX_OUTPUT_LEN + 1);
+    }
+}

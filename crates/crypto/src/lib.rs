@@ -6,6 +6,8 @@
 //!
 //! - [`sha1`] — the SHA-1 compression function and streaming hasher.
 //! - [`hmac`] — HMAC-SHA1 ([RFC 2104]).
+//! - [`hkdf`] — HKDF extract/expand over HMAC-SHA1 (RFC 5869), the
+//!   session-key schedule for the attested-channel layer.
 //! - [`aes`] — the AES-128 block cipher (FIPS 197).
 //! - [`speck`] — the Speck 64/128 lightweight block cipher.
 //! - [`cbc`] — CBC mode and CBC-MAC over any [`BlockCipher`].
@@ -45,6 +47,7 @@ pub mod drbg;
 pub mod ecc;
 pub mod ecdsa;
 pub mod error;
+pub mod hkdf;
 pub mod hmac;
 pub mod mac;
 pub mod sha1;

@@ -243,3 +243,102 @@ fn stats_partition_holds_under_mixed_outcomes() {
         report.stats
     );
 }
+
+/// Slowloris during session establishment: the peer opens an attested
+/// handshake, receives the gateway's `SessInit`, then goes silent. One
+/// establishment budget covers every read on the connection, so the
+/// worker is freed within ~`read_timeout_ms` of accepting the
+/// connection — NOT a fresh timeout per protocol message — the stall is
+/// booked as a handshake failure on the deadline path, and a queued
+/// honest session gets the worker right after.
+#[test]
+fn handshake_slowloris_cut_off_by_connection_deadline() {
+    use std::time::Instant;
+
+    let read_timeout_ms = 600u64;
+    let mut directory = DeviceDirectory::new();
+    let (prover, verifier) = provision(0);
+    let device_id = directory.register(verifier, prover.expected_memory().to_vec());
+    let mut agent = ProverAgent::new(prover, device_id);
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let handle = Gateway::start(
+        Box::new(hub),
+        directory,
+        GatewayConfig {
+            workers: 1,
+            queue_depth: 2,
+            read_timeout_ms,
+            ..GatewayConfig::default()
+        },
+    );
+
+    // The slowloris: open the handshake, take the SessInit, say nothing.
+    let mut stalled = connector.connect().expect("slowloris connect");
+    let _ = stalled.set_deadline(Some(Duration::from_secs(5)));
+    let accepted = Instant::now();
+    stalled
+        .send(
+            &GatewayMsg::SessHello {
+                device_id,
+                session_id: None,
+            }
+            .encode(),
+        )
+        .expect("slowloris hello");
+    match GatewayMsg::decode(&stalled.recv().expect("slowloris init")) {
+        Ok(GatewayMsg::SessInit(_)) => {}
+        other => panic!("expected SessInit for the stalled handshake, got {other:?}"),
+    }
+
+    // While the lone worker sits in the stalled accept-read, queue an
+    // honest session behind it.
+    let honest = thread::spawn({
+        let connector = connector.clone();
+        move || {
+            agent
+                .attest_with_retry(
+                    || {
+                        connector
+                            .connect()
+                            .map(|conn| Box::new(conn) as Box<dyn Transport>)
+                    },
+                    &patient(),
+                    Duration::from_secs(30),
+                    50,
+                )
+                .is_verified()
+        }
+    });
+
+    // The gateway must hang up on us when the *connection* budget runs
+    // out. A per-read deadline would stretch this to ~2x read_timeout
+    // (one full timeout for the hello read, another for the accept).
+    assert!(
+        stalled.recv().is_err(),
+        "stalled handshake must be cut, not answered"
+    );
+    let held = accepted.elapsed();
+    assert!(
+        held < Duration::from_millis(read_timeout_ms + 500),
+        "worker held {held:?} by a slowloris peer; budget is {read_timeout_ms}ms per connection"
+    );
+
+    assert!(
+        honest.join().expect("honest session panicked"),
+        "queued honest session must verify once the slowloris is cut"
+    );
+    let report = handle.shutdown();
+    assert_eq!(report.stats.handshake_failed, 1, "{:?}", report.stats);
+    assert_eq!(
+        report.metrics.counter("gateway.handshake.deadline"),
+        Some(1),
+        "the stall must be booked on the deadline path, not as garbage/link"
+    );
+    assert_eq!(report.stats.sessions_ok, 1);
+    assert!(
+        report.stats.partition_holds(),
+        "partition law violated: {:?}",
+        report.stats
+    );
+}

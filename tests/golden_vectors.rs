@@ -206,3 +206,127 @@ fn segmented_session_transcript_vector() {
     );
     assert_eq!(hex(&resp), "0014b925753ab8bc1c4c9031d42e6ed1a1d75fb62dac");
 }
+
+/// HKDF extract/expand-label vectors plus the session key schedule over
+/// a fixed transcript: freezes the label framing ("pg hkdf" prefix,
+/// label/context lengths) and every derivation the channel performs.
+/// A fleet mid-rollout has live sessions keyed by these exact bytes.
+#[test]
+fn session_key_schedule_vector() {
+    use proverguard_attest::channel::SessionKeys;
+    use proverguard_crypto::hkdf;
+
+    let prk = hkdf::extract(b"golden salt", &KEY);
+    assert_eq!(
+        hex(&prk),
+        "f2272c17934cbd0e457e46c7dff35d518c86f2a5",
+        "HKDF-Extract changed"
+    );
+    assert_eq!(
+        hex(&hkdf::expand_label(&prk, b"session id", b"", 8)),
+        "27bef05e393e74cb",
+        "\"session id\" label expansion changed"
+    );
+    assert_eq!(
+        hex(&hkdf::expand_label(&prk, b"c2p mac", b"", 16)),
+        "e8cc59ad4af43cef29f531deba25b0e7",
+        "\"c2p mac\" label expansion changed"
+    );
+    assert_eq!(
+        hex(&hkdf::expand_label(&prk, b"p2c mac", b"", 16)),
+        "3b8c6676e9b965ea2c72a27bc2bca6e7",
+        "\"p2c mac\" label expansion changed"
+    );
+    assert_eq!(
+        hex(&hkdf::expand_label(&prk, b"rekey", &1u32.to_be_bytes(), 20)),
+        "82dc65a3e8209a65986296416f17e1d0250ae8b6",
+        "\"rekey\" label expansion changed"
+    );
+
+    let mut keys = SessionKeys::derive(&KEY, b"golden transcript");
+    assert_eq!(hex(&keys.session_id), "beffd0b8772a9db8");
+    assert_eq!(hex(&keys.to_prover), "90765fad5345372d8d103c1e40c4b8be");
+    assert_eq!(hex(&keys.to_verifier), "8526fc69a7a8a17e8e6ac52bd21bf8da");
+    keys.ratchet();
+    assert_eq!(
+        hex(&keys.to_prover),
+        "b2538f8e4139d2e3f5e769a2d0bbfba8",
+        "rekey ratchet derivation changed"
+    );
+    assert_eq!(hex(&keys.to_verifier), "60d05a9440070c7f3bfb39bd48de69d7");
+    assert_eq!(keys.epoch, 1);
+}
+
+/// The attested-session handshake plus a two-round in-session exchange,
+/// every wire byte frozen: `HandshakeInit` (nonce, rekey cadence, the
+/// embedded *signed full-scope* request), `HandshakeAccept` (derived
+/// prover nonce, pipeline response), and the sequence-numbered session
+/// frames the rounds ride in. The inner round requests are unsigned
+/// (scope byte stream shows auth-len 0008 for the handshake request but
+/// the frame MAC carrying the round) — this test pins that split.
+#[test]
+fn session_handshake_and_rounds_transcript_vector() {
+    use proverguard_attest::channel;
+    use proverguard_attest::message::AttestResponse;
+
+    let config = ProverConfig::recommended_segmented();
+    let mut prover = Prover::provision(config.clone(), &KEY, b"golden app v1").unwrap();
+    let mut verifier = Verifier::new(&config, &KEY).unwrap();
+
+    let (init, request) = channel::verifier_begin(&mut verifier, 4).unwrap();
+    assert_eq!(
+        hex(&init.encode()),
+        "0139c7d24eca9db883ecfc350e16e1416a0000000400250101020000000000000001affe5585d360c46afbadbf3191df6489000856ea39bc55bc8a1d",
+        "handshake init wire encoding changed"
+    );
+    let (accept, mut prover_ch) = channel::prover_accept(&mut prover, &init).unwrap();
+    assert_eq!(
+        hex(&accept.encode()),
+        "01eb484e7ba3fc05b76f4b075497f5984900160014b925753ab8bc1c4c9031d42e6ed1a1d75fb62dac",
+        "handshake accept wire encoding (derived prover nonce) changed"
+    );
+    assert_eq!(channel::transcript(&init, &accept).len(), 108);
+    let expected = prover.expected_memory().to_vec();
+    let mut verifier_ch =
+        channel::verifier_confirm(&mut verifier, &init, &request, &accept, &expected).unwrap();
+    assert_eq!(
+        hex(&verifier_ch.session_id()),
+        "aff0c44bb0b0aecf",
+        "session id derivation over the handshake transcript changed"
+    );
+
+    let frozen_reqs = [
+        "010000000000000000010025010102000000000000000209c04691d6eda25a74219d3763f11895000830f56b319fa989c5ebb9abec2bc57b47f9525c700d247822",
+        "010000000000000000020025010102000000000000000379b3060873ea6b010d31b600a27be3fa0008c982c093431e72a1bc2605fc8429b1103ada9a0e01b3b9c9",
+    ];
+    let frozen_resps = [
+        "010100000000000000010016001494cf7bc6aec087df31b03200c16facdda977fcca1467fc53ba6b06c4ce75cabd43b7b2b9",
+        "0101000000000000000200160014c7a5511459c695ff7025845fbda0cae9dae8be13c0c0203e87bdde92be9446d5008ccd2b",
+    ];
+    for round in 0..2 {
+        let req = verifier.make_request().unwrap();
+        let sealed_req = verifier_ch.seal_next(&req.to_bytes());
+        assert_eq!(
+            hex(&sealed_req),
+            frozen_reqs[round],
+            "sealed round-request frame changed (round {})",
+            round + 1
+        );
+        let opened = prover_ch.open(&sealed_req).unwrap();
+        let resp_raw = prover.handle_session_wire_request(&opened).unwrap();
+        let sealed_resp = prover_ch.seal_next(&resp_raw);
+        assert_eq!(
+            hex(&sealed_resp),
+            frozen_resps[round],
+            "sealed round-response frame changed (round {})",
+            round + 1
+        );
+        let resp_bytes = verifier_ch.open(&sealed_resp).unwrap();
+        let resp = AttestResponse::from_bytes(&resp_bytes).unwrap();
+        let exp = prover.expected_memory().to_vec();
+        assert!(verifier.check_response(&req, &resp, &exp));
+        verifier.note_verified(&req, &resp, &exp);
+        verifier_ch.note_round();
+        prover_ch.note_round();
+    }
+}

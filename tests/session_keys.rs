@@ -1,0 +1,99 @@
+//! Key-hygiene properties of the attested-session key schedule
+//! ([`proverguard_attest::channel`]): session keys are pairwise distinct
+//! across sessions, never collide with the long-term device key they are
+//! derived from, and react to every single transcript bit.
+
+use proptest::prelude::*;
+
+use proverguard_attest::channel::{self, SessionKeys};
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::verifier::Verifier;
+
+proptest! {
+    #[test]
+    fn distinct_transcripts_distinct_keys(
+        ikm in any::<[u8; 16]>(),
+        t1 in proptest::collection::vec(any::<u8>(), 1..128),
+        t2 in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let k1 = SessionKeys::derive(&ikm, &t1);
+        let k2 = SessionKeys::derive(&ikm, &t2);
+        if t1 != t2 {
+            prop_assert_ne!(k1.session_id, k2.session_id);
+            prop_assert_ne!(k1.to_prover, k2.to_prover);
+            prop_assert_ne!(k1.to_verifier, k2.to_verifier);
+        } else {
+            prop_assert_eq!(k1, k2);
+        }
+    }
+
+    #[test]
+    fn derived_keys_never_equal_device_key(
+        ikm in any::<[u8; 16]>(),
+        transcript in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let mut keys = SessionKeys::derive(&ikm, &transcript);
+        // Across the handshake epoch and several ratchets: no direction
+        // key ever equals the device key or its sibling, and each
+        // ratchet replaces both.
+        for _ in 0..4 {
+            prop_assert_ne!(keys.to_prover, ikm);
+            prop_assert_ne!(keys.to_verifier, ikm);
+            prop_assert_ne!(keys.to_prover, keys.to_verifier);
+            let before = keys.clone();
+            keys.ratchet();
+            prop_assert_ne!(keys.to_prover, before.to_prover);
+            prop_assert_ne!(keys.to_verifier, before.to_verifier);
+            prop_assert_eq!(keys.session_id, before.session_id);
+            prop_assert_eq!(keys.epoch, before.epoch + 1);
+        }
+    }
+
+    #[test]
+    fn one_bit_transcript_flip_changes_every_key(
+        ikm in any::<[u8; 16]>(),
+        transcript in proptest::collection::vec(any::<u8>(), 1..96),
+        byte in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut flipped = transcript.clone();
+        let idx = byte as usize % flipped.len();
+        flipped[idx] ^= 1 << bit;
+        let k1 = SessionKeys::derive(&ikm, &transcript);
+        let k2 = SessionKeys::derive(&ikm, &flipped);
+        prop_assert_ne!(k1.session_id, k2.session_id);
+        prop_assert_ne!(k1.to_prover, k2.to_prover);
+        prop_assert_ne!(k1.to_verifier, k2.to_verifier);
+    }
+}
+
+/// Two real sequential handshakes from the *same* device: fresh nonces
+/// and an advanced freshness counter change the transcript, so the
+/// second session's keys are unrelated to the first's — and neither
+/// session ever hands out the long-term device key.
+#[test]
+fn real_handshakes_yield_pairwise_distinct_keys() {
+    const KEY: [u8; 16] = [0x42; 16];
+    let config = ProverConfig::recommended();
+    let mut prover = Prover::provision(config.clone(), &KEY, b"key hygiene").expect("provision");
+    let mut verifier = Verifier::new(&config, &KEY).expect("verifier");
+
+    let mut sessions = Vec::new();
+    for _ in 0..3 {
+        let (init, request) = channel::verifier_begin(&mut verifier, 4).expect("begin");
+        let (accept, _prover_chan) = channel::prover_accept(&mut prover, &init).expect("accept");
+        let expected = prover.expected_memory().to_vec();
+        let chan = channel::verifier_confirm(&mut verifier, &init, &request, &accept, &expected)
+            .expect("confirm");
+        sessions.push(chan.keys().clone());
+    }
+    for (i, a) in sessions.iter().enumerate() {
+        assert_ne!(a.to_prover, KEY, "session {i} leaked the device key");
+        assert_ne!(a.to_verifier, KEY, "session {i} leaked the device key");
+        for (j, b) in sessions.iter().enumerate().skip(i + 1) {
+            assert_ne!(a.session_id, b.session_id, "sessions {i}/{j} share an id");
+            assert_ne!(a.to_prover, b.to_prover, "sessions {i}/{j} share a key");
+            assert_ne!(a.to_verifier, b.to_verifier, "sessions {i}/{j} share a key");
+        }
+    }
+}

@@ -478,3 +478,198 @@ fn clock_skew_heals_through_the_resync_recovery_hook() {
         AttemptOutcome::Rejected(RejectReason::TimestampOutOfWindow)
     );
 }
+
+// ---------------------------------------------------------------------------
+// Secure-session lifecycle over a live gateway: handshake → sealed rounds
+// → lockstep rekey → idle expiry → transparent re-handshake — and a
+// mid-session reboot that resumes safely because the sealed freshness
+// record survives the power cycle while the session keys do not.
+// ---------------------------------------------------------------------------
+
+mod secure_session_lifecycle {
+    use std::time::Duration;
+
+    use proverguard_attest::gateway::{
+        AgentOutcome, DeviceDirectory, Gateway, GatewayConfig, GatewayHandle, GatewayMsg,
+        ProverAgent,
+    };
+    use proverguard_attest::persist::RecoveryOutcome;
+    use proverguard_attest::prover::{Prover, ProverConfig};
+    use proverguard_attest::session::RetryPolicy;
+    use proverguard_attest::verifier::{ScopePolicy, Verifier};
+    use proverguard_attest::RejectReason;
+    use proverguard_transport::frame::DEFAULT_MAX_FRAME;
+    use proverguard_transport::mem::{loopback_pair, LoopbackConnector};
+    use proverguard_transport::Transport;
+
+    use super::KEY;
+
+    const IO: Duration = Duration::from_secs(30);
+
+    fn session_world(config: GatewayConfig) -> (GatewayHandle, LoopbackConnector, ProverAgent) {
+        let pconfig = ProverConfig::recommended_segmented();
+        let (hub, connector) = proverguard_transport::mem::LoopbackHub::new(DEFAULT_MAX_FRAME);
+        let prover = Prover::provision(pconfig.clone(), &KEY, b"session model").expect("provision");
+        let mut verifier = Verifier::new(&pconfig, &KEY).expect("verifier");
+        verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+        let mut directory = DeviceDirectory::new();
+        let device_id = directory.register(verifier, prover.expected_memory().to_vec());
+        let handle = Gateway::start(Box::new(hub), directory, config);
+        (
+            handle,
+            connector,
+            ProverAgent::with_sessions(prover, device_id),
+        )
+    }
+
+    fn dial(connector: &LoopbackConnector, agent: &mut ProverAgent) -> AgentOutcome {
+        let mut conn = connector.connect().expect("connect");
+        agent.run_session(&mut conn, IO)
+    }
+
+    /// The full happy-path lifecycle plus the idle-expiry edge: every
+    /// state transition the session machine has, in order.
+    #[test]
+    fn lifecycle_handshake_rounds_rekey_expiry_rehandshake() {
+        let (handle, connector, mut agent) = session_world(GatewayConfig {
+            workers: 2,
+            read_timeout_ms: 10_000,
+            rekey_after_rounds: 2,
+            session_idle_ms: 250,
+            ..GatewayConfig::default()
+        });
+
+        // Handshake: no session → attested handshake → session live.
+        assert!(agent.session_id().is_none());
+        assert!(dial(&connector, &mut agent).is_verified());
+        let sid = agent.session_id().expect("session established");
+
+        // Rounds: sealed, session id stable; cadence 2 → first rekey
+        // after round 2, visible as the channel epoch advancing.
+        for round in 1..=2 {
+            assert!(dial(&connector, &mut agent).is_verified(), "round {round}");
+            assert_eq!(agent.session_id(), Some(sid));
+        }
+        let chan = agent.take_session().expect("live channel");
+        assert_eq!(chan.epoch(), 1, "2 rounds at cadence 2 → 1 ratchet");
+        agent.install_session(chan);
+
+        // Expiry: outlive the idle window; the resume dial is bounced
+        // with SessionExpired and the agent drops its local state.
+        std::thread::sleep(Duration::from_millis(450));
+        assert_eq!(dial(&connector, &mut agent), AgentOutcome::SessionExpired);
+        assert!(
+            agent.session_id().is_none(),
+            "agent dropped expired session"
+        );
+
+        // Re-handshake: the retry wrapper converges transparently.
+        let outcome = agent.attest_with_retry(
+            || {
+                connector
+                    .connect()
+                    .map(|c| Box::new(c) as Box<dyn Transport>)
+            },
+            &RetryPolicy::default(),
+            IO,
+            50,
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+        let sid2 = agent.session_id().expect("fresh session");
+        assert_ne!(sid2, sid, "expired session id is never resumed");
+
+        let report = handle.shutdown();
+        assert!(report.stats.sessions_expired >= 1, "{:?}", report.stats);
+        assert!(report.stats.session_partition_holds(), "{:?}", report.stats);
+        assert!(report.stats.partition_holds(), "{:?}", report.stats);
+    }
+
+    /// A power cycle mid-session: the volatile channel keys are gone but
+    /// the sealed freshness record is restored from NV, so the forced
+    /// re-handshake presents a *monotonic* counter and verifies — the
+    /// reboot can neither be replayed into nor used to roll freshness
+    /// back.
+    #[test]
+    fn mid_session_reboot_resumes_via_sealed_freshness_record() {
+        let (handle, connector, mut agent) = session_world(GatewayConfig {
+            workers: 2,
+            read_timeout_ms: 10_000,
+            ..GatewayConfig::default()
+        });
+        agent
+            .prover_mut()
+            .attach_nv_store(Box::new(proverguard_attest::persist::InMemoryNvStore::new()))
+            .expect("attach store");
+
+        assert!(dial(&connector, &mut agent).is_verified());
+        assert!(dial(&connector, &mut agent).is_verified());
+        let sid = agent.session_id().expect("session live");
+
+        let recovery = agent.reboot().expect("reboot");
+        assert!(
+            matches!(recovery, RecoveryOutcome::Restored(_)),
+            "sealed freshness record must survive the power cycle: {recovery:?}"
+        );
+        assert!(agent.session_id().is_none(), "session keys are volatile");
+
+        // The rebooted device converges on a *new* session; if the
+        // freshness record had been lost, this full attest would be shed
+        // as a stale counter.
+        let outcome = agent.attest_with_retry(
+            || {
+                connector
+                    .connect()
+                    .map(|c| Box::new(c) as Box<dyn Transport>)
+            },
+            &RetryPolicy::default(),
+            IO,
+            50,
+        );
+        assert!(outcome.is_verified(), "{outcome:?}");
+        assert_ne!(agent.session_id(), Some(sid));
+
+        let report = handle.shutdown();
+        // The pre-reboot session was replaced at the table (evicted).
+        assert!(report.stats.sessions_evicted >= 1, "{:?}", report.stats);
+        assert!(report.stats.session_partition_holds(), "{:?}", report.stats);
+    }
+
+    /// Downgrade defence on the agent side: a session-mode device never
+    /// answers a bare (unsealed) attestation request — the state machine
+    /// refuses before the prover pipeline is reachable.
+    #[test]
+    fn session_mode_agent_refuses_bare_requests() {
+        let pconfig = ProverConfig::recommended_segmented();
+        let prover = Prover::provision(pconfig, &KEY, b"session model").expect("provision");
+        let mut agent = ProverAgent::with_sessions(prover, 0);
+
+        let (mut gateway_end, mut agent_end) = loopback_pair(DEFAULT_MAX_FRAME);
+        // A man-in-the-middle "gateway" that skips the handshake and
+        // asks one-shot style, hoping for an unauthenticated answer.
+        gateway_end
+            .send(&GatewayMsg::AttReq(vec![1, 2, 3]).encode())
+            .expect("send");
+        let requests_before = agent.prover().stats().requests_seen;
+        let outcome = agent.run_session(&mut agent_end, Duration::from_millis(500));
+        assert_eq!(outcome, AgentOutcome::ProtocolError);
+        assert_eq!(
+            agent.prover().stats().requests_seen,
+            requests_before,
+            "bare request must not reach the pipeline"
+        );
+
+        gateway_end
+            .set_deadline(Some(Duration::from_millis(500)))
+            .expect("deadline");
+        let hello = gateway_end.recv().expect("agent's hello");
+        assert!(matches!(
+            GatewayMsg::decode(&hello),
+            Ok(GatewayMsg::SessHello { .. })
+        ));
+        let verdict = gateway_end.recv().expect("agent's refusal");
+        assert_eq!(
+            GatewayMsg::decode(&verdict).ok(),
+            Some(GatewayMsg::Reject(RejectReason::SessionAuth))
+        );
+    }
+}

@@ -6,6 +6,10 @@
 
 use proptest::prelude::*;
 use proverguard_attest::auth::RequestSigner;
+use proverguard_attest::channel::{
+    self, HandshakeAccept, HandshakeInit, Role, SecureChannel, SessionKeys, CHANNEL_VERSION,
+    SESSION_NONCE_SIZE,
+};
 use proverguard_attest::gateway::GatewayMsg;
 use proverguard_attest::message::{
     AttestRequest, AttestResponse, AttestScope, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
@@ -137,13 +141,13 @@ proptest! {
 }
 
 /// Builds a gateway message from raw generated material, covering every
-/// wire tag.
+/// wire tag (including the secure-session ones).
 fn gateway_msg_from(kind: u8, word: u64, body: Vec<u8>) -> GatewayMsg {
-    match kind % 6 {
+    match kind % 12 {
         0 => GatewayMsg::Hello { device_id: word },
         1 => GatewayMsg::AttReq(body),
         2 => GatewayMsg::AttResp(body),
-        3 => GatewayMsg::Reject(match word % 10 {
+        3 => GatewayMsg::Reject(match word % 13 {
             0 => RejectReason::BadAuth,
             1 => RejectReason::NonceReused,
             2 => RejectReason::StaleCounter,
@@ -153,12 +157,28 @@ fn gateway_msg_from(kind: u8, word: u64, body: Vec<u8>) -> GatewayMsg {
             6 => RejectReason::Malformed,
             7 => RejectReason::Throttled,
             8 => RejectReason::DegradedMode,
-            _ => RejectReason::ScopeUnsupported,
+            9 => RejectReason::ScopeUnsupported,
+            10 => RejectReason::SessionExpired,
+            11 => RejectReason::SessionReplay,
+            _ => RejectReason::SessionAuth,
         }),
         4 => GatewayMsg::Busy,
-        _ => GatewayMsg::Bye {
+        5 => GatewayMsg::Bye {
             verified: word & 1 == 1,
         },
+        6 => GatewayMsg::SessHello {
+            device_id: word,
+            session_id: if word & 1 == 1 {
+                Some((word.wrapping_mul(0x9e37_79b9_7f4a_7c15)).to_be_bytes())
+            } else {
+                None
+            },
+        },
+        7 => GatewayMsg::SessInit(body),
+        8 => GatewayMsg::SessAccept(body),
+        9 => GatewayMsg::SessFrame(body),
+        10 => GatewayMsg::Command(body),
+        _ => GatewayMsg::Receipt(body),
     }
 }
 
@@ -268,7 +288,7 @@ proptest! {
 
     #[test]
     fn gateway_msgs_roundtrip(
-        kind in 0u8..6,
+        kind in 0u8..12,
         word in any::<u64>(),
         body in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
@@ -411,5 +431,111 @@ proptest! {
         let bytes = report.encode();
         prop_assert!(HistoryReport::decode(&bytes, count - 1).is_none());
         prop_assert!(HistoryReport::decode(&bytes, count).is_some());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Secure-session wire surface: handshake codecs and sealed frames under
+// truncation, bit flips, replay and version skew. The contract mirrors
+// the attestation parsers above — mangled input is rejected cheaply
+// (before any HKDF work, gated on `channel::key_derivations()`) and
+// burns no channel state, so the pristine traffic still flows after.
+// ---------------------------------------------------------------------------
+
+/// A deterministic established channel pair (no handshake: keys derived
+/// directly, which is the only derivation this section performs).
+fn channel_pair() -> (SecureChannel, SecureChannel) {
+    let keys = SessionKeys::derive(&[7u8; 16], b"wire robustness transcript");
+    (
+        SecureChannel::new(keys.clone(), Role::Verifier, 0),
+        SecureChannel::new(keys, Role::Prover, 0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn handshake_codecs_total_and_strict(
+        nonce in any::<[u8; SESSION_NONCE_SIZE]>(),
+        rekey_after in any::<u32>(),
+        request in proptest::collection::vec(any::<u8>(), 0..96),
+        response in proptest::collection::vec(any::<u8>(), 0..96),
+        cut_seed in any::<u16>(),
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let init = HandshakeInit {
+            version: CHANNEL_VERSION,
+            verifier_nonce: nonce,
+            rekey_after,
+            request,
+        };
+        let bytes = init.encode();
+        prop_assert_eq!(HandshakeInit::decode(&bytes).ok(), Some(init));
+        // Every strict prefix is rejected (self-delimiting encoding) …
+        let cut = cut_seed as usize % bytes.len();
+        prop_assert!(HandshakeInit::decode(&bytes[..cut]).is_err());
+        // … and a wrong version byte dies at decode, before any
+        // pipeline or key-schedule work could be reachable.
+        let mut skewed = bytes.clone();
+        skewed[0] = skewed[0].wrapping_add(1);
+        prop_assert!(HandshakeInit::decode(&skewed).is_err());
+
+        let accept = HandshakeAccept {
+            version: CHANNEL_VERSION,
+            prover_nonce: nonce,
+            response,
+        };
+        let bytes = accept.encode();
+        prop_assert_eq!(HandshakeAccept::decode(&bytes).ok(), Some(accept));
+        let cut = cut_seed as usize % bytes.len();
+        prop_assert!(HandshakeAccept::decode(&bytes[..cut]).is_err());
+
+        // Arbitrary junk never panics either parser.
+        let _ = HandshakeInit::decode(&junk);
+        let _ = HandshakeAccept::decode(&junk);
+    }
+
+    /// Truncated, bit-flipped, version-skewed and replayed session
+    /// frames: all rejected without a single HKDF derivation and without
+    /// poisoning the replay window — the pristine frame still opens
+    /// exactly once afterwards.
+    #[test]
+    fn mangled_session_frames_reject_cheaply_and_burn_no_state(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut_seed in any::<u16>(),
+        bit_seed in any::<u32>(),
+    ) {
+        let (mut v, mut p) = channel_pair();
+        let frame = v.seal_next(&payload);
+        let derives_before = channel::key_derivations();
+
+        // Truncation: every strict prefix dies at the length ladder.
+        let cut = cut_seed as usize % frame.len();
+        prop_assert!(p.open(&frame[..cut]).is_err());
+
+        // Version skew: first byte is the channel version.
+        let mut skewed = frame.clone();
+        skewed[0] = skewed[0].wrapping_add(1);
+        prop_assert!(p.open(&skewed).is_err());
+
+        // Bit flip anywhere: header flips die at the ladder, payload/tag
+        // flips die at the MAC — never at a panic, never accepted.
+        let mut flipped = frame.clone();
+        let bit = bit_seed as usize % (frame.len() * 8);
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(p.open(&flipped).is_err());
+
+        // None of the rejects derived keys or advanced the window: the
+        // pristine frame still opens, exactly once.
+        prop_assert_eq!(channel::key_derivations() - derives_before, 0);
+        prop_assert_eq!(p.open(&frame).ok(), Some(payload));
+        let derives_before = channel::key_derivations();
+        prop_assert_eq!(
+            p.open(&frame).unwrap_err().reject_reason(),
+            Some(RejectReason::SessionReplay),
+            "replayed frame must bounce off the window"
+        );
+        prop_assert_eq!(channel::key_derivations() - derives_before, 0);
     }
 }
