@@ -43,4 +43,7 @@ cargo run --release -q -p proverguard-bench --bin toctou_bench -- --ci
 echo "== session bench (attested-session amortization + adversary gauntlet, emits BENCH_session.json) =="
 cargo run --release -q -p proverguard-bench --bin session_bench -- --ci
 
+echo "== gateway scale (event-driven reactor concurrency gate, emits BENCH_gateway_scale.json) =="
+cargo run --release -q -p proverguard-bench --bin gateway_scale -- --ci
+
 echo "CI green."

@@ -28,6 +28,10 @@
 //!   combined fault + flood pressure, scheduled by the verifier-side
 //!   [`FleetController`](proverguard_attest::fleet::FleetController),
 //!   graded against deterministic liveness invariants.
+//! - [`scale`] — fleet-scale honest load: wire-honest [`SimDevice`]s
+//!   (one HMAC per response, no MCU simulation) driven by an event-driven
+//!   client loop, for measuring the verifier gateway's concurrency
+//!   ceiling at tens of thousands of sessions.
 //! - [`toctou`] — the transient-malware adversary: infect a segment of
 //!   the application image, act, restore the original bytes between
 //!   rounds. Defeats `Whole` and `Segmented` sweeps (content is pristine
@@ -59,6 +63,7 @@ pub mod ext;
 pub mod fault;
 pub mod report;
 pub mod roam;
+pub mod scale;
 pub mod soak;
 pub mod toctou;
 pub mod wire;
@@ -69,6 +74,7 @@ pub use ext::{ExtAttack, MitigationMatrix};
 pub use fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind, FaultyLink};
 pub use report::SuiteReport;
 pub use roam::{RoamAttack, RoamOutcome};
+pub use scale::{drive_oneshot_wave, SimDevice, WaveReport};
 pub use soak::{run_soak, DeviceRole, DeviceSummary, SoakConfig, SoakReport};
 pub use toctou::{immutable_segments, toctou_alarm, TransientMalware};
 pub use wire::{forgery_flood, junk_frame_flood, raw_garbage_flood, FaultyTransport, FloodStats};

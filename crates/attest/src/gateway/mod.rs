@@ -22,6 +22,33 @@
 //! registries into one [`GatewayReport`] via `Registry::merge`, so byte
 //! counters, queue-depth gauges and per-session latency histograms
 //! survive the thread boundary.
+//!
+//! # I/O drivers
+//!
+//! Two interchangeable I/O drivers share all of the above protocol and
+//! accounting machinery, selected by [`GatewayConfig::io_driver`]:
+//!
+//! - [`IoDriver::ThreadPool`] (the default): one blocking OS thread per
+//!   in-flight connection, bounded by `workers` + `queue_depth`. Simple,
+//!   and the reference semantics for differential testing.
+//! - [`IoDriver::Reactor`]: `reactor_shards` event-loop threads, each
+//!   owning a [`proverguard_reactor::Poller`] plus a deadline wheel and
+//!   driving every one of its connections as a poll-driven continuation
+//!   ([`crate::session::DriverCursor`] for one-shot retries, the same
+//!   [`crate::channel`] state machines for secure sessions). Capacity is
+//!   `reactor_shards * max_conns_per_shard` concurrent connections — tens
+//!   of thousands per process instead of tens — and overload is still
+//!   shed with the same deterministic one-frame `Busy`.
+//!
+//! Both drivers feed the same [`GatewayStats`], so the conservation laws
+//! ([`GatewaySnapshot::partition_holds`],
+//! [`GatewaySnapshot::session_partition_holds`]) hold identically; the
+//! reactor additionally exposes per-shard [`ShardSnapshot`]s with their
+//! own partition law.
+
+mod reactor;
+
+pub use reactor::ShardSnapshot;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -411,9 +438,30 @@ impl DeviceEntry {
 // Configuration & stats
 // ---------------------------------------------------------------------------
 
+/// Which I/O engine drives accepted connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoDriver {
+    /// Blocking worker threads behind a bounded queue (the classic
+    /// shape): concurrency = `workers` in service + `queue_depth` parked.
+    #[default]
+    ThreadPool,
+    /// Sharded readiness event loops: concurrency = `reactor_shards` ×
+    /// `max_conns_per_shard`, with worker-thread count = `reactor_shards`.
+    Reactor,
+}
+
 /// Gateway tuning.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
+    /// Which I/O engine serves accepted connections (see [`IoDriver`]).
+    pub io_driver: IoDriver,
+    /// Event-loop shard threads for [`IoDriver::Reactor`] (ignored by the
+    /// thread pool).
+    pub reactor_shards: usize,
+    /// Per-shard connection cap for [`IoDriver::Reactor`]: once every
+    /// shard is full, further accepts shed `Busy` — the reactor's
+    /// equivalent of a full work queue.
+    pub max_conns_per_shard: usize,
     /// Worker threads serving sessions.
     pub workers: usize,
     /// Bounded work-queue depth; a full queue sheds with `Busy`.
@@ -449,6 +497,9 @@ pub struct GatewayConfig {
 impl Default for GatewayConfig {
     fn default() -> Self {
         GatewayConfig {
+            io_driver: IoDriver::ThreadPool,
+            reactor_shards: 2,
+            max_conns_per_shard: 8_192,
             workers: 4,
             queue_depth: 16,
             read_timeout_ms: 1_000,
@@ -746,12 +797,17 @@ pub struct GatewayReport {
     pub stats: GatewaySnapshot,
 }
 
-/// A running gateway: accept loop + worker pool.
+/// A running gateway: accept loop + worker pool (or reactor shards).
 pub struct GatewayHandle {
     shared: Arc<GatewayShared>,
     shutdown: Arc<AtomicBool>,
     accept_thread: JoinHandle<ThreadExit>,
     workers: Vec<JoinHandle<ThreadExit>>,
+    /// Per-shard counters ([`IoDriver::Reactor`] only; empty otherwise).
+    shard_stats: Vec<Arc<reactor::ShardStats>>,
+    /// One waker per shard event loop, so shutdown can interrupt a
+    /// timeout-less poll immediately.
+    shard_wakers: Vec<proverguard_reactor::Waker>,
 }
 
 /// Namespace for [`Gateway::start`].
@@ -768,6 +824,9 @@ impl Gateway {
         directory: DeviceDirectory,
         config: GatewayConfig,
     ) -> GatewayHandle {
+        if config.io_driver == IoDriver::Reactor {
+            return reactor::start(acceptor, directory, config);
+        }
         let workers = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
         let fleet = FleetController::new(directory.len(), config.fleet);
@@ -808,6 +867,8 @@ impl Gateway {
             shutdown,
             accept_thread,
             workers: worker_handles,
+            shard_stats: Vec::new(),
+            shard_wakers: Vec::new(),
         }
     }
 }
@@ -824,18 +885,39 @@ impl GatewayHandle {
         f(&self.shared.fleet.lock().expect("fleet lock poisoned"))
     }
 
+    /// Per-shard counter snapshots. Empty under [`IoDriver::ThreadPool`];
+    /// one entry per event-loop shard under [`IoDriver::Reactor`]. Each
+    /// satisfies [`ShardSnapshot::partition_holds`] and their sums match
+    /// the global [`GatewaySnapshot`] partition terms.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardSnapshot> {
+        self.shard_stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.snapshot(i))
+            .collect()
+    }
+
     /// Graceful shutdown: stops accepting, lets in-flight sessions and
     /// the queued backlog finish, joins every thread and merges their
     /// telemetry.
     #[must_use]
     pub fn shutdown(self) -> GatewayReport {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Reactor shards may be parked in a timeout-less poll; a wake per
+        // shard bounds shutdown latency without a polling loop.
+        for waker in &self.shard_wakers {
+            waker.wake();
+        }
         // Joining the accept thread drops the queue sender; workers drain
         // the backlog, then their `recv` fails and they exit.
         let accept_exit = self
             .accept_thread
             .join()
             .expect("gateway accept thread panicked");
+        for waker in &self.shard_wakers {
+            waker.wake();
+        }
         let mut metrics = accept_exit.registry;
         let mut spans = accept_exit.spans;
         let mut dropped_spans = accept_exit.dropped_spans;
@@ -1020,6 +1102,13 @@ fn conclude(conn: &mut dyn Transport, device_id: u64, verified: bool, ctx: &Gate
     let write_timeout = Duration::from_millis(ctx.config.write_timeout_ms);
     let _ = conn.set_deadline(Some(write_timeout));
     let _ = conn.send(&GatewayMsg::Bye { verified }.encode());
+    record_conclusion(device_id, verified, ctx);
+}
+
+/// The driver-independent half of [`conclude`]: fleet ledger + ok/failed
+/// counters. The reactor driver enqueues its own (non-blocking) `Bye` and
+/// then calls this, so both drivers account outcomes identically.
+fn record_conclusion(device_id: u64, verified: bool, ctx: &GatewayShared) {
     let now_ms = ctx.elapsed_ms();
     ctx.fleet
         .lock()

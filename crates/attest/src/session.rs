@@ -170,6 +170,130 @@ pub trait SessionLink {
     fn recover(&mut self, _failed: &AttemptOutcome) {}
 }
 
+/// What a [`DriverCursor`] wants next after recording an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverStep {
+    /// The session is complete (success or retry budget exhausted); the
+    /// report is final.
+    Done,
+    /// Run the link's recovery hook, emit the `session.backoff` trace
+    /// event, let `backoff_ms` pass, then run the next attempt.
+    Retry {
+        /// Backoff before the next attempt (already jittered).
+        backoff_ms: u64,
+    },
+}
+
+/// The retry loop of [`SessionDriver::run`] as a pure continuation.
+///
+/// The blocking driver parks a thread across attempt → backoff → retry;
+/// the event-driven gateway instead holds thousands of these cursors and
+/// advances each one when its connection's I/O or timer fires:
+/// run an attempt however the I/O layer likes, [`DriverCursor::record`]
+/// the outcome, and either finish or arm a `backoff_ms` timer and come
+/// back. Both drivers share this state machine, so retry accounting,
+/// budget enforcement and telemetry stay identical by construction.
+#[derive(Debug, Clone)]
+pub struct DriverCursor {
+    policy: RetryPolicy,
+    report: SessionReport,
+    next_attempt: u32,
+    done: bool,
+}
+
+impl DriverCursor {
+    /// A cursor at attempt 1 with an empty report.
+    #[must_use]
+    pub fn new(policy: RetryPolicy) -> Self {
+        DriverCursor {
+            policy,
+            report: SessionReport::default(),
+            next_attempt: 1,
+            done: false,
+        }
+    }
+
+    /// 1-based number of the attempt currently in flight.
+    #[must_use]
+    pub fn attempt_number(&self) -> u32 {
+        self.next_attempt
+    }
+
+    /// The per-attempt timeout the in-flight attempt should use.
+    #[must_use]
+    pub fn timeout_ms(&self) -> u64 {
+        self.policy.timeout_ms
+    }
+
+    /// True once [`DriverStep::Done`] has been returned.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The report accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> &SessionReport {
+        &self.report
+    }
+
+    /// Consumes the cursor into its final report.
+    #[must_use]
+    pub fn into_report(self) -> SessionReport {
+        self.report
+    }
+
+    /// Records the outcome of the in-flight attempt and says what to do
+    /// next. Emits the same telemetry the blocking loop always has:
+    /// `session.attempt_failed` + `session.retries` before a retry, the
+    /// `session.success`/`session.failure` counters and the
+    /// `session.attempts` histogram when the session completes. (The
+    /// `session.backoff` trace event is the caller's, emitted between
+    /// recovery and the wait — see [`DriverStep::Retry`].)
+    ///
+    /// # Panics
+    ///
+    /// Panics if called again after [`DriverStep::Done`].
+    pub fn record(&mut self, outcome: AttemptOutcome) -> DriverStep {
+        use proverguard_telemetry::{metrics, trace};
+        assert!(!self.done, "session already complete");
+        let attempt = self.next_attempt;
+        let total = self.policy.max_retries + 1;
+        let success = outcome.is_success();
+        let last = success || attempt >= total;
+        let backoff_ms = if last {
+            0
+        } else {
+            self.policy.backoff_ms(attempt)
+        };
+        if !last {
+            trace::event_with("session.attempt_failed", u64::from(attempt));
+            metrics::counter_add("session.retries", 1);
+        }
+        self.report.attempts.push(AttemptRecord {
+            attempt,
+            outcome,
+            backoff_ms,
+        });
+        if last {
+            self.done = true;
+            metrics::counter_add(
+                if self.report.succeeded() {
+                    "session.success"
+                } else {
+                    "session.failure"
+                },
+                1,
+            );
+            metrics::histogram_record("session.attempts", u64::from(self.report.attempt_count()));
+            DriverStep::Done
+        } else {
+            self.next_attempt = attempt + 1;
+            DriverStep::Retry { backoff_ms }
+        }
+    }
+}
+
 /// Drives sessions according to a [`RetryPolicy`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SessionDriver {
@@ -186,46 +310,30 @@ impl SessionDriver {
 
     /// Runs one logical attestation over `link`: up to `max_retries + 1`
     /// attempts, exponential backoff between them, recovery hook after
-    /// each failure.
+    /// each failure. This is the blocking shell around [`DriverCursor`];
+    /// the event-driven gateway advances the same cursor from its poll
+    /// loop instead.
     pub fn run(&self, link: &mut dyn SessionLink) -> SessionReport {
-        use proverguard_telemetry::{metrics, trace};
-        let mut report = SessionReport::default();
-        let total = self.policy.max_retries + 1;
-        for attempt in 1..=total {
-            let outcome = link.attempt(self.policy.timeout_ms);
-            let success = outcome.is_success();
-            let last = success || attempt == total;
-            let backoff_ms = if last {
-                0
-            } else {
-                self.policy.backoff_ms(attempt)
-            };
-            if !success && !last {
-                trace::event_with("session.attempt_failed", u64::from(attempt));
-                metrics::counter_add("session.retries", 1);
-                link.recover(&outcome);
-                trace::event_with("session.backoff", backoff_ms);
-                link.wait_ms(backoff_ms);
-            }
-            report.attempts.push(AttemptRecord {
-                attempt,
-                outcome,
-                backoff_ms,
-            });
-            if success {
-                break;
+        use proverguard_telemetry::trace;
+        let mut cursor = DriverCursor::new(self.policy);
+        loop {
+            let outcome = link.attempt(cursor.timeout_ms());
+            match cursor.record(outcome) {
+                DriverStep::Done => return cursor.into_report(),
+                DriverStep::Retry { backoff_ms } => {
+                    let failed = &cursor
+                        .report()
+                        .attempts
+                        .last()
+                        .expect("retry implies a recorded attempt")
+                        .outcome
+                        .clone();
+                    link.recover(failed);
+                    trace::event_with("session.backoff", backoff_ms);
+                    link.wait_ms(backoff_ms);
+                }
             }
         }
-        metrics::counter_add(
-            if report.succeeded() {
-                "session.success"
-            } else {
-                "session.failure"
-            },
-            1,
-        );
-        metrics::histogram_record("session.attempts", u64::from(report.attempt_count()));
-        report
     }
 }
 
@@ -454,5 +562,60 @@ mod tests {
         assert_eq!(report.attempt_count(), 3);
         // No recovery/backoff after the final attempt.
         assert_eq!(link.recoveries, 2);
+    }
+
+    #[test]
+    fn cursor_matches_blocking_driver_step_for_step() {
+        let policy = RetryPolicy {
+            max_retries: 4,
+            jitter_per_mille: 250,
+            jitter_seed: 0x5EED,
+            ..RetryPolicy::default()
+        };
+        let mut link = FlakyLink {
+            fail_first: 2,
+            attempts: 0,
+            waited: 0,
+            recoveries: 0,
+        };
+        let blocking = SessionDriver::new(policy).run(&mut link);
+
+        // Replay the same outcome script through the cursor.
+        let mut cursor = DriverCursor::new(policy);
+        loop {
+            let outcome = if cursor.attempt_number() <= 2 {
+                AttemptOutcome::RequestLost
+            } else {
+                AttemptOutcome::Success
+            };
+            if cursor.record(outcome) == DriverStep::Done {
+                break;
+            }
+        }
+        assert!(cursor.is_done());
+        assert_eq!(cursor.into_report(), blocking);
+    }
+
+    #[test]
+    fn cursor_exhausts_budget_and_refuses_more() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        let mut cursor = DriverCursor::new(policy);
+        assert_eq!(cursor.timeout_ms(), policy.timeout_ms);
+        let mut steps = 0;
+        while cursor.record(AttemptOutcome::ResponseLost) != DriverStep::Done {
+            steps += 1;
+            assert!(steps < 10, "cursor never finished");
+        }
+        assert!(cursor.is_done());
+        let report = cursor.report().clone();
+        assert!(!report.succeeded());
+        assert_eq!(report.attempt_count(), 3);
+        // The backoff of the final attempt is zero, earlier ones follow
+        // the policy schedule exactly as the blocking driver records it.
+        assert_eq!(report.attempts[0].backoff_ms, policy.backoff_ms(1));
+        assert_eq!(report.attempts[2].backoff_ms, 0);
     }
 }

@@ -1,0 +1,293 @@
+//! A hashed timing wheel for per-connection deadlines.
+//!
+//! A shard juggles one or two live timers per connection (establishment
+//! budget, retry backoff, idle expiry) across tens of thousands of
+//! connections. A binary heap would pay `O(log n)` per reschedule and
+//! make cancellation awkward; the wheel makes `schedule`/`cancel` O(1)
+//! and amortizes expiry over slot visits, with lazy removal so a
+//! cancelled timer costs nothing until its slot comes around.
+
+use std::collections::HashMap;
+
+use crate::Token;
+
+/// Handle to one scheduled deadline, used to cancel or reschedule it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(u64);
+
+struct TimerEntry {
+    /// The wheel tick this timer fires at (deadline rounded *up* to the
+    /// granule boundary — a timer never fires early).
+    tick: u64,
+    token: Token,
+}
+
+/// The wheel. Time is caller-supplied milliseconds (the gateway feeds
+/// it the same monotonic clock it stamps telemetry with), so the wheel
+/// itself is deterministic and directly proptestable against a naive
+/// model.
+pub struct DeadlineWheel {
+    granularity_ms: u64,
+    /// `slots[tick % slots.len()]` holds the ids parked at that tick —
+    /// possibly a future lap; entries carry their absolute tick and only
+    /// fire once the cursor passes it.
+    slots: Vec<Vec<u64>>,
+    live: HashMap<u64, TimerEntry>,
+    next_id: u64,
+    /// Last tick `advance` has fully processed.
+    cursor_tick: u64,
+    now_ms: u64,
+}
+
+impl DeadlineWheel {
+    /// Creates a wheel with `slots` buckets of `granularity_ms` each.
+    ///
+    /// Deadlines resolve no finer than `granularity_ms` (rounded up, so
+    /// timers fire late by at most one granule, never early); a full lap
+    /// is `slots * granularity_ms` and longer deadlines simply survive
+    /// extra laps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity_ms` or `slots` is zero.
+    #[must_use]
+    pub fn new(granularity_ms: u64, slots: usize) -> DeadlineWheel {
+        assert!(granularity_ms > 0, "granularity must be positive");
+        assert!(slots > 0, "wheel needs at least one slot");
+        DeadlineWheel {
+            granularity_ms,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            live: HashMap::new(),
+            next_id: 1,
+            cursor_tick: 0,
+            now_ms: 0,
+        }
+    }
+
+    /// A wheel tuned for gateway use: 16 ms buckets, 512 slots (~8 s
+    /// lap, longer deadlines lap transparently).
+    #[must_use]
+    pub fn for_gateway() -> DeadlineWheel {
+        DeadlineWheel::new(16, 512)
+    }
+
+    /// Number of live (scheduled, uncancelled, unexpired) timers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no timers are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Schedules `token` to fire once `deadline_ms` passes (against the
+    /// clock fed to [`DeadlineWheel::advance`]). Already-due deadlines
+    /// fire on the next tick-crossing `advance` call.
+    pub fn schedule(&mut self, token: Token, deadline_ms: u64) -> TimerId {
+        let id = self.next_id;
+        self.next_id += 1;
+        // Round up so the timer never fires before its deadline, and
+        // never park at or behind the cursor (that tick is already
+        // processed and would only come around again a lap later).
+        let tick = deadline_ms
+            .div_ceil(self.granularity_ms)
+            .max(self.cursor_tick + 1);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(id);
+        self.live.insert(id, TimerEntry { tick, token });
+        TimerId(id)
+    }
+
+    /// Cancels a timer; returns false if it already fired or was
+    /// cancelled. O(1) — the slot entry is garbage-collected when its
+    /// slot is next visited.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.live.remove(&id.0).is_some()
+    }
+
+    /// Advances the wheel to `now_ms`, appending `(id, token)` for every
+    /// expired timer to `out`. Time never goes backwards; a stale
+    /// `now_ms` is a no-op.
+    pub fn advance(&mut self, now_ms: u64, out: &mut Vec<(TimerId, Token)>) {
+        if now_ms < self.now_ms {
+            return;
+        }
+        self.now_ms = now_ms;
+        let target_tick = now_ms / self.granularity_ms;
+        if target_tick <= self.cursor_tick {
+            return;
+        }
+        let nslots = self.slots.len() as u64;
+        // A jump past a full lap visits every slot exactly once.
+        let first = if target_tick - self.cursor_tick >= nslots {
+            target_tick - nslots + 1
+        } else {
+            self.cursor_tick + 1
+        };
+        for tick in first..=target_tick {
+            let slot = (tick % nslots) as usize;
+            let ids = std::mem::take(&mut self.slots[slot]);
+            for id in ids {
+                match self.live.get(&id) {
+                    None => {} // cancelled: drop lazily
+                    Some(entry) if entry.tick <= target_tick => {
+                        let entry = self.live.remove(&id).expect("entry just observed");
+                        out.push((TimerId(id), entry.token));
+                    }
+                    Some(_) => self.slots[slot].push(id), // future lap
+                }
+            }
+        }
+        self.cursor_tick = target_tick;
+    }
+
+    /// A poll timeout that will not oversleep the earliest timer: one
+    /// wheel granule when anything is live, `None` (block forever) when
+    /// idle. Coarse by design — the shard loop re-advances on every
+    /// wakeup anyway.
+    #[must_use]
+    pub fn next_timeout_ms(&self) -> Option<u64> {
+        if self.live.is_empty() {
+            None
+        } else {
+            Some(self.granularity_ms)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fires_once_deadline_passes() {
+        let mut wheel = DeadlineWheel::new(10, 8);
+        let id = wheel.schedule(Token(1), 35);
+        let mut out = Vec::new();
+        wheel.advance(30, &mut out);
+        assert!(out.is_empty());
+        wheel.advance(40, &mut out);
+        assert_eq!(out, vec![(id, Token(1))]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn sub_granule_future_deadline_fires_next_granule_not_next_lap() {
+        let mut wheel = DeadlineWheel::new(10, 8); // 80 ms lap
+        let id = wheel.schedule(Token(4), 35);
+        let mut out = Vec::new();
+        wheel.advance(32, &mut out); // same granule as the deadline
+        assert!(out.is_empty());
+        wheel.advance(41, &mut out); // next granule — must fire now,
+        assert_eq!(out, vec![(id, Token(4))]); // not at 35 + lap
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut wheel = DeadlineWheel::new(10, 8);
+        let id = wheel.schedule(Token(1), 35);
+        assert!(wheel.cancel(id));
+        assert!(!wheel.cancel(id));
+        let mut out = Vec::new();
+        wheel.advance(1000, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn long_deadline_survives_laps() {
+        let mut wheel = DeadlineWheel::new(10, 4); // 40 ms lap
+        let id = wheel.schedule(Token(9), 205);
+        let mut out = Vec::new();
+        for now in (10..=200).step_by(10) {
+            wheel.advance(now, &mut out);
+            assert!(out.is_empty(), "fired early at {now}");
+        }
+        wheel.advance(210, &mut out);
+        assert_eq!(out, vec![(id, Token(9))]);
+    }
+
+    #[test]
+    fn already_due_fires_on_next_advance() {
+        let mut wheel = DeadlineWheel::new(10, 8);
+        let mut out = Vec::new();
+        wheel.advance(500, &mut out);
+        let id = wheel.schedule(Token(2), 100); // long past due
+        wheel.advance(520, &mut out);
+        assert_eq!(out, vec![(id, Token(2))]);
+    }
+
+    #[test]
+    fn big_jump_does_not_revisit_forever() {
+        let mut wheel = DeadlineWheel::new(1, 16);
+        let id = wheel.schedule(Token(5), 3);
+        let mut out = Vec::new();
+        wheel.advance(1_000_000, &mut out); // a huge jump: one lap max
+        assert_eq!(out, vec![(id, Token(5))]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn matches_naive_model(
+            granularity in 1u64..20,
+            nslots in 1usize..32,
+            ops in proptest::collection::vec(any::<u32>(), 1..120),
+        ) {
+            let mut wheel = DeadlineWheel::new(granularity, nslots);
+            // Naive model: live timers as (id, effective tick, token),
+            // fired when a processed advance passes their tick.
+            let mut live: Vec<(TimerId, u64, Token)> = Vec::new();
+            let mut cursor = 0u64;
+            let mut now = 0u64;
+            let mut issued: Vec<TimerId> = Vec::new();
+
+            for word in ops {
+                let (op, arg) = ((word >> 16) as u8, word as u16);
+                match op % 3 {
+                    0 => {
+                        let deadline = now + u64::from(arg % 2000);
+                        let token = Token(usize::from(arg));
+                        let id = wheel.schedule(token, deadline);
+                        let eff = deadline.div_ceil(granularity).max(cursor + 1);
+                        live.push((id, eff, token));
+                        issued.push(id);
+                    }
+                    1 => {
+                        if !issued.is_empty() {
+                            let id = issued[usize::from(arg) % issued.len()];
+                            let wheel_had = wheel.cancel(id);
+                            let model_had = live.iter().any(|(m, _, _)| *m == id);
+                            live.retain(|(m, _, _)| *m != id);
+                            prop_assert_eq!(wheel_had, model_had);
+                        }
+                    }
+                    _ => {
+                        now += u64::from(arg % 500);
+                        let mut fired = Vec::new();
+                        wheel.advance(now, &mut fired);
+                        let target = now / granularity;
+                        let mut expect: Vec<(TimerId, Token)> = Vec::new();
+                        if target > cursor {
+                            expect = live
+                                .iter()
+                                .filter(|(_, t, _)| *t <= target)
+                                .map(|(i, _, t)| (*i, *t))
+                                .collect();
+                            live.retain(|(_, t, _)| *t > target);
+                            cursor = target;
+                        }
+                        fired.sort_by_key(|(i, _)| *i);
+                        expect.sort_by_key(|(i, _)| *i);
+                        prop_assert_eq!(&fired, &expect, "at now={}", now);
+                        prop_assert_eq!(wheel.len(), live.len());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -315,4 +315,91 @@ mod tests {
         assert_eq!(frame.len(), HEADER_LEN);
         assert_eq!(decode_datagram(&frame, DEFAULT_MAX_FRAME).unwrap(), b"");
     }
+
+    /// Feeds `stream` to a fresh decoder in one `extend` and returns all
+    /// frames — the reference decode the partitioned runs must match.
+    fn one_shot_decode(stream: &[u8]) -> Vec<Vec<u8>> {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+        dec.extend(stream);
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame().expect("valid stream") {
+            out.push(f);
+        }
+        out
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        // The WouldBlock-incrementality contract: however the kernel
+        // slices the byte stream across reads — including cuts inside
+        // the 8-byte header — the decoder yields exactly the frames a
+        // single contiguous read would, in order.
+        #[test]
+        fn arbitrary_read_partitions_decode_like_one_shot(
+            lens in proptest::collection::vec(0usize..300, 1..5),
+            cuts in proptest::collection::vec(proptest::arbitrary::any::<u16>(), 0..24),
+        ) {
+            let mut stream = Vec::new();
+            for (i, len) in lens.iter().enumerate() {
+                let payload: Vec<u8> =
+                    (0..*len).map(|j| (i * 31 + j) as u8).collect();
+                stream.extend_from_slice(
+                    &encode_frame(&payload, DEFAULT_MAX_FRAME).unwrap(),
+                );
+            }
+            let expect = one_shot_decode(&stream);
+
+            // Cut positions anywhere in the stream (duplicates collapse,
+            // so empty reads are exercised too).
+            let mut bounds: Vec<usize> = cuts
+                .iter()
+                .map(|c| usize::from(*c) % (stream.len() + 1))
+                .collect();
+            bounds.push(0);
+            bounds.push(stream.len());
+            bounds.sort_unstable();
+
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+            let mut got = Vec::new();
+            for pair in bounds.windows(2) {
+                dec.extend(&stream[pair[0]..pair[1]]);
+                // Drain after every read, as the event loop does.
+                while let Some(f) = dec.next_frame().expect("valid stream") {
+                    got.push(f);
+                }
+            }
+            proptest::prop_assert_eq!(&got, &expect);
+            proptest::prop_assert_eq!(dec.pending(), 0);
+        }
+
+        // Mid-header garbage is rejected at the same byte offset no
+        // matter how the reads are sliced.
+        #[test]
+        fn partitioned_garbage_rejected_like_one_shot(
+            bad_at in 0usize..4,
+            cut in 0usize..8,
+        ) {
+            let mut stream = encode_frame(b"ok", DEFAULT_MAX_FRAME).unwrap();
+            stream[bad_at] ^= 0xff;
+            let cut = cut.min(stream.len());
+
+            let mut one = FrameDecoder::new(DEFAULT_MAX_FRAME);
+            one.extend(&stream);
+            let one_err = one.next_frame().expect_err("corrupt header");
+
+            let mut split = FrameDecoder::new(DEFAULT_MAX_FRAME);
+            split.extend(&stream[..cut]);
+            let early = split.next_frame();
+            let split_err = match early {
+                Err(e) => e,
+                Ok(None) => {
+                    split.extend(&stream[cut..]);
+                    split.next_frame().expect_err("corrupt header")
+                }
+                Ok(Some(f)) => panic!("decoded corrupt frame {f:?}"),
+            };
+            proptest::prop_assert_eq!(split_err, one_err);
+        }
+    }
 }

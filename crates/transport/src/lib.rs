@@ -29,12 +29,14 @@
 pub mod error;
 pub mod frame;
 pub mod mem;
+pub mod nb;
 pub mod tcp;
 pub mod udp;
 
 pub use error::TransportError;
 pub use frame::{decode_datagram, encode_frame, FrameDecoder, DEFAULT_MAX_FRAME};
 pub use mem::{loopback_pair, LoopbackConnector, LoopbackHub, MemTransport};
+pub use nb::{NbTransport, ReadySource};
 pub use tcp::{TcpAcceptor, TcpTransport};
 pub use udp::{udp_pair, UdpTransport};
 
@@ -114,6 +116,20 @@ pub trait Transport: Send {
     /// A human-readable peer label for logs (`127.0.0.1:4242`,
     /// `loopback#3`, …).
     fn peer(&self) -> String;
+
+    /// Converts this transport into its non-blocking form for the
+    /// event-driven gateway. Buffered but undecoded bytes carry over, so
+    /// the handoff is safe mid-stream.
+    ///
+    /// # Errors
+    ///
+    /// A structured `Unsupported` [`TransportError::Io`] for transports
+    /// without a readiness story (the default — TCP and loopback
+    /// override it).
+    fn into_nb(self: Box<Self>) -> Result<Box<dyn nb::NbTransport>, TransportError> {
+        let what = self.peer();
+        Err(nb::unsupported_nb(&what))
+    }
 }
 
 /// The listening half: yields accepted connections as boxed transports.

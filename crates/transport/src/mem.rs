@@ -14,8 +14,11 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError}
 use std::sync::Arc;
 use std::time::Duration;
 
+use proverguard_reactor::Notifier;
+
 use crate::error::TransportError;
 use crate::frame::{decode_datagram, encode_frame};
+use crate::nb::{NbTransport, ReadySource, SignalCell};
 use crate::{Acceptor, LinkStats, Transport};
 
 /// One end of an in-memory loopback link.
@@ -27,10 +30,22 @@ pub struct MemTransport {
     max_frame: usize,
     stats: LinkStats,
     label: String,
+    /// Pinged after every send (and on drop) so a non-blocking peer
+    /// learns about readiness; inert while the peer runs blocking.
+    peer_signal: Arc<SignalCell>,
+    /// Where this end's own notifier is parked by `attach_notifier`.
+    recv_signal: Arc<SignalCell>,
 }
 
 impl MemTransport {
-    fn new(tx: Sender<Vec<u8>>, rx: Receiver<Vec<u8>>, max_frame: usize, label: String) -> Self {
+    fn new(
+        tx: Sender<Vec<u8>>,
+        rx: Receiver<Vec<u8>>,
+        max_frame: usize,
+        label: String,
+        peer_signal: Arc<SignalCell>,
+        recv_signal: Arc<SignalCell>,
+    ) -> Self {
         MemTransport {
             tx,
             rx,
@@ -38,6 +53,8 @@ impl MemTransport {
             max_frame,
             stats: LinkStats::default(),
             label,
+            peer_signal,
+            recv_signal,
         }
     }
 
@@ -51,8 +68,17 @@ impl MemTransport {
     pub fn send_raw(&mut self, bytes: Vec<u8>) -> Result<(), TransportError> {
         let n = bytes.len();
         self.tx.send(bytes).map_err(|_| TransportError::Closed)?;
+        self.peer_signal.ping();
         self.stats.note_sent(n);
         Ok(())
+    }
+}
+
+impl Drop for MemTransport {
+    fn drop(&mut self) {
+        // Hangup notification: a non-blocking peer blocked on readiness
+        // must wake to observe the disconnected channel.
+        self.peer_signal.ping();
     }
 }
 
@@ -61,6 +87,7 @@ impl Transport for MemTransport {
         let framed = encode_frame(payload, self.max_frame)?;
         let n = framed.len();
         self.tx.send(framed).map_err(|_| TransportError::Closed)?;
+        self.peer_signal.ping();
         self.stats.note_sent(n);
         Ok(())
     }
@@ -91,6 +118,61 @@ impl Transport for MemTransport {
     fn peer(&self) -> String {
         self.label.clone()
     }
+
+    fn into_nb(self: Box<Self>) -> Result<Box<dyn NbTransport>, TransportError> {
+        Ok(Box::new(NbMem { inner: *self }))
+    }
+}
+
+/// The non-blocking form of [`MemTransport`]: readiness is notifier-based
+/// (the peer pings on every send and on hangup), sends never block (the
+/// channel is unbounded), so flush is trivially complete.
+#[derive(Debug)]
+pub struct NbMem {
+    inner: MemTransport,
+}
+
+impl NbTransport for NbMem {
+    fn ready_source(&self) -> ReadySource {
+        ReadySource::Notify
+    }
+
+    fn attach_notifier(&mut self, notifier: Notifier) {
+        self.inner.recv_signal.attach(notifier);
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.inner.rx.try_recv() {
+            Ok(framed) => {
+                self.inner.stats.note_received_bytes(framed.len());
+                let payload = decode_datagram(&framed, self.inner.max_frame)?;
+                self.inner.stats.note_received_frame();
+                Ok(Some(payload))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn enqueue_send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.inner.send(payload)
+    }
+
+    fn flush(&mut self) -> Result<bool, TransportError> {
+        Ok(true)
+    }
+
+    fn has_pending_write(&self) -> bool {
+        false
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.inner.stats
+    }
+
+    fn peer(&self) -> String {
+        self.inner.label.clone()
+    }
 }
 
 /// A connected pair of loopback transports.
@@ -98,9 +180,25 @@ impl Transport for MemTransport {
 pub fn loopback_pair(max_frame: usize) -> (MemTransport, MemTransport) {
     let (a_tx, b_rx) = channel();
     let (b_tx, a_rx) = channel();
+    let a_signal = Arc::new(SignalCell::new());
+    let b_signal = Arc::new(SignalCell::new());
     (
-        MemTransport::new(a_tx, a_rx, max_frame, "loopback:a".to_string()),
-        MemTransport::new(b_tx, b_rx, max_frame, "loopback:b".to_string()),
+        MemTransport::new(
+            a_tx,
+            a_rx,
+            max_frame,
+            "loopback:a".to_string(),
+            Arc::clone(&b_signal),
+            a_signal.clone(),
+        ),
+        MemTransport::new(
+            b_tx,
+            b_rx,
+            max_frame,
+            "loopback:b".to_string(),
+            a_signal,
+            b_signal,
+        ),
     )
 }
 
@@ -127,17 +225,23 @@ impl LoopbackConnector {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let (client_tx, server_rx) = channel();
         let (server_tx, client_rx) = channel();
+        let server_signal = Arc::new(SignalCell::new());
+        let client_signal = Arc::new(SignalCell::new());
         let server = MemTransport::new(
             server_tx,
             server_rx,
             self.max_frame,
             format!("loopback#{id}"),
+            Arc::clone(&client_signal),
+            server_signal.clone(),
         );
         let client = MemTransport::new(
             client_tx,
             client_rx,
             self.max_frame,
             format!("gateway#{id}"),
+            server_signal,
+            client_signal,
         );
         self.conn_tx
             .send(server)
@@ -256,6 +360,34 @@ mod tests {
             .poll_accept(Duration::from_millis(10))
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn nb_notify_roundtrip_and_hangup() {
+        use proverguard_reactor::{Events, Poller, Token};
+
+        let (a, mut b) = loopback_pair(DEFAULT_MAX_FRAME);
+        let mut poller = Poller::new().unwrap();
+        let mut nb = (Box::new(a) as Box<dyn Transport>).into_nb().unwrap();
+        assert_eq!(nb.ready_source(), ReadySource::Notify);
+        nb.attach_notifier(poller.notifier(Token(1)).unwrap());
+
+        b.send(b"hi").unwrap();
+        let mut events = Events::default();
+        poller
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty(), "send must ping the notifier");
+        assert_eq!(nb.try_recv().unwrap().unwrap(), b"hi");
+        assert_eq!(nb.try_recv().unwrap(), None);
+        assert!(nb.flush().unwrap());
+
+        drop(b);
+        poller
+            .poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty(), "drop must ping the notifier");
+        assert_eq!(nb.try_recv(), Err(TransportError::Closed));
     }
 
     #[test]

@@ -6,16 +6,25 @@
 //! frames from whatever the kernel hands us, so a peer dribbling one byte
 //! per segment and a peer batching ten frames per segment both work.
 
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use proverguard_reactor::{Events, Interest, Notifier, Poller, Token};
 
 use crate::error::TransportError;
 use crate::frame::{encode_frame, FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::nb::{NbTransport, ReadySource};
 use crate::{Acceptor, LinkStats, Transport};
 
 /// How much to ask the kernel for per read.
 const READ_CHUNK: usize = 4096;
+
+/// Default interval of the acceptor's sleep-poll fallback (the historic
+/// hard-coded value, now configurable via
+/// [`TcpAcceptor::set_accept_backoff`]).
+pub const DEFAULT_ACCEPT_BACKOFF: Duration = Duration::from_millis(1);
 
 /// A framed TCP connection.
 #[derive(Debug)]
@@ -103,16 +112,109 @@ impl Transport for TcpTransport {
     fn peer(&self) -> String {
         self.peer.clone()
     }
+
+    fn into_nb(self: Box<Self>) -> Result<Box<dyn NbTransport>, TransportError> {
+        self.stream.set_nonblocking(true)?;
+        Ok(Box::new(NbTcp {
+            fd: self.stream.as_raw_fd(),
+            stream: self.stream,
+            decoder: self.decoder,
+            stats: self.stats,
+            peer: self.peer,
+            pending: Vec::new(),
+            pending_off: 0,
+        }))
+    }
 }
 
-/// The listening side: a non-blocking `TcpListener` polled with a small
-/// sleep, so the accept loop can observe a shutdown flag between polls
-/// without a wake-up socket.
+/// The non-blocking form of [`TcpTransport`]: readiness comes from the
+/// socket fd, writes that would block are buffered for
+/// [`NbTransport::flush`].
 #[derive(Debug)]
+pub struct NbTcp {
+    stream: TcpStream,
+    fd: i32,
+    decoder: FrameDecoder,
+    stats: LinkStats,
+    peer: String,
+    pending: Vec<u8>,
+    pending_off: usize,
+}
+
+impl NbTransport for NbTcp {
+    fn ready_source(&self) -> ReadySource {
+        ReadySource::Fd(self.fd)
+    }
+
+    fn attach_notifier(&mut self, _notifier: Notifier) {}
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                self.stats.note_received_frame();
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => {
+                    self.stats.note_received_bytes(n);
+                    self.decoder.extend(&chunk[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn enqueue_send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        let framed = encode_frame(payload, self.decoder.max_frame_len())?;
+        self.stats.note_sent(framed.len());
+        self.pending.extend_from_slice(&framed);
+        self.flush().map(|_| ())
+    }
+
+    fn flush(&mut self) -> Result<bool, TransportError> {
+        while self.pending_off < self.pending.len() {
+            match self.stream.write(&self.pending[self.pending_off..]) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => self.pending_off += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.pending.clear();
+        self.pending_off = 0;
+        Ok(true)
+    }
+
+    fn has_pending_write(&self) -> bool {
+        self.pending_off < self.pending.len()
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// The listening side: a non-blocking `TcpListener` waited on through a
+/// reactor [`Poller`] when one is available, with the original
+/// sleep-poll loop kept as the portable fallback (its interval is now
+/// configurable instead of hard-coded).
 pub struct TcpAcceptor {
     listener: TcpListener,
     max_frame: usize,
     local: SocketAddr,
+    /// Reactor-backed readiness for the listener fd; `None` runs the
+    /// sleep-poll fallback.
+    poller: Option<(Poller, Events)>,
+    backoff: Duration,
 }
 
 impl TcpAcceptor {
@@ -137,10 +239,19 @@ impl TcpAcceptor {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        // Best effort: a reactor failure (fd limits, exotic platforms)
+        // degrades to the sleep-poll loop instead of failing the bind.
+        let poller = Poller::new().ok().and_then(|mut p| {
+            p.register(listener.as_raw_fd(), Token(0), Interest::READABLE)
+                .ok()
+                .map(|()| (p, Events::with_capacity(4)))
+        });
         Ok(TcpAcceptor {
             listener,
             max_frame,
             local,
+            poller,
+            backoff: DEFAULT_ACCEPT_BACKOFF,
         })
     }
 
@@ -149,6 +260,24 @@ impl TcpAcceptor {
     pub fn local_addr(&self) -> SocketAddr {
         self.local
     }
+
+    /// Sets the sleep interval of the fallback poll loop (ignored while
+    /// the reactor path is active). Zero is clamped to 1 ms.
+    pub fn set_accept_backoff(&mut self, backoff: Duration) {
+        self.backoff = backoff.max(Duration::from_millis(1));
+    }
+
+    /// Forces the sleep-poll fallback path (used by tests and by
+    /// deployments that want the reactor kept out of the accept path).
+    pub fn disable_reactor(&mut self) {
+        self.poller = None;
+    }
+
+    /// True when accepts are reactor-driven rather than sleep-polled.
+    #[must_use]
+    pub fn reactor_active(&self) -> bool {
+        self.poller.is_some()
+    }
 }
 
 impl Acceptor for TcpAcceptor {
@@ -156,18 +285,27 @@ impl Acceptor for TcpAcceptor {
         &mut self,
         timeout: Duration,
     ) -> Result<Option<Box<dyn Transport>>, TransportError> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let t = TcpTransport::with_max_frame(stream, self.max_frame)?;
                     return Ok(Some(Box::new(t)));
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if std::time::Instant::now() >= deadline {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Ok(None);
                     }
-                    std::thread::sleep(Duration::from_millis(1));
+                    match &mut self.poller {
+                        Some((poller, events)) => {
+                            // Block until the listener is actually
+                            // readable (or the deadline passes) instead
+                            // of burning sleep/accept cycles.
+                            poller.poll(events, Some(deadline - now))?;
+                        }
+                        None => std::thread::sleep(self.backoff.min(deadline - now)),
+                    }
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -262,6 +400,67 @@ mod tests {
             .expect("client connected");
         conn.set_deadline(Some(Duration::from_secs(5))).unwrap();
         assert_eq!(conn.recv().unwrap(), b"hi");
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn nb_roundtrip_and_close() {
+        let (server, mut client) = pair();
+        let mut nb = (Box::new(server) as Box<dyn Transport>).into_nb().unwrap();
+        assert!(matches!(nb.ready_source(), ReadySource::Fd(_)));
+        assert_eq!(nb.try_recv().unwrap(), None, "no data: would-block");
+
+        client.send(b"ping").unwrap();
+        let got = loop {
+            if let Some(f) = nb.try_recv().unwrap() {
+                break f;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(got, b"ping");
+
+        nb.enqueue_send(b"pong").unwrap();
+        while !nb.flush().unwrap() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!nb.has_pending_write());
+        client.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(client.recv().unwrap(), b"pong");
+        assert!(nb.stats().frames_in >= 1 && nb.stats().frames_out >= 1);
+
+        drop(client);
+        let err = loop {
+            match nb.try_recv() {
+                Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+                Ok(Some(f)) => panic!("unexpected frame {f:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, TransportError::Closed);
+    }
+
+    #[test]
+    fn acceptor_fallback_path_still_accepts() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        assert!(acceptor.reactor_active(), "reactor path expected on linux");
+        acceptor.disable_reactor();
+        acceptor.set_accept_backoff(Duration::from_millis(2));
+        assert!(!acceptor.reactor_active());
+        assert!(acceptor
+            .poll_accept(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+        let addr = acceptor.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpTransport::connect(addr).unwrap();
+            c.send(b"fallback").unwrap();
+        });
+        let mut conn = acceptor
+            .poll_accept(Duration::from_secs(5))
+            .unwrap()
+            .expect("client connected");
+        conn.set_deadline(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(conn.recv().unwrap(), b"fallback");
         client.join().unwrap();
     }
 

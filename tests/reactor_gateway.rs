@@ -1,0 +1,498 @@
+//! The event-driven gateway driver, exercised through the same public
+//! surface as the thread-pool driver: honest fleets verify, session
+//! handshake/resume/reboot/expiry behave identically, a slowloris is cut
+//! by the shared establishment budget, overload sheds a deterministic
+//! `Busy`, and both the global and the per-shard stats partition laws
+//! hold. The final test runs one workload through both drivers and
+//! demands the same protocol-visible outcome.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use proverguard_attest::gateway::{
+    DeviceDirectory, Gateway, GatewayConfig, GatewayMsg, IoDriver, ProverAgent,
+};
+use proverguard_attest::prover::{Prover, ProverConfig};
+use proverguard_attest::session::RetryPolicy;
+use proverguard_attest::verifier::Verifier;
+use proverguard_transport::{LoopbackConnector, LoopbackHub, Transport, DEFAULT_MAX_FRAME};
+
+fn provision(index: u64) -> (Prover, Verifier) {
+    let config = ProverConfig::recommended();
+    let mut key = [0x42u8; 16];
+    key[0] ^= index as u8;
+    let prover = Prover::provision(config.clone(), &key, b"app v1").expect("provision prover");
+    let verifier = Verifier::new(&config, &key).expect("provision verifier");
+    (prover, verifier)
+}
+
+fn patient() -> RetryPolicy {
+    RetryPolicy {
+        timeout_ms: 10_000,
+        max_retries: 40,
+        backoff_base_ms: 5,
+        backoff_factor: 1,
+        jitter_per_mille: 500,
+        jitter_seed: 0xbac_4b0b,
+    }
+}
+
+fn reactor_config(shards: usize, cap: usize) -> GatewayConfig {
+    GatewayConfig {
+        io_driver: IoDriver::Reactor,
+        reactor_shards: shards,
+        max_conns_per_shard: cap,
+        retry: RetryPolicy {
+            timeout_ms: 10_000,
+            ..GatewayConfig::default().retry
+        },
+        ..GatewayConfig::default()
+    }
+}
+
+fn dial(
+    connector: &LoopbackConnector,
+) -> impl FnMut() -> Result<Box<dyn Transport>, proverguard_transport::TransportError> + '_ {
+    move || {
+        connector
+            .connect()
+            .map(|conn| Box::new(conn) as Box<dyn Transport>)
+    }
+}
+
+/// See `dial_expect_busy` in `gateway_backpressure.rs`: the verdict frame
+/// may already be queued when our `Hello` send fails, so drain.
+fn dial_expect_busy(connector: &LoopbackConnector) -> bool {
+    let Ok(mut conn) = connector.connect() else {
+        return false;
+    };
+    let _ = conn.set_deadline(Some(Duration::from_millis(1_000)));
+    let _ = conn.send(&GatewayMsg::Hello { device_id: 0 }.encode());
+    loop {
+        match conn.recv().map(|bytes| GatewayMsg::decode(&bytes)) {
+            Ok(Ok(GatewayMsg::Busy)) => return true,
+            Ok(Ok(_)) => continue,
+            _ => return false,
+        }
+    }
+}
+
+/// Polls the per-shard snapshots until every shard has released its
+/// connections (`registered == 0`). The shard law compares counters
+/// updated by two threads, so it is only exact at quiescence.
+fn quiesced_shards(
+    handle: &proverguard_attest::gateway::GatewayHandle,
+) -> Vec<proverguard_attest::gateway::ShardSnapshot> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let snaps = handle.shard_stats();
+        if snaps.iter().all(|s| s.registered == 0) || Instant::now() > deadline {
+            return snaps;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// An honest 8-device fleet over 2 shards: every one-shot session
+/// verifies, the global partition law holds, each shard satisfies its own
+/// conservation law, and the reactor telemetry (readiness events,
+/// deadline expiries from the service-floor timers) is populated.
+#[test]
+fn honest_fleet_verifies_over_reactor() {
+    const FLEET: usize = 8;
+    let mut directory = DeviceDirectory::new();
+    let mut agents = Vec::new();
+    for p in 0..FLEET {
+        let (prover, verifier) = provision(p as u64);
+        let id = directory.register_with_floor(verifier, prover.expected_memory().to_vec(), 30);
+        agents.push(ProverAgent::new(prover, id));
+    }
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let handle = Gateway::start(Box::new(hub), directory, reactor_config(2, 64));
+
+    let pins: Vec<_> = agents
+        .into_iter()
+        .map(|mut agent| {
+            let connector = connector.clone();
+            thread::spawn(move || {
+                agent
+                    .attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50)
+                    .is_verified()
+            })
+        })
+        .collect();
+    for (p, pin) in pins.into_iter().enumerate() {
+        assert!(
+            pin.join().expect("session thread panicked"),
+            "honest session {p} must verify over the reactor driver"
+        );
+    }
+
+    let shards = quiesced_shards(&handle);
+    assert_eq!(shards.len(), 2);
+    for snap in &shards {
+        assert_eq!(snap.registered, 0, "shard {} not quiesced", snap.shard);
+        assert!(
+            snap.partition_holds(),
+            "shard conservation law violated: {snap:?}"
+        );
+    }
+    let assigned: u64 = shards.iter().map(|s| s.assigned).sum();
+    let ok: u64 = shards.iter().map(|s| s.sessions_ok).sum();
+    assert_eq!(ok, FLEET as u64, "every session booked on its shard");
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.sessions_ok, FLEET as u64);
+    assert_eq!(report.stats.handshake_failed, 0);
+    assert_eq!(
+        assigned, report.stats.enqueued,
+        "shard assignment must cover exactly the admitted connections"
+    );
+    assert!(
+        report.stats.partition_holds(),
+        "partition law violated: {:?}",
+        report.stats
+    );
+    // Reactor telemetry: every admitted connection produced readiness
+    // events, and each service-floor wait fired a wheel timer.
+    let readiness = report
+        .metrics
+        .counter("gateway.reactor.readiness_events")
+        .unwrap_or(0);
+    assert!(
+        readiness >= FLEET as u64,
+        "expected ≥{FLEET} readiness events, saw {readiness}"
+    );
+    let expiries = report
+        .metrics
+        .counter("gateway.reactor.deadline_expiries")
+        .unwrap_or(0);
+    assert!(
+        expiries >= FLEET as u64,
+        "each floor-pinned session fires at least its floor timer; saw {expiries}"
+    );
+}
+
+/// Session mode over the reactor: the first dial runs the attested
+/// handshake, the second resumes the session for a cheap sealed round,
+/// and the session-table partition law holds at shutdown.
+#[test]
+fn session_handshake_then_resumed_round() {
+    let mut directory = DeviceDirectory::new();
+    let (prover, verifier) = provision(0);
+    let id = directory.register(verifier, prover.expected_memory().to_vec());
+    let mut agent = ProverAgent::with_sessions(prover, id);
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let handle = Gateway::start(Box::new(hub), directory, reactor_config(1, 64));
+
+    let first = agent.attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50);
+    assert!(first.is_verified(), "handshake dial failed: {first:?}");
+    let sid = agent.session_id().expect("session established");
+
+    let second = agent.attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50);
+    assert!(second.is_verified(), "resumed round failed: {second:?}");
+    assert_eq!(
+        agent.session_id(),
+        Some(sid),
+        "a verified round must keep the same session alive"
+    );
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.sessions_ok, 2, "{:?}", report.stats);
+    assert_eq!(report.stats.sessions_opened, 1);
+    assert!(report.stats.partition_holds(), "{:?}", report.stats);
+    assert!(
+        report.stats.session_partition_holds(),
+        "session partition law violated: {:?}",
+        report.stats
+    );
+}
+
+/// A device reboot drops the volatile session keys; the next dial must
+/// re-handshake from scratch and still verify.
+#[test]
+fn reboot_forces_fresh_handshake() {
+    let mut directory = DeviceDirectory::new();
+    let (prover, verifier) = provision(0);
+    let id = directory.register(verifier, prover.expected_memory().to_vec());
+    let mut agent = ProverAgent::with_sessions(prover, id);
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let handle = Gateway::start(Box::new(hub), directory, reactor_config(1, 64));
+
+    let first = agent.attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50);
+    assert!(first.is_verified(), "{first:?}");
+    let old_sid = agent.session_id().expect("session established");
+
+    agent.reboot().expect("recovery boot");
+    assert_eq!(agent.session_id(), None, "reboot clears session state");
+
+    let second = agent.attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50);
+    assert!(second.is_verified(), "post-reboot dial failed: {second:?}");
+    let new_sid = agent.session_id().expect("fresh session established");
+    assert_ne!(
+        new_sid, old_sid,
+        "reboot must not resurrect the old session"
+    );
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.sessions_opened, 2);
+    assert_eq!(report.stats.sessions_ok, 2);
+    assert!(report.stats.session_partition_holds(), "{:?}", report.stats);
+}
+
+/// Idle expiry under the event-driven path: a session left idle past
+/// `session_idle_ms` is refused with `SessionExpired` on resume, and the
+/// agent transparently re-handshakes.
+#[test]
+fn idle_session_expires_and_rehandshakes() {
+    let mut directory = DeviceDirectory::new();
+    let (prover, verifier) = provision(0);
+    let id = directory.register(verifier, prover.expected_memory().to_vec());
+    let mut agent = ProverAgent::with_sessions(prover, id);
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let config = GatewayConfig {
+        session_idle_ms: 60,
+        ..reactor_config(1, 64)
+    };
+    let handle = Gateway::start(Box::new(hub), directory, config);
+
+    let first = agent.attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50);
+    assert!(first.is_verified(), "{first:?}");
+    assert!(agent.session_id().is_some());
+
+    thread::sleep(Duration::from_millis(200));
+
+    // The stale resume is rejected cheaply, then retried as a handshake —
+    // all inside one attest_with_retry call.
+    let second = agent.attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50);
+    assert!(second.is_verified(), "re-handshake failed: {second:?}");
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.sessions_opened, 2);
+    assert!(
+        report.stats.sessions_expired >= 1,
+        "idle sweep must have expired the stale session: {:?}",
+        report.stats
+    );
+    assert_eq!(
+        report.metrics.counter("gateway.session.expired_lookup"),
+        Some(1),
+        "the stale resume must be booked on the cheap-reject path"
+    );
+    assert!(report.stats.session_partition_holds(), "{:?}", report.stats);
+}
+
+/// Slowloris against the reactor: the peer opens an attested handshake,
+/// takes the `SessInit`, then stalls. The single establishment budget
+/// (armed at registration, never re-armed per message) cuts it within
+/// ~`read_timeout_ms`, books it on the deadline path — and, because no
+/// thread was ever parked on the stall, a concurrent honest session
+/// completes immediately rather than queueing behind it.
+#[test]
+fn reactor_slowloris_cut_by_establishment_deadline() {
+    let read_timeout_ms = 600u64;
+    let mut directory = DeviceDirectory::new();
+    let (prover, verifier) = provision(0);
+    let device_id = directory.register(verifier, prover.expected_memory().to_vec());
+    let mut agent = ProverAgent::new(prover, device_id);
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let config = GatewayConfig {
+        read_timeout_ms,
+        ..reactor_config(1, 64)
+    };
+    let handle = Gateway::start(Box::new(hub), directory, config);
+
+    let mut stalled = connector.connect().expect("slowloris connect");
+    let _ = stalled.set_deadline(Some(Duration::from_secs(5)));
+    let accepted = Instant::now();
+    stalled
+        .send(
+            &GatewayMsg::SessHello {
+                device_id,
+                session_id: None,
+            }
+            .encode(),
+        )
+        .expect("slowloris hello");
+    match GatewayMsg::decode(&stalled.recv().expect("slowloris init")) {
+        Ok(GatewayMsg::SessInit(_)) => {}
+        other => panic!("expected SessInit for the stalled handshake, got {other:?}"),
+    }
+
+    // The honest session runs while the slowloris stalls: event-driven
+    // concurrency means the stall costs the gateway a slab slot, not a
+    // worker thread.
+    let honest = agent.attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50);
+    assert!(
+        honest.is_verified(),
+        "honest session must not queue behind a stalled peer: {honest:?}"
+    );
+
+    assert!(
+        stalled.recv().is_err(),
+        "stalled handshake must be cut, not answered"
+    );
+    let held = accepted.elapsed();
+    assert!(
+        held < Duration::from_millis(read_timeout_ms + 500),
+        "slot held {held:?} by a slowloris peer; budget is {read_timeout_ms}ms per connection"
+    );
+
+    let report = handle.shutdown();
+    assert_eq!(report.stats.handshake_failed, 1, "{:?}", report.stats);
+    assert_eq!(
+        report.metrics.counter("gateway.handshake.deadline"),
+        Some(1),
+        "the stall must be booked on the deadline path, not as garbage/link"
+    );
+    assert_eq!(report.stats.sessions_ok, 1);
+    assert!(report.stats.partition_holds(), "{:?}", report.stats);
+}
+
+/// Deterministic shed: with one shard capped at 2 connections, two
+/// floor-pinned honest sessions fill the gateway, and every extra dial is
+/// answered with exactly one cheap `Busy` frame — while the pinned
+/// sessions still run to verified completion.
+#[test]
+fn capacity_full_sheds_busy_deterministically() {
+    const FLOOR_MS: u64 = 400;
+    let mut directory = DeviceDirectory::new();
+    let mut agents = Vec::new();
+    for p in 0..2 {
+        let (prover, verifier) = provision(p);
+        let id =
+            directory.register_with_floor(verifier, prover.expected_memory().to_vec(), FLOOR_MS);
+        agents.push(ProverAgent::new(prover, id));
+    }
+
+    let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+    let handle = Gateway::start(Box::new(hub), directory, reactor_config(1, 2));
+
+    let pins: Vec<_> = agents
+        .into_iter()
+        .map(|mut agent| {
+            let connector = connector.clone();
+            thread::sleep(Duration::from_millis(5));
+            thread::spawn(move || {
+                agent
+                    .attest_with_retry(dial(&connector), &patient(), Duration::from_secs(30), 50)
+                    .is_verified()
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(FLOOR_MS / 2));
+    let mut shed = 0u64;
+    for _ in 0..3 {
+        assert!(
+            dial_expect_busy(&connector),
+            "dial against a full reactor must be shed with Busy"
+        );
+        shed += 1;
+    }
+
+    for (p, pin) in pins.into_iter().enumerate() {
+        assert!(
+            pin.join().expect("pinned session panicked"),
+            "pinned session {p} must verify despite the Busy storm"
+        );
+    }
+    let report = handle.shutdown();
+    assert!(report.stats.busy_rejected >= shed);
+    assert_eq!(report.stats.sessions_ok, 2);
+    assert_eq!(report.stats.handshake_failed, 0);
+    assert!(report.stats.partition_holds(), "{:?}", report.stats);
+    assert_eq!(
+        report.metrics.counter("gateway.busy"),
+        Some(report.stats.busy_rejected)
+    );
+}
+
+/// Differential check: the same mixed workload (honest one-shots plus
+/// session handshake + resume) through both I/O drivers must produce the
+/// same protocol-visible outcome — same verified count, same opened
+/// session count, partition laws holding on both sides.
+#[test]
+fn thread_pool_and_reactor_agree_on_workload() {
+    fn run(config: GatewayConfig) -> proverguard_attest::gateway::GatewayReport {
+        const ONESHOTS: usize = 4;
+        let mut directory = DeviceDirectory::new();
+        let mut oneshots = Vec::new();
+        for p in 0..ONESHOTS {
+            let (prover, verifier) = provision(p as u64);
+            let id = directory.register(verifier, prover.expected_memory().to_vec());
+            oneshots.push(ProverAgent::new(prover, id));
+        }
+        let (prover, verifier) = provision(ONESHOTS as u64);
+        let id = directory.register(verifier, prover.expected_memory().to_vec());
+        let mut sess_agent = ProverAgent::with_sessions(prover, id);
+
+        let (hub, connector) = LoopbackHub::new(DEFAULT_MAX_FRAME);
+        let handle = Gateway::start(Box::new(hub), directory, config);
+
+        let pins: Vec<_> = oneshots
+            .into_iter()
+            .map(|mut agent| {
+                let connector = connector.clone();
+                thread::spawn(move || {
+                    agent
+                        .attest_with_retry(
+                            dial(&connector),
+                            &patient(),
+                            Duration::from_secs(30),
+                            50,
+                        )
+                        .is_verified()
+                })
+            })
+            .collect();
+        for pin in pins {
+            assert!(pin.join().expect("session thread panicked"));
+        }
+        for _ in 0..2 {
+            let outcome = sess_agent.attest_with_retry(
+                dial(&connector),
+                &patient(),
+                Duration::from_secs(30),
+                50,
+            );
+            assert!(outcome.is_verified(), "{outcome:?}");
+        }
+        handle.shutdown()
+    }
+
+    let pool = run(GatewayConfig {
+        workers: 2,
+        queue_depth: 8,
+        retry: RetryPolicy {
+            timeout_ms: 10_000,
+            ..GatewayConfig::default().retry
+        },
+        ..GatewayConfig::default()
+    });
+    let reactor = run(reactor_config(2, 8));
+
+    assert_eq!(pool.stats.sessions_ok, reactor.stats.sessions_ok);
+    assert_eq!(pool.stats.sessions_failed, reactor.stats.sessions_failed);
+    assert_eq!(pool.stats.handshake_failed, reactor.stats.handshake_failed);
+    assert_eq!(pool.stats.sessions_opened, reactor.stats.sessions_opened);
+    assert!(pool.stats.partition_holds(), "{:?}", pool.stats);
+    assert!(reactor.stats.partition_holds(), "{:?}", reactor.stats);
+    assert!(pool.stats.session_partition_holds());
+    assert!(reactor.stats.session_partition_holds());
+    // Same protocol work, attempt for attempt: the verified-session
+    // telemetry counters agree across drivers.
+    assert_eq!(
+        pool.metrics.counter("gateway.sessions_ok"),
+        reactor.metrics.counter("gateway.sessions_ok")
+    );
+    assert_eq!(
+        pool.metrics.counter("gateway.session.opened"),
+        reactor.metrics.counter("gateway.session.opened")
+    );
+}
