@@ -19,8 +19,8 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
-echo "== attest pipeline conformance (segcache / golden vectors / session model) =="
-cargo test -q --test segcache_coherence --test golden_vectors --test session_state_machine
+echo "== attest pipeline conformance (segcache / imagecache / golden vectors / session model) =="
+cargo test -q --test segcache_coherence --test imagecache_coherence --test golden_vectors --test session_state_machine
 
 echo "== chaos soak (short deterministic gate) =="
 cargo run --release -q -p proverguard-bench --bin fleet_soak -- --ci
@@ -45,5 +45,8 @@ cargo run --release -q -p proverguard-bench --bin session_bench -- --ci
 
 echo "== gateway scale (event-driven reactor concurrency gate, emits BENCH_gateway_scale.json) =="
 cargo run --release -q -p proverguard-bench --bin gateway_scale -- --ci
+
+echo "== fleet verify bench (shared digest cache gate, emits BENCH_fleet_verify.json) =="
+cargo run --release -q -p proverguard-bench --bin fleet_verify_bench -- --ci
 
 echo "CI green."

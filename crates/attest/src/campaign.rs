@@ -271,6 +271,10 @@ pub struct CampaignStats {
     pub attest_actions: u64,
     /// Waves started (canary included).
     pub waves_started: u64,
+    /// Expected-image retargets drained to the verifier side
+    /// ([`CampaignController::drain_retargets`]): device transitions
+    /// between [`ImageId::Old`] and [`ImageId::New`] expectations.
+    pub image_retargets: u64,
 }
 
 /// The deterministic staged-rollout state machine.
@@ -296,6 +300,8 @@ pub struct CampaignController {
     started: Option<u64>,
     phase_entered: u64,
     stats: CampaignStats,
+    /// Last expected image reported per device by `drain_retargets`.
+    synced_image: Vec<ImageId>,
 }
 
 impl CampaignController {
@@ -318,6 +324,7 @@ impl CampaignController {
             started: None,
             phase_entered: 0,
             stats: CampaignStats::default(),
+            synced_image: vec![ImageId::Old; n],
         }
     }
 
@@ -370,6 +377,29 @@ impl CampaignController {
             // rolled back, failed — is held to the old image.
             _ => ImageId::Old,
         }
+    }
+
+    /// Devices whose expected image changed since the last drain, with
+    /// their new expectation — the campaign-to-verifier synchronization
+    /// point. The caller applies each entry to its `DeviceDirectory`
+    /// (`set_expected_memory`), which rebuilds the device's interned
+    /// baseline and invalidates the superseded digest-cache entry, so a
+    /// wave transition or rollback can never leave a verifier consulting
+    /// a stale cached digest vector.
+    pub fn drain_retargets(&mut self) -> Vec<(usize, ImageId)> {
+        let mut out = Vec::new();
+        for i in 0..self.devices.len() {
+            let now = self.expected_image(i);
+            if self.synced_image[i] != now {
+                self.synced_image[i] = now;
+                out.push((i, now));
+            }
+        }
+        if !out.is_empty() {
+            self.stats.image_retargets += out.len() as u64;
+            metrics::counter_add("campaign.image_retargets", out.len() as u64);
+        }
+        out
     }
 
     fn count(&self, needle: DeviceState) -> u64 {

@@ -643,15 +643,39 @@ pub fn verifier_confirm(
     accept: &HandshakeAccept,
     expected_memory: &[u8],
 ) -> Result<SecureChannel, AttestError> {
+    verifier_confirm_view(
+        verifier,
+        init,
+        request,
+        accept,
+        &crate::imagecache::ExpectedView::uncached(expected_memory),
+    )
+}
+
+/// [`verifier_confirm`] against an [`crate::imagecache::ExpectedView`]:
+/// the fleet-gateway entry point, reusing the interned baseline digest
+/// vector for the key-confirming attestation instead of re-sweeping the
+/// expected image per handshake.
+///
+/// # Errors
+///
+/// As [`verifier_confirm`].
+pub fn verifier_confirm_view(
+    verifier: &mut Verifier,
+    init: &HandshakeInit,
+    request: &AttestRequest,
+    accept: &HandshakeAccept,
+    expected: &crate::imagecache::ExpectedView<'_>,
+) -> Result<SecureChannel, AttestError> {
     if accept.version != CHANNEL_VERSION {
         return Err(malformed("unsupported channel version"));
     }
     let response = AttestResponse::from_bytes(&accept.response)?;
-    if !verifier.check_response(request, &response, expected_memory) {
+    if !verifier.check_response_view(request, &response, expected) {
         verifier.note_failed(request);
         return Err(AttestError::Rejected(RejectReason::SessionAuth));
     }
-    verifier.note_verified(request, &response, expected_memory);
+    verifier.note_verified_view(request, &response, expected);
     let keys = SessionKeys::derive(verifier.session_ikm(), &transcript(init, accept));
     Ok(SecureChannel::new(keys, Role::Verifier, init.rekey_after))
 }

@@ -184,6 +184,36 @@ pub fn patch_expected_image(image: &mut [u8], field: &FreshnessField) {
     }
 }
 
+/// Byte offset of the `counter_R` word inside an expected RAM image.
+#[must_use]
+pub fn counter_r_offset() -> usize {
+    (map::COUNTER_R.start - map::RAM.start) as usize
+}
+
+/// Like [`patch_expected_image`], but reports which segment (at
+/// `segment_len`-byte granularity) the patch wrote into, so an
+/// image-digest cache can re-derive exactly one segment digest instead of
+/// sweeping the whole image. Returns `None` when the image was left
+/// untouched (nonce / no-freshness field, or an image too short to hold
+/// the word) or when `segment_len` is zero (no digest granularity in
+/// effect).
+pub fn patch_expected_image_tracked(
+    image: &mut [u8],
+    field: &FreshnessField,
+    segment_len: u32,
+) -> Option<usize> {
+    let touches = matches!(
+        field,
+        FreshnessField::Counter(_) | FreshnessField::Timestamp(_)
+    );
+    patch_expected_image(image, field);
+    let off = counter_r_offset();
+    if !touches || segment_len == 0 || image.len() < off + 8 {
+        return None;
+    }
+    Some(off / segment_len as usize)
+}
+
 /// Patches a verifier-side expected RAM image so its gated-command
 /// counter word (third `TRUST_STATE` word) matches what the prover
 /// committed when it executed the command. An attestation taken *after*

@@ -65,7 +65,8 @@ use proverguard_crypto::mac::MacAlgorithm;
 use crate::channel::{self, HandshakeAccept, HandshakeInit, SecureChannel};
 use crate::error::{AttestError, RejectReason};
 use crate::fleet::{FleetController, FleetPolicy};
-use crate::message::{AttestResponse, FreshnessField};
+use crate::imagecache::{CachedImage, ExpectedView, ImageCache};
+use crate::message::{AttestRequest, AttestResponse, FreshnessField};
 use crate::prover::Prover;
 use crate::session::{AttemptOutcome, RetryPolicy, SessionDriver, SessionLink};
 use crate::verifier::Verifier;
@@ -333,8 +334,67 @@ pub struct DeviceEntry {
     verifier: Mutex<Verifier>,
     /// Behind its own mutex so a running gateway can be re-targeted at a
     /// new expected image mid-campaign (per-wave OTA targets).
-    expected_memory: Mutex<Vec<u8>>,
+    image: Mutex<DeviceImage>,
+    cache: Arc<ImageCache>,
     service_floor_ms: u64,
+}
+
+/// One device's expected image, split into the fleet-shared interned
+/// baseline and a persistent per-device scratch buffer that only ever
+/// diverges from that baseline at the freshness word. Patching for a
+/// request writes 8 bytes in place — the per-attempt full-image clone the
+/// thread-pool gateway originally paid is gone.
+#[derive(Debug)]
+struct DeviceImage {
+    baseline: Arc<CachedImage>,
+    scratch: Vec<u8>,
+    /// Segment indices where `scratch` currently differs from `baseline`
+    /// (at the baseline's digest granularity). In steady state this is
+    /// exactly the segment holding `counter_R`.
+    patched: Vec<usize>,
+}
+
+impl DeviceImage {
+    fn new(cache: &ImageCache, scratch: Vec<u8>, segment_len: u32) -> DeviceImage {
+        let baseline = cache.intern(&scratch, segment_len);
+        cache.note_scratch_rebuild();
+        DeviceImage {
+            baseline,
+            scratch,
+            patched: Vec::new(),
+        }
+    }
+
+    /// Brings `scratch` to the image the device will present for a
+    /// request carrying `field`: the baseline everywhere except the
+    /// freshness word the prover commits before MACing (reject-then-MAC
+    /// ordering, §4.2).
+    fn patch(&mut self, field: &FreshnessField) {
+        match field {
+            FreshnessField::Counter(_) | FreshnessField::Timestamp(_) => {
+                if let Some(seg) = crate::freshness::patch_expected_image_tracked(
+                    &mut self.scratch,
+                    field,
+                    self.baseline.segment_len(),
+                ) {
+                    if !self.patched.contains(&seg) {
+                        self.patched.push(seg);
+                    }
+                }
+            }
+            FreshnessField::None | FreshnessField::Nonce(_) => {
+                // These leave the device image untouched — restore the
+                // word a previous counter/timestamp request patched so
+                // the scratch matches the baseline again.
+                let off = crate::freshness::counter_r_offset();
+                if self.scratch.len() >= off + 8 {
+                    self.scratch[off..off + 8]
+                        .copy_from_slice(&self.baseline.bytes()[off..off + 8]);
+                }
+                self.patched.clear();
+            }
+        }
+    }
 }
 
 /// The fleet roster: one [`Verifier`] (plus expected memory image) per
@@ -342,17 +402,38 @@ pub struct DeviceEntry {
 ///
 /// Entries are added before the gateway starts; at runtime the directory
 /// is shared read-only and each entry guards its verifier with its own
-/// mutex, so sessions for *different* devices never contend.
+/// mutex, so sessions for *different* devices never contend. Expected
+/// images are interned into a shared [`ImageCache`]: every device on the
+/// same firmware shares one baseline and one precomputed digest vector.
 #[derive(Debug, Default)]
 pub struct DeviceDirectory {
     entries: Vec<DeviceEntry>,
+    cache: Arc<ImageCache>,
 }
 
 impl DeviceDirectory {
-    /// An empty directory.
+    /// An empty directory with its own image cache.
     #[must_use]
     pub fn new() -> Self {
         DeviceDirectory::default()
+    }
+
+    /// An empty directory interning expected images into `cache`. Hand
+    /// the same handle to several directories — e.g. a thread-pool
+    /// gateway and a reactor gateway — to share one fleet-wide digest
+    /// cache across all their workers and shards.
+    #[must_use]
+    pub fn with_cache(cache: Arc<ImageCache>) -> Self {
+        DeviceDirectory {
+            entries: Vec::new(),
+            cache,
+        }
+    }
+
+    /// The shared expected-image cache.
+    #[must_use]
+    pub fn cache(&self) -> &Arc<ImageCache> {
+        &self.cache
     }
 
     /// Registers a device; returns its `device_id`.
@@ -370,9 +451,12 @@ impl DeviceDirectory {
         service_floor_ms: u64,
     ) -> u64 {
         let id = self.entries.len() as u64;
+        let segment_len = verifier.segmented_params().map_or(0, |p| p.segment_len);
+        let image = DeviceImage::new(&self.cache, expected_memory, segment_len);
         self.entries.push(DeviceEntry {
             verifier: Mutex::new(verifier),
-            expected_memory: Mutex::new(expected_memory),
+            image: Mutex::new(image),
+            cache: Arc::clone(&self.cache),
             service_floor_ms,
         });
         id
@@ -384,14 +468,30 @@ impl DeviceDirectory {
     /// directory is shared read-only with running workers, and each
     /// entry's image has its own lock.
     ///
+    /// The new image is re-interned and the device's scratch rebuilt; if
+    /// this device was the last one pointing at the superseded baseline,
+    /// its cache entry is invalidated, so a stale digest vector can never
+    /// outlive a retarget.
+    ///
     /// Returns `false` for an unknown device.
     pub fn set_expected_memory(&self, device_id: u64, expected_memory: Vec<u8>) -> bool {
         match self.get(device_id) {
             Some(entry) => {
-                *entry
-                    .expected_memory
-                    .lock()
-                    .expect("expected-memory lock poisoned") = expected_memory;
+                let old = {
+                    let mut image = entry.image.lock().expect("image lock poisoned");
+                    let segment_len = image.baseline.segment_len();
+                    let old = Arc::clone(&image.baseline);
+                    *image = DeviceImage::new(&self.cache, expected_memory, segment_len);
+                    old
+                };
+                // Strong count 2 = this handle + the cache's slot: no
+                // other device entry still references the old baseline.
+                // (A re-target to the *same* image holds a third
+                // reference through the rebuilt scratch, protecting the
+                // entry from self-invalidation.)
+                if Arc::strong_count(&old) <= 2 {
+                    self.cache.invalidate(old.key());
+                }
                 true
             }
             None => false,
@@ -410,6 +510,47 @@ impl DeviceDirectory {
         self.entries.is_empty()
     }
 
+    /// Runs `f` against the expected-image view for `device_id` patched
+    /// for `field` — the exact cached path gateway verifications take.
+    /// Bench and differential-test hook. Returns `None` for an unknown
+    /// device.
+    pub fn with_expected<R>(
+        &self,
+        device_id: u64,
+        field: &FreshnessField,
+        f: impl FnOnce(&ExpectedView<'_>) -> R,
+    ) -> Option<R> {
+        self.get(device_id).map(|e| e.with_expected(field, f))
+    }
+
+    /// Runs `f` against the verifier of `device_id` (request minting for
+    /// tests and benches that drive the cached verify path without a
+    /// wire). Returns `None` for an unknown device.
+    pub fn with_verifier<R>(
+        &self,
+        device_id: u64,
+        f: impl FnOnce(&mut Verifier) -> R,
+    ) -> Option<R> {
+        self.get(device_id).map(|e| {
+            let mut verifier = e.verifier.lock().expect("verifier lock poisoned");
+            f(&mut verifier)
+        })
+    }
+
+    /// Verifies `response` for `device_id` through the cached
+    /// expected-image path and records the outcome on its verifier —
+    /// exactly what both gateway drivers do for a completed attestation
+    /// attempt. Returns `None` for an unknown device.
+    pub fn verify_response(
+        &self,
+        device_id: u64,
+        request: &AttestRequest,
+        response: &AttestResponse,
+    ) -> Option<bool> {
+        self.get(device_id)
+            .map(|e| e.check_and_note(request, response))
+    }
+
     fn get(&self, device_id: u64) -> Option<&DeviceEntry> {
         usize::try_from(device_id)
             .ok()
@@ -418,19 +559,56 @@ impl DeviceDirectory {
 }
 
 impl DeviceEntry {
-    /// The memory image the device should present for a request carrying
-    /// `field`. The prover commits counter/timestamp freshness into the
-    /// protected `counter_R` RAM word *before* MACing (reject-then-MAC
-    /// ordering, §4.2), so the attested image embeds the freshness value
-    /// the verifier just sent — patch it into the baseline.
-    fn expected_for(&self, field: &FreshnessField) -> Vec<u8> {
-        let mut image = self
-            .expected_memory
-            .lock()
-            .expect("expected-memory lock poisoned")
-            .clone();
-        crate::freshness::patch_expected_image(&mut image, field);
-        image
+    /// Runs `f` with the expected-image view for a request carrying
+    /// `field`: touches the shared cache (hit accounting + LRU refresh,
+    /// refilling an evicted baseline for free), patches the persistent
+    /// scratch in place, and exposes baseline digests so Segmented and
+    /// History checks re-digest only the freshness segment.
+    fn with_expected<R>(
+        &self,
+        field: &FreshnessField,
+        f: impl FnOnce(&ExpectedView<'_>) -> R,
+    ) -> R {
+        let mut image = self.image.lock().expect("image lock poisoned");
+        self.cache.touch(&image.baseline);
+        image.patch(field);
+        let DeviceImage {
+            baseline,
+            scratch,
+            patched,
+        } = &*image;
+        f(&ExpectedView::cached(scratch, baseline, patched))
+    }
+
+    /// Verifies `response` against the cached expected view and records
+    /// the outcome — the verify-and-note step shared by both gateway
+    /// drivers for one-shot attempts and session rounds. Lock order is
+    /// image → verifier, uniformly.
+    fn check_and_note(&self, request: &AttestRequest, response: &AttestResponse) -> bool {
+        self.with_expected(&request.freshness, |view| {
+            let mut verifier = self.verifier.lock().expect("verifier lock poisoned");
+            if verifier.check_response_view(request, response, view) {
+                verifier.note_verified_view(request, response, view);
+                true
+            } else {
+                verifier.note_failed(request);
+                false
+            }
+        })
+    }
+
+    /// Confirms a session handshake's key-confirming attestation against
+    /// the cached expected view (both drivers' handshake path).
+    fn confirm_session(
+        &self,
+        init: &HandshakeInit,
+        request: &AttestRequest,
+        accept: &HandshakeAccept,
+    ) -> Result<SecureChannel, AttestError> {
+        self.with_expected(&request.freshness, |view| {
+            let mut verifier = self.verifier.lock().expect("verifier lock poisoned");
+            channel::verifier_confirm_view(&mut verifier, init, request, accept, view)
+        })
     }
 }
 
@@ -1240,11 +1418,7 @@ fn serve_session_handshake(
         }
     };
 
-    let expected = entry.expected_for(&request.freshness);
-    let confirmed = {
-        let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
-        channel::verifier_confirm(&mut verifier, &init, &request, &accept, &expected)
-    };
+    let confirmed = entry.confirm_session(&init, &request, &accept);
     finish_span(ctx, hs_span);
     match confirmed {
         Ok(chan) => {
@@ -1388,17 +1562,7 @@ fn serve_session_round(
     };
     let verified = match GatewayMsg::decode(&inner) {
         Ok(GatewayMsg::AttResp(raw)) => match AttestResponse::from_bytes(&raw) {
-            Ok(response) => {
-                let expected = entry.expected_for(&request.freshness);
-                let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
-                if verifier.check_response(&request, &response, &expected) {
-                    verifier.note_verified(&request, &response, &expected);
-                    true
-                } else {
-                    verifier.note_failed(&request);
-                    false
-                }
-            }
+            Ok(response) => entry.check_and_note(&request, &response),
             Err(_) => false,
         },
         Ok(GatewayMsg::Reject(_)) => {
@@ -1487,13 +1651,9 @@ impl SessionLink for GatewayLink<'_> {
                     let Ok(response) = AttestResponse::from_bytes(&raw) else {
                         return AttemptOutcome::BadResponse;
                     };
-                    let expected = self.entry.expected_for(&request.freshness);
-                    let mut verifier = self.entry.verifier.lock().expect("verifier lock poisoned");
-                    if verifier.check_response(&request, &response, &expected) {
-                        verifier.note_verified(&request, &response, &expected);
+                    if self.entry.check_and_note(&request, &response) {
                         AttemptOutcome::Success
                     } else {
-                        verifier.note_failed(&request);
                         AttemptOutcome::BadResponse
                     }
                 }

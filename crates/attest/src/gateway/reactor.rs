@@ -894,13 +894,9 @@ impl Shard {
                 let Ok(response) = AttestResponse::from_bytes(raw) else {
                     return AttemptOutcome::BadResponse;
                 };
-                let expected = entry.expected_for(&request.freshness);
-                let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
-                if verifier.check_response(request, &response, &expected) {
-                    verifier.note_verified(request, &response, &expected);
+                if entry.check_and_note(request, &response) {
                     AttemptOutcome::Success
                 } else {
-                    verifier.note_failed(request);
                     AttemptOutcome::BadResponse
                 }
             }
@@ -1025,11 +1021,7 @@ impl Shard {
             .directory
             .get(conn.device_id)
             .expect("device checked at hello");
-        let expected = entry.expected_for(&request.freshness);
-        let confirmed = {
-            let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
-            channel::verifier_confirm(&mut verifier, init, request, accept, &expected)
-        };
+        let confirmed = entry.confirm_session(init, request, accept);
         match confirmed {
             Ok(chan) => {
                 let now_ms = self.ctx.elapsed_ms();
@@ -1143,17 +1135,7 @@ impl Shard {
             .expect("device checked at hello");
         let verified = match GatewayMsg::decode(&inner) {
             Ok(GatewayMsg::AttResp(raw)) => match AttestResponse::from_bytes(&raw) {
-                Ok(response) => {
-                    let expected = entry.expected_for(&request.freshness);
-                    let mut verifier = entry.verifier.lock().expect("verifier lock poisoned");
-                    if verifier.check_response(request, &response, &expected) {
-                        verifier.note_verified(request, &response, &expected);
-                        true
-                    } else {
-                        verifier.note_failed(request);
-                        false
-                    }
-                }
+                Ok(response) => entry.check_and_note(request, &response),
                 Err(_) => false,
             },
             Ok(GatewayMsg::Reject(_)) => {

@@ -54,6 +54,7 @@ pub mod error;
 pub mod fleet;
 pub mod freshness;
 pub mod gateway;
+pub mod imagecache;
 pub mod message;
 pub mod persist;
 pub mod profile;
@@ -77,6 +78,7 @@ pub use gateway::{
     AgentOutcome, DeviceDirectory, Gateway, GatewayConfig, GatewayHandle, GatewayMsg,
     GatewayReport, GatewaySnapshot, ProverAgent,
 };
+pub use imagecache::{CachedImage, ExpectedView, ImageCache, ImageCacheSnapshot, ImageKey};
 pub use message::{AttestRequest, AttestResponse, AttestScope, FreshnessField};
 pub use persist::{
     EpochLogRecord, FreshnessRecord, InMemoryNvStore, PersistedState, RecoveryOutcome,

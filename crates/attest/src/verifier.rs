@@ -14,6 +14,7 @@ use proverguard_crypto::sha1::DIGEST_SIZE;
 use crate::auth::{AuthMethod, RequestSigner};
 use crate::error::AttestError;
 use crate::freshness::FreshnessKind;
+use crate::imagecache::ExpectedView;
 use crate::message::{
     AttestRequest, AttestResponse, AttestScope, FreshnessField, CHALLENGE_SIZE, NONCE_SIZE,
 };
@@ -317,10 +318,20 @@ impl Verifier {
         receipt.verify(&self.response_key, command, expected_digest)
     }
 
+    /// The segmented-mode parameters of this deployment, if any. The
+    /// device directory uses this to intern expected images at the right
+    /// digest granularity.
+    #[must_use]
+    pub fn segmented_params(&self) -> Option<SegmentedParams> {
+        self.segmented
+    }
+
     /// Validates a response against the expected memory image, using the
-    /// construction the request's (authenticated) scope byte named. The
-    /// verifier recomputes the segmented digest list from scratch — only
-    /// the prover, which trusts its dirty-tracking hardware, may cache.
+    /// construction the request's (authenticated) scope byte named. This
+    /// byte-slice entry point digests the expected image from scratch;
+    /// fleet paths hand an [`ExpectedView`] with an interned baseline to
+    /// [`Verifier::check_response_view`] instead, which reuses the shared
+    /// digest vector and re-digests only freshness-patched segments.
     #[must_use]
     pub fn check_response(
         &self,
@@ -328,18 +339,31 @@ impl Verifier {
         response: &AttestResponse,
         expected_memory: &[u8],
     ) -> bool {
+        self.check_response_view(request, response, &ExpectedView::uncached(expected_memory))
+    }
+
+    /// Validates a response against an expected-image view. The keyed
+    /// outer MAC is always recomputed per device and per request — only
+    /// the unkeyed, content-only segment digests come from the view's
+    /// baseline (when one is attached and matches).
+    #[must_use]
+    pub fn check_response_view(
+        &self,
+        request: &AttestRequest,
+        response: &AttestResponse,
+        expected: &ExpectedView<'_>,
+    ) -> bool {
         match request.scope {
             AttestScope::Whole => {
                 let mut macced = request.signed_bytes();
-                macced.extend_from_slice(expected_memory);
+                macced.extend_from_slice(expected.memory());
                 self.response_key.verify(&macced, &response.report)
             }
             AttestScope::Segmented => {
                 let Some(params) = &self.segmented else {
                     return false;
                 };
-                let digests =
-                    segcache::segment_digests(expected_memory, params.segment_len as usize);
+                let digests = expected.digests(params.segment_len as usize);
                 let combined =
                     segcache::combined_input(&request.signed_bytes(), params.segment_len, &digests);
                 self.response_key.verify(&combined, &response.report)
@@ -349,7 +373,7 @@ impl Verifier {
                     return false;
                 };
                 let Some((report, modified_digests)) =
-                    self.parse_history(since_round, response, expected_memory)
+                    self.parse_history(since_round, response, expected)
                 else {
                     return false;
                 };
@@ -377,11 +401,11 @@ impl Verifier {
         &self,
         since_round: u64,
         response: &AttestResponse,
-        expected_memory: &[u8],
+        expected: &ExpectedView<'_>,
     ) -> Option<(HistoryReport, Vec<[u8; DIGEST_SIZE]>)> {
         let params = self.segmented.as_ref()?;
         let seg_len = params.segment_len as usize;
-        let seg_count = expected_memory.len().div_ceil(seg_len);
+        let seg_count = expected.memory().len().div_ceil(seg_len);
         let (report, _tag) = HistoryReport::decode(&response.report, seg_count)?;
         if report.modified.len() != seg_count || report.round <= since_round {
             return None;
@@ -389,11 +413,7 @@ impl Verifier {
         let digests = report
             .modified_indices()
             .into_iter()
-            .map(|i| {
-                let start = i * seg_len;
-                let end = (start + seg_len).min(expected_memory.len());
-                segcache::segment_digest(i as u32, &expected_memory[start..end])
-            })
+            .map(|i| expected.segment_digest_at(i, seg_len))
             .collect();
         Some((report, digests))
     }
@@ -410,6 +430,17 @@ impl Verifier {
         response: &AttestResponse,
         expected_memory: &[u8],
     ) -> Option<&HistoryOutcome> {
+        self.note_verified_view(request, response, &ExpectedView::uncached(expected_memory))
+    }
+
+    /// View-based variant of [`Verifier::note_verified`] — same policy
+    /// effects, sharing the baseline digest vector when one is attached.
+    pub fn note_verified_view(
+        &mut self,
+        request: &AttestRequest,
+        response: &AttestResponse,
+        expected: &ExpectedView<'_>,
+    ) -> Option<&HistoryOutcome> {
         match request.scope {
             AttestScope::Whole | AttestScope::Segmented => {
                 self.rounds_since_full = 0;
@@ -423,7 +454,7 @@ impl Verifier {
                 None
             }
             AttestScope::History { since_round } => {
-                let (report, _) = self.parse_history(since_round, response, expected_memory)?;
+                let (report, _) = self.parse_history(since_round, response, expected)?;
                 self.rounds_since_full = self.rounds_since_full.saturating_add(1);
                 self.last_verified_round = Some(report.round);
                 self.last_history = Some(HistoryOutcome {

@@ -5,6 +5,7 @@
 //! image, and the campaign layer routes it to retry — not rollback, not
 //! healthy).
 
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -16,6 +17,7 @@ use proverguard_attest::campaign::{
 };
 use proverguard_attest::freshness::{patch_expected_command_counter, patch_expected_image};
 use proverguard_attest::gateway::{DeviceDirectory, GatewayMsg, ProverAgent};
+use proverguard_attest::imagecache::ImageCache;
 use proverguard_attest::persist::InMemoryNvStore;
 use proverguard_attest::prover::{BootHealth, Prover, ProverConfig};
 use proverguard_attest::segcache::segment_digests;
@@ -440,4 +442,175 @@ fn campaign_routes_torn_flash_to_retry() {
         matches!(actions[0], CampaignAction::SendUpdate { .. }),
         "torn flash must be retried with a fresh UpdateFirmware"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Fleet digest cache: campaign retargets must invalidate superseded
+// baselines, a rollback must never verify against stale cached digests,
+// and History rounds always consult post-epoch expectations.
+// ---------------------------------------------------------------------------
+
+/// One directory-mediated attestation round against the device's live
+/// state — the exact code path both gateway drivers use, shared digest
+/// cache included.
+fn directory_round(directory: &DeviceDirectory, id: u64, prover: &mut Prover) -> bool {
+    let request = directory
+        .with_verifier(id, |v| v.make_request())
+        .expect("registered")
+        .expect("request");
+    match prover.handle_request(&request) {
+        Ok(response) => directory
+            .verify_response(id, &request, &response)
+            .expect("registered"),
+        Err(_) => {
+            directory.with_verifier(id, |v| v.note_failed(&request));
+            false
+        }
+    }
+}
+
+/// Builds the verifier-side "expected RAM for image X" twin, then copies
+/// the device-truth trust words (clock + command counter) over from the
+/// live RAM so the app-image mirror is the only intended difference.
+/// (The freshness word is patched per request by the directory itself.)
+fn retarget_expectation(image: &[u8], device_ram: &[u8]) -> Vec<u8> {
+    let (mut twin, mut twin_verifier) =
+        managed_pair(ProverConfig::recommended_segmented(), &old_image());
+    update(&mut twin, &mut twin_verifier, image).expect("twin update");
+    let mut expected = twin.expected_memory().to_vec();
+    let ts_off = (map::TRUST_STATE.start - map::RAM.start) as usize;
+    expected[ts_off..ts_off + 24].copy_from_slice(&device_ram[ts_off..ts_off + 24]);
+    expected
+}
+
+/// A campaign halt rolls the *expectation* back to the old image while
+/// the device still runs the new one: the cached digest vector of the
+/// superseded baseline must not vouch for the device. Once the device
+/// executes the rollback for real, the freshly retargeted expectation
+/// verifies — from digests computed over the old baseline, not recalled
+/// from any stale cache slot.
+#[test]
+fn rollback_never_verifies_against_stale_cached_digests() {
+    let old = old_image();
+    let new = new_image();
+    let (mut prover, mut verifier) = managed_pair(ProverConfig::recommended_segmented(), &old);
+    update(&mut prover, &mut verifier, &old).expect("baseline update");
+    update(&mut prover, &mut verifier, &new).expect("rollout update");
+
+    let cache = Arc::new(ImageCache::new(4));
+    let mut directory = DeviceDirectory::with_cache(Arc::clone(&cache));
+    let id = directory.register(verifier, prover.expected_memory().to_vec());
+
+    // Warm the shared cache over the rolled-out (new) expectation.
+    assert!(
+        directory_round(&directory, id, &mut prover),
+        "device on the new image verifies against the new expectation"
+    );
+
+    // The campaign halts: expectation returns to OLD. The device has NOT
+    // rolled back yet.
+    let expected_old = retarget_expectation(&old, prover.expected_memory());
+    assert!(directory.set_expected_memory(id, expected_old));
+    assert!(
+        !directory_round(&directory, id, &mut prover),
+        "device still on the new image must fail the rolled-back expectation"
+    );
+
+    // The device executes the rollback through the directory's own
+    // verifier, keeping the command counters in lockstep...
+    directory
+        .with_verifier(id, |v| {
+            let request = v.make_command(Command::UpdateFirmware { image: old.clone() });
+            let command = request.command.clone();
+            let receipt = prover.handle_command(&request).expect("rollback update");
+            assert!(
+                v.check_command_receipt(&receipt, &command, &updated_flash_digest(&old)),
+                "rollback receipt must verify against the old image digest"
+            );
+        })
+        .expect("registered");
+
+    // ...and the re-aligned old expectation verifies the real rollback.
+    let expected_old = retarget_expectation(&old, prover.expected_memory());
+    assert!(directory.set_expected_memory(id, expected_old));
+    assert!(
+        directory_round(&directory, id, &mut prover),
+        "rolled-back device verifies against freshly computed old digests"
+    );
+
+    let stats = cache.stats();
+    assert!(
+        stats.invalidations >= 1,
+        "superseded baselines must be invalidated on retarget: {stats:?}"
+    );
+    assert!(stats.conservation_holds(), "{stats:?}");
+}
+
+/// History rounds across a campaign retarget: the update DMA bumps the
+/// mirror segments' epochs, the device reports them modified, and the
+/// verifier must recompute those digests from the *new* baseline — any
+/// stale pre-epoch digest vector surviving the retarget would fail the
+/// response MAC here.
+#[test]
+fn history_rounds_consult_post_epoch_digests_after_retarget() {
+    let old = old_image();
+    let new = new_image();
+    let (mut prover, mut verifier) = managed_pair(ProverConfig::recommended_segmented(), &old);
+    verifier.set_scope_policy(ScopePolicy::History { full_every: 0 });
+    update(&mut prover, &mut verifier, &old).expect("baseline update");
+    let seg_len = prover.segment_cache().expect("segmented").segment_len() as u32;
+
+    let cache = Arc::new(ImageCache::new(4));
+    let mut directory = DeviceDirectory::with_cache(Arc::clone(&cache));
+    let id = directory.register(verifier, prover.expected_memory().to_vec());
+
+    assert!(
+        directory_round(&directory, id, &mut prover),
+        "bootstrap round"
+    );
+    assert!(
+        directory_round(&directory, id, &mut prover),
+        "quiescent history round"
+    );
+
+    // The campaign pushes the new image through the directory's verifier
+    // and retargets the expectation to match.
+    directory
+        .with_verifier(id, |v| {
+            let request = v.make_command(Command::UpdateFirmware { image: new.clone() });
+            let command = request.command.clone();
+            let receipt = prover.handle_command(&request).expect("campaign update");
+            assert!(
+                v.check_command_receipt(&receipt, &command, &updated_flash_digest(&new)),
+                "campaign receipt must verify against the new image digest"
+            );
+        })
+        .expect("registered");
+    let expected_new = retarget_expectation(&new, prover.expected_memory());
+    assert!(directory.set_expected_memory(id, expected_new));
+
+    // Post-retarget History round: verifies, with every mirror segment in
+    // the authenticated modified set.
+    assert!(
+        directory_round(&directory, id, &mut prover),
+        "post-retarget history round must verify from post-epoch digests"
+    );
+    let modified = directory
+        .with_verifier(id, |v| {
+            v.last_history().expect("history outcome").modified.clone()
+        })
+        .expect("registered");
+    for seg in immutable_segments(seg_len) {
+        assert!(
+            modified.contains(&seg),
+            "mirror segment {seg} must be in the modified set; got {modified:?}"
+        );
+    }
+
+    let stats = cache.stats();
+    assert!(
+        stats.invalidations >= 1,
+        "the pre-update baseline must be invalidated on retarget: {stats:?}"
+    );
+    assert!(stats.conservation_holds(), "{stats:?}");
 }

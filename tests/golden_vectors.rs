@@ -7,6 +7,7 @@
 //! format change or bump the relevant version byte/magic AND these
 //! vectors in the same commit.
 
+use proverguard_attest::imagecache::{CachedImage, ImageKey};
 use proverguard_attest::message::{AttestRequest, AttestScope, FreshnessField};
 use proverguard_attest::persist::{EpochLogRecord, FreshnessRecord, RECORD_LEN};
 use proverguard_attest::prover::{Prover, ProverConfig};
@@ -170,6 +171,65 @@ fn history_session_transcript_vector() {
     let resp2 =
         proverguard_attest::message::AttestResponse::from_bytes(&resp2_raw).expect("response");
     assert!(verifier.check_response(&req2, &resp2, prover.expected_memory()));
+}
+
+/// The fleet digest cache's image key: `SHA1("proverguard-imgkey-v1" ‖
+/// segment_len ‖ image_len ‖ image)`, frozen. Verifier deployments may
+/// persist these keys (dashboards, logs, cross-gateway dedup), so the
+/// derivation must stay stable — and stay bound to *both* the image
+/// bytes and the digest granularity.
+#[test]
+fn image_cache_key_vector() {
+    let memory = test_memory();
+    assert_eq!(
+        ImageKey::derive(&memory, 256).to_hex(),
+        "67c50cb72274780421289a1084d6711afbdf3a2d",
+        "image cache key derivation changed"
+    );
+    // The granularity is part of the key: the same bytes at a different
+    // segment length (or whole-image scope, segment_len 0) must never
+    // alias.
+    assert_eq!(
+        ImageKey::derive(&memory, 0).to_hex(),
+        "8336ee2f2aaf858de424087aa596db88403991d0",
+        "whole-scope cache key derivation changed"
+    );
+    assert_eq!(
+        ImageKey::derive(&memory, 128).to_hex(),
+        "709a1fcc8784f8bfd517c52b3d91cfabe6789de3",
+        "cache key granularity binding changed"
+    );
+}
+
+/// The cached per-segment digest vector a shared-image fleet is verified
+/// from. These digests are the "1 digest sweep" amortised across N
+/// devices — if their construction drifts from `segment_digests`, every
+/// cached verdict drifts with it, so both the bytes and the equality
+/// with the from-scratch sweep are frozen.
+#[test]
+fn image_cache_digest_vector() {
+    let memory = test_memory();
+    let cached = CachedImage::compute(memory.clone(), 256);
+    let frozen = [
+        "187f22c1f8a3af149f158fcdd4e7c0d85b96d3b8",
+        "821876582113de4a8b2e0594c73a8b35b1fb4041",
+        "db899ad5dd6925118b427ab2e5833bb4055a06b6",
+        "008c6c7306f2f98081840951149c89a2ed2f16ee",
+    ];
+    let digests = cached.digests();
+    assert_eq!(digests.len(), frozen.len());
+    for (i, (digest, expect)) in digests.iter().zip(frozen).enumerate() {
+        assert_eq!(
+            hex(digest),
+            expect,
+            "cached segment digest {i} construction changed"
+        );
+    }
+    assert_eq!(
+        digests,
+        segment_digests(&memory, 256).as_slice(),
+        "cached digest vector must equal the from-scratch sweep"
+    );
 }
 
 /// The sealed epoch-log record: frozen `PGEPLOG1` encoding. A deployed
